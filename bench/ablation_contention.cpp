@@ -1,0 +1,64 @@
+// Ablation: how the Fig. 13 policy ordering depends on the SMT-contention
+// model (the design choice DESIGN.md calls out for the Xeon Phi
+// substitution).
+//
+// Sweeps the background-sibling sensitivity a_bg of the end-of-optional
+// cost and reports the one-by-one / all-by-all overhead ratio at np = 57
+// under the CPU-Memory load.  At a_bg = 0 the policies tie (no SMT
+// mechanism); the paper's qualitative result — one-by-one clearly worst —
+// emerges as soon as background siblings carry real cost, and the ratio
+// grows monotonically with a_bg.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "sim/overhead_model.hpp"
+
+using namespace rtseed;
+
+int main() {
+  std::printf(
+      "=== Ablation: Fig. 13 policy gap vs SMT background-sibling cost "
+      "===\n(np=57, cpu-memory load, 100 jobs/point)\n\n");
+
+  common::Table table({"a_bg", "one-by-one [us]", "all-by-all [us]",
+                       "ratio"});
+  double previous_ratio = 0.0;
+  bool monotone = true;
+  bool tie_at_zero = false;
+
+  for (double a_bg = 0.0; a_bg <= 0.61; a_bg += 0.1) {
+    sim::ContentionParams params;
+    params.end_bg_sibling[1] = a_bg;  // cpu load
+    params.end_bg_sibling[2] = a_bg;  // cpu-memory load
+    const sim::OverheadModel model(params);
+
+    sim::OverheadScenario scenario;
+    scenario.load = sim::LoadKind::kCpuMemory;
+    scenario.num_optional_parts = 57;
+
+    common::Rng rng(7);
+    scenario.policy = core::AssignmentPolicy::kOneByOne;
+    const double one =
+        model.measure_us(sim::OverheadKind::kEndOptional, scenario, 100, rng)
+            .mean;
+    scenario.policy = core::AssignmentPolicy::kAllByAll;
+    const double all =
+        model.measure_us(sim::OverheadKind::kEndOptional, scenario, 100, rng)
+            .mean;
+
+    const double ratio = one / all;
+    table.add_numeric_row({a_bg, one, all, ratio}, 3);
+    if (a_bg == 0.0) tie_at_zero = ratio < 1.05;
+    if (ratio + 0.02 < previous_ratio) monotone = false;
+    previous_ratio = ratio;
+  }
+  table.print();
+
+  const bool ok = tie_at_zero && monotone && previous_ratio > 1.5;
+  std::printf(
+      "\n[shape check] %s\n",
+      ok ? "policies tie without SMT cost; the paper's one-by-one-worst gap "
+           "emerges and grows with a_bg"
+         : "FAILED: the policy gap does not behave as modeled");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,129 @@
+// Ablation: schedulability success ratio of P-RMWP (semi-fixed-priority)
+// vs partitioned general RM and partitioned EDF, over random task sets
+// (UUniFast utilizations, log-uniform periods) on M = 4 processors.
+//
+// Two views per algorithm:
+//   analysis — fraction of sets the offline admission test accepts;
+//   simulate — fraction of sets that run miss-free in the DES (using
+//              worst-fit placement when admission failed, so the columns
+//              also expose how forgiving each algorithm is past its test).
+//
+// The expected shape: RMWP tracks RM closely (Theorem 2: the optional
+// parts are free), both decay before EDF's U = M boundary, and the
+// simulation column upper-bounds the analysis column (tests are
+// sufficient, not necessary).
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "sched/generator.hpp"
+#include "sched/p_rmwp.hpp"
+#include "sched/rta.hpp"
+#include "sim/sim_scheduler.hpp"
+
+using namespace rtseed;
+
+namespace {
+
+constexpr int kProcessors = 4;
+constexpr int kTrials = 100;
+
+struct Ratios {
+  double rmwp_analysis = 0;
+  double rm_analysis = 0;
+  double edf_analysis = 0;
+  double rmwp_sim = 0;
+  double rm_sim = 0;
+  double edf_sim = 0;
+};
+
+Ratios run_point(double system_utilization, common::Rng& rng) {
+  Ratios out;
+  sched::GeneratorConfig config;
+  config.num_tasks = 12;
+  config.total_utilization = system_utilization * kProcessors;
+  config.min_period = common::millis(10);
+  config.max_period = common::millis(100);
+  config.optional_parts = 2;
+
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto set = sched::generate_task_set(config, rng);
+
+    const sched::AdmissionTest admits_rmwp = [](const sched::TaskSet& s) {
+      return sched::rmwp_schedulable(s);
+    };
+    const sched::AdmissionTest admits_rm = [](const sched::TaskSet& s) {
+      return sched::rm_schedulable(s);
+    };
+    const sched::AdmissionTest admits_edf = [](const sched::TaskSet& s) {
+      return s.total_utilization() <= 1.0 + 1e-12;
+    };
+    using sched::PackingHeuristic;
+    out.rmwp_analysis +=
+        partition_tasks(set, kProcessors, PackingHeuristic::kFirstFit,
+                        admits_rmwp)
+            .feasible;
+    out.rm_analysis +=
+        partition_tasks(set, kProcessors, PackingHeuristic::kFirstFit,
+                        admits_rm)
+            .feasible;
+    out.edf_analysis +=
+        partition_tasks(set, kProcessors, PackingHeuristic::kFirstFit,
+                        admits_edf)
+            .feasible;
+
+    sim::SimOptions options;
+    options.horizon = common::millis(1000);
+    options.algorithm = sim::SimAlgorithm::kRmwp;
+    out.rmwp_sim +=
+        !sim::simulate_partitioned(set, kProcessors, options).any_miss();
+    options.algorithm = sim::SimAlgorithm::kGeneralRm;
+    out.rm_sim +=
+        !sim::simulate_partitioned(set, kProcessors, options).any_miss();
+    options.algorithm = sim::SimAlgorithm::kEdf;
+    out.edf_sim +=
+        !sim::simulate_partitioned(set, kProcessors, options).any_miss();
+  }
+  const double n = kTrials;
+  out.rmwp_analysis /= n;
+  out.rm_analysis /= n;
+  out.edf_analysis /= n;
+  out.rmwp_sim /= n;
+  out.rm_sim /= n;
+  out.edf_sim /= n;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Ablation: success ratio vs system utilization (M=%d, %d random "
+      "sets/point, 12 tasks) ===\n\n",
+      kProcessors, kTrials);
+  common::Table table({"U/M", "P-RMWP ana", "P-RM ana", "P-EDF ana",
+                       "P-RMWP sim", "P-RM sim", "P-EDF sim"});
+  common::Rng rng(20140415);
+
+  bool ok = true;
+  for (double u = 0.3; u <= 1.01; u += 0.1) {
+    const auto r = run_point(u, rng);
+    table.add_numeric_row({u, r.rmwp_analysis, r.rm_analysis, r.edf_analysis,
+                           r.rmwp_sim, r.rm_sim, r.edf_sim},
+                          2);
+    // Shape checks: simulation never below analysis (sufficient tests);
+    // RMWP analysis within a whisker of RM analysis (Theorem 2); EDF
+    // analysis dominates both fixed-priority tests.
+    ok &= r.rmwp_sim >= r.rmwp_analysis - 1e-9;
+    ok &= r.rm_sim >= r.rm_analysis - 1e-9;
+    ok &= r.edf_analysis >= r.rm_analysis - 1e-9;
+    ok &= r.rmwp_analysis <= r.rm_analysis + 1e-9;
+  }
+  table.print();
+  std::printf(
+      "\n[shape check] %s\n",
+      ok ? "sim >= analysis everywhere; EDF >= RM >= RMWP admission order "
+           "holds"
+         : "FAILED: an expected dominance relation is violated");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,47 @@
+// Figure 10 — overhead of beginning the mandatory part (Δm).
+//
+// Paper: approximately constant in the number of parallel optional parts;
+// no-load < CPU load < CPU-Memory load (the CPU-Memory load's cache
+// pollution dominates the release path).
+#include "common/table.hpp"
+#include "figure_common.hpp"
+
+namespace {
+
+// "The overheads of all assignment policies depend on the number of
+// tasks" (§V-B) — the paper holds n = 1; this companion sweep shows the
+// dependence the text asserts.
+void print_task_count_sweep() {
+  using namespace rtseed;
+  std::printf("\n--- companion: delta_m vs number of tasks (np = 57, "
+              "one-by-one) ---\n");
+  common::Table table({"tasks", "no-load [us]", "cpu [us]", "cpu-mem [us]"});
+  const sim::OverheadModel model;
+  for (int tasks : {1, 2, 4, 8}) {
+    std::vector<double> row{static_cast<double>(tasks)};
+    for (auto load : {sim::LoadKind::kNone, sim::LoadKind::kCpu,
+                      sim::LoadKind::kCpuMemory}) {
+      sim::OverheadScenario scenario;
+      scenario.load = load;
+      scenario.num_optional_parts = 57;
+      scenario.num_tasks = tasks;
+      common::Rng rng(1);
+      row.push_back(model
+                        .measure_us(sim::OverheadKind::kBeginMandatory,
+                                    scenario, 100, rng)
+                        .mean);
+    }
+    table.add_numeric_row(row, 1);
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main() {
+  const int rc = rtseed::bench::run_overhead_figure(
+      rtseed::sim::OverheadKind::kBeginMandatory,
+      "Figure 10: overhead of beginning the mandatory part");
+  print_task_count_sweep();
+  return rc;
+}

@@ -1,0 +1,13 @@
+// Figure 11 — overhead of switching the mandatory thread to the optional
+// thread (Δs).
+//
+// Paper: under no load the overhead grows with np and jumps sharply at
+// 228 (every hardware thread claimed); under both loads it is roughly
+// constant and independent of np.
+#include "figure_common.hpp"
+
+int main() {
+  return rtseed::bench::run_overhead_figure(
+      rtseed::sim::OverheadKind::kSwitch,
+      "Figure 11: overhead of switching mandatory -> optional thread");
+}

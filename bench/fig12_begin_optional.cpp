@@ -1,0 +1,12 @@
+// Figure 12 — overhead of beginning the parallel optional parts (Δb).
+//
+// Paper: linear in np (one pthread_cond_signal per part, O(npᵢ)); the CPU
+// load interferes MORE than the CPU-Memory load because cond_signal is
+// branch-unit-bound.
+#include "figure_common.hpp"
+
+int main() {
+  return rtseed::bench::run_overhead_figure(
+      rtseed::sim::OverheadKind::kBeginOptional,
+      "Figure 12: overhead of beginning the parallel optional parts");
+}

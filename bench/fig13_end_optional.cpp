@@ -1,0 +1,14 @@
+// Figure 13 — overhead of ending the parallel optional parts (Δe).
+//
+// Paper: linear in np and the largest of the four overheads (timer IRQ +
+// sigsetjmp-context restore + completion signalling per part); the
+// CPU-Memory load dominates, and under load the one-by-one policy is the
+// worst while all-by-all is the best (SMT siblings: background tasks vs
+// the task's own parts).
+#include "figure_common.hpp"
+
+int main() {
+  return rtseed::bench::run_overhead_figure(
+      rtseed::sim::OverheadKind::kEndOptional,
+      "Figure 13: overhead of ending the parallel optional parts");
+}

@@ -1,0 +1,60 @@
+// Shared driver for the four overhead figures (Figs. 10-13).
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "sim/experiment.hpp"
+
+namespace rtseed::bench {
+
+/// Writes one .dat file per subplot into bench_data/ (gnuplot-ready),
+/// e.g. bench_data/delta_e_cpu-memory-load.dat.  Failure to write (e.g.
+/// read-only CWD) is reported but non-fatal.
+inline void export_figure_data(const sim::FigureData& data) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench_data", ec);
+  if (ec) {
+    std::printf("(bench_data/ not writable; skipping export)\n");
+    return;
+  }
+  for (const auto& subplot : data.subplots) {
+    const std::string path = std::string("bench_data/") +
+                             sim::overhead_kind_name(data.kind) + "_" +
+                             sim::load_kind_name(subplot.load) + ".dat";
+    std::ofstream out(path);
+    if (!out) continue;
+    out << common::render_series(
+        std::string(sim::overhead_kind_name(data.kind)) + " / " +
+            sim::load_kind_name(subplot.load),
+        "np", data.np, subplot.series, 1);
+  }
+  std::printf("(series exported to bench_data/%s_*.dat)\n",
+              sim::overhead_kind_name(data.kind));
+}
+
+/// Runs one figure at the paper's full scale (Xeon Phi topology, 100 jobs,
+/// np up to 228), prints tables + gnuplot series, exports .dat files, then
+/// self-checks the published shape properties.  Returns the exit code.
+inline int run_overhead_figure(sim::OverheadKind kind,
+                               const std::string& title) {
+  sim::FigureConfig config;
+  config.kind = kind;
+  const auto data = sim::run_figure(config);
+  sim::print_figure(data, title);
+  export_figure_data(data);
+
+  const auto violations = sim::check_figure_shape(data);
+  std::printf("\n[shape check] ");
+  if (violations.empty()) {
+    std::printf("all published shape properties hold\n");
+    return 0;
+  }
+  std::printf("%zu violation(s):\n", violations.size());
+  for (const auto& v : violations) std::printf("  - %s\n", v.c_str());
+  return 1;
+}
+
+}  // namespace rtseed::bench

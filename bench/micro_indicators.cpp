@@ -1,0 +1,117 @@
+// Micro-benchmarks for the technical-analysis substrate: throughput of
+// each streaming indicator and of the analyzers' window computations.
+// These bound how much refinement an optional part can deliver per
+// millisecond of optional-deadline budget.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "trading/analyzers.hpp"
+#include "trading/indicators.hpp"
+
+using namespace rtseed;
+
+namespace {
+
+std::vector<double> random_walk(int n) {
+  common::Rng rng(1);
+  std::vector<double> prices;
+  double p = 1.1;
+  for (int i = 0; i < n; ++i) {
+    p *= 1.0 + rng.normal(0.0, 1e-4);
+    prices.push_back(p);
+  }
+  return prices;
+}
+
+void BM_Sma(benchmark::State& state) {
+  const auto prices = random_walk(4096);
+  trading::Sma sma(static_cast<int>(state.range(0)));
+  size_t i = 0;
+  for (auto _ : state) {
+    sma.update(prices[i++ & 4095]);
+    benchmark::DoNotOptimize(sma.value());
+  }
+}
+BENCHMARK(BM_Sma)->Arg(20)->Arg(120);
+
+void BM_Ema(benchmark::State& state) {
+  const auto prices = random_walk(4096);
+  trading::Ema ema(20);
+  size_t i = 0;
+  for (auto _ : state) {
+    ema.update(prices[i++ & 4095]);
+    benchmark::DoNotOptimize(ema.value());
+  }
+}
+BENCHMARK(BM_Ema);
+
+void BM_Bollinger(benchmark::State& state) {
+  const auto prices = random_walk(4096);
+  trading::BollingerBands bb(static_cast<int>(state.range(0)));
+  size_t i = 0;
+  for (auto _ : state) {
+    bb.update(prices[i++ & 4095]);
+    benchmark::DoNotOptimize(bb.value().percent_b);
+  }
+}
+BENCHMARK(BM_Bollinger)->Arg(20)->Arg(60);
+
+void BM_Rsi(benchmark::State& state) {
+  const auto prices = random_walk(4096);
+  trading::Rsi rsi(14);
+  size_t i = 0;
+  for (auto _ : state) {
+    rsi.update(prices[i++ & 4095]);
+    benchmark::DoNotOptimize(rsi.value());
+  }
+}
+BENCHMARK(BM_Rsi);
+
+void BM_Macd(benchmark::State& state) {
+  const auto prices = random_walk(4096);
+  trading::Macd macd;
+  size_t i = 0;
+  for (auto _ : state) {
+    macd.update(prices[i++ & 4095]);
+    benchmark::DoNotOptimize(macd.value().histogram);
+  }
+}
+BENCHMARK(BM_Macd);
+
+class NullSink final : public trading::ResultSink {
+ public:
+  void publish(const trading::AnalyzerOutput& output) override {
+    benchmark::DoNotOptimize(output.signal);
+  }
+};
+
+void BM_BollingerAnalyzerFullLadder(benchmark::State& state) {
+  const auto prices = random_walk(512);
+  trading::BollingerAnalyzer analyzer;
+  NullSink sink;
+  for (auto _ : state) {
+    core::StopToken token(common::monotonic_now() + common::seconds(60));
+    analyzer.analyze(trading::PriceWindow(prices.data(), 512), 0, token,
+                     sink);
+  }
+}
+BENCHMARK(BM_BollingerAnalyzerFullLadder);
+
+void BM_MonteCarloBatch(benchmark::State& state) {
+  const auto prices = random_walk(512);
+  NullSink sink;
+  for (auto _ : state) {
+    trading::MonteCarloAnalyzer analyzer(30, 64);
+    // Stop after the first batch: measures per-batch refinement cost.
+    core::StopToken token(common::monotonic_now());
+    analyzer.analyze(trading::PriceWindow(prices.data(), 512), 0, token,
+                     sink);
+  }
+}
+BENCHMARK(BM_MonteCarloBatch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

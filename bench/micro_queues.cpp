@@ -1,0 +1,69 @@
+// Micro-benchmarks for the middleware's data-plane structures: the
+// wait-free SPSC record ring (per-job measurement export) and the
+// user-space ReadyQueues mirror (per-transition bookkeeping cost).
+#include <benchmark/benchmark.h>
+
+#include "common/spsc_ring.hpp"
+#include "core/job_record.hpp"
+#include "core/queues.hpp"
+
+using namespace rtseed;
+
+namespace {
+
+void BM_SpscRingPushPop(benchmark::State& state) {
+  common::SpscRing<core::JobRecord> ring(1024);
+  core::JobRecord record;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.try_push(record));
+    benchmark::DoNotOptimize(ring.try_pop());
+  }
+}
+BENCHMARK(BM_SpscRingPushPop);
+
+void BM_SpscRingPushWhenFull(benchmark::State& state) {
+  common::SpscRing<int> ring(8);
+  for (int i = 0; i < 8; ++i) ring.try_push(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.try_push(1));  // drop path
+  }
+}
+BENCHMARK(BM_SpscRingPushWhenFull);
+
+void BM_ReadyQueuesTransition(benchmark::State& state) {
+  // One full task transition: remove + enqueue at a new priority.
+  core::ReadyQueues queues;
+  const int tasks = static_cast<int>(state.range(0));
+  for (int t = 0; t < tasks; ++t) queues.enqueue(t, 50 + t % 49);
+  int t = 0;
+  for (auto _ : state) {
+    queues.remove(t);
+    queues.enqueue(t, 50 + (t + 1) % 49);
+    t = (t + 1) % tasks;
+  }
+}
+BENCHMARK(BM_ReadyQueuesTransition)->Arg(4)->Arg(32);
+
+void BM_ReadyQueuesPopHighest(benchmark::State& state) {
+  core::ReadyQueues queues;
+  for (auto _ : state) {
+    queues.enqueue(0, 98);
+    benchmark::DoNotOptimize(queues.pop_highest());
+  }
+}
+BENCHMARK(BM_ReadyQueuesPopHighest);
+
+void BM_SleepQueueInsertExpire(benchmark::State& state) {
+  core::ReadyQueues queues;
+  common::Nanos t = 0;
+  for (auto _ : state) {
+    queues.sleep_until(0, t + 100);
+    benchmark::DoNotOptimize(queues.pop_expired(t + 200));
+    t += 100;
+  }
+}
+BENCHMARK(BM_SleepQueueInsertExpire);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Micro-benchmarks of the termination machinery: per-job cost of the
+// sigsetjmp checkpoint, timer arm/disarm, and a full completed round —
+// the fixed overhead every optional part pays even when it finishes early.
+#include <benchmark/benchmark.h>
+
+#include <csetjmp>
+
+#include "core/termination.hpp"
+#include "rt/oneshot_timer.hpp"
+#include "rt/signal_guard.hpp"
+
+using namespace rtseed;
+
+namespace {
+
+void BM_SigsetjmpCheckpoint(benchmark::State& state) {
+  sigjmp_buf buf;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sigsetjmp(buf, 1));
+  }
+}
+BENCHMARK(BM_SigsetjmpCheckpoint);
+
+void BM_TimerArmDisarm(benchmark::State& state) {
+  rt::OneShotTimer timer;
+  if (!timer.create().is_ok()) {
+    state.SkipWithError("timer_create failed");
+    return;
+  }
+  (void)rt::block_signal(rt::optional_deadline_signal());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(timer.arm_relative(common::seconds(10)));
+    benchmark::DoNotOptimize(timer.disarm());
+  }
+  (void)rt::unblock_signal(rt::optional_deadline_signal());
+}
+BENCHMARK(BM_TimerArmDisarm);
+
+void BM_CompletedRoundSigjmp(benchmark::State& state) {
+  // Full run_with_deadline with an instantly-completing body: the
+  // per-part fixed cost of the paper's recommended strategy.
+  for (auto _ : state) {
+    const auto result = core::run_with_deadline(
+        core::TerminationStrategy::kSigjmp,
+        common::monotonic_now() + common::seconds(10),
+        [](core::StopToken&) {});
+    benchmark::DoNotOptimize(result.outcome);
+  }
+}
+BENCHMARK(BM_CompletedRoundSigjmp);
+
+void BM_CompletedRoundPeriodicCheck(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto result = core::run_with_deadline(
+        core::TerminationStrategy::kPeriodicCheck,
+        common::monotonic_now() + common::seconds(10),
+        [](core::StopToken&) {});
+    benchmark::DoNotOptimize(result.outcome);
+  }
+}
+BENCHMARK(BM_CompletedRoundPeriodicCheck);
+
+void BM_StopTokenPoll(benchmark::State& state) {
+  core::StopToken token(common::monotonic_now() + common::seconds(60));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(token.should_stop());
+  }
+}
+BENCHMARK(BM_StopTokenPoll);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,138 @@
+// Imprecise computation in quantitative finance: European option pricing
+// whose precision improves monotonically with optional-part time.
+//
+//   mandatory part : fix the pricing inputs (spot from the feed, strike,
+//                    vol, rate, maturity);
+//   optional parts : each prices the option by Monte-Carlo, committing a
+//                    running estimate after every batch of paths — an
+//                    anytime algorithm terminated at the optional deadline;
+//   wind-up part   : pools the paths from all parts into one estimate and
+//                    compares it against the closed-form Black-Scholes
+//                    price (the "exact" answer the QoS converges to).
+//
+// Run it and watch the pooled error shrink as the middleware grants the
+// optional parts their full window each job.
+//
+// Build & run:  ./build/examples/montecarlo_pricing
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "core/runtime.hpp"
+#include "trading/market_feed.hpp"
+
+using namespace rtseed;
+
+namespace {
+
+constexpr int kParts = 4;
+
+struct PricingInputs {
+  double spot = 1.10;
+  double strike = 1.12;
+  double rate = 0.02;
+  double vol = 0.10;
+  double maturity_years = 0.25;
+};
+
+// Standard normal CDF.
+double norm_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+// Closed-form Black-Scholes call price: the limit of the imprecise result.
+double black_scholes_call(const PricingInputs& in) {
+  const double sqrt_t = std::sqrt(in.maturity_years);
+  const double d1 = (std::log(in.spot / in.strike) +
+                     (in.rate + in.vol * in.vol / 2.0) * in.maturity_years) /
+                    (in.vol * sqrt_t);
+  const double d2 = d1 - in.vol * sqrt_t;
+  return in.spot * norm_cdf(d1) -
+         in.strike * std::exp(-in.rate * in.maturity_years) * norm_cdf(d2);
+}
+
+struct PartState {
+  std::atomic<double> payoff_sum{0.0};
+  std::atomic<long> paths{0};
+};
+
+}  // namespace
+
+int main() {
+  PricingInputs inputs;
+  trading::SyntheticFeed feed;
+  PartState parts[kParts];
+
+  core::RuntimeOptions options;
+  core::Runtime runtime(options);
+
+  core::TaskConfig task;
+  task.params.name = "pricer";
+  task.params.period = common::millis(100);
+  task.params.mandatory = common::millis(5);
+  task.params.windup = common::millis(5);
+  for (int k = 0; k < kParts; ++k) {
+    task.params.optional.push_back(common::millis(100));
+  }
+  task.num_jobs = 15;
+
+  task.callbacks.mandatory = [&](const core::JobContext& ctx) {
+    inputs.spot = feed.next(ctx.release).mid();  // refresh the spot
+    for (auto& part : parts) {
+      part.payoff_sum.store(0.0, std::memory_order_relaxed);
+      part.paths.store(0, std::memory_order_relaxed);
+    }
+  };
+
+  task.callbacks.optional = [&](const core::JobContext&, int k,
+                                core::StopToken&) {
+    common::Rng rng(static_cast<common::u64>(k) * 7919 + 13);
+    auto& part = parts[k];
+    const double drift = (inputs.rate - inputs.vol * inputs.vol / 2.0) *
+                         inputs.maturity_years;
+    const double diffusion = inputs.vol * std::sqrt(inputs.maturity_years);
+    const double discount = std::exp(-inputs.rate * inputs.maturity_years);
+    for (;;) {  // anytime refinement; terminated at the optional deadline
+      double sum = 0.0;
+      constexpr int kBatch = 512;
+      for (int i = 0; i < kBatch; ++i) {
+        const double terminal =
+            inputs.spot * std::exp(drift + diffusion * rng.normal());
+        sum += discount * std::max(terminal - inputs.strike, 0.0);
+      }
+      // Commit the batch (doubles: one relaxed add each; a terminated
+      // part simply stops committing).
+      double expected = part.payoff_sum.load(std::memory_order_relaxed);
+      while (!part.payoff_sum.compare_exchange_weak(
+          expected, expected + sum, std::memory_order_relaxed)) {
+      }
+      part.paths.fetch_add(kBatch, std::memory_order_relaxed);
+    }
+  };
+
+  task.callbacks.windup = [&](const core::JobContext& ctx) {
+    double payoff = 0.0;
+    long paths = 0;
+    for (auto& part : parts) {
+      payoff += part.payoff_sum.load(std::memory_order_relaxed);
+      paths += part.paths.load(std::memory_order_relaxed);
+    }
+    const double mc = paths > 0 ? payoff / static_cast<double>(paths) : 0.0;
+    const double exact = black_scholes_call(inputs);
+    std::printf("job %2ld: spot=%.5f  MC=%.6f  BS=%.6f  err=%+.2e  "
+                "(%ld paths from %d parallel parts)\n",
+                ctx.job, inputs.spot, mc, exact, mc - exact, paths, kParts);
+  };
+
+  if (auto st = runtime.admit(std::move(task)); !st) {
+    std::fprintf(stderr, "admit: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  if (auto st = runtime.start(); !st) {
+    std::fprintf(stderr, "start: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  runtime.wait_all_finished();
+  const auto report = runtime.stop_and_report();
+  std::printf("\n%s", report.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Fixed-capacity inline vector: no heap allocation after construction, so it
+// is usable on real-time paths (CP/Per guidance: no allocation in hot loops).
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/types.hpp"
+
+namespace rtseed::common {
+
+template <typename T, usize Capacity>
+class FixedVector {
+  static_assert(Capacity > 0, "FixedVector capacity must be positive");
+
+ public:
+  FixedVector() = default;
+
+  FixedVector(const FixedVector& other) { copy_from(other); }
+  FixedVector& operator=(const FixedVector& other) {
+    if (this != &other) {
+      clear();
+      copy_from(other);
+    }
+    return *this;
+  }
+  FixedVector(FixedVector&& other) noexcept { move_from(std::move(other)); }
+  FixedVector& operator=(FixedVector&& other) noexcept {
+    if (this != &other) {
+      clear();
+      move_from(std::move(other));
+    }
+    return *this;
+  }
+  ~FixedVector() { clear(); }
+
+  static constexpr usize capacity() { return Capacity; }
+  usize size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == Capacity; }
+
+  T& operator[](usize i) {
+    assert(i < size_);
+    return *ptr(i);
+  }
+  const T& operator[](usize i) const {
+    assert(i < size_);
+    return *ptr(i);
+  }
+  T& front() { return (*this)[0]; }
+  T& back() { return (*this)[size_ - 1]; }
+  const T& front() const { return (*this)[0]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  T* begin() { return ptr(0); }
+  T* end() { return ptr(size_); }
+  const T* begin() const { return ptr(0); }
+  const T* end() const { return ptr(size_); }
+
+  /// Appends a copy; returns false (no-op) when full.
+  bool push_back(const T& value) {
+    if (full()) return false;
+    new (ptr(size_)) T(value);
+    ++size_;
+    return true;
+  }
+  bool push_back(T&& value) {
+    if (full()) return false;
+    new (ptr(size_)) T(std::move(value));
+    ++size_;
+    return true;
+  }
+
+  template <typename... Args>
+  bool emplace_back(Args&&... args) {
+    if (full()) return false;
+    new (ptr(size_)) T(std::forward<Args>(args)...);
+    ++size_;
+    return true;
+  }
+
+  void pop_back() {
+    assert(size_ > 0);
+    --size_;
+    ptr(size_)->~T();
+  }
+
+  void clear() {
+    while (size_ > 0) pop_back();
+  }
+
+ private:
+  T* ptr(usize i) { return std::launder(reinterpret_cast<T*>(&storage_[i])); }
+  const T* ptr(usize i) const {
+    return std::launder(reinterpret_cast<const T*>(&storage_[i]));
+  }
+
+  void copy_from(const FixedVector& other) {
+    for (usize i = 0; i < other.size_; ++i) push_back(other[i]);
+  }
+  void move_from(FixedVector&& other) {
+    for (usize i = 0; i < other.size_; ++i) push_back(std::move(other[i]));
+    other.clear();
+  }
+
+  alignas(T) std::array<std::aligned_storage_t<sizeof(T), alignof(T)>,
+                        Capacity> storage_;
+  usize size_ = 0;
+};
+
+}  // namespace rtseed::common

@@ -1,0 +1,84 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace rtseed::common {
+
+Histogram::Histogram(double lo, double hi, usize buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)) {
+  assert(hi > lo && buckets >= 1);
+  counts_.assign(buckets, 0);
+}
+
+void Histogram::record(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<usize>((x - lo_) / width_);
+  idx = std::min(idx, counts_.size() - 1);
+  ++counts_[idx];
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), usize{0});
+  total_ = underflow_ = overflow_ = 0;
+}
+
+double Histogram::bucket_lo(usize i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bucket_hi(usize i) const {
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+double Histogram::percentile(double q) const {
+  if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cum = static_cast<double>(underflow_);
+  if (cum >= target) return lo_;
+  for (usize i = 0; i < counts_.size(); ++i) {
+    cum += static_cast<double>(counts_[i]);
+    if (cum >= target) return (bucket_lo(i) + bucket_hi(i)) / 2.0;
+  }
+  return hi_;
+}
+
+std::string Histogram::render(usize max_rows) const {
+  std::string out;
+  if (counts_.empty() || total_ == 0) return "(empty)\n";
+  const usize stride = std::max<usize>(1, counts_.size() / max_rows);
+  usize peak = 1;
+  for (usize c : counts_) peak = std::max(peak, c);
+  char line[160];
+  for (usize i = 0; i < counts_.size(); i += stride) {
+    usize group = 0;
+    const usize end = std::min(i + stride, counts_.size());
+    for (usize j = i; j < end; ++j) group += counts_[j];
+    const usize bar =
+        (group * 50 + peak * stride - 1) / std::max<usize>(1, peak * stride);
+    std::snprintf(line, sizeof(line), "[%10.3f, %10.3f) %8zu |", bucket_lo(i),
+                  bucket_hi(end - 1), group);
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  if (underflow_ || overflow_) {
+    std::snprintf(line, sizeof(line), "underflow=%zu overflow=%zu\n",
+                  underflow_, overflow_);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace rtseed::common

@@ -1,0 +1,48 @@
+// Fixed-bucket histogram for latency/overhead distributions.
+//
+// Allocation happens only at construction, so record() is safe on real-time
+// paths.  Buckets are linear between [lo, hi); out-of-range samples land in
+// underflow/overflow counters.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rtseed::common {
+
+class Histogram {
+ public:
+  /// Creates `buckets` linear buckets spanning [lo, hi).  Requires hi > lo
+  /// and buckets >= 1.
+  Histogram(double lo, double hi, usize buckets);
+
+  void record(double x);
+  void reset();
+
+  usize total() const { return total_; }
+  usize underflow() const { return underflow_; }
+  usize overflow() const { return overflow_; }
+  usize bucket_count() const { return counts_.size(); }
+  usize bucket(usize i) const { return counts_[i]; }
+  double bucket_lo(usize i) const;
+  double bucket_hi(usize i) const;
+
+  /// Percentile estimate from bucket midpoints; q in [0, 1].
+  double percentile(double q) const;
+
+  /// Multi-line ASCII rendering (bar chart), at most `max_rows` rows.
+  std::string render(usize max_rows = 20) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<usize> counts_;
+  usize total_ = 0;
+  usize underflow_ = 0;
+  usize overflow_ = 0;
+};
+
+}  // namespace rtseed::common

@@ -1,0 +1,97 @@
+// Deterministic, seedable random number generation.
+//
+// Every stochastic component in RT-Seed (task-set generators, market feed,
+// simulator noise) takes an explicit seed so experiments are reproducible
+// bit-for-bit.  The generator is xoshiro256** (public-domain algorithm by
+// Blackman & Vigna) seeded through SplitMix64.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace rtseed::common {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+constexpr u64 splitmix64(u64& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  u64 z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG.  Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = u64;
+
+  explicit Rng(u64 seed = 0x5EEDu) {
+    u64 sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  i64 uniform_int(i64 lo, i64 hi) {
+    const u64 span = static_cast<u64>(hi - lo) + 1;
+    return lo + static_cast<i64>((*this)() % span);
+  }
+
+  /// Standard normal via Box-Muller.
+  double normal() {
+    double u1 = uniform();
+    while (u1 <= 1e-300) u1 = uniform();
+    const double u2 = uniform();
+    constexpr double kTwoPi = 6.283185307179586;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Exponential with the given rate (lambda > 0).
+  double exponential(double rate) {
+    double u = uniform();
+    while (u <= 1e-300) u = uniform();
+    return -std::log(u) / rate;
+  }
+
+  /// Derives an independent child generator (for per-component streams).
+  Rng fork() {
+    u64 sm = (*this)();
+    return Rng{splitmix64(sm)};
+  }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<u64, 4> state_{};
+};
+
+}  // namespace rtseed::common

@@ -1,0 +1,80 @@
+#include "common/rt_logger.hpp"
+
+#include <cstring>
+
+namespace rtseed::common {
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+void RtLogger::vlog(LogLevel level, const char* fmt, va_list args) {
+  if (static_cast<u8>(level) < min_level_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  LogRecord rec;
+  rec.timestamp = monotonic_now();
+  rec.level = level;
+  std::vsnprintf(rec.text.data(), rec.text.size(), fmt, args);
+  if (!ring_.try_push(rec)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void RtLogger::log(LogLevel level, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  vlog(level, fmt, args);
+  va_end(args);
+}
+
+#define RTSEED_LOGGER_FWD(name, level)            \
+  void RtLogger::name(const char* fmt, ...) {     \
+    va_list args;                                 \
+    va_start(args, fmt);                          \
+    vlog(level, fmt, args);                       \
+    va_end(args);                                 \
+  }
+
+RTSEED_LOGGER_FWD(debug, LogLevel::kDebug)
+RTSEED_LOGGER_FWD(info, LogLevel::kInfo)
+RTSEED_LOGGER_FWD(warn, LogLevel::kWarn)
+RTSEED_LOGGER_FWD(error, LogLevel::kError)
+
+#undef RTSEED_LOGGER_FWD
+
+std::vector<std::string> RtLogger::drain() {
+  std::vector<std::string> out;
+  while (auto rec = ring_.try_pop()) {
+    char line[192];
+    std::snprintf(line, sizeof(line), "[%12.6f] %-5s %s",
+                  to_seconds(rec->timestamp), log_level_name(rec->level),
+                  rec->text.data());
+    out.emplace_back(line);
+  }
+  return out;
+}
+
+void RtLogger::drain_to(std::FILE* out) {
+  for (const auto& line : drain()) {
+    std::fputs(line.c_str(), out);
+    std::fputc('\n', out);
+  }
+}
+
+RtLogger& global_logger() {
+  static RtLogger logger(4096);
+  return logger;
+}
+
+}  // namespace rtseed::common

@@ -1,0 +1,72 @@
+// Real-time-safe logger.
+//
+// Real-time threads must never block on I/O or allocate, so log records are
+// fixed-size POD values pushed into a wait-free SPSC ring; a non-real-time
+// drain (called by the owner at shutdown, or a background thread) formats
+// and emits them.  When the ring is full the record is counted as dropped —
+// never blocking the producer.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/spsc_ring.hpp"
+#include "common/time.hpp"
+#include "common/types.hpp"
+
+namespace rtseed::common {
+
+enum class LogLevel : u8 { kDebug = 0, kInfo, kWarn, kError };
+
+const char* log_level_name(LogLevel level);
+
+struct LogRecord {
+  Nanos timestamp = 0;
+  LogLevel level = LogLevel::kInfo;
+  std::array<char, 120> text{};
+};
+
+class RtLogger {
+ public:
+  /// `capacity` must be a power of two.
+  explicit RtLogger(usize capacity = 1024) : ring_(capacity) {}
+
+  /// Producer side (safe on real-time threads): printf-style, truncating.
+  void log(LogLevel level, const char* fmt, ...)
+      __attribute__((format(printf, 3, 4)));
+
+  void debug(const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+  void info(const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+  void warn(const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+  void error(const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+  /// Minimum level stored; cheaper than filtering at drain time.
+  void set_min_level(LogLevel level) {
+    min_level_.store(static_cast<u8>(level), std::memory_order_relaxed);
+  }
+
+  /// Consumer side: formats and removes all pending records.
+  std::vector<std::string> drain();
+
+  /// Consumer side: drains to a FILE* (e.g. stderr).
+  void drain_to(std::FILE* out);
+
+  u64 dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+ private:
+  void vlog(LogLevel level, const char* fmt, va_list args);
+
+  SpscRing<LogRecord> ring_;
+  std::atomic<u64> dropped_{0};
+  std::atomic<u8> min_level_{static_cast<u8>(LogLevel::kDebug)};
+};
+
+/// Process-wide logger used by middleware internals.
+RtLogger& global_logger();
+
+}  // namespace rtseed::common

@@ -1,0 +1,66 @@
+// Wait-free single-producer/single-consumer ring buffer.
+//
+// Used to move measurement records and log entries off real-time threads
+// without locks or allocation.  Capacity must be a power of two.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rtseed::common {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity must be a power of two >= 2.
+  explicit SpscRing(usize capacity)
+      : mask_(capacity - 1), slots_(capacity) {
+    assert(capacity >= 2 && (capacity & (capacity - 1)) == 0);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  usize capacity() const { return slots_.size(); }
+
+  /// Producer side.  Returns false when the ring is full (the record is
+  /// dropped; real-time producers never block).
+  bool try_push(T value) {
+    const u64 head = head_.load(std::memory_order_relaxed);
+    const u64 tail = tail_.load(std::memory_order_acquire);
+    if (head - tail >= slots_.size()) return false;
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side.
+  std::optional<T> try_pop() {
+    const u64 tail = tail_.load(std::memory_order_relaxed);
+    const u64 head = head_.load(std::memory_order_acquire);
+    if (tail == head) return std::nullopt;
+    T value = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return value;
+  }
+
+  usize size_approx() const {
+    const u64 head = head_.load(std::memory_order_acquire);
+    const u64 tail = tail_.load(std::memory_order_acquire);
+    return static_cast<usize>(head - tail);
+  }
+
+  bool empty_approx() const { return size_approx() == 0; }
+
+ private:
+  alignas(64) std::atomic<u64> head_{0};
+  alignas(64) std::atomic<u64> tail_{0};
+  const usize mask_;
+  std::vector<T> slots_;
+};
+
+}  // namespace rtseed::common

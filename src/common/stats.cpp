@@ -1,0 +1,126 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace rtseed::common {
+
+void OnlineStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
+void OnlineStats::reset() { *this = OnlineStats{}; }
+
+double OnlineStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(samples.begin(), samples.end());
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const usize lo = static_cast<usize>(pos);
+  const usize hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] + (samples[hi] - samples[lo]) * frac;
+}
+
+Summary summarize(std::vector<double> samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.count = samples.size();
+  OnlineStats os;
+  for (double v : samples) os.add(v);
+  s.mean = os.mean();
+  s.stddev = os.stddev();
+  s.min = samples.front();
+  s.max = samples.back();
+  auto at = [&](double q) {
+    const double pos = q * static_cast<double>(samples.size() - 1);
+    const usize lo = static_cast<usize>(pos);
+    const usize hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return samples[lo] + (samples[hi] - samples[lo]) * frac;
+  };
+  s.p50 = at(0.50);
+  s.p90 = at(0.90);
+  s.p99 = at(0.99);
+  return s;
+}
+
+std::string Summary::to_string() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu mean=%.3f sd=%.3f min=%.3f p50=%.3f p90=%.3f p99=%.3f "
+                "max=%.3f",
+                count, mean, stddev, min, p50, p90, p99, max);
+  return buf;
+}
+
+double linear_slope(const std::vector<double>& x,
+                    const std::vector<double>& y) {
+  const usize n = std::min(x.size(), y.size());
+  if (n < 2) return 0.0;
+  double sx = 0, sy = 0;
+  for (usize i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+  double num = 0, den = 0;
+  for (usize i = 0; i < n; ++i) {
+    num += (x[i] - mx) * (y[i] - my);
+    den += (x[i] - mx) * (x[i] - mx);
+  }
+  return den == 0.0 ? 0.0 : num / den;
+}
+
+double pearson(const std::vector<double>& x, const std::vector<double>& y) {
+  const usize n = std::min(x.size(), y.size());
+  if (n < 2) return 0.0;
+  OnlineStats ox, oy;
+  for (usize i = 0; i < n; ++i) {
+    ox.add(x[i]);
+    oy.add(y[i]);
+  }
+  double cov = 0;
+  for (usize i = 0; i < n; ++i) cov += (x[i] - ox.mean()) * (y[i] - oy.mean());
+  cov /= static_cast<double>(n - 1);
+  const double denom = ox.stddev() * oy.stddev();
+  return denom == 0.0 ? 0.0 : cov / denom;
+}
+
+}  // namespace rtseed::common

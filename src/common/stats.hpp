@@ -1,0 +1,63 @@
+// Streaming and batch statistics used by overhead measurements and the
+// benchmark harness.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rtseed::common {
+
+/// Numerically stable streaming mean/variance/min/max (Welford).
+class OnlineStats {
+ public:
+  void add(double x);
+  void merge(const OnlineStats& other);
+  void reset();
+
+  usize count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  usize count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch summary of a sample vector.
+struct Summary {
+  usize count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+
+  std::string to_string() const;
+};
+
+/// Linear-interpolated percentile of an unsorted sample set; q in [0, 1].
+double percentile(std::vector<double> samples, double q);
+
+/// Computes the full Summary of a sample set.
+Summary summarize(std::vector<double> samples);
+
+/// Least-squares slope of y over x; 0 when fewer than two points.
+double linear_slope(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Pearson correlation coefficient; 0 when undefined.
+double pearson(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace rtseed::common

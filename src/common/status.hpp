@@ -1,0 +1,104 @@
+// Minimal Status / Expected error-handling vocabulary.
+//
+// Real-time paths never throw: operations that can fail return Status (or
+// Expected<T>), and callers decide whether a degraded mode is acceptable
+// (e.g. SCHED_FIFO denied in an unprivileged container -> run best-effort).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace rtseed::common {
+
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kPermissionDenied,
+  kNotFound,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kUnavailable,
+  kInternal,
+};
+
+const char* error_code_name(ErrorCode code);
+
+/// Result of an operation that produces no value.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status{}; }
+
+  bool is_ok() const { return code_ == ErrorCode::kOk; }
+  explicit operator bool() const { return is_ok(); }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string to_string() const;
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+inline Status invalid_argument(std::string msg) {
+  return {ErrorCode::kInvalidArgument, std::move(msg)};
+}
+inline Status permission_denied(std::string msg) {
+  return {ErrorCode::kPermissionDenied, std::move(msg)};
+}
+inline Status not_found(std::string msg) {
+  return {ErrorCode::kNotFound, std::move(msg)};
+}
+inline Status failed_precondition(std::string msg) {
+  return {ErrorCode::kFailedPrecondition, std::move(msg)};
+}
+inline Status resource_exhausted(std::string msg) {
+  return {ErrorCode::kResourceExhausted, std::move(msg)};
+}
+inline Status unavailable(std::string msg) {
+  return {ErrorCode::kUnavailable, std::move(msg)};
+}
+inline Status internal_error(std::string msg) {
+  return {ErrorCode::kInternal, std::move(msg)};
+}
+
+/// Result of an operation that produces a value of type T on success.
+template <typename T>
+class [[nodiscard]] Expected {
+ public:
+  Expected(T value) : data_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Expected(Status status) : data_(std::move(status)) {}   // NOLINT(google-explicit-constructor)
+
+  bool has_value() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return has_value(); }
+
+  T& value() & { return std::get<T>(data_); }
+  const T& value() const& { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Status describing the failure; Status::ok() when a value is held.
+  Status status() const {
+    if (has_value()) return Status::ok();
+    return std::get<Status>(data_);
+  }
+
+  T value_or(T fallback) const& {
+    return has_value() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace rtseed::common

@@ -1,0 +1,82 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rtseed::common {
+
+std::string format_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_numeric_row(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> row;
+  row.reserve(cells.size());
+  for (double v : cells) row.push_back(format_double(v, precision));
+  add_row(std::move(row));
+}
+
+std::string Table::render() const {
+  std::vector<usize> width(headers_.size());
+  for (usize c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (usize c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (usize c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      line += ' ';
+      line += cell;
+      line.append(width[c] - cell.size() + 1, ' ');
+      line += '|';
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string sep = "+";
+  for (usize c = 0; c < headers_.size(); ++c) {
+    sep.append(width[c] + 2, '-');
+    sep += '+';
+  }
+  sep += '\n';
+
+  std::string out = sep + emit_row(headers_) + sep;
+  for (const auto& row : rows_) out += emit_row(row);
+  out += sep;
+  return out;
+}
+
+void Table::print() const { std::fputs(render().c_str(), stdout); }
+
+std::string render_series(const std::string& title, const std::string& x_name,
+                          const std::vector<double>& x,
+                          const std::vector<Series>& series, int precision) {
+  std::string out = "# " + title + "\n# " + x_name;
+  for (const auto& s : series) out += " " + s.name;
+  out += '\n';
+  for (usize i = 0; i < x.size(); ++i) {
+    out += format_double(x[i], precision);
+    for (const auto& s : series) {
+      out += ' ';
+      out += format_double(i < s.y.size() ? s.y[i] : 0.0, precision);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace rtseed::common

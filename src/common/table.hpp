@@ -1,0 +1,51 @@
+// ASCII table and data-series printers for the benchmark harness.
+//
+// Every figure-reproduction binary prints (a) a human-readable table and
+// (b) machine-readable "# series" blocks (x y1 y2 ...) that can be piped
+// into gnuplot to redraw the paper's figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rtseed::common {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Convenience: formats each double with the given precision.
+  void add_numeric_row(const std::vector<double>& cells, int precision = 3);
+
+  usize rows() const { return rows_.size(); }
+
+  std::string render() const;
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// A named y-series over a shared x-axis.
+struct Series {
+  std::string name;
+  std::vector<double> y;
+};
+
+/// Renders a gnuplot-friendly block:
+///   # <title>
+///   # x <name1> <name2> ...
+///   <x> <y1> <y2> ...
+std::string render_series(const std::string& title,
+                          const std::string& x_name,
+                          const std::vector<double>& x,
+                          const std::vector<Series>& series,
+                          int precision = 3);
+
+std::string format_double(double v, int precision);
+
+}  // namespace rtseed::common

@@ -1,0 +1,48 @@
+#include "common/time.hpp"
+
+#include <cstdio>
+
+namespace rtseed::common {
+
+timespec to_timespec(Nanos n) {
+  timespec ts{};
+  ts.tv_sec = static_cast<time_t>(n / kNanosPerSec);
+  ts.tv_nsec = static_cast<long>(n % kNanosPerSec);
+  return ts;
+}
+
+Nanos from_timespec(const timespec& ts) {
+  return static_cast<Nanos>(ts.tv_sec) * kNanosPerSec +
+         static_cast<Nanos>(ts.tv_nsec);
+}
+
+Nanos monotonic_now() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return from_timespec(ts);
+}
+
+Nanos realtime_now() {
+  timespec ts{};
+  clock_gettime(CLOCK_REALTIME, &ts);
+  return from_timespec(ts);
+}
+
+std::string format_duration(Nanos n) {
+  char buf[64];
+  const bool neg = n < 0;
+  const Nanos a = neg ? -n : n;
+  if (a >= kNanosPerSec) {
+    std::snprintf(buf, sizeof(buf), "%s%.3fs", neg ? "-" : "", to_seconds(a));
+  } else if (a >= kNanosPerMilli) {
+    std::snprintf(buf, sizeof(buf), "%s%.3fms", neg ? "-" : "", to_millis(a));
+  } else if (a >= kNanosPerMicro) {
+    std::snprintf(buf, sizeof(buf), "%s%.3fus", neg ? "-" : "", to_micros(a));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%lldns", neg ? "-" : "",
+                  static_cast<long long>(a));
+  }
+  return buf;
+}
+
+}  // namespace rtseed::common

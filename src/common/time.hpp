@@ -1,0 +1,50 @@
+// Time primitives: nanosecond durations, monotonic timestamps, and
+// conversions to/from POSIX timespec.  All real-time code in RT-Seed
+// expresses time as integral nanoseconds to avoid floating-point drift;
+// the simulator (src/sim) uses the same representation.
+#pragma once
+
+#include <cstdint>
+#include <ctime>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace rtseed::common {
+
+/// Signed nanosecond count.  Covers ±292 years, enough for any schedule.
+using Nanos = i64;
+
+inline constexpr Nanos kNanosPerMicro = 1'000;
+inline constexpr Nanos kNanosPerMilli = 1'000'000;
+inline constexpr Nanos kNanosPerSec = 1'000'000'000;
+
+constexpr Nanos nanos(i64 n) { return n; }
+constexpr Nanos micros(i64 us) { return us * kNanosPerMicro; }
+constexpr Nanos millis(i64 ms) { return ms * kNanosPerMilli; }
+constexpr Nanos seconds(i64 s) { return s * kNanosPerSec; }
+
+constexpr double to_seconds(Nanos n) {
+  return static_cast<double>(n) / static_cast<double>(kNanosPerSec);
+}
+constexpr double to_millis(Nanos n) {
+  return static_cast<double>(n) / static_cast<double>(kNanosPerMilli);
+}
+constexpr double to_micros(Nanos n) {
+  return static_cast<double>(n) / static_cast<double>(kNanosPerMicro);
+}
+
+/// Converts a nanosecond count to a timespec (requires n >= 0).
+timespec to_timespec(Nanos n);
+/// Converts a timespec to nanoseconds.
+Nanos from_timespec(const timespec& ts);
+
+/// Reads CLOCK_MONOTONIC as nanoseconds.
+Nanos monotonic_now();
+/// Reads CLOCK_REALTIME as nanoseconds.
+Nanos realtime_now();
+
+/// Human-readable rendering, e.g. "1.500ms", "250us", "2.000s".
+std::string format_duration(Nanos n);
+
+}  // namespace rtseed::common

@@ -1,0 +1,31 @@
+// Fundamental type aliases shared by every RT-Seed module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rtseed::common {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using usize = std::size_t;
+
+/// Identifier of a hardware thread (Linux "CPU id").
+using CpuId = int;
+/// Identifier of a physical core.
+using CoreId = int;
+/// Index of a task within a task set.
+using TaskId = int;
+/// Index of a job (periodic instance) of a task.
+using JobId = long;
+
+inline constexpr CpuId kInvalidCpu = -1;
+inline constexpr TaskId kInvalidTask = -1;
+
+}  // namespace rtseed::common

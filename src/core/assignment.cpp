@@ -1,0 +1,75 @@
+#include "core/assignment.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rtseed::core {
+
+const char* assignment_policy_name(AssignmentPolicy policy) {
+  switch (policy) {
+    case AssignmentPolicy::kOneByOne:
+      return "one-by-one";
+    case AssignmentPolicy::kTwoByTwo:
+      return "two-by-two";
+    case AssignmentPolicy::kAllByAll:
+      return "all-by-all";
+  }
+  return "?";
+}
+
+CpuId assign_cpu(const rt::Topology& topology, AssignmentPolicy policy,
+                 int part_index) {
+  assert(part_index >= 0);
+  const int cores = topology.num_cores();
+  const int smt = topology.smt_per_core();
+  const int cpus = cores * smt;
+  const int j = part_index % cpus;  // wrap when more parts than CPUs
+
+  int core = 0;
+  int sibling = 0;
+  switch (policy) {
+    case AssignmentPolicy::kOneByOne: {
+      core = j % cores;
+      sibling = j / cores;
+      break;
+    }
+    case AssignmentPolicy::kTwoByTwo: {
+      const int group = std::min(2, smt);
+      const int per_round = group * cores;
+      const int round = j / per_round;
+      const int within = j % per_round;
+      core = within / group;
+      sibling = round * group + within % group;
+      break;
+    }
+    case AssignmentPolicy::kAllByAll: {
+      core = j / smt;
+      sibling = j % smt;
+      break;
+    }
+  }
+  return topology.cpu_at(core, sibling % smt);
+}
+
+std::vector<CpuId> assign_optional_parts(const rt::Topology& topology,
+                                         AssignmentPolicy policy,
+                                         int num_parts) {
+  std::vector<CpuId> cpus;
+  cpus.reserve(static_cast<size_t>(std::max(0, num_parts)));
+  for (int j = 0; j < num_parts; ++j) {
+    cpus.push_back(assign_cpu(topology, policy, j));
+  }
+  return cpus;
+}
+
+std::vector<int> parts_per_core(const rt::Topology& topology,
+                                AssignmentPolicy policy, int num_parts) {
+  std::vector<int> counts(static_cast<size_t>(topology.num_cores()), 0);
+  for (int j = 0; j < num_parts; ++j) {
+    const CpuId cpu = assign_cpu(topology, policy, j);
+    ++counts[static_cast<size_t>(topology.core_of(cpu))];
+  }
+  return counts;
+}
+
+}  // namespace rtseed::core

@@ -1,0 +1,206 @@
+#include "core/imprecise_task.hpp"
+
+#include <algorithm>
+
+#include "common/rt_logger.hpp"
+#include "rt/periodic_clock.hpp"
+
+namespace rtseed::core {
+
+namespace {
+
+// An exception escaping a user callback must not tear down the middleware:
+// the job continues (degraded QoS / empty part), the error is counted and
+// logged from the non-real-time drain.
+template <typename Fn>
+bool run_guarded(const char* part, const char* task, Fn&& fn) {
+  try {
+    fn();
+    return true;
+  } catch (const std::exception& e) {
+    common::global_logger().error("%s: exception in %s part: %s", task, part,
+                                  e.what());
+  } catch (...) {
+    common::global_logger().error("%s: unknown exception in %s part", task,
+                                  part);
+  }
+  return false;
+}
+
+}  // namespace
+
+ImpreciseTask::ImpreciseTask(common::TaskId id, TaskConfig config,
+                             TaskPlacement placement,
+                             TaskRuntimeOptions options,
+                             const rt::Topology& topology)
+    : id_(id),
+      config_(std::move(config)),
+      placement_(placement),
+      options_(options),
+      topology_(topology),
+      records_(4096) {
+  OptionalPool::Options pool_options;
+  pool_options.termination = options_.termination;
+  pool_options.fifo_priority = placement_.optional_priority;
+  pool_options.cpus = assign_optional_parts(topology, options_.policy,
+                                            config_.params.num_optional());
+  pool_options.name_prefix = config_.params.name;
+  pool_options.completion_margin = options_.completion_margin;
+  pool_ = std::make_unique<OptionalPool>(
+      std::move(pool_options),
+      [this](const JobContext& ctx, int part, StopToken& token) {
+        if (config_.callbacks.optional) {
+          config_.callbacks.optional(ctx, part, token);
+        }
+      });
+}
+
+ImpreciseTask::~ImpreciseTask() { stop(); }
+
+common::CpuId ImpreciseTask::optional_cpu(int part_index) const {
+  return pool_->cpu(part_index);
+}
+
+common::Status ImpreciseTask::start() {
+  if (started_) return common::failed_precondition("task already started");
+  started_ = true;
+  active_.store(true, std::memory_order_release);
+  finished_.store(false, std::memory_order_release);
+
+  // Optional threads first: they park in cond_wait before any job runs.
+  if (auto st = pool_->start(); !st) return st;
+
+  rt::ThreadConfig mc;
+  mc.name = config_.params.name + ".m";
+  mc.fifo_priority = placement_.mandatory_priority;
+  mc.affinity =
+      rt::CpuSet::single(topology_.cpu_at(placement_.processor, 0));
+  mandatory_thread_ =
+      std::make_unique<rt::RtThread>(mc, [this] { mandatory_loop(); });
+  return common::Status::ok();
+}
+
+void ImpreciseTask::stop() {
+  if (!started_) return;
+  active_.store(false, std::memory_order_release);
+  if (mandatory_thread_) mandatory_thread_->join();
+  pool_->shutdown();
+  mandatory_thread_.reset();
+  started_ = false;
+  {
+    std::lock_guard lock(finished_mutex_);
+    finished_.store(true, std::memory_order_release);
+  }
+  finished_cv_.notify_all();
+}
+
+void ImpreciseTask::wait_finished() {
+  std::unique_lock lock(finished_mutex_);
+  finished_cv_.wait(lock, [this] {
+    return finished_.load(std::memory_order_acquire);
+  });
+}
+
+void ImpreciseTask::notify_transition(TaskTransition transition, Nanos now) {
+  if (observer_) observer_(id_, transition, now);
+}
+
+void ImpreciseTask::mandatory_loop() {
+  rt::PeriodicClock clock(config_.params.period, options_.initial_offset);
+  clock.start();
+
+  // num_jobs counts EXECUTED jobs (the paper: "the number of jobs
+  // executed in task τ1 is set to 100"): releases skipped because a
+  // previous job overran do not count.
+  const long max_jobs = config_.num_jobs;
+  long executed = 0;
+  while (active_.load(std::memory_order_acquire)) {
+    if (max_jobs > 0 && executed >= max_jobs) break;
+    const Nanos release = clock.wait_next_release();
+    if (!active_.load(std::memory_order_acquire)) break;
+    run_one_job(clock.job_index(), release);
+    ++executed;
+  }
+
+  {
+    std::lock_guard lock(finished_mutex_);
+    finished_.store(true, std::memory_order_release);
+  }
+  finished_cv_.notify_all();
+}
+
+void ImpreciseTask::run_one_job(JobId job_index, Nanos release) {
+  const auto& params = config_.params;
+  const int np = params.num_optional();
+
+  JobRecord rec;
+  rec.job = job_index;
+  rec.release = release;
+  rec.deadline = release + params.effective_deadline();
+  rec.optional_deadline = release + placement_.optional_deadline_offset;
+
+  rec.mandatory_start = common::monotonic_now();
+  notify_transition(TaskTransition::kReleased, rec.mandatory_start);
+
+  JobContext ctx;
+  ctx.job = job_index;
+  ctx.release = release;
+  ctx.deadline = rec.deadline;
+  ctx.optional_deadline = rec.optional_deadline;
+
+  if (config_.callbacks.mandatory) {
+    if (!run_guarded("mandatory", params.name.c_str(),
+                     [&] { config_.callbacks.mandatory(ctx); })) {
+      callback_errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  rec.mandatory_end = common::monotonic_now();
+
+  // Optional parts run only when the mandatory part completed by the
+  // optional deadline; otherwise they are DISCARDED (Fig. 1).
+  const bool run_optionals =
+      np > 0 && rec.mandatory_end < rec.optional_deadline;
+  if (run_optionals) {
+    rec.optionals_ran = true;
+    const auto round = pool_->run_round(ctx, np);
+    notify_transition(TaskTransition::kOptionalsStarted, round.signal_end);
+    rec.signal_start = round.signal_start;
+    rec.signal_end = round.signal_end;
+    rec.first_optional_start = round.first_part_start;
+    rec.optional_completed = round.completed;
+    rec.optional_terminated = round.terminated;
+  } else {
+    rec.optional_discarded = np;
+    notify_transition(TaskTransition::kOptionalsDiscarded, rec.mandatory_end);
+  }
+
+  rec.windup_start = common::monotonic_now();
+  notify_transition(TaskTransition::kWindupStarted, rec.windup_start);
+  if (config_.callbacks.windup) {
+    if (!run_guarded("wind-up", params.name.c_str(),
+                     [&] { config_.callbacks.windup(ctx); })) {
+      callback_errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  rec.windup_end = common::monotonic_now();
+  rec.deadline_met = rec.windup_end <= rec.deadline;
+  notify_transition(TaskTransition::kJobFinished, rec.windup_end);
+  if (!rec.deadline_met && miss_observer_) {
+    if (!run_guarded("miss-observer", params.name.c_str(),
+                     [&] { miss_observer_(id_, rec); })) {
+      callback_errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  if (!records_.try_push(rec)) {
+    records_dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::vector<JobRecord> ImpreciseTask::drain_records() {
+  std::vector<JobRecord> out;
+  while (auto rec = records_.try_pop()) out.push_back(*rec);
+  return out;
+}
+
+}  // namespace rtseed::core

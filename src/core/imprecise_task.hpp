@@ -1,0 +1,152 @@
+// The running form of a parallel-extended imprecise task (paper §IV-C,
+// Fig. 6): one mandatory thread executing the mandatory and wind-up parts
+// at a SCHED_FIFO priority in the RTQ band, plus npᵢ parallel optional
+// threads 49 priority levels below, each pinned to the hardware thread its
+// assignment policy selected.
+//
+// Per-job protocol (exactly the paper's sequence):
+//   mandatory thread                     optional thread k
+//   ---------------------------------   ------------------------------
+//   clock_nanosleep until release
+//   execMandatory()
+//   cond_signal each optional  ──────▶  cond_wait returns
+//   cond_wait (completion)              sigsetjmp / arm OD timer
+//                                       execOptional()   (until OD)
+//                                       [timer → siglongjmp]
+//             ◀──────────────────────   last part signals completion
+//   execWindup()
+//   clock_nanosleep until next release
+//
+// If the mandatory part has not completed by the optional deadline, the
+// optional parts are DISCARDED (never signalled) and the wind-up part runs
+// immediately — Fig. 1 / §II-B.  The optional-thread machinery lives in
+// OptionalPool (shared with the multi-phase task of the practical
+// imprecise computation model).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/spsc_ring.hpp"
+#include "core/assignment.hpp"
+#include "core/job_record.hpp"
+#include "core/optional_pool.hpp"
+#include "core/task_config.hpp"
+#include "rt/thread.hpp"
+#include "rt/topology.hpp"
+
+namespace rtseed::core {
+
+/// Everything the offline P-RMWP analysis decided for this task.
+struct TaskPlacement {
+  int processor = 0;                ///< core of the mandatory thread
+  int mandatory_priority = 0;       ///< SCHED_FIFO [50,98] (99 = HPQ); 0 = best-effort
+  int optional_priority = 0;        ///< mandatory − 49; 0 = best-effort
+  Nanos optional_deadline_offset = 0;  ///< ODᵢ relative to release
+};
+
+struct TaskRuntimeOptions {
+  TerminationStrategy termination = TerminationStrategy::kSigjmp;
+  AssignmentPolicy policy = AssignmentPolicy::kOneByOne;
+  /// Extra time the mandatory thread waits past OD for the last optional
+  /// part's completion signal before forcing stop tokens.
+  Nanos completion_margin = common::millis(100);
+  /// First release is delayed by this much after start() (synchronous
+  /// release of all tasks).
+  Nanos initial_offset = common::millis(10);
+};
+
+/// Observer for queue mirroring / tracing; called on the mandatory thread.
+using TransitionObserver =
+    std::function<void(common::TaskId, TaskTransition, Nanos now)>;
+
+class ImpreciseTask {
+ public:
+  /// `topology` must outlive the task.
+  ImpreciseTask(common::TaskId id, TaskConfig config, TaskPlacement placement,
+                TaskRuntimeOptions options, const rt::Topology& topology);
+
+  ImpreciseTask(const ImpreciseTask&) = delete;
+  ImpreciseTask& operator=(const ImpreciseTask&) = delete;
+
+  /// Joins all threads (a destructor never leaks a running thread).
+  ~ImpreciseTask();
+
+  /// Spawns the optional threads and the mandatory thread and begins
+  /// periodic execution.  FAILED_PRECONDITION when already started.
+  common::Status start();
+
+  /// Asks the task to stop after the current job and joins all threads.
+  void stop();
+
+  /// Blocks until the configured num_jobs have run (or stop()).
+  void wait_finished();
+
+  bool running() const { return started_ && !finished_.load(); }
+
+  common::TaskId id() const { return id_; }
+  const TaskConfig& config() const { return config_; }
+  const TaskPlacement& placement() const { return placement_; }
+
+  /// CPU of optional part k under the assignment policy.
+  common::CpuId optional_cpu(int part_index) const;
+
+  /// Drains job records accumulated so far (consumer side of the ring).
+  std::vector<JobRecord> drain_records();
+
+  /// Jobs whose records were dropped because the ring was full.
+  common::u64 dropped_records() const { return records_dropped_.load(); }
+
+  /// User-callback exceptions absorbed by the middleware (the job
+  /// continues with degraded QoS; details go to the global logger).
+  long callback_errors() const {
+    return callback_errors_.load(std::memory_order_relaxed) +
+           pool_->body_errors();
+  }
+
+  void set_transition_observer(TransitionObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// Called on the mandatory thread right after a job misses its deadline
+  /// (a watchdog hook for overrun handling / alerting).  Keep it cheap.
+  using MissObserver =
+      std::function<void(common::TaskId, const JobRecord&)>;
+  void set_miss_observer(MissObserver observer) {
+    miss_observer_ = std::move(observer);
+  }
+
+ private:
+  void mandatory_loop();
+  void run_one_job(JobId job_index, Nanos release);
+  void notify_transition(TaskTransition transition, Nanos now);
+
+  const common::TaskId id_;
+  const TaskConfig config_;
+  const TaskPlacement placement_;
+  const TaskRuntimeOptions options_;
+  const rt::Topology& topology_;
+
+  std::unique_ptr<OptionalPool> pool_;
+  std::unique_ptr<rt::RtThread> mandatory_thread_;
+
+  std::atomic<bool> active_{false};
+  std::atomic<bool> finished_{false};
+  bool started_ = false;
+
+  common::SpscRing<JobRecord> records_;
+  std::atomic<common::u64> records_dropped_{0};
+  std::atomic<long> callback_errors_{0};
+
+  std::mutex finished_mutex_;
+  std::condition_variable finished_cv_;
+
+  TransitionObserver observer_;
+  MissObserver miss_observer_;
+};
+
+}  // namespace rtseed::core

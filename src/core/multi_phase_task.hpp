@@ -1,0 +1,125 @@
+// Runtime for the PRACTICAL imprecise computation model — multiple
+// mandatory parts with an optional phase after each (the paper's stated
+// future work, ref [33]), scheduled by RMWP-MP (sched/mrmwp.hpp).
+//
+// Per job, the mandatory thread runs
+//
+//   segment 0 → phase 0 (parallel, ✂ OD⁰) → segment 1 → phase 1 (✂ OD¹)
+//             → ... → final segment → sleep until next release
+//
+// reusing the same OptionalPool protocol as ImpreciseTask: each phase's
+// parts are signalled individually, bounded by that phase's offline
+// optional deadline, and a phase whose preceding segment overran its ODᵏ
+// is discarded outright (never signalled).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/fixed_vector.hpp"
+#include "common/spsc_ring.hpp"
+#include "core/assignment.hpp"
+#include "core/imprecise_task.hpp"
+#include "core/optional_pool.hpp"
+#include "sched/mrmwp.hpp"
+#include "rt/thread.hpp"
+#include "rt/topology.hpp"
+
+namespace rtseed::core {
+
+struct MultiPhaseCallbacks {
+  /// Mandatory segment `segment` (0-based).
+  std::function<void(const JobContext&, int segment)> mandatory;
+  /// Part `part` of optional phase `phase`; same constraints as the
+  /// single-phase optional callback (pure CPU-bound, abandonable).
+  std::function<void(const JobContext&, int phase, int part, StopToken&)>
+      optional;
+};
+
+struct MultiPhaseConfig {
+  sched::MultiPhaseTaskParams params;
+  MultiPhaseCallbacks callbacks;
+  long num_jobs = 0;  ///< 0 = run until stop()
+};
+
+struct MultiPhasePlacement {
+  int processor = 0;
+  int mandatory_priority = 0;
+  int optional_priority = 0;
+  /// ODᵏ per phase, relative to release (from analyze_mrmwp).
+  std::vector<Nanos> optional_deadline_offsets;
+};
+
+/// Builds the single-task placement from the RMWP-MP analysis.
+/// FAILED_PRECONDITION when the task is not schedulable alone.
+common::Expected<MultiPhasePlacement> plan_single_multi_phase(
+    const sched::MultiPhaseTaskParams& params);
+
+struct PhaseOutcome {
+  int completed = 0;
+  int terminated = 0;
+  int discarded = 0;
+};
+
+inline constexpr int kMaxPhases = 8;
+
+struct MultiPhaseJobRecord {
+  common::JobId job = 0;
+  Nanos release = 0;
+  Nanos deadline = 0;
+  Nanos finished = 0;
+  bool deadline_met = false;
+  common::FixedVector<PhaseOutcome, kMaxPhases> phases;
+};
+
+class MultiPhaseTask {
+ public:
+  MultiPhaseTask(MultiPhaseConfig config, MultiPhasePlacement placement,
+                 TaskRuntimeOptions options, const rt::Topology& topology);
+
+  MultiPhaseTask(const MultiPhaseTask&) = delete;
+  MultiPhaseTask& operator=(const MultiPhaseTask&) = delete;
+  ~MultiPhaseTask();
+
+  common::Status start();
+  void stop();
+  void wait_finished();
+
+  const MultiPhaseConfig& config() const { return config_; }
+
+  std::vector<MultiPhaseJobRecord> drain_records();
+  long callback_errors() const {
+    return callback_errors_.load(std::memory_order_relaxed) +
+           pool_->body_errors();
+  }
+
+ private:
+  void mandatory_loop();
+  void run_one_job(common::JobId job_index, Nanos release);
+
+  const MultiPhaseConfig config_;
+  const MultiPhasePlacement placement_;
+  const TaskRuntimeOptions options_;
+  const rt::Topology& topology_;
+
+  std::unique_ptr<OptionalPool> pool_;
+  std::unique_ptr<rt::RtThread> mandatory_thread_;
+  std::atomic<int> current_phase_{0};
+
+  std::atomic<bool> active_{false};
+  std::atomic<bool> finished_{false};
+  bool started_ = false;
+
+  common::SpscRing<MultiPhaseJobRecord> records_;
+  std::atomic<common::u64> records_dropped_{0};
+  std::atomic<long> callback_errors_{0};
+
+  std::mutex finished_mutex_;
+  std::condition_variable finished_cv_;
+};
+
+}  // namespace rtseed::core

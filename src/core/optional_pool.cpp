@@ -1,0 +1,165 @@
+#include "core/optional_pool.hpp"
+
+#include <chrono>
+
+#include "common/rt_logger.hpp"
+
+namespace rtseed::core {
+
+namespace {
+
+std::chrono::steady_clock::time_point to_steady(Nanos abs_monotonic) {
+  return std::chrono::steady_clock::time_point(
+      std::chrono::nanoseconds(abs_monotonic));
+}
+
+}  // namespace
+
+OptionalPool::OptionalPool(Options options, PartBody body)
+    : options_(std::move(options)), body_(std::move(body)) {
+  slots_.reserve(options_.cpus.size());
+  for (size_t k = 0; k < options_.cpus.size(); ++k) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+}
+
+OptionalPool::~OptionalPool() { shutdown(); }
+
+common::Status OptionalPool::start() {
+  if (started_) return common::failed_precondition("pool already started");
+  started_ = true;
+  threads_.reserve(slots_.size());
+  for (int k = 0; k < size(); ++k) {
+    rt::ThreadConfig tc;
+    tc.name = options_.name_prefix + ".o" + std::to_string(k);
+    tc.fifo_priority = options_.fifo_priority;
+    tc.affinity = rt::CpuSet::single(options_.cpus[static_cast<size_t>(k)]);
+    threads_.emplace_back(tc, [this, k] { thread_main(k); });
+  }
+  return common::Status::ok();
+}
+
+void OptionalPool::shutdown() {
+  if (!started_) return;
+  for (auto& slot : slots_) {
+    std::lock_guard lock(slot->mutex);
+    slot->state = Slot::State::kShutdown;
+    slot->cv.notify_one();
+  }
+  for (auto& thread : threads_) thread.join();
+  threads_.clear();
+  started_ = false;
+}
+
+OptionalPool::RoundResult OptionalPool::run_round(const JobContext& ctx,
+                                                  int count) {
+  RoundResult result;
+  count = std::min(count, size());
+  if (count <= 0) return result;
+
+  first_part_start_.store(0, std::memory_order_release);
+  round_completed_.store(0, std::memory_order_relaxed);
+  round_terminated_.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(completion_mutex_);
+    remaining_ = count;
+  }
+
+  // Begin parallel optional parts: one pthread_cond_signal per thread
+  // (paper §IV-C: never broadcast).  This loop is the Δb window.
+  result.signal_start = common::monotonic_now();
+  for (int k = 0; k < count; ++k) {
+    auto& slot = *slots_[static_cast<size_t>(k)];
+    std::lock_guard lock(slot.mutex);
+    slot.job = ctx;
+    slot.state = Slot::State::kReady;
+    slot.cv.notify_one();
+  }
+  result.signal_end = common::monotonic_now();
+
+  // Wait for all parts to end; past OD + margin, force the stop tokens
+  // (covers the periodic-check strategy and lost-wakeup pathologies) and
+  // keep waiting — the next phase must not overlap optional execution.
+  std::unique_lock lock(completion_mutex_);
+  const bool on_time = completion_cv_.wait_until(
+      lock, to_steady(ctx.optional_deadline + options_.completion_margin),
+      [this] { return remaining_ == 0; });
+  if (!on_time) {
+    lock.unlock();
+    for (int k = 0; k < count; ++k) {
+      auto& slot = *slots_[static_cast<size_t>(k)];
+      std::lock_guard slot_lock(slot.mutex);
+      if (slot.active_token != nullptr) slot.active_token->force();
+    }
+    lock.lock();
+    completion_cv_.wait(lock, [this] { return remaining_ == 0; });
+  }
+  lock.unlock();
+
+  result.all_ended = common::monotonic_now();
+  result.completed = round_completed_.load(std::memory_order_relaxed);
+  result.terminated = round_terminated_.load(std::memory_order_relaxed);
+  result.first_part_start = first_part_start_.load(std::memory_order_acquire);
+  return result;
+}
+
+void OptionalPool::thread_main(int part) {
+  auto& slot = *slots_[static_cast<size_t>(part)];
+  for (;;) {
+    JobContext job;
+    {
+      std::unique_lock lock(slot.mutex);
+      slot.cv.wait(lock,
+                   [&slot] { return slot.state != Slot::State::kIdle; });
+      if (slot.state == Slot::State::kShutdown) return;
+      job = slot.job;
+      slot.state = Slot::State::kIdle;
+    }
+
+    const Nanos started = common::monotonic_now();
+    Nanos expected = 0;
+    first_part_start_.compare_exchange_strong(expected, started,
+                                              std::memory_order_acq_rel);
+
+    StopToken* published_token = nullptr;
+    const auto outcome = run_with_deadline(
+        options_.termination, job.optional_deadline, [&](StopToken& token) {
+          {
+            std::lock_guard lock(slot.mutex);
+            slot.active_token = &token;
+            published_token = &token;
+          }
+          if (body_) {
+            // Only std::exception is absorbed: the try-catch termination
+            // strategy's own (non-std) deadline exception must propagate.
+            try {
+              body_(job, part, token);
+            } catch (const std::exception& e) {
+              body_errors_.fetch_add(1, std::memory_order_relaxed);
+              common::global_logger().error(
+                  "%s.o%d: exception in optional part: %s",
+                  options_.name_prefix.c_str(), part, e.what());
+            }
+          }
+        });
+    if (published_token != nullptr) {
+      std::lock_guard lock(slot.mutex);
+      slot.active_token = nullptr;
+    }
+
+    if (outcome.outcome == OptionalOutcome::kCompleted) {
+      round_completed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      round_terminated_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    bool last = false;
+    {
+      std::lock_guard lock(completion_mutex_);
+      last = (--remaining_ == 0);
+    }
+    if (last) completion_cv_.notify_one();
+  }
+}
+
+}  // namespace rtseed::core

@@ -1,0 +1,112 @@
+// Pool of parallel optional threads implementing the paper's Fig. 6 / 7
+// protocol, factored out so both the classic parallel-extended imprecise
+// task (one optional phase) and the practical imprecise computation model
+// (multiple mandatory parts with an optional phase after each — the
+// paper's future work, ref [33]) reuse the same machinery:
+//
+//   * threads park in pthread_cond_wait until the mandatory thread
+//     signals them (one cond_signal per thread, never broadcast);
+//   * each signalled part runs its body under the configured termination
+//     strategy with a per-thread one-shot optional-deadline timer;
+//   * the last part to end wakes the caller for the next mandatory
+//     segment / wind-up part.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/task_config.hpp"
+#include "rt/thread.hpp"
+
+namespace rtseed::core {
+
+class OptionalPool {
+ public:
+  /// Body of part `part`; invoked on that part's pinned thread.  Under
+  /// kSigjmp/kTryCatch it may be abandoned at any instruction.
+  using PartBody =
+      std::function<void(const JobContext&, int part, StopToken&)>;
+
+  struct Options {
+    TerminationStrategy termination = TerminationStrategy::kSigjmp;
+    int fifo_priority = 0;           ///< 0 = best-effort
+    std::vector<common::CpuId> cpus; ///< one per part (pool size)
+    std::string name_prefix;         ///< thread names: <prefix>.o<k>
+    /// Grace past the optional deadline before stop tokens are forced.
+    Nanos completion_margin = common::millis(100);
+  };
+
+  OptionalPool(Options options, PartBody body);
+
+  OptionalPool(const OptionalPool&) = delete;
+  OptionalPool& operator=(const OptionalPool&) = delete;
+
+  /// Joins all threads.
+  ~OptionalPool();
+
+  int size() const { return static_cast<int>(slots_.size()); }
+  common::CpuId cpu(int part) const {
+    return options_.cpus[static_cast<size_t>(part)];
+  }
+
+  /// Spawns the (parked) optional threads.
+  common::Status start();
+
+  /// Stops and joins all threads (idempotent).
+  void shutdown();
+
+  struct RoundResult {
+    int completed = 0;
+    int terminated = 0;
+    Nanos signal_start = 0;        ///< Δb window: the cond_signal loop
+    Nanos signal_end = 0;
+    Nanos first_part_start = 0;    ///< Δs reference (0 if none started)
+    Nanos all_ended = 0;           ///< when the last part ended
+  };
+
+  /// Runs one optional phase: signals parts [0, count) with the given job
+  /// context (whose optional_deadline bounds this phase), blocks until
+  /// every part completed or was terminated.  Must not be called
+  /// concurrently with itself.  count is clamped to the pool size.
+  RoundResult run_round(const JobContext& ctx, int count);
+
+  /// std::exceptions absorbed from part bodies (logged, part counted as
+  /// completed-with-error).
+  long body_errors() const {
+    return body_errors_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    std::mutex mutex;
+    std::condition_variable cv;
+    enum class State { kIdle, kReady, kShutdown } state = State::kIdle;
+    JobContext job{};
+    StopToken* active_token = nullptr;
+  };
+
+  void thread_main(int part);
+
+  Options options_;
+  PartBody body_;
+
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::vector<rt::RtThread> threads_;
+  bool started_ = false;
+
+  std::mutex completion_mutex_;
+  std::condition_variable completion_cv_;
+  int remaining_ = 0;
+
+  std::atomic<int> round_completed_{0};
+  std::atomic<int> round_terminated_{0};
+  std::atomic<Nanos> first_part_start_{0};
+  std::atomic<long> body_errors_{0};
+};
+
+}  // namespace rtseed::core

@@ -1,0 +1,67 @@
+#include "core/qos.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rtseed::core {
+
+OverheadSummary summarize_overheads(const std::vector<JobRecord>& records) {
+  std::vector<double> dm, db, ds, de;
+  for (const auto& rec : records) {
+    dm.push_back(common::to_micros(rec.delta_m()));
+    if (rec.optionals_ran) {
+      db.push_back(common::to_micros(rec.delta_b()));
+      if (rec.first_optional_start > 0) {
+        ds.push_back(common::to_micros(rec.delta_s()));
+      }
+      if (rec.optional_terminated > 0) {
+        de.push_back(common::to_micros(rec.delta_e()));
+      }
+    }
+  }
+  OverheadSummary out;
+  out.delta_m = common::summarize(std::move(dm));
+  out.delta_b = common::summarize(std::move(db));
+  out.delta_s = common::summarize(std::move(ds));
+  out.delta_e = common::summarize(std::move(de));
+  return out;
+}
+
+QosSummary summarize_qos(const std::vector<JobRecord>& records) {
+  QosSummary out;
+  double window_use_sum = 0.0;
+  long window_jobs = 0;
+  for (const auto& rec : records) {
+    ++out.jobs;
+    if (!rec.deadline_met) ++out.deadline_misses;
+    out.optional_completed += rec.optional_completed;
+    out.optional_terminated += rec.optional_terminated;
+    out.optional_discarded += rec.optional_discarded;
+    if (rec.optionals_ran && rec.first_optional_start > 0) {
+      const auto window =
+          static_cast<double>(rec.optional_deadline - rec.mandatory_end);
+      if (window > 0) {
+        const auto used = static_cast<double>(
+            std::min(rec.windup_start, rec.optional_deadline) -
+            rec.first_optional_start);
+        window_use_sum += std::clamp(used / window, 0.0, 1.0);
+        ++window_jobs;
+      }
+    }
+  }
+  out.mean_optional_window_use =
+      window_jobs > 0 ? window_use_sum / static_cast<double>(window_jobs) : 0.0;
+  return out;
+}
+
+std::string QosSummary::to_string() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "jobs=%ld misses=%ld optional{completed=%ld terminated=%ld "
+                "discarded=%ld} window-use=%.3f",
+                jobs, deadline_misses, optional_completed, optional_terminated,
+                optional_discarded, mean_optional_window_use);
+  return buf;
+}
+
+}  // namespace rtseed::core

@@ -1,0 +1,43 @@
+// QoS and overhead accounting over per-job records.
+//
+// In the imprecise computation model, QoS is delivered by optional-part
+// execution time: "the longer the optional part of each task takes to
+// execute, the higher its QoS" (§II-A).  A task's QoS ratio for a job is
+// the optional execution time actually obtained divided by the window
+// available ([mandatory end, OD] x np); completed parts count fully.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/job_record.hpp"
+
+namespace rtseed::core {
+
+struct OverheadSummary {
+  common::Summary delta_m;  ///< begin mandatory part (Fig. 10)
+  common::Summary delta_b;  ///< begin parallel optional parts (Fig. 12)
+  common::Summary delta_s;  ///< switch mandatory -> optional (Fig. 11)
+  common::Summary delta_e;  ///< end parallel optional parts (Fig. 13)
+};
+
+struct QosSummary {
+  long jobs = 0;
+  long deadline_misses = 0;
+  long optional_completed = 0;
+  long optional_terminated = 0;
+  long optional_discarded = 0;
+  /// Mean fraction of the optional window actually spent executing
+  /// optional parts (1.0 = full QoS), over jobs whose optionals ran.
+  double mean_optional_window_use = 0.0;
+
+  std::string to_string() const;
+};
+
+/// Overheads in microseconds (the unit of the paper's Figs. 10-13).
+OverheadSummary summarize_overheads(const std::vector<JobRecord>& records);
+
+QosSummary summarize_qos(const std::vector<JobRecord>& records);
+
+}  // namespace rtseed::core

@@ -1,0 +1,156 @@
+#include "core/queues.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "rt/priority.hpp"
+
+namespace rtseed::core {
+
+const char* queue_kind_name(QueueKind kind) {
+  switch (kind) {
+    case QueueKind::kHpq:
+      return "HPQ";
+    case QueueKind::kRtq:
+      return "RTQ";
+    case QueueKind::kNrtq:
+      return "NRTQ";
+    case QueueKind::kSq:
+      return "SQ";
+  }
+  return "?";
+}
+
+QueueKind queue_for_priority(int priority) {
+  if (priority == rt::kHpqPriority) return QueueKind::kHpq;
+  if (rt::is_mandatory_priority(priority)) return QueueKind::kRtq;
+  return QueueKind::kNrtq;
+}
+
+ReadyQueues::ReadyQueues() = default;
+
+void ReadyQueues::enqueue(TaskId task, int priority) {
+  assert(priority >= rt::kMinFifoPriority && priority <= rt::kMaxFifoPriority);
+  levels_[static_cast<usize>(priority)].push_back(task);
+}
+
+bool ReadyQueues::remove(TaskId task) {
+  bool removed = false;
+  for (auto& level : levels_) {
+    const auto end = std::remove(level.begin(), level.end(), task);
+    if (end != level.end()) {
+      level.erase(end, level.end());
+      removed = true;
+    }
+  }
+  const auto end = std::remove_if(
+      sleep_.begin(), sleep_.end(),
+      [&](const SleepEntry& e) { return e.task == task; });
+  if (end != sleep_.end()) {
+    sleep_.erase(end, sleep_.end());
+    removed = true;
+  }
+  return removed;
+}
+
+std::optional<TaskId> ReadyQueues::peek_highest() const {
+  for (int p = rt::kMaxFifoPriority; p >= rt::kMinFifoPriority; --p) {
+    const auto& level = levels_[static_cast<usize>(p)];
+    if (!level.empty()) return level.front();
+  }
+  return std::nullopt;
+}
+
+std::optional<TaskId> ReadyQueues::pop_highest() {
+  for (int p = rt::kMaxFifoPriority; p >= rt::kMinFifoPriority; --p) {
+    auto& level = levels_[static_cast<usize>(p)];
+    if (!level.empty()) {
+      const TaskId task = level.front();
+      level.pop_front();
+      return task;
+    }
+  }
+  return std::nullopt;
+}
+
+void ReadyQueues::sleep_until(TaskId task, Nanos wake_time) {
+  const SleepEntry entry{wake_time, task};
+  const auto pos = std::upper_bound(sleep_.begin(), sleep_.end(), entry);
+  sleep_.insert(pos, entry);
+}
+
+std::optional<Nanos> ReadyQueues::next_wake_time() const {
+  if (sleep_.empty()) return std::nullopt;
+  return sleep_.front().wake_time;
+}
+
+std::vector<TaskId> ReadyQueues::pop_expired(Nanos now) {
+  std::vector<TaskId> expired;
+  while (!sleep_.empty() && sleep_.front().wake_time <= now) {
+    expired.push_back(sleep_.front().task);
+    sleep_.erase(sleep_.begin());
+  }
+  return expired;
+}
+
+bool ReadyQueues::contains(TaskId task, QueueKind kind) const {
+  switch (kind) {
+    case QueueKind::kHpq: {
+      const auto& level = levels_[static_cast<usize>(rt::kHpqPriority)];
+      return std::find(level.begin(), level.end(), task) != level.end();
+    }
+    case QueueKind::kRtq: {
+      for (int p = rt::kMandatoryMin; p <= rt::kMandatoryMax; ++p) {
+        const auto& level = levels_[static_cast<usize>(p)];
+        if (std::find(level.begin(), level.end(), task) != level.end()) {
+          return true;
+        }
+      }
+      return false;
+    }
+    case QueueKind::kNrtq: {
+      for (int p = rt::kOptionalMin; p <= rt::kOptionalMax; ++p) {
+        const auto& level = levels_[static_cast<usize>(p)];
+        if (std::find(level.begin(), level.end(), task) != level.end()) {
+          return true;
+        }
+      }
+      return false;
+    }
+    case QueueKind::kSq: {
+      return std::find_if(sleep_.begin(), sleep_.end(),
+                          [&](const SleepEntry& e) {
+                            return e.task == task;
+                          }) != sleep_.end();
+    }
+  }
+  return false;
+}
+
+usize ReadyQueues::size(QueueKind kind) const {
+  usize count = 0;
+  switch (kind) {
+    case QueueKind::kHpq:
+      return levels_[static_cast<usize>(rt::kHpqPriority)].size();
+    case QueueKind::kRtq:
+      for (int p = rt::kMandatoryMin; p <= rt::kMandatoryMax; ++p) {
+        count += levels_[static_cast<usize>(p)].size();
+      }
+      return count;
+    case QueueKind::kNrtq:
+      for (int p = rt::kOptionalMin; p <= rt::kOptionalMax; ++p) {
+        count += levels_[static_cast<usize>(p)].size();
+      }
+      return count;
+    case QueueKind::kSq:
+      return sleep_.size();
+  }
+  return 0;
+}
+
+bool ReadyQueues::empty() const {
+  return size(QueueKind::kHpq) == 0 && size(QueueKind::kRtq) == 0 &&
+         size(QueueKind::kNrtq) == 0 && sleep_.empty();
+}
+
+}  // namespace rtseed::core

@@ -1,0 +1,88 @@
+// User-space mirror of RT-Seed's ready-queue structure (paper Figs. 4, 5).
+//
+// On Linux the kernel's per-CPU SCHED_FIFO runqueues do the actual
+// dispatching; RT-Seed only sets priorities, pins threads, and sleeps them.
+// This class makes the paper's logical queue structure explicit so it can
+// be (a) asserted against in tests, (b) reported by the runtime, and
+// (c) used as the *actual* dispatcher inside the discrete-event simulator:
+//
+//   HPQ   priority 99        highest-priority task (e.g. RM-US heavy)
+//   RTQ   priorities [50,98] tasks ready to run mandatory or wind-up parts,
+//                            rate-monotonic order
+//   NRTQ  priorities [1,49]  tasks ready to run optional parts, RM order
+//   SQ    (no priority)      tasks sleeping until OD or next release,
+//                            sorted by increasing wake-up time
+//
+// Each priority level is a FIFO (the kernel uses a double circular linked
+// list; a deque is the value-semantic equivalent).
+#pragma once
+
+#include <array>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/types.hpp"
+
+namespace rtseed::core {
+
+using common::Nanos;
+using common::TaskId;
+using common::usize;
+
+enum class QueueKind { kHpq, kRtq, kNrtq, kSq };
+
+const char* queue_kind_name(QueueKind kind);
+
+/// Which band a SCHED_FIFO priority belongs to (SQ is not priority-mapped).
+QueueKind queue_for_priority(int priority);
+
+class ReadyQueues {
+ public:
+  ReadyQueues();
+
+  /// Enqueues `task` at `priority` (tail of that FIFO level).
+  /// Priority selects HPQ/RTQ/NRTQ per the band map.
+  void enqueue(TaskId task, int priority);
+
+  /// Removes `task` wherever it is queued; false when absent.
+  bool remove(TaskId task);
+
+  /// Highest-priority ready task (HPQ, then RTQ, then NRTQ), without
+  /// removing it.
+  std::optional<TaskId> peek_highest() const;
+
+  /// Pops and returns the highest-priority ready task.
+  std::optional<TaskId> pop_highest();
+
+  /// Sleep queue, ordered by increasing wake time (paper: "sorted by
+  /// increasing release time order").
+  void sleep_until(TaskId task, Nanos wake_time);
+
+  /// Earliest wake time in SQ.
+  std::optional<Nanos> next_wake_time() const;
+
+  /// Pops every task whose wake time is <= now.
+  std::vector<TaskId> pop_expired(Nanos now);
+
+  bool contains(TaskId task, QueueKind kind) const;
+  usize size(QueueKind kind) const;
+  bool empty() const;
+
+ private:
+  struct SleepEntry {
+    Nanos wake_time;
+    TaskId task;
+    bool operator<(const SleepEntry& other) const {
+      if (wake_time != other.wake_time) return wake_time < other.wake_time;
+      return task < other.task;
+    }
+  };
+
+  static constexpr int kLevels = 100;  // priorities 0..99; 0 unused
+  std::array<std::deque<TaskId>, kLevels> levels_;
+  std::vector<SleepEntry> sleep_;  // kept sorted
+};
+
+}  // namespace rtseed::core

@@ -1,0 +1,113 @@
+// RT-Seed runtime facade — the middleware's public entry point.
+//
+//   rtseed::core::Runtime runtime(options);
+//   runtime.admit(task_config);            // any number of tasks
+//   auto plan = runtime.analyze();         // offline P-RMWP analysis
+//   runtime.start();                       // spawn threads, begin periods
+//   runtime.wait_all_finished();           // or: run, then stop()
+//   auto report = runtime.stop_and_report();
+//
+// analyze() runs the full offline pipeline (partitioning, RM priorities,
+// optional deadlines) described in §IV-B; start() realizes the plan with
+// SCHED_FIFO threads and never requires kernel modifications.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/imprecise_task.hpp"
+#include "core/queues.hpp"
+#include "core/qos.hpp"
+#include "sched/p_rmwp.hpp"
+
+namespace rtseed::core {
+
+struct RuntimeOptions {
+  rt::Topology topology = rt::Topology::native();
+  AssignmentPolicy policy = AssignmentPolicy::kOneByOne;
+  TerminationStrategy termination = TerminationStrategy::kSigjmp;
+  sched::PRmwpOptions analysis;
+  /// Mirror task transitions into a user-space ReadyQueues structure
+  /// (observable via queue_snapshot(); small locking cost per transition).
+  bool mirror_queues = false;
+  /// mlockall() before spawning real-time threads (page faults inside
+  /// mandatory/wind-up parts add unbounded latency).  Denial degrades
+  /// gracefully, like SCHED_FIFO denial.
+  bool lock_memory = false;
+  /// Invoked (on the missing task's mandatory thread, so keep it cheap)
+  /// whenever a job's wind-up part completes past its deadline.
+  std::function<void(common::TaskId, const JobRecord&)> on_deadline_miss;
+  Nanos completion_margin = common::millis(100);
+  Nanos initial_offset = common::millis(10);
+};
+
+struct TaskReport {
+  std::string name;
+  sched::TaskPlan plan;
+  QosSummary qos;
+  OverheadSummary overheads;
+  std::vector<JobRecord> records;
+  common::u64 dropped_records = 0;
+};
+
+struct RuntimeReport {
+  std::vector<TaskReport> tasks;
+  bool rt_degraded = false;  ///< some SCHED_FIFO/affinity request was denied
+  std::string to_string() const;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(RuntimeOptions options);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Registers a task.  FAILED_PRECONDITION once started; INVALID_ARGUMENT
+  /// when the task parameters are malformed.
+  common::Status admit(TaskConfig config);
+
+  /// Runs the offline analysis over all admitted tasks.  Idempotent; also
+  /// invoked lazily by start().  Fails when the set is not P-RMWP
+  /// schedulable.
+  common::Expected<sched::PRmwpPlan> analyze();
+
+  /// Spawns all tasks.  FAILED_PRECONDITION when already started or when
+  /// the analysis rejects the task set.
+  common::Status start();
+
+  /// Blocks until every task with a finite num_jobs has finished.
+  void wait_all_finished();
+
+  /// Stops all tasks (joining their threads) and produces the report.
+  RuntimeReport stop_and_report();
+
+  /// Stops without reporting.
+  void stop();
+
+  bool started() const { return started_; }
+  int num_tasks() const { return static_cast<int>(configs_.size()); }
+  const rt::Topology& topology() const { return options_.topology; }
+
+  /// Snapshot of the mirrored queue sizes (requires mirror_queues).
+  struct QueueSnapshot {
+    usize hpq = 0, rtq = 0, nrtq = 0, sq = 0;
+  };
+  QueueSnapshot queue_snapshot() const;
+
+ private:
+  void on_transition(common::TaskId task, TaskTransition transition, Nanos now);
+
+  RuntimeOptions options_;
+  std::vector<TaskConfig> configs_;
+  std::unique_ptr<sched::PRmwpPlan> plan_;
+  std::vector<std::unique_ptr<ImpreciseTask>> tasks_;
+  bool started_ = false;
+
+  mutable std::mutex queues_mutex_;
+  ReadyQueues queues_;
+};
+
+}  // namespace rtseed::core

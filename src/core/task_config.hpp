@@ -1,0 +1,46 @@
+// User-facing task description: timing parameters (the imprecise model)
+// plus the three part callbacks the paper exposes as class Task's
+// execMandatory / execOptional / execWindup member functions (§IV-C).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "core/termination.hpp"
+#include "sched/task_model.hpp"
+
+namespace rtseed::core {
+
+using common::JobId;
+using common::Nanos;
+
+/// Timing context of the current job, passed to every callback.
+/// All times are absolute CLOCK_MONOTONIC nanoseconds.
+struct JobContext {
+  JobId job = 0;               ///< 0-based job index
+  Nanos release = 0;           ///< this job's release time
+  Nanos deadline = 0;          ///< release + Dᵢ
+  Nanos optional_deadline = 0; ///< release + ODᵢ (computed offline)
+};
+
+/// The three parts of a parallel-extended imprecise task.
+struct TaskCallbacks {
+  /// Mandatory part — e.g. obtain exchange data (paper §II-A).
+  std::function<void(const JobContext&)> mandatory;
+  /// k-th parallel optional part — e.g. technical/fundamental analysis.
+  /// May be abandoned at any instruction under kSigjmp/kTryCatch; must
+  /// poll the token under kPeriodicCheck.  Must not acquire resources.
+  std::function<void(const JobContext&, int part_index, StopToken&)> optional;
+  /// Wind-up part — e.g. collect results and emit the trading decision.
+  std::function<void(const JobContext&)> windup;
+};
+
+struct TaskConfig {
+  /// Timing model; params.name doubles as the task/thread name.
+  sched::ImpreciseTaskParams params;
+  TaskCallbacks callbacks;
+  /// Number of jobs to run; 0 = run until Runtime::stop().
+  long num_jobs = 0;
+};
+
+}  // namespace rtseed::core

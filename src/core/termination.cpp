@@ -1,0 +1,43 @@
+#include "core/termination.hpp"
+
+namespace rtseed::core {
+
+const char* termination_strategy_name(TerminationStrategy strategy) {
+  switch (strategy) {
+    case TerminationStrategy::kSigjmp:
+      return "sigsetjmp/siglongjmp";
+    case TerminationStrategy::kPeriodicCheck:
+      return "periodic-check";
+    case TerminationStrategy::kTryCatch:
+      return "try-catch";
+  }
+  return "?";
+}
+
+const char* optional_outcome_name(OptionalOutcome outcome) {
+  switch (outcome) {
+    case OptionalOutcome::kCompleted:
+      return "completed";
+    case OptionalOutcome::kTerminated:
+      return "terminated";
+    case OptionalOutcome::kDiscarded:
+      return "discarded";
+  }
+  return "?";
+}
+
+TerminationResult run_with_deadline(TerminationStrategy strategy,
+                                    Nanos abs_deadline,
+                                    const OptionalBody& body) {
+  switch (strategy) {
+    case TerminationStrategy::kSigjmp:
+      return detail::run_sigjmp(abs_deadline, body);
+    case TerminationStrategy::kPeriodicCheck:
+      return detail::run_periodic_check(abs_deadline, body);
+    case TerminationStrategy::kTryCatch:
+      return detail::run_trycatch(abs_deadline, body);
+  }
+  return {};
+}
+
+}  // namespace rtseed::core

@@ -1,0 +1,105 @@
+// Termination of parallel optional parts in user space (paper §IV-D,
+// Fig. 7, Table I).
+//
+// Three strategies, matching Table I:
+//
+//  * kSigjmp (the paper's recommended design): a one-shot optional-deadline
+//    timer delivers a signal whose handler siglongjmp's back to a
+//    sigsetjmp(.., savesigs=1) checkpoint.  Any-time termination, and the
+//    saved signal mask is restored — the next job's timer fires normally.
+//    Constraint inherited from the model: the optional body must be a pure
+//    CPU-bound computation (no resource acquisition), because it can be
+//    abandoned at an arbitrary instruction.
+//
+//  * kPeriodicCheck: no timer; the body polls StopToken::should_stop().
+//    Cannot terminate at any time (termination latency = polling period),
+//    which degrades QoS — exactly the drawback the paper names.
+//
+//  * kTryCatch: the timer's signal handler throws a C++ exception
+//    (requires -fnon-call-exceptions in this translation unit).  Any-time
+//    termination, but escaping the handler by exception skips sigreturn,
+//    so the signal is left BLOCKED: the next job's deadline timer never
+//    interrupts.  run_with_deadline intentionally reproduces this defect;
+//    repair_signal_mask_after_trycatch() undoes it (used by tests and by
+//    the Table-I experiment to recover between jobs).
+#pragma once
+
+#include <atomic>
+#include <functional>
+
+#include "common/status.hpp"
+#include "common/time.hpp"
+
+namespace rtseed::core {
+
+using common::Nanos;
+
+enum class TerminationStrategy { kSigjmp, kPeriodicCheck, kTryCatch };
+
+const char* termination_strategy_name(TerminationStrategy strategy);
+
+enum class OptionalOutcome {
+  kCompleted,   ///< body returned before the optional deadline
+  kTerminated,  ///< stopped at (or detected past) the optional deadline
+  kDiscarded,   ///< never started (mandatory part missed the OD)
+};
+
+const char* optional_outcome_name(OptionalOutcome outcome);
+
+/// Cooperation point for kPeriodicCheck (harmless to poll under the other
+/// strategies, where it only reflects the deadline).
+class StopToken {
+ public:
+  explicit StopToken(Nanos abs_deadline) : deadline_(abs_deadline) {}
+
+  /// True once the optional deadline has passed or force() was called.
+  bool should_stop() const {
+    return forced_.load(std::memory_order_relaxed) ||
+           common::monotonic_now() >= deadline_;
+  }
+
+  void force() { forced_.store(true, std::memory_order_relaxed); }
+
+  Nanos deadline() const { return deadline_; }
+
+ private:
+  Nanos deadline_;
+  std::atomic<bool> forced_{false};
+};
+
+/// An optional part's body.  Under kSigjmp/kTryCatch it may be abandoned at
+/// any instruction; under kPeriodicCheck it must poll the token.
+using OptionalBody = std::function<void(StopToken&)>;
+
+struct TerminationResult {
+  OptionalOutcome outcome = OptionalOutcome::kCompleted;
+  /// When the body actually stopped (monotonic).
+  Nanos finished_at = 0;
+};
+
+/// Runs `body` with the optional deadline `abs_deadline` (CLOCK_MONOTONIC)
+/// under the given strategy.  Must be called on the thread that executes
+/// the optional part (per-thread timers are armed on the caller).
+TerminationResult run_with_deadline(TerminationStrategy strategy,
+                                    Nanos abs_deadline,
+                                    const OptionalBody& body);
+
+/// Signals used by the timer-driven strategies (exposed for tests).
+int sigjmp_signal();
+int trycatch_signal();
+
+/// After a kTryCatch termination the signal is left blocked (Table I:
+/// "does not save and restore the signal mask information").  This repairs
+/// the calling thread's mask; returns true when the signal was indeed
+/// found blocked.
+bool repair_signal_mask_after_trycatch();
+
+}  // namespace rtseed::core
+
+namespace rtseed::core::detail {
+// Strategy implementations (separate TUs; kTryCatch needs special flags).
+TerminationResult run_sigjmp(Nanos abs_deadline, const OptionalBody& body);
+TerminationResult run_periodic_check(Nanos abs_deadline,
+                                     const OptionalBody& body);
+TerminationResult run_trycatch(Nanos abs_deadline, const OptionalBody& body);
+}  // namespace rtseed::core::detail

@@ -1,0 +1,24 @@
+// Periodic-check termination (Table I row 2): no timer — the body itself
+// polls StopToken::should_stop() and returns when the optional deadline has
+// passed.  Termination latency is therefore bounded only by the body's
+// polling period, which is why the paper rejects this strategy for QoS.
+#include "core/termination.hpp"
+
+namespace rtseed::core::detail {
+
+TerminationResult run_periodic_check(Nanos abs_deadline,
+                                     const OptionalBody& body) {
+  StopToken token(abs_deadline);
+  body(token);
+
+  TerminationResult result;
+  result.finished_at = common::monotonic_now();
+  // If the body returned past the deadline it stopped because of the token
+  // (or too late either way): count it as terminated, not completed.
+  result.outcome = result.finished_at >= abs_deadline
+                       ? OptionalOutcome::kTerminated
+                       : OptionalOutcome::kCompleted;
+  return result;
+}
+
+}  // namespace rtseed::core::detail

@@ -1,0 +1,86 @@
+// The paper's recommended termination path (Fig. 7), modernized:
+//   sigsetjmp(buf, 1)            — save stack context AND signal mask
+//   arm one-shot deadline timer  — SIGEV_THREAD_ID to this thread
+//   body()                        — the optional part
+//   disarm                        — completed before the deadline
+// and, on expiry, the handler siglongjmp's to the checkpoint, restoring
+// the mask so the *next* job's timer can fire again (Table I row 1).
+//
+// The paper indexes jmp_buf by sched_getcpu(); we use a thread_local
+// buffer, which is equivalent when threads are pinned and remains correct
+// when they are not (e.g. in unprivileged containers).
+#include <csetjmp>
+#include <csignal>
+
+#include "core/termination.hpp"
+#include "rt/oneshot_timer.hpp"
+#include "rt/signal_guard.hpp"
+
+namespace rtseed::core {
+
+int sigjmp_signal() { return SIGRTMIN + 3; }
+
+namespace detail {
+namespace {
+
+thread_local sigjmp_buf t_checkpoint;
+thread_local volatile sig_atomic_t t_armed = 0;
+
+void deadline_handler(int /*signo*/) {
+  // A late expiry (body already returned, disarm racing the signal) must
+  // not longjmp into a dead frame.
+  if (t_armed != 0) {
+    t_armed = 0;
+    siglongjmp(t_checkpoint, 1);
+  }
+}
+
+void install_handler_once() {
+  static const bool installed = [] {
+    struct sigaction act {};
+    act.sa_handler = deadline_handler;
+    sigemptyset(&act.sa_mask);
+    act.sa_flags = 0;
+    return sigaction(sigjmp_signal(), &act, nullptr) == 0;
+  }();
+  (void)installed;
+}
+
+// One timer per optional thread, created lazily and deleted at thread exit.
+rt::OneShotTimer& thread_timer() {
+  thread_local rt::OneShotTimer timer;
+  if (!timer.created()) (void)timer.create(sigjmp_signal());
+  return timer;
+}
+
+}  // namespace
+
+TerminationResult run_sigjmp(Nanos abs_deadline, const OptionalBody& body) {
+  install_handler_once();
+  (void)rt::unblock_signal(sigjmp_signal());
+  auto& timer = thread_timer();
+
+  TerminationResult result;
+  StopToken token(abs_deadline);
+
+  // savesigs=1: the current signal mask is part of the checkpoint, so the
+  // siglongjmp return path restores it (Table I: "Signal Mask Restoration").
+  if (sigsetjmp(t_checkpoint, 1) == 0) {
+    t_armed = 1;
+    (void)timer.arm_absolute(abs_deadline);
+    body(token);
+    // Completed: quench the race between "body returned" and "timer fired".
+    t_armed = 0;
+    (void)timer.disarm();
+    result.outcome = OptionalOutcome::kCompleted;
+  } else {
+    // Landed here from the handler: the optional part was terminated at the
+    // optional deadline.
+    result.outcome = OptionalOutcome::kTerminated;
+  }
+  result.finished_at = common::monotonic_now();
+  return result;
+}
+
+}  // namespace detail
+}  // namespace rtseed::core

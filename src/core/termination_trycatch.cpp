@@ -1,0 +1,87 @@
+// try-catch termination (Table I row 3).
+//
+// The deadline timer's signal handler throws; the exception unwinds out of
+// the optional part into the catch below.  This terminates at any time,
+// BUT the kernel delivered the signal with itself added to the thread's
+// mask, and unwinding out of the handler skips sigreturn — so the signal
+// stays blocked and the NEXT job's deadline timer never interrupts.  That
+// defect is exactly what the paper's Table I records, and tests assert it
+// via repair_signal_mask_after_trycatch().
+//
+// This translation unit is compiled with -fnon-call-exceptions and
+// -fasynchronous-unwind-tables so g++ permits throwing across the
+// asynchronous signal frame.  The strategy is reproduced for the Table-I
+// experiment; production users should use kSigjmp.
+#include <csignal>
+
+#include "core/termination.hpp"
+#include "rt/oneshot_timer.hpp"
+#include "rt/signal_guard.hpp"
+
+namespace rtseed::core {
+
+int trycatch_signal() { return SIGRTMIN + 4; }
+
+bool repair_signal_mask_after_trycatch() {
+  const bool was_blocked = rt::is_signal_blocked(trycatch_signal());
+  (void)rt::unblock_signal(trycatch_signal());
+  return was_blocked;
+}
+
+namespace detail {
+namespace {
+
+struct DeadlineExpired {};
+
+thread_local volatile sig_atomic_t t_armed = 0;
+
+[[noreturn]] void throwing_handler(int /*signo*/) {
+  t_armed = 0;
+  throw DeadlineExpired{};
+}
+
+void install_handler_once() {
+  static const bool installed = [] {
+    struct sigaction act {};
+    act.sa_handler = throwing_handler;
+    sigemptyset(&act.sa_mask);
+    act.sa_flags = 0;
+    return sigaction(trycatch_signal(), &act, nullptr) == 0;
+  }();
+  (void)installed;
+}
+
+rt::OneShotTimer& thread_timer() {
+  thread_local rt::OneShotTimer timer;
+  if (!timer.created()) (void)timer.create(trycatch_signal());
+  return timer;
+}
+
+}  // namespace
+
+TerminationResult run_trycatch(Nanos abs_deadline, const OptionalBody& body) {
+  install_handler_once();
+  (void)rt::unblock_signal(trycatch_signal());
+  auto& timer = thread_timer();
+
+  TerminationResult result;
+  StopToken token(abs_deadline);
+  try {
+    t_armed = 1;
+    (void)timer.arm_absolute(abs_deadline);
+    body(token);
+    t_armed = 0;
+    (void)timer.disarm();
+    result.outcome = OptionalOutcome::kCompleted;
+  } catch (const DeadlineExpired&) {
+    (void)timer.disarm();
+    result.outcome = OptionalOutcome::kTerminated;
+    // Deliberately NOT unblocking the signal here: reproducing the paper's
+    // observation that try-catch does not restore the mask.
+  }
+  result.finished_at = common::monotonic_now();
+  return result;
+}
+
+}  // namespace detail
+}  // namespace rtseed::core

@@ -1,0 +1,88 @@
+#include "core/trace_export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+
+namespace rtseed::core {
+
+namespace {
+
+void append_event(std::string& out, const char* name, int pid, double ts_us,
+                  double dur_us, bool first) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s{\"name\":\"%s\",\"ph\":\"X\",\"pid\":%d,\"tid\":%d,"
+                "\"ts\":%.3f,\"dur\":%.3f}",
+                first ? "" : ",\n", name, pid, pid, ts_us, dur_us);
+  out += buf;
+}
+
+void append_instant(std::string& out, const char* name, int pid,
+                    double ts_us) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                ",\n{\"name\":\"%s\",\"ph\":\"i\",\"pid\":%d,\"tid\":%d,"
+                "\"ts\":%.3f,\"s\":\"t\"}",
+                name, pid, pid, ts_us);
+  out += buf;
+}
+
+}  // namespace
+
+std::string render_chrome_trace(const std::vector<TaskTrace>& tasks) {
+  // Anchor at the earliest release so timestamps are small and aligned.
+  Nanos anchor = std::numeric_limits<Nanos>::max();
+  for (const auto& task : tasks) {
+    for (const auto& rec : task.records) {
+      anchor = std::min(anchor, rec.release);
+    }
+  }
+  if (anchor == std::numeric_limits<Nanos>::max()) anchor = 0;
+  auto us = [&](Nanos t) { return common::to_micros(t - anchor); };
+
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  int pid = 1;
+  for (const auto& task : tasks) {
+    for (const auto& rec : task.records) {
+      const std::string mand = task.name + "/mandatory";
+      append_event(out, mand.c_str(), pid, us(rec.mandatory_start),
+                   common::to_micros(rec.mandatory_end - rec.mandatory_start),
+                   first);
+      first = false;
+      if (rec.optionals_ran && rec.first_optional_start > 0) {
+        const std::string opt = task.name + "/optional-window";
+        append_event(out, opt.c_str(), pid, us(rec.first_optional_start),
+                     common::to_micros(rec.windup_start -
+                                       rec.first_optional_start),
+                     false);
+      }
+      const std::string wind = task.name + "/wind-up";
+      append_event(out, wind.c_str(), pid, us(rec.windup_start),
+                   common::to_micros(rec.windup_end - rec.windup_start),
+                   false);
+      append_instant(out, (task.name + "/OD").c_str(), pid,
+                     us(rec.optional_deadline));
+      if (!rec.deadline_met) {
+        append_instant(out, (task.name + "/DEADLINE-MISS").c_str(), pid,
+                       us(rec.deadline));
+      }
+    }
+    ++pid;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+common::Status write_chrome_trace(const std::string& path,
+                                  const std::vector<TaskTrace>& tasks) {
+  std::ofstream out(path);
+  if (!out) return common::unavailable("cannot open " + path);
+  out << render_chrome_trace(tasks);
+  return out.good() ? common::Status::ok()
+                    : common::unavailable("write failed: " + path);
+}
+
+}  // namespace rtseed::core

@@ -1,0 +1,30 @@
+// Chrome trace-event export of per-job records.
+//
+// Drop the output of a run into chrome://tracing (or Perfetto) and see
+// every job's mandatory part, optional window, and wind-up part on a
+// timeline, with the optional deadline marked — the visual counterpart of
+// the paper's Figs. 6 and 9.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/job_record.hpp"
+
+namespace rtseed::core {
+
+struct TaskTrace {
+  std::string name;
+  std::vector<JobRecord> records;
+};
+
+/// Renders trace-event JSON (the "traceEvents" array format).  Durations
+/// are microseconds, anchored so the earliest release is t = 0.
+std::string render_chrome_trace(const std::vector<TaskTrace>& tasks);
+
+/// Writes render_chrome_trace() to `path`.
+common::Status write_chrome_trace(const std::string& path,
+                                  const std::vector<TaskTrace>& tasks);
+
+}  // namespace rtseed::core

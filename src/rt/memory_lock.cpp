@@ -1,0 +1,37 @@
+#include "rt/memory_lock.hpp"
+
+#include <sys/mman.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+namespace rtseed::rt {
+
+namespace {
+std::atomic<bool> g_locked{false};
+}
+
+common::Status lock_all_memory() {
+  if (mlockall(MCL_CURRENT | MCL_FUTURE) != 0) {
+    return errno == EPERM
+               ? common::permission_denied("mlockall (CAP_IPC_LOCK?)")
+               : common::unavailable(std::string("mlockall: ") +
+                                     std::strerror(errno));
+  }
+  g_locked.store(true, std::memory_order_release);
+  return common::Status::ok();
+}
+
+common::Status unlock_all_memory() {
+  if (munlockall() != 0) {
+    return common::unavailable(std::string("munlockall: ") +
+                               std::strerror(errno));
+  }
+  g_locked.store(false, std::memory_order_release);
+  return common::Status::ok();
+}
+
+bool memory_locked() { return g_locked.load(std::memory_order_acquire); }
+
+}  // namespace rtseed::rt

@@ -1,0 +1,24 @@
+// Memory locking for real-time processes.
+//
+// A page fault inside a mandatory or wind-up part would add unbounded
+// latency, so production deployments lock the address space
+// (mlockall(MCL_CURRENT | MCL_FUTURE)) before entering the periodic
+// phase.  Containers without CAP_IPC_LOCK get PERMISSION_DENIED and the
+// middleware degrades gracefully (the same policy as SCHED_FIFO denial).
+#pragma once
+
+#include "common/status.hpp"
+
+namespace rtseed::rt {
+
+/// Locks current and future pages into RAM.
+common::Status lock_all_memory();
+
+/// Undoes lock_all_memory().
+common::Status unlock_all_memory();
+
+/// True while the process holds an mlockall() lock taken through
+/// lock_all_memory() (process-local bookkeeping, not a kernel query).
+bool memory_locked();
+
+}  // namespace rtseed::rt

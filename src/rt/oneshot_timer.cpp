@@ -1,0 +1,83 @@
+#include "rt/oneshot_timer.hpp"
+
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace rtseed::rt {
+
+int optional_deadline_signal() { return SIGRTMIN + 3; }
+
+common::Status install_deadline_handler(void (*handler)(int)) {
+  struct sigaction act {};
+  act.sa_handler = handler;
+  sigemptyset(&act.sa_mask);
+  act.sa_flags = 0;
+  if (sigaction(optional_deadline_signal(), &act, nullptr) != 0) {
+    return common::unavailable(std::string("sigaction: ") +
+                               std::strerror(errno));
+  }
+  return common::Status::ok();
+}
+
+common::Status OneShotTimer::create(int signo) {
+  if (created_) return common::failed_precondition("timer already created");
+  sigevent sev{};
+  sev.sigev_notify = SIGEV_THREAD_ID;
+  sev.sigev_signo = signo;
+#ifdef sigev_notify_thread_id
+  sev.sigev_notify_thread_id = static_cast<pid_t>(syscall(SYS_gettid));
+#else
+  sev._sigev_un._tid = static_cast<pid_t>(syscall(SYS_gettid));
+#endif
+  if (timer_create(CLOCK_MONOTONIC, &sev, &timer_) != 0) {
+    return common::unavailable(std::string("timer_create: ") +
+                               std::strerror(errno));
+  }
+  created_ = true;
+  return common::Status::ok();
+}
+
+common::Status OneShotTimer::arm_absolute(Nanos abs_deadline) {
+  if (!created_) return common::failed_precondition("timer not created");
+  itimerspec its{};
+  // An absolute time of 0 would disarm; clamp to 1ns so "deadline in the
+  // past" still fires immediately.
+  its.it_value = common::to_timespec(abs_deadline > 0 ? abs_deadline : 1);
+  its.it_interval = timespec{};  // one-shot
+  if (timer_settime(timer_, TIMER_ABSTIME, &its, nullptr) != 0) {
+    return common::unavailable(std::string("timer_settime: ") +
+                               std::strerror(errno));
+  }
+  return common::Status::ok();
+}
+
+common::Status OneShotTimer::arm_relative(Nanos delay) {
+  return arm_absolute(common::monotonic_now() + (delay > 0 ? delay : 0));
+}
+
+common::Status OneShotTimer::disarm() {
+  if (!created_) return common::failed_precondition("timer not created");
+  itimerspec stop{};
+  if (timer_settime(timer_, 0, &stop, nullptr) != 0) {
+    return common::unavailable(std::string("timer_settime(disarm): ") +
+                               std::strerror(errno));
+  }
+  return common::Status::ok();
+}
+
+common::Status OneShotTimer::destroy() {
+  if (!created_) return common::Status::ok();
+  created_ = false;
+  if (timer_delete(timer_) != 0) {
+    return common::unavailable(std::string("timer_delete: ") +
+                               std::strerror(errno));
+  }
+  return common::Status::ok();
+}
+
+OneShotTimer::~OneShotTimer() { (void)destroy(); }
+
+}  // namespace rtseed::rt

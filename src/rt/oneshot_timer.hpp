@@ -1,0 +1,62 @@
+// Per-thread one-shot POSIX timer — the optional-deadline timer of the
+// paper (§IV-D, Fig. 7).
+//
+// The paper arms a CLOCK_REALTIME timer whose SIGALRM handler siglongjmp's
+// out of the optional part.  A process-wide SIGALRM is ambiguous about
+// *which* thread receives the signal, so this implementation uses Linux's
+// SIGEV_THREAD_ID notification to deliver a dedicated real-time signal to
+// the exact optional thread that armed the timer; semantics are otherwise
+// identical (one-shot, absolute deadline, cancellable).
+#pragma once
+
+#include <csignal>
+#include <ctime>
+
+#include "common/status.hpp"
+#include "common/time.hpp"
+
+namespace rtseed::rt {
+
+using common::Nanos;
+
+/// The signal RT-Seed uses for optional-deadline expiry.
+int optional_deadline_signal();
+
+/// Installs `handler` for the optional-deadline signal process-wide.
+/// SA_SIGINFO is not needed; the handler performs siglongjmp.
+common::Status install_deadline_handler(void (*handler)(int));
+
+class OneShotTimer {
+ public:
+  OneShotTimer() = default;
+  OneShotTimer(const OneShotTimer&) = delete;
+  OneShotTimer& operator=(const OneShotTimer&) = delete;
+  ~OneShotTimer();
+
+  /// Creates the timer targeting the *calling* thread.  Must be called on
+  /// the thread that will receive expirations.
+  common::Status create(int signo = optional_deadline_signal());
+
+  /// Arms for an absolute CLOCK_MONOTONIC time.  A deadline already in the
+  /// past fires immediately (POSIX one-shot semantics).
+  common::Status arm_absolute(Nanos abs_deadline);
+
+  /// Arms for `delay` from now.
+  common::Status arm_relative(Nanos delay);
+
+  /// Stops the timer without deleting it (paper: "stop optional deadline
+  /// timer" after the optional part completes early).
+  common::Status disarm();
+
+  bool created() const { return created_; }
+
+  /// Expirations that have been delivered (diagnostic; reads the overrun
+  /// count is not needed for one-shot use).
+  common::Status destroy();
+
+ private:
+  timer_t timer_{};
+  bool created_ = false;
+};
+
+}  // namespace rtseed::rt

@@ -1,0 +1,50 @@
+#include "rt/periodic_clock.hpp"
+
+#include <cassert>
+#include <cerrno>
+#include <ctime>
+
+namespace rtseed::rt {
+
+void sleep_until(Nanos abs_time) {
+  const timespec ts = common::to_timespec(abs_time < 0 ? 0 : abs_time);
+  int rc;
+  do {
+    rc = clock_nanosleep(CLOCK_MONOTONIC, TIMER_ABSTIME, &ts, nullptr);
+  } while (rc == EINTR);
+}
+
+void sleep_for(Nanos duration) {
+  if (duration <= 0) return;
+  sleep_until(common::monotonic_now() + duration);
+}
+
+PeriodicClock::PeriodicClock(Nanos period, Nanos initial_offset)
+    : period_(period), initial_offset_(initial_offset) {
+  assert(period > 0);
+}
+
+void PeriodicClock::start() {
+  next_release_ = common::monotonic_now() + initial_offset_;
+  job_index_ = -1;
+  overruns_ = 0;
+  started_ = true;
+}
+
+Nanos PeriodicClock::wait_next_release() {
+  assert(started_);
+  const Nanos now = common::monotonic_now();
+  // Skip releases the previous job ran through.
+  while (next_release_ + period_ <= now) {
+    next_release_ += period_;
+    ++job_index_;
+    ++overruns_;
+  }
+  if (next_release_ > now) sleep_until(next_release_);
+  current_release_ = next_release_;
+  next_release_ += period_;
+  ++job_index_;
+  return current_release_;
+}
+
+}  // namespace rtseed::rt

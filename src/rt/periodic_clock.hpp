@@ -1,0 +1,58 @@
+// Absolute-time periodic release clock.
+//
+// Implements the paper's release pattern: the mandatory thread sleeps until
+// its next release in clock_nanosleep(TIMER_ABSTIME) on CLOCK_MONOTONIC.
+// Using absolute deadlines avoids cumulative drift; a job that finishes
+// after its next release time is detected as an overrun and releases are
+// skipped forward (never executed back-to-back to "catch up").
+#pragma once
+
+#include "common/time.hpp"
+#include "common/types.hpp"
+
+namespace rtseed::rt {
+
+using common::JobId;
+using common::Nanos;
+
+class PeriodicClock {
+ public:
+  /// Period must be positive.  The first release is `initial_offset` after
+  /// start() is called.
+  explicit PeriodicClock(Nanos period, Nanos initial_offset = 0);
+
+  /// Anchors release 0 at now + initial_offset.
+  void start();
+
+  /// Sleeps until the next release; returns its absolute time.
+  /// Must be called after start().
+  Nanos wait_next_release();
+
+  /// Absolute time of the release that wait_next_release() returned last.
+  Nanos current_release() const { return current_release_; }
+  /// Absolute deadline of the current job (release + period).
+  Nanos current_deadline() const { return current_release_ + period_; }
+  /// Index of the current job (0-based), counting skipped releases.
+  JobId job_index() const { return job_index_; }
+  /// Number of releases skipped because the previous job ran past them.
+  long overruns() const { return overruns_; }
+
+  Nanos period() const { return period_; }
+
+ private:
+  Nanos period_;
+  Nanos initial_offset_;
+  Nanos next_release_ = 0;
+  Nanos current_release_ = 0;
+  JobId job_index_ = -1;
+  long overruns_ = 0;
+  bool started_ = false;
+};
+
+/// Sleeps until the given absolute CLOCK_MONOTONIC time (EINTR-safe).
+void sleep_until(Nanos abs_time);
+
+/// Sleeps for the given duration (EINTR-safe).
+void sleep_for(Nanos duration);
+
+}  // namespace rtseed::rt

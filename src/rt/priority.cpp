@@ -1,0 +1,19 @@
+#include "rt/priority.hpp"
+
+namespace rtseed::rt {
+
+common::Expected<int> mandatory_priority_for_rank(int rank, int num_tasks) {
+  if (num_tasks <= 0) {
+    return common::invalid_argument("num_tasks must be positive");
+  }
+  constexpr int kBand = kMandatoryMax - kMandatoryMin + 1;
+  if (num_tasks > kBand) {
+    return common::invalid_argument("too many tasks for the mandatory band");
+  }
+  if (rank < 0 || rank >= num_tasks) {
+    return common::invalid_argument("rank out of range");
+  }
+  return kMandatoryMax - rank;
+}
+
+}  // namespace rtseed::rt

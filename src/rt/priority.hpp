@@ -1,0 +1,44 @@
+// RT-Seed's SCHED_FIFO priority bands (paper §IV-B, Fig. 5).
+//
+//   99        HPQ   — reserved for the highest-priority task (e.g. RM-US)
+//   [50, 98]  RTQ   — mandatory/wind-up threads, rate-monotonic order
+//   [1, 49]   NRTQ  — parallel optional threads, exactly kPriorityGap (=49)
+//                     levels below their task's mandatory thread
+//
+// Every mandatory/wind-up part therefore out-prioritizes every optional
+// part, which is precisely the property Theorems 1 and 2 rely on.
+#pragma once
+
+#include "common/status.hpp"
+
+namespace rtseed::rt {
+
+inline constexpr int kMinFifoPriority = 1;
+inline constexpr int kMaxFifoPriority = 99;
+
+inline constexpr int kHpqPriority = 99;
+inline constexpr int kMandatoryMin = 50;
+inline constexpr int kMandatoryMax = 98;
+inline constexpr int kOptionalMin = 1;
+inline constexpr int kOptionalMax = 49;
+inline constexpr int kPriorityGap = 49;
+
+constexpr bool is_mandatory_priority(int p) {
+  return p >= kMandatoryMin && p <= kMandatoryMax;
+}
+constexpr bool is_optional_priority(int p) {
+  return p >= kOptionalMin && p <= kOptionalMax;
+}
+
+/// Priority of a task's optional threads given its mandatory priority
+/// (paper: "the difference between the priorities ... is 49").
+constexpr int optional_priority_for(int mandatory_priority) {
+  return mandatory_priority - kPriorityGap;
+}
+
+/// Maps rate-monotonic rank 0 (highest rate) .. n-1 to the mandatory band,
+/// descending from kMandatoryMax.  INVALID_ARGUMENT when the band cannot
+/// hold n tasks.
+common::Expected<int> mandatory_priority_for_rank(int rank, int num_tasks);
+
+}  // namespace rtseed::rt

@@ -1,0 +1,47 @@
+#include "rt/signal_guard.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+namespace rtseed::rt {
+
+bool is_signal_blocked(int signo) {
+  sigset_t current;
+  sigemptyset(&current);
+  pthread_sigmask(SIG_SETMASK, nullptr, &current);
+  return sigismember(&current, signo) == 1;
+}
+
+namespace {
+
+common::Status change_mask(int how, int signo) {
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, signo);
+  if (pthread_sigmask(how, &set, nullptr) != 0) {
+    return common::unavailable(std::string("pthread_sigmask: ") +
+                               std::strerror(errno));
+  }
+  return common::Status::ok();
+}
+
+}  // namespace
+
+common::Status block_signal(int signo) { return change_mask(SIG_BLOCK, signo); }
+
+common::Status unblock_signal(int signo) {
+  return change_mask(SIG_UNBLOCK, signo);
+}
+
+ScopedSignalBlock::ScopedSignalBlock(int signo) {
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, signo);
+  engaged_ = pthread_sigmask(SIG_BLOCK, &set, &previous_) == 0;
+}
+
+ScopedSignalBlock::~ScopedSignalBlock() {
+  if (engaged_) pthread_sigmask(SIG_SETMASK, &previous_, nullptr);
+}
+
+}  // namespace rtseed::rt

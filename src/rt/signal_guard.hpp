@@ -1,0 +1,37 @@
+// Signal-mask helpers.
+//
+// Table I of the paper hinges on signal-mask restoration: siglongjmp
+// restores the mask saved by sigsetjmp(.., 1), while escaping a signal
+// handler via a C++ exception leaves the handled signal blocked, so the
+// next job's deadline timer never fires.  These helpers let the middleware
+// and the Table-I experiment manipulate and observe that state precisely.
+#pragma once
+
+#include <csignal>
+
+#include "common/status.hpp"
+
+namespace rtseed::rt {
+
+/// True when `signo` is blocked in the calling thread's mask.
+bool is_signal_blocked(int signo);
+
+/// Blocks/unblocks one signal in the calling thread.
+common::Status block_signal(int signo);
+common::Status unblock_signal(int signo);
+
+/// RAII: blocks `signo` on construction, restores the previous mask on
+/// destruction.  Used around non-restartable critical sections.
+class ScopedSignalBlock {
+ public:
+  explicit ScopedSignalBlock(int signo);
+  ~ScopedSignalBlock();
+  ScopedSignalBlock(const ScopedSignalBlock&) = delete;
+  ScopedSignalBlock& operator=(const ScopedSignalBlock&) = delete;
+
+ private:
+  sigset_t previous_{};
+  bool engaged_ = false;
+};
+
+}  // namespace rtseed::rt

@@ -1,0 +1,119 @@
+#include "rt/thread.hpp"
+
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <mutex>
+
+#include "common/rt_logger.hpp"
+#include "rt/priority.hpp"
+
+namespace rtseed::rt {
+
+std::string RtCapabilities::to_string() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "sched_fifo=%s affinity=%s cpus=%d",
+                sched_fifo ? "yes" : "no", affinity ? "yes" : "no", num_cpus);
+  return buf;
+}
+
+namespace {
+
+RtCapabilities probe_capabilities() {
+  RtCapabilities caps;
+  caps.num_cpus =
+      std::max(1, static_cast<int>(sysconf(_SC_NPROCESSORS_ONLN)));
+
+  // SCHED_FIFO probe: try to raise and immediately restore this thread.
+  sched_param orig{};
+  const int orig_policy = sched_getscheduler(0);
+  sched_getparam(0, &orig);
+  sched_param probe{};
+  probe.sched_priority = kMinFifoPriority;
+  if (sched_setscheduler(0, SCHED_FIFO, &probe) == 0) {
+    caps.sched_fifo = true;
+    sched_setscheduler(0, orig_policy < 0 ? SCHED_OTHER : orig_policy, &orig);
+  }
+
+  // Affinity probe: re-apply the current mask.
+  cpu_set_t cur;
+  if (sched_getaffinity(0, sizeof(cur), &cur) == 0 &&
+      sched_setaffinity(0, sizeof(cur), &cur) == 0) {
+    caps.affinity = true;
+  }
+  return caps;
+}
+
+}  // namespace
+
+const RtCapabilities& rt_capabilities() {
+  static const RtCapabilities caps = probe_capabilities();
+  return caps;
+}
+
+common::Status configure_current_thread(const ThreadConfig& config) {
+  std::string denied;
+
+  if (!config.name.empty()) {
+    char name[16] = {};
+    std::strncpy(name, config.name.c_str(), sizeof(name) - 1);
+    pthread_setname_np(pthread_self(), name);
+  }
+
+  if (config.fifo_priority > 0) {
+    sched_param sp{};
+    sp.sched_priority = config.fifo_priority;
+    if (sched_setscheduler(0, SCHED_FIFO, &sp) != 0) {
+      denied += "SCHED_FIFO(" + std::to_string(config.fifo_priority) + ") ";
+      common::global_logger().warn(
+          "thread %s: SCHED_FIFO prio %d denied (%s); running best-effort",
+          config.name.c_str(), config.fifo_priority, std::strerror(errno));
+    }
+  }
+
+  if (!config.affinity.empty()) {
+    // Ignore CPUs that do not exist on this host so synthetic placements
+    // (e.g. Xeon Phi CPU ids) degrade to "wherever fits".
+    CpuSet mask;
+    for (int cpu = 0; cpu < rt_capabilities().num_cpus; ++cpu) {
+      if (config.affinity.contains(cpu)) mask.add(cpu);
+    }
+    if (mask.empty()) mask = CpuSet::online();
+    if (auto st = set_current_affinity(mask); !st) {
+      denied += "affinity" + mask.to_string() + " ";
+      common::global_logger().warn("thread %s: affinity denied (%s)",
+                                   config.name.c_str(),
+                                   st.to_string().c_str());
+    }
+  }
+
+  if (denied.empty()) return common::Status::ok();
+  return common::permission_denied(denied);
+}
+
+RtThread::RtThread(ThreadConfig config, std::function<void()> body) {
+  std::promise<common::Status> configured;
+  auto configured_future = configured.get_future();
+  thread_ = std::thread(
+      [config = std::move(config), body = std::move(body),
+       promise = std::move(configured)]() mutable {
+        promise.set_value(configure_current_thread(config));
+        body();
+      });
+  config_status_ = configured_future.get();
+}
+
+RtThread::~RtThread() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void RtThread::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace rtseed::rt

@@ -1,0 +1,68 @@
+// Joining real-time thread with SCHED_FIFO priority and CPU affinity.
+//
+// RT-Seed creates every middleware thread through this wrapper so that
+// (a) threads are always joined (CP.25/CP.26: never detach), and
+// (b) real-time configuration failures degrade gracefully: in an
+//     unprivileged container sched_setscheduler returns EPERM, in which
+//     case the thread runs SCHED_OTHER and the degradation is recorded in
+//     RtCapabilities and the global logger instead of aborting.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "common/status.hpp"
+#include "rt/cpuset.hpp"
+
+namespace rtseed::rt {
+
+/// What the host actually permits; probed once per process.
+struct RtCapabilities {
+  bool sched_fifo = false;   ///< may set SCHED_FIFO priorities
+  bool affinity = false;     ///< may pin threads
+  int num_cpus = 1;
+
+  std::string to_string() const;
+};
+
+/// Probes (cached after the first call; cheap afterwards).
+const RtCapabilities& rt_capabilities();
+
+struct ThreadConfig {
+  std::string name;          ///< pthread name (<=15 chars effective)
+  int fifo_priority = 0;     ///< 0 = do not request SCHED_FIFO
+  CpuSet affinity;           ///< empty = do not pin
+};
+
+/// Applies policy/priority/affinity to the calling thread.  Returns OK on
+/// full success; PERMISSION_DENIED if any part was denied (the thread keeps
+/// running best-effort).
+common::Status configure_current_thread(const ThreadConfig& config);
+
+/// A joining thread that applies ThreadConfig before running `body`.
+class RtThread {
+ public:
+  RtThread() = default;
+  RtThread(ThreadConfig config, std::function<void()> body);
+
+  RtThread(const RtThread&) = delete;
+  RtThread& operator=(const RtThread&) = delete;
+  RtThread(RtThread&&) = default;
+  RtThread& operator=(RtThread&&) = default;
+
+  /// Joins if joinable (a destructor must not leak a running thread).
+  ~RtThread();
+
+  bool joinable() const { return thread_.joinable(); }
+  void join();
+
+  /// Status of applying the real-time configuration (valid after start).
+  common::Status config_status() const { return config_status_; }
+
+ private:
+  std::thread thread_;
+  common::Status config_status_;
+};
+
+}  // namespace rtseed::rt

@@ -1,0 +1,117 @@
+#include "rt/topology.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <map>
+
+namespace rtseed::rt {
+
+Topology Topology::uniform(int cores, int smt_per_core) {
+  assert(cores > 0 && smt_per_core > 0);
+  Topology t;
+  t.num_cores_ = cores;
+  t.smt_per_core_ = smt_per_core;
+  const int cpus = cores * smt_per_core;
+  t.cpu_of_.resize(static_cast<size_t>(cpus));
+  t.core_of_.resize(static_cast<size_t>(cpus));
+  t.sibling_of_.resize(static_cast<size_t>(cpus));
+  for (int core = 0; core < cores; ++core) {
+    for (int sib = 0; sib < smt_per_core; ++sib) {
+      const CpuId cpu = core * smt_per_core + sib;
+      t.cpu_of_[static_cast<size_t>(cpu)] = cpu;
+      t.core_of_[static_cast<size_t>(cpu)] = core;
+      t.sibling_of_[static_cast<size_t>(cpu)] = sib;
+    }
+  }
+  return t;
+}
+
+namespace {
+
+// Reads "/sys/devices/system/cpu/cpuN/topology/core_id"; -1 on failure.
+int read_core_id(int cpu) {
+  char path[128];
+  std::snprintf(path, sizeof(path),
+                "/sys/devices/system/cpu/cpu%d/topology/core_id", cpu);
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) return -1;
+  int id = -1;
+  if (std::fscanf(f, "%d", &id) != 1) id = -1;
+  std::fclose(f);
+  return id;
+}
+
+}  // namespace
+
+Topology Topology::native() {
+  const int nproc =
+      std::max(1, static_cast<int>(sysconf(_SC_NPROCESSORS_ONLN)));
+
+  // Group CPUs by physical core id from sysfs.
+  std::map<int, std::vector<int>> by_core;
+  bool sysfs_ok = true;
+  for (int cpu = 0; cpu < nproc; ++cpu) {
+    const int core = read_core_id(cpu);
+    if (core < 0) {
+      sysfs_ok = false;
+      break;
+    }
+    by_core[core].push_back(cpu);
+  }
+  if (!sysfs_ok || by_core.empty()) return uniform(nproc, 1);
+
+  // Require a uniform SMT width; otherwise treat each CPU as its own core
+  // (safe, conservative).
+  const size_t smt = by_core.begin()->second.size();
+  for (const auto& [core, cpus] : by_core) {
+    if (cpus.size() != smt) return uniform(nproc, 1);
+  }
+
+  Topology t;
+  t.num_cores_ = static_cast<int>(by_core.size());
+  t.smt_per_core_ = static_cast<int>(smt);
+  const int cpus = t.num_cores_ * t.smt_per_core_;
+  t.cpu_of_.resize(static_cast<size_t>(cpus));
+  t.core_of_.assign(static_cast<size_t>(nproc), 0);
+  t.sibling_of_.assign(static_cast<size_t>(nproc), 0);
+  int core_index = 0;
+  for (const auto& [core, members] : by_core) {
+    for (size_t sib = 0; sib < members.size(); ++sib) {
+      const CpuId cpu = members[sib];
+      t.cpu_of_[static_cast<size_t>(core_index) * smt + sib] = cpu;
+      t.core_of_[static_cast<size_t>(cpu)] = core_index;
+      t.sibling_of_[static_cast<size_t>(cpu)] = static_cast<int>(sib);
+    }
+    ++core_index;
+  }
+  return t;
+}
+
+CpuId Topology::cpu_at(CoreId core, int sibling) const {
+  assert(core >= 0 && core < num_cores_);
+  assert(sibling >= 0 && sibling < smt_per_core_);
+  return cpu_of_[static_cast<size_t>(core) * static_cast<size_t>(smt_per_core_) +
+                 static_cast<size_t>(sibling)];
+}
+
+CoreId Topology::core_of(CpuId cpu) const {
+  assert(valid_cpu(cpu));
+  return core_of_[static_cast<size_t>(cpu)];
+}
+
+int Topology::sibling_of(CpuId cpu) const {
+  assert(valid_cpu(cpu));
+  return sibling_of_[static_cast<size_t>(cpu)];
+}
+
+std::string Topology::to_string() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%d cores x %d hw-threads (%d CPUs)",
+                num_cores_, smt_per_core_, num_cpus());
+  return buf;
+}
+
+}  // namespace rtseed::rt

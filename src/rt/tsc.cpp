@@ -1,0 +1,60 @@
+#include "rt/tsc.hpp"
+
+#if defined(__x86_64__)
+#include <x86intrin.h>
+#endif
+
+namespace rtseed::rt {
+
+using common::Nanos;
+using common::u64;
+
+bool tsc_is_native() {
+#if defined(__x86_64__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+u64 rdtscp_now() {
+#if defined(__x86_64__)
+  unsigned aux = 0;
+  return __rdtscp(&aux);
+#else
+  return static_cast<u64>(common::monotonic_now());
+#endif
+}
+
+namespace {
+
+double calibrate_frequency() {
+#if defined(__x86_64__)
+  // Measure TSC ticks across a short monotonic-clock window.
+  const Nanos t0 = common::monotonic_now();
+  const u64 c0 = rdtscp_now();
+  Nanos t1;
+  do {
+    t1 = common::monotonic_now();
+  } while (t1 - t0 < common::millis(10));
+  const u64 c1 = rdtscp_now();
+  const double secs = common::to_seconds(t1 - t0);
+  return static_cast<double>(c1 - c0) / secs;
+#else
+  return 1e9;  // fallback counts nanoseconds directly
+#endif
+}
+
+}  // namespace
+
+double tsc_frequency_hz() {
+  static const double freq = calibrate_frequency();
+  return freq;
+}
+
+Nanos cycles_to_nanos(u64 cycles) {
+  return static_cast<Nanos>(static_cast<double>(cycles) * 1e9 /
+                            tsc_frequency_hz());
+}
+
+}  // namespace rtseed::rt

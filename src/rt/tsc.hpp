@@ -1,0 +1,26 @@
+// Cycle-accurate timestamps.
+//
+// The paper measures its four overheads with rdtscp.  On x86-64 we do the
+// same (rdtscp serializes against earlier instructions and reports the CPU
+// id); elsewhere we fall back to CLOCK_MONOTONIC.  cycles_to_nanos() uses a
+// once-per-process calibration of the invariant TSC frequency.
+#pragma once
+
+#include "common/time.hpp"
+#include "common/types.hpp"
+
+namespace rtseed::rt {
+
+/// Reads the timestamp counter (or a monotonic-clock fallback).
+common::u64 rdtscp_now();
+
+/// TSC ticks per second, calibrated on first use.
+double tsc_frequency_hz();
+
+/// Converts a tick delta to nanoseconds.
+common::Nanos cycles_to_nanos(common::u64 cycles);
+
+/// True when the build/host uses the real rdtscp instruction.
+bool tsc_is_native();
+
+}  // namespace rtseed::rt

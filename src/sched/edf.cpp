@@ -1,0 +1,30 @@
+#include "sched/edf.hpp"
+
+#include <cassert>
+
+namespace rtseed::sched {
+
+bool edf_schedulable(const TaskSet& tasks) {
+  return tasks.total_utilization() <= 1.0 + 1e-12;
+}
+
+bool edf_wind_up_schedulable(const TaskSet& tasks,
+                             const std::vector<Nanos>& optional_deadline) {
+  assert(static_cast<int>(optional_deadline.size()) == tasks.size());
+  // Density test over the two sub-jobs of each task: the mandatory part has
+  // window [0, ODᵢ], the wind-up part [ODᵢ, Dᵢ].  Density ≤ 1 is sufficient
+  // for EDF with constrained deadlines.
+  double density = 0.0;
+  for (TaskId i = 0; i < tasks.size(); ++i) {
+    const auto& t = tasks[i];
+    const Nanos od = optional_deadline[static_cast<size_t>(i)];
+    const Nanos wind_window = t.effective_deadline() - od;
+    if (od <= 0 || wind_window <= 0) return false;
+    density += static_cast<double>(t.mandatory) / static_cast<double>(od);
+    density +=
+        static_cast<double>(t.windup) / static_cast<double>(wind_window);
+  }
+  return density <= 1.0 + 1e-12;
+}
+
+}  // namespace rtseed::sched

@@ -1,0 +1,22 @@
+// Earliest-deadline-first baseline (uniprocessor, implicit deadlines).
+//
+// Used as the dynamic-priority comparison point in the schedulability
+// ablation (the paper contrasts semi-fixed-priority scheduling with the
+// dynamic-priority approach of [4], which is impractical on many-cores
+// because optional slack is computed online).
+#pragma once
+
+#include "sched/task_model.hpp"
+
+namespace rtseed::sched {
+
+/// Exact for implicit deadlines: ΣUᵢ ≤ 1.
+bool edf_schedulable(const TaskSet& tasks);
+
+/// EDF with wind-up parts treated like RMWP's: the mandatory part runs as
+/// an EDF job with deadline ODᵢ and the wind-up part as a job released at
+/// ODᵢ with deadline Dᵢ.  Sufficient density-based test.
+bool edf_wind_up_schedulable(const TaskSet& tasks,
+                             const std::vector<Nanos>& optional_deadline);
+
+}  // namespace rtseed::sched

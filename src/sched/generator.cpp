@@ -1,0 +1,57 @@
+#include "sched/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rtseed::sched {
+
+std::vector<double> uunifast(int n, double total, common::Rng& rng) {
+  std::vector<double> u(static_cast<size_t>(std::max(0, n)));
+  if (n <= 0) return u;
+  double sum = total;
+  for (int i = 0; i < n - 1; ++i) {
+    const double next =
+        sum * std::pow(rng.uniform(), 1.0 / static_cast<double>(n - 1 - i));
+    u[static_cast<size_t>(i)] = sum - next;
+    sum = next;
+  }
+  u[static_cast<size_t>(n - 1)] = sum;
+  return u;
+}
+
+TaskSet generate_task_set(const GeneratorConfig& config, common::Rng& rng) {
+  TaskSet set;
+  const auto utils =
+      uunifast(config.num_tasks, config.total_utilization, rng);
+  const double log_min = std::log(static_cast<double>(config.min_period));
+  const double log_max = std::log(static_cast<double>(config.max_period));
+
+  for (int i = 0; i < config.num_tasks; ++i) {
+    ImpreciseTaskParams t;
+    t.name = "tau" + std::to_string(i + 1);
+    t.period = static_cast<Nanos>(
+        std::exp(rng.uniform(log_min, log_max)));
+    t.period = std::max<Nanos>(t.period, 2);
+
+    const double u = std::min(utils[static_cast<size_t>(i)], 1.0);
+    const auto wcet = static_cast<Nanos>(
+        u * static_cast<double>(t.period));
+    const Nanos c = std::max<Nanos>(wcet, 2);
+    t.windup = std::max<Nanos>(
+        static_cast<Nanos>(config.windup_fraction *
+                           static_cast<double>(c)),
+        1);
+    t.windup = std::min(t.windup, c - 1);
+    t.mandatory = c - t.windup;
+
+    const auto o = static_cast<Nanos>(
+        config.optional_scale * static_cast<double>(c));
+    for (int k = 0; k < config.optional_parts; ++k) {
+      t.optional.push_back(std::max<Nanos>(o, 1));
+    }
+    set.add(std::move(t));
+  }
+  return set;
+}
+
+}  // namespace rtseed::sched

@@ -1,0 +1,169 @@
+#include "sched/mrmwp.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace rtseed::sched {
+
+Nanos MultiPhaseTaskParams::total_mandatory() const {
+  Nanos total = 0;
+  for (Nanos m : mandatory) total += m;
+  return total;
+}
+
+double MultiPhaseTaskParams::utilization() const {
+  return period > 0 ? static_cast<double>(total_mandatory()) /
+                          static_cast<double>(period)
+                    : 0.0;
+}
+
+common::Status MultiPhaseTaskParams::validate() const {
+  if (period <= 0) {
+    return common::invalid_argument(name + ": period must be positive");
+  }
+  if (mandatory.empty()) {
+    return common::invalid_argument(name + ": needs >= 1 mandatory segment");
+  }
+  for (Nanos m : mandatory) {
+    if (m <= 0) {
+      return common::invalid_argument(name +
+                                      ": mandatory segments must be positive");
+    }
+  }
+  if (num_phases() > num_segments() - 1) {
+    return common::invalid_argument(
+        name + ": at most N-1 optional phases for N segments");
+  }
+  for (const auto& phase : optional) {
+    for (Nanos o : phase) {
+      if (o < 0) {
+        return common::invalid_argument(name + ": negative optional part");
+      }
+    }
+  }
+  const Nanos d = effective_deadline();
+  if (d > period) {
+    return common::invalid_argument(name + ": deadline exceeds period");
+  }
+  if (total_mandatory() > d) {
+    return common::invalid_argument(name +
+                                    ": mandatory work exceeds deadline");
+  }
+  return common::Status::ok();
+}
+
+namespace {
+
+Nanos ceil_div(Nanos a, Nanos b) {
+  assert(b > 0);
+  return (a + b - 1) / b;
+}
+
+// Least fixed point of own + interference over the window; nullopt when it
+// exceeds `horizon`.
+std::optional<Nanos> busy_window(Nanos own, const std::vector<Nanos>& hp_cost,
+                                 const std::vector<Nanos>& hp_period,
+                                 Nanos horizon) {
+  if (own <= 0) return Nanos{0};
+  Nanos w = own;
+  for (;;) {
+    Nanos next = own;
+    for (size_t j = 0; j < hp_cost.size(); ++j) {
+      next += ceil_div(w, hp_period[j]) * hp_cost[j];
+    }
+    if (next > horizon) return std::nullopt;
+    if (next == w) return w;
+    w = next;
+  }
+}
+
+}  // namespace
+
+MrmwpAnalysis analyze_mrmwp(const std::vector<MultiPhaseTaskParams>& tasks) {
+  MrmwpAnalysis out;
+  const size_t n = tasks.size();
+  out.optional_deadline.resize(n);
+  out.tail_window.resize(n);
+  out.prefix_response.resize(n);
+  if (tasks.empty()) return out;
+  for (const auto& t : tasks) {
+    if (!t.validate()) return out;  // schedulable stays false
+  }
+
+  // RM order by period (ties by index).
+  std::vector<TaskId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](TaskId a, TaskId b) {
+    if (tasks[static_cast<size_t>(a)].period !=
+        tasks[static_cast<size_t>(b)].period) {
+      return tasks[static_cast<size_t>(a)].period <
+             tasks[static_cast<size_t>(b)].period;
+    }
+    return a < b;
+  });
+
+  out.schedulable = true;
+  std::vector<Nanos> hp_cost;
+  std::vector<Nanos> hp_period;
+  for (TaskId id : order) {
+    const auto& t = tasks[static_cast<size_t>(id)];
+    const auto idx = static_cast<size_t>(id);
+    const Nanos d = t.effective_deadline();
+    const int segments = t.num_segments();
+    const int phases = std::min(t.num_phases(), segments - 1);
+
+    out.optional_deadline[idx].assign(static_cast<size_t>(phases), 0);
+    out.tail_window[idx].assign(static_cast<size_t>(phases), 0);
+    out.prefix_response[idx].assign(static_cast<size_t>(segments),
+                                    std::nullopt);
+
+    // Optional deadlines from mandatory tails (phase k follows segment
+    // k+1, so its tail is m^{k+2}..m^N in 1-based terms; here 0-based:
+    // phase k's tail = segments k+1..N-1).
+    bool feasible = true;
+    for (int k = 0; k < phases; ++k) {
+      Nanos tail = 0;
+      for (int j = k + 1; j < segments; ++j) {
+        tail += t.mandatory[static_cast<size_t>(j)];
+      }
+      const auto window = busy_window(tail, hp_cost, hp_period, d);
+      if (!window.has_value()) {
+        feasible = false;
+        break;
+      }
+      out.tail_window[idx][static_cast<size_t>(k)] = *window;
+      out.optional_deadline[idx][static_cast<size_t>(k)] = d - *window;
+    }
+
+    // Prefix response times: m¹..m^{k+1} must complete by ODᵏ (the phase
+    // that follows), and the full prefix by D.
+    Nanos prefix = 0;
+    for (int k = 0; k < segments && feasible; ++k) {
+      prefix += t.mandatory[static_cast<size_t>(k)];
+      const auto response = busy_window(prefix, hp_cost, hp_period, d);
+      out.prefix_response[idx][static_cast<size_t>(k)] = response;
+      if (!response.has_value()) {
+        feasible = false;
+        break;
+      }
+      const Nanos bound =
+          k < phases ? out.optional_deadline[idx][static_cast<size_t>(k)] : d;
+      if (*response > bound || bound < 0) feasible = false;
+    }
+
+    if (!feasible) {
+      out.schedulable = false;
+      break;
+    }
+    hp_cost.push_back(t.total_mandatory());
+    hp_period.push_back(t.period);
+  }
+  return out;
+}
+
+bool mrmwp_schedulable(const std::vector<MultiPhaseTaskParams>& tasks) {
+  return analyze_mrmwp(tasks).schedulable;
+}
+
+}  // namespace rtseed::sched

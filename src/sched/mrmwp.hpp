@@ -1,0 +1,76 @@
+// RMWP-MP — semi-fixed-priority scheduling for the PRACTICAL imprecise
+// computation model with multiple mandatory parts (the RT-Seed paper's
+// future work; Chishiro & Yamasaki 2013, the paper's reference [33]).
+//
+// A multi-phase task interleaves N mandatory segments with N−1 optional
+// phases:
+//
+//   m¹ → o¹ → m² → o² → ... → o^{N−1} → m^N
+//   ▲    ✂OD¹      ✂OD²              ✂OD^{N−1}        ▲D
+//
+// Each optional phase k has its own optional deadline ODᵏ, computed
+// offline so the REMAINING mandatory work m^{k+1}..m^N (plus
+// higher-priority interference) always completes by the deadline:
+//
+//   Wᵏ  = Σ_{j>k} mʲ                                  (mandatory tail)
+//   Lᵏ  = Wᵏ + Σ_{hp} ⌈Lᵏ/Tⱼ⌉·Cⱼ   (busy-window fixed point, Cⱼ = Σ mⱼ)
+//   ODᵏ = D − Lᵏ
+//
+// and schedulability requires each mandatory PREFIX to meet its phase's
+// deadline: Rᵏ = (Σ_{j≤k} mʲ) + interference ≤ ODᵏ for k < N, and
+// R^N ≤ D.  With N = 2 (mandatory + wind-up) this is exactly RMWP, which
+// tests assert.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/time.hpp"
+#include "common/types.hpp"
+
+namespace rtseed::sched {
+
+using common::Nanos;
+using common::TaskId;
+
+struct MultiPhaseTaskParams {
+  std::string name;
+  /// N ≥ 1 mandatory segments m¹..m^N.
+  std::vector<Nanos> mandatory;
+  /// N−1 optional phases; optional[k] holds the parallel parts of phase
+  /// k (after segment k+1).  Sizes beyond N−1 are invalid.
+  std::vector<std::vector<Nanos>> optional;
+  Nanos period = 0;
+  Nanos deadline = 0;  ///< 0 = period
+
+  Nanos effective_deadline() const { return deadline > 0 ? deadline : period; }
+  int num_segments() const { return static_cast<int>(mandatory.size()); }
+  int num_phases() const { return static_cast<int>(optional.size()); }
+
+  /// Cᵢ = Σ mʲ (optional phases carry no utilization, as in §II-A).
+  Nanos total_mandatory() const;
+  double utilization() const;
+
+  common::Status validate() const;
+};
+
+struct MrmwpAnalysis {
+  bool schedulable = false;
+  /// optional_deadline[i][k] = ODᵏ of task i's phase k (relative to
+  /// release); size = num_phases of that task.
+  std::vector<std::vector<Nanos>> optional_deadline;
+  /// tail_window[i][k] = Lᵏ.
+  std::vector<std::vector<Nanos>> tail_window;
+  /// prefix_response[i][k] = worst-case completion of m¹..m^{k+1}
+  /// (k = 0..N−1; the last entry is the whole-task response time).
+  std::vector<std::vector<std::optional<Nanos>>> prefix_response;
+};
+
+/// Analyzes one processor's multi-phase task set under RM priorities.
+MrmwpAnalysis analyze_mrmwp(const std::vector<MultiPhaseTaskParams>& tasks);
+
+bool mrmwp_schedulable(const std::vector<MultiPhaseTaskParams>& tasks);
+
+}  // namespace rtseed::sched

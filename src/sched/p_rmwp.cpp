@@ -1,0 +1,121 @@
+#include "sched/p_rmwp.hpp"
+
+#include <algorithm>
+
+#include "rt/priority.hpp"
+#include "sched/rm.hpp"
+#include "sched/rmus.hpp"
+
+namespace rtseed::sched {
+
+PRmwpPlan plan_p_rmwp(const TaskSet& tasks, int num_processors,
+                      const PRmwpOptions& options) {
+  PRmwpPlan plan;
+  plan.tasks.assign(static_cast<size_t>(tasks.size()), TaskPlan{});
+
+  if (auto st = tasks.validate(); !st) {
+    plan.diagnostics = "invalid task set: " + st.to_string();
+    return plan;
+  }
+  if (num_processors <= 0) {
+    plan.diagnostics = "num_processors must be positive";
+    return plan;
+  }
+
+  // 1. Partition with per-processor RMWP admission.
+  const auto partition = partition_tasks(
+      tasks, num_processors, options.heuristic,
+      [](const TaskSet& local) { return rmwp_schedulable(local); },
+      options.decreasing_utilization);
+  if (!partition.feasible) {
+    plan.diagnostics = "partitioning failed: no processor admits some task (" +
+                       std::string(packing_heuristic_name(options.heuristic)) +
+                       ")";
+    return plan;
+  }
+  plan.processor_utilization = partition.processor_utilization;
+
+  // 2. Per-processor ranking, priorities, and optional deadlines.
+  for (int p = 0; p < num_processors; ++p) {
+    // Collect this processor's tasks (in original id order).
+    std::vector<TaskId> members;
+    TaskSet local;
+    for (TaskId i = 0; i < tasks.size(); ++i) {
+      if (partition.processor_of[static_cast<size_t>(i)] == p) {
+        members.push_back(i);
+        local.add(tasks[i]);
+      }
+    }
+    if (members.empty()) continue;
+
+    const auto analysis = analyze_rmwp(local);
+    if (!analysis.schedulable) {
+      plan.diagnostics =
+          "internal: partition admitted an unschedulable processor";
+      return plan;
+    }
+
+    const auto ranks = rm_ranks(local);
+    const int local_count = static_cast<int>(members.size());
+    for (int k = 0; k < local_count; ++k) {
+      const TaskId global_id = members[static_cast<size_t>(k)];
+      auto& tp = plan.tasks[static_cast<size_t>(global_id)];
+      tp.processor = p;
+
+      int rank = ranks[static_cast<size_t>(k)];
+      bool in_hpq = false;
+      if (options.use_hpq_for_heavy_tasks &&
+          rmus_is_heavy(tasks[global_id], num_processors)) {
+        // RM-US heavy tasks get the reserved top priority; only safe when
+        // unique per processor (checked below).
+        in_hpq = true;
+      }
+      if (in_hpq) {
+        tp.mandatory_priority = rt::kHpqPriority;
+      } else {
+        auto prio = rt::mandatory_priority_for_rank(rank, local_count);
+        if (!prio) {
+          plan.diagnostics = "priority mapping failed: " +
+                             prio.status().to_string();
+          return plan;
+        }
+        tp.mandatory_priority = *prio;
+      }
+      tp.optional_priority =
+          rt::optional_priority_for(std::min(tp.mandatory_priority,
+                                             rt::kMandatoryMax));
+      tp.optional_deadline =
+          analysis.optional_deadline[static_cast<size_t>(k)] -
+          options.od_margin;
+      tp.mandatory_response =
+          analysis.mandatory_response[static_cast<size_t>(k)].value_or(0);
+      if (options.od_margin > 0 &&
+          (tp.optional_deadline <= 0 ||
+           tp.mandatory_response > tp.optional_deadline)) {
+        plan.diagnostics = tasks[global_id].name +
+                           ": optional-deadline margin leaves no room for "
+                           "the mandatory part";
+        return plan;
+      }
+    }
+
+    // At most one HPQ resident per processor.
+    int hpq_count = 0;
+    for (TaskId id : members) {
+      if (plan.tasks[static_cast<size_t>(id)].mandatory_priority ==
+          rt::kHpqPriority) {
+        ++hpq_count;
+      }
+    }
+    if (hpq_count > 1) {
+      plan.diagnostics = "more than one HPQ (heavy) task on processor " +
+                         std::to_string(p);
+      return plan;
+    }
+  }
+
+  plan.schedulable = true;
+  return plan;
+}
+
+}  // namespace rtseed::sched

@@ -1,0 +1,59 @@
+// P-RMWP admission pipeline — the offline analysis RT-Seed runs before it
+// spawns any threads (paper §IV-B).
+//
+// Input:  a task set and a processor count (or topology core count).
+// Output: per task — assigned processor, SCHED_FIFO priorities for the
+//         mandatory and optional threads, and the optional deadline ODᵢ.
+//
+// Pipeline: partition (default first-fit decreasing, RMWP admission per
+// processor) → per-processor RM ranking → priority-band mapping
+// ([50,98] mandatory, −49 for optional) → per-processor RMWP analysis.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "sched/partition.hpp"
+#include "sched/rmwp.hpp"
+#include "sched/task_model.hpp"
+
+namespace rtseed::sched {
+
+struct TaskPlan {
+  int processor = -1;            ///< core the mandatory thread is pinned to
+  int mandatory_priority = 0;    ///< SCHED_FIFO priority in [50, 98] (99 = HPQ)
+  int optional_priority = 0;     ///< mandatory_priority − 49
+  Nanos optional_deadline = 0;   ///< ODᵢ relative to release
+  Nanos mandatory_response = 0;  ///< worst-case mandatory response time
+};
+
+struct PRmwpPlan {
+  bool schedulable = false;
+  std::vector<TaskPlan> tasks;
+  std::vector<double> processor_utilization;
+  std::string diagnostics;  ///< human-readable failure reason when not schedulable
+};
+
+struct PRmwpOptions {
+  PackingHeuristic heuristic = PackingHeuristic::kFirstFit;
+  bool decreasing_utilization = true;
+  /// Reserve priority 99 (HPQ) for tasks that RM-US[M/(3M−2)] classifies as
+  /// heavy (paper footnote 1).  At most one heavy task per processor.
+  bool use_hpq_for_heavy_tasks = false;
+  /// Derates every optional deadline by this margin (moved earlier), so
+  /// the Δe overhead of ending the parallel optional parts — which the
+  /// pure analysis does not know about — cannot push the wind-up start
+  /// past the analyzed ODᵢ.  Callers typically take the value from
+  /// sim::OverheadModel for their (np, policy, load).  A task whose
+  /// mandatory response no longer fits the derated OD makes the set
+  /// unschedulable (the honest answer once overheads are accounted).
+  Nanos od_margin = 0;
+};
+
+/// Runs the full offline analysis.  `num_processors` is M.
+PRmwpPlan plan_p_rmwp(const TaskSet& tasks, int num_processors,
+                      const PRmwpOptions& options = {});
+
+}  // namespace rtseed::sched

@@ -1,0 +1,107 @@
+#include "sched/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace rtseed::sched {
+
+const char* packing_heuristic_name(PackingHeuristic heuristic) {
+  switch (heuristic) {
+    case PackingHeuristic::kFirstFit:
+      return "first-fit";
+    case PackingHeuristic::kBestFit:
+      return "best-fit";
+    case PackingHeuristic::kWorstFit:
+      return "worst-fit";
+    case PackingHeuristic::kNextFit:
+      return "next-fit";
+  }
+  return "?";
+}
+
+PartitionResult partition_tasks(const TaskSet& tasks, int num_processors,
+                                PackingHeuristic heuristic,
+                                const AdmissionTest& admits,
+                                bool decreasing_utilization) {
+  PartitionResult result;
+  result.processor_of.assign(static_cast<size_t>(tasks.size()), -1);
+  result.processor_utilization.assign(static_cast<size_t>(num_processors),
+                                      0.0);
+  if (tasks.empty() || num_processors <= 0) return result;
+
+  std::vector<TaskId> order(static_cast<size_t>(tasks.size()));
+  std::iota(order.begin(), order.end(), 0);
+  if (decreasing_utilization) {
+    std::stable_sort(order.begin(), order.end(), [&](TaskId a, TaskId b) {
+      return tasks[a].utilization() > tasks[b].utilization();
+    });
+  }
+
+  std::vector<TaskSet> bins(static_cast<size_t>(num_processors));
+  auto fits = [&](TaskId task, int proc) {
+    TaskSet candidate = bins[static_cast<size_t>(proc)];
+    candidate.add(tasks[task]);
+    return admits(candidate);
+  };
+
+  int next_fit_cursor = 0;
+  for (TaskId task : order) {
+    int chosen = -1;
+    switch (heuristic) {
+      case PackingHeuristic::kFirstFit: {
+        for (int p = 0; p < num_processors; ++p) {
+          if (fits(task, p)) {
+            chosen = p;
+            break;
+          }
+        }
+        break;
+      }
+      case PackingHeuristic::kBestFit: {
+        double best_util = -1.0;
+        for (int p = 0; p < num_processors; ++p) {
+          const double u = result.processor_utilization[static_cast<size_t>(p)];
+          if (u > best_util && fits(task, p)) {
+            best_util = u;
+            chosen = p;
+          }
+        }
+        break;
+      }
+      case PackingHeuristic::kWorstFit: {
+        double least_util = 2.0;
+        for (int p = 0; p < num_processors; ++p) {
+          const double u = result.processor_utilization[static_cast<size_t>(p)];
+          if (u < least_util && fits(task, p)) {
+            least_util = u;
+            chosen = p;
+          }
+        }
+        break;
+      }
+      case PackingHeuristic::kNextFit: {
+        for (int tried = 0; tried < num_processors; ++tried) {
+          const int p = (next_fit_cursor + tried) % num_processors;
+          if (fits(task, p)) {
+            chosen = p;
+            next_fit_cursor = p;
+            break;
+          }
+        }
+        break;
+      }
+    }
+    if (chosen < 0) {
+      result.feasible = false;
+      return result;
+    }
+    bins[static_cast<size_t>(chosen)].add(tasks[task]);
+    result.processor_of[static_cast<size_t>(task)] = chosen;
+    result.processor_utilization[static_cast<size_t>(chosen)] +=
+        tasks[task].utilization();
+  }
+  result.feasible = true;
+  return result;
+}
+
+}  // namespace rtseed::sched

@@ -1,0 +1,45 @@
+// Partitioned scheduling: bin-packing tasks onto processors (paper §IV-B:
+// "partitioned scheduling assigns tasks to processors offline and they do
+// not migrate among processors online").
+//
+// The admission test per processor is pluggable; P-RMWP uses
+// rmwp_schedulable, a plain partitioned-RM baseline uses rm_schedulable.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "sched/task_model.hpp"
+
+namespace rtseed::sched {
+
+enum class PackingHeuristic {
+  kFirstFit,
+  kBestFit,   ///< fullest processor that still admits the task
+  kWorstFit,  ///< emptiest processor (load balancing)
+  kNextFit,
+};
+
+const char* packing_heuristic_name(PackingHeuristic heuristic);
+
+/// Accepts a candidate processor-local task set; true = schedulable there.
+using AdmissionTest = std::function<bool(const TaskSet&)>;
+
+struct PartitionResult {
+  bool feasible = false;
+  /// processor_of[i] = processor index of task i (meaningful when feasible).
+  std::vector<int> processor_of;
+  /// Per-processor utilization after assignment.
+  std::vector<double> processor_utilization;
+};
+
+/// Packs `tasks` onto `num_processors` processors.  When
+/// `decreasing_utilization` is set, tasks are considered in decreasing-Uᵢ
+/// order (the classic FFD/BFD/WFD variants).
+PartitionResult partition_tasks(const TaskSet& tasks, int num_processors,
+                                PackingHeuristic heuristic,
+                                const AdmissionTest& admits,
+                                bool decreasing_utilization = true);
+
+}  // namespace rtseed::sched

@@ -1,0 +1,46 @@
+#include "sched/rm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace rtseed::sched {
+
+std::vector<TaskId> rm_order(const TaskSet& tasks) {
+  std::vector<TaskId> order(static_cast<size_t>(tasks.size()));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](TaskId a, TaskId b) {
+    if (tasks[a].period != tasks[b].period) {
+      return tasks[a].period < tasks[b].period;
+    }
+    return a < b;
+  });
+  return order;
+}
+
+std::vector<int> rm_ranks(const TaskSet& tasks) {
+  const auto order = rm_order(tasks);
+  std::vector<int> ranks(order.size());
+  for (size_t pos = 0; pos < order.size(); ++pos) {
+    ranks[static_cast<size_t>(order[pos])] = static_cast<int>(pos);
+  }
+  return ranks;
+}
+
+double liu_layland_bound(int n) {
+  if (n <= 0) return 0.0;
+  return static_cast<double>(n) *
+         (std::pow(2.0, 1.0 / static_cast<double>(n)) - 1.0);
+}
+
+bool passes_liu_layland(const TaskSet& tasks) {
+  return tasks.total_utilization() <= liu_layland_bound(tasks.size()) + 1e-12;
+}
+
+bool passes_hyperbolic(const TaskSet& tasks) {
+  double product = 1.0;
+  for (const auto& t : tasks) product *= t.utilization() + 1.0;
+  return product <= 2.0 + 1e-12;
+}
+
+}  // namespace rtseed::sched

@@ -1,0 +1,26 @@
+// Rate-monotonic priority ordering (Liu & Layland) and utilization bounds.
+#pragma once
+
+#include <vector>
+
+#include "sched/task_model.hpp"
+
+namespace rtseed::sched {
+
+/// Task ids sorted by increasing period (highest RM priority first);
+/// ties broken by task id for determinism.
+std::vector<TaskId> rm_order(const TaskSet& tasks);
+
+/// rank[i] = position of task i in rm_order (0 = highest priority).
+std::vector<int> rm_ranks(const TaskSet& tasks);
+
+/// Liu & Layland bound n(2^{1/n} - 1).
+double liu_layland_bound(int n);
+
+/// True when ΣUᵢ ≤ n(2^{1/n}-1) (sufficient test).
+bool passes_liu_layland(const TaskSet& tasks);
+
+/// Hyperbolic bound (Bini & Buttazzo): Π(Uᵢ + 1) ≤ 2 (sufficient, tighter).
+bool passes_hyperbolic(const TaskSet& tasks);
+
+}  // namespace rtseed::sched

@@ -1,0 +1,40 @@
+#include "sched/rmus.hpp"
+
+#include <algorithm>
+
+#include "sched/rm.hpp"
+
+namespace rtseed::sched {
+
+double rmus_threshold(int num_processors) {
+  const double m = static_cast<double>(std::max(1, num_processors));
+  return m / (3.0 * m - 2.0);
+}
+
+bool rmus_is_heavy(const ImpreciseTaskParams& task, int num_processors) {
+  return task.utilization() > rmus_threshold(num_processors);
+}
+
+std::vector<TaskId> rmus_order(const TaskSet& tasks, int num_processors) {
+  std::vector<TaskId> heavy;
+  std::vector<TaskId> light;
+  for (TaskId i = 0; i < tasks.size(); ++i) {
+    (rmus_is_heavy(tasks[i], num_processors) ? heavy : light).push_back(i);
+  }
+  // Light tasks in RM order.
+  std::stable_sort(light.begin(), light.end(), [&](TaskId a, TaskId b) {
+    if (tasks[a].period != tasks[b].period) {
+      return tasks[a].period < tasks[b].period;
+    }
+    return a < b;
+  });
+  heavy.insert(heavy.end(), light.begin(), light.end());
+  return heavy;
+}
+
+bool rmus_schedulable(const TaskSet& tasks, int num_processors) {
+  const double m = static_cast<double>(std::max(1, num_processors));
+  return tasks.total_utilization() <= m * m / (3.0 * m - 2.0) + 1e-12;
+}
+
+}  // namespace rtseed::sched

@@ -1,0 +1,29 @@
+// RM-US[M/(3M−2)] — static-priority global multiprocessor scheduling with
+// utilization separation (Andersson, Baruah & Jonsson 2001).
+//
+// The RT-Seed paper's footnote 1 motivates the HPQ (priority 99): RM-US
+// assigns the *highest* priority to any task whose utilization exceeds
+// M/(3M−2); the remaining ("light") tasks are ordered rate-monotonically.
+#pragma once
+
+#include <vector>
+
+#include "sched/task_model.hpp"
+
+namespace rtseed::sched {
+
+/// The separation threshold M/(3M−2).
+double rmus_threshold(int num_processors);
+
+/// True when Uᵢ > M/(3M−2), i.e. the task belongs in the HPQ.
+bool rmus_is_heavy(const ImpreciseTaskParams& task, int num_processors);
+
+/// Priority order under RM-US: heavy tasks first (by id), then light tasks
+/// in RM order.  Index 0 = highest priority.
+std::vector<TaskId> rmus_order(const TaskSet& tasks, int num_processors);
+
+/// Sufficient schedulability test: RM-US[M/(3M−2)] schedules any task set
+/// with total utilization ≤ M²/(3M−2).
+bool rmus_schedulable(const TaskSet& tasks, int num_processors);
+
+}  // namespace rtseed::sched

@@ -1,0 +1,92 @@
+#include "sched/rmwp.hpp"
+
+#include <cassert>
+
+#include "sched/rm.hpp"
+#include "sched/rta.hpp"
+
+namespace rtseed::sched {
+
+namespace {
+
+Nanos ceil_div(Nanos a, Nanos b) {
+  assert(b > 0);
+  return (a + b - 1) / b;
+}
+
+// Wind-up busy window: the wind-up part (cost w) plus interference from
+// higher-priority mandatory+wind-up parts over the window.  Bounded by the
+// task's deadline; returns nullopt on divergence.
+std::optional<Nanos> windup_window(Nanos w, const std::vector<Nanos>& hp_cost,
+                                   const std::vector<Nanos>& hp_period,
+                                   Nanos horizon) {
+  Nanos l = w;
+  for (;;) {
+    Nanos next = w;
+    for (size_t j = 0; j < hp_cost.size(); ++j) {
+      next += ceil_div(l, hp_period[j]) * hp_cost[j];
+    }
+    if (next > horizon) return std::nullopt;
+    if (next == l) return l;
+    l = next;
+  }
+}
+
+}  // namespace
+
+RmwpAnalysis analyze_rmwp(const TaskSet& tasks) {
+  RmwpAnalysis out;
+  const auto n = static_cast<size_t>(tasks.size());
+  out.optional_deadline.assign(n, 0);
+  out.mandatory_response.assign(n, std::nullopt);
+  out.windup_window.assign(n, 0);
+  if (tasks.empty()) return out;
+
+  const auto order = rm_order(tasks);
+  out.schedulable = true;
+
+  std::vector<Nanos> hp_cost;
+  std::vector<Nanos> hp_period;
+  for (TaskId id : order) {
+    const auto& t = tasks[id];
+    const auto idx = static_cast<size_t>(id);
+    const Nanos d = t.effective_deadline();
+
+    // Wind-up busy window -> optional deadline.
+    const auto lw = windup_window(t.windup, hp_cost, hp_period, d);
+    if (!lw.has_value()) {
+      out.schedulable = false;
+      break;
+    }
+    out.windup_window[idx] = *lw;
+    out.optional_deadline[idx] = d - *lw;
+
+    // Mandatory part must finish by OD in the worst case.  Interference on
+    // the mandatory part comes from higher-priority mandatory AND wind-up
+    // executions (both live in RTQ above this task).
+    const auto rm =
+        fixed_point_response_time(t.mandatory, hp_cost, hp_period, d);
+    out.mandatory_response[idx] = rm;
+    if (!rm.has_value() || *rm > out.optional_deadline[idx]) {
+      out.schedulable = false;
+      break;
+    }
+
+    hp_cost.push_back(t.wcet());
+    hp_period.push_back(t.period);
+  }
+  return out;
+}
+
+std::optional<std::vector<Nanos>> rmwp_optional_deadlines(
+    const TaskSet& tasks) {
+  auto analysis = analyze_rmwp(tasks);
+  if (!analysis.schedulable) return std::nullopt;
+  return std::move(analysis.optional_deadline);
+}
+
+bool rmwp_schedulable(const TaskSet& tasks) {
+  return analyze_rmwp(tasks).schedulable;
+}
+
+}  // namespace rtseed::sched

@@ -1,0 +1,48 @@
+// RMWP — Rate Monotonic with Wind-up Part (Chishiro et al. 2010, the
+// paper's reference [5]) on a single processor.
+//
+// Semi-fixed-priority scheduling executes each task's mandatory part at its
+// RM priority, then (after the optional deadline ODᵢ) its wind-up part at
+// the same priority.  The optional deadline is computed OFFLINE so the
+// wind-up part always completes by Dᵢ; optional parts run strictly below
+// every mandatory/wind-up part and therefore never affect the analysis
+// (Theorems 1 and 2 of the RT-Seed paper).
+//
+// The RT-Seed paper uses OD₁ = D₁ − w₁ for its single-task evaluation and
+// cites Theorem 2 of [5] for the general case without restating it; we
+// reconstruct the general computation as the wind-up busy window
+//   Lᵢ = wᵢ + Σ_{j∈hp(i)} ceil(Lᵢ/Tⱼ)·(mⱼ+wⱼ),   ODᵢ = Dᵢ − Lᵢ,
+// which degenerates to the paper's formula when i has no higher-priority
+// tasks (see DESIGN.md §5).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sched/task_model.hpp"
+
+namespace rtseed::sched {
+
+struct RmwpAnalysis {
+  bool schedulable = false;
+  /// Absolute-offset optional deadline ODᵢ per task (relative to release);
+  /// meaningful only when schedulable.
+  std::vector<Nanos> optional_deadline;
+  /// Worst-case response time of each mandatory part (must be ≤ ODᵢ).
+  std::vector<std::optional<Nanos>> mandatory_response;
+  /// Worst-case wind-up busy window Lᵢ (ODᵢ = Dᵢ − Lᵢ).
+  std::vector<Nanos> windup_window;
+};
+
+/// Analyzes one processor's task set under RMWP.
+RmwpAnalysis analyze_rmwp(const TaskSet& tasks);
+
+/// Convenience: ODᵢ for every task; nullopt when unschedulable.
+std::optional<std::vector<Nanos>> rmwp_optional_deadlines(
+    const TaskSet& tasks);
+
+/// A task set is RMWP-schedulable iff every mandatory part completes by its
+/// optional deadline in the worst case and every ODᵢ ≥ mandatory response.
+bool rmwp_schedulable(const TaskSet& tasks);
+
+}  // namespace rtseed::sched

@@ -1,0 +1,64 @@
+#include "sched/rta.hpp"
+
+#include <cassert>
+
+#include "sched/rm.hpp"
+
+namespace rtseed::sched {
+
+namespace {
+
+// Ceil division for positive operands.
+Nanos ceil_div(Nanos a, Nanos b) {
+  assert(b > 0);
+  return (a + b - 1) / b;
+}
+
+}  // namespace
+
+std::optional<Nanos> fixed_point_response_time(
+    Nanos own_cost, const std::vector<Nanos>& hp_cost,
+    const std::vector<Nanos>& hp_period, Nanos horizon) {
+  assert(hp_cost.size() == hp_period.size());
+  if (own_cost <= 0) return Nanos{0};
+  Nanos r = own_cost;
+  for (;;) {
+    Nanos next = own_cost;
+    for (size_t j = 0; j < hp_cost.size(); ++j) {
+      next += ceil_div(r, hp_period[j]) * hp_cost[j];
+    }
+    if (next > horizon) return std::nullopt;
+    if (next == r) return r;
+    r = next;
+  }
+}
+
+std::vector<std::optional<Nanos>> rm_response_times(
+    const TaskSet& tasks,
+    const std::function<Nanos(const ImpreciseTaskParams&)>& selector) {
+  const auto order = rm_order(tasks);
+  std::vector<std::optional<Nanos>> result(
+      static_cast<size_t>(tasks.size()));
+
+  std::vector<Nanos> hp_cost;
+  std::vector<Nanos> hp_period;
+  for (TaskId id : order) {
+    const auto& t = tasks[id];
+    result[static_cast<size_t>(id)] = fixed_point_response_time(
+        selector(t), hp_cost, hp_period, t.effective_deadline());
+    hp_cost.push_back(selector(t));
+    hp_period.push_back(t.period);
+  }
+  return result;
+}
+
+bool rm_schedulable(const TaskSet& tasks) {
+  const auto responses = rm_response_times(
+      tasks, [](const ImpreciseTaskParams& t) { return t.wcet(); });
+  for (const auto& r : responses) {
+    if (!r.has_value()) return false;
+  }
+  return true;
+}
+
+}  // namespace rtseed::sched

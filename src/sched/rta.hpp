@@ -1,0 +1,32 @@
+// Exact response-time analysis for fixed-priority preemptive scheduling
+// (Joseph & Pandya / Audsley).  Used both for plain RM admission and as the
+// building block of the RMWP optional-deadline computation.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "sched/task_model.hpp"
+
+namespace rtseed::sched {
+
+/// Worst-case response time of a job with cost `own_cost` interfered by
+/// higher-priority tasks with costs hp_cost[j] and periods hp_period[j]:
+///   R = own_cost + Σⱼ ceil(R / Tⱼ) · Cⱼ   (least fixed point)
+/// Returns nullopt when R would exceed `horizon` (divergence / miss).
+std::optional<Nanos> fixed_point_response_time(
+    Nanos own_cost, const std::vector<Nanos>& hp_cost,
+    const std::vector<Nanos>& hp_period, Nanos horizon);
+
+/// Per-task worst-case response times under RM priorities, where each
+/// task's contended cost is selector(task) (e.g. mᵢ+wᵢ for plain RM).
+/// result[i] = nullopt when task i misses its deadline.
+std::vector<std::optional<Nanos>> rm_response_times(
+    const TaskSet& tasks,
+    const std::function<Nanos(const ImpreciseTaskParams&)>& selector);
+
+/// Exact RM schedulability on one processor with Cᵢ = mᵢ + wᵢ.
+bool rm_schedulable(const TaskSet& tasks);
+
+}  // namespace rtseed::sched

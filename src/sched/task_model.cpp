@@ -1,0 +1,50 @@
+#include "sched/task_model.hpp"
+
+namespace rtseed::sched {
+
+double ImpreciseTaskParams::optional_utilization() const {
+  if (period <= 0) return 0.0;
+  Nanos total = 0;
+  for (Nanos o : optional) total += o;
+  return static_cast<double>(total) / static_cast<double>(period);
+}
+
+common::Status ImpreciseTaskParams::validate() const {
+  if (period <= 0) {
+    return common::invalid_argument(name + ": period must be positive");
+  }
+  if (mandatory < 0 || windup < 0) {
+    return common::invalid_argument(name + ": negative part WCET");
+  }
+  if (mandatory + windup <= 0) {
+    return common::invalid_argument(name +
+                                    ": mandatory + wind-up must be positive");
+  }
+  const Nanos d = effective_deadline();
+  if (d > period) {
+    return common::invalid_argument(name + ": deadline exceeds period");
+  }
+  if (wcet() > d) {
+    return common::invalid_argument(name + ": WCET exceeds deadline");
+  }
+  for (Nanos o : optional) {
+    if (o < 0) return common::invalid_argument(name + ": negative optional");
+  }
+  return common::Status::ok();
+}
+
+double TaskSet::total_utilization() const {
+  double u = 0.0;
+  for (const auto& t : tasks_) u += t.utilization();
+  return u;
+}
+
+common::Status TaskSet::validate() const {
+  if (tasks_.empty()) return common::invalid_argument("empty task set");
+  for (const auto& t : tasks_) {
+    if (auto st = t.validate(); !st) return st;
+  }
+  return common::Status::ok();
+}
+
+}  // namespace rtseed::sched

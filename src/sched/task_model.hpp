@@ -1,0 +1,81 @@
+// Task model of the parallel-extended imprecise computation model (§II-A).
+//
+// A periodic task τi is described by
+//   * mandatory WCET  mᵢ            (real-time part, runs first)
+//   * optional execution times oᵢ,ₖ (npᵢ parallel, non-real-time parts)
+//   * wind-up  WCET  wᵢ            (second mandatory part)
+//   * period Tᵢ and relative deadline Dᵢ (the paper fixes Dᵢ = Tᵢ)
+// WCET Cᵢ = mᵢ + wᵢ; optional parts are excluded from Uᵢ because their
+// completion is not required for schedulability.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/time.hpp"
+#include "common/types.hpp"
+
+namespace rtseed::sched {
+
+using common::Nanos;
+using common::TaskId;
+
+struct ImpreciseTaskParams {
+  std::string name;
+  Nanos mandatory = 0;              ///< mᵢ
+  Nanos windup = 0;                 ///< wᵢ
+  Nanos period = 0;                 ///< Tᵢ
+  Nanos deadline = 0;               ///< Dᵢ; 0 means "= period"
+  std::vector<Nanos> optional;      ///< oᵢ,ₖ for k = 1..npᵢ
+
+  Nanos effective_deadline() const { return deadline > 0 ? deadline : period; }
+  Nanos wcet() const { return mandatory + windup; }  ///< Cᵢ = mᵢ + wᵢ
+  int num_optional() const { return static_cast<int>(optional.size()); }
+
+  /// Uᵢ = Cᵢ / Tᵢ.
+  double utilization() const {
+    return period > 0 ? static_cast<double>(wcet()) /
+                            static_cast<double>(period)
+                      : 0.0;
+  }
+
+  /// Uᵢᵒ = Σₖ oᵢ,ₖ / Tᵢ (QoS-side utilization; not part of Uᵢ).
+  double optional_utilization() const;
+
+  /// Validates the invariants of the model (positive period, mᵢ+wᵢ ≤ Dᵢ ≤ Tᵢ,
+  /// non-negative parts).
+  common::Status validate() const;
+};
+
+class TaskSet {
+ public:
+  TaskSet() = default;
+  explicit TaskSet(std::vector<ImpreciseTaskParams> tasks)
+      : tasks_(std::move(tasks)) {}
+
+  void add(ImpreciseTaskParams task) { tasks_.push_back(std::move(task)); }
+
+  int size() const { return static_cast<int>(tasks_.size()); }
+  bool empty() const { return tasks_.empty(); }
+  const ImpreciseTaskParams& operator[](TaskId i) const {
+    return tasks_[static_cast<size_t>(i)];
+  }
+  ImpreciseTaskParams& operator[](TaskId i) {
+    return tasks_[static_cast<size_t>(i)];
+  }
+
+  auto begin() const { return tasks_.begin(); }
+  auto end() const { return tasks_.end(); }
+
+  /// ΣUᵢ (uniprocessor utilization; divide by M for system utilization).
+  double total_utilization() const;
+
+  /// Validates every task.
+  common::Status validate() const;
+
+ private:
+  std::vector<ImpreciseTaskParams> tasks_;
+};
+
+}  // namespace rtseed::sched

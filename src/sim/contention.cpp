@@ -1,0 +1,61 @@
+#include "sim/contention.hpp"
+
+namespace rtseed::sim {
+
+const char* load_kind_name(LoadKind load) {
+  switch (load) {
+    case LoadKind::kNone:
+      return "no-load";
+    case LoadKind::kCpu:
+      return "cpu-load";
+    case LoadKind::kCpuMemory:
+      return "cpu-memory-load";
+  }
+  return "?";
+}
+
+const char* operation_kind_name(OperationKind op) {
+  switch (op) {
+    case OperationKind::kBeginMandatory:
+      return "begin-mandatory";
+    case OperationKind::kSignal:
+      return "signal-optional";
+    case OperationKind::kSwitch:
+      return "switch-to-optional";
+    case OperationKind::kEndOptional:
+      return "end-optional";
+  }
+  return "?";
+}
+
+double base_cost_us(const ContentionParams& params, OperationKind op) {
+  switch (op) {
+    case OperationKind::kBeginMandatory:
+      return params.base_begin_mandatory_us;
+    case OperationKind::kSignal:
+      return params.base_signal_us;
+    case OperationKind::kSwitch:
+      return params.base_switch_us;
+    case OperationKind::kEndOptional:
+      return params.base_end_optional_us;
+  }
+  return 0.0;
+}
+
+double load_multiplier(const ContentionParams& params, OperationKind op,
+                       LoadKind load) {
+  const auto i = static_cast<int>(load);
+  switch (op) {
+    case OperationKind::kBeginMandatory:
+      return params.begin_mandatory_load[i];
+    case OperationKind::kSignal:
+      return params.signal_load[i];
+    case OperationKind::kSwitch:
+      return params.switch_load[i];
+    case OperationKind::kEndOptional:
+      return params.end_optional_load[i];
+  }
+  return 1.0;
+}
+
+}  // namespace rtseed::sim

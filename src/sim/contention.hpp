@@ -1,0 +1,81 @@
+// Background loads and the SMT/load contention model (paper §V-B).
+//
+// The paper measures overheads under three background conditions:
+//   * No load          — nothing else runs;
+//   * CPU load         — an infinite branch-heavy loop on every hardware
+//                        thread (stresses the in-order core's branch unit);
+//   * CPU-Memory load  — 512 KB (L2-sized) read/write loops on every
+//                        hardware thread (evicts L1/L2, forcing memory
+//                        traffic).
+//
+// Operations differ in what they contend on: the pthread_cond_signal loop
+// (Δb) is branch-heavy, so it suffers MORE under the CPU load than under
+// the CPU-Memory load (Fig. 12); timer-interrupt handling + sigsetjmp
+// context restore (Δe) and the mandatory part's cache refill (Δm) are
+// memory-heavy, so CPU-Memory hurts them more (Figs. 10, 13).
+//
+// SMT contention: an optional part's begin/end processing slows down by a
+// factor (1 + a_bg·bg_siblings + a_own·own_siblings), where bg_siblings is
+// the number of sibling hardware threads running background load and
+// own_siblings those running our own optional parts.  Background load only
+// occupies a sibling that our parts did not claim (SCHED_FIFO preempts it
+// elsewhere).  This is the mechanism behind Fig. 13's policy ordering:
+// one-by-one leaves 3 busy background siblings per part; all-by-all
+// surrounds each part with its own (cheap) siblings.
+#pragma once
+
+#include <string>
+
+namespace rtseed::sim {
+
+enum class LoadKind { kNone, kCpu, kCpuMemory };
+
+const char* load_kind_name(LoadKind load);
+
+/// Which hardware resource an operation mostly stresses.
+enum class OperationKind {
+  kBeginMandatory,  ///< job init + cache refill on the mandatory core (Δm)
+  kSignal,          ///< one pthread_cond_signal to an optional thread (Δb)
+  kSwitch,          ///< context switch mandatory → optional thread (Δs)
+  kEndOptional,     ///< timer IRQ + siglongjmp restore + completion signal (Δe)
+};
+
+const char* operation_kind_name(OperationKind op);
+
+struct ContentionParams {
+  /// Base cost of each operation in microseconds under no load.
+  double base_begin_mandatory_us = 55.0;
+  double base_signal_us = 20.0;
+  double base_switch_us = 8.0;
+  double base_end_optional_us = 120.0;
+
+  /// Load multipliers, indexed by [operation][load].
+  /// Branch-heavy kSignal: CPU > CPU-Memory (Fig. 12);
+  /// memory-heavy kBeginMandatory/kEndOptional: CPU-Memory > CPU.
+  double begin_mandatory_load[3] = {1.0, 2.8, 4.4};
+  double signal_load[3] = {1.0, 2.4, 1.6};
+  double switch_load[3] = {1.0, 1.0, 1.0};  // load effect modeled separately
+  double end_optional_load[3] = {1.0, 1.35, 1.75};
+
+  /// SMT sibling sensitivities for kEndOptional.
+  double end_bg_sibling[3] = {0.0, 0.35, 0.45};
+  double end_own_sibling[3] = {0.04, 0.06, 0.06};
+
+  /// Δs model: under no load the switch cascades wakeups across the
+  /// machine — linear term per optional part plus a saturation blow-up as
+  /// np approaches the hardware-thread count (the paper's "dramatic
+  /// increase" at 228).  Under load the switch must preempt a busy
+  /// hardware thread: a larger, np-independent cost.
+  double switch_per_part_us = 0.28;
+  double switch_saturation_us = 30.0;
+  double switch_loaded_base_us[3] = {0.0, 38.0, 44.0};
+
+  /// Multiplicative log-normal measurement noise (sigma of ln).
+  double noise_sigma = 0.06;
+};
+
+double base_cost_us(const ContentionParams& params, OperationKind op);
+double load_multiplier(const ContentionParams& params, OperationKind op,
+                       LoadKind load);
+
+}  // namespace rtseed::sim

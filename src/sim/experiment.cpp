@@ -1,0 +1,190 @@
+#include "sim/experiment.hpp"
+
+#include <cstdio>
+
+namespace rtseed::sim {
+
+namespace {
+
+constexpr core::AssignmentPolicy kPolicies[] = {
+    core::AssignmentPolicy::kOneByOne,
+    core::AssignmentPolicy::kTwoByTwo,
+    core::AssignmentPolicy::kAllByAll,
+};
+
+constexpr LoadKind kLoads[] = {LoadKind::kNone, LoadKind::kCpu,
+                               LoadKind::kCpuMemory};
+
+}  // namespace
+
+FigureData run_figure(const FigureConfig& config) {
+  FigureData data;
+  data.kind = config.kind;
+  for (int np : config.np_set) data.np.push_back(np);
+
+  const OverheadModel model(config.params);
+  common::Rng rng(config.seed);
+
+  for (LoadKind load : kLoads) {
+    FigureSubplot subplot;
+    subplot.load = load;
+    for (auto policy : kPolicies) {
+      common::Series series;
+      series.name = core::assignment_policy_name(policy);
+      for (int np : config.np_set) {
+        OverheadScenario scenario;
+        scenario.topology = config.topology;
+        scenario.policy = policy;
+        scenario.load = load;
+        scenario.num_optional_parts = np;
+        auto child = rng.fork();
+        series.y.push_back(
+            model.measure_us(config.kind, scenario, config.jobs, child).mean);
+      }
+      subplot.series.push_back(std::move(series));
+    }
+    data.subplots.push_back(std::move(subplot));
+  }
+  return data;
+}
+
+void print_figure(const FigureData& data, const std::string& title) {
+  std::printf("=== %s (%s, mean over jobs, microseconds) ===\n", title.c_str(),
+              overhead_kind_name(data.kind));
+  for (const auto& subplot : data.subplots) {
+    std::printf("\n--- %s ---\n", load_kind_name(subplot.load));
+    common::Table table({"np", "one-by-one", "two-by-two", "all-by-all"});
+    for (size_t k = 0; k < data.np.size(); ++k) {
+      table.add_numeric_row({data.np[k], subplot.series[0].y[k],
+                     subplot.series[1].y[k], subplot.series[2].y[k]},
+                    1);
+    }
+    table.print();
+    std::fputs(
+        render_series(std::string(title) + " / " +
+                          load_kind_name(subplot.load),
+                      "np", data.np, subplot.series, 1)
+            .c_str(),
+        stdout);
+  }
+}
+
+namespace {
+
+double mean_over_policies(const FigureSubplot& subplot, size_t k) {
+  double sum = 0;
+  for (const auto& s : subplot.series) sum += s.y[k];
+  return sum / static_cast<double>(subplot.series.size());
+}
+
+}  // namespace
+
+std::vector<std::string> check_figure_shape(const FigureData& data) {
+  std::vector<std::string> violations;
+  if (data.subplots.size() != 3 || data.np.empty()) {
+    violations.push_back("incomplete figure data");
+    return violations;
+  }
+  const auto& none = data.subplots[0];
+  const auto& cpu = data.subplots[1];
+  const auto& cpumem = data.subplots[2];
+  const size_t last = data.np.size() - 1;
+
+  auto flat = [&](const common::Series& s, double tolerance) {
+    double lo = s.y[0], hi = s.y[0];
+    for (double v : s.y) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    return hi <= lo * tolerance;
+  };
+
+  switch (data.kind) {
+    case OverheadKind::kBeginMandatory: {
+      // "approximately constant, regardless of the number of parallel
+      // optional parts"; load ordering none < CPU < CPU-Memory.
+      for (const auto& subplot : data.subplots) {
+        for (const auto& s : subplot.series) {
+          if (!flat(s, 1.4)) {
+            violations.push_back("delta_m not flat for " + s.name);
+          }
+        }
+      }
+      for (size_t k = 0; k < data.np.size(); ++k) {
+        if (!(mean_over_policies(none, k) < mean_over_policies(cpu, k) &&
+              mean_over_policies(cpu, k) < mean_over_policies(cpumem, k))) {
+          violations.push_back("delta_m load ordering violated");
+          break;
+        }
+      }
+      break;
+    }
+    case OverheadKind::kSwitch: {
+      // No load: increases with np (sharply at full SMT); loads: ~constant.
+      for (const auto& s : none.series) {
+        if (!(s.y[last] > 2.0 * s.y[0])) {
+          violations.push_back("delta_s no-load not increasing for " + s.name);
+        }
+      }
+      for (const auto* subplot : {&cpu, &cpumem}) {
+        for (const auto& s : subplot->series) {
+          if (!flat(s, 1.5)) {
+            violations.push_back("delta_s under load not flat for " + s.name);
+          }
+        }
+      }
+      break;
+    }
+    case OverheadKind::kBeginOptional: {
+      // Linear in np; CPU load > CPU-Memory load > no load.
+      for (const auto& subplot : data.subplots) {
+        for (const auto& s : subplot.series) {
+          const double expected =
+              s.y[0] * data.np[last] / data.np[0];
+          if (s.y[last] < 0.5 * expected || s.y[last] > 2.0 * expected) {
+            violations.push_back("delta_b not ~linear for " + s.name);
+          }
+        }
+      }
+      if (!(mean_over_policies(cpu, last) > mean_over_policies(cpumem, last) &&
+            mean_over_policies(cpumem, last) >
+                mean_over_policies(none, last))) {
+        violations.push_back("delta_b load ordering (cpu > cpu-mem > none) "
+                             "violated");
+      }
+      break;
+    }
+    case OverheadKind::kEndOptional: {
+      // Increasing in np; CPU-Memory > CPU under load; one-by-one worst /
+      // all-by-all best under load (at np where placements differ).
+      for (const auto& subplot : data.subplots) {
+        for (const auto& s : subplot.series) {
+          if (!(s.y[last] > 5.0 * s.y[0])) {
+            violations.push_back("delta_e not increasing for " + s.name);
+          }
+        }
+      }
+      if (!(mean_over_policies(cpumem, last) > mean_over_policies(cpu, last) &&
+            mean_over_policies(cpu, last) > mean_over_policies(none, last))) {
+        violations.push_back("delta_e load ordering (cpu-mem > cpu > none) "
+                             "violated");
+      }
+      // Find np = 57 (one part per core under one-by-one).
+      for (size_t k = 0; k < data.np.size(); ++k) {
+        if (static_cast<int>(data.np[k]) != 57) continue;
+        for (const auto* subplot : {&cpu, &cpumem}) {
+          const double one = subplot->series[0].y[k];
+          const double all = subplot->series[2].y[k];
+          if (!(one > all)) {
+            violations.push_back(
+                "delta_e policy ordering (one-by-one > all-by-all) violated");
+          }
+        }
+      }
+      break;
+    }
+  }
+  return violations;
+}
+
+}  // namespace rtseed::sim

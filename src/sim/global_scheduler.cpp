@@ -1,0 +1,402 @@
+#include "sim/global_scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+#include "sched/rm.hpp"
+#include "sched/rmus.hpp"
+#include "sched/rmwp.hpp"
+
+namespace rtseed::sim {
+
+long GlobalSimResult::total_misses() const {
+  long misses = 0;
+  for (const auto& t : tasks) misses += t.misses;
+  return misses;
+}
+
+namespace {
+
+constexpr Nanos kInfinity = std::numeric_limits<Nanos>::max();
+
+enum class Phase {
+  kSleeping,
+  kMandatory,
+  kOptional,
+  kWaitingWindup,
+  kWindup,
+};
+
+struct TaskState {
+  Phase phase = Phase::kSleeping;
+  common::JobId job = -1;
+  Nanos next_release = 0;
+  Nanos remaining = 0;
+  Nanos od_time = kInfinity;
+  Nanos deadline_time = kInfinity;
+  bool od_armed = false;
+  bool job_live = false;
+  int last_processor = -1;  ///< where the task last executed
+  bool was_running = false; ///< ran in the previous dispatch interval
+};
+
+struct GlobalSimulator {
+  const sched::TaskSet& tasks;
+  const GlobalSimOptions& options;
+  std::vector<Nanos> ods;
+  std::vector<int> priority_rank;  // 0 = highest
+  std::vector<TaskState> state;
+  GlobalSimResult result;
+
+  GlobalSimulator(const sched::TaskSet& ts, const GlobalSimOptions& opts)
+      : tasks(ts), options(opts) {
+    const auto n = static_cast<size_t>(tasks.size());
+    state.assign(n, TaskState{});
+    result.tasks.assign(n, SimTaskStats{});
+
+    // Priority order: RM, or RM-US (heavy tasks first; paper footnote 1).
+    const auto order = options.rmus_priorities
+                           ? sched::rmus_order(tasks, options.num_processors)
+                           : sched::rm_order(tasks);
+    priority_rank.assign(n, 0);
+    for (size_t pos = 0; pos < order.size(); ++pos) {
+      priority_rank[static_cast<size_t>(order[pos])] = static_cast<int>(pos);
+    }
+
+    if (!options.optional_deadlines.empty()) {
+      ods = options.optional_deadlines;
+    } else {
+      // G-RMWP optional deadlines: OD = D − L with a global wind-up busy
+      // window.  Interference from each higher-priority task over a
+      // window L is bounded by its workload with one carry-in job,
+      // W_j(L) = ⌈L/T_j⌉·C_j + C_j (clamped to L), of which at most 1/M
+      // delays this task (the standard global fixed-priority bound).
+      // Still sufficient-only; the simulation reports any residual miss.
+      ods.resize(n);
+      const Nanos m = options.num_processors;
+      for (TaskId i = 0; i < tasks.size(); ++i) {
+        const auto idx = static_cast<size_t>(i);
+        const auto& t = tasks[i];
+        const Nanos d = t.effective_deadline();
+        Nanos window = t.windup;
+        for (int iter = 0; iter < 64; ++iter) {
+          Nanos interference = 0;
+          for (TaskId j = 0; j < tasks.size(); ++j) {
+            if (priority_rank[static_cast<size_t>(j)] >= priority_rank[idx]) {
+              continue;
+            }
+            const auto& hp = tasks[j];
+            const Nanos workload =
+                ((window + hp.period - 1) / hp.period) * hp.wcet() +
+                hp.wcet();
+            interference += std::min(workload, window);
+          }
+          const Nanos next = t.windup + interference / m;
+          if (next == window || next > d) {
+            window = std::min(next, d);
+            break;
+          }
+          window = next;
+        }
+        ods[idx] = std::max<Nanos>(d - window, 0);
+      }
+    }
+    result.optional_deadlines = ods;
+  }
+
+  bool is_ready(TaskId i) const {
+    const auto& s = state[static_cast<size_t>(i)];
+    switch (s.phase) {
+      case Phase::kMandatory:
+      case Phase::kWindup:
+        return s.remaining > 0;
+      case Phase::kOptional:
+        return options.include_optional && s.remaining > 0;
+      default:
+        return false;
+    }
+  }
+
+  // a beats b?  Band first (RTQ above NRTQ), then algorithm order.
+  bool higher_priority(TaskId a, TaskId b) const {
+    const auto& sa = state[static_cast<size_t>(a)];
+    const auto& sb = state[static_cast<size_t>(b)];
+    const bool a_opt = sa.phase == Phase::kOptional;
+    const bool b_opt = sb.phase == Phase::kOptional;
+    if (a_opt != b_opt) return b_opt;
+    if (options.algorithm == SimAlgorithm::kEdf) {
+      if (sa.deadline_time != sb.deadline_time) {
+        return sa.deadline_time < sb.deadline_time;
+      }
+      return a < b;
+    }
+    const int ra = priority_rank[static_cast<size_t>(a)];
+    const int rb = priority_rank[static_cast<size_t>(b)];
+    if (ra != rb) return ra < rb;
+    return a < b;
+  }
+
+  void release(TaskId i, Nanos now) {
+    auto& s = state[static_cast<size_t>(i)];
+    auto& st = result.tasks[static_cast<size_t>(i)];
+    const auto& p = tasks[i];
+    ++st.released;
+    ++s.job;
+    s.job_live = true;
+    s.deadline_time = now + p.effective_deadline();
+    s.od_time = now + ods[static_cast<size_t>(i)];
+    s.od_armed = options.algorithm == SimAlgorithm::kRmwp;
+    s.phase = Phase::kMandatory;
+    s.remaining =
+        options.algorithm == SimAlgorithm::kRmwp ? p.mandatory : p.wcet();
+    s.next_release = now + p.period;
+    if (s.remaining == 0) complete_part(i, now);
+  }
+
+  Nanos optional_total(TaskId i) const {
+    Nanos total = 0;
+    for (Nanos o : tasks[i].optional) total += o;
+    return total;
+  }
+
+  void finish_job(TaskId i, Nanos now) {
+    auto& s = state[static_cast<size_t>(i)];
+    auto& st = result.tasks[static_cast<size_t>(i)];
+    ++st.completed;
+    if (now > s.deadline_time) ++st.misses;
+    st.max_response =
+        std::max(st.max_response,
+                 now - (s.deadline_time - tasks[i].effective_deadline()));
+    s.job_live = false;
+    s.od_armed = false;
+    s.phase = Phase::kSleeping;
+    s.remaining = 0;
+    s.deadline_time = kInfinity;
+    s.od_time = kInfinity;
+    s.was_running = false;
+  }
+
+  void complete_part(TaskId i, Nanos now) {
+    auto& s = state[static_cast<size_t>(i)];
+    auto& st = result.tasks[static_cast<size_t>(i)];
+    const auto& p = tasks[i];
+    switch (s.phase) {
+      case Phase::kMandatory: {
+        if (options.algorithm != SimAlgorithm::kRmwp) {
+          finish_job(i, now);
+          return;
+        }
+        if (now < s.od_time) {
+          const Nanos opt = optional_total(i);
+          if (options.include_optional && opt > 0) {
+            s.phase = Phase::kOptional;
+            s.remaining = opt;
+          } else {
+            s.phase = Phase::kWaitingWindup;
+            s.remaining = 0;
+          }
+        } else {
+          st.optional_discarded += std::max(1, p.num_optional());
+          s.od_armed = false;
+          s.phase = Phase::kWindup;
+          s.remaining = p.windup;
+          if (s.remaining == 0) finish_job(i, now);
+        }
+        break;
+      }
+      case Phase::kOptional:
+        st.optional_completed += std::max(1, p.num_optional());
+        s.phase = Phase::kWaitingWindup;
+        s.remaining = 0;
+        break;
+      case Phase::kWindup:
+        finish_job(i, now);
+        break;
+      default:
+        assert(false);
+    }
+  }
+
+  void handle_od(TaskId i, Nanos now) {
+    auto& s = state[static_cast<size_t>(i)];
+    auto& st = result.tasks[static_cast<size_t>(i)];
+    const auto& p = tasks[i];
+    s.od_armed = false;
+    if (!s.job_live) return;
+    switch (s.phase) {
+      case Phase::kOptional:
+        st.optional_terminated += std::max(1, p.num_optional());
+        [[fallthrough]];
+      case Phase::kWaitingWindup:
+        s.phase = Phase::kWindup;
+        s.remaining = p.windup;
+        if (s.remaining == 0) finish_job(i, now);
+        break;
+      default:
+        break;
+    }
+  }
+
+  void handle_deadline(TaskId i, Nanos now) {
+    auto& s = state[static_cast<size_t>(i)];
+    auto& st = result.tasks[static_cast<size_t>(i)];
+    if (!s.job_live || now < s.deadline_time) return;
+    ++st.misses;
+    if (options.abort_at_deadline) {
+      s.job_live = false;
+      s.phase = Phase::kSleeping;
+      s.remaining = 0;
+      s.od_armed = false;
+      s.deadline_time = kInfinity;
+      s.od_time = kInfinity;
+      s.was_running = false;
+    } else {
+      s.deadline_time = kInfinity;
+    }
+  }
+
+  void run() {
+    const int m = options.num_processors;
+    Nanos now = 0;
+    for (TaskId i = 0; i < tasks.size(); ++i) {
+      state[static_cast<size_t>(i)].next_release = 0;  // synchronous
+    }
+    // processor_of_running[p] = task running there, or kInvalidTask.
+    std::vector<TaskId> proc_task(static_cast<size_t>(m),
+                                  common::kInvalidTask);
+
+    while (now < options.horizon) {
+      for (TaskId i = 0; i < tasks.size(); ++i) {
+        if (state[static_cast<size_t>(i)].job_live &&
+            state[static_cast<size_t>(i)].deadline_time <= now) {
+          handle_deadline(i, now);
+        }
+      }
+      for (TaskId i = 0; i < tasks.size(); ++i) {
+        auto& s = state[static_cast<size_t>(i)];
+        if (s.next_release <= now && !s.job_live) release(i, now);
+      }
+      for (TaskId i = 0; i < tasks.size(); ++i) {
+        auto& s = state[static_cast<size_t>(i)];
+        if (s.od_armed && s.od_time <= now) handle_od(i, now);
+      }
+
+      // Dispatch: the m highest-priority ready tasks.
+      std::vector<TaskId> ready;
+      for (TaskId i = 0; i < tasks.size(); ++i) {
+        if (is_ready(i)) ready.push_back(i);
+      }
+      std::sort(ready.begin(), ready.end(),
+                [this](TaskId a, TaskId b) { return higher_priority(a, b); });
+      if (static_cast<int>(ready.size()) > m) {
+        ready.resize(static_cast<size_t>(m));
+      }
+
+      // Processor assignment: keep a selected task on its previous
+      // processor when free; others take free processors (a migration if
+      // they ran elsewhere before).  Preemption: a previously running,
+      // still-ready task no longer selected.
+      std::vector<bool> selected(static_cast<size_t>(tasks.size()), false);
+      for (TaskId i : ready) selected[static_cast<size_t>(i)] = true;
+      for (int p = 0; p < m; ++p) {
+        const TaskId prev = proc_task[static_cast<size_t>(p)];
+        if (prev != common::kInvalidTask &&
+            !selected[static_cast<size_t>(prev)]) {
+          if (is_ready(prev)) ++result.preemptions;
+          proc_task[static_cast<size_t>(p)] = common::kInvalidTask;
+        }
+      }
+      // Affinity-aware assignment (what real global schedulers do):
+      // first give every selected task its previous processor when free,
+      // then place the remainder on whatever is left — only those
+      // placements are migrations.
+      for (TaskId i : ready) {
+        auto& s = state[static_cast<size_t>(i)];
+        if (s.last_processor >= 0 &&
+            proc_task[static_cast<size_t>(s.last_processor)] ==
+                common::kInvalidTask) {
+          proc_task[static_cast<size_t>(s.last_processor)] = i;
+        }
+      }
+      for (TaskId i : ready) {
+        auto& s = state[static_cast<size_t>(i)];
+        if (s.last_processor >= 0 &&
+            proc_task[static_cast<size_t>(s.last_processor)] == i) {
+          continue;  // kept (or regained) its processor
+        }
+        int chosen = -1;
+        for (int p = 0; p < m; ++p) {
+          if (proc_task[static_cast<size_t>(p)] == common::kInvalidTask) {
+            chosen = p;
+            break;
+          }
+        }
+        assert(chosen >= 0);
+        proc_task[static_cast<size_t>(chosen)] = i;
+        // Only mandatory/wind-up parts migrate: the model pins optional
+        // parts to their processor (§II-A: "do not migrate among
+        // processors during execution").
+        if (s.phase != Phase::kOptional && s.last_processor >= 0 &&
+            s.last_processor != chosen) {
+          ++result.migrations;
+          s.remaining += options.migration_overhead;
+        }
+        s.last_processor = chosen;
+      }
+      for (TaskId i = 0; i < tasks.size(); ++i) {
+        state[static_cast<size_t>(i)].was_running =
+            selected[static_cast<size_t>(i)];
+      }
+
+      // Next boundary.
+      Nanos next_event = options.horizon;
+      for (TaskId i = 0; i < tasks.size(); ++i) {
+        const auto& s = state[static_cast<size_t>(i)];
+        if (!s.job_live) next_event = std::min(next_event, s.next_release);
+        if (s.od_armed) next_event = std::min(next_event, s.od_time);
+        if (s.job_live && s.deadline_time < kInfinity) {
+          next_event = std::min(next_event, s.deadline_time);
+        }
+      }
+      if (ready.empty()) {
+        now = next_event > now ? next_event : now + 1;
+        continue;
+      }
+      Nanos slice = next_event - now;
+      for (TaskId i : ready) {
+        slice = std::min(slice, state[static_cast<size_t>(i)].remaining);
+      }
+      if (slice <= 0) {
+        now = now + 1;
+        continue;
+      }
+      now += slice;
+      for (TaskId i : ready) {
+        auto& s = state[static_cast<size_t>(i)];
+        s.remaining -= slice;
+        if (s.remaining == 0) {
+          // Free the processor before the task changes phase.
+          if (s.last_processor >= 0 &&
+              proc_task[static_cast<size_t>(s.last_processor)] == i) {
+            proc_task[static_cast<size_t>(s.last_processor)] =
+                common::kInvalidTask;
+          }
+          complete_part(i, now);
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+GlobalSimResult simulate_global(const sched::TaskSet& tasks,
+                                const GlobalSimOptions& options) {
+  GlobalSimulator sim(tasks, options);
+  sim.run();
+  return std::move(sim.result);
+}
+
+}  // namespace rtseed::sim

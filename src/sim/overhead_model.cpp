@@ -1,0 +1,123 @@
+#include "sim/overhead_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rtseed::sim {
+
+const char* overhead_kind_name(OverheadKind kind) {
+  switch (kind) {
+    case OverheadKind::kBeginMandatory:
+      return "delta_m";
+    case OverheadKind::kSwitch:
+      return "delta_s";
+    case OverheadKind::kBeginOptional:
+      return "delta_b";
+    case OverheadKind::kEndOptional:
+      return "delta_e";
+  }
+  return "?";
+}
+
+double OverheadModel::noise(common::Rng& rng) const {
+  return std::exp(params_.noise_sigma * rng.normal());
+}
+
+double OverheadModel::end_contention_factor(const OverheadScenario& scenario,
+                                            int part_index) const {
+  const auto& topo = scenario.topology;
+  const int smt = topo.smt_per_core();
+  const auto counts = core::parts_per_core(topo, scenario.policy,
+                                           scenario.num_optional_parts);
+  const common::CpuId cpu =
+      core::assign_cpu(topo, scenario.policy, part_index);
+  const int on_core = counts[static_cast<size_t>(topo.core_of(cpu))];
+
+  // Siblings of this part's hardware thread running our own parts vs.
+  // background load.  Background only occupies siblings our parts left
+  // free (and only when a load is present).
+  const int own_siblings = std::min(on_core - 1, smt - 1);
+  const int bg_siblings =
+      scenario.load == LoadKind::kNone ? 0 : (smt - 1 - own_siblings);
+
+  const auto li = static_cast<int>(scenario.load);
+  return 1.0 + params_.end_bg_sibling[li] * static_cast<double>(bg_siblings) +
+         params_.end_own_sibling[li] * static_cast<double>(own_siblings);
+}
+
+double OverheadModel::sample_us(OverheadKind kind,
+                                const OverheadScenario& scenario,
+                                common::Rng& rng) const {
+  const int np = scenario.num_optional_parts;
+  const int cpus = scenario.topology.num_cpus();
+  const auto li = static_cast<int>(scenario.load);
+
+  switch (kind) {
+    case OverheadKind::kBeginMandatory: {
+      // Job-release bookkeeping and cache refill on the mandatory core:
+      // independent of np (Fig. 10: "approximately constant"), grows with
+      // the number of tasks sharing the release path.
+      const double task_factor =
+          1.0 + 0.15 * static_cast<double>(scenario.num_tasks - 1);
+      return params_.base_begin_mandatory_us *
+             params_.begin_mandatory_load[li] * task_factor * noise(rng);
+    }
+
+    case OverheadKind::kSwitch: {
+      if (scenario.load == LoadKind::kNone) {
+        // Waking np optional threads cascades follow-on switches on every
+        // core; contention grows with np and blows up when every hardware
+        // thread is claimed (the paper's "dramatic increase" at 228).
+        const double fill =
+            static_cast<double>(np) / static_cast<double>(cpus);
+        return (params_.base_switch_us +
+                params_.switch_per_part_us * static_cast<double>(np) +
+                params_.switch_saturation_us * std::pow(fill, 4.0)) *
+               noise(rng);
+      }
+      // Under load the switch preempts an already-busy hardware thread:
+      // a larger cost that no longer depends on np (Fig. 11 b/c).
+      return (params_.switch_loaded_base_us[li] + params_.base_switch_us +
+              0.01 * static_cast<double>(np)) *
+             noise(rng);
+    }
+
+    case OverheadKind::kBeginOptional: {
+      // One pthread_cond_signal per optional part, issued serially by the
+      // mandatory thread: O(np) (paper §V-B).  Branch-heavy, so the CPU
+      // load hurts more than the CPU-Memory load (Fig. 12).
+      const double per_signal =
+          params_.base_signal_us * params_.signal_load[li];
+      return per_signal * static_cast<double>(np) * noise(rng);
+    }
+
+    case OverheadKind::kEndOptional: {
+      // Each part's termination handles the timer interrupt, restores the
+      // stack context (siglongjmp), and signals completion: O(np), with
+      // per-part SMT contention deciding the policy ordering (Fig. 13).
+      const double per_part =
+          params_.base_end_optional_us * params_.end_optional_load[li];
+      double total = 0.0;
+      for (int j = 0; j < np; ++j) {
+        total += per_part * end_contention_factor(scenario, j);
+      }
+      // Constant tail: waking the mandatory thread for the wind-up part.
+      total += 2.0 * params_.base_switch_us;
+      return total * noise(rng);
+    }
+  }
+  return 0.0;
+}
+
+common::Summary OverheadModel::measure_us(OverheadKind kind,
+                                          const OverheadScenario& scenario,
+                                          int jobs, common::Rng& rng) const {
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(jobs));
+  for (int j = 0; j < jobs; ++j) {
+    samples.push_back(sample_us(kind, scenario, rng));
+  }
+  return common::summarize(std::move(samples));
+}
+
+}  // namespace rtseed::sim

@@ -1,0 +1,70 @@
+#include "sim/qos_model.hpp"
+
+#include <algorithm>
+
+namespace rtseed::sim {
+
+double QosModel::part_speed(const QosScenario& scenario, int np,
+                            int part) const {
+  const auto& topo = scenario.topology;
+  const int smt = topo.smt_per_core();
+  const auto counts = core::parts_per_core(topo, scenario.policy, np);
+  const auto cpu = core::assign_cpu(topo, scenario.policy, part);
+  const int on_core = counts[static_cast<size_t>(topo.core_of(cpu))];
+  const int own_siblings = std::min(on_core - 1, smt - 1);
+  const int bg_siblings =
+      scenario.load == LoadKind::kNone ? 0 : (smt - 1 - own_siblings);
+  const auto li = static_cast<int>(scenario.load);
+  // Optional parts compute continuously, so their slowdown uses the same
+  // sibling sensitivities as the end-processing path.
+  const double slowdown =
+      1.0 + model_.params().end_bg_sibling[li] * bg_siblings +
+      model_.params().end_own_sibling[li] * own_siblings;
+  return 1.0 / slowdown;
+}
+
+double QosModel::usable_window_us(const QosScenario& scenario, int np,
+                                  common::Rng& rng) const {
+  OverheadScenario overhead;
+  overhead.topology = scenario.topology;
+  overhead.policy = scenario.policy;
+  overhead.load = scenario.load;
+  overhead.num_optional_parts = np;
+  const double db =
+      model_.sample_us(OverheadKind::kBeginOptional, overhead, rng);
+  const double de =
+      model_.sample_us(OverheadKind::kEndOptional, overhead, rng);
+  const double window = common::to_micros(scenario.optional_window);
+  return std::max(0.0, window - db - de);
+}
+
+double QosModel::effective_qos_us(const QosScenario& scenario, int np,
+                                  common::Rng& rng) const {
+  const double window = usable_window_us(scenario, np, rng);
+  double qos = 0.0;
+  for (int part = 0; part < np; ++part) {
+    qos += window * part_speed(scenario, np, part);
+  }
+  return qos;
+}
+
+int QosModel::best_np(const QosScenario& scenario, int max_np,
+                      common::Rng& rng) const {
+  int best = 1;
+  double best_qos = 0.0;
+  for (int np = 1; np <= max_np; ++np) {
+    auto child = rng.fork();
+    // Average a few samples so noise does not pick the winner.
+    double total = 0.0;
+    for (int trial = 0; trial < 10; ++trial) {
+      total += effective_qos_us(scenario, np, child);
+    }
+    if (total > best_qos) {
+      best_qos = total;
+      best = np;
+    }
+  }
+  return best;
+}
+
+}  // namespace rtseed::sim

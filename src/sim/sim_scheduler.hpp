@@ -1,0 +1,111 @@
+// Discrete-event simulation of uniprocessor part-level scheduling, plus a
+// partitioned multiprocessor wrapper.
+//
+// Three algorithms:
+//  * kGeneralRm — Liu & Layland's model: each job executes Cᵢ = mᵢ + wᵢ
+//    as one part at its RM priority (the left half of the paper's Fig. 3).
+//  * kRmwp     — semi-fixed-priority scheduling: mandatory part at RM
+//    priority, optional part in the NRTQ band (below every mandatory/
+//    wind-up part), wind-up part released at the optional deadline
+//    (the right half of Fig. 3, and the subject of Theorems 1-2).
+//  * kEdf      — dynamic-priority baseline (whole-job EDF).
+//
+// The simulator reproduces exact preemptive behaviour at nanosecond
+// resolution and records per-part execution slices, from which Fig. 3's
+// remaining-execution-time curves and the Theorem-1 invariance test are
+// derived.  Optional parts are simulated as one aggregated sequential part
+// per job (parallelism affects QoS, not schedulability — Theorem 2).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sched/partition.hpp"
+#include "sched/task_model.hpp"
+
+namespace rtseed::sim {
+
+using common::JobId;
+using common::Nanos;
+using common::TaskId;
+
+enum class SimAlgorithm { kGeneralRm, kRmwp, kEdf };
+
+const char* sim_algorithm_name(SimAlgorithm algorithm);
+
+enum class PartKind { kWhole, kMandatory, kOptional, kWindup };
+
+const char* part_kind_name(PartKind part);
+
+struct ExecutionSlice {
+  TaskId task = 0;
+  JobId job = 0;
+  PartKind part = PartKind::kWhole;
+  Nanos start = 0;
+  Nanos end = 0;
+};
+
+struct SimTaskStats {
+  long released = 0;
+  long completed = 0;
+  long misses = 0;
+  long optional_completed = 0;
+  long optional_terminated = 0;
+  long optional_discarded = 0;
+  Nanos max_response = 0;  ///< max(job finish − release)
+};
+
+struct SimOptions {
+  SimAlgorithm algorithm = SimAlgorithm::kRmwp;
+  Nanos horizon = common::seconds(10);
+  /// Simulate optional parts (NRTQ band).  Turning this off must not
+  /// change any mandatory/wind-up slice (Theorem 1) — tests rely on it.
+  bool include_optional = true;
+  /// Abort a job at its deadline (count one miss, resume at next release).
+  bool abort_at_deadline = true;
+  bool record_trace = false;
+  /// Override per-task optional deadlines; empty = derive from RMWP
+  /// analysis (OD = D − L), falling back to D − w when the wind-up busy
+  /// window diverges.
+  std::vector<Nanos> optional_deadlines;
+  /// Middleware overheads injected into the simulation (what the pure
+  /// analysis does not know): extra time charged to every mandatory part
+  /// at release (Δm + Δb) and to every wind-up part at its release (Δe).
+  /// Values typically come from sim::OverheadModel; countering them is
+  /// what sched::PRmwpOptions::od_margin exists for.
+  Nanos release_overhead = 0;
+  Nanos windup_overhead = 0;
+};
+
+struct SimResult {
+  std::vector<SimTaskStats> tasks;
+  std::vector<ExecutionSlice> trace;
+  std::vector<Nanos> optional_deadlines;  ///< the ODs actually used
+
+  long total_misses() const;
+  bool any_miss() const { return total_misses() > 0; }
+};
+
+/// Simulates one processor.
+SimResult simulate_uniprocessor(const sched::TaskSet& tasks,
+                                const SimOptions& options);
+
+/// Partitions with the given heuristic (admission: RMWP analysis for
+/// kRmwp, RM response-time analysis for kGeneralRm, U≤1 for kEdf) and
+/// simulates each processor independently.  When partitioning fails the
+/// result has `partition_feasible = false` and tasks are placed by
+/// utilization-balancing worst-fit so the simulation can still count
+/// misses.
+struct PartitionedSimResult {
+  bool partition_feasible = false;
+  std::vector<int> processor_of;
+  std::vector<SimResult> per_processor;
+  long total_misses() const;
+  bool any_miss() const { return total_misses() > 0; }
+};
+
+PartitionedSimResult simulate_partitioned(
+    const sched::TaskSet& tasks, int num_processors, const SimOptions& options,
+    sched::PackingHeuristic heuristic = sched::PackingHeuristic::kFirstFit);
+
+}  // namespace rtseed::sim

@@ -1,0 +1,75 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+
+namespace rtseed::sim {
+
+std::vector<TracePoint> remaining_execution_curve(const SimResult& result,
+                                                  const sched::TaskSet& tasks,
+                                                  TaskId task,
+                                                  SimAlgorithm algorithm,
+                                                  Nanos horizon) {
+  const auto& params = tasks[task];
+  std::vector<TracePoint> curve;
+  const Nanos period = params.period;
+  const Nanos od = result.optional_deadlines.empty()
+                       ? params.effective_deadline() - params.windup
+                       : result.optional_deadlines[static_cast<size_t>(task)];
+
+  // Walk jobs by release time; within each job, walk the task's slices.
+  for (Nanos release = 0; release < horizon; release += period) {
+    const Nanos job_end = std::min(release + period, horizon);
+
+    auto emit = [&](Nanos t, Nanos r) {
+      if (!curve.empty() && curve.back().time == t &&
+          curve.back().remaining == r) {
+        return;
+      }
+      curve.push_back(TracePoint{t, r});
+    };
+
+    if (algorithm != SimAlgorithm::kRmwp) {
+      Nanos remaining = params.wcet();
+      emit(release, 0);  // vertical rise at release
+      emit(release, remaining);
+      for (const auto& slice : result.trace) {
+        if (slice.task != task || slice.end <= release ||
+            slice.start >= job_end) {
+          continue;
+        }
+        emit(slice.start, remaining);
+        remaining -= slice.end - slice.start;
+        emit(slice.end, std::max<Nanos>(remaining, 0));
+      }
+      continue;
+    }
+
+    // Semi-fixed: mandatory segment, then wind-up released at OD.
+    Nanos remaining = params.mandatory;
+    emit(release, 0);
+    emit(release, remaining);
+    bool windup_set = false;
+    for (const auto& slice : result.trace) {
+      if (slice.task != task || slice.end <= release ||
+          slice.start >= job_end) {
+        continue;
+      }
+      if (slice.part == PartKind::kOptional) continue;  // not real-time work
+      if (slice.part == PartKind::kWindup && !windup_set) {
+        // Rᵢ jumps to wᵢ at the wind-up release (the OD, or mandatory
+        // completion when the mandatory part overran the OD).
+        const Nanos windup_release = std::max(release + od, slice.start);
+        emit(std::min(windup_release, slice.start), remaining);
+        remaining = params.windup;
+        emit(std::min(windup_release, slice.start), remaining);
+        windup_set = true;
+      }
+      emit(slice.start, remaining);
+      remaining -= slice.end - slice.start;
+      emit(slice.end, std::max<Nanos>(remaining, 0));
+    }
+  }
+  return curve;
+}
+
+}  // namespace rtseed::sim

@@ -1,0 +1,30 @@
+// Remaining-execution-time curves (the paper's Fig. 3) reconstructed from
+// execution slices.
+//
+// Fig. 3 plots Rᵢ(t), the remaining *real-time* execution of task τᵢ:
+//  * general scheduling: Rᵢ is set to mᵢ+wᵢ at release and decreases while
+//    the (whole) job executes;
+//  * semi-fixed-priority scheduling: Rᵢ is set to mᵢ at release, reaches 0
+//    at mandatory completion, the task sleeps (optional part is not
+//    real-time execution), and Rᵢ is set to wᵢ at the optional deadline.
+#pragma once
+
+#include <vector>
+
+#include "sim/sim_scheduler.hpp"
+
+namespace rtseed::sim {
+
+struct TracePoint {
+  Nanos time = 0;
+  Nanos remaining = 0;
+};
+
+/// Builds the Rᵢ(t) polyline of `task` over [0, horizon] from a simulation
+/// trace.  Points are emitted at every discontinuity and slope change, so
+/// connecting them with straight lines reproduces the figure.
+std::vector<TracePoint> remaining_execution_curve(
+    const SimResult& result, const sched::TaskSet& tasks, TaskId task,
+    SimAlgorithm algorithm, Nanos horizon);
+
+}  // namespace rtseed::sim

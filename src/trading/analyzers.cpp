@@ -1,0 +1,250 @@
+#include "trading/analyzers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rtseed::trading {
+
+namespace {
+
+// Mean and population stddev of the last `window` prices; pure arithmetic.
+struct WindowStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  bool ok = false;
+};
+
+WindowStats window_stats(const PriceWindow& prices, int window) {
+  WindowStats out;
+  const int n = prices.size();
+  if (window < 2 || n < window) return out;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = n - window; i < n; ++i) {
+    sum += prices[i];
+    sum_sq += prices[i] * prices[i];
+  }
+  const double w = window;
+  out.mean = sum / w;
+  out.stddev = std::sqrt(std::max(0.0, sum_sq / w - out.mean * out.mean));
+  out.ok = true;
+  return out;
+}
+
+// Confidence grows with the refinement level, saturating at 1.
+double level_weight(long level, long max_level) {
+  if (max_level <= 0) return 1.0;
+  return std::min(1.0, 0.4 + 0.6 * static_cast<double>(level) /
+                           static_cast<double>(max_level));
+}
+
+}  // namespace
+
+BollingerAnalyzer::BollingerAnalyzer(int min_window, int max_window,
+                                     double num_stddev)
+    : min_window_(min_window),
+      max_window_(max_window),
+      num_stddev_(num_stddev) {}
+
+void BollingerAnalyzer::analyze(const PriceWindow& prices, long /*job*/,
+                                core::StopToken& token, ResultSink& sink) {
+  AnalyzerOutput out;
+  double signal_sum = 0.0;
+  long levels = 0;
+  for (int window = min_window_; window <= max_window_; window += 5) {
+    if (token.should_stop()) break;
+    const auto stats = window_stats(prices, window);
+    if (!stats.ok) break;
+    const double dev = num_stddev_ * stats.stddev;
+    // %b in [0,1] inside the band; mean-reversion: near the lower band
+    // (%b -> 0) is a bid signal, near the upper band an ask signal.
+    const double percent_b =
+        dev > 0.0 ? (prices.latest() - (stats.mean - dev)) / (2.0 * dev)
+                  : 0.5;
+    signal_sum += std::clamp(2.0 * (0.5 - percent_b), -1.0, 1.0);
+    ++levels;
+    out.signal = signal_sum / static_cast<double>(levels);
+    out.iterations = levels;
+    out.weight = level_weight(levels, (max_window_ - min_window_) / 5 + 1);
+    sink.publish(out);
+  }
+}
+
+RsiAnalyzer::RsiAnalyzer(int min_period, int max_period)
+    : min_period_(min_period), max_period_(max_period) {}
+
+void RsiAnalyzer::analyze(const PriceWindow& prices, long /*job*/,
+                          core::StopToken& token, ResultSink& sink) {
+  AnalyzerOutput out;
+  double signal_sum = 0.0;
+  long levels = 0;
+  for (int period = min_period_; period <= max_period_; period += 3) {
+    if (token.should_stop()) break;
+    const int n = prices.size();
+    if (n < period + 1) break;
+    double gains = 0.0, losses = 0.0;
+    for (int i = n - period; i < n; ++i) {
+      const double change = prices[i] - prices[i - 1];
+      if (change > 0) {
+        gains += change;
+      } else {
+        losses -= change;
+      }
+    }
+    double rsi = 50.0;
+    if (losses > 0.0) {
+      const double rs = gains / losses;
+      rsi = 100.0 - 100.0 / (1.0 + rs);
+    } else if (gains > 0.0) {
+      rsi = 100.0;
+    }
+    // Momentum contrarian mapping: oversold (RSI < 30) -> bid.
+    signal_sum += std::clamp((50.0 - rsi) / 50.0, -1.0, 1.0);
+    ++levels;
+    out.signal = signal_sum / static_cast<double>(levels);
+    out.iterations = levels;
+    out.weight = level_weight(levels, (max_period_ - min_period_) / 3 + 1);
+    sink.publish(out);
+  }
+}
+
+CrossoverAnalyzer::CrossoverAnalyzer(int fast, int slow)
+    : fast_(fast), slow_(slow) {}
+
+void CrossoverAnalyzer::analyze(const PriceWindow& prices, long /*job*/,
+                                core::StopToken& token, ResultSink& sink) {
+  AnalyzerOutput out;
+  // Refinement: evaluate the crossover at scaled (fast, slow) pairs.
+  long levels = 0;
+  double signal_sum = 0.0;
+  for (double scale = 1.0; scale <= 3.0; scale += 0.5) {
+    if (token.should_stop()) break;
+    const int fast = static_cast<int>(fast_ * scale);
+    const int slow = static_cast<int>(slow_ * scale);
+    const auto fast_stats = window_stats(prices, fast);
+    const auto slow_stats = window_stats(prices, slow);
+    if (!fast_stats.ok || !slow_stats.ok) break;
+    const double base = slow_stats.stddev > 0 ? slow_stats.stddev : 1e-9;
+    // Trend-following: fast MA above slow MA is bullish.
+    signal_sum += std::clamp((fast_stats.mean - slow_stats.mean) / base,
+                             -1.0, 1.0);
+    ++levels;
+    out.signal = signal_sum / static_cast<double>(levels);
+    out.iterations = levels;
+    out.weight = level_weight(levels, 5);
+    sink.publish(out);
+  }
+}
+
+MonteCarloAnalyzer::MonteCarloAnalyzer(int horizon_steps, int paths_per_batch,
+                                       common::u64 seed)
+    : horizon_steps_(horizon_steps),
+      paths_per_batch_(paths_per_batch),
+      rng_(seed) {}
+
+void MonteCarloAnalyzer::analyze(const PriceWindow& prices, long /*job*/,
+                                 core::StopToken& token, ResultSink& sink) {
+  const int n = prices.size();
+  if (n < 32) return;
+  // Estimate per-step log-return drift and volatility from the window.
+  double sum = 0.0, sum_sq = 0.0;
+  const int returns = std::min(n - 1, 256);
+  for (int i = n - returns; i < n; ++i) {
+    const double r = std::log(prices[i] / prices[i - 1]);
+    sum += r;
+    sum_sq += r * r;
+  }
+  const double mu = sum / returns;
+  const double var = std::max(0.0, sum_sq / returns - mu * mu);
+  const double sigma = std::sqrt(var);
+
+  long up = 0, total = 0;
+  AnalyzerOutput out;
+  // Each batch of paths is one refinement; the estimate's confidence
+  // grows as 1 - 1/sqrt(total).
+  for (int batch = 0; batch < 1024; ++batch) {
+    if (token.should_stop()) break;
+    for (int p = 0; p < paths_per_batch_; ++p) {
+      double log_price = 0.0;
+      for (int s = 0; s < horizon_steps_; ++s) {
+        log_price += mu + sigma * rng_.normal();
+      }
+      if (log_price > 0.0) ++up;
+      ++total;
+    }
+    const double p_up = static_cast<double>(up) / static_cast<double>(total);
+    out.signal = std::clamp(2.0 * (p_up - 0.5) * 4.0, -1.0, 1.0);
+    out.iterations = total;
+    out.weight =
+        std::min(1.0, 0.3 + 0.7 * (1.0 - 1.0 / std::sqrt(
+                                             static_cast<double>(total))));
+    sink.publish(out);
+  }
+}
+
+CandleAnalyzer::CandleAnalyzer(int min_candles, int max_candles)
+    : min_candles_(min_candles), max_candles_(max_candles) {}
+
+void CandleAnalyzer::analyze(const PriceWindow& prices, long /*job*/,
+                             core::StopToken& token, ResultSink& sink) {
+  const int n = prices.size();
+  AnalyzerOutput out;
+  long levels = 0;
+  double signal_sum = 0.0;
+  // Refinement: re-bucket the window into more (narrower) candles.
+  // Candles are built inline from index buckets — no allocation, so the
+  // body stays abandonable at any instruction.
+  for (int candles = min_candles_; candles <= max_candles_; candles *= 2) {
+    if (token.should_stop()) break;
+    const int width = n / candles;
+    if (width < 2) break;
+
+    double score = 0.0;
+    double prev_open = 0.0, prev_close = 0.0;
+    for (int c = 0; c < candles; ++c) {
+      const int begin = n - (candles - c) * width;
+      const double open = prices[begin];
+      const double close = prices[begin + width - 1];
+      // Body direction: +1 bullish, -1 bearish, weighted by body size.
+      score += close > open ? 1.0 : (close < open ? -1.0 : 0.0);
+      // Engulfing reversal: this body swallows the previous opposite one.
+      if (c > 0) {
+        const bool bullish_engulf = close > open && prev_close < prev_open &&
+                                    close > prev_open && open < prev_close;
+        const bool bearish_engulf = close < open && prev_close > prev_open &&
+                                    close < prev_open && open > prev_close;
+        if (bullish_engulf) score += 2.0;
+        if (bearish_engulf) score -= 2.0;
+      }
+      prev_open = open;
+      prev_close = close;
+    }
+    signal_sum += std::clamp(score / static_cast<double>(candles), -1.0, 1.0);
+    ++levels;
+    out.signal = signal_sum / static_cast<double>(levels);
+    out.iterations = levels;
+    out.weight = level_weight(levels, 4);
+    sink.publish(out);
+  }
+}
+
+GdpAnalyzer::GdpAnalyzer(MacroSeries base_economy, MacroSeries quote_economy,
+                         int jobs_per_quarter)
+    : fundamental_(std::move(base_economy), std::move(quote_economy)),
+      jobs_per_quarter_(std::max(1, jobs_per_quarter)) {}
+
+void GdpAnalyzer::analyze(const PriceWindow& /*prices*/, long job,
+                          core::StopToken& token, ResultSink& sink) {
+  const int quarter =
+      static_cast<int>(std::min<long>(job / jobs_per_quarter_ + 8, 500));
+  AnalyzerOutput out;
+  // Refinement: longer look-back windows over the macro series.
+  for (int lookback = 1; lookback <= 8; ++lookback) {
+    if (token.should_stop()) break;
+    out.signal = fundamental_.signal(quarter, lookback);
+    out.iterations = lookback;
+    out.weight = level_weight(lookback, 8);
+    sink.publish(out);
+  }
+}
+
+}  // namespace rtseed::trading

@@ -1,0 +1,152 @@
+// Anytime analyzers — the optional-part workloads of the trading system.
+//
+// Each analyzer is an *anytime algorithm*: it repeatedly refines its
+// signal (wider windows, more Monte-Carlo paths, ...) and commits every
+// refinement, so whenever the optional deadline terminates it, the wind-up
+// part still sees the best result committed so far.  More optional time ⇒
+// more iterations ⇒ higher QoS — exactly the imprecise-computation trade.
+//
+// Constraint from the model (§IV-D): optional parts may be abandoned at an
+// arbitrary instruction, so analyzers must not allocate or take locks.
+// All computations here are pure arithmetic over a caller-provided price
+// window plus preallocated analyzer state.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "core/termination.hpp"
+#include "trading/fundamental.hpp"
+#include "trading/strategy.hpp"
+
+namespace rtseed::trading {
+
+/// Read-only view of the most recent prices (oldest first).
+class PriceWindow {
+ public:
+  PriceWindow(const double* data, int count) : data_(data), count_(count) {}
+
+  int size() const { return count_; }
+  double operator[](int i) const { return data_[i]; }
+  double latest() const { return count_ > 0 ? data_[count_ - 1] : 0.0; }
+
+ private:
+  const double* data_;
+  int count_;
+};
+
+/// Result payload an analyzer commits after each refinement level.
+struct AnalyzerOutput {
+  double signal = 0.0;  ///< [-1, 1]
+  double weight = 0.0;  ///< [0, 1]
+  long iterations = 0;
+};
+
+/// Commit sink: implemented by the trading task with a double-buffered,
+/// termination-safe slot (a half-written commit is never observed).
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  virtual void publish(const AnalyzerOutput& output) = 0;
+};
+
+class Analyzer {
+ public:
+  virtual ~Analyzer() = default;
+  virtual std::string name() const = 0;
+  /// Refines until done or token.should_stop(); commits every level.
+  /// `job` is the 0-based job index (e.g. to select the macro quarter).
+  virtual void analyze(const PriceWindow& prices, long job,
+                       core::StopToken& token, ResultSink& sink) = 0;
+};
+
+/// Bollinger-Bands mean-reversion signal (%b), refined over an increasing
+/// ladder of window lengths.
+class BollingerAnalyzer final : public Analyzer {
+ public:
+  explicit BollingerAnalyzer(int min_window = 10, int max_window = 120,
+                             double num_stddev = 2.0);
+  std::string name() const override { return "bollinger"; }
+  void analyze(const PriceWindow& prices, long job, core::StopToken& token,
+               ResultSink& sink) override;
+
+ private:
+  int min_window_;
+  int max_window_;
+  double num_stddev_;
+};
+
+/// RSI momentum signal, refined over increasing periods.
+class RsiAnalyzer final : public Analyzer {
+ public:
+  explicit RsiAnalyzer(int min_period = 7, int max_period = 28);
+  std::string name() const override { return "rsi"; }
+  void analyze(const PriceWindow& prices, long job, core::StopToken& token,
+               ResultSink& sink) override;
+
+ private:
+  int min_period_;
+  int max_period_;
+};
+
+/// MACD-style dual-moving-average crossover signal.
+class CrossoverAnalyzer final : public Analyzer {
+ public:
+  CrossoverAnalyzer(int fast = 12, int slow = 26);
+  std::string name() const override { return "crossover"; }
+  void analyze(const PriceWindow& prices, long job, core::StopToken& token,
+               ResultSink& sink) override;
+
+ private:
+  int fast_;
+  int slow_;
+};
+
+/// Monte-Carlo price-direction estimate: simulates GBM paths from the
+/// window's drift/volatility; each batch of paths is one refinement.
+class MonteCarloAnalyzer final : public Analyzer {
+ public:
+  explicit MonteCarloAnalyzer(int horizon_steps = 30,
+                              int paths_per_batch = 256,
+                              common::u64 seed = 99);
+  std::string name() const override { return "montecarlo"; }
+  void analyze(const PriceWindow& prices, long job, core::StopToken& token,
+               ResultSink& sink) override;
+
+ private:
+  int horizon_steps_;
+  int paths_per_batch_;
+  common::Rng rng_;
+};
+
+/// Candlestick-pattern signal over OHLC aggregation of the price window:
+/// counts bullish vs bearish bodies and engulfing reversals.  Refinement
+/// ladder: finer candle widths (more candles per window).
+class CandleAnalyzer final : public Analyzer {
+ public:
+  explicit CandleAnalyzer(int min_candles = 8, int max_candles = 64);
+  std::string name() const override { return "candles"; }
+  void analyze(const PriceWindow& prices, long job, core::StopToken& token,
+               ResultSink& sink) override;
+
+ private:
+  int min_candles_;
+  int max_candles_;
+};
+
+/// Fundamental (GDP growth differential) signal.
+class GdpAnalyzer final : public Analyzer {
+ public:
+  GdpAnalyzer(MacroSeries base_economy, MacroSeries quote_economy,
+              int jobs_per_quarter = 8);
+  std::string name() const override { return "gdp"; }
+  void analyze(const PriceWindow& prices, long job, core::StopToken& token,
+               ResultSink& sink) override;
+
+ private:
+  FundamentalAnalyzer fundamental_;
+  int jobs_per_quarter_;
+};
+
+}  // namespace rtseed::trading

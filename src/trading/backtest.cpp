@@ -1,0 +1,122 @@
+#include "trading/backtest.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rtseed::trading {
+
+namespace {
+
+// Budget-limited stand-in for the optional-deadline token: stops an
+// anytime analyzer after `budget` committed refinements instead of at a
+// wall-clock deadline, making backtests deterministic and fast.
+class BudgetSink final : public ResultSink {
+ public:
+  BudgetSink(long budget, core::StopToken& token)
+      : budget_(budget), token_(token) {}
+
+  void publish(const AnalyzerOutput& output) override {
+    last_ = output;
+    has_output_ = true;
+    if (output.iterations >= budget_) token_.force();
+  }
+
+  bool has_output() const { return has_output_; }
+  const AnalyzerOutput& last() const { return last_; }
+
+ private:
+  long budget_;
+  core::StopToken& token_;
+  AnalyzerOutput last_{};
+  bool has_output_ = false;
+};
+
+}  // namespace
+
+BacktestResult Backtester::run(
+    const std::vector<Tick>& ticks,
+    std::vector<std::unique_ptr<Analyzer>>& analyzers) {
+  BacktestResult result;
+  PaperBroker broker(config_.initial_cash);
+
+  std::vector<double> history;
+  history.reserve(static_cast<size_t>(config_.history_capacity));
+
+  double peak = config_.initial_cash;
+  double prev_equity = config_.initial_cash;
+  double return_sum = 0.0;
+  double return_sq_sum = 0.0;
+
+  for (size_t job = 0; job < ticks.size(); ++job) {
+    const Tick& tick = ticks[job];
+    broker.on_tick(tick);
+    if (static_cast<int>(history.size()) == config_.history_capacity) {
+      history.erase(history.begin(),
+                    history.begin() + config_.history_capacity / 2);
+    }
+    history.push_back(tick.mid());
+
+    // Run every analyzer with the refinement budget.
+    std::vector<AnalysisResult> analyses;
+    for (auto& analyzer : analyzers) {
+      AnalysisResult r;
+      r.source = analyzer->name();
+      if (config_.refinement_budget > 0) {
+        core::StopToken token(common::monotonic_now() + common::seconds(60));
+        BudgetSink sink(config_.refinement_budget, token);
+        analyzer->analyze(
+            PriceWindow(history.data(), static_cast<int>(history.size())),
+            static_cast<long>(job), token, sink);
+        if (sink.has_output()) {
+          r.signal = sink.last().signal;
+          r.weight = sink.last().weight;
+          r.iterations = sink.last().iterations;
+          r.available = true;
+          ++result.analyses_available;
+        }
+      }
+      analyses.push_back(std::move(r));
+    }
+
+    const FusedDecision decision = fuse(analyses, config_.strategy);
+    ++result.jobs;
+    switch (decision.decision) {
+      case Decision::kBid:
+        ++result.bids;
+        broker.submit(Side::kBid, config_.order_size, tick.timestamp);
+        break;
+      case Decision::kAsk:
+        ++result.asks;
+        broker.submit(Side::kAsk, config_.order_size, tick.timestamp);
+        break;
+      case Decision::kWait:
+        ++result.waits;
+        break;
+    }
+
+    const double equity = broker.equity();
+    result.equity_curve.push_back(equity);
+    peak = std::max(peak, equity);
+    if (peak > 0.0) {
+      result.max_drawdown =
+          std::max(result.max_drawdown, (peak - equity) / peak);
+    }
+    const double step_return =
+        prev_equity > 0.0 ? equity / prev_equity - 1.0 : 0.0;
+    return_sum += step_return;
+    return_sq_sum += step_return * step_return;
+    prev_equity = equity;
+  }
+
+  result.final_equity = prev_equity;
+  result.total_return = prev_equity / config_.initial_cash - 1.0;
+  if (result.jobs > 1) {
+    const double n = static_cast<double>(result.jobs);
+    const double mean = return_sum / n;
+    const double var = std::max(0.0, return_sq_sum / n - mean * mean);
+    result.sharpe = var > 0.0 ? mean / std::sqrt(var) : 0.0;
+  }
+  return result;
+}
+
+}  // namespace rtseed::trading

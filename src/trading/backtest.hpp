@@ -1,0 +1,58 @@
+// Offline backtesting of the analyzer/fusion pipeline.
+//
+// The paper leaves "real-time trading experiments ... in the demo/practice
+// accounts of the OANDA Japan trading company" to future work; the
+// backtester provides the offline counterpart: replay a tick stream
+// through the same analyzers and fusion logic the middleware runs
+// on-line, with a configurable per-job refinement budget standing in for
+// the optional window (more budget = the QoS a longer optional window
+// buys), and score the resulting strategy.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "trading/analyzers.hpp"
+#include "trading/broker.hpp"
+#include "trading/market_feed.hpp"
+#include "trading/strategy.hpp"
+
+namespace rtseed::trading {
+
+struct BacktestConfig {
+  double initial_cash = 100000.0;
+  double order_size = 1000.0;
+  StrategyConfig strategy;
+  /// Refinement iterations granted to each analyzer per job — the offline
+  /// analogue of the optional window (0 = analyses always discarded).
+  long refinement_budget = 1'000'000;
+  int history_capacity = 4096;
+};
+
+struct BacktestResult {
+  long jobs = 0;
+  long bids = 0;
+  long asks = 0;
+  long waits = 0;
+  long analyses_available = 0;
+  double final_equity = 0.0;
+  double total_return = 0.0;     ///< (equity / initial) − 1
+  double max_drawdown = 0.0;     ///< worst peak-to-trough equity fraction
+  double sharpe = 0.0;           ///< per-tick mean/σ of equity changes
+  std::vector<double> equity_curve;
+};
+
+class Backtester {
+ public:
+  explicit Backtester(BacktestConfig config = {}) : config_(config) {}
+
+  /// Replays `ticks` through the analyzers; analyzers are reused across
+  /// the run (they are stateless between calls by construction).
+  BacktestResult run(const std::vector<Tick>& ticks,
+                     std::vector<std::unique_ptr<Analyzer>>& analyzers);
+
+ private:
+  BacktestConfig config_;
+};
+
+}  // namespace rtseed::trading

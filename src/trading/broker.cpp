@@ -1,0 +1,39 @@
+#include "trading/broker.hpp"
+
+#include <cassert>
+
+namespace rtseed::trading {
+
+PaperBroker::PaperBroker(double initial_cash)
+    : initial_cash_(initial_cash), cash_(initial_cash) {}
+
+void PaperBroker::on_tick(const Tick& tick) {
+  last_tick_ = tick;
+  have_tick_ = true;
+}
+
+Fill PaperBroker::submit(Side side, double size, Nanos now) {
+  assert(have_tick_ && size > 0.0);
+  Fill fill;
+  fill.order = Order{side, size, 0.0, now};
+  if (side == Side::kBid) {
+    fill.fill_price = last_tick_.ask;
+    cash_ -= size * fill.fill_price;
+    position_ += size;
+  } else {
+    fill.fill_price = last_tick_.bid;
+    cash_ += size * fill.fill_price;
+    position_ -= size;
+  }
+  fill.order.price = fill.fill_price;
+  fill.position_after = position_;
+  fills_.push_back(fill);
+  return fill;
+}
+
+double PaperBroker::equity() const {
+  if (!have_tick_) return cash_;
+  return cash_ + position_ * last_tick_.mid();
+}
+
+}  // namespace rtseed::trading

@@ -1,0 +1,47 @@
+// Paper broker: accepts bid/ask orders, fills them at the quoted price,
+// tracks position and mark-to-market P&L.  Stands in for the paper's
+// "demo/practice accounts of the OANDA Japan trading company".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trading/tick.hpp"
+
+namespace rtseed::trading {
+
+struct Fill {
+  Order order;
+  double fill_price = 0.0;
+  double position_after = 0.0;
+};
+
+class PaperBroker {
+ public:
+  explicit PaperBroker(double initial_cash = 100000.0);
+
+  /// Marks the book at the latest quote (call once per tick).
+  void on_tick(const Tick& tick);
+
+  /// Executes immediately at the current quote: bids lift the ask, asks
+  /// hit the bid.  Returns the fill.
+  Fill submit(Side side, double size, Nanos now);
+
+  double position() const { return position_; }
+  double cash() const { return cash_; }
+  /// Cash + position marked at the current mid.
+  double equity() const;
+  double realized_pnl() const { return cash_ - initial_cash_; }
+  long num_fills() const { return static_cast<long>(fills_.size()); }
+  const std::vector<Fill>& fills() const { return fills_; }
+
+ private:
+  double initial_cash_;
+  double cash_;
+  double position_ = 0.0;
+  Tick last_tick_{};
+  bool have_tick_ = false;
+  std::vector<Fill> fills_;
+};
+
+}  // namespace rtseed::trading

@@ -1,0 +1,68 @@
+#include "trading/fundamental.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rtseed::trading {
+
+namespace {
+constexpr int kMaxQuarters = 512;
+constexpr double kTwoPi = 6.283185307179586;
+}  // namespace
+
+MacroSeries::MacroSeries(std::string name, MacroSeriesConfig config)
+    : name_(std::move(name)), config_(config) {
+  common::Rng rng(config_.seed);
+  noise_.reserve(kMaxQuarters);
+  for (int q = 0; q < kMaxQuarters; ++q) {
+    noise_.push_back(rng.normal(0.0, config_.noise_stddev));
+  }
+}
+
+double MacroSeries::value_at(int quarter) const {
+  assert(quarter >= 0 && quarter < kMaxQuarters);
+  const double q = quarter;
+  const double trend = std::pow(1.0 + config_.quarterly_growth, q);
+  const double cycle =
+      1.0 + config_.cycle_amplitude * std::sin(kTwoPi * q /
+                                               config_.cycle_quarters);
+  const double noise = 1.0 + noise_[static_cast<size_t>(quarter)];
+  return config_.initial_value * trend * cycle * noise;
+}
+
+std::vector<MacroPoint> MacroSeries::generate(int quarters) const {
+  std::vector<MacroPoint> out;
+  out.reserve(static_cast<size_t>(quarters));
+  for (int q = 0; q < std::min(quarters, kMaxQuarters); ++q) {
+    out.push_back(MacroPoint{q, value_at(q)});
+  }
+  return out;
+}
+
+double MacroSeries::growth_rate(int quarter) const {
+  assert(quarter >= 1);
+  const double prev = value_at(quarter - 1);
+  return prev != 0.0 ? value_at(quarter) / prev - 1.0 : 0.0;
+}
+
+FundamentalAnalyzer::FundamentalAnalyzer(MacroSeries base_economy,
+                                         MacroSeries quote_economy)
+    : base_(std::move(base_economy)), quote_(std::move(quote_economy)) {}
+
+double FundamentalAnalyzer::signal(int quarter, int lookback) const {
+  assert(lookback >= 1);
+  const int start = std::max(1, quarter - lookback + 1);
+  double differential = 0.0;
+  int n = 0;
+  for (int q = start; q <= quarter; ++q) {
+    differential += base_.growth_rate(q) - quote_.growth_rate(q);
+    ++n;
+  }
+  if (n == 0) return 0.0;
+  differential /= static_cast<double>(n);
+  // Map a ±1% average quarterly growth differential to a full signal.
+  return std::clamp(differential / 0.01, -1.0, 1.0);
+}
+
+}  // namespace rtseed::trading

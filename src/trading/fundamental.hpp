@@ -1,0 +1,68 @@
+// Fundamental analysis substrate.
+//
+// "Fundamental analysis makes forecasts using the financial statements of
+// companies and/or countries", e.g. GDP (§II-A).  Real statements are not
+// available offline, so MacroSeries synthesizes a plausible macro series
+// (trend + business cycle + noise, deterministic in the seed) and
+// FundamentalAnalyzer scores the latest readings into a trading signal.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace rtseed::trading {
+
+struct MacroPoint {
+  int quarter = 0;   ///< quarters since series start
+  double value = 0;  ///< e.g. GDP, indexed to 100 at quarter 0
+};
+
+struct MacroSeriesConfig {
+  double initial_value = 100.0;
+  double quarterly_growth = 0.005;   ///< 0.5%/quarter trend (~2%/yr)
+  double cycle_amplitude = 0.01;     ///< business cycle swing
+  double cycle_quarters = 32.0;      ///< ~8-year cycle
+  double noise_stddev = 0.004;
+  common::u64 seed = 7;
+};
+
+/// Deterministic synthetic macroeconomic series (e.g. GDP).
+class MacroSeries {
+ public:
+  explicit MacroSeries(std::string name, MacroSeriesConfig config = {});
+
+  const std::string& name() const { return name_; }
+
+  /// Values for quarters [0, quarters).
+  std::vector<MacroPoint> generate(int quarters) const;
+
+  /// Quarter-over-quarter growth rate at `quarter` (needs quarter >= 1).
+  double growth_rate(int quarter) const;
+
+ private:
+  double value_at(int quarter) const;
+
+  std::string name_;
+  MacroSeriesConfig config_;
+  std::vector<double> noise_;  // pre-drawn so value_at is pure
+};
+
+/// Scores recent macro momentum into [-1, 1]:
+/// > 0 favors the base currency (bid), < 0 the quote currency (ask).
+class FundamentalAnalyzer {
+ public:
+  FundamentalAnalyzer(MacroSeries base_economy, MacroSeries quote_economy);
+
+  /// Signal from growth differentials over the last `lookback` quarters,
+  /// evaluated at `quarter`.
+  double signal(int quarter, int lookback = 4) const;
+
+ private:
+  MacroSeries base_;
+  MacroSeries quote_;
+};
+
+}  // namespace rtseed::trading

@@ -1,0 +1,125 @@
+#include "trading/indicators.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rtseed::trading {
+
+Sma::Sma(int window) : window_(window) { assert(window > 0); }
+
+void Sma::update(double x) {
+  values_.push_back(x);
+  sum_ += x;
+  if (static_cast<int>(values_.size()) > window_) {
+    sum_ -= values_.front();
+    values_.pop_front();
+  }
+}
+
+Ema::Ema(int period) : alpha_(2.0 / (static_cast<double>(period) + 1.0)) {
+  assert(period > 0);
+}
+
+void Ema::update(double x) {
+  if (!seeded_) {
+    value_ = x;
+    seeded_ = true;
+    return;
+  }
+  value_ += alpha_ * (x - value_);
+}
+
+RollingStdDev::RollingStdDev(int window) : window_(window) {
+  assert(window > 1);
+}
+
+void RollingStdDev::update(double x) {
+  values_.push_back(x);
+  sum_ += x;
+  sum_sq_ += x * x;
+  if (static_cast<int>(values_.size()) > window_) {
+    const double old = values_.front();
+    sum_ -= old;
+    sum_sq_ -= old * old;
+    values_.pop_front();
+  }
+}
+
+double RollingStdDev::value() const {
+  if (!ready()) return 0.0;
+  const double n = window_;
+  const double m = sum_ / n;
+  // Population variance; clamp tiny negatives from float cancellation.
+  const double var = std::max(0.0, sum_sq_ / n - m * m);
+  return std::sqrt(var);
+}
+
+BollingerBands::BollingerBands(int window, double num_stddev)
+    : num_stddev_(num_stddev), stddev_(window) {}
+
+void BollingerBands::update(double x) {
+  last_ = x;
+  stddev_.update(x);
+  if (!stddev_.ready()) return;
+  const double mid = stddev_.mean();
+  const double dev = num_stddev_ * stddev_.value();
+  current_.middle = mid;
+  current_.upper = mid + dev;
+  current_.lower = mid - dev;
+  current_.bandwidth = mid != 0.0 ? 2.0 * dev / mid : 0.0;
+  current_.percent_b =
+      dev > 0.0 ? (last_ - current_.lower) / (2.0 * dev) : 0.5;
+}
+
+Rsi::Rsi(int period) : period_(period) { assert(period > 0); }
+
+void Rsi::update(double x) {
+  ++count_;
+  if (count_ == 1) {
+    prev_ = x;
+    return;
+  }
+  const double change = x - prev_;
+  prev_ = x;
+  const double gain = std::max(change, 0.0);
+  const double loss = std::max(-change, 0.0);
+  if (count_ <= period_ + 1) {
+    // Seed with the arithmetic mean of the first `period` changes.
+    avg_gain_ += gain / period_;
+    avg_loss_ += loss / period_;
+    return;
+  }
+  // Wilder smoothing.
+  avg_gain_ = (avg_gain_ * (period_ - 1) + gain) / period_;
+  avg_loss_ = (avg_loss_ * (period_ - 1) + loss) / period_;
+}
+
+double Rsi::value() const {
+  if (!ready()) return 50.0;
+  if (avg_loss_ <= 0.0) return avg_gain_ > 0.0 ? 100.0 : 50.0;
+  const double rs = avg_gain_ / avg_loss_;
+  return 100.0 - 100.0 / (1.0 + rs);
+}
+
+Macd::Macd(int fast, int slow, int signal)
+    : slow_(slow), fast_ema_(fast), slow_ema_(slow), signal_ema_(signal) {
+  assert(fast < slow);
+}
+
+void Macd::update(double x) {
+  ++count_;
+  fast_ema_.update(x);
+  slow_ema_.update(x);
+  signal_ema_.update(fast_ema_.value() - slow_ema_.value());
+}
+
+MacdValues Macd::value() const {
+  MacdValues v;
+  v.macd = fast_ema_.value() - slow_ema_.value();
+  v.signal = signal_ema_.value();
+  v.histogram = v.macd - v.signal;
+  return v;
+}
+
+}  // namespace rtseed::trading

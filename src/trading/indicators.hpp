@@ -1,0 +1,130 @@
+// Streaming technical-analysis indicators.
+//
+// The paper's motivating optional parts "conduct technical analysis (e.g.,
+// Bollinger Bands) and/or fundamental analysis (e.g., GDP) in parallel to
+// improve QoS for a trading decision" (§II-A).  Each indicator here is a
+// constant-memory streaming computation: update(price) then read values.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "common/types.hpp"
+
+namespace rtseed::trading {
+
+/// Simple moving average over the last `window` samples.
+class Sma {
+ public:
+  explicit Sma(int window);
+
+  void update(double x);
+  bool ready() const { return static_cast<int>(values_.size()) == window_; }
+  double value() const { return ready() ? sum_ / window_ : 0.0; }
+  int window() const { return window_; }
+
+ private:
+  int window_;
+  std::deque<double> values_;
+  double sum_ = 0.0;
+};
+
+/// Exponential moving average with period n (alpha = 2/(n+1)).
+class Ema {
+ public:
+  explicit Ema(int period);
+
+  void update(double x);
+  bool ready() const { return seeded_; }
+  double value() const { return value_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool seeded_ = false;
+};
+
+/// Rolling (population) standard deviation over the last `window` samples.
+class RollingStdDev {
+ public:
+  explicit RollingStdDev(int window);
+
+  void update(double x);
+  bool ready() const { return static_cast<int>(values_.size()) == window_; }
+  double value() const;
+  double mean() const { return ready() ? sum_ / window_ : 0.0; }
+
+ private:
+  int window_;
+  std::deque<double> values_;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+/// Bollinger Bands: SMA(n) ± k·sigma(n) (Bollinger 2001, paper ref [10]).
+struct BollingerValues {
+  double middle = 0.0;
+  double upper = 0.0;
+  double lower = 0.0;
+  /// %b: where the price sits in the band (0 = lower, 1 = upper).
+  double percent_b = 0.0;
+  double bandwidth = 0.0;
+};
+
+class BollingerBands {
+ public:
+  explicit BollingerBands(int window = 20, double num_stddev = 2.0);
+
+  void update(double x);
+  bool ready() const { return stddev_.ready(); }
+  BollingerValues value() const { return current_; }
+
+ private:
+  double num_stddev_;
+  RollingStdDev stddev_;
+  double last_ = 0.0;
+  BollingerValues current_;
+};
+
+/// Relative Strength Index (Wilder's smoothing).
+class Rsi {
+ public:
+  explicit Rsi(int period = 14);
+
+  void update(double x);
+  bool ready() const { return count_ >= period_ + 1; }
+  /// In [0, 100]; 50 when flat.
+  double value() const;
+
+ private:
+  int period_;
+  int count_ = 0;
+  double prev_ = 0.0;
+  double avg_gain_ = 0.0;
+  double avg_loss_ = 0.0;
+};
+
+/// MACD(fast, slow, signal).
+struct MacdValues {
+  double macd = 0.0;
+  double signal = 0.0;
+  double histogram = 0.0;
+};
+
+class Macd {
+ public:
+  Macd(int fast = 12, int slow = 26, int signal = 9);
+
+  void update(double x);
+  bool ready() const { return count_ >= slow_; }
+  MacdValues value() const;
+
+ private:
+  int slow_;
+  int count_ = 0;
+  Ema fast_ema_;
+  Ema slow_ema_;
+  Ema signal_ema_;
+};
+
+}  // namespace rtseed::trading

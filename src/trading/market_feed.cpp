@@ -1,0 +1,52 @@
+#include "trading/market_feed.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace rtseed::trading {
+
+namespace {
+constexpr double kSecondsPerYear = 365.0 * 24.0 * 3600.0;
+}
+
+SyntheticFeed::SyntheticFeed(SyntheticFeedConfig config)
+    : config_(config), rng_(config.seed), price_(config.initial_price) {}
+
+Tick SyntheticFeed::next(Nanos now) {
+  // GBM step: S' = S * exp((mu - sigma^2/2) dt + sigma sqrt(dt) Z).
+  const double dt = config_.tick_interval_s / kSecondsPerYear;
+  const double mu = config_.annual_drift;
+  const double sigma = config_.annual_volatility;
+  const double z = rng_.normal();
+  price_ *= std::exp((mu - sigma * sigma / 2.0) * dt +
+                     sigma * std::sqrt(dt) * z);
+  ++sequence_;
+
+  Tick tick;
+  tick.timestamp = now;
+  tick.bid = price_ - config_.spread / 2.0;
+  tick.ask = price_ + config_.spread / 2.0;
+  return tick;
+}
+
+std::vector<Tick> SyntheticFeed::generate(int count) {
+  std::vector<Tick> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    out.push_back(next(common::seconds(i)));
+  }
+  return out;
+}
+
+ReplayFeed::ReplayFeed(std::vector<Tick> ticks) : ticks_(std::move(ticks)) {
+  assert(!ticks_.empty());
+}
+
+Tick ReplayFeed::next(Nanos now) {
+  Tick tick = ticks_[cursor_];
+  cursor_ = (cursor_ + 1) % ticks_.size();
+  tick.timestamp = now;
+  return tick;
+}
+
+}  // namespace rtseed::trading

@@ -1,0 +1,64 @@
+// Market data feeds.
+//
+// The paper's live source (OANDA Japan, 1 quote/s) is substituted by a
+// deterministic synthetic feed: geometric Brownian motion with a
+// configurable regime, plus a replay feed for recorded sequences.  The
+// middleware only consumes "one quote per task period", so the statistical
+// source is irrelevant to scheduling behaviour (DESIGN.md §3).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "trading/tick.hpp"
+
+namespace rtseed::trading {
+
+class MarketFeed {
+ public:
+  virtual ~MarketFeed() = default;
+  /// Produces the quote for logical time `now`.
+  virtual Tick next(Nanos now) = 0;
+};
+
+struct SyntheticFeedConfig {
+  double initial_price = 1.1000;  ///< e.g. EUR/USD
+  double annual_drift = 0.02;
+  double annual_volatility = 0.08;
+  double spread = 0.0002;
+  /// Seconds of market time per tick (the paper's cadence: 1 s).
+  double tick_interval_s = 1.0;
+  common::u64 seed = 42;
+};
+
+/// Geometric Brownian motion quote stream.
+class SyntheticFeed final : public MarketFeed {
+ public:
+  explicit SyntheticFeed(SyntheticFeedConfig config = {});
+
+  Tick next(Nanos now) override;
+
+  /// Pre-generates `count` ticks (for replay/backtests).
+  std::vector<Tick> generate(int count);
+
+ private:
+  SyntheticFeedConfig config_;
+  common::Rng rng_;
+  double price_;
+  long sequence_ = 0;
+};
+
+/// Replays a recorded tick sequence (wraps around at the end).
+class ReplayFeed final : public MarketFeed {
+ public:
+  explicit ReplayFeed(std::vector<Tick> ticks);
+
+  Tick next(Nanos now) override;
+
+ private:
+  std::vector<Tick> ticks_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace rtseed::trading

@@ -1,0 +1,54 @@
+#include "trading/ohlc.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rtseed::trading {
+
+OhlcAggregator::OhlcAggregator(Nanos candle_duration)
+    : duration_(candle_duration) {
+  assert(candle_duration > 0);
+}
+
+std::optional<Candle> OhlcAggregator::update(const Tick& tick) {
+  const Nanos bucket = tick.timestamp - tick.timestamp % duration_;
+  const double price = tick.mid();
+
+  std::optional<Candle> completed;
+  if (current_ && current_->open_time != bucket) {
+    completed = current_;
+    current_.reset();
+  }
+  if (!current_) {
+    Candle c;
+    c.open_time = bucket;
+    c.open = c.high = c.low = c.close = price;
+    c.tick_count = 1;
+    current_ = c;
+    return completed;
+  }
+  current_->high = std::max(current_->high, price);
+  current_->low = std::min(current_->low, price);
+  current_->close = price;
+  ++current_->tick_count;
+  return completed;
+}
+
+std::optional<Candle> OhlcAggregator::flush() {
+  auto out = current_;
+  current_.reset();
+  return out;
+}
+
+std::vector<Candle> aggregate(const std::vector<Tick>& ticks,
+                              Nanos candle_duration) {
+  OhlcAggregator agg(candle_duration);
+  std::vector<Candle> candles;
+  for (const auto& tick : ticks) {
+    if (auto candle = agg.update(tick)) candles.push_back(*candle);
+  }
+  if (auto last = agg.flush()) candles.push_back(*last);
+  return candles;
+}
+
+}  // namespace rtseed::trading

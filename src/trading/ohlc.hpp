@@ -1,0 +1,47 @@
+// OHLC candle aggregation from a tick stream.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "trading/tick.hpp"
+
+namespace rtseed::trading {
+
+struct Candle {
+  Nanos open_time = 0;
+  double open = 0.0;
+  double high = 0.0;
+  double low = 0.0;
+  double close = 0.0;
+  long tick_count = 0;
+
+  bool bullish() const { return close > open; }
+  double range() const { return high - low; }
+};
+
+/// Buckets ticks into fixed-duration candles by mid price.  A candle is
+/// emitted when the first tick of the next bucket arrives.
+class OhlcAggregator {
+ public:
+  explicit OhlcAggregator(Nanos candle_duration);
+
+  /// Returns the completed candle when `tick` opens a new bucket.
+  std::optional<Candle> update(const Tick& tick);
+
+  /// The candle currently being built (if any).
+  std::optional<Candle> current() const { return current_; }
+
+  /// Flushes the in-progress candle.
+  std::optional<Candle> flush();
+
+ private:
+  Nanos duration_;
+  std::optional<Candle> current_;
+};
+
+/// Aggregates a whole tick vector.
+std::vector<Candle> aggregate(const std::vector<Tick>& ticks,
+                              Nanos candle_duration);
+
+}  // namespace rtseed::trading

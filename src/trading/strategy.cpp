@@ -1,0 +1,29 @@
+#include "trading/strategy.hpp"
+
+#include <algorithm>
+
+namespace rtseed::trading {
+
+FusedDecision fuse(const std::vector<AnalysisResult>& results,
+                   const StrategyConfig& config) {
+  FusedDecision out;
+  double weighted = 0.0;
+  for (const auto& r : results) {
+    if (!r.available || r.weight <= 0.0) continue;
+    weighted += std::clamp(r.signal, -1.0, 1.0) * r.weight;
+    out.total_weight += r.weight;
+    ++out.contributing;
+  }
+  if (out.total_weight < config.min_total_weight) {
+    return out;  // too little evidence: wait-and-see (low-QoS correct output)
+  }
+  out.fused_signal = weighted / out.total_weight;
+  if (out.fused_signal > config.decision_threshold) {
+    out.decision = Decision::kBid;
+  } else if (out.fused_signal < -config.decision_threshold) {
+    out.decision = Decision::kAsk;
+  }
+  return out;
+}
+
+}  // namespace rtseed::trading

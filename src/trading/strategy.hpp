@@ -1,0 +1,60 @@
+// Signal fusion and trading decisions.
+//
+// Mirrors the paper's wind-up part: "collects the results from parallel
+// optional parts to make a trading decision and sends a trade request
+// (i.e., bid or ask) to the stock company or takes a wait-and-see attitude
+// (i.e., no trade)" (§II-A).  Each optional analysis contributes a signal
+// in [-1, 1] and a confidence weight; analyses terminated before producing
+// a result simply do not contribute — lower QoS, still-correct output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trading/tick.hpp"
+
+namespace rtseed::trading {
+
+enum class Decision { kBid, kAsk, kWait };
+
+inline const char* decision_name(Decision d) {
+  switch (d) {
+    case Decision::kBid:
+      return "bid";
+    case Decision::kAsk:
+      return "ask";
+    case Decision::kWait:
+      return "wait";
+  }
+  return "?";
+}
+
+struct AnalysisResult {
+  std::string source;     ///< e.g. "bollinger", "rsi", "gdp"
+  double signal = 0.0;    ///< [-1, 1]; > 0 bullish (bid), < 0 bearish (ask)
+  double weight = 0.0;    ///< confidence in [0, 1]; 0 = no contribution
+  bool available = false; ///< false when the optional part was cut short
+  /// Refinement iterations the optional part managed before termination —
+  /// the QoS the imprecise model trades time for.
+  long iterations = 0;
+};
+
+struct StrategyConfig {
+  /// |fused signal| must exceed this to trade; otherwise wait-and-see.
+  double decision_threshold = 0.25;
+  /// Minimum total weight; below it the evidence is too thin to trade.
+  double min_total_weight = 0.5;
+};
+
+struct FusedDecision {
+  Decision decision = Decision::kWait;
+  double fused_signal = 0.0;
+  double total_weight = 0.0;
+  int contributing = 0;  ///< number of available analyses
+};
+
+/// Weighted fusion of whatever analyses completed in time.
+FusedDecision fuse(const std::vector<AnalysisResult>& results,
+                   const StrategyConfig& config = {});
+
+}  // namespace rtseed::trading

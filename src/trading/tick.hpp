@@ -1,0 +1,37 @@
+// Market-data primitives for the real-time trading substrate.
+#pragma once
+
+#include <string>
+
+#include "common/time.hpp"
+
+namespace rtseed::trading {
+
+using common::Nanos;
+
+/// One exchange-rate quote (e.g. EUR/USD).  The paper's data source, the
+/// OANDA Japan feed, "usually provides 1 exchange rate per second" — the
+/// synthetic feed reproduces that cadence.
+struct Tick {
+  Nanos timestamp = 0;
+  double bid = 0.0;
+  double ask = 0.0;
+
+  double mid() const { return (bid + ask) / 2.0; }
+  double spread() const { return ask - bid; }
+};
+
+enum class Side { kBid, kAsk };
+
+inline const char* side_name(Side side) {
+  return side == Side::kBid ? "bid" : "ask";
+}
+
+struct Order {
+  Side side = Side::kBid;
+  double size = 0.0;   ///< units of base currency
+  double price = 0.0;  ///< limit/marketable price
+  Nanos timestamp = 0;
+};
+
+}  // namespace rtseed::trading

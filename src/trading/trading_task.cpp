@@ -1,0 +1,141 @@
+#include "trading/trading_task.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace rtseed::trading {
+
+TradingSystem::TradingSystem(std::unique_ptr<MarketFeed> feed,
+                             std::vector<std::unique_ptr<Analyzer>> analyzers,
+                             TradingSystemConfig config)
+    : feed_(std::move(feed)),
+      analyzers_(std::move(analyzers)),
+      config_(config) {
+  history_.assign(static_cast<size_t>(config_.history_capacity), 0.0);
+  for (size_t i = 0; i < analyzers_.size(); ++i) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+}
+
+core::TaskConfig TradingSystem::make_task_config(long num_jobs) {
+  core::TaskConfig task;
+  task.params.name = "trader";
+  task.params.period = config_.period;
+  task.params.mandatory = config_.mandatory_wcet;
+  task.params.windup = config_.windup_wcet;
+  for (size_t i = 0; i < analyzers_.size(); ++i) {
+    task.params.optional.push_back(config_.optional_time);
+  }
+  task.num_jobs = num_jobs;
+  task.callbacks.mandatory = [this](const core::JobContext& ctx) {
+    on_mandatory(ctx);
+  };
+  task.callbacks.optional = [this](const core::JobContext& ctx, int part,
+                                   core::StopToken& token) {
+    on_optional(ctx, part, token);
+  };
+  task.callbacks.windup = [this](const core::JobContext& ctx) {
+    on_windup(ctx);
+  };
+  return task;
+}
+
+void TradingSystem::on_mandatory(const core::JobContext& ctx) {
+  // Obtain the exchange rate (paper: "from a stock company").
+  const Tick tick = feed_->next(ctx.release);
+  broker_.on_tick(tick);
+
+  // Append to the price history; compact by half when full so the buffer
+  // stays contiguous without per-job allocation.
+  const auto capacity = static_cast<int>(history_.size());
+  if (history_count_ == capacity) {
+    const int keep = capacity / 2;
+    std::memmove(history_.data(), history_.data() + (capacity - keep),
+                 static_cast<size_t>(keep) * sizeof(double));
+    history_count_ = keep;
+  }
+  history_[static_cast<size_t>(history_count_++)] = tick.mid();
+
+  // Invalidate all analyzer slots for this job.
+  for (auto& slot : slots_) slot->reset();
+}
+
+void TradingSystem::on_optional(const core::JobContext& ctx, int part,
+                                core::StopToken& token) {
+  const auto index = static_cast<size_t>(part);
+  if (index >= analyzers_.size()) return;
+  const PriceWindow window(history_.data(), history_count_);
+  analyzers_[index]->analyze(window, ctx.job, token, *slots_[index]);
+}
+
+void TradingSystem::on_windup(const core::JobContext& ctx) {
+  // Collect whatever each optional part committed before it ended.
+  std::vector<AnalysisResult> results;
+  results.reserve(analyzers_.size());
+  for (size_t i = 0; i < analyzers_.size(); ++i) {
+    AnalysisResult r;
+    r.source = analyzers_[i]->name();
+    AnalyzerOutput out;
+    if (slots_[i]->read(out)) {
+      r.signal = out.signal;
+      r.weight = out.weight;
+      r.iterations = out.iterations;
+      r.available = true;
+      ++stats_.analyses_available;
+      stats_.total_iterations += out.iterations;
+    }
+    results.push_back(std::move(r));
+  }
+
+  const FusedDecision decision = fuse(results, config_.strategy);
+  decisions_.push_back(decision);
+  ++stats_.jobs;
+
+  // Risk limits: position cap and trade cooldown veto non-wait decisions.
+  auto risk_allows = [&](Side side) {
+    if (config_.trade_cooldown_jobs > 0 && last_trade_job_ >= 0 &&
+        ctx.job - last_trade_job_ < config_.trade_cooldown_jobs) {
+      return false;
+    }
+    if (config_.max_position > 0.0) {
+      const double delta =
+          side == Side::kBid ? config_.order_size : -config_.order_size;
+      if (std::abs(broker_.position() + delta) >
+          config_.max_position + 1e-9) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  switch (decision.decision) {
+    case Decision::kBid:
+      if (risk_allows(Side::kBid)) {
+        ++stats_.bids;
+        broker_.submit(Side::kBid, config_.order_size, ctx.release);
+        last_trade_job_ = ctx.job;
+      } else {
+        ++stats_.risk_blocked;
+        ++stats_.waits;
+      }
+      break;
+    case Decision::kAsk:
+      if (risk_allows(Side::kAsk)) {
+        ++stats_.asks;
+        broker_.submit(Side::kAsk, config_.order_size, ctx.release);
+        last_trade_job_ = ctx.job;
+      } else {
+        ++stats_.risk_blocked;
+        ++stats_.waits;
+      }
+      break;
+    case Decision::kWait:
+      ++stats_.waits;
+      break;
+  }
+}
+
+TradingSystem::Stats TradingSystem::stats() const { return stats_; }
+
+}  // namespace rtseed::trading

@@ -1,0 +1,118 @@
+// TradingSystem — the paper's motivating application, assembled on the
+// RT-Seed middleware (§II-A):
+//
+//   mandatory part : obtain the exchange rate from the (synthetic) feed;
+//   optional parts : run the analyzers in parallel, each refining its
+//                    signal until the optional deadline;
+//   wind-up part   : fuse whatever signals were committed, place a bid/ask
+//                    with the paper broker or wait-and-see.
+//
+// Cross-part state obeys the model's constraints: the price history is
+// written only by the mandatory part (optionals run strictly after it
+// within a job), and each analyzer publishes into a double-buffered slot
+// whose flip is a single atomic store, so an optional part terminated
+// mid-commit can never expose a torn result to the wind-up part.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "core/task_config.hpp"
+#include "trading/analyzers.hpp"
+#include "trading/broker.hpp"
+#include "trading/market_feed.hpp"
+
+namespace rtseed::trading {
+
+using common::Nanos;
+
+struct TradingSystemConfig {
+  Nanos period = common::seconds(1);     ///< the OANDA cadence (paper §V-A)
+  Nanos mandatory_wcet = common::millis(250);
+  Nanos windup_wcet = common::millis(250);
+  /// Declared optional execution time (WCET-style; the analyzers are
+  /// anytime algorithms, so this only feeds the task model).
+  Nanos optional_time = common::seconds(1);
+  int history_capacity = 4096;
+  double order_size = 1000.0;
+  StrategyConfig strategy;
+  /// Risk limits enforced in the wind-up part: |position| after a fill
+  /// may not exceed max_position (0 = unlimited), and at least
+  /// trade_cooldown_jobs jobs must pass between consecutive trades.
+  double max_position = 0.0;
+  long trade_cooldown_jobs = 0;
+};
+
+class TradingSystem {
+ public:
+  TradingSystem(std::unique_ptr<MarketFeed> feed,
+                std::vector<std::unique_ptr<Analyzer>> analyzers,
+                TradingSystemConfig config = {});
+
+  /// Task configuration to admit into a core::Runtime.  The returned
+  /// config references this TradingSystem, which must outlive the runtime.
+  core::TaskConfig make_task_config(long num_jobs);
+
+  const PaperBroker& broker() const { return broker_; }
+  int num_analyzers() const { return static_cast<int>(analyzers_.size()); }
+
+  struct Stats {
+    long jobs = 0;
+    long bids = 0;
+    long asks = 0;
+    long waits = 0;
+    long risk_blocked = 0;        ///< trades vetoed by position/cooldown limits
+    long analyses_available = 0;  ///< analyzer results that made it to fusion
+    long total_iterations = 0;    ///< QoS proxy: refinement count delivered
+  };
+  Stats stats() const;
+
+  /// Decisions made so far (one per job, in order).
+  std::vector<FusedDecision> decisions() const { return decisions_; }
+
+ private:
+  // Termination-safe publication slot (double buffer + atomic flip).
+  class Slot final : public ResultSink {
+   public:
+    void publish(const AnalyzerOutput& output) override {
+      const int current = active_.load(std::memory_order_relaxed);
+      const int next = current <= 0 ? 1 : 0;
+      buffers_[next] = output;
+      active_.store(next, std::memory_order_release);
+    }
+    void reset() { active_.store(-1, std::memory_order_release); }
+    bool read(AnalyzerOutput& out) const {
+      const int current = active_.load(std::memory_order_acquire);
+      if (current < 0) return false;
+      out = buffers_[current];
+      return true;
+    }
+
+   private:
+    AnalyzerOutput buffers_[2];
+    std::atomic<int> active_{-1};
+  };
+
+  void on_mandatory(const core::JobContext& ctx);
+  void on_optional(const core::JobContext& ctx, int part,
+                   core::StopToken& token);
+  void on_windup(const core::JobContext& ctx);
+
+  std::unique_ptr<MarketFeed> feed_;
+  std::vector<std::unique_ptr<Analyzer>> analyzers_;
+  TradingSystemConfig config_;
+  PaperBroker broker_;
+
+  // Price history ring: mandatory-thread writes, optional-thread reads;
+  // the job's phase ordering provides the happens-before edge.
+  std::vector<double> history_;
+  int history_count_ = 0;
+
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::vector<FusedDecision> decisions_;
+  Stats stats_;
+  long last_trade_job_ = -1;
+};
+
+}  // namespace rtseed::trading

@@ -1,0 +1,104 @@
+#include "common/fixed_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace rtseed::common {
+namespace {
+
+TEST(FixedVector, PushPopAndAccess) {
+  FixedVector<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.push_back(1));
+  EXPECT_TRUE(v.push_back(2));
+  EXPECT_TRUE(v.push_back(3));
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v.front(), 1);
+  EXPECT_EQ(v.back(), 3);
+  v.pop_back();
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.back(), 2);
+}
+
+TEST(FixedVector, RejectsBeyondCapacity) {
+  FixedVector<int, 2> v;
+  EXPECT_TRUE(v.push_back(1));
+  EXPECT_TRUE(v.push_back(2));
+  EXPECT_TRUE(v.full());
+  EXPECT_FALSE(v.push_back(3));
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(FixedVector, EmplaceBack) {
+  FixedVector<std::pair<int, int>, 2> v;
+  EXPECT_TRUE(v.emplace_back(1, 2));
+  EXPECT_EQ(v[0].second, 2);
+}
+
+TEST(FixedVector, IterationAndRangeFor) {
+  FixedVector<int, 8> v;
+  for (int i = 0; i < 5; ++i) v.push_back(i);
+  int sum = 0;
+  for (int x : v) sum += x;
+  EXPECT_EQ(sum, 10);
+  EXPECT_EQ(v.end() - v.begin(), 5);
+}
+
+TEST(FixedVector, DestroysElements) {
+  auto counter = std::make_shared<int>(0);
+  struct Probe {
+    std::shared_ptr<int> c;
+    explicit Probe(std::shared_ptr<int> counter) : c(std::move(counter)) {
+      ++*c;
+    }
+    Probe(const Probe& other) : c(other.c) { ++*c; }
+    ~Probe() { --*c; }
+  };
+  {
+    FixedVector<Probe, 4> v;
+    v.emplace_back(counter);
+    v.emplace_back(counter);
+    EXPECT_EQ(*counter, 2);
+    v.pop_back();
+    EXPECT_EQ(*counter, 1);
+  }
+  EXPECT_EQ(*counter, 0);
+}
+
+TEST(FixedVector, CopyAndMoveSemantics) {
+  FixedVector<std::string, 4> a;
+  a.push_back("x");
+  a.push_back("y");
+
+  FixedVector<std::string, 4> b = a;  // copy
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[1], "y");
+  EXPECT_EQ(a.size(), 2u);
+
+  FixedVector<std::string, 4> c = std::move(a);  // move
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c[0], "x");
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): documented
+
+  c = b;  // copy assign
+  EXPECT_EQ(c.size(), 2u);
+  b.clear();
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(FixedVector, ClearAllowsReuse) {
+  FixedVector<int, 2> v;
+  v.push_back(1);
+  v.push_back(2);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.push_back(9));
+  EXPECT_EQ(v[0], 9);
+}
+
+}  // namespace
+}  // namespace rtseed::common

@@ -1,0 +1,70 @@
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtseed::common {
+namespace {
+
+TEST(Histogram, RecordsIntoCorrectBuckets) {
+  Histogram h(0.0, 10.0, 10);
+  h.record(0.5);   // bucket 0
+  h.record(5.5);   // bucket 5
+  h.record(9.99);  // bucket 9
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(5), 1u);
+  EXPECT_EQ(h.bucket(9), 1u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, UnderOverflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.record(-0.1);
+  h.record(1.0);  // hi is exclusive
+  h.record(5.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BucketBounds) {
+  Histogram h(10.0, 20.0, 5);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(0), 12.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(4), 18.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(4), 20.0);
+}
+
+TEST(Histogram, PercentileEstimate) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.record(i + 0.5);
+  EXPECT_NEAR(h.percentile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(h.percentile(0.9), 90.0, 2.0);
+  EXPECT_NEAR(h.percentile(0.0), 0.0, 1.0);
+}
+
+TEST(Histogram, Reset) {
+  Histogram h(0.0, 1.0, 2);
+  h.record(0.5);
+  h.reset();
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.bucket(0) + h.bucket(1), 0u);
+}
+
+TEST(Histogram, RenderNonEmpty) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 50; ++i) h.record(3.0);
+  h.record(42.0);
+  const std::string out = h.render();
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find("overflow=1"), std::string::npos);
+}
+
+TEST(Histogram, RenderEmpty) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_EQ(h.render(), "(empty)\n");
+}
+
+}  // namespace
+}  // namespace rtseed::common

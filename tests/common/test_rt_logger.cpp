@@ -1,0 +1,69 @@
+#include "common/rt_logger.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtseed::common {
+namespace {
+
+TEST(RtLogger, FormatsAndDrains) {
+  RtLogger logger(16);
+  logger.info("hello %d", 42);
+  logger.warn("careful: %s", "spike");
+  const auto lines = logger.drain();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("INFO"), std::string::npos);
+  EXPECT_NE(lines[0].find("hello 42"), std::string::npos);
+  EXPECT_NE(lines[1].find("WARN"), std::string::npos);
+  EXPECT_NE(lines[1].find("careful: spike"), std::string::npos);
+}
+
+TEST(RtLogger, DrainEmptiesTheRing) {
+  RtLogger logger(16);
+  logger.info("once");
+  EXPECT_EQ(logger.drain().size(), 1u);
+  EXPECT_TRUE(logger.drain().empty());
+}
+
+TEST(RtLogger, DropsWhenFullInsteadOfBlocking) {
+  RtLogger logger(4);
+  for (int i = 0; i < 10; ++i) logger.info("msg %d", i);
+  EXPECT_EQ(logger.dropped(), 6u);
+  EXPECT_EQ(logger.drain().size(), 4u);
+}
+
+TEST(RtLogger, MinLevelFilters) {
+  RtLogger logger(16);
+  logger.set_min_level(LogLevel::kWarn);
+  logger.debug("hidden");
+  logger.info("hidden too");
+  logger.error("visible");
+  const auto lines = logger.drain();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("ERROR"), std::string::npos);
+  EXPECT_EQ(logger.dropped(), 0u);  // filtered, not dropped
+}
+
+TEST(RtLogger, TruncatesLongMessages) {
+  RtLogger logger(4);
+  std::string longish(500, 'x');
+  logger.info("%s", longish.c_str());
+  const auto lines = logger.drain();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_LT(lines[0].size(), 250u);
+}
+
+TEST(RtLogger, LevelNames) {
+  EXPECT_STREQ(log_level_name(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(log_level_name(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(log_level_name(LogLevel::kWarn), "WARN");
+  EXPECT_STREQ(log_level_name(LogLevel::kError), "ERROR");
+}
+
+TEST(RtLogger, GlobalLoggerIsSingleton) {
+  RtLogger& a = global_logger();
+  RtLogger& b = global_logger();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace rtseed::common

@@ -1,0 +1,70 @@
+#include "common/spsc_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace rtseed::common {
+namespace {
+
+TEST(SpscRing, PushPopFifoOrder) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(ring.try_push(i));
+  for (int i = 0; i < 5; ++i) {
+    auto v = ring.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(ring.try_pop().has_value());
+}
+
+TEST(SpscRing, FullRejectsWithoutBlocking) {
+  SpscRing<int> ring(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(i));
+  EXPECT_FALSE(ring.try_push(99));
+  EXPECT_EQ(ring.size_approx(), 4u);
+  EXPECT_EQ(*ring.try_pop(), 0);
+  EXPECT_TRUE(ring.try_push(99));
+}
+
+TEST(SpscRing, WrapsAround) {
+  SpscRing<int> ring(4);
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_TRUE(ring.try_push(round));
+    EXPECT_EQ(*ring.try_pop(), round);
+  }
+  EXPECT_TRUE(ring.empty_approx());
+}
+
+TEST(SpscRing, MoveOnlyPayload) {
+  SpscRing<std::unique_ptr<int>> ring(2);
+  EXPECT_TRUE(ring.try_push(std::make_unique<int>(7)));
+  auto out = ring.try_pop();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(**out, 7);
+}
+
+TEST(SpscRing, ConcurrentProducerConsumer) {
+  constexpr int kCount = 100000;
+  SpscRing<int> ring(1024);
+  std::vector<int> received;
+  received.reserve(kCount);
+
+  std::thread consumer([&] {
+    while (static_cast<int>(received.size()) < kCount) {
+      if (auto v = ring.try_pop()) received.push_back(*v);
+    }
+  });
+  for (int i = 0; i < kCount; ++i) {
+    while (!ring.try_push(i)) {
+    }
+  }
+  consumer.join();
+
+  ASSERT_EQ(received.size(), static_cast<size_t>(kCount));
+  for (int i = 0; i < kCount; ++i) EXPECT_EQ(received[static_cast<size_t>(i)], i);
+}
+
+}  // namespace
+}  // namespace rtseed::common

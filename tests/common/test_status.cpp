@@ -1,0 +1,69 @@
+#include "common/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtseed::common {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_TRUE(static_cast<bool>(s));
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  const Status s = invalid_argument("bad period");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad period");
+  EXPECT_EQ(s.to_string(), "INVALID_ARGUMENT: bad period");
+}
+
+TEST(Status, FactoryHelpers) {
+  EXPECT_EQ(permission_denied("x").code(), ErrorCode::kPermissionDenied);
+  EXPECT_EQ(not_found("x").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(failed_precondition("x").code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(resource_exhausted("x").code(), ErrorCode::kResourceExhausted);
+  EXPECT_EQ(unavailable("x").code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(internal_error("x").code(), ErrorCode::kInternal);
+}
+
+TEST(Status, EveryCodeHasName) {
+  EXPECT_STREQ(error_code_name(ErrorCode::kOk), "OK");
+  EXPECT_STREQ(error_code_name(ErrorCode::kInvalidArgument),
+               "INVALID_ARGUMENT");
+  EXPECT_STREQ(error_code_name(ErrorCode::kPermissionDenied),
+               "PERMISSION_DENIED");
+  EXPECT_STREQ(error_code_name(ErrorCode::kInternal), "INTERNAL");
+}
+
+TEST(Expected, HoldsValue) {
+  Expected<int> e = 42;
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(*e, 42);
+  EXPECT_TRUE(e.status().is_ok());
+  EXPECT_EQ(e.value_or(7), 42);
+}
+
+TEST(Expected, HoldsError) {
+  Expected<int> e = not_found("missing");
+  EXPECT_FALSE(e.has_value());
+  EXPECT_EQ(e.status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(e.value_or(7), 7);
+}
+
+TEST(Expected, ArrowAndMove) {
+  struct Payload {
+    int x;
+  };
+  Expected<Payload> e = Payload{5};
+  EXPECT_EQ(e->x, 5);
+  Expected<std::string> s = std::string("hello");
+  const std::string moved = std::move(s).value();
+  EXPECT_EQ(moved, "hello");
+}
+
+}  // namespace
+}  // namespace rtseed::common

@@ -1,0 +1,59 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtseed::common {
+namespace {
+
+TEST(Table, RendersHeadersAndRows) {
+  Table table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"beta", "22"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(Table, PadsShortRows) {
+  Table table({"a", "b", "c"});
+  table.add_row({"only"});
+  const std::string out = table.render();
+  // Three columns rendered even though one cell provided.
+  const size_t first_line_end = out.find('\n');
+  EXPECT_NE(first_line_end, std::string::npos);
+}
+
+TEST(Table, NumericRowsRespectPrecision) {
+  Table table({"x"});
+  table.add_numeric_row(std::vector<double>{3.14159}, 2);
+  EXPECT_NE(table.render().find("3.14"), std::string::npos);
+  EXPECT_EQ(table.render().find("3.142"), std::string::npos);
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(1.5, 3), "1.500");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+TEST(RenderSeries, GnuplotShape) {
+  std::vector<double> x{1, 2};
+  std::vector<Series> series{{"a", {10, 20}}, {"b", {30, 40}}};
+  const std::string out = render_series("title", "np", x, series, 0);
+  EXPECT_NE(out.find("# title"), std::string::npos);
+  EXPECT_NE(out.find("# np a b"), std::string::npos);
+  EXPECT_NE(out.find("1 10 30"), std::string::npos);
+  EXPECT_NE(out.find("2 20 40"), std::string::npos);
+}
+
+TEST(RenderSeries, MissingValuesRenderZero) {
+  std::vector<double> x{1, 2, 3};
+  std::vector<Series> series{{"short", {5}}};
+  const std::string out = render_series("t", "x", x, series, 0);
+  EXPECT_NE(out.find("2 0"), std::string::npos);
+  EXPECT_NE(out.find("3 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtseed::common

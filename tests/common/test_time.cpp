@@ -1,0 +1,58 @@
+#include "common/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtseed::common {
+namespace {
+
+TEST(Time, UnitConstructors) {
+  EXPECT_EQ(nanos(5), 5);
+  EXPECT_EQ(micros(3), 3'000);
+  EXPECT_EQ(millis(2), 2'000'000);
+  EXPECT_EQ(seconds(1), 1'000'000'000);
+}
+
+TEST(Time, Conversions) {
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(2)), 2.0);
+  EXPECT_DOUBLE_EQ(to_millis(millis(250)), 250.0);
+  EXPECT_DOUBLE_EQ(to_micros(micros(7)), 7.0);
+  EXPECT_DOUBLE_EQ(to_seconds(millis(1500)), 1.5);
+}
+
+TEST(Time, TimespecRoundTrip) {
+  const Nanos value = seconds(3) + nanos(123456789);
+  const timespec ts = to_timespec(value);
+  EXPECT_EQ(ts.tv_sec, 3);
+  EXPECT_EQ(ts.tv_nsec, 123456789);
+  EXPECT_EQ(from_timespec(ts), value);
+}
+
+TEST(Time, TimespecSubSecond) {
+  const timespec ts = to_timespec(millis(250));
+  EXPECT_EQ(ts.tv_sec, 0);
+  EXPECT_EQ(ts.tv_nsec, 250'000'000);
+}
+
+TEST(Time, MonotonicNowAdvances) {
+  const Nanos a = monotonic_now();
+  const Nanos b = monotonic_now();
+  EXPECT_GE(b, a);
+  EXPECT_GT(a, 0);
+}
+
+TEST(Time, FormatDuration) {
+  EXPECT_EQ(format_duration(seconds(2)), "2.000s");
+  EXPECT_EQ(format_duration(millis(250)), "250.000ms");
+  EXPECT_EQ(format_duration(micros(15)), "15.000us");
+  EXPECT_EQ(format_duration(nanos(42)), "42ns");
+  EXPECT_EQ(format_duration(-millis(5)), "-5.000ms");
+  EXPECT_EQ(format_duration(0), "0ns");
+}
+
+TEST(Time, FormatDurationFractional) {
+  EXPECT_EQ(format_duration(millis(1) + micros(500)), "1.500ms");
+  EXPECT_EQ(format_duration(seconds(1) + millis(250)), "1.250s");
+}
+
+}  // namespace
+}  // namespace rtseed::common

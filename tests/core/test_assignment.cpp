@@ -1,0 +1,141 @@
+#include "core/assignment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rtseed::core {
+namespace {
+
+const rt::Topology kPhi = rt::Topology::xeon_phi_3120a();
+
+TEST(Assignment, PolicyNames) {
+  EXPECT_STREQ(assignment_policy_name(AssignmentPolicy::kOneByOne),
+               "one-by-one");
+  EXPECT_STREQ(assignment_policy_name(AssignmentPolicy::kTwoByTwo),
+               "two-by-two");
+  EXPECT_STREQ(assignment_policy_name(AssignmentPolicy::kAllByAll),
+               "all-by-all");
+}
+
+// Fig. 8(a): with 171 parts, one-by-one assigns 3 hardware threads on
+// every core C0–C56.
+TEST(Assignment, Figure8aOneByOne171) {
+  const auto counts = parts_per_core(kPhi, AssignmentPolicy::kOneByOne, 171);
+  ASSERT_EQ(counts.size(), 57u);
+  for (int core = 0; core < 57; ++core) {
+    EXPECT_EQ(counts[static_cast<size_t>(core)], 3) << "core " << core;
+  }
+}
+
+// Fig. 8(b): two-by-two assigns 4 threads on C0–C27, 3 on C28, 2 on
+// C29–C56.
+TEST(Assignment, Figure8bTwoByTwo171) {
+  const auto counts = parts_per_core(kPhi, AssignmentPolicy::kTwoByTwo, 171);
+  for (int core = 0; core <= 27; ++core) {
+    EXPECT_EQ(counts[static_cast<size_t>(core)], 4) << "core " << core;
+  }
+  EXPECT_EQ(counts[28], 3);
+  for (int core = 29; core <= 56; ++core) {
+    EXPECT_EQ(counts[static_cast<size_t>(core)], 2) << "core " << core;
+  }
+}
+
+// Fig. 8(c): all-by-all assigns 4 threads on C0–C41, 3 on C42, none on
+// C43–C56.
+TEST(Assignment, Figure8cAllByAll171) {
+  const auto counts = parts_per_core(kPhi, AssignmentPolicy::kAllByAll, 171);
+  for (int core = 0; core <= 41; ++core) {
+    EXPECT_EQ(counts[static_cast<size_t>(core)], 4) << "core " << core;
+  }
+  EXPECT_EQ(counts[42], 3);
+  for (int core = 43; core <= 56; ++core) {
+    EXPECT_EQ(counts[static_cast<size_t>(core)], 0) << "core " << core;
+  }
+}
+
+TEST(Assignment, OneByOneFillsSibling0First) {
+  // First 57 parts land on sibling 0 of cores 0..56 in order.
+  for (int j = 0; j < 57; ++j) {
+    const auto cpu = assign_cpu(kPhi, AssignmentPolicy::kOneByOne, j);
+    EXPECT_EQ(kPhi.core_of(cpu), j);
+    EXPECT_EQ(kPhi.sibling_of(cpu), 0);
+  }
+  // Part 57 starts sibling 1 on core 0.
+  const auto cpu57 = assign_cpu(kPhi, AssignmentPolicy::kOneByOne, 57);
+  EXPECT_EQ(kPhi.core_of(cpu57), 0);
+  EXPECT_EQ(kPhi.sibling_of(cpu57), 1);
+}
+
+TEST(Assignment, AllByAllFillsCore0First) {
+  // Parts 0..3 all on core 0 ("four by four on the Xeon Phi").
+  for (int j = 0; j < 4; ++j) {
+    const auto cpu = assign_cpu(kPhi, AssignmentPolicy::kAllByAll, j);
+    EXPECT_EQ(kPhi.core_of(cpu), 0);
+    EXPECT_EQ(kPhi.sibling_of(cpu), j);
+  }
+  EXPECT_EQ(kPhi.core_of(assign_cpu(kPhi, AssignmentPolicy::kAllByAll, 4)), 1);
+}
+
+TEST(Assignment, TwoByTwoPairsAcrossCores) {
+  // Parts 0,1 -> core 0 siblings 0,1; parts 2,3 -> core 1 siblings 0,1.
+  EXPECT_EQ(kPhi.core_of(assign_cpu(kPhi, AssignmentPolicy::kTwoByTwo, 0)), 0);
+  EXPECT_EQ(kPhi.sibling_of(assign_cpu(kPhi, AssignmentPolicy::kTwoByTwo, 1)),
+            1);
+  EXPECT_EQ(kPhi.core_of(assign_cpu(kPhi, AssignmentPolicy::kTwoByTwo, 2)), 1);
+  // After 114 parts (2 per core), the second pass uses siblings 2,3.
+  const auto cpu114 = assign_cpu(kPhi, AssignmentPolicy::kTwoByTwo, 114);
+  EXPECT_EQ(kPhi.core_of(cpu114), 0);
+  EXPECT_EQ(kPhi.sibling_of(cpu114), 2);
+}
+
+TEST(Assignment, FullMachineUsesEveryHardwareThreadExactlyOnce) {
+  for (auto policy : {AssignmentPolicy::kOneByOne, AssignmentPolicy::kTwoByTwo,
+                      AssignmentPolicy::kAllByAll}) {
+    const auto cpus = assign_optional_parts(kPhi, policy, 228);
+    std::set<common::CpuId> unique(cpus.begin(), cpus.end());
+    EXPECT_EQ(unique.size(), 228u) << assignment_policy_name(policy);
+  }
+}
+
+TEST(Assignment, WrapsBeyondMachineSize) {
+  const auto a = assign_cpu(kPhi, AssignmentPolicy::kOneByOne, 0);
+  const auto b = assign_cpu(kPhi, AssignmentPolicy::kOneByOne, 228);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Assignment, PaperNpSetNeverExceedsCounts) {
+  // All np values of the paper's sweep produce exactly np placements.
+  for (int np : {4, 8, 16, 32, 57, 114, 171, 228}) {
+    for (auto policy : {AssignmentPolicy::kOneByOne,
+                        AssignmentPolicy::kTwoByTwo,
+                        AssignmentPolicy::kAllByAll}) {
+      const auto counts = parts_per_core(kPhi, policy, np);
+      int total = 0;
+      for (int c : counts) total += c;
+      EXPECT_EQ(total, np);
+    }
+  }
+}
+
+TEST(Assignment, SmtOneTopologyDegeneratesToRoundRobin) {
+  const auto flat = rt::Topology::uniform(4, 1);
+  for (auto policy : {AssignmentPolicy::kOneByOne, AssignmentPolicy::kTwoByTwo,
+                      AssignmentPolicy::kAllByAll}) {
+    const auto cpus = assign_optional_parts(flat, policy, 4);
+    std::set<common::CpuId> unique(cpus.begin(), cpus.end());
+    EXPECT_EQ(unique.size(), 4u);
+  }
+}
+
+TEST(Assignment, FirstPartSharesMandatoryCore) {
+  // Paper: "the first parallel optional thread is executed on the
+  // processor that executes the mandatory thread" (core 0).
+  for (auto policy : {AssignmentPolicy::kOneByOne, AssignmentPolicy::kTwoByTwo,
+                      AssignmentPolicy::kAllByAll}) {
+    EXPECT_EQ(kPhi.core_of(assign_cpu(kPhi, policy, 0)), 0);
+  }
+}
+
+}  // namespace
+}  // namespace rtseed::core

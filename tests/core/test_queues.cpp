@@ -1,0 +1,136 @@
+#include "core/queues.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rt/priority.hpp"
+
+namespace rtseed::core {
+namespace {
+
+TEST(Queues, BandMapping) {
+  EXPECT_EQ(queue_for_priority(99), QueueKind::kHpq);
+  EXPECT_EQ(queue_for_priority(98), QueueKind::kRtq);
+  EXPECT_EQ(queue_for_priority(50), QueueKind::kRtq);
+  EXPECT_EQ(queue_for_priority(49), QueueKind::kNrtq);
+  EXPECT_EQ(queue_for_priority(1), QueueKind::kNrtq);
+}
+
+TEST(Queues, KindNames) {
+  EXPECT_STREQ(queue_kind_name(QueueKind::kHpq), "HPQ");
+  EXPECT_STREQ(queue_kind_name(QueueKind::kRtq), "RTQ");
+  EXPECT_STREQ(queue_kind_name(QueueKind::kNrtq), "NRTQ");
+  EXPECT_STREQ(queue_kind_name(QueueKind::kSq), "SQ");
+}
+
+TEST(Queues, HigherPriorityPopsFirst) {
+  ReadyQueues q;
+  q.enqueue(0, 60);
+  q.enqueue(1, 90);
+  q.enqueue(2, 30);
+  EXPECT_EQ(q.pop_highest(), 1);
+  EXPECT_EQ(q.pop_highest(), 0);
+  EXPECT_EQ(q.pop_highest(), 2);
+  EXPECT_FALSE(q.pop_highest().has_value());
+}
+
+TEST(Queues, FifoWithinLevel) {
+  ReadyQueues q;
+  q.enqueue(5, 70);
+  q.enqueue(6, 70);
+  q.enqueue(7, 70);
+  EXPECT_EQ(q.pop_highest(), 5);
+  EXPECT_EQ(q.pop_highest(), 6);
+  EXPECT_EQ(q.pop_highest(), 7);
+}
+
+TEST(Queues, HpqBeatsRtqBeatsNrtq) {
+  ReadyQueues q;
+  q.enqueue(0, 49);  // NRTQ
+  q.enqueue(1, 98);  // RTQ
+  q.enqueue(2, 99);  // HPQ
+  EXPECT_EQ(q.peek_highest(), 2);
+  q.remove(2);
+  EXPECT_EQ(q.peek_highest(), 1);
+  q.remove(1);
+  EXPECT_EQ(q.peek_highest(), 0);
+}
+
+TEST(Queues, RemoveFromAnyPlace) {
+  ReadyQueues q;
+  q.enqueue(0, 60);
+  q.sleep_until(1, 100);
+  EXPECT_TRUE(q.remove(0));
+  EXPECT_TRUE(q.remove(1));
+  EXPECT_FALSE(q.remove(2));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Queues, ContainsPerKind) {
+  ReadyQueues q;
+  q.enqueue(0, 99);
+  q.enqueue(1, 75);
+  q.enqueue(2, 20);
+  q.sleep_until(3, 50);
+  EXPECT_TRUE(q.contains(0, QueueKind::kHpq));
+  EXPECT_TRUE(q.contains(1, QueueKind::kRtq));
+  EXPECT_TRUE(q.contains(2, QueueKind::kNrtq));
+  EXPECT_TRUE(q.contains(3, QueueKind::kSq));
+  EXPECT_FALSE(q.contains(1, QueueKind::kNrtq));
+  EXPECT_FALSE(q.contains(3, QueueKind::kRtq));
+}
+
+TEST(Queues, SleepQueueSortedByWakeTime) {
+  // Paper Fig. 4: SQ is "sorted by increasing release time order".
+  ReadyQueues q;
+  q.sleep_until(0, 300);
+  q.sleep_until(1, 100);
+  q.sleep_until(2, 200);
+  EXPECT_EQ(q.next_wake_time(), 100);
+  const auto expired = q.pop_expired(250);
+  ASSERT_EQ(expired.size(), 2u);
+  EXPECT_EQ(expired[0], 1);
+  EXPECT_EQ(expired[1], 2);
+  EXPECT_EQ(q.next_wake_time(), 300);
+}
+
+TEST(Queues, PopExpiredExactBoundary) {
+  ReadyQueues q;
+  q.sleep_until(0, 100);
+  EXPECT_TRUE(q.pop_expired(99).empty());
+  EXPECT_EQ(q.pop_expired(100).size(), 1u);
+}
+
+TEST(Queues, SleepTiesOrderedByTaskId) {
+  ReadyQueues q;
+  q.sleep_until(7, 100);
+  q.sleep_until(3, 100);
+  const auto expired = q.pop_expired(100);
+  ASSERT_EQ(expired.size(), 2u);
+  EXPECT_EQ(expired[0], 3);
+  EXPECT_EQ(expired[1], 7);
+}
+
+TEST(Queues, SizesPerKind) {
+  ReadyQueues q;
+  q.enqueue(0, 99);
+  q.enqueue(1, 98);
+  q.enqueue(2, 51);
+  q.enqueue(3, 30);
+  q.sleep_until(4, 10);
+  EXPECT_EQ(q.size(QueueKind::kHpq), 1u);
+  EXPECT_EQ(q.size(QueueKind::kRtq), 2u);
+  EXPECT_EQ(q.size(QueueKind::kNrtq), 1u);
+  EXPECT_EQ(q.size(QueueKind::kSq), 1u);
+  EXPECT_FALSE(q.empty());
+}
+
+TEST(Queues, EmptyAfterDrain) {
+  ReadyQueues q;
+  EXPECT_TRUE(q.empty());
+  q.enqueue(0, 55);
+  q.pop_highest();
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace rtseed::core

@@ -1,0 +1,162 @@
+// Differential fuzz of ReadyQueues against a trivially-correct reference
+// model: thousands of random enqueue/remove/pop/sleep operations, with
+// every observable compared after each step.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/queues.hpp"
+#include "rt/priority.hpp"
+
+namespace rtseed::core {
+namespace {
+
+// Reference model: plain containers, obviously-correct operations.
+class ReferenceQueues {
+ public:
+  void enqueue(TaskId task, int priority) {
+    ready_.push_back({task, priority, sequence_++});
+  }
+
+  bool remove(TaskId task) {
+    bool removed = false;
+    for (auto it = ready_.begin(); it != ready_.end();) {
+      if (it->task == task) {
+        it = ready_.erase(it);
+        removed = true;
+      } else {
+        ++it;
+      }
+    }
+    for (auto it = sleeping_.begin(); it != sleeping_.end();) {
+      if (it->second == task) {
+        it = sleeping_.erase(it);
+        removed = true;
+      } else {
+        ++it;
+      }
+    }
+    return removed;
+  }
+
+  std::optional<TaskId> pop_highest() {
+    if (ready_.empty()) return std::nullopt;
+    auto best = ready_.begin();
+    for (auto it = ready_.begin(); it != ready_.end(); ++it) {
+      if (it->priority > best->priority ||
+          (it->priority == best->priority && it->sequence < best->sequence)) {
+        best = it;
+      }
+    }
+    const TaskId task = best->task;
+    ready_.erase(best);
+    return task;
+  }
+
+  void sleep_until(TaskId task, Nanos wake) {
+    sleeping_.emplace_back(wake, task);
+  }
+
+  std::vector<TaskId> pop_expired(Nanos now) {
+    std::vector<std::pair<Nanos, TaskId>> due;
+    for (auto it = sleeping_.begin(); it != sleeping_.end();) {
+      if (it->first <= now) {
+        due.push_back(*it);
+        it = sleeping_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    std::sort(due.begin(), due.end());
+    std::vector<TaskId> out;
+    for (const auto& [wake, task] : due) out.push_back(task);
+    return out;
+  }
+
+  usize ready_size() const { return ready_.size(); }
+  usize sleeping_size() const { return sleeping_.size(); }
+
+ private:
+  struct Entry {
+    TaskId task;
+    int priority;
+    long sequence;
+  };
+  std::vector<Entry> ready_;
+  std::vector<std::pair<Nanos, TaskId>> sleeping_;
+  long sequence_ = 0;
+};
+
+TEST(QueuesFuzz, MatchesReferenceOverRandomOperations) {
+  common::Rng rng(0xF00D);
+  ReadyQueues real;
+  ReferenceQueues reference;
+  Nanos clock = 0;
+
+  for (int step = 0; step < 20000; ++step) {
+    const auto op = rng.uniform_int(0, 4);
+    switch (op) {
+      case 0: {  // enqueue
+        const auto task = static_cast<TaskId>(rng.uniform_int(0, 19));
+        const auto priority = static_cast<int>(
+            rng.uniform_int(rt::kMinFifoPriority, rt::kMaxFifoPriority));
+        real.enqueue(task, priority);
+        reference.enqueue(task, priority);
+        break;
+      }
+      case 1: {  // remove
+        const auto task = static_cast<TaskId>(rng.uniform_int(0, 19));
+        EXPECT_EQ(real.remove(task), reference.remove(task))
+            << "step " << step;
+        break;
+      }
+      case 2: {  // pop highest
+        EXPECT_EQ(real.pop_highest(), reference.pop_highest())
+            << "step " << step;
+        break;
+      }
+      case 3: {  // sleep
+        const auto task = static_cast<TaskId>(rng.uniform_int(20, 39));
+        const Nanos wake = clock + rng.uniform_int(1, 50);
+        real.sleep_until(task, wake);
+        reference.sleep_until(task, wake);
+        break;
+      }
+      case 4: {  // advance time, pop expired
+        clock += rng.uniform_int(1, 30);
+        EXPECT_EQ(real.pop_expired(clock), reference.pop_expired(clock))
+            << "step " << step;
+        break;
+      }
+      default:
+        break;
+    }
+    // Aggregate sizes stay in lockstep.
+    const usize real_ready = real.size(QueueKind::kHpq) +
+                             real.size(QueueKind::kRtq) +
+                             real.size(QueueKind::kNrtq);
+    ASSERT_EQ(real_ready, reference.ready_size()) << "step " << step;
+    ASSERT_EQ(real.size(QueueKind::kSq), reference.sleeping_size())
+        << "step " << step;
+  }
+}
+
+TEST(QueuesFuzz, PeekNeverMutates) {
+  common::Rng rng(0xBEEF);
+  ReadyQueues queues;
+  for (int i = 0; i < 50; ++i) {
+    queues.enqueue(static_cast<TaskId>(i),
+                   static_cast<int>(rng.uniform_int(1, 99)));
+  }
+  const auto first = queues.peek_highest();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(queues.peek_highest(), first);
+  usize total = queues.size(QueueKind::kHpq) + queues.size(QueueKind::kRtq) +
+                queues.size(QueueKind::kNrtq);
+  EXPECT_EQ(total, 50u);
+}
+
+}  // namespace
+}  // namespace rtseed::core

@@ -1,0 +1,205 @@
+// Tests of the three termination strategies (paper §IV-D, Table I).
+//
+// These exercise real POSIX timers and signals; busy loops are kept to a
+// few tens of milliseconds so the suite stays fast even on a loaded host.
+#include "core/termination.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "rt/periodic_clock.hpp"
+#include "rt/signal_guard.hpp"
+
+namespace rtseed::core {
+namespace {
+
+using common::millis;
+using common::monotonic_now;
+using common::Nanos;
+
+// A pure CPU-bound loop (the model's assumption for optional parts) that
+// runs forever until terminated; bumps `progress` so we can see work done.
+OptionalBody spin_forever(std::atomic<long>* progress) {
+  return [progress](StopToken&) {
+    volatile double sink = 1.0;
+    for (;;) {
+      for (int i = 0; i < 2000; ++i) sink = sink * 1.0000001 + 1e-9;
+      progress->fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+}
+
+// A loop that polls the token (for the periodic-check strategy).
+OptionalBody spin_polling(std::atomic<long>* progress) {
+  return [progress](StopToken& token) {
+    volatile double sink = 1.0;
+    while (!token.should_stop()) {
+      for (int i = 0; i < 2000; ++i) sink = sink * 1.0000001 + 1e-9;
+      progress->fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+}
+
+TEST(StrategyNames, AllNamed) {
+  EXPECT_STREQ(termination_strategy_name(TerminationStrategy::kSigjmp),
+               "sigsetjmp/siglongjmp");
+  EXPECT_STREQ(termination_strategy_name(TerminationStrategy::kPeriodicCheck),
+               "periodic-check");
+  EXPECT_STREQ(termination_strategy_name(TerminationStrategy::kTryCatch),
+               "try-catch");
+  EXPECT_STREQ(optional_outcome_name(OptionalOutcome::kCompleted),
+               "completed");
+  EXPECT_STREQ(optional_outcome_name(OptionalOutcome::kTerminated),
+               "terminated");
+  EXPECT_STREQ(optional_outcome_name(OptionalOutcome::kDiscarded),
+               "discarded");
+}
+
+TEST(StopToken, ReflectsDeadlineAndForce) {
+  StopToken future(monotonic_now() + common::seconds(60));
+  EXPECT_FALSE(future.should_stop());
+  future.force();
+  EXPECT_TRUE(future.should_stop());
+
+  StopToken past(monotonic_now() - millis(1));
+  EXPECT_TRUE(past.should_stop());
+}
+
+// --- kSigjmp: the paper's recommended implementation -------------------
+
+TEST(Sigjmp, TerminatesOverrunningBodyAtAnyTime) {
+  std::atomic<long> progress{0};
+  const Nanos deadline = monotonic_now() + millis(30);
+  const auto result = run_with_deadline(TerminationStrategy::kSigjmp,
+                                        deadline, spin_forever(&progress));
+  EXPECT_EQ(result.outcome, OptionalOutcome::kTerminated);
+  EXPECT_GT(progress.load(), 0);  // it did run
+  // Termination latency: within a few ms of the deadline even though the
+  // body never polls anything ("any time termination").
+  EXPECT_GE(result.finished_at, deadline);
+  EXPECT_LT(result.finished_at - deadline, millis(20));
+}
+
+TEST(Sigjmp, CompletesFastBodyAndCancelsTimer) {
+  std::atomic<long> progress{0};
+  const auto result = run_with_deadline(
+      TerminationStrategy::kSigjmp, monotonic_now() + common::seconds(10),
+      [&](StopToken&) { progress = 1; });
+  EXPECT_EQ(result.outcome, OptionalOutcome::kCompleted);
+  EXPECT_EQ(progress.load(), 1);
+}
+
+TEST(Sigjmp, SignalMaskRestoredAfterTermination) {
+  // Table I row 1: sigsetjmp(.., 1)/siglongjmp restores the mask, so the
+  // signal is deliverable again for the next job.
+  std::atomic<long> progress{0};
+  (void)run_with_deadline(TerminationStrategy::kSigjmp,
+                          monotonic_now() + millis(10),
+                          spin_forever(&progress));
+  EXPECT_FALSE(rt::is_signal_blocked(sigjmp_signal()));
+}
+
+TEST(Sigjmp, RepeatedJobsAllTerminate) {
+  // The defining regression: if the mask or timer state leaked, job 2+
+  // would never be interrupted and this test would time out.
+  for (int job = 0; job < 5; ++job) {
+    std::atomic<long> progress{0};
+    const Nanos deadline = monotonic_now() + millis(10);
+    const auto result = run_with_deadline(TerminationStrategy::kSigjmp,
+                                          deadline, spin_forever(&progress));
+    EXPECT_EQ(result.outcome, OptionalOutcome::kTerminated) << "job " << job;
+  }
+}
+
+TEST(Sigjmp, PastDeadlineTerminatesAlmostImmediately) {
+  std::atomic<long> progress{0};
+  const Nanos start = monotonic_now();
+  const auto result = run_with_deadline(TerminationStrategy::kSigjmp,
+                                        start - millis(5),
+                                        spin_forever(&progress));
+  EXPECT_EQ(result.outcome, OptionalOutcome::kTerminated);
+  EXPECT_LT(result.finished_at - start, millis(50));
+}
+
+// --- kPeriodicCheck ------------------------------------------------------
+
+TEST(PeriodicCheck, PollingBodyStopsAtDeadline) {
+  std::atomic<long> progress{0};
+  const Nanos deadline = monotonic_now() + millis(30);
+  const auto result = run_with_deadline(TerminationStrategy::kPeriodicCheck,
+                                        deadline, spin_polling(&progress));
+  EXPECT_EQ(result.outcome, OptionalOutcome::kTerminated);
+  EXPECT_GT(progress.load(), 0);
+  EXPECT_GE(result.finished_at, deadline);
+}
+
+TEST(PeriodicCheck, CannotTerminateNonPollingBody) {
+  // Table I row 2: no "any time termination" — a body that polls rarely
+  // overshoots the deadline by its whole polling period.
+  const Nanos deadline = monotonic_now() + millis(5);
+  std::atomic<int> coarse_steps{0};
+  const auto result = run_with_deadline(
+      TerminationStrategy::kPeriodicCheck, deadline, [&](StopToken& token) {
+        while (!token.should_stop()) {
+          rt::sleep_for(millis(40));  // coarse-grained "work"
+          ++coarse_steps;
+        }
+      });
+  EXPECT_EQ(result.outcome, OptionalOutcome::kTerminated);
+  // Overshoot is at least one coarse step beyond the deadline.
+  EXPECT_GE(result.finished_at - deadline, millis(30));
+}
+
+TEST(PeriodicCheck, FastBodyCompletes) {
+  const auto result = run_with_deadline(
+      TerminationStrategy::kPeriodicCheck,
+      monotonic_now() + common::seconds(10), [](StopToken&) {});
+  EXPECT_EQ(result.outcome, OptionalOutcome::kCompleted);
+}
+
+// --- kTryCatch -----------------------------------------------------------
+
+TEST(TryCatch, TerminatesAtAnyTimeButLeaksBlockedSignal) {
+  // Table I row 3: any-time termination works, but the signal mask is NOT
+  // restored — the signal stays blocked after the catch.
+  std::atomic<long> progress{0};
+  const Nanos deadline = monotonic_now() + millis(20);
+  const auto result = run_with_deadline(TerminationStrategy::kTryCatch,
+                                        deadline, spin_forever(&progress));
+  EXPECT_EQ(result.outcome, OptionalOutcome::kTerminated);
+  EXPECT_GT(progress.load(), 0);
+  // The defect the paper describes:
+  EXPECT_TRUE(rt::is_signal_blocked(trycatch_signal()));
+  // ... which is why "the timer interrupt of the next job does not occur"
+  // until the mask is repaired:
+  EXPECT_TRUE(repair_signal_mask_after_trycatch());
+  EXPECT_FALSE(rt::is_signal_blocked(trycatch_signal()));
+}
+
+TEST(TryCatch, CompletesFastBody) {
+  const auto result = run_with_deadline(
+      TerminationStrategy::kTryCatch, monotonic_now() + common::seconds(10),
+      [](StopToken&) {});
+  EXPECT_EQ(result.outcome, OptionalOutcome::kCompleted);
+  EXPECT_FALSE(rt::is_signal_blocked(trycatch_signal()));
+}
+
+TEST(TryCatch, WorksAgainAfterMaskRepair) {
+  std::atomic<long> progress{0};
+  for (int job = 0; job < 3; ++job) {
+    const auto result = run_with_deadline(TerminationStrategy::kTryCatch,
+                                          monotonic_now() + millis(10),
+                                          spin_forever(&progress));
+    EXPECT_EQ(result.outcome, OptionalOutcome::kTerminated) << "job " << job;
+    EXPECT_TRUE(repair_signal_mask_after_trycatch());
+  }
+}
+
+TEST(RepairMask, ReportsFalseWhenNotBlocked) {
+  (void)rt::unblock_signal(trycatch_signal());
+  EXPECT_FALSE(repair_signal_mask_after_trycatch());
+}
+
+}  // namespace
+}  // namespace rtseed::core

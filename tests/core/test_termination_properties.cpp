@@ -1,0 +1,138 @@
+// Parameterized properties every termination strategy must satisfy
+// (the Table-I rows share these; the rows differ only in latency and
+// signal-mask behaviour, covered in test_termination.cpp).
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/termination.hpp"
+#include "rt/periodic_clock.hpp"
+
+namespace rtseed::core {
+namespace {
+
+using common::millis;
+using common::monotonic_now;
+using common::Nanos;
+
+std::string strategy_name(
+    const ::testing::TestParamInfo<TerminationStrategy>& info) {
+  switch (info.param) {
+    case TerminationStrategy::kSigjmp:
+      return "sigjmp";
+    case TerminationStrategy::kPeriodicCheck:
+      return "periodic_check";
+    case TerminationStrategy::kTryCatch:
+      return "trycatch";
+  }
+  return "unknown";
+}
+
+class TerminationProperties
+    : public ::testing::TestWithParam<TerminationStrategy> {
+ protected:
+  void TearDown() override {
+    // The try-catch strategy deliberately leaks a blocked signal; repair
+    // so later tests see a clean mask.
+    (void)repair_signal_mask_after_trycatch();
+  }
+
+  // Strategy-appropriate overrunning body: timer strategies get a pure
+  // CPU loop (terminated deterministically by the signal); the
+  // periodic-check strategy needs a polling loop.  A polling body under a
+  // timer strategy would race the signal at the deadline and could
+  // legitimately end as either completed or terminated.
+  static OptionalBody overrunner(TerminationStrategy strategy,
+                                 std::atomic<long>* progress) {
+    const bool polls = strategy == TerminationStrategy::kPeriodicCheck;
+    return [progress, polls](StopToken& token) {
+      volatile double sink = 1.0;
+      for (;;) {
+        for (int i = 0; i < 500; ++i) sink = sink * 1.0000001 + 1e-9;
+        progress->fetch_add(1, std::memory_order_relaxed);
+        if (polls && token.should_stop()) return;
+      }
+    };
+  }
+};
+
+TEST_P(TerminationProperties, FastBodyCompletes) {
+  std::atomic<bool> ran{false};
+  const auto result =
+      run_with_deadline(GetParam(), monotonic_now() + common::seconds(30),
+                        [&](StopToken&) { ran = true; });
+  EXPECT_EQ(result.outcome, OptionalOutcome::kCompleted);
+  EXPECT_TRUE(ran.load());
+}
+
+TEST_P(TerminationProperties, OverrunningBodyIsTerminated) {
+  std::atomic<long> progress{0};
+  const Nanos deadline = monotonic_now() + millis(20);
+  const auto result =
+      run_with_deadline(GetParam(), deadline, overrunner(GetParam(), &progress));
+  EXPECT_EQ(result.outcome, OptionalOutcome::kTerminated);
+  EXPECT_GT(progress.load(), 0);
+  EXPECT_GE(result.finished_at, deadline);
+}
+
+TEST_P(TerminationProperties, TerminationIsNotPremature) {
+  // The body must receive its full window: the part runs until at least
+  // the deadline (never cut early).
+  std::atomic<long> progress{0};
+  const Nanos deadline = monotonic_now() + millis(25);
+  const auto result =
+      run_with_deadline(GetParam(), deadline, overrunner(GetParam(), &progress));
+  EXPECT_GE(result.finished_at, deadline);
+  EXPECT_EQ(result.outcome, OptionalOutcome::kTerminated);
+}
+
+TEST_P(TerminationProperties, RepeatedRoundsStayFunctional) {
+  // Three consecutive jobs terminate and three complete, interleaved —
+  // no strategy may leave state that breaks the next round.
+  std::atomic<long> progress{0};
+  for (int round = 0; round < 3; ++round) {
+    const auto terminated =
+        run_with_deadline(GetParam(), monotonic_now() + millis(10),
+                          overrunner(GetParam(), &progress));
+    EXPECT_EQ(terminated.outcome, OptionalOutcome::kTerminated)
+        << "round " << round;
+    (void)repair_signal_mask_after_trycatch();
+    const auto completed = run_with_deadline(
+        GetParam(), monotonic_now() + common::seconds(30), [](StopToken&) {});
+    EXPECT_EQ(completed.outcome, OptionalOutcome::kCompleted)
+        << "round " << round;
+  }
+}
+
+TEST_P(TerminationProperties, FinishedAtIsMonotonic) {
+  const auto first = run_with_deadline(
+      GetParam(), monotonic_now() + millis(5), [](StopToken&) {});
+  const auto second = run_with_deadline(
+      GetParam(), monotonic_now() + millis(5), [](StopToken&) {});
+  EXPECT_GE(second.finished_at, first.finished_at);
+}
+
+TEST_P(TerminationProperties, ForcedTokenStopsPolitelyEvenBeforeDeadline) {
+  // force() ends a polling body regardless of the (far-future) deadline.
+  std::atomic<long> progress{0};
+  const auto result = run_with_deadline(
+      GetParam(), monotonic_now() + common::seconds(30),
+      [&](StopToken& token) {
+        token.force();
+        volatile double sink = 1.0;
+        while (!token.should_stop()) sink = sink * 1.0000001 + 1e-9;
+        progress = 1;
+      });
+  EXPECT_EQ(progress.load(), 1);
+  // Before the deadline, a returning body counts as completed.
+  EXPECT_EQ(result.outcome, OptionalOutcome::kCompleted);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, TerminationProperties,
+                         ::testing::Values(TerminationStrategy::kSigjmp,
+                                           TerminationStrategy::kPeriodicCheck,
+                                           TerminationStrategy::kTryCatch),
+                         strategy_name);
+
+}  // namespace
+}  // namespace rtseed::core

@@ -1,0 +1,91 @@
+#include "core/trace_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace rtseed::core {
+namespace {
+
+using common::micros;
+using common::millis;
+
+JobRecord record(Nanos release, bool met = true) {
+  JobRecord rec;
+  rec.job = 0;
+  rec.release = release;
+  rec.deadline = release + millis(100);
+  rec.optional_deadline = release + millis(75);
+  rec.mandatory_start = release + micros(40);
+  rec.mandatory_end = release + millis(20);
+  rec.optionals_ran = true;
+  rec.first_optional_start = rec.mandatory_end + micros(20);
+  rec.windup_start = rec.optional_deadline + micros(100);
+  rec.windup_end = rec.windup_start + millis(10);
+  rec.deadline_met = met;
+  return rec;
+}
+
+TEST(TraceExport, RendersAllPartsOfAJob) {
+  const std::string json =
+      render_chrome_trace({{"tau1", {record(millis(500))}}});
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("tau1/mandatory"), std::string::npos);
+  EXPECT_NE(json.find("tau1/optional-window"), std::string::npos);
+  EXPECT_NE(json.find("tau1/wind-up"), std::string::npos);
+  EXPECT_NE(json.find("tau1/OD"), std::string::npos);
+  EXPECT_EQ(json.find("DEADLINE-MISS"), std::string::npos);
+}
+
+TEST(TraceExport, AnchorsAtEarliestRelease) {
+  // The first mandatory part starts 40us after the (anchored) release.
+  const std::string json =
+      render_chrome_trace({{"t", {record(common::seconds(1000))}}});
+  EXPECT_NE(json.find("\"ts\":40.000"), std::string::npos);
+}
+
+TEST(TraceExport, MarksDeadlineMisses) {
+  const std::string json =
+      render_chrome_trace({{"t", {record(0, /*met=*/false)}}});
+  EXPECT_NE(json.find("t/DEADLINE-MISS"), std::string::npos);
+}
+
+TEST(TraceExport, MultipleTasksGetDistinctPids) {
+  const std::string json = render_chrome_trace(
+      {{"a", {record(0)}}, {"b", {record(millis(100))}}});
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
+}
+
+TEST(TraceExport, EmptyInputIsValidJson) {
+  const std::string json = render_chrome_trace({});
+  EXPECT_NE(json.find("\"traceEvents\":[\n\n]"), std::string::npos);
+}
+
+TEST(TraceExport, DiscardedOptionalsOmitTheWindow) {
+  auto rec = record(0);
+  rec.optionals_ran = false;
+  rec.first_optional_start = 0;
+  const std::string json = render_chrome_trace({{"t", {rec}}});
+  EXPECT_EQ(json.find("optional-window"), std::string::npos);
+  EXPECT_NE(json.find("t/wind-up"), std::string::npos);
+}
+
+TEST(TraceExport, WritesFile) {
+  const std::string path = "/tmp/rtseed_trace_test.json";
+  ASSERT_TRUE(write_chrome_trace(path, {{"t", {record(0)}}}).is_ok());
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("traceEvents"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceExport, UnwritablePathReported) {
+  EXPECT_FALSE(
+      write_chrome_trace("/nonexistent-dir/x.json", {}).is_ok());
+}
+
+}  // namespace
+}  // namespace rtseed::core

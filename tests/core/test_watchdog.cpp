@@ -1,0 +1,107 @@
+// Deadline-miss watchdog hook: the runtime invokes the observer exactly
+// when a job's wind-up completes past its deadline.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/runtime.hpp"
+#include "rt/memory_lock.hpp"
+
+namespace rtseed::core {
+namespace {
+
+using common::millis;
+using common::Nanos;
+
+TaskConfig task_missing_every_job(Nanos period) {
+  TaskConfig tc;
+  tc.params.name = "misser";
+  tc.params.period = period;
+  tc.params.mandatory = period / 20;
+  tc.params.windup = period / 20;
+  tc.num_jobs = 3;
+  tc.callbacks.windup = [](const JobContext& ctx) {
+    volatile double sink = 1.0;
+    while (common::monotonic_now() < ctx.deadline + millis(3)) {
+      sink = sink * 1.0000001 + 1e-9;
+    }
+  };
+  return tc;
+}
+
+TEST(Watchdog, FiresOncePerMissedDeadline) {
+  std::atomic<long> misses{0};
+  std::atomic<common::TaskId> last_task{-1};
+  RuntimeOptions options;
+  options.initial_offset = millis(5);
+  options.on_deadline_miss = [&](common::TaskId id, const JobRecord& rec) {
+    ++misses;
+    last_task = id;
+    EXPECT_FALSE(rec.deadline_met);
+    EXPECT_GT(rec.windup_end, rec.deadline);
+  };
+  Runtime runtime(options);
+  ASSERT_TRUE(runtime.admit(task_missing_every_job(millis(40))).is_ok());
+  ASSERT_TRUE(runtime.start().is_ok());
+  runtime.wait_all_finished();
+  const auto report = runtime.stop_and_report();
+  EXPECT_EQ(misses.load(), 3);
+  EXPECT_EQ(last_task.load(), 0);
+  EXPECT_EQ(report.tasks[0].qos.deadline_misses, 3);
+}
+
+TEST(Watchdog, SilentWhenDeadlinesMet) {
+  std::atomic<long> misses{0};
+  RuntimeOptions options;
+  options.initial_offset = millis(5);
+  options.on_deadline_miss = [&](common::TaskId, const JobRecord&) {
+    ++misses;
+  };
+  Runtime runtime(options);
+  TaskConfig tc;
+  tc.params.name = "ok";
+  tc.params.period = millis(40);
+  tc.params.mandatory = millis(2);
+  tc.params.windup = millis(2);
+  tc.num_jobs = 3;
+  ASSERT_TRUE(runtime.admit(std::move(tc)).is_ok());
+  ASSERT_TRUE(runtime.start().is_ok());
+  runtime.wait_all_finished();
+  runtime.stop();
+  EXPECT_EQ(misses.load(), 0);
+}
+
+TEST(Watchdog, ThrowingObserverIsAbsorbed) {
+  RuntimeOptions options;
+  options.initial_offset = millis(5);
+  options.on_deadline_miss = [](common::TaskId, const JobRecord&) {
+    throw std::runtime_error("watchdog blew up");
+  };
+  Runtime runtime(options);
+  ASSERT_TRUE(runtime.admit(task_missing_every_job(millis(40))).is_ok());
+  ASSERT_TRUE(runtime.start().is_ok());
+  runtime.wait_all_finished();
+  const auto report = runtime.stop_and_report();
+  EXPECT_EQ(report.tasks[0].qos.jobs, 3);  // survived all three throws
+}
+
+TEST(Watchdog, MemoryLockOptionDoesNotBreakStartup) {
+  RuntimeOptions options;
+  options.initial_offset = millis(5);
+  options.lock_memory = true;  // denial degrades, success locks — either way OK
+  Runtime runtime(options);
+  TaskConfig tc;
+  tc.params.name = "locked";
+  tc.params.period = millis(30);
+  tc.params.mandatory = millis(1);
+  tc.params.windup = millis(1);
+  tc.num_jobs = 2;
+  ASSERT_TRUE(runtime.admit(std::move(tc)).is_ok());
+  ASSERT_TRUE(runtime.start().is_ok());
+  runtime.wait_all_finished();
+  runtime.stop();
+  (void)rt::unlock_all_memory();
+}
+
+}  // namespace
+}  // namespace rtseed::core

@@ -1,0 +1,126 @@
+// Cross-module agreement: what the offline analysis promises, the running
+// middleware delivers, and the simulator predicts.
+#include <gtest/gtest.h>
+
+#include "core/runtime.hpp"
+#include "sim/sim_scheduler.hpp"
+
+namespace rtseed {
+namespace {
+
+using common::millis;
+using common::Nanos;
+
+core::TaskConfig spinning_task(const std::string& name, Nanos period,
+                               Nanos m_spin, int np, long jobs) {
+  core::TaskConfig tc;
+  tc.params.name = name;
+  tc.params.period = period;
+  tc.params.mandatory = m_spin + millis(1);
+  tc.params.windup = period / 10;
+  for (int k = 0; k < np; ++k) tc.params.optional.push_back(period);
+  tc.num_jobs = jobs;
+  tc.callbacks.mandatory = [m_spin](const core::JobContext&) {
+    const Nanos until = common::monotonic_now() + m_spin;
+    volatile double sink = 1.0;
+    while (common::monotonic_now() < until) sink = sink * 1.0000001 + 1e-9;
+  };
+  tc.callbacks.optional = [](const core::JobContext&, int,
+                             core::StopToken&) {
+    volatile double sink = 1.0;
+    for (;;) sink = sink * 1.0000001 + 1e-9;  // terminated by the OD timer
+  };
+  tc.callbacks.windup = [](const core::JobContext&) {};
+  return tc;
+}
+
+TEST(MiddlewareVsAnalysis, PlannedOdMatchesObservedTermination) {
+  core::RuntimeOptions options;
+  options.initial_offset = millis(5);
+  core::Runtime runtime(options);
+  ASSERT_TRUE(
+      runtime.admit(spinning_task("t", millis(80), millis(5), 2, 5)).is_ok());
+  const auto plan = runtime.analyze();
+  ASSERT_TRUE(plan.has_value());
+  const Nanos od = plan->tasks[0].optional_deadline;
+  EXPECT_EQ(od, millis(80) - millis(8));  // D - w
+
+  ASSERT_TRUE(runtime.start().is_ok());
+  runtime.wait_all_finished();
+  const auto report = runtime.stop_and_report();
+  for (const auto& rec : report.tasks[0].records) {
+    // Every optional overruns; wind-up must begin within a few ms after
+    // the *planned* OD (the measured Δe).
+    EXPECT_EQ(rec.optional_deadline, rec.release + od);
+    EXPECT_GE(rec.windup_start, rec.optional_deadline);
+    EXPECT_LT(rec.windup_start - rec.optional_deadline, millis(25));
+  }
+}
+
+TEST(MiddlewareVsAnalysis, SimulatorPredictsMiddlewareQosOutcomes) {
+  // Same task set through (a) the DES and (b) the real middleware: both
+  // must agree that all optionals are terminated (never completed) and no
+  // deadline is missed.
+  sched::TaskSet set;
+  sched::ImpreciseTaskParams params;
+  params.name = "t";
+  params.period = millis(60);
+  params.mandatory = millis(6);
+  params.windup = millis(6);
+  params.optional = {millis(60), millis(60)};
+  set.add(params);
+
+  sim::SimOptions sim_options;
+  sim_options.algorithm = sim::SimAlgorithm::kRmwp;
+  sim_options.horizon = millis(60) * 5;
+  const auto sim_result = sim::simulate_uniprocessor(set, sim_options);
+  EXPECT_EQ(sim_result.total_misses(), 0);
+  EXPECT_EQ(sim_result.tasks[0].optional_completed, 0);
+  EXPECT_GT(sim_result.tasks[0].optional_terminated, 0);
+
+  core::RuntimeOptions options;
+  options.initial_offset = millis(5);
+  core::Runtime runtime(options);
+  core::TaskConfig tc;
+  tc.params = params;
+  tc.num_jobs = 5;
+  tc.callbacks.optional = [](const core::JobContext&, int,
+                             core::StopToken&) {
+    volatile double sink = 1.0;
+    for (;;) sink = sink * 1.0000001 + 1e-9;
+  };
+  ASSERT_TRUE(runtime.admit(std::move(tc)).is_ok());
+  ASSERT_TRUE(runtime.start().is_ok());
+  runtime.wait_all_finished();
+  const auto report = runtime.stop_and_report();
+  EXPECT_EQ(report.tasks[0].qos.deadline_misses, 0);
+  EXPECT_EQ(report.tasks[0].qos.optional_completed, 0);
+  EXPECT_EQ(report.tasks[0].qos.optional_terminated, 10);  // 2 x 5
+}
+
+TEST(MiddlewareVsAnalysis, TwoTasksHonorRmPriorityAssignment) {
+  core::RuntimeOptions options;
+  options.initial_offset = millis(5);
+  core::Runtime runtime(options);
+  ASSERT_TRUE(
+      runtime.admit(spinning_task("fast", millis(40), millis(2), 1, 6))
+          .is_ok());
+  ASSERT_TRUE(
+      runtime.admit(spinning_task("slow", millis(120), millis(4), 1, 2))
+          .is_ok());
+  const auto plan = runtime.analyze();
+  ASSERT_TRUE(plan.has_value()) << plan.status().to_string();
+  EXPECT_GT(plan->tasks[0].mandatory_priority,
+            plan->tasks[1].mandatory_priority);
+  EXPECT_EQ(plan->tasks[0].mandatory_priority -
+                plan->tasks[0].optional_priority,
+            49);
+  ASSERT_TRUE(runtime.start().is_ok());
+  runtime.wait_all_finished();
+  const auto report = runtime.stop_and_report();
+  EXPECT_EQ(report.tasks[0].qos.jobs, 6);
+  EXPECT_EQ(report.tasks[1].qos.jobs, 2);
+}
+
+}  // namespace
+}  // namespace rtseed

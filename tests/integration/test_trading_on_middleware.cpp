@@ -1,0 +1,105 @@
+// The paper's headline scenario, end to end on real threads: a trading
+// task whose mandatory part pulls a (synthetic) quote, whose parallel
+// optional parts run technical + fundamental analyses until the optional
+// deadline, and whose wind-up part fuses the committed signals into a
+// bid/ask/wait decision.  Scaled to ms periods so the test finishes in
+// about a second.
+#include <gtest/gtest.h>
+
+#include "core/runtime.hpp"
+#include "trading/trading_task.hpp"
+
+namespace rtseed {
+namespace {
+
+using common::millis;
+using common::Nanos;
+
+std::unique_ptr<trading::TradingSystem> make_system() {
+  std::vector<std::unique_ptr<trading::Analyzer>> analyzers;
+  analyzers.push_back(std::make_unique<trading::BollingerAnalyzer>());
+  analyzers.push_back(std::make_unique<trading::RsiAnalyzer>());
+  analyzers.push_back(std::make_unique<trading::MonteCarloAnalyzer>());
+  analyzers.push_back(std::make_unique<trading::GdpAnalyzer>(
+      trading::MacroSeries("eu"), trading::MacroSeries("us"),
+      /*jobs_per_quarter=*/4));
+
+  trading::TradingSystemConfig config;
+  // The paper's shape (T=1s, m=w=250ms) scaled down 20x.
+  config.period = millis(50);
+  config.mandatory_wcet = millis(12);
+  config.windup_wcet = millis(12);
+  config.optional_time = millis(50);
+  config.history_capacity = 512;
+  return std::make_unique<trading::TradingSystem>(
+      std::make_unique<trading::SyntheticFeed>(), std::move(analyzers),
+      config);
+}
+
+TEST(TradingOnMiddleware, TwentyJobsEndToEnd) {
+  auto system = make_system();
+
+  core::RuntimeOptions options;
+  options.policy = core::AssignmentPolicy::kOneByOne;
+  options.initial_offset = millis(5);
+  core::Runtime runtime(options);
+  ASSERT_TRUE(runtime.admit(system->make_task_config(20)).is_ok());
+
+  const auto plan = runtime.analyze();
+  ASSERT_TRUE(plan.has_value()) << plan.status().to_string();
+  // OD = D - w: 50 - 12 = 38ms after release.
+  EXPECT_EQ(plan->tasks[0].optional_deadline, millis(38));
+
+  ASSERT_TRUE(runtime.start().is_ok());
+  runtime.wait_all_finished();
+  const auto report = runtime.stop_and_report();
+
+  const auto stats = system->stats();
+  EXPECT_EQ(stats.jobs, 20);
+  EXPECT_EQ(stats.bids + stats.asks + stats.waits, 20);
+  // The analyzers are anytime algorithms: within a ~26ms optional window
+  // they commit at least their first refinements on most jobs.
+  EXPECT_GT(stats.analyses_available, 20);
+  EXPECT_GT(stats.total_iterations, 0);
+
+  ASSERT_EQ(report.tasks.size(), 1u);
+  EXPECT_EQ(report.tasks[0].qos.jobs, 20);
+  EXPECT_EQ(report.tasks[0].qos.deadline_misses, 0);
+  // Orders placed match non-wait decisions.
+  EXPECT_EQ(system->broker().num_fills(), stats.bids + stats.asks);
+}
+
+TEST(TradingOnMiddleware, QosScalesWithOptionalWindow) {
+  // Two runs differing only in wind-up WCET (hence OD): the longer
+  // optional window must deliver at least as many refinement iterations.
+  // The Monte-Carlo analyzer needs 32 history samples before it samples
+  // paths, so run 40 jobs; the final 8 jobs do time-bounded refinement.
+  auto run = [](Nanos windup) {
+    std::vector<std::unique_ptr<trading::Analyzer>> analyzers;
+    analyzers.push_back(std::make_unique<trading::MonteCarloAnalyzer>());
+    trading::TradingSystemConfig config;
+    config.period = millis(40);
+    config.mandatory_wcet = millis(4);
+    config.windup_wcet = windup;
+    config.optional_time = millis(40);
+    config.history_capacity = 512;
+    auto system = std::make_unique<trading::TradingSystem>(
+        std::make_unique<trading::SyntheticFeed>(), std::move(analyzers),
+        config);
+    core::RuntimeOptions options;
+    options.initial_offset = millis(5);
+    core::Runtime runtime(options);
+    EXPECT_TRUE(runtime.admit(system->make_task_config(40)).is_ok());
+    EXPECT_TRUE(runtime.start().is_ok());
+    runtime.wait_all_finished();
+    runtime.stop();
+    return system->stats().total_iterations;
+  };
+  const long iterations_long_window = run(millis(4));   // OD = 36ms
+  const long iterations_short_window = run(millis(32)); // OD = 8ms
+  EXPECT_GT(iterations_long_window, iterations_short_window);
+  EXPECT_GT(iterations_long_window, 0);
+}
+
+}  // namespace
+}  // namespace rtseed

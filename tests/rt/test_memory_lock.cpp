@@ -1,0 +1,29 @@
+#include "rt/memory_lock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtseed::rt {
+namespace {
+
+TEST(MemoryLock, LockUnlockRoundTrip) {
+  const auto lock = lock_all_memory();
+  if (!lock.is_ok()) {
+    // Unprivileged container: denial is the documented degradation.
+    EXPECT_EQ(lock.code(), common::ErrorCode::kPermissionDenied);
+    EXPECT_FALSE(memory_locked());
+    GTEST_SKIP() << "mlockall not permitted here";
+  }
+  EXPECT_TRUE(memory_locked());
+  EXPECT_TRUE(unlock_all_memory().is_ok());
+  EXPECT_FALSE(memory_locked());
+}
+
+TEST(MemoryLock, LockIsIdempotent) {
+  if (!lock_all_memory().is_ok()) GTEST_SKIP();
+  EXPECT_TRUE(lock_all_memory().is_ok());
+  EXPECT_TRUE(memory_locked());
+  EXPECT_TRUE(unlock_all_memory().is_ok());
+}
+
+}  // namespace
+}  // namespace rtseed::rt

@@ -1,0 +1,95 @@
+#include "rt/oneshot_timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <csignal>
+
+#include "rt/periodic_clock.hpp"
+#include "rt/signal_guard.hpp"
+
+namespace rtseed::rt {
+namespace {
+
+using common::millis;
+using common::monotonic_now;
+
+std::atomic<int> g_fired{0};
+
+void counting_handler(int) { g_fired.fetch_add(1); }
+
+class OneShotTimerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_fired = 0;
+    ASSERT_TRUE(install_deadline_handler(&counting_handler).is_ok());
+    ASSERT_TRUE(unblock_signal(optional_deadline_signal()).is_ok());
+  }
+};
+
+TEST_F(OneShotTimerTest, FiresOnceAfterDelay) {
+  OneShotTimer timer;
+  ASSERT_TRUE(timer.create().is_ok());
+  ASSERT_TRUE(timer.arm_relative(millis(10)).is_ok());
+  sleep_for(millis(60));
+  EXPECT_EQ(g_fired.load(), 1);  // one-shot: exactly once
+}
+
+TEST_F(OneShotTimerTest, AbsoluteDeadline) {
+  OneShotTimer timer;
+  ASSERT_TRUE(timer.create().is_ok());
+  ASSERT_TRUE(timer.arm_absolute(monotonic_now() + millis(10)).is_ok());
+  sleep_for(millis(60));
+  EXPECT_EQ(g_fired.load(), 1);
+}
+
+TEST_F(OneShotTimerTest, PastDeadlineFiresImmediately) {
+  OneShotTimer timer;
+  ASSERT_TRUE(timer.create().is_ok());
+  ASSERT_TRUE(timer.arm_absolute(monotonic_now() - millis(5)).is_ok());
+  sleep_for(millis(30));
+  EXPECT_EQ(g_fired.load(), 1);
+}
+
+TEST_F(OneShotTimerTest, DisarmPreventsExpiry) {
+  OneShotTimer timer;
+  ASSERT_TRUE(timer.create().is_ok());
+  ASSERT_TRUE(timer.arm_relative(millis(40)).is_ok());
+  ASSERT_TRUE(timer.disarm().is_ok());
+  sleep_for(millis(80));
+  EXPECT_EQ(g_fired.load(), 0);
+}
+
+TEST_F(OneShotTimerTest, RearmsAfterExpiry) {
+  OneShotTimer timer;
+  ASSERT_TRUE(timer.create().is_ok());
+  ASSERT_TRUE(timer.arm_relative(millis(5)).is_ok());
+  sleep_for(millis(30));
+  ASSERT_TRUE(timer.arm_relative(millis(5)).is_ok());
+  sleep_for(millis(30));
+  EXPECT_EQ(g_fired.load(), 2);
+}
+
+TEST_F(OneShotTimerTest, OperationsRequireCreate) {
+  OneShotTimer timer;
+  EXPECT_FALSE(timer.created());
+  EXPECT_EQ(timer.arm_relative(millis(1)).code(),
+            common::ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(timer.disarm().code(), common::ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(OneShotTimerTest, DoubleCreateRejected) {
+  OneShotTimer timer;
+  ASSERT_TRUE(timer.create().is_ok());
+  EXPECT_EQ(timer.create().code(), common::ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(OneShotTimerTest, DestroyIsIdempotent) {
+  OneShotTimer timer;
+  ASSERT_TRUE(timer.create().is_ok());
+  EXPECT_TRUE(timer.destroy().is_ok());
+  EXPECT_TRUE(timer.destroy().is_ok());
+}
+
+}  // namespace
+}  // namespace rtseed::rt

@@ -1,0 +1,69 @@
+#include "rt/priority.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtseed::rt {
+namespace {
+
+TEST(Priority, BandsMatchThePaper) {
+  // Fig. 5: priority 99 = HPQ; [50, 98] = mandatory (RTQ);
+  // [1, 49] = optional (NRTQ); gap of exactly 49.
+  EXPECT_EQ(kHpqPriority, 99);
+  EXPECT_EQ(kMandatoryMin, 50);
+  EXPECT_EQ(kMandatoryMax, 98);
+  EXPECT_EQ(kOptionalMin, 1);
+  EXPECT_EQ(kOptionalMax, 49);
+  EXPECT_EQ(kPriorityGap, 49);
+}
+
+TEST(Priority, BandPredicates) {
+  EXPECT_TRUE(is_mandatory_priority(50));
+  EXPECT_TRUE(is_mandatory_priority(98));
+  EXPECT_FALSE(is_mandatory_priority(99));  // HPQ is its own band
+  EXPECT_FALSE(is_mandatory_priority(49));
+  EXPECT_TRUE(is_optional_priority(1));
+  EXPECT_TRUE(is_optional_priority(49));
+  EXPECT_FALSE(is_optional_priority(0));
+  EXPECT_FALSE(is_optional_priority(50));
+}
+
+TEST(Priority, PaperExampleMapping) {
+  // "when the priority of the mandatory thread is 90, the parallel
+  // optional threads have priorities of 41 (= 90 - 49)".
+  EXPECT_EQ(optional_priority_for(90), 41);
+  EXPECT_EQ(optional_priority_for(98), 49);
+  EXPECT_EQ(optional_priority_for(50), 1);
+}
+
+TEST(Priority, MappedOptionalAlwaysInBand) {
+  for (int m = kMandatoryMin; m <= kMandatoryMax; ++m) {
+    EXPECT_TRUE(is_optional_priority(optional_priority_for(m))) << m;
+  }
+}
+
+TEST(Priority, RankMapping) {
+  auto p0 = mandatory_priority_for_rank(0, 3);
+  auto p1 = mandatory_priority_for_rank(1, 3);
+  auto p2 = mandatory_priority_for_rank(2, 3);
+  ASSERT_TRUE(p0 && p1 && p2);
+  EXPECT_EQ(*p0, 98);
+  EXPECT_EQ(*p1, 97);
+  EXPECT_EQ(*p2, 96);
+}
+
+TEST(Priority, RankMappingRejectsOverflow) {
+  EXPECT_FALSE(mandatory_priority_for_rank(0, 0).has_value());
+  EXPECT_FALSE(mandatory_priority_for_rank(0, 50).has_value());  // band is 49
+  EXPECT_TRUE(mandatory_priority_for_rank(48, 49).has_value());
+  EXPECT_FALSE(mandatory_priority_for_rank(3, 3).has_value());
+  EXPECT_FALSE(mandatory_priority_for_rank(-1, 3).has_value());
+}
+
+TEST(Priority, LowestRankStaysInBand) {
+  auto lowest = mandatory_priority_for_rank(48, 49);
+  ASSERT_TRUE(lowest.has_value());
+  EXPECT_EQ(*lowest, kMandatoryMin);
+}
+
+}  // namespace
+}  // namespace rtseed::rt

@@ -1,0 +1,46 @@
+#include "rt/signal_guard.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtseed::rt {
+namespace {
+
+const int kProbeSignal = SIGRTMIN + 10;
+
+TEST(SignalGuard, BlockAndUnblock) {
+  ASSERT_TRUE(unblock_signal(kProbeSignal).is_ok());
+  EXPECT_FALSE(is_signal_blocked(kProbeSignal));
+  ASSERT_TRUE(block_signal(kProbeSignal).is_ok());
+  EXPECT_TRUE(is_signal_blocked(kProbeSignal));
+  ASSERT_TRUE(unblock_signal(kProbeSignal).is_ok());
+  EXPECT_FALSE(is_signal_blocked(kProbeSignal));
+}
+
+TEST(SignalGuard, ScopedBlockRestoresMask) {
+  ASSERT_TRUE(unblock_signal(kProbeSignal).is_ok());
+  {
+    ScopedSignalBlock guard(kProbeSignal);
+    EXPECT_TRUE(is_signal_blocked(kProbeSignal));
+  }
+  EXPECT_FALSE(is_signal_blocked(kProbeSignal));
+}
+
+TEST(SignalGuard, ScopedBlockPreservesAlreadyBlocked) {
+  ASSERT_TRUE(block_signal(kProbeSignal).is_ok());
+  {
+    ScopedSignalBlock guard(kProbeSignal);
+    EXPECT_TRUE(is_signal_blocked(kProbeSignal));
+  }
+  // Was blocked before; stays blocked after.
+  EXPECT_TRUE(is_signal_blocked(kProbeSignal));
+  ASSERT_TRUE(unblock_signal(kProbeSignal).is_ok());
+}
+
+TEST(SignalGuard, UnblockIsIdempotent) {
+  ASSERT_TRUE(unblock_signal(kProbeSignal).is_ok());
+  ASSERT_TRUE(unblock_signal(kProbeSignal).is_ok());
+  EXPECT_FALSE(is_signal_blocked(kProbeSignal));
+}
+
+}  // namespace
+}  // namespace rtseed::rt

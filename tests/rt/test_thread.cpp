@@ -1,0 +1,95 @@
+#include "rt/thread.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "rt/priority.hpp"
+
+namespace rtseed::rt {
+namespace {
+
+TEST(RtCapabilities, ProbeIsStableAndSane) {
+  const auto& a = rt_capabilities();
+  const auto& b = rt_capabilities();
+  EXPECT_EQ(&a, &b);  // cached
+  EXPECT_GE(a.num_cpus, 1);
+  EXPECT_FALSE(a.to_string().empty());
+}
+
+TEST(RtThread, RunsBodyAndJoins) {
+  std::atomic<bool> ran{false};
+  {
+    ThreadConfig config;
+    config.name = "probe";
+    RtThread thread(config, [&] { ran = true; });
+    thread.join();
+  }
+  EXPECT_TRUE(ran);
+}
+
+TEST(RtThread, DestructorJoins) {
+  std::atomic<int> value{0};
+  { RtThread thread(ThreadConfig{}, [&] { value = 42; }); }
+  EXPECT_EQ(value, 42);
+}
+
+TEST(RtThread, DefaultConstructedIsNotJoinable) {
+  RtThread thread;
+  EXPECT_FALSE(thread.joinable());
+  thread.join();  // no-op, must not crash
+}
+
+TEST(RtThread, AppliesFifoPriorityWhenPermitted) {
+  std::atomic<int> policy{-1};
+  std::atomic<int> priority{-1};
+  ThreadConfig config;
+  config.name = "rt-probe";
+  config.fifo_priority = 60;
+  RtThread thread(config, [&] {
+    policy = sched_getscheduler(0);
+    sched_param sp{};
+    sched_getparam(0, &sp);
+    priority = sp.sched_priority;
+  });
+  thread.join();
+  if (rt_capabilities().sched_fifo) {
+    EXPECT_TRUE(thread.config_status().is_ok());
+    EXPECT_EQ(policy, SCHED_FIFO);
+    EXPECT_EQ(priority, 60);
+  } else {
+    // Graceful degradation: thread ran anyway, status reports the denial.
+    EXPECT_FALSE(thread.config_status().is_ok());
+  }
+}
+
+TEST(RtThread, AppliesAffinityWhenPermitted) {
+  std::atomic<int> cpu{-1};
+  ThreadConfig config;
+  config.affinity = CpuSet::single(0);
+  RtThread thread(config, [&] { cpu = sched_getcpu(); });
+  thread.join();
+  if (rt_capabilities().affinity) {
+    EXPECT_EQ(cpu, 0);
+  }
+}
+
+TEST(RtThread, NonexistentCpuDegradesInsteadOfFailing) {
+  // Synthetic placements (e.g. Xeon Phi CPU 200) must not break on a
+  // small host: the affinity silently falls back to available CPUs.
+  std::atomic<bool> ran{false};
+  ThreadConfig config;
+  config.affinity = CpuSet::single(rt_capabilities().num_cpus + 100);
+  RtThread thread(config, [&] { ran = true; });
+  thread.join();
+  EXPECT_TRUE(ran);
+}
+
+TEST(ConfigureCurrentThread, ZeroPriorityMeansNoFifoRequest) {
+  ThreadConfig config;  // fifo_priority = 0
+  EXPECT_TRUE(configure_current_thread(config).is_ok());
+  EXPECT_NE(sched_getscheduler(0), SCHED_FIFO);
+}
+
+}  // namespace
+}  // namespace rtseed::rt

@@ -1,0 +1,42 @@
+#include "rt/tsc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rt/periodic_clock.hpp"
+
+namespace rtseed::rt {
+namespace {
+
+TEST(Tsc, Monotonic) {
+  const auto a = rdtscp_now();
+  const auto b = rdtscp_now();
+  EXPECT_GE(b, a);
+}
+
+TEST(Tsc, FrequencyPlausible) {
+  const double hz = tsc_frequency_hz();
+  // Any real machine's TSC (or the ns fallback) is between 100 MHz and
+  // 10 GHz.
+  EXPECT_GT(hz, 1e8);
+  EXPECT_LT(hz, 1e10);
+  // Cached: second call returns the identical calibration.
+  EXPECT_DOUBLE_EQ(tsc_frequency_hz(), hz);
+}
+
+TEST(Tsc, CyclesToNanosTracksWallClock) {
+  const auto c0 = rdtscp_now();
+  const auto t0 = common::monotonic_now();
+  sleep_for(common::millis(20));
+  const auto c1 = rdtscp_now();
+  const auto t1 = common::monotonic_now();
+  const double measured = static_cast<double>(cycles_to_nanos(c1 - c0));
+  const double wall = static_cast<double>(t1 - t0);
+  EXPECT_NEAR(measured / wall, 1.0, 0.25);
+}
+
+TEST(Tsc, ZeroCyclesIsZeroNanos) {
+  EXPECT_EQ(cycles_to_nanos(0), 0);
+}
+
+}  // namespace
+}  // namespace rtseed::rt

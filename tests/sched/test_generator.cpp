@@ -1,0 +1,118 @@
+#include "sched/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace rtseed::sched {
+namespace {
+
+TEST(UUniFast, SumsToTotal) {
+  common::Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto u = uunifast(5, 0.8, rng);
+    const double sum = std::accumulate(u.begin(), u.end(), 0.0);
+    EXPECT_NEAR(sum, 0.8, 1e-9);
+  }
+}
+
+TEST(UUniFast, AllNonNegative) {
+  common::Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    for (double u : uunifast(8, 2.0, rng)) EXPECT_GE(u, 0.0);
+  }
+}
+
+TEST(UUniFast, SingleTaskGetsEverything) {
+  common::Rng rng(3);
+  const auto u = uunifast(1, 0.7, rng);
+  ASSERT_EQ(u.size(), 1u);
+  EXPECT_DOUBLE_EQ(u[0], 0.7);
+}
+
+TEST(UUniFast, EmptyForZeroTasks) {
+  common::Rng rng(4);
+  EXPECT_TRUE(uunifast(0, 0.5, rng).empty());
+}
+
+TEST(Generator, ProducesValidTaskSets) {
+  common::Rng rng(5);
+  GeneratorConfig config;
+  config.num_tasks = 6;
+  config.total_utilization = 0.9;
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto set = generate_task_set(config, rng);
+    EXPECT_EQ(set.size(), 6);
+    EXPECT_TRUE(set.validate().is_ok());
+  }
+}
+
+TEST(Generator, UtilizationApproximatelyRequested) {
+  common::Rng rng(6);
+  GeneratorConfig config;
+  config.num_tasks = 8;
+  config.total_utilization = 1.5;
+  double total = 0.0;
+  const int trials = 50;
+  for (int trial = 0; trial < trials; ++trial) {
+    total += generate_task_set(config, rng).total_utilization();
+  }
+  // Integer-rounding of WCETs loses a little utilization.
+  EXPECT_NEAR(total / trials, 1.5, 0.1);
+}
+
+TEST(Generator, PeriodsWithinRange) {
+  common::Rng rng(7);
+  GeneratorConfig config;
+  config.min_period = common::millis(10);
+  config.max_period = common::millis(100);
+  for (int trial = 0; trial < 20; ++trial) {
+    for (const auto& t : generate_task_set(config, rng)) {
+      EXPECT_GE(t.period, common::millis(10) - 1);
+      EXPECT_LE(t.period, common::millis(100) + 1);
+    }
+  }
+}
+
+TEST(Generator, WindupFractionRespected) {
+  common::Rng rng(8);
+  GeneratorConfig config;
+  config.windup_fraction = 0.25;
+  config.total_utilization = 0.8;
+  config.num_tasks = 4;
+  for (int trial = 0; trial < 20; ++trial) {
+    for (const auto& t : generate_task_set(config, rng)) {
+      const double frac = static_cast<double>(t.windup) /
+                          static_cast<double>(t.wcet());
+      EXPECT_NEAR(frac, 0.25, 0.2);  // integer rounding slack
+    }
+  }
+}
+
+TEST(Generator, OptionalPartsConfigured) {
+  common::Rng rng(9);
+  GeneratorConfig config;
+  config.optional_parts = 7;
+  config.optional_scale = 2.0;
+  const auto set = generate_task_set(config, rng);
+  for (const auto& t : set) {
+    EXPECT_EQ(t.num_optional(), 7);
+    for (Nanos o : t.optional) EXPECT_GT(o, 0);
+  }
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  GeneratorConfig config;
+  common::Rng a(42), b(42);
+  const auto set_a = generate_task_set(config, a);
+  const auto set_b = generate_task_set(config, b);
+  ASSERT_EQ(set_a.size(), set_b.size());
+  for (TaskId i = 0; i < set_a.size(); ++i) {
+    EXPECT_EQ(set_a[i].period, set_b[i].period);
+    EXPECT_EQ(set_a[i].mandatory, set_b[i].mandatory);
+    EXPECT_EQ(set_a[i].windup, set_b[i].windup);
+  }
+}
+
+}  // namespace
+}  // namespace rtseed::sched

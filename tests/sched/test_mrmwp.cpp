@@ -1,0 +1,189 @@
+#include "sched/mrmwp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/rmwp.hpp"
+
+namespace rtseed::sched {
+namespace {
+
+using common::millis;
+using common::seconds;
+
+MultiPhaseTaskParams three_segment_task() {
+  // m¹=100ms → o¹ → m²=100ms → o² → m³=100ms, T = 1 s.
+  MultiPhaseTaskParams t;
+  t.name = "mp";
+  t.period = seconds(1);
+  t.mandatory = {millis(100), millis(100), millis(100)};
+  t.optional = {{seconds(1)}, {seconds(1), seconds(1)}};
+  return t;
+}
+
+TEST(MultiPhaseParams, Accessors) {
+  const auto t = three_segment_task();
+  EXPECT_EQ(t.num_segments(), 3);
+  EXPECT_EQ(t.num_phases(), 2);
+  EXPECT_EQ(t.total_mandatory(), millis(300));
+  EXPECT_DOUBLE_EQ(t.utilization(), 0.3);
+  EXPECT_TRUE(t.validate().is_ok());
+}
+
+TEST(MultiPhaseParams, ValidateRejectsBadShapes) {
+  auto t = three_segment_task();
+  t.mandatory.clear();
+  EXPECT_FALSE(t.validate().is_ok());
+
+  t = three_segment_task();
+  t.optional.push_back({millis(1)});  // 3 phases for 3 segments
+  EXPECT_FALSE(t.validate().is_ok());
+
+  t = three_segment_task();
+  t.mandatory[1] = 0;
+  EXPECT_FALSE(t.validate().is_ok());
+
+  t = three_segment_task();
+  t.period = millis(200);  // total mandatory 300 > deadline
+  EXPECT_FALSE(t.validate().is_ok());
+}
+
+TEST(Mrmwp, SingleTaskDeadlinesFromMandatoryTails) {
+  const auto analysis = analyze_mrmwp({three_segment_task()});
+  ASSERT_TRUE(analysis.schedulable);
+  ASSERT_EQ(analysis.optional_deadline[0].size(), 2u);
+  // Phase 0 tail = m² + m³ = 200ms -> OD⁰ = 800ms.
+  EXPECT_EQ(analysis.optional_deadline[0][0], millis(800));
+  // Phase 1 tail = m³ = 100ms -> OD¹ = 900ms.
+  EXPECT_EQ(analysis.optional_deadline[0][1], millis(900));
+  // Prefix responses: 100, 200, 300ms (no interference).
+  EXPECT_EQ(*analysis.prefix_response[0][0], millis(100));
+  EXPECT_EQ(*analysis.prefix_response[0][2], millis(300));
+}
+
+TEST(Mrmwp, OptionalDeadlinesAreIncreasing) {
+  // Later phases have smaller mandatory tails, so ODs must increase.
+  const auto analysis = analyze_mrmwp({three_segment_task()});
+  ASSERT_TRUE(analysis.schedulable);
+  EXPECT_LT(analysis.optional_deadline[0][0],
+            analysis.optional_deadline[0][1]);
+}
+
+TEST(Mrmwp, TwoSegmentsEqualsRmwp) {
+  // N = 2 is exactly the extended imprecise model: same OD as RMWP.
+  MultiPhaseTaskParams mp;
+  mp.name = "t";
+  mp.period = seconds(1);
+  mp.mandatory = {millis(250), millis(250)};  // m, w
+  mp.optional = {{seconds(1)}};
+
+  ImpreciseTaskParams classic;
+  classic.name = "t";
+  classic.period = seconds(1);
+  classic.mandatory = millis(250);
+  classic.windup = millis(250);
+  classic.optional = {seconds(1)};
+
+  const auto mp_analysis = analyze_mrmwp({mp});
+  TaskSet set;
+  set.add(classic);
+  const auto rmwp_analysis = analyze_rmwp(set);
+  ASSERT_TRUE(mp_analysis.schedulable);
+  ASSERT_TRUE(rmwp_analysis.schedulable);
+  EXPECT_EQ(mp_analysis.optional_deadline[0][0],
+            rmwp_analysis.optional_deadline[0]);
+}
+
+TEST(Mrmwp, TwoSegmentsEqualsRmwpWithInterference) {
+  MultiPhaseTaskParams high;
+  high.name = "hp";
+  high.period = millis(100);
+  high.mandatory = {millis(10), millis(10)};
+  high.optional = {{millis(100)}};
+  MultiPhaseTaskParams low;
+  low.name = "lp";
+  low.period = millis(200);
+  low.mandatory = {millis(20), millis(20)};
+  low.optional = {{millis(200)}};
+
+  const auto mp = analyze_mrmwp({high, low});
+  ASSERT_TRUE(mp.schedulable);
+
+  TaskSet set;
+  ImpreciseTaskParams a;
+  a.period = millis(100);
+  a.mandatory = millis(10);
+  a.windup = millis(10);
+  set.add(a);
+  ImpreciseTaskParams b;
+  b.period = millis(200);
+  b.mandatory = millis(20);
+  b.windup = millis(20);
+  set.add(b);
+  const auto classic = analyze_rmwp(set);
+  ASSERT_TRUE(classic.schedulable);
+  EXPECT_EQ(mp.optional_deadline[0][0], classic.optional_deadline[0]);
+  EXPECT_EQ(mp.optional_deadline[1][0], classic.optional_deadline[1]);
+}
+
+TEST(Mrmwp, InterferenceShrinksLowPriorityDeadlines) {
+  auto low = three_segment_task();
+  const auto alone = analyze_mrmwp({low});
+
+  MultiPhaseTaskParams high;
+  high.name = "hp";
+  high.period = millis(100);
+  high.mandatory = {millis(20)};
+  const auto together = analyze_mrmwp({high, low});
+  ASSERT_TRUE(alone.schedulable);
+  ASSERT_TRUE(together.schedulable);
+  EXPECT_LT(together.optional_deadline[1][0], alone.optional_deadline[0][0]);
+  EXPECT_LT(together.optional_deadline[1][1], alone.optional_deadline[0][1]);
+}
+
+TEST(Mrmwp, RejectsOverload) {
+  MultiPhaseTaskParams t;
+  t.name = "fat";
+  t.period = millis(100);
+  t.mandatory = {millis(40), millis(40)};
+  MultiPhaseTaskParams u = t;
+  u.name = "fat2";
+  EXPECT_FALSE(mrmwp_schedulable({t, u}));  // U = 1.6
+}
+
+TEST(Mrmwp, RejectsWhenPrefixMissesPhaseDeadline) {
+  // Huge first segment leaves no room before the phase deadline once a
+  // high-priority task interferes.
+  MultiPhaseTaskParams high;
+  high.name = "hp";
+  high.period = millis(50);
+  high.mandatory = {millis(25)};  // U = 0.5
+  MultiPhaseTaskParams low;
+  low.name = "lp";
+  low.period = millis(200);
+  low.mandatory = {millis(60), millis(40)};  // prefix 60 -> with hp ~ 120+
+  low.optional = {{millis(200)}};
+  const auto analysis = analyze_mrmwp({high, low});
+  // OD for low's phase 0: 200 - L(40) where L(40) = 40 + interference
+  // (ceil(90/50)*25 ...) — prefix response of 60 is ~135; tail window
+  // pushes OD to ~110: prefix misses it.
+  EXPECT_FALSE(analysis.schedulable);
+}
+
+TEST(Mrmwp, SegmentsWithoutPhasesAreAllowed) {
+  MultiPhaseTaskParams t;
+  t.name = "plain";
+  t.period = millis(100);
+  t.mandatory = {millis(10), millis(10), millis(10)};
+  // No optional phases at all.
+  const auto analysis = analyze_mrmwp({t});
+  EXPECT_TRUE(analysis.schedulable);
+  EXPECT_TRUE(analysis.optional_deadline[0].empty());
+  EXPECT_EQ(*analysis.prefix_response[0][2], millis(30));
+}
+
+TEST(Mrmwp, EmptySetNotSchedulable) {
+  EXPECT_FALSE(analyze_mrmwp({}).schedulable);
+}
+
+}  // namespace
+}  // namespace rtseed::sched

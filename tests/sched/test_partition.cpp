@@ -1,0 +1,156 @@
+#include "sched/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sched/generator.hpp"
+#include "sched/rmwp.hpp"
+#include "sched/rta.hpp"
+
+namespace rtseed::sched {
+namespace {
+
+using common::millis;
+
+ImpreciseTaskParams task(Nanos period, Nanos c) {
+  ImpreciseTaskParams t;
+  t.period = period;
+  t.mandatory = c / 2;
+  t.windup = c - c / 2;
+  return t;
+}
+
+AdmissionTest utilization_cap(double cap) {
+  return [cap](const TaskSet& set) {
+    return set.total_utilization() <= cap + 1e-12;
+  };
+}
+
+TEST(Partition, FirstFitPacksGreedily) {
+  TaskSet set;
+  set.add(task(millis(100), millis(40)));  // 0.4
+  set.add(task(millis(100), millis(40)));  // 0.4
+  set.add(task(millis(100), millis(40)));  // 0.4
+  const auto result = partition_tasks(set, 2, PackingHeuristic::kFirstFit,
+                                      utilization_cap(1.0), false);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.processor_of[0], 0);
+  EXPECT_EQ(result.processor_of[1], 0);
+  EXPECT_EQ(result.processor_of[2], 1);  // 1.2 > 1.0 on proc 0
+  EXPECT_NEAR(result.processor_utilization[0], 0.8, 1e-9);
+  EXPECT_NEAR(result.processor_utilization[1], 0.4, 1e-9);
+}
+
+TEST(Partition, WorstFitBalances) {
+  TaskSet set;
+  set.add(task(millis(100), millis(40)));
+  set.add(task(millis(100), millis(40)));
+  const auto result = partition_tasks(set, 2, PackingHeuristic::kWorstFit,
+                                      utilization_cap(1.0), false);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_NE(result.processor_of[0], result.processor_of[1]);
+}
+
+TEST(Partition, BestFitFillsFullestFirst) {
+  TaskSet set;
+  set.add(task(millis(100), millis(60)));  // 0.6 -> proc 0
+  set.add(task(millis(100), millis(20)));  // 0.2
+  set.add(task(millis(100), millis(20)));  // 0.2
+  // Without decreasing sort, best-fit puts both 0.2s with the 0.6.
+  const auto result = partition_tasks(set, 2, PackingHeuristic::kBestFit,
+                                      utilization_cap(1.0), false);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.processor_of[1], result.processor_of[0]);
+  EXPECT_EQ(result.processor_of[2], result.processor_of[0]);
+}
+
+TEST(Partition, NextFitAdvancesCursor) {
+  TaskSet set;
+  set.add(task(millis(100), millis(70)));  // 0.7
+  set.add(task(millis(100), millis(70)));  // 0.7 -> won't fit with first
+  set.add(task(millis(100), millis(20)));  // 0.2 -> next-fit stays on proc 1
+  const auto result = partition_tasks(set, 2, PackingHeuristic::kNextFit,
+                                      utilization_cap(1.0), false);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.processor_of[0], 0);
+  EXPECT_EQ(result.processor_of[1], 1);
+  EXPECT_EQ(result.processor_of[2], 1);
+}
+
+TEST(Partition, InfeasibleWhenNothingFits) {
+  TaskSet set;
+  set.add(task(millis(100), millis(90)));
+  set.add(task(millis(100), millis(90)));
+  set.add(task(millis(100), millis(90)));
+  const auto result = partition_tasks(set, 2, PackingHeuristic::kFirstFit,
+                                      utilization_cap(1.0), true);
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(Partition, DecreasingUtilizationImprovesPacking) {
+  // Classic FFD win: items .6 .5 .4 .3 .2 into 2 bins of 1.0 fit only
+  // when sorted decreasing.
+  TaskSet set;
+  set.add(task(millis(100), millis(20)));
+  set.add(task(millis(100), millis(30)));
+  set.add(task(millis(100), millis(50)));
+  set.add(task(millis(100), millis(60)));
+  set.add(task(millis(100), millis(40)));
+  const auto sorted = partition_tasks(set, 2, PackingHeuristic::kFirstFit,
+                                      utilization_cap(1.0), true);
+  EXPECT_TRUE(sorted.feasible);
+}
+
+TEST(Partition, RespectsRmwpAdmission) {
+  common::Rng rng(5);
+  GeneratorConfig config;
+  config.num_tasks = 8;
+  config.total_utilization = 2.0;
+  const auto set = generate_task_set(config, rng);
+  const auto result = partition_tasks(
+      set, 4, PackingHeuristic::kFirstFit,
+      [](const TaskSet& s) { return rmwp_schedulable(s); }, true);
+  if (result.feasible) {
+    // Every processor's local set must itself be RMWP-schedulable.
+    for (int p = 0; p < 4; ++p) {
+      TaskSet local;
+      for (TaskId i = 0; i < set.size(); ++i) {
+        if (result.processor_of[static_cast<size_t>(i)] == p) {
+          local.add(set[i]);
+        }
+      }
+      if (!local.empty()) {
+        EXPECT_TRUE(rmwp_schedulable(local));
+      }
+    }
+  }
+}
+
+TEST(Partition, EmptyInputInfeasible) {
+  TaskSet set;
+  const auto result = partition_tasks(set, 2, PackingHeuristic::kFirstFit,
+                                      utilization_cap(1.0));
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(Partition, ZeroProcessorsInfeasible) {
+  TaskSet set;
+  set.add(task(millis(100), millis(10)));
+  const auto result = partition_tasks(set, 0, PackingHeuristic::kFirstFit,
+                                      utilization_cap(1.0));
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(Partition, HeuristicNames) {
+  EXPECT_STREQ(packing_heuristic_name(PackingHeuristic::kFirstFit),
+               "first-fit");
+  EXPECT_STREQ(packing_heuristic_name(PackingHeuristic::kBestFit),
+               "best-fit");
+  EXPECT_STREQ(packing_heuristic_name(PackingHeuristic::kWorstFit),
+               "worst-fit");
+  EXPECT_STREQ(packing_heuristic_name(PackingHeuristic::kNextFit),
+               "next-fit");
+}
+
+}  // namespace
+}  // namespace rtseed::sched

@@ -1,0 +1,95 @@
+#include "sched/rm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rtseed::sched {
+namespace {
+
+using common::millis;
+
+ImpreciseTaskParams task(Nanos period, Nanos m, Nanos w) {
+  ImpreciseTaskParams t;
+  t.period = period;
+  t.mandatory = m;
+  t.windup = w;
+  return t;
+}
+
+TEST(RmOrder, SortsByPeriodAscending) {
+  TaskSet set;
+  set.add(task(millis(100), millis(10), millis(10)));  // id 0
+  set.add(task(millis(20), millis(2), millis(2)));     // id 1 (highest)
+  set.add(task(millis(50), millis(5), millis(5)));     // id 2
+  const auto order = rm_order(set);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+  EXPECT_EQ(order[2], 0);
+}
+
+TEST(RmOrder, TiesBrokenByTaskId) {
+  TaskSet set;
+  set.add(task(millis(50), millis(1), millis(1)));
+  set.add(task(millis(50), millis(1), millis(1)));
+  const auto order = rm_order(set);
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 1);
+}
+
+TEST(RmRanks, InverseOfOrder) {
+  TaskSet set;
+  set.add(task(millis(100), millis(1), millis(1)));
+  set.add(task(millis(20), millis(1), millis(1)));
+  const auto ranks = rm_ranks(set);
+  EXPECT_EQ(ranks[0], 1);
+  EXPECT_EQ(ranks[1], 0);
+}
+
+TEST(LiuLaylandBound, KnownValues) {
+  EXPECT_DOUBLE_EQ(liu_layland_bound(1), 1.0);
+  EXPECT_NEAR(liu_layland_bound(2), 2.0 * (std::sqrt(2.0) - 1.0), 1e-12);
+  EXPECT_NEAR(liu_layland_bound(3), 0.7797, 1e-4);
+  // Monotonically decreasing towards ln 2.
+  EXPECT_GT(liu_layland_bound(3), liu_layland_bound(10));
+  EXPECT_GT(liu_layland_bound(100), std::log(2.0) - 1e-6);
+  EXPECT_DOUBLE_EQ(liu_layland_bound(0), 0.0);
+}
+
+TEST(LiuLayland, AcceptsLowUtilization) {
+  TaskSet set;
+  set.add(task(millis(100), millis(10), millis(10)));  // U = 0.2
+  set.add(task(millis(50), millis(5), millis(5)));     // U = 0.2
+  EXPECT_TRUE(passes_liu_layland(set));
+}
+
+TEST(LiuLayland, RejectsOverloadedSet) {
+  TaskSet set;
+  set.add(task(millis(10), millis(5), millis(4)));  // U = 0.9
+  set.add(task(millis(10), millis(1), millis(1)));  // U = 0.2
+  EXPECT_FALSE(passes_liu_layland(set));
+}
+
+TEST(Hyperbolic, TighterThanLiuLayland) {
+  // Classic example: harmonic-ish set with U = 0.83 (> LL bound for n=3)
+  // that the hyperbolic bound accepts.
+  // Total U = 0.8 exceeds the n=3 Liu-Layland bound (0.7797), but
+  // Π(Uᵢ+1) = 1.5 · 1.2 · 1.1 = 1.98 ≤ 2 passes the hyperbolic bound.
+  TaskSet set;
+  set.add(task(millis(100), millis(25), millis(25)));  // 0.5
+  set.add(task(millis(200), millis(20), millis(20)));  // 0.2
+  set.add(task(millis(300), millis(15), millis(15)));  // 0.1
+  EXPECT_FALSE(passes_liu_layland(set));
+  EXPECT_TRUE(passes_hyperbolic(set));
+}
+
+TEST(Hyperbolic, RejectsWhenProductExceedsTwo) {
+  TaskSet set;
+  set.add(task(millis(10), millis(4), millis(3)));  // U = 0.7
+  set.add(task(millis(10), millis(3), millis(3)));  // U = 0.6
+  EXPECT_FALSE(passes_hyperbolic(set));
+}
+
+}  // namespace
+}  // namespace rtseed::sched

@@ -1,0 +1,73 @@
+#include "sched/rmus.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtseed::sched {
+namespace {
+
+using common::millis;
+
+ImpreciseTaskParams task(Nanos period, Nanos c) {
+  ImpreciseTaskParams t;
+  t.period = period;
+  t.mandatory = c / 2;
+  t.windup = c - c / 2;
+  return t;
+}
+
+TEST(Rmus, ThresholdFormula) {
+  // M/(3M-2): 1 -> 1, 2 -> 0.5, 4 -> 0.4, 57 -> 0.337...
+  EXPECT_DOUBLE_EQ(rmus_threshold(1), 1.0);
+  EXPECT_DOUBLE_EQ(rmus_threshold(2), 0.5);
+  EXPECT_DOUBLE_EQ(rmus_threshold(4), 0.4);
+  EXPECT_NEAR(rmus_threshold(57), 57.0 / 169.0, 1e-12);
+}
+
+TEST(Rmus, HeavyClassification) {
+  // Paper footnote 1: "assigns the highest priority to task τi if
+  // Ui > M/(3M-2)".
+  const int m = 4;  // threshold 0.4
+  EXPECT_TRUE(rmus_is_heavy(task(millis(100), millis(50)), m));   // 0.5
+  EXPECT_FALSE(rmus_is_heavy(task(millis(100), millis(40)), m));  // 0.4 (not >)
+  EXPECT_FALSE(rmus_is_heavy(task(millis(100), millis(10)), m));  // 0.1
+}
+
+TEST(Rmus, HeavyTasksFirstThenRmOrder) {
+  TaskSet set;
+  set.add(task(millis(50), millis(5)));    // light, fast period
+  set.add(task(millis(100), millis(60)));  // heavy (0.6 > 0.4)
+  set.add(task(millis(20), millis(2)));    // light, fastest period
+  const auto order = rmus_order(set, 4);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1);  // heavy first
+  EXPECT_EQ(order[1], 2);  // then RM among light
+  EXPECT_EQ(order[2], 0);
+}
+
+TEST(Rmus, AllLightReducesToRm) {
+  TaskSet set;
+  set.add(task(millis(100), millis(10)));
+  set.add(task(millis(20), millis(2)));
+  const auto order = rmus_order(set, 4);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 0);
+}
+
+TEST(Rmus, UtilizationBound) {
+  // RM-US guarantees U <= M^2/(3M-2).
+  TaskSet set;
+  set.add(task(millis(100), millis(50)));
+  set.add(task(millis(100), millis(50)));  // total U = 1.0
+  EXPECT_TRUE(rmus_schedulable(set, 2));   // bound = 4/4 = 1.0
+  set.add(task(millis(100), millis(10)));  // total 1.1 > 1.0
+  EXPECT_FALSE(rmus_schedulable(set, 2));
+}
+
+TEST(Rmus, SingleProcessorBoundIsOne) {
+  TaskSet set;
+  set.add(task(millis(10), millis(10)));  // U = 1.0
+  EXPECT_TRUE(rmus_schedulable(set, 1));
+}
+
+}  // namespace
+}  // namespace rtseed::sched

@@ -1,0 +1,136 @@
+#include "sched/rmwp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sched/generator.hpp"
+#include "sched/rta.hpp"
+
+namespace rtseed::sched {
+namespace {
+
+using common::millis;
+using common::seconds;
+
+ImpreciseTaskParams task(Nanos period, Nanos m, Nanos w) {
+  ImpreciseTaskParams t;
+  t.period = period;
+  t.mandatory = m;
+  t.windup = w;
+  t.optional = {period};  // always-overrunning optional part
+  return t;
+}
+
+TEST(Rmwp, SingleTaskUsesPaperFormula) {
+  // The paper's evaluation: OD1 = D1 - w1 (§V-A).
+  TaskSet set;
+  set.add(task(seconds(1), millis(250), millis(250)));
+  const auto analysis = analyze_rmwp(set);
+  ASSERT_TRUE(analysis.schedulable);
+  EXPECT_EQ(analysis.optional_deadline[0], seconds(1) - millis(250));
+  EXPECT_EQ(analysis.windup_window[0], millis(250));
+  ASSERT_TRUE(analysis.mandatory_response[0].has_value());
+  EXPECT_EQ(*analysis.mandatory_response[0], millis(250));
+}
+
+TEST(Rmwp, HighestPriorityTaskAlwaysPaperFormula) {
+  TaskSet set;
+  set.add(task(millis(100), millis(10), millis(10)));  // highest RM prio
+  set.add(task(millis(200), millis(20), millis(20)));
+  const auto analysis = analyze_rmwp(set);
+  ASSERT_TRUE(analysis.schedulable);
+  EXPECT_EQ(analysis.optional_deadline[0], millis(100) - millis(10));
+}
+
+TEST(Rmwp, LowerPriorityOdAccountsForInterference) {
+  TaskSet set;
+  set.add(task(millis(100), millis(10), millis(10)));  // hp: C = 20
+  set.add(task(millis(200), millis(20), millis(20)));  // lp
+  const auto analysis = analyze_rmwp(set);
+  ASSERT_TRUE(analysis.schedulable);
+  // L2 = 20 + ceil(L2/100)*20 -> 40; OD2 = 200 - 40 = 160.
+  EXPECT_EQ(analysis.windup_window[1], millis(40));
+  EXPECT_EQ(analysis.optional_deadline[1], millis(160));
+}
+
+TEST(Rmwp, OdStrictlyBeforeDeadlineAndAfterMandatoryResponse) {
+  common::Rng rng(77);
+  GeneratorConfig config;
+  config.num_tasks = 5;
+  config.total_utilization = 0.5;
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto set = generate_task_set(config, rng);
+    const auto analysis = analyze_rmwp(set);
+    if (!analysis.schedulable) continue;
+    for (TaskId i = 0; i < set.size(); ++i) {
+      const auto idx = static_cast<size_t>(i);
+      EXPECT_LT(analysis.optional_deadline[idx], set[i].effective_deadline());
+      ASSERT_TRUE(analysis.mandatory_response[idx].has_value());
+      EXPECT_LE(*analysis.mandatory_response[idx],
+                analysis.optional_deadline[idx]);
+      EXPECT_GT(analysis.optional_deadline[idx], 0);
+    }
+  }
+}
+
+TEST(Rmwp, UnschedulableWhenMandatoryMissesOd) {
+  // Wind-up windows leave no room for the mandatory part.
+  TaskSet set;
+  set.add(task(millis(10), millis(5), millis(4)));   // U = 0.9
+  set.add(task(millis(20), millis(5), millis(5)));   // U = 0.5
+  EXPECT_FALSE(rmwp_schedulable(set));
+  EXPECT_FALSE(rmwp_optional_deadlines(set).has_value());
+}
+
+TEST(Rmwp, SchedulabilityImpliesRmSchedulability) {
+  // RMWP schedulability is at least as strict as plain RM on (m+w, T):
+  // wind-up parts meet D only if the whole set does.
+  common::Rng rng(31);
+  GeneratorConfig config;
+  config.num_tasks = 4;
+  for (double u = 0.3; u <= 0.95; u += 0.1) {
+    config.total_utilization = u;
+    for (int trial = 0; trial < 30; ++trial) {
+      const auto set = generate_task_set(config, rng);
+      if (rmwp_schedulable(set)) {
+        EXPECT_TRUE(rm_schedulable(set))
+            << "RMWP accepted a set plain RM rejects (U=" << u << ")";
+      }
+    }
+  }
+}
+
+TEST(Rmwp, OptionalDeadlinesMatchAnalyze) {
+  TaskSet set;
+  set.add(task(millis(100), millis(10), millis(10)));
+  set.add(task(millis(250), millis(30), millis(20)));
+  const auto ods = rmwp_optional_deadlines(set);
+  const auto analysis = analyze_rmwp(set);
+  ASSERT_TRUE(ods.has_value());
+  ASSERT_TRUE(analysis.schedulable);
+  EXPECT_EQ(*ods, analysis.optional_deadline);
+}
+
+TEST(Rmwp, EmptySetIsTriviallyUnschedulable) {
+  TaskSet set;
+  const auto analysis = analyze_rmwp(set);
+  EXPECT_FALSE(analysis.schedulable);
+}
+
+TEST(Rmwp, WindupWindowGrowsWithInterference) {
+  TaskSet light;
+  light.add(task(millis(100), millis(5), millis(5)));
+  light.add(task(millis(400), millis(30), millis(30)));
+  TaskSet heavy = light;
+  heavy[0].mandatory = millis(20);
+  heavy[0].windup = millis(20);
+  const auto a_light = analyze_rmwp(light);
+  const auto a_heavy = analyze_rmwp(heavy);
+  ASSERT_TRUE(a_light.schedulable);
+  ASSERT_TRUE(a_heavy.schedulable);
+  EXPECT_GT(a_heavy.windup_window[1], a_light.windup_window[1]);
+  EXPECT_LT(a_heavy.optional_deadline[1], a_light.optional_deadline[1]);
+}
+
+}  // namespace
+}  // namespace rtseed::sched

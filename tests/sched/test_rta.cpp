@@ -1,0 +1,114 @@
+#include "sched/rta.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtseed::sched {
+namespace {
+
+using common::millis;
+
+ImpreciseTaskParams task(Nanos period, Nanos m, Nanos w) {
+  ImpreciseTaskParams t;
+  t.period = period;
+  t.mandatory = m;
+  t.windup = w;
+  return t;
+}
+
+TEST(FixedPoint, NoInterferenceIsOwnCost) {
+  const auto r = fixed_point_response_time(millis(5), {}, {}, millis(100));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, millis(5));
+}
+
+TEST(FixedPoint, ClassicTextbookExample) {
+  // tau1 (C=1, T=4), tau2 (C=2, T=6), tau3 (C=3, T=12):
+  // R1 = 1; R2 = 2 + ceil(R2/4)*1 -> 3;
+  // R3 = 3 + ceil(R3/4)*1 + ceil(R3/6)*2 -> 3+3+4 = 10 (fixed point).
+  std::vector<Nanos> costs{millis(1), millis(2)};
+  std::vector<Nanos> periods{millis(4), millis(6)};
+  const auto r3 =
+      fixed_point_response_time(millis(3), costs, periods, millis(12));
+  ASSERT_TRUE(r3.has_value());
+  EXPECT_EQ(*r3, millis(10));
+}
+
+TEST(FixedPoint, DivergesBeyondHorizon) {
+  // Interference alone saturates the processor.
+  std::vector<Nanos> costs{millis(6)};
+  std::vector<Nanos> periods{millis(6)};
+  const auto r =
+      fixed_point_response_time(millis(1), costs, periods, millis(100));
+  EXPECT_FALSE(r.has_value());
+}
+
+TEST(FixedPoint, ZeroCostIsZero) {
+  const auto r = fixed_point_response_time(0, {millis(5)}, {millis(10)},
+                                           millis(100));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, 0);
+}
+
+TEST(FixedPoint, ExactlyAtHorizonIsAccepted) {
+  const auto r = fixed_point_response_time(millis(10), {}, {}, millis(10));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, millis(10));
+}
+
+TEST(RmResponseTimes, PerTaskResults) {
+  TaskSet set;
+  set.add(task(millis(12), millis(2), millis(1)));  // C=3, lowest prio
+  set.add(task(millis(4), millis(1), 0));           // C=1, highest prio
+  set.add(task(millis(6), millis(1), millis(1)));   // C=2, middle
+  const auto responses = rm_response_times(
+      set, [](const ImpreciseTaskParams& t) { return t.wcet(); });
+  ASSERT_EQ(responses.size(), 3u);
+  ASSERT_TRUE(responses[1].has_value());
+  EXPECT_EQ(*responses[1], millis(1));
+  ASSERT_TRUE(responses[2].has_value());
+  EXPECT_EQ(*responses[2], millis(3));
+  ASSERT_TRUE(responses[0].has_value());
+  EXPECT_EQ(*responses[0], millis(10));
+}
+
+TEST(RmSchedulable, AcceptsFeasibleSet) {
+  TaskSet set;
+  set.add(task(millis(4), millis(1), 0));
+  set.add(task(millis(6), millis(1), millis(1)));
+  set.add(task(millis(12), millis(2), millis(1)));
+  EXPECT_TRUE(rm_schedulable(set));
+}
+
+TEST(RmSchedulable, RejectsInfeasibleSet) {
+  TaskSet set;
+  set.add(task(millis(4), millis(2), millis(1)));   // U = 0.75
+  set.add(task(millis(6), millis(2), millis(1)));   // U = 0.5
+  EXPECT_FALSE(rm_schedulable(set));
+}
+
+TEST(RmSchedulable, FullUtilizationHarmonicSetIsSchedulable) {
+  // Harmonic periods allow U = 1 under RM.
+  TaskSet set;
+  set.add(task(millis(4), millis(1), millis(1)));   // 0.5
+  set.add(task(millis(8), millis(2), millis(2)));   // 0.5
+  EXPECT_TRUE(rm_schedulable(set));
+}
+
+TEST(RmSchedulable, ResponseTimeMonotoneInInterference) {
+  // Adding a higher-priority task can only increase a response time.
+  TaskSet base;
+  base.add(task(millis(20), millis(4), millis(2)));
+  const auto r_before = rm_response_times(
+      base, [](const ImpreciseTaskParams& t) { return t.wcet(); });
+
+  TaskSet with_hp = base;
+  with_hp.add(task(millis(5), millis(1), 0));
+  const auto r_after = rm_response_times(
+      with_hp, [](const ImpreciseTaskParams& t) { return t.wcet(); });
+  ASSERT_TRUE(r_before[0].has_value());
+  ASSERT_TRUE(r_after[0].has_value());
+  EXPECT_GT(*r_after[0], *r_before[0]);
+}
+
+}  // namespace
+}  // namespace rtseed::sched

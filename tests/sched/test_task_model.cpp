@@ -1,0 +1,123 @@
+#include "sched/task_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtseed::sched {
+namespace {
+
+using common::millis;
+using common::seconds;
+
+ImpreciseTaskParams paper_task() {
+  // The paper's evaluation task τ1: T = 1 s, m = 250 ms, w = 250 ms,
+  // optional = 1 s each.
+  ImpreciseTaskParams t;
+  t.name = "tau1";
+  t.period = seconds(1);
+  t.mandatory = millis(250);
+  t.windup = millis(250);
+  t.optional = {seconds(1), seconds(1), seconds(1), seconds(1)};
+  return t;
+}
+
+TEST(TaskModel, WcetIsMandatoryPlusWindup) {
+  const auto t = paper_task();
+  EXPECT_EQ(t.wcet(), millis(500));
+}
+
+TEST(TaskModel, UtilizationExcludesOptionalParts) {
+  // "Uᵢ is not included in the execution time of the parallel optional
+  // parts" (§II-A): U = (m + w) / T regardless of optional load.
+  const auto t = paper_task();
+  EXPECT_DOUBLE_EQ(t.utilization(), 0.5);
+  EXPECT_DOUBLE_EQ(t.optional_utilization(), 4.0);
+}
+
+TEST(TaskModel, ImplicitDeadlineDefaultsToPeriod) {
+  auto t = paper_task();
+  EXPECT_EQ(t.effective_deadline(), seconds(1));
+  t.deadline = millis(800);
+  EXPECT_EQ(t.effective_deadline(), millis(800));
+}
+
+TEST(TaskModel, NumOptionalCountsParts) {
+  EXPECT_EQ(paper_task().num_optional(), 4);
+  ImpreciseTaskParams t;
+  EXPECT_EQ(t.num_optional(), 0);
+}
+
+TEST(TaskModel, ValidateAcceptsPaperTask) {
+  EXPECT_TRUE(paper_task().validate().is_ok());
+}
+
+TEST(TaskModel, ValidateRejectsNonPositivePeriod) {
+  auto t = paper_task();
+  t.period = 0;
+  EXPECT_FALSE(t.validate().is_ok());
+}
+
+TEST(TaskModel, ValidateRejectsWcetBeyondDeadline) {
+  auto t = paper_task();
+  t.mandatory = millis(600);
+  t.windup = millis(600);
+  EXPECT_FALSE(t.validate().is_ok());
+}
+
+TEST(TaskModel, ValidateRejectsDeadlineBeyondPeriod) {
+  auto t = paper_task();
+  t.deadline = seconds(2);
+  EXPECT_FALSE(t.validate().is_ok());
+}
+
+TEST(TaskModel, ValidateRejectsNegativeParts) {
+  auto t = paper_task();
+  t.windup = -1;
+  EXPECT_FALSE(t.validate().is_ok());
+  t = paper_task();
+  t.optional.push_back(-5);
+  EXPECT_FALSE(t.validate().is_ok());
+}
+
+TEST(TaskModel, ValidateRejectsZeroComputation) {
+  ImpreciseTaskParams t;
+  t.period = seconds(1);
+  EXPECT_FALSE(t.validate().is_ok());
+}
+
+TEST(TaskSet, TotalUtilizationSums) {
+  TaskSet set;
+  set.add(paper_task());
+  set.add(paper_task());
+  EXPECT_DOUBLE_EQ(set.total_utilization(), 1.0);
+  EXPECT_EQ(set.size(), 2);
+}
+
+TEST(TaskSet, ValidateRejectsEmpty) {
+  TaskSet set;
+  EXPECT_FALSE(set.validate().is_ok());
+}
+
+TEST(TaskSet, ValidatePropagatesTaskError) {
+  TaskSet set;
+  set.add(paper_task());
+  auto bad = paper_task();
+  bad.period = -1;
+  set.add(bad);
+  EXPECT_FALSE(set.validate().is_ok());
+}
+
+TEST(TaskSet, IndexingAndIteration) {
+  TaskSet set;
+  set.add(paper_task());
+  set[0].name = "renamed";
+  EXPECT_EQ(set[0].name, "renamed");
+  int count = 0;
+  for (const auto& t : set) {
+    (void)t;
+    ++count;
+  }
+  EXPECT_EQ(count, 1);
+}
+
+}  // namespace
+}  // namespace rtseed::sched

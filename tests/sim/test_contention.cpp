@@ -1,0 +1,60 @@
+#include "sim/contention.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtseed::sim {
+namespace {
+
+TEST(Contention, Names) {
+  EXPECT_STREQ(load_kind_name(LoadKind::kNone), "no-load");
+  EXPECT_STREQ(load_kind_name(LoadKind::kCpu), "cpu-load");
+  EXPECT_STREQ(load_kind_name(LoadKind::kCpuMemory), "cpu-memory-load");
+  EXPECT_STREQ(operation_kind_name(OperationKind::kSignal),
+               "signal-optional");
+  EXPECT_STREQ(operation_kind_name(OperationKind::kEndOptional),
+               "end-optional");
+  EXPECT_STREQ(operation_kind_name(OperationKind::kBeginMandatory),
+               "begin-mandatory");
+  EXPECT_STREQ(operation_kind_name(OperationKind::kSwitch),
+               "switch-to-optional");
+}
+
+TEST(Contention, BaseCostsPositive) {
+  const ContentionParams params;
+  for (auto op : {OperationKind::kBeginMandatory, OperationKind::kSignal,
+                  OperationKind::kSwitch, OperationKind::kEndOptional}) {
+    EXPECT_GT(base_cost_us(params, op), 0.0);
+  }
+}
+
+TEST(Contention, NoLoadMultiplierIsUnity) {
+  const ContentionParams params;
+  for (auto op : {OperationKind::kBeginMandatory, OperationKind::kSignal,
+                  OperationKind::kEndOptional}) {
+    EXPECT_DOUBLE_EQ(load_multiplier(params, op, LoadKind::kNone), 1.0);
+  }
+}
+
+TEST(Contention, SignalIsBranchBound) {
+  // Fig. 12's mechanism: pthread_cond_signal is branch-heavy, so the CPU
+  // load (pure branch loop) interferes more than the CPU-Memory load.
+  const ContentionParams params;
+  EXPECT_GT(load_multiplier(params, OperationKind::kSignal, LoadKind::kCpu),
+            load_multiplier(params, OperationKind::kSignal,
+                            LoadKind::kCpuMemory));
+}
+
+TEST(Contention, EndAndMandatoryAreMemoryBound) {
+  // Figs. 10/13: cache refill and sigsetjmp-context restore are
+  // memory-heavy, so the CPU-Memory load dominates.
+  const ContentionParams params;
+  for (auto op : {OperationKind::kBeginMandatory,
+                  OperationKind::kEndOptional}) {
+    EXPECT_GT(load_multiplier(params, op, LoadKind::kCpuMemory),
+              load_multiplier(params, op, LoadKind::kCpu));
+    EXPECT_GT(load_multiplier(params, op, LoadKind::kCpu), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace rtseed::sim

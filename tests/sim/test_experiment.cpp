@@ -1,0 +1,80 @@
+#include "sim/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtseed::sim {
+namespace {
+
+FigureConfig small_config(OverheadKind kind) {
+  FigureConfig config;
+  config.kind = kind;
+  config.jobs = 40;  // smaller than the paper's 100 to keep tests fast
+  return config;
+}
+
+TEST(Experiment, FigureDataShape) {
+  const auto data = run_figure(small_config(OverheadKind::kBeginMandatory));
+  EXPECT_EQ(data.np.size(), 8u);  // {4,8,16,32,57,114,171,228}
+  ASSERT_EQ(data.subplots.size(), 3u);
+  for (const auto& subplot : data.subplots) {
+    ASSERT_EQ(subplot.series.size(), 3u);  // three policies
+    for (const auto& series : subplot.series) {
+      EXPECT_EQ(series.y.size(), 8u);
+      for (double y : series.y) EXPECT_GT(y, 0.0);
+    }
+  }
+  EXPECT_EQ(data.subplots[0].load, LoadKind::kNone);
+  EXPECT_EQ(data.subplots[1].load, LoadKind::kCpu);
+  EXPECT_EQ(data.subplots[2].load, LoadKind::kCpuMemory);
+}
+
+TEST(Experiment, DeterministicForSameSeed) {
+  const auto a = run_figure(small_config(OverheadKind::kEndOptional));
+  const auto b = run_figure(small_config(OverheadKind::kEndOptional));
+  for (size_t s = 0; s < a.subplots.size(); ++s) {
+    for (size_t p = 0; p < a.subplots[s].series.size(); ++p) {
+      EXPECT_EQ(a.subplots[s].series[p].y, b.subplots[s].series[p].y);
+    }
+  }
+}
+
+// Every figure's published shape must hold in the regenerated data; these
+// are the same checks the bench binaries print as their self-check footer.
+TEST(Experiment, Fig10ShapeHolds) {
+  const auto violations =
+      check_figure_shape(run_figure(small_config(OverheadKind::kBeginMandatory)));
+  EXPECT_TRUE(violations.empty())
+      << "violated: " << (violations.empty() ? "" : violations[0]);
+}
+
+TEST(Experiment, Fig11ShapeHolds) {
+  const auto violations =
+      check_figure_shape(run_figure(small_config(OverheadKind::kSwitch)));
+  EXPECT_TRUE(violations.empty())
+      << "violated: " << (violations.empty() ? "" : violations[0]);
+}
+
+TEST(Experiment, Fig12ShapeHolds) {
+  const auto violations =
+      check_figure_shape(run_figure(small_config(OverheadKind::kBeginOptional)));
+  EXPECT_TRUE(violations.empty())
+      << "violated: " << (violations.empty() ? "" : violations[0]);
+}
+
+TEST(Experiment, Fig13ShapeHolds) {
+  const auto violations =
+      check_figure_shape(run_figure(small_config(OverheadKind::kEndOptional)));
+  EXPECT_TRUE(violations.empty())
+      << "violated: " << (violations.empty() ? "" : violations[0]);
+}
+
+TEST(Experiment, IncompleteDataReported) {
+  FigureData empty;
+  empty.kind = OverheadKind::kSwitch;
+  const auto violations = check_figure_shape(empty);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_EQ(violations[0], "incomplete figure data");
+}
+
+}  // namespace
+}  // namespace rtseed::sim

@@ -1,0 +1,109 @@
+// Parameterized invariants of the global scheduler across algorithms,
+// processor counts, and seeds.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sched/generator.hpp"
+#include "sim/global_scheduler.hpp"
+
+namespace rtseed::sim {
+namespace {
+
+using common::millis;
+
+struct GlobalParam {
+  SimAlgorithm algorithm;
+  int processors;
+  common::u64 seed;
+};
+
+std::string global_name(const ::testing::TestParamInfo<GlobalParam>& info) {
+  std::string algo = sim_algorithm_name(info.param.algorithm);
+  std::replace(algo.begin(), algo.end(), '-', '_');
+  return algo + "_m" + std::to_string(info.param.processors) + "_s" +
+         std::to_string(info.param.seed);
+}
+
+class GlobalProperties : public ::testing::TestWithParam<GlobalParam> {
+ protected:
+  sched::TaskSet draw(double per_proc_utilization) {
+    common::Rng rng(GetParam().seed);
+    sched::GeneratorConfig config;
+    config.num_tasks = 3 * GetParam().processors;
+    config.total_utilization =
+        per_proc_utilization * GetParam().processors;
+    config.min_period = millis(5);
+    config.max_period = millis(50);
+    return sched::generate_task_set(config, rng);
+  }
+
+  GlobalSimResult run(const sched::TaskSet& set, Nanos migration_cost = 0) {
+    GlobalSimOptions options;
+    options.algorithm = GetParam().algorithm;
+    options.num_processors = GetParam().processors;
+    options.horizon = millis(400);
+    options.migration_overhead = migration_cost;
+    return simulate_global(set, options);
+  }
+};
+
+TEST_P(GlobalProperties, StatsAreInternallyConsistent) {
+  const auto set = draw(0.6);
+  const auto result = run(set);
+  for (const auto& stats : result.tasks) {
+    EXPECT_LE(stats.completed, stats.released);
+    EXPECT_LE(stats.misses, stats.released);
+    EXPECT_GE(stats.released, 1);
+    EXPECT_GE(stats.max_response, 0);
+  }
+  EXPECT_GE(result.migrations, 0);
+  EXPECT_GE(result.preemptions, 0);
+}
+
+TEST_P(GlobalProperties, LowUtilizationRunsMissFree) {
+  const auto set = draw(0.25);
+  const auto result = run(set);
+  EXPECT_EQ(result.total_misses(), 0);
+}
+
+TEST_P(GlobalProperties, DeterministicAcrossRuns) {
+  const auto set = draw(0.7);
+  const auto a = run(set);
+  const auto b = run(set);
+  EXPECT_EQ(a.total_misses(), b.total_misses());
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_EQ(a.preemptions, b.preemptions);
+}
+
+TEST_P(GlobalProperties, MigrationOverheadNeverHelps) {
+  const auto set = draw(0.8);
+  const auto cheap = run(set, 0);
+  const auto costly = run(set, common::micros(500));
+  EXPECT_GE(costly.total_misses(), cheap.total_misses());
+}
+
+TEST_P(GlobalProperties, OptionalDeadlinesWithinPeriods) {
+  const auto set = draw(0.5);
+  const auto result = run(set);
+  ASSERT_EQ(result.optional_deadlines.size(),
+            static_cast<size_t>(set.size()));
+  for (TaskId i = 0; i < set.size(); ++i) {
+    EXPECT_GE(result.optional_deadlines[static_cast<size_t>(i)], 0);
+    EXPECT_LE(result.optional_deadlines[static_cast<size_t>(i)],
+              set[i].effective_deadline());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgorithmProcessorGrid, GlobalProperties,
+    ::testing::Values(GlobalParam{SimAlgorithm::kRmwp, 2, 1},
+                      GlobalParam{SimAlgorithm::kRmwp, 4, 2},
+                      GlobalParam{SimAlgorithm::kRmwp, 8, 3},
+                      GlobalParam{SimAlgorithm::kGeneralRm, 2, 4},
+                      GlobalParam{SimAlgorithm::kGeneralRm, 4, 5},
+                      GlobalParam{SimAlgorithm::kEdf, 2, 6},
+                      GlobalParam{SimAlgorithm::kEdf, 4, 7}),
+    global_name);
+
+}  // namespace
+}  // namespace rtseed::sim

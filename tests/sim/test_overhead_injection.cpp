@@ -1,0 +1,105 @@
+// Overhead-in-the-loop simulation: the pure RMWP analysis assumes free
+// context switches; injecting realistic Δ overheads breaks a tight
+// schedule, and derating the optional deadlines by an overhead margin
+// (sched::PRmwpOptions::od_margin semantics) repairs it.  This closes the
+// loop between the analysis, the overhead model, and the mitigation.
+#include <gtest/gtest.h>
+
+#include "sched/rmwp.hpp"
+#include "sim/sim_scheduler.hpp"
+
+namespace rtseed::sim {
+namespace {
+
+using common::micros;
+using common::millis;
+
+// A schedule with almost no slack: the wind-up window exactly fits.
+sched::TaskSet tight_set() {
+  sched::TaskSet set;
+  sched::ImpreciseTaskParams a;
+  a.name = "hp";
+  a.period = millis(10);
+  a.mandatory = millis(3);
+  a.windup = millis(2);
+  a.optional = {millis(10)};
+  set.add(a);
+  sched::ImpreciseTaskParams b;
+  b.name = "lp";
+  b.period = millis(20);
+  b.mandatory = millis(5);
+  b.windup = millis(4);
+  b.optional = {millis(20)};
+  set.add(b);
+  return set;
+}
+
+TEST(OverheadInjection, CleanScheduleIsMissFree) {
+  const auto set = tight_set();
+  ASSERT_TRUE(sched::rmwp_schedulable(set));
+  SimOptions options;
+  options.horizon = millis(400);
+  EXPECT_EQ(simulate_uniprocessor(set, options).total_misses(), 0);
+}
+
+TEST(OverheadInjection, RealisticOverheadsBreakTheTightSchedule) {
+  const auto set = tight_set();
+  SimOptions options;
+  options.horizon = millis(400);
+  options.release_overhead = micros(300);  // Δm + Δb per job
+  options.windup_overhead = micros(400);   // Δe per job
+  EXPECT_GT(simulate_uniprocessor(set, options).total_misses(), 0);
+}
+
+TEST(OverheadInjection, OdMarginRestoresSchedulability) {
+  // Single task, T = 10 ms, m = 3, w = 2: the analyzed OD = D − w = 8 ms
+  // leaves zero slack, so a 400 µs Δe makes the wind-up end at 10.4 ms —
+  // a miss.  Derating the OD by 500 µs (PRmwpOptions::od_margin
+  // semantics) starts the wind-up earlier and absorbs the overhead.
+  sched::TaskSet set;
+  sched::ImpreciseTaskParams t;
+  t.period = millis(10);
+  t.mandatory = millis(3);
+  t.windup = millis(2);
+  t.optional = {millis(10)};
+  set.add(t);
+
+  SimOptions options;
+  options.horizon = millis(400);
+  options.release_overhead = micros(300);
+  options.windup_overhead = micros(400);
+  EXPECT_GT(simulate_uniprocessor(set, options).total_misses(), 0);
+
+  options.optional_deadlines = {millis(8) - micros(500)};
+  EXPECT_EQ(simulate_uniprocessor(set, options).total_misses(), 0);
+}
+
+TEST(OverheadInjection, OverheadNeverReducesMisses) {
+  const auto set = tight_set();
+  SimOptions clean;
+  clean.horizon = millis(400);
+  SimOptions loaded = clean;
+  loaded.release_overhead = micros(500);
+  loaded.windup_overhead = micros(500);
+  EXPECT_GE(simulate_uniprocessor(set, loaded).total_misses(),
+            simulate_uniprocessor(set, clean).total_misses());
+}
+
+TEST(OverheadInjection, AppliesToWholeJobAlgorithmsToo) {
+  sched::TaskSet set;
+  sched::ImpreciseTaskParams t;
+  t.period = millis(10);
+  t.mandatory = millis(5);
+  t.windup = millis(4);  // U = 0.9, 1 ms slack per job
+  set.add(t);
+  SimOptions options;
+  options.algorithm = SimAlgorithm::kGeneralRm;
+  options.horizon = millis(200);
+  EXPECT_EQ(simulate_uniprocessor(set, options).total_misses(), 0);
+  options.release_overhead = millis(1);
+  options.windup_overhead = micros(500);  // total demand now > period
+  EXPECT_GT(simulate_uniprocessor(set, options).total_misses(), 0);
+}
+
+}  // namespace
+}  // namespace rtseed::sim

@@ -1,0 +1,212 @@
+#include "sim/overhead_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtseed::sim {
+namespace {
+
+OverheadScenario scenario(int np, core::AssignmentPolicy policy,
+                          LoadKind load) {
+  OverheadScenario s;
+  s.policy = policy;
+  s.load = load;
+  s.num_optional_parts = np;
+  return s;
+}
+
+double mean_us(OverheadKind kind, const OverheadScenario& s,
+               common::u64 seed = 1) {
+  const OverheadModel model;
+  common::Rng rng(seed);
+  return model.measure_us(kind, s, 100, rng).mean;
+}
+
+TEST(OverheadModel, Deterministic) {
+  const OverheadModel model;
+  common::Rng a(5), b(5);
+  const auto s =
+      scenario(57, core::AssignmentPolicy::kOneByOne, LoadKind::kCpu);
+  EXPECT_DOUBLE_EQ(model.sample_us(OverheadKind::kEndOptional, s, a),
+                   model.sample_us(OverheadKind::kEndOptional, s, b));
+}
+
+TEST(OverheadModel, KindNames) {
+  EXPECT_STREQ(overhead_kind_name(OverheadKind::kBeginMandatory), "delta_m");
+  EXPECT_STREQ(overhead_kind_name(OverheadKind::kSwitch), "delta_s");
+  EXPECT_STREQ(overhead_kind_name(OverheadKind::kBeginOptional), "delta_b");
+  EXPECT_STREQ(overhead_kind_name(OverheadKind::kEndOptional), "delta_e");
+}
+
+// --- Fig. 10: Δm ---------------------------------------------------------
+
+TEST(OverheadModel, DeltaMConstantInNp) {
+  const auto lo = mean_us(OverheadKind::kBeginMandatory,
+                          scenario(4, core::AssignmentPolicy::kOneByOne,
+                                   LoadKind::kNone));
+  const auto hi = mean_us(OverheadKind::kBeginMandatory,
+                          scenario(228, core::AssignmentPolicy::kOneByOne,
+                                   LoadKind::kNone));
+  EXPECT_NEAR(hi / lo, 1.0, 0.1);
+}
+
+TEST(OverheadModel, DeltaMLoadOrdering) {
+  const auto none = mean_us(OverheadKind::kBeginMandatory,
+                            scenario(57, core::AssignmentPolicy::kOneByOne,
+                                     LoadKind::kNone));
+  const auto cpu = mean_us(OverheadKind::kBeginMandatory,
+                           scenario(57, core::AssignmentPolicy::kOneByOne,
+                                    LoadKind::kCpu));
+  const auto mem = mean_us(OverheadKind::kBeginMandatory,
+                           scenario(57, core::AssignmentPolicy::kOneByOne,
+                                    LoadKind::kCpuMemory));
+  EXPECT_LT(none, cpu);
+  EXPECT_LT(cpu, mem);
+}
+
+TEST(OverheadModel, DeltaMScalesWithTaskCount) {
+  auto s1 = scenario(4, core::AssignmentPolicy::kOneByOne, LoadKind::kNone);
+  auto s4 = s1;
+  s4.num_tasks = 4;
+  EXPECT_GT(mean_us(OverheadKind::kBeginMandatory, s4),
+            mean_us(OverheadKind::kBeginMandatory, s1));
+}
+
+// --- Fig. 11: Δs ---------------------------------------------------------
+
+TEST(OverheadModel, DeltaSIncreasesWithNpUnderNoLoad) {
+  const auto at4 = mean_us(OverheadKind::kSwitch,
+                           scenario(4, core::AssignmentPolicy::kOneByOne,
+                                    LoadKind::kNone));
+  const auto at171 = mean_us(OverheadKind::kSwitch,
+                             scenario(171, core::AssignmentPolicy::kOneByOne,
+                                      LoadKind::kNone));
+  const auto at228 = mean_us(OverheadKind::kSwitch,
+                             scenario(228, core::AssignmentPolicy::kOneByOne,
+                                      LoadKind::kNone));
+  EXPECT_GT(at171, at4);
+  // "a dramatic increase ... with 228 parallel optional parts":
+  // the last step grows faster than linearly.
+  EXPECT_GT(at228 - at171, (at171 - at4) * (228.0 - 171.0) / (171.0 - 4.0));
+}
+
+TEST(OverheadModel, DeltaSFlatUnderLoad) {
+  for (auto load : {LoadKind::kCpu, LoadKind::kCpuMemory}) {
+    const auto lo = mean_us(OverheadKind::kSwitch,
+                            scenario(4, core::AssignmentPolicy::kTwoByTwo,
+                                     load));
+    const auto hi = mean_us(OverheadKind::kSwitch,
+                            scenario(228, core::AssignmentPolicy::kTwoByTwo,
+                                     load));
+    EXPECT_NEAR(hi / lo, 1.0, 0.25);
+  }
+}
+
+// --- Fig. 12: Δb ---------------------------------------------------------
+
+TEST(OverheadModel, DeltaBLinearInNp) {
+  const auto at4 = mean_us(OverheadKind::kBeginOptional,
+                           scenario(4, core::AssignmentPolicy::kAllByAll,
+                                    LoadKind::kNone));
+  const auto at228 = mean_us(OverheadKind::kBeginOptional,
+                             scenario(228, core::AssignmentPolicy::kAllByAll,
+                                      LoadKind::kNone));
+  EXPECT_NEAR(at228 / at4, 57.0, 6.0);  // 228/4 = 57
+}
+
+TEST(OverheadModel, DeltaBCpuLoadWorstAsInPaper) {
+  // "the absolute overhead with the CPU load is higher than that with the
+  // CPU-Memory load" (Fig. 12 discussion).
+  const auto cpu = mean_us(OverheadKind::kBeginOptional,
+                           scenario(114, core::AssignmentPolicy::kOneByOne,
+                                    LoadKind::kCpu));
+  const auto mem = mean_us(OverheadKind::kBeginOptional,
+                           scenario(114, core::AssignmentPolicy::kOneByOne,
+                                    LoadKind::kCpuMemory));
+  const auto none = mean_us(OverheadKind::kBeginOptional,
+                            scenario(114, core::AssignmentPolicy::kOneByOne,
+                                     LoadKind::kNone));
+  EXPECT_GT(cpu, mem);
+  EXPECT_GT(mem, none);
+}
+
+// --- Fig. 13: Δe ---------------------------------------------------------
+
+TEST(OverheadModel, DeltaECpuMemoryLoadWorst) {
+  // "Unlike Figure 12, the absolute overhead with the CPU load is lower
+  // than that with the CPU-Memory load."
+  const auto cpu = mean_us(OverheadKind::kEndOptional,
+                           scenario(114, core::AssignmentPolicy::kTwoByTwo,
+                                    LoadKind::kCpu));
+  const auto mem = mean_us(OverheadKind::kEndOptional,
+                           scenario(114, core::AssignmentPolicy::kTwoByTwo,
+                                    LoadKind::kCpuMemory));
+  EXPECT_GT(mem, cpu);
+}
+
+TEST(OverheadModel, DeltaEPolicyOrderingUnderLoad) {
+  // "the one by one assignment policy has the highest overhead, whereas
+  // the all by all assignment policy has the lowest" (under load).
+  for (auto load : {LoadKind::kCpu, LoadKind::kCpuMemory}) {
+    const auto one = mean_us(OverheadKind::kEndOptional,
+                             scenario(57, core::AssignmentPolicy::kOneByOne,
+                                      load));
+    const auto two = mean_us(OverheadKind::kEndOptional,
+                             scenario(57, core::AssignmentPolicy::kTwoByTwo,
+                                      load));
+    const auto all = mean_us(OverheadKind::kEndOptional,
+                             scenario(57, core::AssignmentPolicy::kAllByAll,
+                                      load));
+    EXPECT_GT(one, two);
+    EXPECT_GT(two, all);
+  }
+}
+
+TEST(OverheadModel, DeltaEPoliciesSimilarUnderNoLoad) {
+  // Fig. 13(a): "all assignment policies have approximately the same
+  // overheads".
+  const auto one = mean_us(OverheadKind::kEndOptional,
+                           scenario(57, core::AssignmentPolicy::kOneByOne,
+                                    LoadKind::kNone));
+  const auto all = mean_us(OverheadKind::kEndOptional,
+                           scenario(57, core::AssignmentPolicy::kAllByAll,
+                                    LoadKind::kNone));
+  EXPECT_NEAR(one / all, 1.0, 0.25);
+}
+
+TEST(OverheadModel, DeltaEIsTheLargestOverhead) {
+  // "The overhead of ending the parallel optional parts is the largest of
+  // all types of overhead."
+  const auto s =
+      scenario(228, core::AssignmentPolicy::kOneByOne, LoadKind::kCpuMemory);
+  const auto de = mean_us(OverheadKind::kEndOptional, s);
+  EXPECT_GT(de, mean_us(OverheadKind::kBeginOptional, s));
+  EXPECT_GT(de, mean_us(OverheadKind::kBeginMandatory, s));
+  EXPECT_GT(de, mean_us(OverheadKind::kSwitch, s));
+}
+
+TEST(OverheadModel, DeltaEPolicyConvergenceAtFullMachine) {
+  // At np = 228 every policy occupies every hardware thread: the
+  // placements coincide, so the policy effect vanishes.
+  const auto one = mean_us(OverheadKind::kEndOptional,
+                           scenario(228, core::AssignmentPolicy::kOneByOne,
+                                    LoadKind::kCpu));
+  const auto all = mean_us(OverheadKind::kEndOptional,
+                           scenario(228, core::AssignmentPolicy::kAllByAll,
+                                    LoadKind::kCpu));
+  EXPECT_NEAR(one / all, 1.0, 0.05);
+}
+
+TEST(OverheadModel, SummaryHasFullJobCount) {
+  const OverheadModel model;
+  common::Rng rng(3);
+  const auto summary = model.measure_us(
+      OverheadKind::kEndOptional,
+      scenario(57, core::AssignmentPolicy::kOneByOne, LoadKind::kNone), 100,
+      rng);
+  EXPECT_EQ(summary.count, 100u);
+  EXPECT_GT(summary.min, 0.0);
+  EXPECT_GE(summary.max, summary.min);
+}
+
+}  // namespace
+}  // namespace rtseed::sim

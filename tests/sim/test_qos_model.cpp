@@ -1,0 +1,107 @@
+#include "sim/qos_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtseed::sim {
+namespace {
+
+QosScenario scenario(core::AssignmentPolicy policy, LoadKind load,
+                     common::Nanos window) {
+  QosScenario s;
+  s.policy = policy;
+  s.load = load;
+  s.optional_window = window;
+  return s;
+}
+
+TEST(QosModel, UsableWindowShrinksWithNp) {
+  const QosModel model;
+  const auto s = scenario(core::AssignmentPolicy::kOneByOne,
+                          LoadKind::kCpuMemory, common::millis(500));
+  common::Rng r1(1), r2(1);
+  const double at4 = model.usable_window_us(s, 4, r1);
+  const double at228 = model.usable_window_us(s, 228, r2);
+  EXPECT_GT(at4, at228);
+}
+
+TEST(QosModel, UsableWindowNeverNegative) {
+  const QosModel model;
+  const auto s = scenario(core::AssignmentPolicy::kOneByOne,
+                          LoadKind::kCpuMemory, common::millis(10));
+  common::Rng rng(2);
+  for (int np : {1, 57, 228}) {
+    EXPECT_GE(model.usable_window_us(s, np, rng), 0.0);
+  }
+}
+
+TEST(QosModel, NoLoadSinglePartIsNearFullWindow) {
+  const QosModel model;
+  const auto s = scenario(core::AssignmentPolicy::kOneByOne, LoadKind::kNone,
+                          common::millis(500));
+  common::Rng rng(3);
+  const double qos = model.effective_qos_us(s, 1, rng);
+  // One part, tiny overheads: nearly the whole 500 ms window.
+  EXPECT_GT(qos, 499'000.0);
+  EXPECT_LT(qos, 501'000.0);
+}
+
+TEST(QosModel, ParallelismPaysWhenWindowIsLong) {
+  const QosModel model;
+  const auto s = scenario(core::AssignmentPolicy::kOneByOne, LoadKind::kNone,
+                          common::millis(500));
+  common::Rng r1(4), r2(4);
+  EXPECT_GT(model.effective_qos_us(s, 57, r1),
+            10.0 * model.effective_qos_us(s, 1, r2));
+}
+
+TEST(QosModel, OverheadsCollapseQosOnShortWindows) {
+  // The paper's warning: at full machine width the begin+end overheads
+  // exceed a 50 ms window under the CPU-Memory load -> zero QoS.
+  const QosModel model;
+  const auto s = scenario(core::AssignmentPolicy::kOneByOne,
+                          LoadKind::kCpuMemory, common::millis(50));
+  common::Rng rng(5);
+  EXPECT_EQ(model.effective_qos_us(s, 228, rng), 0.0);
+}
+
+TEST(QosModel, BestNpInteriorOnShortWindowUnderLoad) {
+  const QosModel model;
+  const auto s = scenario(core::AssignmentPolicy::kOneByOne,
+                          LoadKind::kCpuMemory, common::millis(50));
+  common::Rng rng(6);
+  const int best = model.best_np(s, 228, rng);
+  EXPECT_GT(best, 1);
+  EXPECT_LT(best, 228);
+}
+
+TEST(QosModel, OneByOneBeatsAllByAllPerPartUnderNoLoad) {
+  // Uniform spread leaves SMT siblings idle: better per-part speed.
+  const QosModel model;
+  common::Rng r1(7), r2(7);
+  const double one = model.effective_qos_us(
+      scenario(core::AssignmentPolicy::kOneByOne, LoadKind::kNone,
+               common::millis(500)),
+      57, r1);
+  const double all = model.effective_qos_us(
+      scenario(core::AssignmentPolicy::kAllByAll, LoadKind::kNone,
+               common::millis(500)),
+      57, r2);
+  EXPECT_GT(one, all);
+}
+
+TEST(QosModel, LoadReducesQos) {
+  const QosModel model;
+  common::Rng r1(8), r2(8);
+  const double calm = model.effective_qos_us(
+      scenario(core::AssignmentPolicy::kTwoByTwo, LoadKind::kNone,
+               common::millis(500)),
+      57, r1);
+  const double busy = model.effective_qos_us(
+      scenario(core::AssignmentPolicy::kTwoByTwo, LoadKind::kCpuMemory,
+               common::millis(500)),
+      57, r2);
+  EXPECT_GT(calm, busy);
+}
+
+}  // namespace
+}  // namespace rtseed::sim

@@ -1,0 +1,166 @@
+// Parameterized invariant checks on simulator traces: for every algorithm
+// and random seed, the recorded execution slices must obey the structural
+// rules of the scheduling model.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "sched/generator.hpp"
+#include "sim/sim_scheduler.hpp"
+
+namespace rtseed::sim {
+namespace {
+
+using common::millis;
+
+struct SimParam {
+  SimAlgorithm algorithm;
+  common::u64 seed;
+  double utilization;
+};
+
+std::string sim_name(const ::testing::TestParamInfo<SimParam>& info) {
+  std::string algo = sim_algorithm_name(info.param.algorithm);
+  std::replace(algo.begin(), algo.end(), '-', '_');
+  return algo + "_s" + std::to_string(info.param.seed) + "_u" +
+         std::to_string(static_cast<int>(info.param.utilization * 100));
+}
+
+class SimTraceProperties : public ::testing::TestWithParam<SimParam> {
+ protected:
+  sched::TaskSet draw() {
+    common::Rng rng(GetParam().seed);
+    sched::GeneratorConfig config;
+    config.num_tasks = 4;
+    config.total_utilization = GetParam().utilization;
+    config.min_period = millis(5);
+    config.max_period = millis(50);
+    config.optional_parts = 2;
+    return sched::generate_task_set(config, rng);
+  }
+
+  SimResult run(const sched::TaskSet& set) {
+    SimOptions options;
+    options.algorithm = GetParam().algorithm;
+    options.horizon = millis(400);
+    options.record_trace = true;
+    return simulate_uniprocessor(set, options);
+  }
+};
+
+TEST_P(SimTraceProperties, SlicesNeverOverlap) {
+  // Uniprocessor: at most one part executes at any instant.
+  const auto set = draw();
+  const auto result = run(set);
+  auto sorted = result.trace;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ExecutionSlice& a, const ExecutionSlice& b) {
+              return a.start < b.start;
+            });
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    EXPECT_LE(sorted[i - 1].end, sorted[i].start)
+        << "overlap at slice " << i;
+  }
+}
+
+TEST_P(SimTraceProperties, SlicesArePositiveAndWithinHorizon) {
+  const auto set = draw();
+  const auto result = run(set);
+  for (const auto& slice : result.trace) {
+    EXPECT_LT(slice.start, slice.end);
+    EXPECT_GE(slice.start, 0);
+    EXPECT_LE(slice.end, millis(400));
+  }
+}
+
+TEST_P(SimTraceProperties, ExecutedTimeNeverExceedsDemand) {
+  // Per task: executed time <= released jobs x per-job work.
+  const auto set = draw();
+  const auto result = run(set);
+  std::map<TaskId, Nanos> executed;
+  for (const auto& slice : result.trace) {
+    executed[slice.task] += slice.end - slice.start;
+  }
+  for (TaskId i = 0; i < set.size(); ++i) {
+    Nanos per_job = set[i].wcet();
+    if (GetParam().algorithm == SimAlgorithm::kRmwp) {
+      for (Nanos o : set[i].optional) per_job += o;
+    }
+    const auto released = result.tasks[static_cast<size_t>(i)].released;
+    EXPECT_LE(executed[i], per_job * released) << "task " << i;
+  }
+}
+
+TEST_P(SimTraceProperties, RmwpWindupNeverExecutesBeforeItsOd) {
+  if (GetParam().algorithm != SimAlgorithm::kRmwp) GTEST_SKIP();
+  const auto set = draw();
+  const auto result = run(set);
+  for (const auto& slice : result.trace) {
+    if (slice.part != PartKind::kWindup) continue;
+    const auto idx = static_cast<size_t>(slice.task);
+    const Nanos od = result.optional_deadlines[idx];
+    const Nanos period = set[slice.task].period;
+    // The wind-up part of job j is released at j*T + OD, unless the
+    // mandatory part overran the OD (then it follows the mandatory part,
+    // still within the same period).
+    const Nanos job_release = slice.job * period;
+    EXPECT_GE(slice.end, job_release) << "wind-up before its own release";
+    EXPECT_GE(slice.start + millis(50), job_release + od)
+        << "wind-up started far before OD";
+  }
+}
+
+TEST_P(SimTraceProperties, OptionalSlicesStayInsideTheirWindow) {
+  if (GetParam().algorithm != SimAlgorithm::kRmwp) GTEST_SKIP();
+  const auto set = draw();
+  const auto result = run(set);
+  for (const auto& slice : result.trace) {
+    if (slice.part != PartKind::kOptional) continue;
+    const auto idx = static_cast<size_t>(slice.task);
+    const Nanos od = result.optional_deadlines[idx];
+    const Nanos period = set[slice.task].period;
+    const Nanos job_release = slice.job * period;
+    // Optional execution happens strictly inside [release, release + OD].
+    EXPECT_GE(slice.start, job_release);
+    EXPECT_LE(slice.end, job_release + od);
+  }
+}
+
+TEST_P(SimTraceProperties, CompletionsNeverExceedReleases) {
+  const auto set = draw();
+  const auto result = run(set);
+  for (const auto& stats : result.tasks) {
+    EXPECT_LE(stats.completed, stats.released);
+    EXPECT_LE(stats.misses, stats.released);
+    EXPECT_GE(stats.released, 1);
+  }
+}
+
+TEST_P(SimTraceProperties, DeterministicAcrossRuns) {
+  const auto set = draw();
+  const auto a = run(set);
+  const auto b = run(set);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].start, b.trace[i].start);
+    EXPECT_EQ(a.trace[i].end, b.trace[i].end);
+    EXPECT_EQ(a.trace[i].task, b.trace[i].task);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgorithmSeedGrid, SimTraceProperties,
+    ::testing::Values(SimParam{SimAlgorithm::kRmwp, 1, 0.5},
+                      SimParam{SimAlgorithm::kRmwp, 2, 0.8},
+                      SimParam{SimAlgorithm::kRmwp, 3, 1.1},
+                      SimParam{SimAlgorithm::kGeneralRm, 4, 0.5},
+                      SimParam{SimAlgorithm::kGeneralRm, 5, 0.8},
+                      SimParam{SimAlgorithm::kGeneralRm, 6, 1.1},
+                      SimParam{SimAlgorithm::kEdf, 7, 0.5},
+                      SimParam{SimAlgorithm::kEdf, 8, 0.9},
+                      SimParam{SimAlgorithm::kEdf, 9, 1.1}),
+    sim_name);
+
+}  // namespace
+}  // namespace rtseed::sim

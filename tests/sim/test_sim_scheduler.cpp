@@ -1,0 +1,271 @@
+#include "sim/sim_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sched/generator.hpp"
+#include "sched/rmwp.hpp"
+
+namespace rtseed::sim {
+namespace {
+
+using common::millis;
+using common::seconds;
+
+sched::ImpreciseTaskParams task(Nanos period, Nanos m, Nanos w,
+                                Nanos optional = 0) {
+  sched::ImpreciseTaskParams t;
+  t.period = period;
+  t.mandatory = m;
+  t.windup = w;
+  if (optional > 0) t.optional = {optional};
+  return t;
+}
+
+TEST(SimScheduler, Names) {
+  EXPECT_STREQ(sim_algorithm_name(SimAlgorithm::kGeneralRm), "general-rm");
+  EXPECT_STREQ(sim_algorithm_name(SimAlgorithm::kRmwp), "rmwp");
+  EXPECT_STREQ(sim_algorithm_name(SimAlgorithm::kEdf), "edf");
+  EXPECT_STREQ(part_kind_name(PartKind::kMandatory), "mandatory");
+  EXPECT_STREQ(part_kind_name(PartKind::kWindup), "windup");
+  EXPECT_STREQ(part_kind_name(PartKind::kOptional), "optional");
+  EXPECT_STREQ(part_kind_name(PartKind::kWhole), "whole");
+}
+
+TEST(SimScheduler, SingleTaskGeneralRmTimeline) {
+  sched::TaskSet set;
+  set.add(task(millis(100), millis(20), millis(10)));
+  SimOptions options;
+  options.algorithm = SimAlgorithm::kGeneralRm;
+  options.horizon = millis(300);
+  options.record_trace = true;
+  const auto result = simulate_uniprocessor(set, options);
+  EXPECT_EQ(result.tasks[0].released, 3);
+  EXPECT_EQ(result.tasks[0].completed, 3);
+  EXPECT_EQ(result.tasks[0].misses, 0);
+  // Whole parts execute in [release, release + 30ms).
+  ASSERT_EQ(result.trace.size(), 3u);
+  EXPECT_EQ(result.trace[0].part, PartKind::kWhole);
+  EXPECT_EQ(result.trace[0].start, 0);
+  EXPECT_EQ(result.trace[0].end, millis(30));
+  EXPECT_EQ(result.trace[1].start, millis(100));
+}
+
+TEST(SimScheduler, SingleTaskRmwpTimelineMatchesFig3) {
+  // Fig. 3's semi-fixed-priority timeline for an uncontended task:
+  // mandatory [0, m), sleep, optional in NRTQ, wind-up [OD, OD + w).
+  sched::TaskSet set;
+  set.add(task(seconds(1), millis(250), millis(250), seconds(1)));
+  SimOptions options;
+  options.algorithm = SimAlgorithm::kRmwp;
+  options.horizon = seconds(1);
+  options.record_trace = true;
+  const auto result = simulate_uniprocessor(set, options);
+  EXPECT_EQ(result.optional_deadlines[0], millis(750));  // OD = D - w
+  ASSERT_EQ(result.trace.size(), 3u);
+  EXPECT_EQ(result.trace[0].part, PartKind::kMandatory);
+  EXPECT_EQ(result.trace[0].start, 0);
+  EXPECT_EQ(result.trace[0].end, millis(250));
+  EXPECT_EQ(result.trace[1].part, PartKind::kOptional);
+  EXPECT_EQ(result.trace[1].start, millis(250));
+  EXPECT_EQ(result.trace[1].end, millis(750));  // terminated at OD
+  EXPECT_EQ(result.trace[2].part, PartKind::kWindup);
+  EXPECT_EQ(result.trace[2].start, millis(750));
+  EXPECT_EQ(result.trace[2].end, seconds(1));
+  EXPECT_EQ(result.tasks[0].optional_terminated, 1);
+  EXPECT_EQ(result.tasks[0].misses, 0);
+}
+
+TEST(SimScheduler, OptionalCompletesEarlyThenSleepsUntilOd) {
+  sched::TaskSet set;
+  set.add(task(millis(100), millis(10), millis(10), millis(20)));
+  SimOptions options;
+  options.algorithm = SimAlgorithm::kRmwp;
+  options.horizon = millis(100);
+  options.record_trace = true;
+  const auto result = simulate_uniprocessor(set, options);
+  // OD = 90ms; optional runs [10, 30), then the task sleeps to 90.
+  ASSERT_EQ(result.trace.size(), 3u);
+  EXPECT_EQ(result.trace[1].part, PartKind::kOptional);
+  EXPECT_EQ(result.trace[1].end, millis(30));
+  EXPECT_EQ(result.trace[2].part, PartKind::kWindup);
+  EXPECT_EQ(result.trace[2].start, millis(90));
+  EXPECT_EQ(result.tasks[0].optional_completed, 1);
+}
+
+TEST(SimScheduler, MandatoryOverrunningOdDiscardsOptional) {
+  // Mandatory alone exceeds OD: wind-up directly follows, optional never
+  // runs (Fig. 2's tau2).
+  sched::TaskSet set;
+  set.add(task(millis(100), millis(60), millis(10), millis(20)));
+  SimOptions options;
+  options.algorithm = SimAlgorithm::kRmwp;
+  options.horizon = millis(100);
+  options.record_trace = true;
+  options.optional_deadlines = {millis(50)};  // force OD < m
+  const auto result = simulate_uniprocessor(set, options);
+  EXPECT_EQ(result.tasks[0].optional_discarded, 1);
+  EXPECT_EQ(result.tasks[0].optional_completed, 0);
+  for (const auto& slice : result.trace) {
+    EXPECT_NE(slice.part, PartKind::kOptional);
+  }
+  EXPECT_EQ(result.tasks[0].misses, 0);  // wind-up still fits
+}
+
+TEST(SimScheduler, PreemptionByHigherPriorityTask) {
+  sched::TaskSet set;
+  set.add(task(millis(40), millis(10), millis(5)));    // high prio (T=40)
+  set.add(task(millis(100), millis(30), millis(10)));  // low prio
+  SimOptions options;
+  options.algorithm = SimAlgorithm::kGeneralRm;
+  options.horizon = millis(200);
+  const auto result = simulate_uniprocessor(set, options);
+  EXPECT_EQ(result.total_misses(), 0);
+  EXPECT_EQ(result.tasks[0].completed, 5);
+  EXPECT_EQ(result.tasks[1].completed, 2);
+  // Low-priority response time includes preemption.
+  EXPECT_GT(result.tasks[1].max_response, millis(40));
+}
+
+TEST(SimScheduler, OverloadedSetMissesUnderRmwp) {
+  sched::TaskSet set;
+  set.add(task(millis(10), millis(6), millis(5)));  // U = 1.1
+  SimOptions options;
+  options.algorithm = SimAlgorithm::kRmwp;
+  options.horizon = millis(100);
+  const auto result = simulate_uniprocessor(set, options);
+  EXPECT_GT(result.total_misses(), 0);
+  EXPECT_TRUE(result.any_miss());
+}
+
+TEST(SimScheduler, EdfSchedulesWhatRmMisses) {
+  // Classic: U = 1.0 non-harmonic set misses under RM, meets under EDF.
+  sched::TaskSet set;
+  set.add(task(millis(10), millis(3), millis(2)));  // U = 0.5
+  set.add(task(millis(14), millis(4), millis(3)));  // U = 0.5
+  SimOptions options;
+  options.horizon = millis(700);  // lcm(10, 14) x 5
+  options.algorithm = SimAlgorithm::kGeneralRm;
+  const auto rm = simulate_uniprocessor(set, options);
+  options.algorithm = SimAlgorithm::kEdf;
+  const auto edf = simulate_uniprocessor(set, options);
+  EXPECT_GT(rm.total_misses(), 0);
+  EXPECT_EQ(edf.total_misses(), 0);
+}
+
+TEST(SimScheduler, AnalysisAgreesWithSimulationOnRandomSets) {
+  // Soundness: any set the RMWP analysis accepts must simulate without a
+  // single deadline miss over a long horizon (synchronous release is the
+  // critical instant for fixed-priority tasks).
+  common::Rng rng(2024);
+  sched::GeneratorConfig config;
+  config.num_tasks = 4;
+  config.min_period = millis(5);
+  config.max_period = millis(50);
+  for (double u = 0.4; u <= 0.9; u += 0.1) {
+    config.total_utilization = u;
+    for (int trial = 0; trial < 20; ++trial) {
+      const auto set = generate_task_set(config, rng);
+      if (!sched::rmwp_schedulable(set)) continue;
+      SimOptions options;
+      options.algorithm = SimAlgorithm::kRmwp;
+      options.horizon = millis(2000);
+      const auto result = simulate_uniprocessor(set, options);
+      EXPECT_EQ(result.total_misses(), 0)
+          << "analysis-accepted set missed at U=" << u;
+    }
+  }
+}
+
+// --- Theorem 1/2 validation ---------------------------------------------
+
+std::vector<ExecutionSlice> rt_slices(const SimResult& result) {
+  std::vector<ExecutionSlice> out;
+  for (const auto& slice : result.trace) {
+    if (slice.part != PartKind::kOptional) out.push_back(slice);
+  }
+  return out;
+}
+
+TEST(SimScheduler, Theorem1OptionalPartsNeverPerturbRtSchedule) {
+  // "none of the parallel optional parts interfere with any mandatory or
+  // wind-up parts": simulating WITH optional parts must give bit-identical
+  // mandatory/wind-up slices to simulating WITHOUT them.
+  common::Rng rng(7);
+  sched::GeneratorConfig config;
+  config.num_tasks = 3;
+  config.total_utilization = 0.6;
+  config.min_period = millis(5);
+  config.max_period = millis(40);
+  config.optional_parts = 4;
+  config.optional_scale = 3.0;  // aggressive optional load
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto set = generate_task_set(config, rng);
+    SimOptions options;
+    options.algorithm = SimAlgorithm::kRmwp;
+    options.horizon = millis(500);
+    options.record_trace = true;
+    options.include_optional = true;
+    const auto with = simulate_uniprocessor(set, options);
+    options.include_optional = false;
+    const auto without = simulate_uniprocessor(set, options);
+
+    const auto a = rt_slices(with);
+    const auto b = rt_slices(without);
+    ASSERT_EQ(a.size(), b.size()) << "trial " << trial;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].task, b[i].task);
+      EXPECT_EQ(a[i].part, b[i].part);
+      EXPECT_EQ(a[i].start, b[i].start);
+      EXPECT_EQ(a[i].end, b[i].end);
+    }
+    // Theorem 2 corollary: identical miss counts.
+    EXPECT_EQ(with.total_misses(), without.total_misses());
+  }
+}
+
+// --- Partitioned simulation ----------------------------------------------
+
+TEST(SimPartitioned, SplitsAcrossProcessors) {
+  sched::TaskSet set;
+  for (int i = 0; i < 4; ++i) {
+    set.add(task(millis(10), millis(3), millis(3)));  // U = 0.6 each
+  }
+  SimOptions options;
+  options.algorithm = SimAlgorithm::kRmwp;
+  options.horizon = millis(100);
+  const auto result = simulate_partitioned(set, 4, options);
+  EXPECT_TRUE(result.partition_feasible);
+  EXPECT_EQ(result.total_misses(), 0);
+  // 0.6 + 0.6 > 1: no two tasks share a processor.
+  std::set<int> procs(result.processor_of.begin(), result.processor_of.end());
+  EXPECT_EQ(procs.size(), 4u);
+}
+
+TEST(SimPartitioned, InfeasibleStillSimulatesAndMisses) {
+  sched::TaskSet set;
+  for (int i = 0; i < 3; ++i) {
+    set.add(task(millis(10), millis(4), millis(4)));  // U = 0.8 each
+  }
+  SimOptions options;
+  options.algorithm = SimAlgorithm::kRmwp;
+  options.horizon = millis(200);
+  const auto result = simulate_partitioned(set, 2, options);
+  EXPECT_FALSE(result.partition_feasible);
+  EXPECT_GT(result.total_misses(), 0);
+}
+
+TEST(SimPartitioned, ProcessorsAreIndependent) {
+  sched::TaskSet set;
+  set.add(task(millis(10), millis(4), millis(4)));   // heavy
+  set.add(task(millis(100), millis(5), millis(5)));  // light
+  SimOptions options;
+  options.algorithm = SimAlgorithm::kRmwp;
+  options.horizon = millis(300);
+  const auto result = simulate_partitioned(set, 2, options);
+  EXPECT_TRUE(result.partition_feasible);
+  EXPECT_EQ(result.total_misses(), 0);
+}
+
+}  // namespace
+}  // namespace rtseed::sim

@@ -1,0 +1,115 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtseed::sim {
+namespace {
+
+using common::millis;
+using common::seconds;
+
+sched::TaskSet single_task() {
+  sched::ImpreciseTaskParams t;
+  t.period = seconds(1);
+  t.mandatory = millis(250);
+  t.windup = millis(250);
+  t.optional = {seconds(1)};
+  sched::TaskSet set;
+  set.add(t);
+  return set;
+}
+
+SimResult run(SimAlgorithm algorithm, const sched::TaskSet& set,
+              Nanos horizon) {
+  SimOptions options;
+  options.algorithm = algorithm;
+  options.horizon = horizon;
+  options.record_trace = true;
+  return simulate_uniprocessor(set, options);
+}
+
+TEST(Trace, GeneralSchedulingCurveMatchesFig3Left) {
+  const auto set = single_task();
+  const auto result = run(SimAlgorithm::kGeneralRm, set, seconds(1));
+  const auto curve = remaining_execution_curve(result, set, 0,
+                                               SimAlgorithm::kGeneralRm,
+                                               seconds(1));
+  // Minimal polyline: (0,0) -> (0, m+w) -> (m+w, 0).
+  ASSERT_GE(curve.size(), 3u);
+  // Rises to m + w at release, reaches 0 at t = m + w.
+  EXPECT_EQ(curve[0].time, 0);
+  EXPECT_EQ(curve[0].remaining, 0);
+  EXPECT_EQ(curve[1].time, 0);
+  EXPECT_EQ(curve[1].remaining, millis(500));
+  Nanos zero_at = -1;
+  for (const auto& p : curve) {
+    if (p.remaining == 0 && p.time > 0) {
+      zero_at = p.time;
+      break;
+    }
+  }
+  EXPECT_EQ(zero_at, millis(500));
+}
+
+TEST(Trace, SemiFixedCurveMatchesFig3Right) {
+  const auto set = single_task();
+  const auto result = run(SimAlgorithm::kRmwp, set, seconds(1));
+  const auto curve = remaining_execution_curve(result, set, 0,
+                                               SimAlgorithm::kRmwp,
+                                               seconds(1));
+  ASSERT_GE(curve.size(), 6u);
+  // R = m at release.
+  EXPECT_EQ(curve[1].remaining, millis(250));
+  // R hits 0 at t = m.
+  bool zero_at_m = false;
+  // R jumps to w at the OD (750 ms) and back to 0 by the deadline.
+  bool w_at_od = false, zero_at_d = false;
+  for (const auto& p : curve) {
+    if (p.time == millis(250) && p.remaining == 0) zero_at_m = true;
+    if (p.time == millis(750) && p.remaining == millis(250)) w_at_od = true;
+    if (p.time == seconds(1) && p.remaining == 0) zero_at_d = true;
+  }
+  EXPECT_TRUE(zero_at_m);
+  EXPECT_TRUE(w_at_od);
+  EXPECT_TRUE(zero_at_d);
+  // The optional window [m, OD) contributes no real-time execution: R
+  // stays 0 there.
+  for (const auto& p : curve) {
+    if (p.time > millis(250) && p.time < millis(750)) {
+      EXPECT_EQ(p.remaining, 0) << "at t=" << p.time;
+    }
+  }
+}
+
+TEST(Trace, CurveCoversEveryJobInHorizon) {
+  const auto set = single_task();
+  const auto result = run(SimAlgorithm::kRmwp, set, seconds(3));
+  const auto curve = remaining_execution_curve(result, set, 0,
+                                               SimAlgorithm::kRmwp,
+                                               seconds(3));
+  // Three releases -> three rises to m.
+  int rises = 0;
+  for (size_t i = 1; i < curve.size(); ++i) {
+    if (curve[i].remaining == millis(250) &&
+        curve[i - 1].remaining == 0 &&
+        curve[i].time == curve[i - 1].time &&
+        curve[i].time % seconds(1) == 0) {
+      ++rises;
+    }
+  }
+  EXPECT_EQ(rises, 3);
+}
+
+TEST(Trace, MonotonicallyNonDecreasingTime) {
+  const auto set = single_task();
+  const auto result = run(SimAlgorithm::kRmwp, set, seconds(2));
+  const auto curve = remaining_execution_curve(result, set, 0,
+                                               SimAlgorithm::kRmwp,
+                                               seconds(2));
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i - 1].time, curve[i].time);
+  }
+}
+
+}  // namespace
+}  // namespace rtseed::sim

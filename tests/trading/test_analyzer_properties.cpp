@@ -1,0 +1,202 @@
+// Parameterized properties every anytime analyzer must satisfy, across
+// market regimes: commit-ladder monotonicity, bounded signals, immediate
+// obedience to an expired token, and allocation-free abandonability is
+// approximated by "no commit after stop".
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "trading/analyzers.hpp"
+
+namespace rtseed::trading {
+namespace {
+
+enum class Regime { kUp, kDown, kFlat, kNoisy };
+
+struct AnalyzerParam {
+  int analyzer;  // index into make_analyzer
+  Regime regime;
+};
+
+std::unique_ptr<Analyzer> make_analyzer(int index) {
+  switch (index) {
+    case 0:
+      return std::make_unique<BollingerAnalyzer>();
+    case 1:
+      return std::make_unique<RsiAnalyzer>();
+    case 2:
+      return std::make_unique<CrossoverAnalyzer>();
+    case 3:
+      return std::make_unique<MonteCarloAnalyzer>(10, 64);
+    case 4:
+      return std::make_unique<CandleAnalyzer>();
+    default:
+      return std::make_unique<GdpAnalyzer>(MacroSeries("a"),
+                                           MacroSeries("b"));
+  }
+}
+
+const char* analyzer_tag(int index) {
+  switch (index) {
+    case 0:
+      return "bollinger";
+    case 1:
+      return "rsi";
+    case 2:
+      return "crossover";
+    case 3:
+      return "montecarlo";
+    case 4:
+      return "candles";
+    default:
+      return "gdp";
+  }
+}
+
+const char* regime_tag(Regime regime) {
+  switch (regime) {
+    case Regime::kUp:
+      return "up";
+    case Regime::kDown:
+      return "down";
+    case Regime::kFlat:
+      return "flat";
+    case Regime::kNoisy:
+      return "noisy";
+  }
+  return "?";
+}
+
+std::vector<double> prices_for(Regime regime, int n = 400) {
+  std::vector<double> prices;
+  common::Rng rng(17);
+  double p = 1.1;
+  for (int i = 0; i < n; ++i) {
+    switch (regime) {
+      case Regime::kUp:
+        p *= 1.0005;
+        break;
+      case Regime::kDown:
+        p *= 0.9995;
+        break;
+      case Regime::kFlat:
+        break;
+      case Regime::kNoisy:
+        p *= 1.0 + rng.normal(0.0, 5e-4);
+        break;
+    }
+    prices.push_back(p);
+  }
+  return prices;
+}
+
+class RecordingSink final : public ResultSink {
+ public:
+  void publish(const AnalyzerOutput& output) override {
+    outputs.push_back(output);
+  }
+  std::vector<AnalyzerOutput> outputs;
+};
+
+std::string param_name(const ::testing::TestParamInfo<AnalyzerParam>& info) {
+  return std::string(analyzer_tag(info.param.analyzer)) + "_" +
+         regime_tag(info.param.regime);
+}
+
+class AnalyzerProperties : public ::testing::TestWithParam<AnalyzerParam> {};
+
+TEST_P(AnalyzerProperties, SignalsAndWeightsBounded) {
+  auto analyzer = make_analyzer(GetParam().analyzer);
+  const auto prices = prices_for(GetParam().regime);
+  RecordingSink sink;
+  core::StopToken token(common::monotonic_now() + common::millis(100));
+  analyzer->analyze(PriceWindow(prices.data(),
+                                static_cast<int>(prices.size())),
+                    50, token, sink);
+  for (const auto& out : sink.outputs) {
+    EXPECT_GE(out.signal, -1.0);
+    EXPECT_LE(out.signal, 1.0);
+    EXPECT_GE(out.weight, 0.0);
+    EXPECT_LE(out.weight, 1.0);
+    EXPECT_GT(out.iterations, 0);
+  }
+}
+
+TEST_P(AnalyzerProperties, IterationsStrictlyIncreaseAlongLadder) {
+  auto analyzer = make_analyzer(GetParam().analyzer);
+  const auto prices = prices_for(GetParam().regime);
+  RecordingSink sink;
+  core::StopToken token(common::monotonic_now() + common::millis(100));
+  analyzer->analyze(PriceWindow(prices.data(),
+                                static_cast<int>(prices.size())),
+                    50, token, sink);
+  for (size_t i = 1; i < sink.outputs.size(); ++i) {
+    EXPECT_GT(sink.outputs[i].iterations, sink.outputs[i - 1].iterations);
+    EXPECT_GE(sink.outputs[i].weight, sink.outputs[i - 1].weight);
+  }
+}
+
+TEST_P(AnalyzerProperties, ExpiredTokenMeansNoCommits) {
+  auto analyzer = make_analyzer(GetParam().analyzer);
+  const auto prices = prices_for(GetParam().regime);
+  RecordingSink sink;
+  core::StopToken token(common::monotonic_now() - 1);
+  analyzer->analyze(PriceWindow(prices.data(),
+                                static_cast<int>(prices.size())),
+                    50, token, sink);
+  EXPECT_TRUE(sink.outputs.empty());
+}
+
+TEST_P(AnalyzerProperties, EmptyWindowIsSafe) {
+  auto analyzer = make_analyzer(GetParam().analyzer);
+  RecordingSink sink;
+  core::StopToken token(common::monotonic_now() + common::millis(50));
+  analyzer->analyze(PriceWindow(nullptr, 0), 50, token, sink);
+  // GDP ignores prices and may commit; price-based analyzers must not.
+  if (GetParam().analyzer != 5) {
+    EXPECT_TRUE(sink.outputs.empty());
+  }
+  for (const auto& out : sink.outputs) {
+    EXPECT_TRUE(std::isfinite(out.signal));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAnalyzersAllRegimes, AnalyzerProperties,
+    ::testing::Values(
+        AnalyzerParam{0, Regime::kUp}, AnalyzerParam{0, Regime::kDown},
+        AnalyzerParam{0, Regime::kFlat}, AnalyzerParam{0, Regime::kNoisy},
+        AnalyzerParam{1, Regime::kUp}, AnalyzerParam{1, Regime::kDown},
+        AnalyzerParam{1, Regime::kFlat}, AnalyzerParam{1, Regime::kNoisy},
+        AnalyzerParam{2, Regime::kUp}, AnalyzerParam{2, Regime::kDown},
+        AnalyzerParam{2, Regime::kFlat}, AnalyzerParam{2, Regime::kNoisy},
+        AnalyzerParam{3, Regime::kUp}, AnalyzerParam{3, Regime::kDown},
+        AnalyzerParam{3, Regime::kNoisy},
+        AnalyzerParam{4, Regime::kUp}, AnalyzerParam{4, Regime::kDown},
+        AnalyzerParam{4, Regime::kFlat}, AnalyzerParam{4, Regime::kNoisy},
+        AnalyzerParam{5, Regime::kFlat}),
+    param_name);
+
+// Direction sanity: trend-following analyzers agree with the trend.
+TEST(AnalyzerDirection, CandlesFollowTheTrend) {
+  CandleAnalyzer analyzer;
+  RecordingSink up_sink, down_sink;
+  const auto up = prices_for(Regime::kUp);
+  const auto down = prices_for(Regime::kDown);
+  core::StopToken t1(common::monotonic_now() + common::millis(100));
+  core::StopToken t2(common::monotonic_now() + common::millis(100));
+  analyzer.analyze(PriceWindow(up.data(), static_cast<int>(up.size())), 0,
+                   t1, up_sink);
+  analyzer.analyze(PriceWindow(down.data(), static_cast<int>(down.size())),
+                   0, t2, down_sink);
+  ASSERT_FALSE(up_sink.outputs.empty());
+  ASSERT_FALSE(down_sink.outputs.empty());
+  EXPECT_GT(up_sink.outputs.back().signal, 0.5);
+  EXPECT_LT(down_sink.outputs.back().signal, -0.5);
+}
+
+}  // namespace
+}  // namespace rtseed::trading

@@ -1,0 +1,185 @@
+#include "trading/analyzers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace rtseed::trading {
+namespace {
+
+// Collects every committed refinement (tests can inspect the ladder).
+class RecordingSink final : public ResultSink {
+ public:
+  void publish(const AnalyzerOutput& output) override {
+    outputs.push_back(output);
+  }
+  std::vector<AnalyzerOutput> outputs;
+
+  const AnalyzerOutput& last() const { return outputs.back(); }
+};
+
+core::StopToken never_stop() {
+  return core::StopToken(common::monotonic_now() + common::seconds(3600));
+}
+
+core::StopToken already_stopped() {
+  return core::StopToken(common::monotonic_now() - 1);
+}
+
+std::vector<double> linear_prices(int n, double start, double slope) {
+  std::vector<double> prices;
+  for (int i = 0; i < n; ++i) prices.push_back(start + slope * i);
+  return prices;
+}
+
+TEST(BollingerAnalyzer, CommitsRefinementLadder) {
+  auto prices = linear_prices(200, 1.0, 0.001);
+  BollingerAnalyzer analyzer;
+  RecordingSink sink;
+  auto token = never_stop();
+  analyzer.analyze(PriceWindow(prices.data(), 200), 0, token, sink);
+  ASSERT_GT(sink.outputs.size(), 3u);
+  // Iterations strictly increase; weight is non-decreasing.
+  for (size_t i = 1; i < sink.outputs.size(); ++i) {
+    EXPECT_GT(sink.outputs[i].iterations, sink.outputs[i - 1].iterations);
+    EXPECT_GE(sink.outputs[i].weight, sink.outputs[i - 1].weight);
+  }
+}
+
+TEST(BollingerAnalyzer, UptrendLatestPriceNearUpperBand) {
+  // A steady uptrend puts the latest price near the band top: %b high,
+  // mean-reversion signal negative (ask).
+  auto prices = linear_prices(200, 1.0, 0.002);
+  BollingerAnalyzer analyzer;
+  RecordingSink sink;
+  auto token = never_stop();
+  analyzer.analyze(PriceWindow(prices.data(), 200), 0, token, sink);
+  EXPECT_LT(sink.last().signal, 0.0);
+}
+
+TEST(BollingerAnalyzer, StopsImmediatelyWhenTokenExpired) {
+  auto prices = linear_prices(200, 1.0, 0.001);
+  BollingerAnalyzer analyzer;
+  RecordingSink sink;
+  auto token = already_stopped();
+  analyzer.analyze(PriceWindow(prices.data(), 200), 0, token, sink);
+  EXPECT_TRUE(sink.outputs.empty());  // zero refinements: discarded result
+}
+
+TEST(BollingerAnalyzer, TooFewPricesCommitsNothing) {
+  auto prices = linear_prices(5, 1.0, 0.001);
+  BollingerAnalyzer analyzer(10, 120);
+  RecordingSink sink;
+  auto token = never_stop();
+  analyzer.analyze(PriceWindow(prices.data(), 5), 0, token, sink);
+  EXPECT_TRUE(sink.outputs.empty());
+}
+
+TEST(RsiAnalyzer, UptrendIsOverbought) {
+  auto prices = linear_prices(100, 1.0, 0.001);
+  RsiAnalyzer analyzer;
+  RecordingSink sink;
+  auto token = never_stop();
+  analyzer.analyze(PriceWindow(prices.data(), 100), 0, token, sink);
+  ASSERT_FALSE(sink.outputs.empty());
+  // Contrarian mapping: overbought -> negative (ask).
+  EXPECT_LT(sink.last().signal, -0.5);
+}
+
+TEST(RsiAnalyzer, DowntrendIsOversold) {
+  auto prices = linear_prices(100, 2.0, -0.001);
+  RsiAnalyzer analyzer;
+  RecordingSink sink;
+  auto token = never_stop();
+  analyzer.analyze(PriceWindow(prices.data(), 100), 0, token, sink);
+  ASSERT_FALSE(sink.outputs.empty());
+  EXPECT_GT(sink.last().signal, 0.5);
+}
+
+TEST(CrossoverAnalyzer, TrendFollowingSign) {
+  auto up = linear_prices(300, 1.0, 0.001);
+  CrossoverAnalyzer analyzer;
+  RecordingSink sink;
+  auto token = never_stop();
+  analyzer.analyze(PriceWindow(up.data(), 300), 0, token, sink);
+  ASSERT_FALSE(sink.outputs.empty());
+  EXPECT_GT(sink.last().signal, 0.0);  // fast MA above slow MA
+
+  auto down = linear_prices(300, 2.0, -0.001);
+  RecordingSink sink2;
+  auto token2 = never_stop();
+  analyzer.analyze(PriceWindow(down.data(), 300), 0, token2, sink2);
+  ASSERT_FALSE(sink2.outputs.empty());
+  EXPECT_LT(sink2.last().signal, 0.0);
+}
+
+TEST(MonteCarloAnalyzer, PositiveDriftGivesBullishSignal) {
+  // Exponential growth: log-returns have positive drift, tiny variance.
+  std::vector<double> prices;
+  for (int i = 0; i < 300; ++i) prices.push_back(std::exp(0.001 * i));
+  MonteCarloAnalyzer analyzer(10, 64);
+  RecordingSink sink;
+  core::StopToken token(common::monotonic_now() + common::millis(200));
+  analyzer.analyze(PriceWindow(prices.data(), 300), 0, token, sink);
+  ASSERT_FALSE(sink.outputs.empty());
+  EXPECT_GT(sink.last().signal, 0.5);
+}
+
+TEST(MonteCarloAnalyzer, MorePathsMoreWeight) {
+  std::vector<double> prices;
+  for (int i = 0; i < 300; ++i) prices.push_back(std::exp(0.0002 * i));
+  MonteCarloAnalyzer analyzer(10, 64);
+  RecordingSink sink;
+  auto token = core::StopToken(common::monotonic_now() + common::millis(100));
+  analyzer.analyze(PriceWindow(prices.data(), 300), 0, token, sink);
+  ASSERT_GT(sink.outputs.size(), 1u);
+  EXPECT_GT(sink.last().weight, sink.outputs.front().weight);
+  EXPECT_GT(sink.last().iterations, sink.outputs.front().iterations);
+}
+
+TEST(MonteCarloAnalyzer, InsufficientHistoryCommitsNothing) {
+  auto prices = linear_prices(10, 1.0, 0.001);
+  MonteCarloAnalyzer analyzer;
+  RecordingSink sink;
+  auto token = never_stop();
+  analyzer.analyze(PriceWindow(prices.data(), 10), 0, token, sink);
+  EXPECT_TRUE(sink.outputs.empty());
+}
+
+TEST(GdpAnalyzer, UsesJobToSelectQuarter) {
+  MacroSeriesConfig fast;
+  fast.quarterly_growth = 0.02;
+  fast.noise_stddev = 0.0;
+  fast.cycle_amplitude = 0.0;
+  MacroSeriesConfig slow = fast;
+  slow.quarterly_growth = 0.0;
+  GdpAnalyzer analyzer(MacroSeries("base", fast), MacroSeries("quote", slow));
+  RecordingSink sink;
+  auto token = never_stop();
+  analyzer.analyze(PriceWindow(nullptr, 0), 100, token, sink);
+  ASSERT_FALSE(sink.outputs.empty());
+  EXPECT_GT(sink.last().signal, 0.5);  // base economy growing faster
+  EXPECT_EQ(sink.last().iterations, 8);  // full lookback ladder
+}
+
+TEST(Analyzers, Names) {
+  EXPECT_EQ(BollingerAnalyzer().name(), "bollinger");
+  EXPECT_EQ(RsiAnalyzer().name(), "rsi");
+  EXPECT_EQ(CrossoverAnalyzer().name(), "crossover");
+  EXPECT_EQ(MonteCarloAnalyzer().name(), "montecarlo");
+}
+
+TEST(PriceWindow, Accessors) {
+  std::vector<double> prices{1.0, 2.0, 3.0};
+  PriceWindow window(prices.data(), 3);
+  EXPECT_EQ(window.size(), 3);
+  EXPECT_DOUBLE_EQ(window[0], 1.0);
+  EXPECT_DOUBLE_EQ(window.latest(), 3.0);
+  EXPECT_DOUBLE_EQ(PriceWindow(nullptr, 0).latest(), 0.0);
+}
+
+}  // namespace
+}  // namespace rtseed::trading

@@ -1,0 +1,108 @@
+#include "trading/backtest.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtseed::trading {
+namespace {
+
+std::vector<std::unique_ptr<Analyzer>> default_analyzers() {
+  std::vector<std::unique_ptr<Analyzer>> list;
+  list.push_back(std::make_unique<BollingerAnalyzer>());
+  list.push_back(std::make_unique<RsiAnalyzer>());
+  return list;
+}
+
+std::vector<Tick> synthetic_ticks(int count, common::u64 seed = 3) {
+  SyntheticFeedConfig config;
+  config.seed = seed;
+  SyntheticFeed feed(config);
+  return feed.generate(count);
+}
+
+TEST(Backtest, AccountsEveryJob) {
+  auto analyzers = default_analyzers();
+  Backtester backtester;
+  const auto result = backtester.run(synthetic_ticks(300), analyzers);
+  EXPECT_EQ(result.jobs, 300);
+  EXPECT_EQ(result.bids + result.asks + result.waits, 300);
+  EXPECT_EQ(result.equity_curve.size(), 300u);
+}
+
+TEST(Backtest, ZeroBudgetMeansAllWaits) {
+  // The offline analogue of optional parts being discarded every job:
+  // no analysis is available, fusion yields wait-and-see throughout, and
+  // equity never moves.
+  auto analyzers = default_analyzers();
+  BacktestConfig config;
+  config.refinement_budget = 0;
+  Backtester backtester(config);
+  const auto result = backtester.run(synthetic_ticks(100), analyzers);
+  EXPECT_EQ(result.waits, 100);
+  EXPECT_EQ(result.analyses_available, 0);
+  EXPECT_DOUBLE_EQ(result.final_equity, config.initial_cash);
+  EXPECT_DOUBLE_EQ(result.total_return, 0.0);
+  EXPECT_DOUBLE_EQ(result.max_drawdown, 0.0);
+}
+
+TEST(Backtest, BudgetCapsIterations) {
+  auto analyzers = default_analyzers();
+  BacktestConfig config;
+  config.refinement_budget = 3;
+  Backtester backtester(config);
+  const auto result = backtester.run(synthetic_ticks(200), analyzers);
+  // Analyses are available once warm, but capped at low refinement.
+  EXPECT_GT(result.analyses_available, 0);
+}
+
+TEST(Backtest, MoreBudgetNeverFewerAnalyses) {
+  // Monotonicity in the QoS knob: a larger refinement budget can only
+  // make more analyses available (same data, same analyzers).
+  const auto ticks = synthetic_ticks(200);
+  BacktestConfig small;
+  small.refinement_budget = 1;
+  BacktestConfig large;
+  large.refinement_budget = 1'000'000;
+  auto a1 = default_analyzers();
+  auto a2 = default_analyzers();
+  const auto low = Backtester(small).run(ticks, a1);
+  const auto high = Backtester(large).run(ticks, a2);
+  EXPECT_GE(high.analyses_available, low.analyses_available);
+}
+
+TEST(Backtest, DrawdownWithinUnitRange) {
+  auto analyzers = default_analyzers();
+  const auto result = Backtester().run(synthetic_ticks(400, 9), analyzers);
+  EXPECT_GE(result.max_drawdown, 0.0);
+  EXPECT_LE(result.max_drawdown, 1.0);
+}
+
+TEST(Backtest, DeterministicForSameInputs) {
+  const auto ticks = synthetic_ticks(150);
+  auto a1 = default_analyzers();
+  auto a2 = default_analyzers();
+  const auto first = Backtester().run(ticks, a1);
+  const auto second = Backtester().run(ticks, a2);
+  EXPECT_DOUBLE_EQ(first.final_equity, second.final_equity);
+  EXPECT_EQ(first.bids, second.bids);
+  EXPECT_EQ(first.asks, second.asks);
+}
+
+TEST(Backtest, EquityStartsNearInitialCash) {
+  auto analyzers = default_analyzers();
+  const auto result = Backtester().run(synthetic_ticks(50), analyzers);
+  ASSERT_FALSE(result.equity_curve.empty());
+  // Before indicators warm up, nothing trades: flat equity.
+  EXPECT_DOUBLE_EQ(result.equity_curve.front(), 100000.0);
+}
+
+TEST(Backtest, HistoryCompactionHandlesLongRuns) {
+  auto analyzers = default_analyzers();
+  BacktestConfig config;
+  config.history_capacity = 64;  // forces several compactions
+  Backtester backtester(config);
+  const auto result = backtester.run(synthetic_ticks(500), analyzers);
+  EXPECT_EQ(result.jobs, 500);
+}
+
+}  // namespace
+}  // namespace rtseed::trading

@@ -1,0 +1,81 @@
+#include "trading/broker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtseed::trading {
+namespace {
+
+Tick quote(double bid, double ask) {
+  Tick t;
+  t.bid = bid;
+  t.ask = ask;
+  return t;
+}
+
+TEST(Broker, InitialState) {
+  PaperBroker broker(50000.0);
+  EXPECT_DOUBLE_EQ(broker.cash(), 50000.0);
+  EXPECT_DOUBLE_EQ(broker.position(), 0.0);
+  EXPECT_DOUBLE_EQ(broker.equity(), 50000.0);
+  EXPECT_EQ(broker.num_fills(), 0);
+}
+
+TEST(Broker, BidLiftsTheAsk) {
+  PaperBroker broker(10000.0);
+  broker.on_tick(quote(1.10, 1.12));
+  const Fill fill = broker.submit(Side::kBid, 100.0, 0);
+  EXPECT_DOUBLE_EQ(fill.fill_price, 1.12);
+  EXPECT_DOUBLE_EQ(broker.position(), 100.0);
+  EXPECT_DOUBLE_EQ(broker.cash(), 10000.0 - 112.0);
+  EXPECT_DOUBLE_EQ(fill.position_after, 100.0);
+}
+
+TEST(Broker, AskHitsTheBid) {
+  PaperBroker broker(10000.0);
+  broker.on_tick(quote(1.10, 1.12));
+  const Fill fill = broker.submit(Side::kAsk, 50.0, 0);
+  EXPECT_DOUBLE_EQ(fill.fill_price, 1.10);
+  EXPECT_DOUBLE_EQ(broker.position(), -50.0);
+  EXPECT_DOUBLE_EQ(broker.cash(), 10000.0 + 55.0);
+}
+
+TEST(Broker, RoundTripPaysTheSpread) {
+  PaperBroker broker(10000.0);
+  broker.on_tick(quote(1.10, 1.12));
+  broker.submit(Side::kBid, 100.0, 0);
+  broker.submit(Side::kAsk, 100.0, 0);
+  EXPECT_DOUBLE_EQ(broker.position(), 0.0);
+  // Bought at 1.12, sold at 1.10: lost the spread on 100 units.
+  EXPECT_NEAR(broker.realized_pnl(), -2.0, 1e-9);
+}
+
+TEST(Broker, EquityMarksAtMid) {
+  PaperBroker broker(1000.0);
+  broker.on_tick(quote(1.0, 1.0));  // zero spread for clean numbers
+  broker.submit(Side::kBid, 100.0, 0);
+  broker.on_tick(quote(1.5, 1.5));
+  EXPECT_DOUBLE_EQ(broker.equity(), 1000.0 - 100.0 + 150.0);
+}
+
+TEST(Broker, ProfitableTrendTrade) {
+  PaperBroker broker(1000.0);
+  broker.on_tick(quote(1.0, 1.0));
+  broker.submit(Side::kBid, 10.0, 0);
+  broker.on_tick(quote(2.0, 2.0));
+  broker.submit(Side::kAsk, 10.0, 0);
+  EXPECT_NEAR(broker.realized_pnl(), 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(broker.position(), 0.0);
+}
+
+TEST(Broker, FillLogGrows) {
+  PaperBroker broker;
+  broker.on_tick(quote(1.0, 1.0));
+  broker.submit(Side::kBid, 1.0, 5);
+  broker.submit(Side::kAsk, 1.0, 6);
+  ASSERT_EQ(broker.fills().size(), 2u);
+  EXPECT_EQ(broker.fills()[0].order.side, Side::kBid);
+  EXPECT_EQ(broker.fills()[1].order.timestamp, 6);
+}
+
+}  // namespace
+}  // namespace rtseed::trading

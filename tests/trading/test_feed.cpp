@@ -1,0 +1,103 @@
+#include "trading/market_feed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rtseed::trading {
+namespace {
+
+TEST(SyntheticFeed, DeterministicForSameSeed) {
+  SyntheticFeedConfig config;
+  config.seed = 11;
+  SyntheticFeed a(config), b(config);
+  for (int i = 0; i < 50; ++i) {
+    const Tick ta = a.next(common::seconds(i));
+    const Tick tb = b.next(common::seconds(i));
+    EXPECT_DOUBLE_EQ(ta.mid(), tb.mid());
+  }
+}
+
+TEST(SyntheticFeed, SpreadAndOrdering) {
+  SyntheticFeedConfig config;
+  config.spread = 0.0002;
+  SyntheticFeed feed(config);
+  for (int i = 0; i < 100; ++i) {
+    const Tick tick = feed.next(common::seconds(i));
+    EXPECT_GT(tick.ask, tick.bid);
+    EXPECT_NEAR(tick.spread(), 0.0002, 1e-12);
+  }
+}
+
+TEST(SyntheticFeed, PricesStayPositiveAndPlausible) {
+  SyntheticFeed feed;
+  for (int i = 0; i < 10000; ++i) {
+    const Tick tick = feed.next(common::seconds(i));
+    EXPECT_GT(tick.mid(), 0.0);
+    // 8% annual vol over ~3 hours cannot move EUR/USD by 50%.
+    EXPECT_GT(tick.mid(), 0.55);
+    EXPECT_LT(tick.mid(), 2.2);
+  }
+}
+
+TEST(SyntheticFeed, VolatilityApproximatelyAsConfigured) {
+  SyntheticFeedConfig config;
+  config.annual_volatility = 0.08;
+  config.annual_drift = 0.0;
+  SyntheticFeed feed(config);
+  const auto ticks = feed.generate(50000);
+  double sum = 0, sum_sq = 0;
+  for (size_t i = 1; i < ticks.size(); ++i) {
+    const double r = std::log(ticks[i].mid() / ticks[i - 1].mid());
+    sum += r;
+    sum_sq += r * r;
+  }
+  const auto n = static_cast<double>(ticks.size() - 1);
+  const double var = sum_sq / n - (sum / n) * (sum / n);
+  const double annual = std::sqrt(var * 365.0 * 24.0 * 3600.0);
+  EXPECT_NEAR(annual, 0.08, 0.01);
+}
+
+TEST(SyntheticFeed, GenerateStampsSequentialSeconds) {
+  SyntheticFeed feed;
+  const auto ticks = feed.generate(5);
+  ASSERT_EQ(ticks.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(ticks[static_cast<size_t>(i)].timestamp, common::seconds(i));
+  }
+}
+
+TEST(ReplayFeed, ReplaysAndWraps) {
+  std::vector<Tick> ticks;
+  for (int i = 0; i < 3; ++i) {
+    Tick t;
+    t.bid = 1.0 + i;
+    t.ask = 1.1 + i;
+    ticks.push_back(t);
+  }
+  ReplayFeed feed(ticks);
+  EXPECT_DOUBLE_EQ(feed.next(0).bid, 1.0);
+  EXPECT_DOUBLE_EQ(feed.next(0).bid, 2.0);
+  EXPECT_DOUBLE_EQ(feed.next(0).bid, 3.0);
+  EXPECT_DOUBLE_EQ(feed.next(0).bid, 1.0);  // wrap
+}
+
+TEST(ReplayFeed, RestampsToRequestedTime) {
+  std::vector<Tick> ticks(1);
+  ticks[0].timestamp = 123;
+  ticks[0].bid = ticks[0].ask = 1.0;
+  ReplayFeed feed(ticks);
+  EXPECT_EQ(feed.next(common::seconds(9)).timestamp, common::seconds(9));
+}
+
+TEST(Tick, MidAndSideNames) {
+  Tick t;
+  t.bid = 1.0;
+  t.ask = 1.2;
+  EXPECT_DOUBLE_EQ(t.mid(), 1.1);
+  EXPECT_STREQ(side_name(Side::kBid), "bid");
+  EXPECT_STREQ(side_name(Side::kAsk), "ask");
+}
+
+}  // namespace
+}  // namespace rtseed::trading

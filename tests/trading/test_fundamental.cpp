@@ -1,0 +1,121 @@
+#include "trading/fundamental.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtseed::trading {
+namespace {
+
+TEST(MacroSeries, DeterministicForSameSeed) {
+  MacroSeries a("gdp", {});
+  MacroSeries b("gdp", {});
+  const auto pa = a.generate(40);
+  const auto pb = b.generate(40);
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_DOUBLE_EQ(pa[i].value, pb[i].value);
+  }
+}
+
+TEST(MacroSeries, StartsAtInitialValue) {
+  MacroSeriesConfig config;
+  config.initial_value = 100.0;
+  config.noise_stddev = 0.0;
+  config.cycle_amplitude = 0.0;
+  MacroSeries series("gdp", config);
+  const auto points = series.generate(4);
+  EXPECT_NEAR(points[0].value, 100.0, 1e-9);
+}
+
+TEST(MacroSeries, TrendGrowthVisibleWithoutNoise) {
+  MacroSeriesConfig config;
+  config.quarterly_growth = 0.01;
+  config.noise_stddev = 0.0;
+  config.cycle_amplitude = 0.0;
+  MacroSeries series("gdp", config);
+  for (int q = 1; q < 20; ++q) {
+    EXPECT_NEAR(series.growth_rate(q), 0.01, 1e-9);
+  }
+}
+
+TEST(MacroSeries, CycleModulatesGrowth) {
+  MacroSeriesConfig config;
+  config.noise_stddev = 0.0;
+  config.cycle_amplitude = 0.02;
+  MacroSeries series("gdp", config);
+  // Growth varies over the cycle: not all quarters equal.
+  double lo = 1e9, hi = -1e9;
+  for (int q = 1; q < 40; ++q) {
+    const double g = series.growth_rate(q);
+    lo = std::min(lo, g);
+    hi = std::max(hi, g);
+  }
+  EXPECT_GT(hi - lo, 0.001);
+}
+
+TEST(MacroSeries, NamesPreserved) {
+  MacroSeries series("us-gdp", {});
+  EXPECT_EQ(series.name(), "us-gdp");
+}
+
+TEST(FundamentalAnalyzer, FavorsFasterGrowingEconomy) {
+  MacroSeriesConfig fast;
+  fast.quarterly_growth = 0.02;
+  fast.noise_stddev = 0.0;
+  fast.cycle_amplitude = 0.0;
+  MacroSeriesConfig slow = fast;
+  slow.quarterly_growth = 0.001;
+
+  FundamentalAnalyzer base_fast(MacroSeries("eu", fast),
+                                MacroSeries("us", slow));
+  EXPECT_GT(base_fast.signal(10), 0.5);
+
+  FundamentalAnalyzer base_slow(MacroSeries("eu", slow),
+                                MacroSeries("us", fast));
+  EXPECT_LT(base_slow.signal(10), -0.5);
+}
+
+TEST(FundamentalAnalyzer, EqualEconomiesNeutral) {
+  MacroSeriesConfig config;
+  config.noise_stddev = 0.0;
+  config.cycle_amplitude = 0.0;
+  FundamentalAnalyzer analyzer(MacroSeries("a", config),
+                               MacroSeries("b", config));
+  EXPECT_NEAR(analyzer.signal(10), 0.0, 1e-9);
+}
+
+TEST(FundamentalAnalyzer, SignalClampedToUnit) {
+  MacroSeriesConfig boom;
+  boom.quarterly_growth = 0.2;
+  boom.noise_stddev = 0.0;
+  MacroSeriesConfig bust;
+  bust.quarterly_growth = -0.1;
+  bust.noise_stddev = 0.0;
+  FundamentalAnalyzer analyzer(MacroSeries("a", boom),
+                               MacroSeries("b", bust));
+  EXPECT_DOUBLE_EQ(analyzer.signal(10), 1.0);
+}
+
+TEST(FundamentalAnalyzer, LongerLookbackSmoothsNoise) {
+  MacroSeriesConfig noisy_a;
+  // Small enough that the +-1 signal clamp does not saturate.
+  noisy_a.noise_stddev = 0.002;
+  noisy_a.quarterly_growth = 0.005;
+  MacroSeriesConfig noisy_b = noisy_a;
+  noisy_b.seed = noisy_a.seed + 1;  // independent noise streams
+  FundamentalAnalyzer analyzer(MacroSeries("a", noisy_a),
+                               MacroSeries("b", noisy_b));
+  // Variance across quarters shrinks as lookback grows.
+  auto spread = [&](int lookback) {
+    double lo = 1e9, hi = -1e9;
+    for (int q = 8; q < 60; ++q) {
+      const double s = analyzer.signal(q, lookback);
+      lo = std::min(lo, s);
+      hi = std::max(hi, s);
+    }
+    return hi - lo;
+  };
+  EXPECT_LT(spread(8), spread(1));
+}
+
+}  // namespace
+}  // namespace rtseed::trading

@@ -1,0 +1,149 @@
+#include "trading/indicators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rtseed::trading {
+namespace {
+
+TEST(Sma, ExactAverageOverWindow) {
+  Sma sma(3);
+  sma.update(1);
+  sma.update(2);
+  EXPECT_FALSE(sma.ready());
+  sma.update(3);
+  EXPECT_TRUE(sma.ready());
+  EXPECT_DOUBLE_EQ(sma.value(), 2.0);
+  sma.update(10);  // window slides to {2,3,10}
+  EXPECT_DOUBLE_EQ(sma.value(), 5.0);
+}
+
+TEST(Sma, WindowOneTracksInput) {
+  Sma sma(1);
+  sma.update(7);
+  EXPECT_DOUBLE_EQ(sma.value(), 7.0);
+  sma.update(9);
+  EXPECT_DOUBLE_EQ(sma.value(), 9.0);
+}
+
+TEST(Ema, SeedsWithFirstValue) {
+  Ema ema(9);
+  EXPECT_FALSE(ema.ready());
+  ema.update(5.0);
+  EXPECT_TRUE(ema.ready());
+  EXPECT_DOUBLE_EQ(ema.value(), 5.0);
+}
+
+TEST(Ema, ConvergesTowardsConstantInput) {
+  Ema ema(5);
+  ema.update(0.0);
+  for (int i = 0; i < 100; ++i) ema.update(10.0);
+  EXPECT_NEAR(ema.value(), 10.0, 1e-6);
+}
+
+TEST(Ema, AlphaWeighting) {
+  Ema ema(3);  // alpha = 0.5
+  ema.update(0.0);
+  ema.update(10.0);
+  EXPECT_DOUBLE_EQ(ema.value(), 5.0);
+}
+
+TEST(RollingStdDev, KnownValues) {
+  RollingStdDev sd(4);
+  for (double v : {2.0, 4.0, 4.0, 6.0}) sd.update(v);
+  ASSERT_TRUE(sd.ready());
+  EXPECT_DOUBLE_EQ(sd.mean(), 4.0);
+  EXPECT_NEAR(sd.value(), std::sqrt(2.0), 1e-12);  // population
+}
+
+TEST(RollingStdDev, ZeroForConstantInput) {
+  RollingStdDev sd(5);
+  for (int i = 0; i < 10; ++i) sd.update(3.0);
+  EXPECT_NEAR(sd.value(), 0.0, 1e-9);
+}
+
+TEST(Bollinger, BandsBracketTheMean) {
+  BollingerBands bb(5, 2.0);
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) bb.update(v);
+  ASSERT_TRUE(bb.ready());
+  const auto v = bb.value();
+  EXPECT_DOUBLE_EQ(v.middle, 3.0);
+  EXPECT_GT(v.upper, v.middle);
+  EXPECT_LT(v.lower, v.middle);
+  EXPECT_NEAR(v.upper - v.lower, 2.0 * 2.0 * std::sqrt(2.0), 1e-9);
+}
+
+TEST(Bollinger, PercentBAtBandEdges) {
+  BollingerBands bb(3, 2.0);
+  bb.update(1.0);
+  bb.update(2.0);
+  bb.update(3.0);
+  const auto v = bb.value();
+  // Last price 3.0: %b = (3 - lower) / (upper - lower).
+  const double expected = (3.0 - v.lower) / (v.upper - v.lower);
+  EXPECT_NEAR(v.percent_b, expected, 1e-12);
+  EXPECT_GT(v.percent_b, 0.5);  // above the mean
+}
+
+TEST(Bollinger, ConstantSeriesGivesNeutralPercentB) {
+  BollingerBands bb(4, 2.0);
+  for (int i = 0; i < 8; ++i) bb.update(5.0);
+  EXPECT_DOUBLE_EQ(bb.value().percent_b, 0.5);
+  EXPECT_DOUBLE_EQ(bb.value().bandwidth, 0.0);
+}
+
+TEST(Rsi, NeutralBeforeReady) {
+  Rsi rsi(14);
+  EXPECT_FALSE(rsi.ready());
+  EXPECT_DOUBLE_EQ(rsi.value(), 50.0);
+}
+
+TEST(Rsi, MonotoneUptrendSaturatesHigh) {
+  Rsi rsi(14);
+  for (int i = 0; i <= 30; ++i) rsi.update(100.0 + i);
+  EXPECT_TRUE(rsi.ready());
+  EXPECT_GT(rsi.value(), 99.0);
+}
+
+TEST(Rsi, MonotoneDowntrendSaturatesLow) {
+  Rsi rsi(14);
+  for (int i = 0; i <= 30; ++i) rsi.update(100.0 - i);
+  EXPECT_LT(rsi.value(), 1.0);
+}
+
+TEST(Rsi, AlternatingSeriesNearFifty) {
+  Rsi rsi(14);
+  for (int i = 0; i <= 60; ++i) rsi.update(100.0 + (i % 2 == 0 ? 1.0 : 0.0));
+  EXPECT_NEAR(rsi.value(), 50.0, 10.0);
+}
+
+TEST(Macd, PositiveInUptrend) {
+  Macd macd;
+  for (int i = 0; i < 60; ++i) macd.update(100.0 + i);
+  ASSERT_TRUE(macd.ready());
+  EXPECT_GT(macd.value().macd, 0.0);
+}
+
+TEST(Macd, NegativeInDowntrend) {
+  Macd macd;
+  for (int i = 0; i < 60; ++i) macd.update(100.0 - i);
+  EXPECT_LT(macd.value().macd, 0.0);
+}
+
+TEST(Macd, HistogramIsMacdMinusSignal) {
+  Macd macd;
+  for (int i = 0; i < 40; ++i) macd.update(100.0 + std::sin(i * 0.3));
+  const auto v = macd.value();
+  EXPECT_NEAR(v.histogram, v.macd - v.signal, 1e-12);
+}
+
+TEST(Macd, FlatSeriesIsZero) {
+  Macd macd;
+  for (int i = 0; i < 40; ++i) macd.update(7.0);
+  EXPECT_NEAR(macd.value().macd, 0.0, 1e-9);
+  EXPECT_NEAR(macd.value().histogram, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace rtseed::trading

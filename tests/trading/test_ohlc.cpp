@@ -1,0 +1,91 @@
+#include "trading/ohlc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtseed::trading {
+namespace {
+
+using common::seconds;
+
+Tick tick(Nanos ts, double price) {
+  Tick t;
+  t.timestamp = ts;
+  t.bid = price - 0.0001;
+  t.ask = price + 0.0001;
+  return t;
+}
+
+TEST(Ohlc, BuildsCandleFromTicks) {
+  OhlcAggregator agg(seconds(60));
+  EXPECT_FALSE(agg.update(tick(seconds(0), 1.10)).has_value());
+  EXPECT_FALSE(agg.update(tick(seconds(20), 1.14)).has_value());
+  EXPECT_FALSE(agg.update(tick(seconds(40), 1.08)).has_value());
+  // First tick of the next bucket emits the completed candle.
+  const auto candle = agg.update(tick(seconds(60), 1.12));
+  ASSERT_TRUE(candle.has_value());
+  EXPECT_DOUBLE_EQ(candle->open, 1.10);
+  EXPECT_DOUBLE_EQ(candle->high, 1.14);
+  EXPECT_DOUBLE_EQ(candle->low, 1.08);
+  EXPECT_DOUBLE_EQ(candle->close, 1.08);
+  EXPECT_EQ(candle->tick_count, 3);
+  EXPECT_EQ(candle->open_time, 0);
+}
+
+TEST(Ohlc, BucketAlignment) {
+  OhlcAggregator agg(seconds(60));
+  agg.update(tick(seconds(75), 1.0));  // bucket [60, 120)
+  const auto current = agg.current();
+  ASSERT_TRUE(current.has_value());
+  EXPECT_EQ(current->open_time, seconds(60));
+}
+
+TEST(Ohlc, FlushEmitsPartialCandle) {
+  OhlcAggregator agg(seconds(60));
+  agg.update(tick(seconds(0), 1.0));
+  const auto candle = agg.flush();
+  ASSERT_TRUE(candle.has_value());
+  EXPECT_EQ(candle->tick_count, 1);
+  EXPECT_FALSE(agg.current().has_value());
+  EXPECT_FALSE(agg.flush().has_value());
+}
+
+TEST(Ohlc, BullishBearish) {
+  Candle c;
+  c.open = 1.0;
+  c.close = 1.1;
+  EXPECT_TRUE(c.bullish());
+  c.close = 0.9;
+  EXPECT_FALSE(c.bullish());
+}
+
+TEST(Ohlc, RangeIsHighMinusLow) {
+  Candle c;
+  c.high = 1.2;
+  c.low = 1.05;
+  EXPECT_NEAR(c.range(), 0.15, 1e-12);
+}
+
+TEST(Ohlc, AggregateWholeVector) {
+  std::vector<Tick> ticks;
+  for (int i = 0; i < 180; ++i) {
+    ticks.push_back(tick(seconds(i), 1.0 + 0.001 * i));
+  }
+  const auto candles = aggregate(ticks, seconds(60));
+  ASSERT_EQ(candles.size(), 3u);  // 3 minutes incl. flushed tail
+  EXPECT_EQ(candles[0].tick_count, 60);
+  EXPECT_EQ(candles[1].open_time, seconds(60));
+  EXPECT_DOUBLE_EQ(candles[1].open, 1.0 + 0.001 * 60);
+}
+
+TEST(Ohlc, GapsSkipBuckets) {
+  OhlcAggregator agg(seconds(60));
+  agg.update(tick(seconds(0), 1.0));
+  const auto candle = agg.update(tick(seconds(300), 2.0));  // 4-bucket gap
+  ASSERT_TRUE(candle.has_value());
+  EXPECT_EQ(candle->open_time, 0);
+  ASSERT_TRUE(agg.current().has_value());
+  EXPECT_EQ(agg.current()->open_time, seconds(300));
+}
+
+}  // namespace
+}  // namespace rtseed::trading

@@ -1,0 +1,102 @@
+// Risk-limit enforcement in the wind-up part: position caps and trade
+// cooldowns veto decisions without disturbing the imprecise pipeline.
+#include <gtest/gtest.h>
+
+#include "trading/trading_task.hpp"
+
+namespace rtseed::trading {
+namespace {
+
+using common::millis;
+using common::seconds;
+
+// An analyzer that always screams "bid" at full confidence, so every job
+// would trade if risk allowed it.
+class AlwaysBid final : public Analyzer {
+ public:
+  std::string name() const override { return "always-bid"; }
+  void analyze(const PriceWindow&, long, core::StopToken&,
+               ResultSink& sink) override {
+    AnalyzerOutput out;
+    out.signal = 1.0;
+    out.weight = 1.0;
+    out.iterations = 1;
+    sink.publish(out);
+  }
+};
+
+std::unique_ptr<TradingSystem> make_system(TradingSystemConfig config) {
+  std::vector<std::unique_ptr<Analyzer>> analyzers;
+  analyzers.push_back(std::make_unique<AlwaysBid>());
+  return std::make_unique<TradingSystem>(std::make_unique<SyntheticFeed>(),
+                                         std::move(analyzers), config);
+}
+
+void run_jobs(TradingSystem& system, long jobs) {
+  auto task = system.make_task_config(0);
+  core::StopToken token(common::monotonic_now() + seconds(10));
+  for (long job = 0; job < jobs; ++job) {
+    core::JobContext ctx;
+    ctx.job = job;
+    ctx.release = seconds(job);
+    ctx.deadline = ctx.release + seconds(1);
+    ctx.optional_deadline = ctx.release + millis(750);
+    task.callbacks.mandatory(ctx);
+    task.callbacks.optional(ctx, 0, token);
+    task.callbacks.windup(ctx);
+  }
+}
+
+TEST(RiskLimits, UnlimitedTradesEveryJob) {
+  TradingSystemConfig config;
+  auto system = make_system(config);
+  run_jobs(*system, 10);
+  EXPECT_EQ(system->stats().bids, 10);
+  EXPECT_EQ(system->stats().risk_blocked, 0);
+}
+
+TEST(RiskLimits, PositionCapStopsAccumulation) {
+  TradingSystemConfig config;
+  config.order_size = 1000.0;
+  config.max_position = 3000.0;  // at most 3 net buys
+  auto system = make_system(config);
+  run_jobs(*system, 10);
+  const auto stats = system->stats();
+  EXPECT_EQ(stats.bids, 3);
+  EXPECT_EQ(stats.risk_blocked, 7);
+  EXPECT_DOUBLE_EQ(system->broker().position(), 3000.0);
+}
+
+TEST(RiskLimits, CooldownSpacesTrades) {
+  TradingSystemConfig config;
+  config.trade_cooldown_jobs = 3;  // a trade at job j blocks j+1, j+2
+  auto system = make_system(config);
+  run_jobs(*system, 9);
+  const auto stats = system->stats();
+  EXPECT_EQ(stats.bids, 3);  // jobs 0, 3, 6
+  EXPECT_EQ(stats.risk_blocked, 6);
+}
+
+TEST(RiskLimits, BlockedTradesCountAsWaits) {
+  TradingSystemConfig config;
+  config.max_position = 1000.0;
+  auto system = make_system(config);
+  run_jobs(*system, 5);
+  const auto stats = system->stats();
+  EXPECT_EQ(stats.bids + stats.asks + stats.waits, 5);
+  EXPECT_EQ(stats.waits, 4);  // 1 trade, 4 vetoed-to-wait
+}
+
+TEST(RiskLimits, FillsNeverExceedAllowedTrades) {
+  TradingSystemConfig config;
+  config.max_position = 2000.0;
+  config.trade_cooldown_jobs = 2;
+  auto system = make_system(config);
+  run_jobs(*system, 12);
+  const auto stats = system->stats();
+  EXPECT_EQ(system->broker().num_fills(), stats.bids + stats.asks);
+  EXPECT_LE(std::abs(system->broker().position()), 2000.0);
+}
+
+}  // namespace
+}  // namespace rtseed::trading

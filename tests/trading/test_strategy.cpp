@@ -1,0 +1,95 @@
+#include "trading/strategy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtseed::trading {
+namespace {
+
+AnalysisResult result(double signal, double weight, bool available = true) {
+  AnalysisResult r;
+  r.signal = signal;
+  r.weight = weight;
+  r.available = available;
+  return r;
+}
+
+TEST(Strategy, DecisionNames) {
+  EXPECT_STREQ(decision_name(Decision::kBid), "bid");
+  EXPECT_STREQ(decision_name(Decision::kAsk), "ask");
+  EXPECT_STREQ(decision_name(Decision::kWait), "wait");
+}
+
+TEST(Fuse, StrongBullishConsensusBids) {
+  const auto d = fuse({result(0.8, 1.0), result(0.6, 1.0)});
+  EXPECT_EQ(d.decision, Decision::kBid);
+  EXPECT_NEAR(d.fused_signal, 0.7, 1e-12);
+  EXPECT_EQ(d.contributing, 2);
+}
+
+TEST(Fuse, StrongBearishConsensusAsks) {
+  const auto d = fuse({result(-0.9, 1.0), result(-0.5, 0.5)});
+  EXPECT_EQ(d.decision, Decision::kAsk);
+  EXPECT_LT(d.fused_signal, -0.25);
+}
+
+TEST(Fuse, WeakSignalWaits) {
+  const auto d = fuse({result(0.1, 1.0), result(-0.05, 1.0)});
+  EXPECT_EQ(d.decision, Decision::kWait);
+}
+
+TEST(Fuse, ConflictingSignalsCancelToWait) {
+  const auto d = fuse({result(0.9, 1.0), result(-0.9, 1.0)});
+  EXPECT_EQ(d.decision, Decision::kWait);
+  EXPECT_NEAR(d.fused_signal, 0.0, 1e-12);
+}
+
+TEST(Fuse, UnavailableResultsDoNotContribute) {
+  // The imprecise-computation property: terminated analyses silently drop
+  // out; the decision is still produced (with lower QoS).
+  const auto d = fuse({result(0.9, 1.0), result(-0.9, 1.0, false)});
+  EXPECT_EQ(d.decision, Decision::kBid);
+  EXPECT_EQ(d.contributing, 1);
+}
+
+TEST(Fuse, TooLittleEvidenceWaits) {
+  StrategyConfig config;
+  config.min_total_weight = 0.5;
+  const auto d = fuse({result(1.0, 0.3)}, config);
+  EXPECT_EQ(d.decision, Decision::kWait);
+  EXPECT_EQ(d.contributing, 1);
+  EXPECT_DOUBLE_EQ(d.fused_signal, 0.0);  // not even computed
+}
+
+TEST(Fuse, NoResultsWait) {
+  const auto d = fuse({});
+  EXPECT_EQ(d.decision, Decision::kWait);
+  EXPECT_EQ(d.contributing, 0);
+}
+
+TEST(Fuse, WeightingMatters) {
+  // A heavily weighted bearish signal outweighs a light bullish one.
+  const auto d = fuse({result(0.9, 0.1), result(-0.6, 1.0)});
+  EXPECT_EQ(d.decision, Decision::kAsk);
+}
+
+TEST(Fuse, SignalsClampedToUnitRange) {
+  const auto d = fuse({result(5.0, 1.0)});
+  EXPECT_LE(d.fused_signal, 1.0);
+  EXPECT_EQ(d.decision, Decision::kBid);
+}
+
+TEST(Fuse, ZeroWeightIgnored) {
+  const auto d = fuse({result(1.0, 0.0), result(0.5, 1.0)});
+  EXPECT_EQ(d.contributing, 1);
+  EXPECT_NEAR(d.fused_signal, 0.5, 1e-12);
+}
+
+TEST(Fuse, CustomThreshold) {
+  StrategyConfig config;
+  config.decision_threshold = 0.6;
+  EXPECT_EQ(fuse({result(0.5, 1.0)}, config).decision, Decision::kWait);
+  EXPECT_EQ(fuse({result(0.7, 1.0)}, config).decision, Decision::kBid);
+}
+
+}  // namespace
+}  // namespace rtseed::trading

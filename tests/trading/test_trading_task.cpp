@@ -1,0 +1,147 @@
+// TradingSystem glue tests: callbacks exercised directly (without the
+// middleware) so behaviour is deterministic; the full middleware binding is
+// covered in tests/integration.
+#include "trading/trading_task.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtseed::trading {
+namespace {
+
+using common::millis;
+using common::seconds;
+
+std::unique_ptr<TradingSystem> make_system(int analyzers = 2) {
+  std::vector<std::unique_ptr<Analyzer>> list;
+  if (analyzers >= 1) list.push_back(std::make_unique<BollingerAnalyzer>());
+  if (analyzers >= 2) list.push_back(std::make_unique<RsiAnalyzer>());
+  if (analyzers >= 3) list.push_back(std::make_unique<CrossoverAnalyzer>());
+  TradingSystemConfig config;
+  config.history_capacity = 64;
+  return std::make_unique<TradingSystem>(std::make_unique<SyntheticFeed>(),
+                                         std::move(list), config);
+}
+
+core::JobContext context(long job) {
+  core::JobContext ctx;
+  ctx.job = job;
+  ctx.release = common::seconds(job);
+  ctx.deadline = ctx.release + seconds(1);
+  ctx.optional_deadline = ctx.release + millis(750);
+  return ctx;
+}
+
+TEST(TradingSystem, TaskConfigMirrorsPaperParameters) {
+  auto system = make_system(3);
+  const auto task = system->make_task_config(100);
+  EXPECT_EQ(task.params.period, seconds(1));       // OANDA cadence
+  EXPECT_EQ(task.params.mandatory, millis(250));   // paper §V-A
+  EXPECT_EQ(task.params.windup, millis(250));
+  EXPECT_EQ(task.params.num_optional(), 3);
+  EXPECT_EQ(task.num_jobs, 100);
+  EXPECT_TRUE(task.params.validate().is_ok());
+  EXPECT_TRUE(task.callbacks.mandatory && task.callbacks.optional &&
+              task.callbacks.windup);
+}
+
+TEST(TradingSystem, FullJobCycleProducesDecision) {
+  auto system = make_system(2);
+  auto task = system->make_task_config(0);
+  core::StopToken token(common::monotonic_now() + seconds(10));
+  // Warm up the history so indicators are ready.
+  for (long job = 0; job < 40; ++job) {
+    const auto ctx = context(job);
+    task.callbacks.mandatory(ctx);
+    task.callbacks.optional(ctx, 0, token);
+    task.callbacks.optional(ctx, 1, token);
+    task.callbacks.windup(ctx);
+  }
+  const auto stats = system->stats();
+  EXPECT_EQ(stats.jobs, 40);
+  EXPECT_EQ(stats.bids + stats.asks + stats.waits, 40);
+  EXPECT_GT(stats.total_iterations, 0);
+  EXPECT_EQ(static_cast<long>(system->decisions().size()), 40);
+}
+
+TEST(TradingSystem, TerminatedAnalysesLowerQosButStillDecide) {
+  auto system = make_system(2);
+  auto task = system->make_task_config(0);
+  core::StopToken expired(common::monotonic_now() - 1);
+  for (long job = 0; job < 10; ++job) {
+    const auto ctx = context(job);
+    task.callbacks.mandatory(ctx);
+    // Optional parts get zero time: nothing committed.
+    task.callbacks.optional(ctx, 0, expired);
+    task.callbacks.optional(ctx, 1, expired);
+    task.callbacks.windup(ctx);
+  }
+  const auto stats = system->stats();
+  EXPECT_EQ(stats.jobs, 10);
+  EXPECT_EQ(stats.analyses_available, 0);
+  EXPECT_EQ(stats.waits, 10);  // wait-and-see: correct output, low QoS
+}
+
+TEST(TradingSystem, SlotsResetBetweenJobs) {
+  auto system = make_system(1);
+  auto task = system->make_task_config(0);
+  core::StopToken live(common::monotonic_now() + seconds(10));
+  core::StopToken expired(common::monotonic_now() - 1);
+  // Job 0: analysis committed.
+  for (long job = 0; job < 40; ++job) {
+    const auto ctx = context(job);
+    task.callbacks.mandatory(ctx);
+    task.callbacks.optional(ctx, 0, live);
+    task.callbacks.windup(ctx);
+  }
+  const long available_after_warmup = system->stats().analyses_available;
+  EXPECT_GT(available_after_warmup, 0);
+  // Next job: optional discarded; the stale commit from job N-1 must NOT
+  // leak into this job's fusion.
+  const auto ctx = context(40);
+  task.callbacks.mandatory(ctx);
+  task.callbacks.windup(ctx);
+  EXPECT_EQ(system->stats().analyses_available, available_after_warmup);
+}
+
+TEST(TradingSystem, DecisionsPlaceOrdersWithBroker) {
+  auto system = make_system(2);
+  auto task = system->make_task_config(0);
+  core::StopToken token(common::monotonic_now() + seconds(10));
+  for (long job = 0; job < 120; ++job) {
+    const auto ctx = context(job);
+    task.callbacks.mandatory(ctx);
+    task.callbacks.optional(ctx, 0, token);
+    task.callbacks.optional(ctx, 1, token);
+    task.callbacks.windup(ctx);
+  }
+  const auto stats = system->stats();
+  EXPECT_EQ(system->broker().num_fills(), stats.bids + stats.asks);
+}
+
+TEST(TradingSystem, HistoryCompactionKeepsRunning) {
+  auto system = make_system(1);
+  auto task = system->make_task_config(0);
+  core::StopToken token(common::monotonic_now() + seconds(10));
+  // 3x the history capacity (64): compaction must kick in silently.
+  for (long job = 0; job < 200; ++job) {
+    const auto ctx = context(job);
+    task.callbacks.mandatory(ctx);
+    task.callbacks.optional(ctx, 0, token);
+    task.callbacks.windup(ctx);
+  }
+  EXPECT_EQ(system->stats().jobs, 200);
+}
+
+TEST(TradingSystem, OutOfRangePartIndexIgnored) {
+  auto system = make_system(1);
+  auto task = system->make_task_config(0);
+  core::StopToken token(common::monotonic_now() + seconds(10));
+  const auto ctx = context(0);
+  task.callbacks.mandatory(ctx);
+  task.callbacks.optional(ctx, 7, token);  // no analyzer 7: must not crash
+  task.callbacks.windup(ctx);
+  EXPECT_EQ(system->stats().jobs, 1);
+}
+
+}  // namespace
+}  // namespace rtseed::trading
