@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_global.dir/ablation_global.cpp.o"
+  "CMakeFiles/ablation_global.dir/ablation_global.cpp.o.d"
+  "ablation_global"
+  "ablation_global.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_global.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_qos_np.dir/ablation_qos_np.cpp.o"
+  "CMakeFiles/ablation_qos_np.dir/ablation_qos_np.cpp.o.d"
+  "ablation_qos_np"
+  "ablation_qos_np.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_qos_np.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_success_ratio.dir/ablation_success_ratio.cpp.o"
+  "CMakeFiles/ablation_success_ratio.dir/ablation_success_ratio.cpp.o.d"
+  "ablation_success_ratio"
+  "ablation_success_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_success_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

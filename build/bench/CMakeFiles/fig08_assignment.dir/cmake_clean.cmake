@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_assignment.dir/fig08_assignment.cpp.o"
+  "CMakeFiles/fig08_assignment.dir/fig08_assignment.cpp.o.d"
+  "fig08_assignment"
+  "fig08_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

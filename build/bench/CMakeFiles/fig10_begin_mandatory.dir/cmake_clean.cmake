@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_begin_mandatory.dir/fig10_begin_mandatory.cpp.o"
+  "CMakeFiles/fig10_begin_mandatory.dir/fig10_begin_mandatory.cpp.o.d"
+  "fig10_begin_mandatory"
+  "fig10_begin_mandatory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_begin_mandatory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

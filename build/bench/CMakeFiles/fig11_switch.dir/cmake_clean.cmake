@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_switch.dir/fig11_switch.cpp.o"
+  "CMakeFiles/fig11_switch.dir/fig11_switch.cpp.o.d"
+  "fig11_switch"
+  "fig11_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

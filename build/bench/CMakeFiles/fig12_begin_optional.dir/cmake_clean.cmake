@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_begin_optional.dir/fig12_begin_optional.cpp.o"
+  "CMakeFiles/fig12_begin_optional.dir/fig12_begin_optional.cpp.o.d"
+  "fig12_begin_optional"
+  "fig12_begin_optional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_begin_optional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

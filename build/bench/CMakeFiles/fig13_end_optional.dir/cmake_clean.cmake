@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_end_optional.dir/fig13_end_optional.cpp.o"
+  "CMakeFiles/fig13_end_optional.dir/fig13_end_optional.cpp.o.d"
+  "fig13_end_optional"
+  "fig13_end_optional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_end_optional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

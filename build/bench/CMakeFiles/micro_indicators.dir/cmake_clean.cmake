@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_indicators.dir/micro_indicators.cpp.o"
+  "CMakeFiles/micro_indicators.dir/micro_indicators.cpp.o.d"
+  "micro_indicators"
+  "micro_indicators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_indicators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_termination.dir/micro_termination.cpp.o"
+  "CMakeFiles/micro_termination.dir/micro_termination.cpp.o.d"
+  "micro_termination"
+  "micro_termination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_termination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

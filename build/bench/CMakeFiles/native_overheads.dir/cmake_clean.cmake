@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_overheads.dir/native_overheads.cpp.o"
+  "CMakeFiles/native_overheads.dir/native_overheads.cpp.o.d"
+  "native_overheads"
+  "native_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

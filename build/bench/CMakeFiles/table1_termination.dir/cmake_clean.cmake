@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_termination.dir/table1_termination.cpp.o"
+  "CMakeFiles/table1_termination.dir/table1_termination.cpp.o.d"
+  "table1_termination"
+  "table1_termination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_termination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backtest_qos.dir/backtest_qos.cpp.o"
+  "CMakeFiles/backtest_qos.dir/backtest_qos.cpp.o.d"
+  "backtest_qos"
+  "backtest_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backtest_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/montecarlo_pricing.dir/montecarlo_pricing.cpp.o"
+  "CMakeFiles/montecarlo_pricing.dir/montecarlo_pricing.cpp.o.d"
+  "montecarlo_pricing"
+  "montecarlo_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/montecarlo_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_phase_trading.dir/multi_phase_trading.cpp.o"
+  "CMakeFiles/multi_phase_trading.dir/multi_phase_trading.cpp.o.d"
+  "multi_phase_trading"
+  "multi_phase_trading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_phase_trading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/schedulability_tool.cpp" "examples/CMakeFiles/schedulability_tool.dir/schedulability_tool.cpp.o" "gcc" "examples/CMakeFiles/schedulability_tool.dir/schedulability_tool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rtseed_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/rtseed_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rtseed_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rtseed_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rtseed_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trading/CMakeFiles/rtseed_trading.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

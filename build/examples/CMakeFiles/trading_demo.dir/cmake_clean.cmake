@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trading_demo.dir/trading_demo.cpp.o"
+  "CMakeFiles/trading_demo.dir/trading_demo.cpp.o.d"
+  "trading_demo"
+  "trading_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trading_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

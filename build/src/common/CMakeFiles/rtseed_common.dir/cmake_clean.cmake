@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtseed_common.dir/histogram.cpp.o"
+  "CMakeFiles/rtseed_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/rtseed_common.dir/rt_logger.cpp.o"
+  "CMakeFiles/rtseed_common.dir/rt_logger.cpp.o.d"
+  "CMakeFiles/rtseed_common.dir/stats.cpp.o"
+  "CMakeFiles/rtseed_common.dir/stats.cpp.o.d"
+  "CMakeFiles/rtseed_common.dir/status.cpp.o"
+  "CMakeFiles/rtseed_common.dir/status.cpp.o.d"
+  "CMakeFiles/rtseed_common.dir/table.cpp.o"
+  "CMakeFiles/rtseed_common.dir/table.cpp.o.d"
+  "CMakeFiles/rtseed_common.dir/time.cpp.o"
+  "CMakeFiles/rtseed_common.dir/time.cpp.o.d"
+  "librtseed_common.a"
+  "librtseed_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtseed_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

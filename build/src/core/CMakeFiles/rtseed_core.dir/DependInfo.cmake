@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/assignment.cpp" "src/core/CMakeFiles/rtseed_core.dir/assignment.cpp.o" "gcc" "src/core/CMakeFiles/rtseed_core.dir/assignment.cpp.o.d"
+  "/root/repo/src/core/imprecise_task.cpp" "src/core/CMakeFiles/rtseed_core.dir/imprecise_task.cpp.o" "gcc" "src/core/CMakeFiles/rtseed_core.dir/imprecise_task.cpp.o.d"
+  "/root/repo/src/core/multi_phase_task.cpp" "src/core/CMakeFiles/rtseed_core.dir/multi_phase_task.cpp.o" "gcc" "src/core/CMakeFiles/rtseed_core.dir/multi_phase_task.cpp.o.d"
+  "/root/repo/src/core/optional_pool.cpp" "src/core/CMakeFiles/rtseed_core.dir/optional_pool.cpp.o" "gcc" "src/core/CMakeFiles/rtseed_core.dir/optional_pool.cpp.o.d"
+  "/root/repo/src/core/qos.cpp" "src/core/CMakeFiles/rtseed_core.dir/qos.cpp.o" "gcc" "src/core/CMakeFiles/rtseed_core.dir/qos.cpp.o.d"
+  "/root/repo/src/core/queues.cpp" "src/core/CMakeFiles/rtseed_core.dir/queues.cpp.o" "gcc" "src/core/CMakeFiles/rtseed_core.dir/queues.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "src/core/CMakeFiles/rtseed_core.dir/runtime.cpp.o" "gcc" "src/core/CMakeFiles/rtseed_core.dir/runtime.cpp.o.d"
+  "/root/repo/src/core/termination.cpp" "src/core/CMakeFiles/rtseed_core.dir/termination.cpp.o" "gcc" "src/core/CMakeFiles/rtseed_core.dir/termination.cpp.o.d"
+  "/root/repo/src/core/termination_periodic.cpp" "src/core/CMakeFiles/rtseed_core.dir/termination_periodic.cpp.o" "gcc" "src/core/CMakeFiles/rtseed_core.dir/termination_periodic.cpp.o.d"
+  "/root/repo/src/core/termination_sigjmp.cpp" "src/core/CMakeFiles/rtseed_core.dir/termination_sigjmp.cpp.o" "gcc" "src/core/CMakeFiles/rtseed_core.dir/termination_sigjmp.cpp.o.d"
+  "/root/repo/src/core/termination_trycatch.cpp" "src/core/CMakeFiles/rtseed_core.dir/termination_trycatch.cpp.o" "gcc" "src/core/CMakeFiles/rtseed_core.dir/termination_trycatch.cpp.o.d"
+  "/root/repo/src/core/trace_export.cpp" "src/core/CMakeFiles/rtseed_core.dir/trace_export.cpp.o" "gcc" "src/core/CMakeFiles/rtseed_core.dir/trace_export.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rtseed_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/rtseed_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rtseed_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

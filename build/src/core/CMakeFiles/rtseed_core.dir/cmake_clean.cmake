@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtseed_core.dir/assignment.cpp.o"
+  "CMakeFiles/rtseed_core.dir/assignment.cpp.o.d"
+  "CMakeFiles/rtseed_core.dir/imprecise_task.cpp.o"
+  "CMakeFiles/rtseed_core.dir/imprecise_task.cpp.o.d"
+  "CMakeFiles/rtseed_core.dir/multi_phase_task.cpp.o"
+  "CMakeFiles/rtseed_core.dir/multi_phase_task.cpp.o.d"
+  "CMakeFiles/rtseed_core.dir/optional_pool.cpp.o"
+  "CMakeFiles/rtseed_core.dir/optional_pool.cpp.o.d"
+  "CMakeFiles/rtseed_core.dir/qos.cpp.o"
+  "CMakeFiles/rtseed_core.dir/qos.cpp.o.d"
+  "CMakeFiles/rtseed_core.dir/queues.cpp.o"
+  "CMakeFiles/rtseed_core.dir/queues.cpp.o.d"
+  "CMakeFiles/rtseed_core.dir/runtime.cpp.o"
+  "CMakeFiles/rtseed_core.dir/runtime.cpp.o.d"
+  "CMakeFiles/rtseed_core.dir/termination.cpp.o"
+  "CMakeFiles/rtseed_core.dir/termination.cpp.o.d"
+  "CMakeFiles/rtseed_core.dir/termination_periodic.cpp.o"
+  "CMakeFiles/rtseed_core.dir/termination_periodic.cpp.o.d"
+  "CMakeFiles/rtseed_core.dir/termination_sigjmp.cpp.o"
+  "CMakeFiles/rtseed_core.dir/termination_sigjmp.cpp.o.d"
+  "CMakeFiles/rtseed_core.dir/termination_trycatch.cpp.o"
+  "CMakeFiles/rtseed_core.dir/termination_trycatch.cpp.o.d"
+  "CMakeFiles/rtseed_core.dir/trace_export.cpp.o"
+  "CMakeFiles/rtseed_core.dir/trace_export.cpp.o.d"
+  "librtseed_core.a"
+  "librtseed_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtseed_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

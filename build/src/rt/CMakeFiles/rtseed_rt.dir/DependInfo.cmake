@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/cpuset.cpp" "src/rt/CMakeFiles/rtseed_rt.dir/cpuset.cpp.o" "gcc" "src/rt/CMakeFiles/rtseed_rt.dir/cpuset.cpp.o.d"
+  "/root/repo/src/rt/memory_lock.cpp" "src/rt/CMakeFiles/rtseed_rt.dir/memory_lock.cpp.o" "gcc" "src/rt/CMakeFiles/rtseed_rt.dir/memory_lock.cpp.o.d"
+  "/root/repo/src/rt/oneshot_timer.cpp" "src/rt/CMakeFiles/rtseed_rt.dir/oneshot_timer.cpp.o" "gcc" "src/rt/CMakeFiles/rtseed_rt.dir/oneshot_timer.cpp.o.d"
+  "/root/repo/src/rt/periodic_clock.cpp" "src/rt/CMakeFiles/rtseed_rt.dir/periodic_clock.cpp.o" "gcc" "src/rt/CMakeFiles/rtseed_rt.dir/periodic_clock.cpp.o.d"
+  "/root/repo/src/rt/priority.cpp" "src/rt/CMakeFiles/rtseed_rt.dir/priority.cpp.o" "gcc" "src/rt/CMakeFiles/rtseed_rt.dir/priority.cpp.o.d"
+  "/root/repo/src/rt/signal_guard.cpp" "src/rt/CMakeFiles/rtseed_rt.dir/signal_guard.cpp.o" "gcc" "src/rt/CMakeFiles/rtseed_rt.dir/signal_guard.cpp.o.d"
+  "/root/repo/src/rt/thread.cpp" "src/rt/CMakeFiles/rtseed_rt.dir/thread.cpp.o" "gcc" "src/rt/CMakeFiles/rtseed_rt.dir/thread.cpp.o.d"
+  "/root/repo/src/rt/topology.cpp" "src/rt/CMakeFiles/rtseed_rt.dir/topology.cpp.o" "gcc" "src/rt/CMakeFiles/rtseed_rt.dir/topology.cpp.o.d"
+  "/root/repo/src/rt/tsc.cpp" "src/rt/CMakeFiles/rtseed_rt.dir/tsc.cpp.o" "gcc" "src/rt/CMakeFiles/rtseed_rt.dir/tsc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rtseed_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

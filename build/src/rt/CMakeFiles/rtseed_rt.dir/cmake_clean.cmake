@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtseed_rt.dir/cpuset.cpp.o"
+  "CMakeFiles/rtseed_rt.dir/cpuset.cpp.o.d"
+  "CMakeFiles/rtseed_rt.dir/memory_lock.cpp.o"
+  "CMakeFiles/rtseed_rt.dir/memory_lock.cpp.o.d"
+  "CMakeFiles/rtseed_rt.dir/oneshot_timer.cpp.o"
+  "CMakeFiles/rtseed_rt.dir/oneshot_timer.cpp.o.d"
+  "CMakeFiles/rtseed_rt.dir/periodic_clock.cpp.o"
+  "CMakeFiles/rtseed_rt.dir/periodic_clock.cpp.o.d"
+  "CMakeFiles/rtseed_rt.dir/priority.cpp.o"
+  "CMakeFiles/rtseed_rt.dir/priority.cpp.o.d"
+  "CMakeFiles/rtseed_rt.dir/signal_guard.cpp.o"
+  "CMakeFiles/rtseed_rt.dir/signal_guard.cpp.o.d"
+  "CMakeFiles/rtseed_rt.dir/thread.cpp.o"
+  "CMakeFiles/rtseed_rt.dir/thread.cpp.o.d"
+  "CMakeFiles/rtseed_rt.dir/topology.cpp.o"
+  "CMakeFiles/rtseed_rt.dir/topology.cpp.o.d"
+  "CMakeFiles/rtseed_rt.dir/tsc.cpp.o"
+  "CMakeFiles/rtseed_rt.dir/tsc.cpp.o.d"
+  "librtseed_rt.a"
+  "librtseed_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtseed_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/edf.cpp" "src/sched/CMakeFiles/rtseed_sched.dir/edf.cpp.o" "gcc" "src/sched/CMakeFiles/rtseed_sched.dir/edf.cpp.o.d"
+  "/root/repo/src/sched/generator.cpp" "src/sched/CMakeFiles/rtseed_sched.dir/generator.cpp.o" "gcc" "src/sched/CMakeFiles/rtseed_sched.dir/generator.cpp.o.d"
+  "/root/repo/src/sched/mrmwp.cpp" "src/sched/CMakeFiles/rtseed_sched.dir/mrmwp.cpp.o" "gcc" "src/sched/CMakeFiles/rtseed_sched.dir/mrmwp.cpp.o.d"
+  "/root/repo/src/sched/p_rmwp.cpp" "src/sched/CMakeFiles/rtseed_sched.dir/p_rmwp.cpp.o" "gcc" "src/sched/CMakeFiles/rtseed_sched.dir/p_rmwp.cpp.o.d"
+  "/root/repo/src/sched/partition.cpp" "src/sched/CMakeFiles/rtseed_sched.dir/partition.cpp.o" "gcc" "src/sched/CMakeFiles/rtseed_sched.dir/partition.cpp.o.d"
+  "/root/repo/src/sched/rm.cpp" "src/sched/CMakeFiles/rtseed_sched.dir/rm.cpp.o" "gcc" "src/sched/CMakeFiles/rtseed_sched.dir/rm.cpp.o.d"
+  "/root/repo/src/sched/rmus.cpp" "src/sched/CMakeFiles/rtseed_sched.dir/rmus.cpp.o" "gcc" "src/sched/CMakeFiles/rtseed_sched.dir/rmus.cpp.o.d"
+  "/root/repo/src/sched/rmwp.cpp" "src/sched/CMakeFiles/rtseed_sched.dir/rmwp.cpp.o" "gcc" "src/sched/CMakeFiles/rtseed_sched.dir/rmwp.cpp.o.d"
+  "/root/repo/src/sched/rta.cpp" "src/sched/CMakeFiles/rtseed_sched.dir/rta.cpp.o" "gcc" "src/sched/CMakeFiles/rtseed_sched.dir/rta.cpp.o.d"
+  "/root/repo/src/sched/task_model.cpp" "src/sched/CMakeFiles/rtseed_sched.dir/task_model.cpp.o" "gcc" "src/sched/CMakeFiles/rtseed_sched.dir/task_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rtseed_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/rtseed_rt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

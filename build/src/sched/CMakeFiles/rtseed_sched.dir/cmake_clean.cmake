@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtseed_sched.dir/edf.cpp.o"
+  "CMakeFiles/rtseed_sched.dir/edf.cpp.o.d"
+  "CMakeFiles/rtseed_sched.dir/generator.cpp.o"
+  "CMakeFiles/rtseed_sched.dir/generator.cpp.o.d"
+  "CMakeFiles/rtseed_sched.dir/mrmwp.cpp.o"
+  "CMakeFiles/rtseed_sched.dir/mrmwp.cpp.o.d"
+  "CMakeFiles/rtseed_sched.dir/p_rmwp.cpp.o"
+  "CMakeFiles/rtseed_sched.dir/p_rmwp.cpp.o.d"
+  "CMakeFiles/rtseed_sched.dir/partition.cpp.o"
+  "CMakeFiles/rtseed_sched.dir/partition.cpp.o.d"
+  "CMakeFiles/rtseed_sched.dir/rm.cpp.o"
+  "CMakeFiles/rtseed_sched.dir/rm.cpp.o.d"
+  "CMakeFiles/rtseed_sched.dir/rmus.cpp.o"
+  "CMakeFiles/rtseed_sched.dir/rmus.cpp.o.d"
+  "CMakeFiles/rtseed_sched.dir/rmwp.cpp.o"
+  "CMakeFiles/rtseed_sched.dir/rmwp.cpp.o.d"
+  "CMakeFiles/rtseed_sched.dir/rta.cpp.o"
+  "CMakeFiles/rtseed_sched.dir/rta.cpp.o.d"
+  "CMakeFiles/rtseed_sched.dir/task_model.cpp.o"
+  "CMakeFiles/rtseed_sched.dir/task_model.cpp.o.d"
+  "librtseed_sched.a"
+  "librtseed_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtseed_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/contention.cpp" "src/sim/CMakeFiles/rtseed_sim.dir/contention.cpp.o" "gcc" "src/sim/CMakeFiles/rtseed_sim.dir/contention.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/sim/CMakeFiles/rtseed_sim.dir/experiment.cpp.o" "gcc" "src/sim/CMakeFiles/rtseed_sim.dir/experiment.cpp.o.d"
+  "/root/repo/src/sim/global_scheduler.cpp" "src/sim/CMakeFiles/rtseed_sim.dir/global_scheduler.cpp.o" "gcc" "src/sim/CMakeFiles/rtseed_sim.dir/global_scheduler.cpp.o.d"
+  "/root/repo/src/sim/overhead_model.cpp" "src/sim/CMakeFiles/rtseed_sim.dir/overhead_model.cpp.o" "gcc" "src/sim/CMakeFiles/rtseed_sim.dir/overhead_model.cpp.o.d"
+  "/root/repo/src/sim/qos_model.cpp" "src/sim/CMakeFiles/rtseed_sim.dir/qos_model.cpp.o" "gcc" "src/sim/CMakeFiles/rtseed_sim.dir/qos_model.cpp.o.d"
+  "/root/repo/src/sim/sim_scheduler.cpp" "src/sim/CMakeFiles/rtseed_sim.dir/sim_scheduler.cpp.o" "gcc" "src/sim/CMakeFiles/rtseed_sim.dir/sim_scheduler.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/rtseed_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/rtseed_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rtseed_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/rtseed_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rtseed_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rtseed_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtseed_sim.dir/contention.cpp.o"
+  "CMakeFiles/rtseed_sim.dir/contention.cpp.o.d"
+  "CMakeFiles/rtseed_sim.dir/experiment.cpp.o"
+  "CMakeFiles/rtseed_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/rtseed_sim.dir/global_scheduler.cpp.o"
+  "CMakeFiles/rtseed_sim.dir/global_scheduler.cpp.o.d"
+  "CMakeFiles/rtseed_sim.dir/overhead_model.cpp.o"
+  "CMakeFiles/rtseed_sim.dir/overhead_model.cpp.o.d"
+  "CMakeFiles/rtseed_sim.dir/qos_model.cpp.o"
+  "CMakeFiles/rtseed_sim.dir/qos_model.cpp.o.d"
+  "CMakeFiles/rtseed_sim.dir/sim_scheduler.cpp.o"
+  "CMakeFiles/rtseed_sim.dir/sim_scheduler.cpp.o.d"
+  "CMakeFiles/rtseed_sim.dir/trace.cpp.o"
+  "CMakeFiles/rtseed_sim.dir/trace.cpp.o.d"
+  "librtseed_sim.a"
+  "librtseed_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtseed_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

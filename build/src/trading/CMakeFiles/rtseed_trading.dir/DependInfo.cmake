@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trading/analyzers.cpp" "src/trading/CMakeFiles/rtseed_trading.dir/analyzers.cpp.o" "gcc" "src/trading/CMakeFiles/rtseed_trading.dir/analyzers.cpp.o.d"
+  "/root/repo/src/trading/backtest.cpp" "src/trading/CMakeFiles/rtseed_trading.dir/backtest.cpp.o" "gcc" "src/trading/CMakeFiles/rtseed_trading.dir/backtest.cpp.o.d"
+  "/root/repo/src/trading/broker.cpp" "src/trading/CMakeFiles/rtseed_trading.dir/broker.cpp.o" "gcc" "src/trading/CMakeFiles/rtseed_trading.dir/broker.cpp.o.d"
+  "/root/repo/src/trading/fundamental.cpp" "src/trading/CMakeFiles/rtseed_trading.dir/fundamental.cpp.o" "gcc" "src/trading/CMakeFiles/rtseed_trading.dir/fundamental.cpp.o.d"
+  "/root/repo/src/trading/indicators.cpp" "src/trading/CMakeFiles/rtseed_trading.dir/indicators.cpp.o" "gcc" "src/trading/CMakeFiles/rtseed_trading.dir/indicators.cpp.o.d"
+  "/root/repo/src/trading/market_feed.cpp" "src/trading/CMakeFiles/rtseed_trading.dir/market_feed.cpp.o" "gcc" "src/trading/CMakeFiles/rtseed_trading.dir/market_feed.cpp.o.d"
+  "/root/repo/src/trading/ohlc.cpp" "src/trading/CMakeFiles/rtseed_trading.dir/ohlc.cpp.o" "gcc" "src/trading/CMakeFiles/rtseed_trading.dir/ohlc.cpp.o.d"
+  "/root/repo/src/trading/strategy.cpp" "src/trading/CMakeFiles/rtseed_trading.dir/strategy.cpp.o" "gcc" "src/trading/CMakeFiles/rtseed_trading.dir/strategy.cpp.o.d"
+  "/root/repo/src/trading/trading_task.cpp" "src/trading/CMakeFiles/rtseed_trading.dir/trading_task.cpp.o" "gcc" "src/trading/CMakeFiles/rtseed_trading.dir/trading_task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rtseed_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rtseed_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rtseed_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/rtseed_rt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

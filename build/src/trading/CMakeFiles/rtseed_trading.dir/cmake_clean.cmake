@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtseed_trading.dir/analyzers.cpp.o"
+  "CMakeFiles/rtseed_trading.dir/analyzers.cpp.o.d"
+  "CMakeFiles/rtseed_trading.dir/backtest.cpp.o"
+  "CMakeFiles/rtseed_trading.dir/backtest.cpp.o.d"
+  "CMakeFiles/rtseed_trading.dir/broker.cpp.o"
+  "CMakeFiles/rtseed_trading.dir/broker.cpp.o.d"
+  "CMakeFiles/rtseed_trading.dir/fundamental.cpp.o"
+  "CMakeFiles/rtseed_trading.dir/fundamental.cpp.o.d"
+  "CMakeFiles/rtseed_trading.dir/indicators.cpp.o"
+  "CMakeFiles/rtseed_trading.dir/indicators.cpp.o.d"
+  "CMakeFiles/rtseed_trading.dir/market_feed.cpp.o"
+  "CMakeFiles/rtseed_trading.dir/market_feed.cpp.o.d"
+  "CMakeFiles/rtseed_trading.dir/ohlc.cpp.o"
+  "CMakeFiles/rtseed_trading.dir/ohlc.cpp.o.d"
+  "CMakeFiles/rtseed_trading.dir/strategy.cpp.o"
+  "CMakeFiles/rtseed_trading.dir/strategy.cpp.o.d"
+  "CMakeFiles/rtseed_trading.dir/trading_task.cpp.o"
+  "CMakeFiles/rtseed_trading.dir/trading_task.cpp.o.d"
+  "librtseed_trading.a"
+  "librtseed_trading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtseed_trading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

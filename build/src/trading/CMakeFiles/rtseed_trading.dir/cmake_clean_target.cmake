@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librtseed_trading.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_fixed_vector.cpp" "tests/CMakeFiles/rtseed_common_tests.dir/common/test_fixed_vector.cpp.o" "gcc" "tests/CMakeFiles/rtseed_common_tests.dir/common/test_fixed_vector.cpp.o.d"
+  "/root/repo/tests/common/test_histogram.cpp" "tests/CMakeFiles/rtseed_common_tests.dir/common/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/rtseed_common_tests.dir/common/test_histogram.cpp.o.d"
+  "/root/repo/tests/common/test_rng.cpp" "tests/CMakeFiles/rtseed_common_tests.dir/common/test_rng.cpp.o" "gcc" "tests/CMakeFiles/rtseed_common_tests.dir/common/test_rng.cpp.o.d"
+  "/root/repo/tests/common/test_rt_logger.cpp" "tests/CMakeFiles/rtseed_common_tests.dir/common/test_rt_logger.cpp.o" "gcc" "tests/CMakeFiles/rtseed_common_tests.dir/common/test_rt_logger.cpp.o.d"
+  "/root/repo/tests/common/test_spsc_ring.cpp" "tests/CMakeFiles/rtseed_common_tests.dir/common/test_spsc_ring.cpp.o" "gcc" "tests/CMakeFiles/rtseed_common_tests.dir/common/test_spsc_ring.cpp.o.d"
+  "/root/repo/tests/common/test_stats.cpp" "tests/CMakeFiles/rtseed_common_tests.dir/common/test_stats.cpp.o" "gcc" "tests/CMakeFiles/rtseed_common_tests.dir/common/test_stats.cpp.o.d"
+  "/root/repo/tests/common/test_status.cpp" "tests/CMakeFiles/rtseed_common_tests.dir/common/test_status.cpp.o" "gcc" "tests/CMakeFiles/rtseed_common_tests.dir/common/test_status.cpp.o.d"
+  "/root/repo/tests/common/test_table.cpp" "tests/CMakeFiles/rtseed_common_tests.dir/common/test_table.cpp.o" "gcc" "tests/CMakeFiles/rtseed_common_tests.dir/common/test_table.cpp.o.d"
+  "/root/repo/tests/common/test_time.cpp" "tests/CMakeFiles/rtseed_common_tests.dir/common/test_time.cpp.o" "gcc" "tests/CMakeFiles/rtseed_common_tests.dir/common/test_time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rtseed_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/rtseed_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rtseed_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rtseed_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rtseed_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trading/CMakeFiles/rtseed_trading.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

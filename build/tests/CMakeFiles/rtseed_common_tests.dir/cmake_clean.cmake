@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtseed_common_tests.dir/common/test_fixed_vector.cpp.o"
+  "CMakeFiles/rtseed_common_tests.dir/common/test_fixed_vector.cpp.o.d"
+  "CMakeFiles/rtseed_common_tests.dir/common/test_histogram.cpp.o"
+  "CMakeFiles/rtseed_common_tests.dir/common/test_histogram.cpp.o.d"
+  "CMakeFiles/rtseed_common_tests.dir/common/test_rng.cpp.o"
+  "CMakeFiles/rtseed_common_tests.dir/common/test_rng.cpp.o.d"
+  "CMakeFiles/rtseed_common_tests.dir/common/test_rt_logger.cpp.o"
+  "CMakeFiles/rtseed_common_tests.dir/common/test_rt_logger.cpp.o.d"
+  "CMakeFiles/rtseed_common_tests.dir/common/test_spsc_ring.cpp.o"
+  "CMakeFiles/rtseed_common_tests.dir/common/test_spsc_ring.cpp.o.d"
+  "CMakeFiles/rtseed_common_tests.dir/common/test_stats.cpp.o"
+  "CMakeFiles/rtseed_common_tests.dir/common/test_stats.cpp.o.d"
+  "CMakeFiles/rtseed_common_tests.dir/common/test_status.cpp.o"
+  "CMakeFiles/rtseed_common_tests.dir/common/test_status.cpp.o.d"
+  "CMakeFiles/rtseed_common_tests.dir/common/test_table.cpp.o"
+  "CMakeFiles/rtseed_common_tests.dir/common/test_table.cpp.o.d"
+  "CMakeFiles/rtseed_common_tests.dir/common/test_time.cpp.o"
+  "CMakeFiles/rtseed_common_tests.dir/common/test_time.cpp.o.d"
+  "rtseed_common_tests"
+  "rtseed_common_tests.pdb"
+  "rtseed_common_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtseed_common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

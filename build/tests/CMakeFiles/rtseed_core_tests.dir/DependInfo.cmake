@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_assignment.cpp" "tests/CMakeFiles/rtseed_core_tests.dir/core/test_assignment.cpp.o" "gcc" "tests/CMakeFiles/rtseed_core_tests.dir/core/test_assignment.cpp.o.d"
+  "/root/repo/tests/core/test_assignment_properties.cpp" "tests/CMakeFiles/rtseed_core_tests.dir/core/test_assignment_properties.cpp.o" "gcc" "tests/CMakeFiles/rtseed_core_tests.dir/core/test_assignment_properties.cpp.o.d"
+  "/root/repo/tests/core/test_failure_injection.cpp" "tests/CMakeFiles/rtseed_core_tests.dir/core/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/rtseed_core_tests.dir/core/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/core/test_imprecise_task.cpp" "tests/CMakeFiles/rtseed_core_tests.dir/core/test_imprecise_task.cpp.o" "gcc" "tests/CMakeFiles/rtseed_core_tests.dir/core/test_imprecise_task.cpp.o.d"
+  "/root/repo/tests/core/test_multi_phase_task.cpp" "tests/CMakeFiles/rtseed_core_tests.dir/core/test_multi_phase_task.cpp.o" "gcc" "tests/CMakeFiles/rtseed_core_tests.dir/core/test_multi_phase_task.cpp.o.d"
+  "/root/repo/tests/core/test_optional_pool.cpp" "tests/CMakeFiles/rtseed_core_tests.dir/core/test_optional_pool.cpp.o" "gcc" "tests/CMakeFiles/rtseed_core_tests.dir/core/test_optional_pool.cpp.o.d"
+  "/root/repo/tests/core/test_qos.cpp" "tests/CMakeFiles/rtseed_core_tests.dir/core/test_qos.cpp.o" "gcc" "tests/CMakeFiles/rtseed_core_tests.dir/core/test_qos.cpp.o.d"
+  "/root/repo/tests/core/test_queues.cpp" "tests/CMakeFiles/rtseed_core_tests.dir/core/test_queues.cpp.o" "gcc" "tests/CMakeFiles/rtseed_core_tests.dir/core/test_queues.cpp.o.d"
+  "/root/repo/tests/core/test_queues_fuzz.cpp" "tests/CMakeFiles/rtseed_core_tests.dir/core/test_queues_fuzz.cpp.o" "gcc" "tests/CMakeFiles/rtseed_core_tests.dir/core/test_queues_fuzz.cpp.o.d"
+  "/root/repo/tests/core/test_runtime.cpp" "tests/CMakeFiles/rtseed_core_tests.dir/core/test_runtime.cpp.o" "gcc" "tests/CMakeFiles/rtseed_core_tests.dir/core/test_runtime.cpp.o.d"
+  "/root/repo/tests/core/test_termination.cpp" "tests/CMakeFiles/rtseed_core_tests.dir/core/test_termination.cpp.o" "gcc" "tests/CMakeFiles/rtseed_core_tests.dir/core/test_termination.cpp.o.d"
+  "/root/repo/tests/core/test_termination_properties.cpp" "tests/CMakeFiles/rtseed_core_tests.dir/core/test_termination_properties.cpp.o" "gcc" "tests/CMakeFiles/rtseed_core_tests.dir/core/test_termination_properties.cpp.o.d"
+  "/root/repo/tests/core/test_trace_export.cpp" "tests/CMakeFiles/rtseed_core_tests.dir/core/test_trace_export.cpp.o" "gcc" "tests/CMakeFiles/rtseed_core_tests.dir/core/test_trace_export.cpp.o.d"
+  "/root/repo/tests/core/test_watchdog.cpp" "tests/CMakeFiles/rtseed_core_tests.dir/core/test_watchdog.cpp.o" "gcc" "tests/CMakeFiles/rtseed_core_tests.dir/core/test_watchdog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rtseed_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/rtseed_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rtseed_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rtseed_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rtseed_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trading/CMakeFiles/rtseed_trading.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtseed_core_tests.dir/core/test_assignment.cpp.o"
+  "CMakeFiles/rtseed_core_tests.dir/core/test_assignment.cpp.o.d"
+  "CMakeFiles/rtseed_core_tests.dir/core/test_assignment_properties.cpp.o"
+  "CMakeFiles/rtseed_core_tests.dir/core/test_assignment_properties.cpp.o.d"
+  "CMakeFiles/rtseed_core_tests.dir/core/test_failure_injection.cpp.o"
+  "CMakeFiles/rtseed_core_tests.dir/core/test_failure_injection.cpp.o.d"
+  "CMakeFiles/rtseed_core_tests.dir/core/test_imprecise_task.cpp.o"
+  "CMakeFiles/rtseed_core_tests.dir/core/test_imprecise_task.cpp.o.d"
+  "CMakeFiles/rtseed_core_tests.dir/core/test_multi_phase_task.cpp.o"
+  "CMakeFiles/rtseed_core_tests.dir/core/test_multi_phase_task.cpp.o.d"
+  "CMakeFiles/rtseed_core_tests.dir/core/test_optional_pool.cpp.o"
+  "CMakeFiles/rtseed_core_tests.dir/core/test_optional_pool.cpp.o.d"
+  "CMakeFiles/rtseed_core_tests.dir/core/test_qos.cpp.o"
+  "CMakeFiles/rtseed_core_tests.dir/core/test_qos.cpp.o.d"
+  "CMakeFiles/rtseed_core_tests.dir/core/test_queues.cpp.o"
+  "CMakeFiles/rtseed_core_tests.dir/core/test_queues.cpp.o.d"
+  "CMakeFiles/rtseed_core_tests.dir/core/test_queues_fuzz.cpp.o"
+  "CMakeFiles/rtseed_core_tests.dir/core/test_queues_fuzz.cpp.o.d"
+  "CMakeFiles/rtseed_core_tests.dir/core/test_runtime.cpp.o"
+  "CMakeFiles/rtseed_core_tests.dir/core/test_runtime.cpp.o.d"
+  "CMakeFiles/rtseed_core_tests.dir/core/test_termination.cpp.o"
+  "CMakeFiles/rtseed_core_tests.dir/core/test_termination.cpp.o.d"
+  "CMakeFiles/rtseed_core_tests.dir/core/test_termination_properties.cpp.o"
+  "CMakeFiles/rtseed_core_tests.dir/core/test_termination_properties.cpp.o.d"
+  "CMakeFiles/rtseed_core_tests.dir/core/test_trace_export.cpp.o"
+  "CMakeFiles/rtseed_core_tests.dir/core/test_trace_export.cpp.o.d"
+  "CMakeFiles/rtseed_core_tests.dir/core/test_watchdog.cpp.o"
+  "CMakeFiles/rtseed_core_tests.dir/core/test_watchdog.cpp.o.d"
+  "rtseed_core_tests"
+  "rtseed_core_tests.pdb"
+  "rtseed_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtseed_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtseed_integration_tests.dir/integration/test_middleware_vs_analysis.cpp.o"
+  "CMakeFiles/rtseed_integration_tests.dir/integration/test_middleware_vs_analysis.cpp.o.d"
+  "CMakeFiles/rtseed_integration_tests.dir/integration/test_trading_on_middleware.cpp.o"
+  "CMakeFiles/rtseed_integration_tests.dir/integration/test_trading_on_middleware.cpp.o.d"
+  "rtseed_integration_tests"
+  "rtseed_integration_tests.pdb"
+  "rtseed_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtseed_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rt/test_cpuset.cpp" "tests/CMakeFiles/rtseed_rt_tests.dir/rt/test_cpuset.cpp.o" "gcc" "tests/CMakeFiles/rtseed_rt_tests.dir/rt/test_cpuset.cpp.o.d"
+  "/root/repo/tests/rt/test_memory_lock.cpp" "tests/CMakeFiles/rtseed_rt_tests.dir/rt/test_memory_lock.cpp.o" "gcc" "tests/CMakeFiles/rtseed_rt_tests.dir/rt/test_memory_lock.cpp.o.d"
+  "/root/repo/tests/rt/test_oneshot_timer.cpp" "tests/CMakeFiles/rtseed_rt_tests.dir/rt/test_oneshot_timer.cpp.o" "gcc" "tests/CMakeFiles/rtseed_rt_tests.dir/rt/test_oneshot_timer.cpp.o.d"
+  "/root/repo/tests/rt/test_periodic_clock.cpp" "tests/CMakeFiles/rtseed_rt_tests.dir/rt/test_periodic_clock.cpp.o" "gcc" "tests/CMakeFiles/rtseed_rt_tests.dir/rt/test_periodic_clock.cpp.o.d"
+  "/root/repo/tests/rt/test_priority.cpp" "tests/CMakeFiles/rtseed_rt_tests.dir/rt/test_priority.cpp.o" "gcc" "tests/CMakeFiles/rtseed_rt_tests.dir/rt/test_priority.cpp.o.d"
+  "/root/repo/tests/rt/test_signal_guard.cpp" "tests/CMakeFiles/rtseed_rt_tests.dir/rt/test_signal_guard.cpp.o" "gcc" "tests/CMakeFiles/rtseed_rt_tests.dir/rt/test_signal_guard.cpp.o.d"
+  "/root/repo/tests/rt/test_thread.cpp" "tests/CMakeFiles/rtseed_rt_tests.dir/rt/test_thread.cpp.o" "gcc" "tests/CMakeFiles/rtseed_rt_tests.dir/rt/test_thread.cpp.o.d"
+  "/root/repo/tests/rt/test_topology.cpp" "tests/CMakeFiles/rtseed_rt_tests.dir/rt/test_topology.cpp.o" "gcc" "tests/CMakeFiles/rtseed_rt_tests.dir/rt/test_topology.cpp.o.d"
+  "/root/repo/tests/rt/test_tsc.cpp" "tests/CMakeFiles/rtseed_rt_tests.dir/rt/test_tsc.cpp.o" "gcc" "tests/CMakeFiles/rtseed_rt_tests.dir/rt/test_tsc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rtseed_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/rtseed_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rtseed_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rtseed_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rtseed_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trading/CMakeFiles/rtseed_trading.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

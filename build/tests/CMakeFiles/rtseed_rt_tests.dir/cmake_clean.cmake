@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtseed_rt_tests.dir/rt/test_cpuset.cpp.o"
+  "CMakeFiles/rtseed_rt_tests.dir/rt/test_cpuset.cpp.o.d"
+  "CMakeFiles/rtseed_rt_tests.dir/rt/test_memory_lock.cpp.o"
+  "CMakeFiles/rtseed_rt_tests.dir/rt/test_memory_lock.cpp.o.d"
+  "CMakeFiles/rtseed_rt_tests.dir/rt/test_oneshot_timer.cpp.o"
+  "CMakeFiles/rtseed_rt_tests.dir/rt/test_oneshot_timer.cpp.o.d"
+  "CMakeFiles/rtseed_rt_tests.dir/rt/test_periodic_clock.cpp.o"
+  "CMakeFiles/rtseed_rt_tests.dir/rt/test_periodic_clock.cpp.o.d"
+  "CMakeFiles/rtseed_rt_tests.dir/rt/test_priority.cpp.o"
+  "CMakeFiles/rtseed_rt_tests.dir/rt/test_priority.cpp.o.d"
+  "CMakeFiles/rtseed_rt_tests.dir/rt/test_signal_guard.cpp.o"
+  "CMakeFiles/rtseed_rt_tests.dir/rt/test_signal_guard.cpp.o.d"
+  "CMakeFiles/rtseed_rt_tests.dir/rt/test_thread.cpp.o"
+  "CMakeFiles/rtseed_rt_tests.dir/rt/test_thread.cpp.o.d"
+  "CMakeFiles/rtseed_rt_tests.dir/rt/test_topology.cpp.o"
+  "CMakeFiles/rtseed_rt_tests.dir/rt/test_topology.cpp.o.d"
+  "CMakeFiles/rtseed_rt_tests.dir/rt/test_tsc.cpp.o"
+  "CMakeFiles/rtseed_rt_tests.dir/rt/test_tsc.cpp.o.d"
+  "rtseed_rt_tests"
+  "rtseed_rt_tests.pdb"
+  "rtseed_rt_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtseed_rt_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

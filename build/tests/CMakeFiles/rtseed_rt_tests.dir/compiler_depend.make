@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rtseed_rt_tests.
+# This may be replaced when dependencies are built.

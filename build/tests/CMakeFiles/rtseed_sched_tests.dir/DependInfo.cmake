@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sched/test_analysis_properties.cpp" "tests/CMakeFiles/rtseed_sched_tests.dir/sched/test_analysis_properties.cpp.o" "gcc" "tests/CMakeFiles/rtseed_sched_tests.dir/sched/test_analysis_properties.cpp.o.d"
+  "/root/repo/tests/sched/test_edf.cpp" "tests/CMakeFiles/rtseed_sched_tests.dir/sched/test_edf.cpp.o" "gcc" "tests/CMakeFiles/rtseed_sched_tests.dir/sched/test_edf.cpp.o.d"
+  "/root/repo/tests/sched/test_generator.cpp" "tests/CMakeFiles/rtseed_sched_tests.dir/sched/test_generator.cpp.o" "gcc" "tests/CMakeFiles/rtseed_sched_tests.dir/sched/test_generator.cpp.o.d"
+  "/root/repo/tests/sched/test_mrmwp.cpp" "tests/CMakeFiles/rtseed_sched_tests.dir/sched/test_mrmwp.cpp.o" "gcc" "tests/CMakeFiles/rtseed_sched_tests.dir/sched/test_mrmwp.cpp.o.d"
+  "/root/repo/tests/sched/test_p_rmwp.cpp" "tests/CMakeFiles/rtseed_sched_tests.dir/sched/test_p_rmwp.cpp.o" "gcc" "tests/CMakeFiles/rtseed_sched_tests.dir/sched/test_p_rmwp.cpp.o.d"
+  "/root/repo/tests/sched/test_partition.cpp" "tests/CMakeFiles/rtseed_sched_tests.dir/sched/test_partition.cpp.o" "gcc" "tests/CMakeFiles/rtseed_sched_tests.dir/sched/test_partition.cpp.o.d"
+  "/root/repo/tests/sched/test_rm.cpp" "tests/CMakeFiles/rtseed_sched_tests.dir/sched/test_rm.cpp.o" "gcc" "tests/CMakeFiles/rtseed_sched_tests.dir/sched/test_rm.cpp.o.d"
+  "/root/repo/tests/sched/test_rmus.cpp" "tests/CMakeFiles/rtseed_sched_tests.dir/sched/test_rmus.cpp.o" "gcc" "tests/CMakeFiles/rtseed_sched_tests.dir/sched/test_rmus.cpp.o.d"
+  "/root/repo/tests/sched/test_rmwp.cpp" "tests/CMakeFiles/rtseed_sched_tests.dir/sched/test_rmwp.cpp.o" "gcc" "tests/CMakeFiles/rtseed_sched_tests.dir/sched/test_rmwp.cpp.o.d"
+  "/root/repo/tests/sched/test_rta.cpp" "tests/CMakeFiles/rtseed_sched_tests.dir/sched/test_rta.cpp.o" "gcc" "tests/CMakeFiles/rtseed_sched_tests.dir/sched/test_rta.cpp.o.d"
+  "/root/repo/tests/sched/test_task_model.cpp" "tests/CMakeFiles/rtseed_sched_tests.dir/sched/test_task_model.cpp.o" "gcc" "tests/CMakeFiles/rtseed_sched_tests.dir/sched/test_task_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rtseed_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/rtseed_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rtseed_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rtseed_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rtseed_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trading/CMakeFiles/rtseed_trading.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

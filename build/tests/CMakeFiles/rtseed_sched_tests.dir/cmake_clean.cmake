@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtseed_sched_tests.dir/sched/test_analysis_properties.cpp.o"
+  "CMakeFiles/rtseed_sched_tests.dir/sched/test_analysis_properties.cpp.o.d"
+  "CMakeFiles/rtseed_sched_tests.dir/sched/test_edf.cpp.o"
+  "CMakeFiles/rtseed_sched_tests.dir/sched/test_edf.cpp.o.d"
+  "CMakeFiles/rtseed_sched_tests.dir/sched/test_generator.cpp.o"
+  "CMakeFiles/rtseed_sched_tests.dir/sched/test_generator.cpp.o.d"
+  "CMakeFiles/rtseed_sched_tests.dir/sched/test_mrmwp.cpp.o"
+  "CMakeFiles/rtseed_sched_tests.dir/sched/test_mrmwp.cpp.o.d"
+  "CMakeFiles/rtseed_sched_tests.dir/sched/test_p_rmwp.cpp.o"
+  "CMakeFiles/rtseed_sched_tests.dir/sched/test_p_rmwp.cpp.o.d"
+  "CMakeFiles/rtseed_sched_tests.dir/sched/test_partition.cpp.o"
+  "CMakeFiles/rtseed_sched_tests.dir/sched/test_partition.cpp.o.d"
+  "CMakeFiles/rtseed_sched_tests.dir/sched/test_rm.cpp.o"
+  "CMakeFiles/rtseed_sched_tests.dir/sched/test_rm.cpp.o.d"
+  "CMakeFiles/rtseed_sched_tests.dir/sched/test_rmus.cpp.o"
+  "CMakeFiles/rtseed_sched_tests.dir/sched/test_rmus.cpp.o.d"
+  "CMakeFiles/rtseed_sched_tests.dir/sched/test_rmwp.cpp.o"
+  "CMakeFiles/rtseed_sched_tests.dir/sched/test_rmwp.cpp.o.d"
+  "CMakeFiles/rtseed_sched_tests.dir/sched/test_rta.cpp.o"
+  "CMakeFiles/rtseed_sched_tests.dir/sched/test_rta.cpp.o.d"
+  "CMakeFiles/rtseed_sched_tests.dir/sched/test_task_model.cpp.o"
+  "CMakeFiles/rtseed_sched_tests.dir/sched/test_task_model.cpp.o.d"
+  "rtseed_sched_tests"
+  "rtseed_sched_tests.pdb"
+  "rtseed_sched_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtseed_sched_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_contention.cpp" "tests/CMakeFiles/rtseed_sim_tests.dir/sim/test_contention.cpp.o" "gcc" "tests/CMakeFiles/rtseed_sim_tests.dir/sim/test_contention.cpp.o.d"
+  "/root/repo/tests/sim/test_experiment.cpp" "tests/CMakeFiles/rtseed_sim_tests.dir/sim/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/rtseed_sim_tests.dir/sim/test_experiment.cpp.o.d"
+  "/root/repo/tests/sim/test_global_properties.cpp" "tests/CMakeFiles/rtseed_sim_tests.dir/sim/test_global_properties.cpp.o" "gcc" "tests/CMakeFiles/rtseed_sim_tests.dir/sim/test_global_properties.cpp.o.d"
+  "/root/repo/tests/sim/test_global_scheduler.cpp" "tests/CMakeFiles/rtseed_sim_tests.dir/sim/test_global_scheduler.cpp.o" "gcc" "tests/CMakeFiles/rtseed_sim_tests.dir/sim/test_global_scheduler.cpp.o.d"
+  "/root/repo/tests/sim/test_overhead_injection.cpp" "tests/CMakeFiles/rtseed_sim_tests.dir/sim/test_overhead_injection.cpp.o" "gcc" "tests/CMakeFiles/rtseed_sim_tests.dir/sim/test_overhead_injection.cpp.o.d"
+  "/root/repo/tests/sim/test_overhead_model.cpp" "tests/CMakeFiles/rtseed_sim_tests.dir/sim/test_overhead_model.cpp.o" "gcc" "tests/CMakeFiles/rtseed_sim_tests.dir/sim/test_overhead_model.cpp.o.d"
+  "/root/repo/tests/sim/test_qos_model.cpp" "tests/CMakeFiles/rtseed_sim_tests.dir/sim/test_qos_model.cpp.o" "gcc" "tests/CMakeFiles/rtseed_sim_tests.dir/sim/test_qos_model.cpp.o.d"
+  "/root/repo/tests/sim/test_sim_properties.cpp" "tests/CMakeFiles/rtseed_sim_tests.dir/sim/test_sim_properties.cpp.o" "gcc" "tests/CMakeFiles/rtseed_sim_tests.dir/sim/test_sim_properties.cpp.o.d"
+  "/root/repo/tests/sim/test_sim_scheduler.cpp" "tests/CMakeFiles/rtseed_sim_tests.dir/sim/test_sim_scheduler.cpp.o" "gcc" "tests/CMakeFiles/rtseed_sim_tests.dir/sim/test_sim_scheduler.cpp.o.d"
+  "/root/repo/tests/sim/test_trace.cpp" "tests/CMakeFiles/rtseed_sim_tests.dir/sim/test_trace.cpp.o" "gcc" "tests/CMakeFiles/rtseed_sim_tests.dir/sim/test_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rtseed_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/rtseed_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rtseed_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rtseed_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rtseed_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trading/CMakeFiles/rtseed_trading.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

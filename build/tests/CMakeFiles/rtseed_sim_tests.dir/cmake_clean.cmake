@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtseed_sim_tests.dir/sim/test_contention.cpp.o"
+  "CMakeFiles/rtseed_sim_tests.dir/sim/test_contention.cpp.o.d"
+  "CMakeFiles/rtseed_sim_tests.dir/sim/test_experiment.cpp.o"
+  "CMakeFiles/rtseed_sim_tests.dir/sim/test_experiment.cpp.o.d"
+  "CMakeFiles/rtseed_sim_tests.dir/sim/test_global_properties.cpp.o"
+  "CMakeFiles/rtseed_sim_tests.dir/sim/test_global_properties.cpp.o.d"
+  "CMakeFiles/rtseed_sim_tests.dir/sim/test_global_scheduler.cpp.o"
+  "CMakeFiles/rtseed_sim_tests.dir/sim/test_global_scheduler.cpp.o.d"
+  "CMakeFiles/rtseed_sim_tests.dir/sim/test_overhead_injection.cpp.o"
+  "CMakeFiles/rtseed_sim_tests.dir/sim/test_overhead_injection.cpp.o.d"
+  "CMakeFiles/rtseed_sim_tests.dir/sim/test_overhead_model.cpp.o"
+  "CMakeFiles/rtseed_sim_tests.dir/sim/test_overhead_model.cpp.o.d"
+  "CMakeFiles/rtseed_sim_tests.dir/sim/test_qos_model.cpp.o"
+  "CMakeFiles/rtseed_sim_tests.dir/sim/test_qos_model.cpp.o.d"
+  "CMakeFiles/rtseed_sim_tests.dir/sim/test_sim_properties.cpp.o"
+  "CMakeFiles/rtseed_sim_tests.dir/sim/test_sim_properties.cpp.o.d"
+  "CMakeFiles/rtseed_sim_tests.dir/sim/test_sim_scheduler.cpp.o"
+  "CMakeFiles/rtseed_sim_tests.dir/sim/test_sim_scheduler.cpp.o.d"
+  "CMakeFiles/rtseed_sim_tests.dir/sim/test_trace.cpp.o"
+  "CMakeFiles/rtseed_sim_tests.dir/sim/test_trace.cpp.o.d"
+  "rtseed_sim_tests"
+  "rtseed_sim_tests.pdb"
+  "rtseed_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtseed_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trading/test_analyzer_properties.cpp" "tests/CMakeFiles/rtseed_trading_tests.dir/trading/test_analyzer_properties.cpp.o" "gcc" "tests/CMakeFiles/rtseed_trading_tests.dir/trading/test_analyzer_properties.cpp.o.d"
+  "/root/repo/tests/trading/test_analyzers.cpp" "tests/CMakeFiles/rtseed_trading_tests.dir/trading/test_analyzers.cpp.o" "gcc" "tests/CMakeFiles/rtseed_trading_tests.dir/trading/test_analyzers.cpp.o.d"
+  "/root/repo/tests/trading/test_backtest.cpp" "tests/CMakeFiles/rtseed_trading_tests.dir/trading/test_backtest.cpp.o" "gcc" "tests/CMakeFiles/rtseed_trading_tests.dir/trading/test_backtest.cpp.o.d"
+  "/root/repo/tests/trading/test_broker.cpp" "tests/CMakeFiles/rtseed_trading_tests.dir/trading/test_broker.cpp.o" "gcc" "tests/CMakeFiles/rtseed_trading_tests.dir/trading/test_broker.cpp.o.d"
+  "/root/repo/tests/trading/test_feed.cpp" "tests/CMakeFiles/rtseed_trading_tests.dir/trading/test_feed.cpp.o" "gcc" "tests/CMakeFiles/rtseed_trading_tests.dir/trading/test_feed.cpp.o.d"
+  "/root/repo/tests/trading/test_fundamental.cpp" "tests/CMakeFiles/rtseed_trading_tests.dir/trading/test_fundamental.cpp.o" "gcc" "tests/CMakeFiles/rtseed_trading_tests.dir/trading/test_fundamental.cpp.o.d"
+  "/root/repo/tests/trading/test_indicators.cpp" "tests/CMakeFiles/rtseed_trading_tests.dir/trading/test_indicators.cpp.o" "gcc" "tests/CMakeFiles/rtseed_trading_tests.dir/trading/test_indicators.cpp.o.d"
+  "/root/repo/tests/trading/test_ohlc.cpp" "tests/CMakeFiles/rtseed_trading_tests.dir/trading/test_ohlc.cpp.o" "gcc" "tests/CMakeFiles/rtseed_trading_tests.dir/trading/test_ohlc.cpp.o.d"
+  "/root/repo/tests/trading/test_risk_limits.cpp" "tests/CMakeFiles/rtseed_trading_tests.dir/trading/test_risk_limits.cpp.o" "gcc" "tests/CMakeFiles/rtseed_trading_tests.dir/trading/test_risk_limits.cpp.o.d"
+  "/root/repo/tests/trading/test_strategy.cpp" "tests/CMakeFiles/rtseed_trading_tests.dir/trading/test_strategy.cpp.o" "gcc" "tests/CMakeFiles/rtseed_trading_tests.dir/trading/test_strategy.cpp.o.d"
+  "/root/repo/tests/trading/test_trading_task.cpp" "tests/CMakeFiles/rtseed_trading_tests.dir/trading/test_trading_task.cpp.o" "gcc" "tests/CMakeFiles/rtseed_trading_tests.dir/trading/test_trading_task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rtseed_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/rtseed_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rtseed_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rtseed_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rtseed_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trading/CMakeFiles/rtseed_trading.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtseed_trading_tests.dir/trading/test_analyzer_properties.cpp.o"
+  "CMakeFiles/rtseed_trading_tests.dir/trading/test_analyzer_properties.cpp.o.d"
+  "CMakeFiles/rtseed_trading_tests.dir/trading/test_analyzers.cpp.o"
+  "CMakeFiles/rtseed_trading_tests.dir/trading/test_analyzers.cpp.o.d"
+  "CMakeFiles/rtseed_trading_tests.dir/trading/test_backtest.cpp.o"
+  "CMakeFiles/rtseed_trading_tests.dir/trading/test_backtest.cpp.o.d"
+  "CMakeFiles/rtseed_trading_tests.dir/trading/test_broker.cpp.o"
+  "CMakeFiles/rtseed_trading_tests.dir/trading/test_broker.cpp.o.d"
+  "CMakeFiles/rtseed_trading_tests.dir/trading/test_feed.cpp.o"
+  "CMakeFiles/rtseed_trading_tests.dir/trading/test_feed.cpp.o.d"
+  "CMakeFiles/rtseed_trading_tests.dir/trading/test_fundamental.cpp.o"
+  "CMakeFiles/rtseed_trading_tests.dir/trading/test_fundamental.cpp.o.d"
+  "CMakeFiles/rtseed_trading_tests.dir/trading/test_indicators.cpp.o"
+  "CMakeFiles/rtseed_trading_tests.dir/trading/test_indicators.cpp.o.d"
+  "CMakeFiles/rtseed_trading_tests.dir/trading/test_ohlc.cpp.o"
+  "CMakeFiles/rtseed_trading_tests.dir/trading/test_ohlc.cpp.o.d"
+  "CMakeFiles/rtseed_trading_tests.dir/trading/test_risk_limits.cpp.o"
+  "CMakeFiles/rtseed_trading_tests.dir/trading/test_risk_limits.cpp.o.d"
+  "CMakeFiles/rtseed_trading_tests.dir/trading/test_strategy.cpp.o"
+  "CMakeFiles/rtseed_trading_tests.dir/trading/test_strategy.cpp.o.d"
+  "CMakeFiles/rtseed_trading_tests.dir/trading/test_trading_task.cpp.o"
+  "CMakeFiles/rtseed_trading_tests.dir/trading/test_trading_task.cpp.o.d"
+  "rtseed_trading_tests"
+  "rtseed_trading_tests.pdb"
+  "rtseed_trading_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtseed_trading_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/rtseed_common_tests[1]_include.cmake")
+include("/root/repo/build/tests/rtseed_rt_tests[1]_include.cmake")
+include("/root/repo/build/tests/rtseed_sched_tests[1]_include.cmake")
+include("/root/repo/build/tests/rtseed_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/rtseed_sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/rtseed_trading_tests[1]_include.cmake")
+include("/root/repo/build/tests/rtseed_integration_tests[1]_include.cmake")
