@@ -9,14 +9,21 @@
 //                the RT threads preempt them, as on the Xeon Phi);
 //   cpu-memory — 512 KB read/write loops (the paper sizes this to the Phi's
 //                L2) polluting the caches.
+//
+// Flags: --trace out.json   write a Perfetto trace of the np=4 no-load run
+//        --metrics out.prom write its Prometheus metrics dump
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/table.hpp"
 #include "core/runtime.hpp"
+#include "obs/perfetto_export.hpp"
+#include "obs/prometheus_export.hpp"
 #include "rt/periodic_clock.hpp"
 
 using namespace rtseed;
@@ -89,11 +96,14 @@ class BackgroundLoad {
   std::vector<std::thread> workers_;
 };
 
-core::OverheadSummary run_one(int np, BackgroundLoad::Kind load, int jobs) {
+core::OverheadSummary run_one(int np, BackgroundLoad::Kind load, int jobs,
+                              const std::string& trace_path = "",
+                              const std::string& metrics_path = "") {
   BackgroundLoad background(load);
 
   core::RuntimeOptions options;
   options.initial_offset = millis(10);
+  options.telemetry.enabled = !trace_path.empty() || !metrics_path.empty();
   core::Runtime runtime(options);
 
   core::TaskConfig tc;
@@ -116,12 +126,41 @@ core::OverheadSummary run_one(int np, BackgroundLoad::Kind load, int jobs) {
   }
   runtime.wait_all_finished();
   const auto report = runtime.stop_and_report();
+  if (options.telemetry.enabled) {
+    const auto snapshot = runtime.telemetry_snapshot();
+    if (!trace_path.empty() &&
+        obs::write_perfetto_trace(trace_path, snapshot).is_ok()) {
+      std::printf("[telemetry] %llu events -> %s (ui.perfetto.dev)\n",
+                  static_cast<unsigned long long>(snapshot.total_events()),
+                  trace_path.c_str());
+    }
+    if (!metrics_path.empty() &&
+        obs::write_prometheus(metrics_path, runtime.telemetry()->metrics())
+            .is_ok()) {
+      std::printf("[telemetry] metrics -> %s\n", metrics_path.c_str());
+    }
+  }
   return report.tasks[0].overheads;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--trace out.json] [--metrics out.prom]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
   constexpr int kJobs = 30;
   const int np_values[] = {1, 2, 4};
   const BackgroundLoad::Kind loads[] = {BackgroundLoad::Kind::kNone,
@@ -140,7 +179,12 @@ int main() {
   for (auto load : loads) {
     double prev_de = -1.0;
     for (int np : np_values) {
-      const auto oh = run_one(np, load, kJobs);
+      // The np=4 no-load run carries the telemetry exports.
+      const bool instrumented =
+          np == 4 && load == BackgroundLoad::Kind::kNone;
+      const auto oh = instrumented
+                          ? run_one(np, load, kJobs, trace_path, metrics_path)
+                          : run_one(np, load, kJobs);
       table.add_row({BackgroundLoad::name(load), std::to_string(np),
                      common::format_double(oh.delta_m.mean, 1),
                      common::format_double(oh.delta_b.mean, 1),

@@ -13,15 +13,36 @@
 // demo finishes in ~6 seconds.
 //
 // Build & run:  ./build/examples/trading_demo
+//   --trace out.json    record live telemetry and write a Perfetto trace
+//                       (open in ui.perfetto.dev or chrome://tracing)
+//   --metrics out.prom  dump the Prometheus metrics after the run
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "core/runtime.hpp"
 #include "core/trace_export.hpp"
+#include "obs/perfetto_export.hpp"
+#include "obs/prometheus_export.hpp"
 #include "trading/trading_task.hpp"
 
 using namespace rtseed;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--trace out.json] [--metrics out.prom]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
   // Technical analyses (Bollinger, RSI, crossover, Monte-Carlo, candle
   // patterns) plus a fundamental GDP-differential analysis — six parallel
   // optional parts.
@@ -57,6 +78,8 @@ int main() {
 
   core::RuntimeOptions options;
   options.policy = core::AssignmentPolicy::kOneByOne;
+  // Live telemetry costs nothing unless requested.
+  options.telemetry.enabled = !trace_path.empty() || !metrics_path.empty();
   core::Runtime runtime(options);
 
   constexpr long kJobs = 60;
@@ -91,6 +114,32 @@ int main() {
     std::printf("(timeline written to trading_demo_trace.json — open in "
                 "chrome://tracing)\n\n");
   }
+
+  // Live telemetry exports (per-thread tracks, one lane per task part).
+  if (!trace_path.empty()) {
+    const auto snapshot = runtime.telemetry_snapshot();
+    if (auto st = obs::write_perfetto_trace(trace_path, snapshot); st) {
+      std::printf("(telemetry trace: %llu events -> %s — open in "
+                  "ui.perfetto.dev)\n",
+                  static_cast<unsigned long long>(snapshot.total_events()),
+                  trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "trace export failed: %s\n",
+                   st.to_string().c_str());
+    }
+  }
+  if (!metrics_path.empty()) {
+    (void)runtime.telemetry_snapshot();  // refresh mirrored drop counters
+    if (auto st = obs::write_prometheus(metrics_path,
+                                        runtime.telemetry()->metrics());
+        st) {
+      std::printf("(metrics -> %s)\n", metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "metrics export failed: %s\n",
+                   st.to_string().c_str());
+    }
+  }
+  std::printf("\n");
 
   const auto stats = system.stats();
   std::printf("=== trading session (%ld jobs @ %s) ===\n", stats.jobs,

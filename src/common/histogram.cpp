@@ -28,6 +28,21 @@ void Histogram::record(double x) {
   ++counts_[idx];
 }
 
+void Histogram::record_n(double x, usize n) {
+  if (n == 0) return;
+  total_ += n - 1;  // record() adds the final one
+  if (x < lo_) {
+    underflow_ += n - 1;
+  } else if (x >= hi_) {
+    overflow_ += n - 1;
+  } else {
+    auto idx = static_cast<usize>((x - lo_) / width_);
+    idx = std::min(idx, counts_.size() - 1);
+    counts_[idx] += n - 1;
+  }
+  record(x);
+}
+
 void Histogram::reset() {
   std::fill(counts_.begin(), counts_.end(), usize{0});
   total_ = underflow_ = overflow_ = 0;

@@ -19,6 +19,9 @@ class Histogram {
   Histogram(double lo, double hi, usize buckets);
 
   void record(double x);
+  /// Records `n` identical samples at once (bulk transfer from sharded
+  /// accumulators, e.g. obs::Histogram::materialize).
+  void record_n(double x, usize n);
   void reset();
 
   usize total() const { return total_; }

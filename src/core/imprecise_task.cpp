@@ -57,6 +57,36 @@ ImpreciseTask::ImpreciseTask(common::TaskId id, TaskConfig config,
 
 ImpreciseTask::~ImpreciseTask() { stop(); }
 
+void ImpreciseTask::set_telemetry(obs::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry_ == nullptr) return;
+  telemetry_->set_task_name(id_, config_.params.name);
+  task_metrics_ = telemetry_->register_task_metrics(
+      config_.params.name, termination_strategy_name(options_.termination));
+  pool_->set_telemetry(telemetry_, id_);
+}
+
+void ImpreciseTask::emit(obs::EventKind kind, JobId job, common::i32 arg) {
+  if (trace_ == nullptr) return;  // telemetry disabled: one untaken branch
+  trace_->emit({telemetry_->now(), id_, job, arg, kind});
+}
+
+void ImpreciseTask::record_overheads(const JobRecord& rec) {
+  if (task_metrics_.delta_m == nullptr) return;
+  task_metrics_.delta_m->record(common::to_micros(rec.delta_m()));
+  if (rec.optionals_ran) {
+    task_metrics_.delta_b->record(common::to_micros(rec.delta_b()));
+    if (rec.first_optional_start > 0) {
+      task_metrics_.delta_s->record(common::to_micros(rec.delta_s()));
+    }
+    // Δe is only meaningful when at least one part overran its deadline
+    // and had to be terminated (JobRecord::delta_e()).
+    if (rec.optional_terminated > 0) {
+      task_metrics_.delta_e->record(common::to_micros(rec.delta_e()));
+    }
+  }
+}
+
 common::CpuId ImpreciseTask::optional_cpu(int part_index) const {
   return pool_->cpu(part_index);
 }
@@ -106,6 +136,15 @@ void ImpreciseTask::notify_transition(TaskTransition transition, Nanos now) {
 }
 
 void ImpreciseTask::mandatory_loop() {
+  // Register the event ring on the thread's setup path, before the first
+  // release: run_one_job then never locks or allocates to emit.
+  if (telemetry_ != nullptr) {
+    trace_ = telemetry_->register_thread(
+        config_.params.name + ".m",
+        topology_.cpu_at(placement_.processor, 0));
+    pool_->set_caller_trace(trace_);
+  }
+
   rt::PeriodicClock clock(config_.params.period, options_.initial_offset);
   clock.start();
 
@@ -141,6 +180,8 @@ void ImpreciseTask::run_one_job(JobId job_index, Nanos release) {
 
   rec.mandatory_start = common::monotonic_now();
   notify_transition(TaskTransition::kReleased, rec.mandatory_start);
+  emit(obs::EventKind::kJobRelease, job_index);
+  if (task_metrics_.jobs_released) task_metrics_.jobs_released->increment();
 
   JobContext ctx;
   ctx.job = job_index;
@@ -148,13 +189,18 @@ void ImpreciseTask::run_one_job(JobId job_index, Nanos release) {
   ctx.deadline = rec.deadline;
   ctx.optional_deadline = rec.optional_deadline;
 
+  emit(obs::EventKind::kMandatoryBegin, job_index);
   if (config_.callbacks.mandatory) {
     if (!run_guarded("mandatory", params.name.c_str(),
                      [&] { config_.callbacks.mandatory(ctx); })) {
       callback_errors_.fetch_add(1, std::memory_order_relaxed);
+      if (task_metrics_.callback_errors) {
+        task_metrics_.callback_errors->increment();
+      }
     }
   }
   rec.mandatory_end = common::monotonic_now();
+  emit(obs::EventKind::kMandatoryEnd, job_index);
 
   // Optional parts run only when the mandatory part completed by the
   // optional deadline; otherwise they are DISCARDED (Fig. 1).
@@ -169,28 +215,57 @@ void ImpreciseTask::run_one_job(JobId job_index, Nanos release) {
     rec.first_optional_start = round.first_part_start;
     rec.optional_completed = round.completed;
     rec.optional_terminated = round.terminated;
+    if (task_metrics_.optional_completed) {
+      task_metrics_.optional_completed->add(
+          static_cast<common::u64>(round.completed));
+      task_metrics_.optional_terminated->add(
+          static_cast<common::u64>(round.terminated));
+    }
   } else {
     rec.optional_discarded = np;
     notify_transition(TaskTransition::kOptionalsDiscarded, rec.mandatory_end);
+    emit(obs::EventKind::kOptionalsDiscarded, job_index, np);
+    if (task_metrics_.optional_discarded) {
+      task_metrics_.optional_discarded->add(static_cast<common::u64>(np));
+    }
   }
 
   rec.windup_start = common::monotonic_now();
   notify_transition(TaskTransition::kWindupStarted, rec.windup_start);
+  emit(obs::EventKind::kWindupBegin, job_index);
   if (config_.callbacks.windup) {
     if (!run_guarded("wind-up", params.name.c_str(),
                      [&] { config_.callbacks.windup(ctx); })) {
       callback_errors_.fetch_add(1, std::memory_order_relaxed);
+      if (task_metrics_.callback_errors) {
+        task_metrics_.callback_errors->increment();
+      }
     }
   }
   rec.windup_end = common::monotonic_now();
+  emit(obs::EventKind::kWindupEnd, job_index);
   rec.deadline_met = rec.windup_end <= rec.deadline;
   notify_transition(TaskTransition::kJobFinished, rec.windup_end);
+  emit(obs::EventKind::kJobFinish, job_index);
+  if (task_metrics_.jobs_completed) {
+    task_metrics_.jobs_completed->increment();
+  }
+  if (!rec.deadline_met) {
+    emit(obs::EventKind::kDeadlineMiss, job_index);
+    if (task_metrics_.deadline_misses) {
+      task_metrics_.deadline_misses->increment();
+    }
+  }
   if (!rec.deadline_met && miss_observer_) {
     if (!run_guarded("miss-observer", params.name.c_str(),
                      [&] { miss_observer_(id_, rec); })) {
       callback_errors_.fetch_add(1, std::memory_order_relaxed);
+      if (task_metrics_.callback_errors) {
+        task_metrics_.callback_errors->increment();
+      }
     }
   }
+  record_overheads(rec);
 
   if (!records_.try_push(rec)) {
     records_dropped_.fetch_add(1, std::memory_order_relaxed);

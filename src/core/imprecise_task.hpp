@@ -36,6 +36,7 @@
 #include "core/job_record.hpp"
 #include "core/optional_pool.hpp"
 #include "core/task_config.hpp"
+#include "obs/telemetry.hpp"
 #include "rt/thread.hpp"
 #include "rt/topology.hpp"
 
@@ -112,6 +113,13 @@ class ImpreciseTask {
     observer_ = std::move(observer);
   }
 
+  /// Attaches the telemetry hub (before start()).  Registers this task's
+  /// metric instruments; the mandatory and optional threads register
+  /// their event rings on their own setup paths.  `telemetry` must
+  /// outlive the task; nullptr (the default) keeps every emit site at a
+  /// single untaken branch.
+  void set_telemetry(obs::Telemetry* telemetry);
+
   /// Called on the mandatory thread right after a job misses its deadline
   /// (a watchdog hook for overrun handling / alerting).  Keep it cheap.
   using MissObserver =
@@ -124,6 +132,8 @@ class ImpreciseTask {
   void mandatory_loop();
   void run_one_job(JobId job_index, Nanos release);
   void notify_transition(TaskTransition transition, Nanos now);
+  void emit(obs::EventKind kind, JobId job, common::i32 arg = 0);
+  void record_overheads(const JobRecord& rec);
 
   const common::TaskId id_;
   const TaskConfig config_;
@@ -147,6 +157,10 @@ class ImpreciseTask {
 
   TransitionObserver observer_;
   MissObserver miss_observer_;
+
+  obs::Telemetry* telemetry_ = nullptr;
+  obs::TraceBuffer* trace_ = nullptr;  ///< mandatory thread's event ring
+  obs::TaskMetrics task_metrics_;
 };
 
 }  // namespace rtseed::core

@@ -67,6 +67,10 @@ OptionalPool::RoundResult OptionalPool::run_round(const JobContext& ctx,
 
   // Begin parallel optional parts: one pthread_cond_signal per thread
   // (paper §IV-C: never broadcast).  This loop is the Δb window.
+  if (caller_trace_ != nullptr) {
+    caller_trace_->emit({telemetry_->now(), task_, ctx.job, count,
+                         obs::EventKind::kSignalBegin});
+  }
   result.signal_start = common::monotonic_now();
   for (int k = 0; k < count; ++k) {
     auto& slot = *slots_[static_cast<size_t>(k)];
@@ -76,6 +80,10 @@ OptionalPool::RoundResult OptionalPool::run_round(const JobContext& ctx,
     slot.cv.notify_one();
   }
   result.signal_end = common::monotonic_now();
+  if (caller_trace_ != nullptr) {
+    caller_trace_->emit({telemetry_->now(), task_, ctx.job, count,
+                         obs::EventKind::kSignalEnd});
+  }
 
   // Wait for all parts to end; past OD + margin, force the stop tokens
   // (covers the periodic-check strategy and lost-wakeup pathologies) and
@@ -105,6 +113,15 @@ OptionalPool::RoundResult OptionalPool::run_round(const JobContext& ctx,
 
 void OptionalPool::thread_main(int part) {
   auto& slot = *slots_[static_cast<size_t>(part)];
+  // Telemetry registration happens here, on the thread's setup path,
+  // before the first job is ever signalled — the emit path below is
+  // branch-plus-ring-push only.
+  obs::TraceBuffer* trace = nullptr;
+  if (telemetry_ != nullptr) {
+    trace = telemetry_->register_thread(
+        options_.name_prefix + ".o" + std::to_string(part),
+        options_.cpus[static_cast<size_t>(part)]);
+  }
   for (;;) {
     JobContext job;
     {
@@ -120,6 +137,10 @@ void OptionalPool::thread_main(int part) {
     Nanos expected = 0;
     first_part_start_.compare_exchange_strong(expected, started,
                                               std::memory_order_acq_rel);
+    if (trace != nullptr) {
+      trace->emit({telemetry_->now(), task_, job.job, part,
+                   obs::EventKind::kOptionalBegin});
+    }
 
     StopToken* published_token = nullptr;
     const auto outcome = run_with_deadline(
@@ -149,8 +170,19 @@ void OptionalPool::thread_main(int part) {
 
     if (outcome.outcome == OptionalOutcome::kCompleted) {
       round_completed_.fetch_add(1, std::memory_order_relaxed);
+      if (trace != nullptr) {
+        trace->emit({telemetry_->now(), task_, job.job, part,
+                     obs::EventKind::kOptionalEnd});
+      }
     } else {
       round_terminated_.fetch_add(1, std::memory_order_relaxed);
+      // Emitted after run_with_deadline returned — i.e. after the
+      // siglongjmp/exception unwound back to this frame, where emitting
+      // is safe again (never from inside the signal handler).
+      if (trace != nullptr) {
+        trace->emit({telemetry_->now(), task_, job.job, part,
+                     obs::EventKind::kOptionalTerminated});
+      }
     }
 
     bool last = false;

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/task_config.hpp"
+#include "obs/telemetry.hpp"
 #include "rt/thread.hpp"
 
 namespace rtseed::core {
@@ -81,6 +82,19 @@ class OptionalPool {
     return body_errors_.load(std::memory_order_relaxed);
   }
 
+  /// Attaches the telemetry hub (before start()); each optional thread
+  /// registers its own event ring on its setup path.  `telemetry` must
+  /// outlive the pool.
+  void set_telemetry(obs::Telemetry* telemetry, common::TaskId task) {
+    telemetry_ = telemetry;
+    task_ = task;
+  }
+
+  /// Ring of the thread that calls run_round (the mandatory thread): the
+  /// Δb signal-window events are emitted there.  Set from that thread
+  /// before the first round.
+  void set_caller_trace(obs::TraceBuffer* trace) { caller_trace_ = trace; }
+
  private:
   struct Slot {
     std::mutex mutex;
@@ -107,6 +121,10 @@ class OptionalPool {
   std::atomic<int> round_terminated_{0};
   std::atomic<Nanos> first_part_start_{0};
   std::atomic<long> body_errors_{0};
+
+  obs::Telemetry* telemetry_ = nullptr;
+  common::TaskId task_ = common::kInvalidTask;
+  obs::TraceBuffer* caller_trace_ = nullptr;
 };
 
 }  // namespace rtseed::core

@@ -7,7 +7,12 @@
 
 namespace rtseed::core {
 
-Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {}
+Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
+  if (options_.telemetry.enabled) {
+    telemetry_ = std::make_unique<obs::Telemetry>(options_.telemetry);
+    control_trace_ = telemetry_->register_thread("runtime");
+  }
+}
 
 Runtime::~Runtime() { stop(); }
 
@@ -80,6 +85,7 @@ common::Status Runtime::start() {
     if (options_.on_deadline_miss) {
       task->set_miss_observer(options_.on_deadline_miss);
     }
+    if (telemetry_) task->set_telemetry(telemetry_.get());
     tasks_.push_back(std::move(task));
   }
   for (auto& task : tasks_) {
@@ -89,6 +95,17 @@ common::Status Runtime::start() {
     }
   }
   started_ = true;
+  if (telemetry_) {
+    telemetry_->metrics()
+        .gauge("rtseed_rt_degraded",
+               "1 when SCHED_FIFO or affinity was denied (best-effort run)")
+        ->set((!rt::rt_capabilities().sched_fifo ||
+               !rt::rt_capabilities().affinity)
+                  ? 1.0
+                  : 0.0);
+    control_trace_->emit({telemetry_->now(), common::kInvalidTask, 0, 0,
+                          obs::EventKind::kRuntimeStart});
+  }
   return common::Status::ok();
 }
 
@@ -99,7 +116,16 @@ void Runtime::wait_all_finished() {
 }
 
 void Runtime::stop() {
+  if (started_ && control_trace_ != nullptr) {
+    control_trace_->emit({telemetry_->now(), common::kInvalidTask, 0, 0,
+                          obs::EventKind::kRuntimeStop});
+  }
   for (auto& task : tasks_) task->stop();
+}
+
+obs::TelemetrySnapshot Runtime::telemetry_snapshot() {
+  if (!telemetry_) return {};
+  return telemetry_->snapshot();
 }
 
 RuntimeReport Runtime::stop_and_report() {

@@ -19,6 +19,7 @@
 #include "core/imprecise_task.hpp"
 #include "core/queues.hpp"
 #include "core/qos.hpp"
+#include "obs/telemetry.hpp"
 #include "sched/p_rmwp.hpp"
 
 namespace rtseed::core {
@@ -40,6 +41,11 @@ struct RuntimeOptions {
   std::function<void(common::TaskId, const JobRecord&)> on_deadline_miss;
   Nanos completion_margin = common::millis(100);
   Nanos initial_offset = common::millis(10);
+  /// Runtime telemetry (src/obs): per-thread event rings + metrics
+  /// registry + Perfetto/Prometheus exporters.  Off by default; when off
+  /// no telemetry object exists and every emit site costs one untaken
+  /// branch (no locks, no allocation).
+  obs::TelemetryOptions telemetry;
 };
 
 struct TaskReport {
@@ -97,6 +103,16 @@ class Runtime {
   };
   QueueSnapshot queue_snapshot() const;
 
+  /// The telemetry hub (nullptr when RuntimeOptions::telemetry is off).
+  /// Exporters take it directly: obs::render_perfetto_trace(snapshot),
+  /// obs::render_prometheus(telemetry()->metrics()).
+  obs::Telemetry* telemetry() { return telemetry_.get(); }
+
+  /// Drains the event rings and returns everything collected so far
+  /// (empty snapshot when telemetry is off).  Callable mid-run — the
+  /// rings are SPSC, so draining never perturbs the producers.
+  obs::TelemetrySnapshot telemetry_snapshot();
+
  private:
   void on_transition(common::TaskId task, TaskTransition transition, Nanos now);
 
@@ -105,6 +121,9 @@ class Runtime {
   std::unique_ptr<sched::PRmwpPlan> plan_;
   std::vector<std::unique_ptr<ImpreciseTask>> tasks_;
   bool started_ = false;
+
+  std::unique_ptr<obs::Telemetry> telemetry_;
+  obs::TraceBuffer* control_trace_ = nullptr;  ///< start()/stop() events
 
   mutable std::mutex queues_mutex_;
   ReadyQueues queues_;

@@ -1,36 +1,17 @@
 #include "core/trace_export.hpp"
 
 #include <algorithm>
-#include <cstdio>
 #include <fstream>
 #include <limits>
 
+#include "obs/chrome_trace.hpp"
+
 namespace rtseed::core {
 
-namespace {
-
-void append_event(std::string& out, const char* name, int pid, double ts_us,
-                  double dur_us, bool first) {
-  char buf[256];
-  std::snprintf(buf, sizeof(buf),
-                "%s{\"name\":\"%s\",\"ph\":\"X\",\"pid\":%d,\"tid\":%d,"
-                "\"ts\":%.3f,\"dur\":%.3f}",
-                first ? "" : ",\n", name, pid, pid, ts_us, dur_us);
-  out += buf;
-}
-
-void append_instant(std::string& out, const char* name, int pid,
-                    double ts_us) {
-  char buf[256];
-  std::snprintf(buf, sizeof(buf),
-                ",\n{\"name\":\"%s\",\"ph\":\"i\",\"pid\":%d,\"tid\":%d,"
-                "\"ts\":%.3f,\"s\":\"t\"}",
-                name, pid, pid, ts_us);
-  out += buf;
-}
-
-}  // namespace
-
+// Summary-only export from per-job records.  Rendering (JSON escaping of
+// task names, arbitrary name lengths, comma placement) is delegated to
+// obs::ChromeTraceBuilder — the same document builder the live
+// obs::Telemetry Perfetto exporter uses.
 std::string render_chrome_trace(const std::vector<TaskTrace>& tasks) {
   // Anchor at the earliest release so timestamps are small and aligned.
   Nanos anchor = std::numeric_limits<Nanos>::max();
@@ -42,38 +23,35 @@ std::string render_chrome_trace(const std::vector<TaskTrace>& tasks) {
   if (anchor == std::numeric_limits<Nanos>::max()) anchor = 0;
   auto us = [&](Nanos t) { return common::to_micros(t - anchor); };
 
-  std::string out = "{\"traceEvents\":[\n";
-  bool first = true;
+  obs::ChromeTraceBuilder builder;
   int pid = 1;
   for (const auto& task : tasks) {
+    builder.set_process_name(pid, task.name);
     for (const auto& rec : task.records) {
-      const std::string mand = task.name + "/mandatory";
-      append_event(out, mand.c_str(), pid, us(rec.mandatory_start),
-                   common::to_micros(rec.mandatory_end - rec.mandatory_start),
-                   first);
-      first = false;
+      builder.add_complete(task.name + "/mandatory", pid, pid,
+                           us(rec.mandatory_start),
+                           common::to_micros(rec.mandatory_end -
+                                             rec.mandatory_start));
       if (rec.optionals_ran && rec.first_optional_start > 0) {
-        const std::string opt = task.name + "/optional-window";
-        append_event(out, opt.c_str(), pid, us(rec.first_optional_start),
-                     common::to_micros(rec.windup_start -
-                                       rec.first_optional_start),
-                     false);
+        builder.add_complete(task.name + "/optional-window", pid, pid,
+                             us(rec.first_optional_start),
+                             common::to_micros(rec.windup_start -
+                                               rec.first_optional_start));
       }
-      const std::string wind = task.name + "/wind-up";
-      append_event(out, wind.c_str(), pid, us(rec.windup_start),
-                   common::to_micros(rec.windup_end - rec.windup_start),
-                   false);
-      append_instant(out, (task.name + "/OD").c_str(), pid,
-                     us(rec.optional_deadline));
+      builder.add_complete(task.name + "/wind-up", pid, pid,
+                           us(rec.windup_start),
+                           common::to_micros(rec.windup_end -
+                                             rec.windup_start));
+      builder.add_instant(task.name + "/OD", pid, pid,
+                          us(rec.optional_deadline));
       if (!rec.deadline_met) {
-        append_instant(out, (task.name + "/DEADLINE-MISS").c_str(), pid,
-                       us(rec.deadline));
+        builder.add_instant(task.name + "/DEADLINE-MISS", pid, pid,
+                            us(rec.deadline));
       }
     }
     ++pid;
   }
-  out += "\n]}\n";
-  return out;
+  return builder.render();
 }
 
 common::Status write_chrome_trace(const std::string& path,

@@ -1,0 +1,106 @@
+#include "obs/chrome_trace.hpp"
+
+#include <cstdio>
+
+namespace rtseed::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void ChromeTraceBuilder::set_process_name(int pid, std::string name) {
+  meta_.push_back({pid, 0, true, std::move(name)});
+}
+
+void ChromeTraceBuilder::set_thread_name(int pid, int tid, std::string name) {
+  meta_.push_back({pid, tid, false, std::move(name)});
+}
+
+void ChromeTraceBuilder::add_complete(std::string name, int pid, int tid,
+                                      double ts_us, double dur_us) {
+  events_.push_back({std::move(name), pid, tid, ts_us, dur_us, false});
+}
+
+void ChromeTraceBuilder::add_instant(std::string name, int pid, int tid,
+                                     double ts_us) {
+  events_.push_back({std::move(name), pid, tid, ts_us, 0.0, true});
+}
+
+common::usize ChromeTraceBuilder::num_events() const {
+  return meta_.size() + events_.size();
+}
+
+std::string ChromeTraceBuilder::render() const {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  char buf[128];
+  auto comma = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+  for (const auto& m : meta_) {
+    comma();
+    out += "{\"name\":\"";
+    out += m.is_process ? "process_name" : "thread_name";
+    out += "\",\"ph\":\"M\",";
+    std::snprintf(buf, sizeof(buf), "\"pid\":%d,\"tid\":%d,", m.pid, m.tid);
+    out += buf;
+    out += "\"args\":{\"name\":\"" + json_escape(m.name) + "\"}}";
+  }
+  for (const auto& e : events_) {
+    comma();
+    out += "{\"name\":\"" + json_escape(e.name) + "\",";
+    if (e.instant) {
+      std::snprintf(buf, sizeof(buf),
+                    "\"ph\":\"i\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,"
+                    "\"s\":\"t\"}",
+                    e.pid, e.tid, e.ts_us);
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,"
+                    "\"dur\":%.3f}",
+                    e.pid, e.tid, e.ts_us, e.dur_us);
+    }
+    out += buf;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace rtseed::obs

@@ -1,0 +1,145 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+
+namespace rtseed::obs {
+
+const char* metric_type_name(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+void Counter::sync_to(common::u64 v) {
+  common::u64 current = value_.load(std::memory_order_relaxed);
+  while (current < v && !value_.compare_exchange_weak(
+                            current, v, std::memory_order_relaxed)) {
+  }
+}
+
+void Gauge::add(double delta) {
+  double current = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(double lo, double hi, common::usize buckets)
+    : lo_(lo),
+      hi_(hi),
+      width_((hi - lo) / static_cast<double>(buckets == 0 ? 1 : buckets)),
+      counts_(buckets == 0 ? 1 : buckets) {}
+
+void Histogram::record(double x) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + x,
+                                     std::memory_order_relaxed)) {
+  }
+  if (x < lo_) {
+    underflow_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (x >= hi_) {
+    overflow_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  auto i = static_cast<common::usize>((x - lo_) / width_);
+  if (i >= counts_.size()) i = counts_.size() - 1;  // FP edge at hi
+  counts_[i].fetch_add(1, std::memory_order_relaxed);
+}
+
+common::Histogram Histogram::materialize() const {
+  common::Histogram out(lo_, hi_, counts_.size());
+  for (common::usize i = 0; i < counts_.size(); ++i) {
+    const auto n = counts_[i].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    out.record_n((bucket_lo(i) + bucket_hi(i)) / 2.0,
+                 static_cast<common::usize>(n));
+  }
+  const auto uf = underflow_.load(std::memory_order_relaxed);
+  const auto of = overflow_.load(std::memory_order_relaxed);
+  if (uf > 0) out.record_n(std::nextafter(lo_, -1e308), uf);
+  if (of > 0) out.record_n(hi_, of);
+  return out;
+}
+
+MetricsRegistry::Slot* MetricsRegistry::find_locked(const std::string& name,
+                                                    const Labels& labels,
+                                                    MetricType type) {
+  for (auto& slot : slots_) {
+    if (slot->entry.type == type && slot->entry.name == name &&
+        slot->entry.labels == labels) {
+      return slot.get();
+    }
+  }
+  return nullptr;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help, Labels labels) {
+  std::lock_guard lock(mutex_);
+  if (auto* slot = find_locked(name, labels, MetricType::kCounter)) {
+    return slot->entry.counter;
+  }
+  auto slot = std::make_unique<Slot>();
+  slot->counter = std::make_unique<Counter>();
+  slot->entry = {name, help, MetricType::kCounter, std::move(labels),
+                 slot->counter.get(), nullptr, nullptr};
+  auto* out = slot->entry.counter;
+  slots_.push_back(std::move(slot));
+  return out;
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help, Labels labels) {
+  std::lock_guard lock(mutex_);
+  if (auto* slot = find_locked(name, labels, MetricType::kGauge)) {
+    return slot->entry.gauge;
+  }
+  auto slot = std::make_unique<Slot>();
+  slot->gauge = std::make_unique<Gauge>();
+  slot->entry = {name, help, MetricType::kGauge, std::move(labels), nullptr,
+                 slot->gauge.get(), nullptr};
+  auto* out = slot->entry.gauge;
+  slots_.push_back(std::move(slot));
+  return out;
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help, double lo,
+                                      double hi, common::usize buckets,
+                                      Labels labels) {
+  std::lock_guard lock(mutex_);
+  if (auto* slot = find_locked(name, labels, MetricType::kHistogram)) {
+    return slot->entry.histogram;
+  }
+  auto slot = std::make_unique<Slot>();
+  slot->histogram = std::make_unique<Histogram>(lo, hi, buckets);
+  slot->entry = {name, help, MetricType::kHistogram, std::move(labels),
+                 nullptr, nullptr, slot->histogram.get()};
+  auto* out = slot->entry.histogram;
+  slots_.push_back(std::move(slot));
+  return out;
+}
+
+std::vector<MetricsRegistry::Entry> MetricsRegistry::entries() const {
+  std::lock_guard lock(mutex_);
+  std::vector<Entry> out;
+  out.reserve(slots_.size());
+  for (const auto& slot : slots_) out.push_back(slot->entry);
+  return out;
+}
+
+common::usize MetricsRegistry::size() const {
+  std::lock_guard lock(mutex_);
+  return slots_.size();
+}
+
+}  // namespace rtseed::obs

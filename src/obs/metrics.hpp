@@ -1,0 +1,162 @@
+// Lock-free metrics registry: counters, gauges, and fixed-bucket latency
+// histograms.
+//
+// Registration (naming an instrument) takes a mutex and may allocate, so
+// it belongs in setup code — Runtime::start(), pool construction, tests.
+// The returned instrument pointers are stable for the registry's lifetime
+// and updating through them is wait-free (relaxed atomic arithmetic), so
+// the hot path — SCHED_FIFO middleware threads — only ever touches
+// atomics.  Reads aggregate on demand: exporters walk the registry and
+// load whatever the producers have published so far.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/types.hpp"
+
+namespace rtseed::obs {
+
+/// Prometheus-style key/value labels, e.g. {{"task", "tau1"}}.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+const char* metric_type_name(MetricType type);
+
+/// Monotonically increasing count.
+class Counter {
+ public:
+  void add(common::u64 n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void increment() { add(1); }
+
+  /// Mirrors an external monotonic source (e.g. RtLogger::dropped()):
+  /// raises the stored value to `v`, never lowers it.
+  void sync_to(common::u64 v);
+
+  common::u64 value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<common::u64> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Linear-bucket histogram with wait-free recording: the atomic twin of
+/// common::Histogram.  Out-of-range samples land in underflow/overflow;
+/// sum/count make Prometheus _sum/_count exact even when samples overflow
+/// the bucket range.
+class Histogram {
+ public:
+  /// Requires hi > lo and buckets >= 1.
+  Histogram(double lo, double hi, common::usize buckets);
+
+  void record(double x);
+
+  common::u64 count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  common::u64 underflow() const {
+    return underflow_.load(std::memory_order_relaxed);
+  }
+  common::u64 overflow() const {
+    return overflow_.load(std::memory_order_relaxed);
+  }
+  common::usize bucket_count() const { return counts_.size(); }
+  common::u64 bucket(common::usize i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  double bucket_lo(common::usize i) const {
+    return lo_ + width_ * static_cast<double>(i);
+  }
+  double bucket_hi(common::usize i) const {
+    return lo_ + width_ * static_cast<double>(i + 1);
+  }
+
+  /// Aggregate-on-read: snapshots the atomic buckets into a
+  /// common::Histogram (bucket-midpoint semantics) for rendering and
+  /// percentile estimation.
+  common::Histogram materialize() const;
+
+ private:
+  const double lo_;
+  const double hi_;
+  const double width_;
+  std::vector<std::atomic<common::u64>> counts_;
+  std::atomic<common::u64> count_{0};
+  std::atomic<common::u64> underflow_{0};
+  std::atomic<common::u64> overflow_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Each getter creates the instrument on first use and returns the same
+  /// pointer for the same (name, labels) thereafter.  Counter names should
+  /// follow the Prometheus convention and end in `_total`.
+  Counter* counter(const std::string& name, const std::string& help,
+                   Labels labels = {});
+  Gauge* gauge(const std::string& name, const std::string& help,
+               Labels labels = {});
+  /// Histogram buckets are linear over [lo, hi); the unit is whatever the
+  /// caller records (middleware overheads use microseconds).
+  Histogram* histogram(const std::string& name, const std::string& help,
+                       double lo, double hi, common::usize buckets,
+                       Labels labels = {});
+
+  struct Entry {
+    std::string name;
+    std::string help;
+    MetricType type = MetricType::kCounter;
+    Labels labels;
+    // Exactly one is non-null, matching `type`.
+    Counter* counter = nullptr;
+    Gauge* gauge = nullptr;
+    Histogram* histogram = nullptr;
+  };
+
+  /// Stable snapshot of the registered instruments (the pointers stay
+  /// valid; values read through them are live).
+  std::vector<Entry> entries() const;
+
+  common::usize size() const;
+
+ private:
+  struct Slot {
+    Entry entry;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Slot* find_locked(const std::string& name, const Labels& labels,
+                    MetricType type);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+};
+
+}  // namespace rtseed::obs

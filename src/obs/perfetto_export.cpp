@@ -1,0 +1,151 @@
+#include "obs/perfetto_export.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+
+#include "obs/chrome_trace.hpp"
+#include "rt/tsc.hpp"
+
+namespace rtseed::obs {
+
+double event_timestamp_micros(ClockDomain clock, common::u64 raw,
+                              common::u64 anchor) {
+  const common::u64 delta = raw >= anchor ? raw - anchor : 0;
+  if (clock == ClockDomain::kTsc) {
+    return common::to_micros(rt::cycles_to_nanos(delta));
+  }
+  return static_cast<double>(delta) / 1000.0;  // nanoseconds -> us
+}
+
+namespace {
+
+std::string slice_name(const TelemetrySnapshot& snap, const TraceEvent& ev) {
+  const std::string task = snap.task_name(ev.task);
+  switch (ev.kind) {
+    case EventKind::kMandatoryBegin:
+      return task + "/mandatory";
+    case EventKind::kSignalBegin:
+      return task + "/signal-optionals";
+    case EventKind::kOptionalBegin:
+      return task + "/optional" + std::to_string(ev.arg);
+    case EventKind::kWindupBegin:
+      return task + "/wind-up";
+    default:
+      return task + "/" + event_kind_name(ev.kind);
+  }
+}
+
+}  // namespace
+
+std::string render_perfetto_trace(const TelemetrySnapshot& snapshot) {
+  ChromeTraceBuilder builder;
+  builder.set_process_name(1, "rtseed");
+
+  common::u64 anchor = std::numeric_limits<common::u64>::max();
+  for (const auto& thread : snapshot.threads) {
+    for (const auto& ev : thread.events) {
+      anchor = std::min(anchor, ev.timestamp);
+    }
+  }
+  if (anchor == std::numeric_limits<common::u64>::max()) anchor = 0;
+  auto us = [&](common::u64 t) {
+    return event_timestamp_micros(snapshot.clock, t, anchor);
+  };
+
+  int tid = 0;
+  for (const auto& thread : snapshot.threads) {
+    ++tid;
+    std::string label = thread.name;
+    if (thread.cpu != common::kInvalidCpu) {
+      label += " (cpu" + std::to_string(thread.cpu) + ")";
+    }
+    builder.set_thread_name(1, tid, label);
+
+    // Pair begin/end events into slices.  Each thread runs one part at a
+    // time, so one open slice per begin kind suffices; kOptionalBegin
+    // closes on either kOptionalEnd or kOptionalTerminated.
+    struct Open {
+      bool active = false;
+      TraceEvent begin;
+    };
+    Open open[kNumEventKinds] = {};
+    common::u64 last_ts = anchor;
+
+    auto close = [&](EventKind begin_kind, common::u64 end_ts) {
+      auto& slot = open[static_cast<int>(begin_kind)];
+      if (!slot.active) return false;
+      slot.active = false;
+      builder.add_complete(slice_name(snapshot, slot.begin), 1, tid,
+                           us(slot.begin.timestamp),
+                           us(end_ts) - us(slot.begin.timestamp));
+      return true;
+    };
+
+    for (const auto& ev : thread.events) {
+      last_ts = std::max(last_ts, ev.timestamp);
+      if (event_kind_is_begin(ev.kind)) {
+        // A begin while the same kind is open means a lost end event
+        // (ring overflow): close the stale slice at this timestamp.
+        close(ev.kind, ev.timestamp);
+        open[static_cast<int>(ev.kind)] = {true, ev};
+        continue;
+      }
+      switch (ev.kind) {
+        case EventKind::kMandatoryEnd:
+          close(EventKind::kMandatoryBegin, ev.timestamp);
+          break;
+        case EventKind::kSignalEnd:
+          close(EventKind::kSignalBegin, ev.timestamp);
+          break;
+        case EventKind::kOptionalEnd:
+          close(EventKind::kOptionalBegin, ev.timestamp);
+          break;
+        case EventKind::kOptionalTerminated:
+          close(EventKind::kOptionalBegin, ev.timestamp);
+          builder.add_instant(snapshot.task_name(ev.task) + "/optional" +
+                                  std::to_string(ev.arg) + "/terminated",
+                              1, tid, us(ev.timestamp));
+          break;
+        case EventKind::kWindupEnd:
+          close(EventKind::kWindupBegin, ev.timestamp);
+          break;
+        case EventKind::kDeadlineMiss:
+          builder.add_instant(
+              snapshot.task_name(ev.task) + "/DEADLINE-MISS", 1, tid,
+              us(ev.timestamp));
+          break;
+        case EventKind::kJobRelease:
+        case EventKind::kOptionalsDiscarded:
+        case EventKind::kJobFinish:
+          builder.add_instant(snapshot.task_name(ev.task) + "/" +
+                                  event_kind_name(ev.kind),
+                              1, tid, us(ev.timestamp));
+          break;
+        case EventKind::kRuntimeStart:
+        case EventKind::kRuntimeStop:
+          builder.add_instant(event_kind_name(ev.kind), 1, tid,
+                              us(ev.timestamp));
+          break;
+        default:
+          break;
+      }
+    }
+    // Close anything still open (e.g. a part terminated by shutdown).
+    for (int k = 0; k < kNumEventKinds; ++k) {
+      close(static_cast<EventKind>(k), last_ts);
+    }
+  }
+  return builder.render();
+}
+
+common::Status write_perfetto_trace(const std::string& path,
+                                    const TelemetrySnapshot& snapshot) {
+  std::ofstream out(path);
+  if (!out) return common::unavailable("cannot open " + path);
+  out << render_perfetto_trace(snapshot);
+  return out.good() ? common::Status::ok()
+                    : common::unavailable("write failed: " + path);
+}
+
+}  // namespace rtseed::obs

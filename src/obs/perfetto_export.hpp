@@ -1,0 +1,27 @@
+// Perfetto/Chrome-trace export of the live telemetry event stream.
+//
+// Renders a TelemetrySnapshot as trace-event JSON with one track per
+// registered (hardware) thread and one lane per task part: mandatory,
+// signal window, each optional part, wind-up.  Instants mark releases,
+// discards, terminations, and deadline misses.  Open the output in
+// ui.perfetto.dev or chrome://tracing.
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "obs/telemetry.hpp"
+
+namespace rtseed::obs {
+
+/// Microseconds on the trace timeline for a raw event timestamp, given
+/// the snapshot's clock domain and the anchor (earliest timestamp).
+double event_timestamp_micros(ClockDomain clock, common::u64 raw,
+                              common::u64 anchor);
+
+std::string render_perfetto_trace(const TelemetrySnapshot& snapshot);
+
+common::Status write_perfetto_trace(const std::string& path,
+                                    const TelemetrySnapshot& snapshot);
+
+}  // namespace rtseed::obs

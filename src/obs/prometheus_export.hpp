@@ -1,0 +1,21 @@
+// Prometheus text-exposition (version 0.0.4) rendering of a
+// MetricsRegistry: HELP/TYPE headers per family, escaped label values,
+// cumulative histogram buckets with le="..." and +Inf, _sum and _count.
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "obs/metrics.hpp"
+
+namespace rtseed::obs {
+
+/// Escapes a label value: backslash, double quote, newline.
+std::string prometheus_escape(const std::string& value);
+
+std::string render_prometheus(const MetricsRegistry& registry);
+
+common::Status write_prometheus(const std::string& path,
+                                const MetricsRegistry& registry);
+
+}  // namespace rtseed::obs

@@ -1,0 +1,60 @@
+// Per-thread, wait-free, fixed-capacity event ring.
+//
+// One producer (the instrumented real-time thread) and one consumer (the
+// snapshotter) — the spsc_ring idiom.  Capacity is fixed at registration;
+// when the ring is full the event is dropped and counted, never blocking
+// the producer.  Emitting is two relaxed loads, a store, and a release
+// store: safe inside SCHED_FIFO threads.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "common/spsc_ring.hpp"
+#include "obs/trace_event.hpp"
+
+namespace rtseed::obs {
+
+class TraceBuffer {
+ public:
+  /// `capacity` must be a power of two >= 2.
+  TraceBuffer(std::string thread_name, common::CpuId cpu, common::usize capacity)
+      : thread_name_(std::move(thread_name)), cpu_(cpu), ring_(capacity) {}
+
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  const std::string& thread_name() const { return thread_name_; }
+  common::CpuId cpu() const { return cpu_; }
+  common::usize capacity() const { return ring_.capacity(); }
+
+  /// Producer side (wait-free).  Full ring: the event is dropped and the
+  /// drop counter incremented — real-time producers never block.
+  void emit(const TraceEvent& event) {
+    if (!ring_.try_push(event)) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Consumer side: removes and returns all pending events.
+  std::vector<TraceEvent> drain() {
+    std::vector<TraceEvent> out;
+    while (auto event = ring_.try_pop()) out.push_back(*event);
+    return out;
+  }
+
+  common::u64 dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  common::usize pending_approx() const { return ring_.size_approx(); }
+
+ private:
+  const std::string thread_name_;
+  const common::CpuId cpu_;
+  common::SpscRing<TraceEvent> ring_;
+  std::atomic<common::u64> dropped_{0};
+};
+
+}  // namespace rtseed::obs

@@ -1,0 +1,57 @@
+// The unified runtime event schema shared by native middleware threads
+// and the discrete-event simulator.
+//
+// An event is a fixed-size POD: emitting one is a couple of stores into a
+// per-thread wait-free ring (obs::TraceBuffer) — no locks, no allocation,
+// no formatting on the hot path.  Native runs timestamp events with the
+// TSC (rt::rdtscp_now); simulator runs reuse the same schema with virtual
+// nanoseconds, so one exporter renders both.
+#pragma once
+
+#include "common/time.hpp"
+#include "common/types.hpp"
+
+namespace rtseed::obs {
+
+/// What happened.  Begin/end pairs become slices in the Perfetto export;
+/// the rest render as instants.
+enum class EventKind : common::u8 {
+  kJobRelease = 0,      ///< job released (mandatory thread woke up)
+  kMandatoryBegin,      ///< mandatory part entered the user callback
+  kMandatoryEnd,
+  kSignalBegin,         ///< Δb window: the cond_signal loop starts
+  kSignalEnd,
+  kOptionalBegin,       ///< optional part k began (on its own thread)
+  kOptionalEnd,         ///< optional part k completed before OD
+  kOptionalTerminated,  ///< optional part k terminated at OD (arg = k)
+  kOptionalsDiscarded,  ///< mandatory ran past OD: optionals never started
+  kWindupBegin,
+  kWindupEnd,
+  kDeadlineMiss,        ///< wind-up completed past the job deadline
+  kJobFinish,
+  kRuntimeStart,        ///< Runtime::start() completed
+  kRuntimeStop,         ///< Runtime::stop() entered
+};
+
+inline constexpr int kNumEventKinds = 15;
+
+const char* event_kind_name(EventKind kind);
+
+/// True for kinds that open a slice (paired with the matching *End kind).
+bool event_kind_is_begin(EventKind kind);
+
+/// The matching end kind for a begin kind (kOptionalBegin also closes on
+/// kOptionalTerminated).
+EventKind event_kind_end_of(EventKind begin);
+
+struct TraceEvent {
+  common::u64 timestamp = 0;  ///< raw clock value (TSC or virtual nanos)
+  common::TaskId task = common::kInvalidTask;
+  common::JobId job = 0;
+  common::i32 arg = 0;  ///< part index, termination strategy, ...
+  EventKind kind = EventKind::kJobRelease;
+};
+
+static_assert(sizeof(TraceEvent) <= 32, "keep events cache-friendly");
+
+}  // namespace rtseed::obs

@@ -79,8 +79,14 @@ struct Simulator {
   std::vector<TaskState> state;
   SimResult result;
 
+  obs::TraceBuffer* trace_buffer = nullptr;
+
   Simulator(const sched::TaskSet& ts, const SimOptions& opts)
       : tasks(ts), options(opts) {
+    if (options.telemetry != nullptr) {
+      trace_buffer = options.telemetry->register_thread(
+          options.telemetry_track);
+    }
     const auto n = static_cast<size_t>(tasks.size());
     rm_rank.resize(n);
     const auto ranks = sched::rm_ranks(tasks);
@@ -107,6 +113,37 @@ struct Simulator {
       }
     }
     result.optional_deadlines = ods;
+  }
+
+  // The native middleware's event schema with virtual timestamps.
+  void emit(TaskId i, obs::EventKind kind, Nanos t, common::i32 arg = 0) {
+    if (trace_buffer == nullptr) return;
+    TaskId global = i;
+    const auto idx = static_cast<size_t>(i);
+    if (idx < options.telemetry_task_ids.size()) {
+      global = options.telemetry_task_ids[idx];
+    }
+    trace_buffer->emit({static_cast<common::u64>(t), global,
+                        state[idx].job, arg, kind});
+  }
+
+  void emit_part_slice(TaskId i, Nanos start, Nanos end) {
+    if (trace_buffer == nullptr) return;
+    obs::EventKind begin = obs::EventKind::kMandatoryBegin;
+    switch (current_part_kind(i)) {
+      case PartKind::kWhole:
+      case PartKind::kMandatory:
+        begin = obs::EventKind::kMandatoryBegin;
+        break;
+      case PartKind::kOptional:
+        begin = obs::EventKind::kOptionalBegin;
+        break;
+      case PartKind::kWindup:
+        begin = obs::EventKind::kWindupBegin;
+        break;
+    }
+    emit(i, begin, start);
+    emit(i, obs::event_kind_end_of(begin), end);
   }
 
   // Priority comparison: returns true when a beats b.
@@ -161,6 +198,7 @@ struct Simulator {
       s.remaining += options.windup_overhead;  // whole-job model
     }
     s.next_release = now + p.period;
+    emit(i, obs::EventKind::kJobRelease, now);
     if (s.remaining == 0) complete_part(i, now);  // zero-length mandatory
   }
 
@@ -193,6 +231,8 @@ struct Simulator {
         } else {
           // Mandatory ran past OD: optional discarded, wind-up now.
           st.optional_discarded += std::max(1, p.num_optional());
+          emit(i, obs::EventKind::kOptionalsDiscarded, now,
+               std::max(1, p.num_optional()));
           s.od_armed = false;
           s.phase = Phase::kWindup;
           s.remaining = p.windup + options.windup_overhead;
@@ -220,7 +260,11 @@ struct Simulator {
     auto& s = state[static_cast<size_t>(i)];
     auto& st = result.tasks[static_cast<size_t>(i)];
     ++st.completed;
-    if (now > s.deadline_time) ++st.misses;
+    emit(i, obs::EventKind::kJobFinish, now);
+    if (now > s.deadline_time) {
+      ++st.misses;
+      emit(i, obs::EventKind::kDeadlineMiss, now);
+    }
     const Nanos response = now - (s.deadline_time -
                                   tasks[i].effective_deadline());
     st.max_response = std::max(st.max_response, response);
@@ -242,6 +286,7 @@ struct Simulator {
       case Phase::kOptional:
         // Terminated at the optional deadline.
         st.optional_terminated += std::max(1, p.num_optional());
+        emit(i, obs::EventKind::kOptionalTerminated, now);
         [[fallthrough]];
       case Phase::kWaitingWindup:
         s.phase = Phase::kWindup;
@@ -263,6 +308,7 @@ struct Simulator {
     if (!s.job_live) return;
     if (now >= s.deadline_time) {
       ++st.misses;
+      emit(i, obs::EventKind::kDeadlineMiss, now);
       if (options.abort_at_deadline) {
         s.job_live = false;
         s.phase = Phase::kSleeping;
@@ -292,7 +338,9 @@ struct Simulator {
   }
 
   void record_slice(TaskId i, Nanos start, Nanos end) {
-    if (!options.record_trace || end <= start) return;
+    if (end <= start) return;
+    emit_part_slice(i, start, end);
+    if (!options.record_trace) return;
     const auto part = current_part_kind(i);
     // Merge with the previous slice when contiguous (same task/part/job).
     if (!result.trace.empty()) {
@@ -424,9 +472,13 @@ PartitionedSimResult simulate_partitioned(const sched::TaskSet& tasks,
     sched::TaskSet local;
     SimOptions local_options = options;
     local_options.optional_deadlines.clear();  // re-derived per processor
+    local_options.telemetry_track =
+        options.telemetry_track + ".cpu" + std::to_string(p);
+    local_options.telemetry_task_ids.clear();
     for (TaskId i = 0; i < tasks.size(); ++i) {
       if (partition.processor_of[static_cast<size_t>(i)] == p) {
         local.add(tasks[i]);
+        local_options.telemetry_task_ids.push_back(i);
       }
     }
     if (local.empty()) {

@@ -18,8 +18,10 @@
 #pragma once
 
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "obs/telemetry.hpp"
 #include "sched/partition.hpp"
 #include "sched/task_model.hpp"
 
@@ -75,6 +77,16 @@ struct SimOptions {
   /// what sched::PRmwpOptions::od_margin exists for.
   Nanos release_overhead = 0;
   Nanos windup_overhead = 0;
+  /// When set, the simulator emits the same obs::TraceEvent schema the
+  /// native middleware emits (releases, part begin/end, terminations,
+  /// misses) with virtual-nanosecond timestamps, so one Perfetto exporter
+  /// renders both.  Construct the Telemetry with ClockDomain::kVirtual.
+  obs::Telemetry* telemetry = nullptr;
+  /// Track (thread) name events register under, e.g. "sim.cpu0".
+  std::string telemetry_track = "sim";
+  /// Maps local task indices to the TaskIds events carry (partitioned
+  /// simulations pass the pre-partition ids); empty = identity.
+  std::vector<TaskId> telemetry_task_ids;
 };
 
 struct SimResult {

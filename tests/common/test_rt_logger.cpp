@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/telemetry.hpp"
+
 namespace rtseed::common {
 namespace {
 
@@ -57,6 +59,25 @@ TEST(RtLogger, LevelNames) {
   EXPECT_STREQ(log_level_name(LogLevel::kInfo), "INFO");
   EXPECT_STREQ(log_level_name(LogLevel::kWarn), "WARN");
   EXPECT_STREQ(log_level_name(LogLevel::kError), "ERROR");
+}
+
+TEST(RtLogger, DropsAreCountedInMetricsRegistry) {
+  obs::TelemetryOptions options;
+  options.enabled = true;
+  obs::Telemetry telemetry(options);
+  RtLogger& logger = global_logger();
+  const u64 before = logger.dropped();
+  // Far more records than any plausible ring capacity.
+  for (int i = 0; i < 100000; ++i) logger.info("spam %d", i);
+  ASSERT_GT(logger.dropped(), before);
+  (void)telemetry.snapshot();  // refreshes the mirrored counter
+  const obs::Counter* mirrored = nullptr;
+  for (const auto& entry : telemetry.metrics().entries()) {
+    if (entry.name == "rtseed_logger_dropped_total") mirrored = entry.counter;
+  }
+  ASSERT_NE(mirrored, nullptr);
+  EXPECT_EQ(mirrored->value(), logger.dropped());
+  logger.drain();  // leave the global ring empty for other tests
 }
 
 TEST(RtLogger, GlobalLoggerIsSingleton) {

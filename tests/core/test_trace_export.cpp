@@ -87,5 +87,19 @@ TEST(TraceExport, UnwritablePathReported) {
       write_chrome_trace("/nonexistent-dir/x.json", {}).is_ok());
 }
 
+TEST(TraceExport, EscapesAdversarialTaskNames) {
+  const std::string name = "ta\"u\\1\nx";
+  const std::string json = render_chrome_trace({{name, {record(0)}}});
+  // The raw quote/backslash/newline must not appear unescaped.
+  EXPECT_EQ(json.find("ta\"u"), std::string::npos);
+  EXPECT_NE(json.find("ta\\\"u\\\\1\\nx"), std::string::npos);
+}
+
+TEST(TraceExport, LongTaskNamesAreNotTruncated) {
+  const std::string name(600, 'q');
+  const std::string json = render_chrome_trace({{name, {record(0)}}});
+  EXPECT_NE(json.find(name + "/mandatory"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace rtseed::core

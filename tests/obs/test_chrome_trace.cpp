@@ -1,0 +1,64 @@
+#include "obs/chrome_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "json_check.hpp"
+
+namespace rtseed::obs {
+namespace {
+
+using rtseed::test::is_valid_json;
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("tau1/mandatory"), "tau1/mandatory");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("a\x01z")), "a\\u0001z");
+}
+
+TEST(ChromeTraceBuilder, EmptyDocumentIsValid) {
+  ChromeTraceBuilder builder;
+  EXPECT_EQ(builder.num_events(), 0u);
+  EXPECT_TRUE(is_valid_json(builder.render()));
+}
+
+TEST(ChromeTraceBuilder, RendersSlicesInstantsAndMetadata) {
+  ChromeTraceBuilder builder;
+  builder.set_process_name(1, "rtseed");
+  builder.set_thread_name(1, 2, "tau1.m (cpu1)");
+  builder.add_complete("tau1/mandatory", 1, 2, 100.0, 50.0);
+  builder.add_instant("tau1/release", 1, 2, 100.0);
+  const std::string json = builder.render();
+  EXPECT_TRUE(is_valid_json(json)) << json;
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":50.000"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":100.000"), std::string::npos);
+}
+
+TEST(ChromeTraceBuilder, AdversarialNamesStayValidJson) {
+  ChromeTraceBuilder builder;
+  const std::string evil = "t\"a\\u\n\x02/mandatory";
+  builder.set_process_name(1, evil);
+  builder.add_complete(evil, 1, 1, 0.0, 1.0);
+  builder.add_instant(evil + "\"}],oops", 1, 1, 2.0);
+  const std::string json = builder.render();
+  EXPECT_TRUE(is_valid_json(json)) << json;
+}
+
+TEST(ChromeTraceBuilder, LongNamesAreNotTruncated) {
+  ChromeTraceBuilder builder;
+  const std::string name(4096, 'n');
+  builder.add_complete(name, 1, 1, 0.0, 1.0);
+  const std::string json = builder.render();
+  EXPECT_TRUE(is_valid_json(json));
+  EXPECT_NE(json.find(name), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtseed::obs

@@ -1,0 +1,120 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace rtseed::obs {
+namespace {
+
+TEST(Counter, AddsAndReads) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.increment();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Counter, SyncToRaisesNeverLowers) {
+  Counter c;
+  c.sync_to(10);
+  EXPECT_EQ(c.value(), 10u);
+  c.sync_to(5);
+  EXPECT_EQ(c.value(), 10u);
+  c.sync_to(20);
+  EXPECT_EQ(c.value(), 20u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge g;
+  g.set(1.5);
+  g.add(0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+}
+
+TEST(Histogram, BucketsSamplesLinearly) {
+  Histogram h(0.0, 100.0, 10);
+  h.record(5.0);    // bucket 0
+  h.record(15.0);   // bucket 1
+  h.record(15.5);   // bucket 1
+  h.record(99.9);   // bucket 9
+  h.record(-1.0);   // underflow
+  h.record(100.0);  // overflow ([lo, hi))
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(9), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5.0 + 15.0 + 15.5 + 99.9 - 1.0 + 100.0);
+}
+
+TEST(Histogram, MaterializePreservesCount) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.record(static_cast<double>(i % 10));
+  const common::Histogram m = h.materialize();
+  EXPECT_EQ(m.total(), 100u);
+}
+
+TEST(Histogram, ConcurrentRecordingLosesNothing) {
+  Histogram h(0.0, 4.0, 4);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record(static_cast<double>(i % 4));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(h.count(), static_cast<common::u64>(kThreads * kPerThread));
+  common::u64 in_buckets = 0;
+  for (common::usize i = 0; i < h.bucket_count(); ++i) {
+    in_buckets += h.bucket(i);
+  }
+  EXPECT_EQ(in_buckets, h.count());
+}
+
+TEST(MetricsRegistry, SameNameAndLabelsReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter* a = registry.counter("x_total", "help", {{"task", "t1"}});
+  Counter* b = registry.counter("x_total", "help", {{"task", "t1"}});
+  Counter* c = registry.counter("x_total", "help", {{"task", "t2"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(MetricsRegistry, EntriesExposeLiveValues) {
+  MetricsRegistry registry;
+  Counter* c = registry.counter("hits_total", "hits");
+  const auto entries = registry.entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].name, "hits_total");
+  EXPECT_EQ(entries[0].type, MetricType::kCounter);
+  c->add(7);  // written after the snapshot: pointers are live
+  EXPECT_EQ(entries[0].counter->value(), 7u);
+}
+
+TEST(MetricsRegistry, DistinctTypesAreDistinctInstruments) {
+  MetricsRegistry registry;
+  registry.counter("a_total", "c");
+  registry.gauge("b", "g");
+  registry.histogram("h", "h", 0.0, 1.0, 4);
+  EXPECT_EQ(registry.size(), 3u);
+  int counters = 0, gauges = 0, histograms = 0;
+  for (const auto& e : registry.entries()) {
+    counters += e.counter != nullptr;
+    gauges += e.gauge != nullptr;
+    histograms += e.histogram != nullptr;
+  }
+  EXPECT_EQ(counters, 1);
+  EXPECT_EQ(gauges, 1);
+  EXPECT_EQ(histograms, 1);
+}
+
+}  // namespace
+}  // namespace rtseed::obs

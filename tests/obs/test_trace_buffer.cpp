@@ -1,0 +1,59 @@
+#include "obs/trace_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtseed::obs {
+namespace {
+
+TraceEvent event_at(common::u64 ts) {
+  TraceEvent e;
+  e.timestamp = ts;
+  e.kind = EventKind::kJobRelease;
+  return e;
+}
+
+TEST(TraceBuffer, EmitAndDrainInOrder) {
+  TraceBuffer buffer("t", 0, 8);
+  for (common::u64 i = 0; i < 5; ++i) buffer.emit(event_at(i));
+  const auto events = buffer.drain();
+  ASSERT_EQ(events.size(), 5u);
+  for (common::u64 i = 0; i < 5; ++i) EXPECT_EQ(events[i].timestamp, i);
+  EXPECT_EQ(buffer.dropped(), 0u);
+  EXPECT_TRUE(buffer.drain().empty());
+}
+
+TEST(TraceBuffer, FullRingDropsAndCounts) {
+  TraceBuffer buffer("t", 0, 4);
+  for (common::u64 i = 0; i < 10; ++i) buffer.emit(event_at(i));
+  EXPECT_EQ(buffer.dropped(), 10u - buffer.capacity());
+  const auto events = buffer.drain();
+  // The oldest events survive; the overflow was dropped at the producer.
+  ASSERT_EQ(events.size(), buffer.capacity());
+  EXPECT_EQ(events.front().timestamp, 0u);
+}
+
+TEST(TraceBuffer, DrainMakesRoomAgain) {
+  TraceBuffer buffer("t", 0, 4);
+  for (common::u64 i = 0; i < 4; ++i) buffer.emit(event_at(i));
+  (void)buffer.drain();
+  buffer.emit(event_at(99));
+  const auto events = buffer.drain();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].timestamp, 99u);
+}
+
+TEST(TraceEventKinds, NamesAndPairing) {
+  EXPECT_STREQ(event_kind_name(EventKind::kJobRelease), "release");
+  EXPECT_STREQ(event_kind_name(EventKind::kDeadlineMiss), "deadline-miss");
+  EXPECT_TRUE(event_kind_is_begin(EventKind::kMandatoryBegin));
+  EXPECT_FALSE(event_kind_is_begin(EventKind::kMandatoryEnd));
+  EXPECT_EQ(event_kind_end_of(EventKind::kMandatoryBegin),
+            EventKind::kMandatoryEnd);
+  EXPECT_EQ(event_kind_end_of(EventKind::kOptionalBegin),
+            EventKind::kOptionalEnd);
+  EXPECT_EQ(event_kind_end_of(EventKind::kWindupBegin),
+            EventKind::kWindupEnd);
+}
+
+}  // namespace
+}  // namespace rtseed::obs
