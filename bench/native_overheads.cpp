@@ -12,6 +12,10 @@
 //
 // Flags: --trace out.json   write a Perfetto trace of the np=4 no-load run
 //        --metrics out.prom write its Prometheus metrics dump
+//        --json out.json    machine-readable results: one record per
+//                           (load, np) cell with full Δm/Δb/Δs/Δe
+//                           percentiles (CI archives this as
+//                           BENCH_native.json)
 #include <atomic>
 #include <cstdio>
 #include <cstring>
@@ -143,19 +147,32 @@ core::OverheadSummary run_one(int np, BackgroundLoad::Kind load, int jobs,
   return report.tasks[0].overheads;
 }
 
+void json_summary(std::FILE* f, const char* name,
+                  const common::Summary& s) {
+  std::fprintf(f,
+               "      \"%s_us\": {\"count\": %zu, \"mean\": %.3f, "
+               "\"p50\": %.3f, \"p90\": %.3f, \"p99\": %.3f, "
+               "\"max\": %.3f}",
+               name, s.count, s.mean, s.p50, s.p90, s.p99, s.max);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
       metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--trace out.json] [--metrics out.prom]\n",
+                   "usage: %s [--trace out.json] [--metrics out.prom] "
+                   "[--json out.json]\n",
                    argv[0]);
       return 2;
     }
@@ -175,6 +192,12 @@ int main(int argc, char** argv) {
 
   common::Table table({"load", "np", "dm mean[us]", "db mean[us]",
                        "ds mean[us]", "de mean[us]"});
+  struct Cell {
+    const char* load;
+    int np;
+    core::OverheadSummary oh;
+  };
+  std::vector<Cell> cells;
   bool de_grows = true;
   for (auto load : loads) {
     double prev_de = -1.0;
@@ -190,6 +213,7 @@ int main(int argc, char** argv) {
                      common::format_double(oh.delta_b.mean, 1),
                      common::format_double(oh.delta_s.mean, 1),
                      common::format_double(oh.delta_e.mean, 1)});
+      cells.push_back({BackgroundLoad::name(load), np, oh});
       if (prev_de >= 0.0 && oh.delta_e.mean + 1e-9 < prev_de * 0.5) {
         de_grows = false;  // Δe should not collapse as np grows
       }
@@ -197,6 +221,41 @@ int main(int argc, char** argv) {
     }
   }
   table.print();
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 2;
+    }
+    const auto& caps = rt::rt_capabilities();
+    std::fprintf(f,
+                 "{\n  \"bench\": \"native_overheads\",\n"
+                 "  \"jobs\": %d,\n  \"period_ms\": 50,\n"
+                 "  \"wake_backend\": \"%s\",\n"
+                 "  \"host\": {\"cpus\": %d, \"sched_fifo\": %s, "
+                 "\"affinity\": %s},\n  \"runs\": [\n",
+                 kJobs,
+                 core::wake_backend_name(
+                     core::resolve_wake_backend(core::WakeBackend::kAuto)),
+                 caps.num_cpus, caps.sched_fifo ? "true" : "false",
+                 caps.affinity ? "true" : "false");
+    for (size_t i = 0; i < cells.size(); ++i) {
+      std::fprintf(f, "    {\"load\": \"%s\", \"np\": %d,\n",
+                   cells[i].load, cells[i].np);
+      json_summary(f, "delta_m", cells[i].oh.delta_m);
+      std::fprintf(f, ",\n");
+      json_summary(f, "delta_b", cells[i].oh.delta_b);
+      std::fprintf(f, ",\n");
+      json_summary(f, "delta_s", cells[i].oh.delta_s);
+      std::fprintf(f, ",\n");
+      json_summary(f, "delta_e", cells[i].oh.delta_e);
+      std::fprintf(f, "\n    }%s\n", i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("[json] results -> %s\n", json_path.c_str());
+  }
   std::printf(
       "\n[note] on this host all threads share %d CPU(s); absolute values "
       "are not comparable to the Xeon Phi, but Δe (ending the optional "

@@ -1,0 +1,20 @@
+// Cache-line geometry for false-sharing control.
+//
+// A fixed constant instead of std::hardware_destructive_interference_size:
+// GCC emits -Winterference-size (an ABI-stability warning, fatal under
+// RTSEED_WERROR) whenever that variable is used in a header, and its value
+// is a compile-time guess anyway.  64 bytes is correct for every x86-64
+// part we target; recent aarch64 cores pair-prefetch 128 bytes.
+#pragma once
+
+#include <cstddef>
+
+namespace rtseed::common {
+
+#if defined(__aarch64__)
+inline constexpr std::size_t kCacheLine = 128;
+#else
+inline constexpr std::size_t kCacheLine = 64;
+#endif
+
+}  // namespace rtseed::common

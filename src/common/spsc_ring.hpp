@@ -9,6 +9,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/cacheline.hpp"
 #include "common/types.hpp"
 
 namespace rtseed::common {
@@ -30,35 +31,46 @@ class SpscRing {
   /// Producer side.  Returns false when the ring is full (the record is
   /// dropped; real-time producers never block).
   bool try_push(T value) {
-    const u64 head = head_.load(std::memory_order_relaxed);
-    const u64 tail = tail_.load(std::memory_order_acquire);
+    const u64 head = head_.value.load(std::memory_order_relaxed);
+    const u64 tail = tail_.value.load(std::memory_order_acquire);
     if (head - tail >= slots_.size()) return false;
     slots_[head & mask_] = std::move(value);
-    head_.store(head + 1, std::memory_order_release);
+    head_.value.store(head + 1, std::memory_order_release);
     return true;
   }
 
   /// Consumer side.
   std::optional<T> try_pop() {
-    const u64 tail = tail_.load(std::memory_order_relaxed);
-    const u64 head = head_.load(std::memory_order_acquire);
+    const u64 tail = tail_.value.load(std::memory_order_relaxed);
+    const u64 head = head_.value.load(std::memory_order_acquire);
     if (tail == head) return std::nullopt;
     T value = std::move(slots_[tail & mask_]);
-    tail_.store(tail + 1, std::memory_order_release);
+    tail_.value.store(tail + 1, std::memory_order_release);
     return value;
   }
 
   usize size_approx() const {
-    const u64 head = head_.load(std::memory_order_acquire);
-    const u64 tail = tail_.load(std::memory_order_acquire);
+    const u64 head = head_.value.load(std::memory_order_acquire);
+    const u64 tail = tail_.value.load(std::memory_order_acquire);
     return static_cast<usize>(head - tail);
   }
 
   bool empty_approx() const { return size_approx() == 0; }
 
  private:
-  alignas(64) std::atomic<u64> head_{0};
-  alignas(64) std::atomic<u64> tail_{0};
+  /// Producer and consumer indices padded to a full destructive-
+  /// interference line each, so a producer hammering head_ never steals
+  /// the consumer's tail_ line (and vice versa).  The wrapper makes the
+  /// separation a checkable layout fact instead of an alignas hope.
+  struct alignas(kCacheLine) AlignedIndex {
+    std::atomic<u64> value{0};
+  };
+  static_assert(sizeof(AlignedIndex) == kCacheLine &&
+                    alignof(AlignedIndex) == kCacheLine,
+                "ring indices must each own a full cache line");
+
+  AlignedIndex head_;
+  AlignedIndex tail_;
   const usize mask_;
   std::vector<T> slots_;
 };

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 
+#include <limits>
+
 #include "common/rt_logger.hpp"
+#include "rt/futex.hpp"
 #include "rt/periodic_clock.hpp"
 
 namespace rtseed::core {
@@ -46,6 +49,7 @@ ImpreciseTask::ImpreciseTask(common::TaskId id, TaskConfig config,
                                             config_.params.num_optional());
   pool_options.name_prefix = config_.params.name;
   pool_options.completion_margin = options_.completion_margin;
+  pool_options.wake_backend = options_.wake_backend;
   pool_ = std::make_unique<OptionalPool>(
       std::move(pool_options),
       [this](const JobContext& ctx, int part, StopToken& token) {
@@ -95,7 +99,7 @@ common::Status ImpreciseTask::start() {
   if (started_) return common::failed_precondition("task already started");
   started_ = true;
   active_.store(true, std::memory_order_release);
-  finished_.store(false, std::memory_order_release);
+  finished_word_.store(0, std::memory_order_release);
 
   // Optional threads first: they park in cond_wait before any job runs.
   if (auto st = pool_->start(); !st) return st;
@@ -117,18 +121,16 @@ void ImpreciseTask::stop() {
   pool_->shutdown();
   mandatory_thread_.reset();
   started_ = false;
-  {
-    std::lock_guard lock(finished_mutex_);
-    finished_.store(true, std::memory_order_release);
-  }
-  finished_cv_.notify_all();
+  mark_finished();
+}
+
+void ImpreciseTask::mark_finished() {
+  finished_word_.store(1, std::memory_order_release);
+  rt::wake_word(finished_word_, std::numeric_limits<int>::max());
 }
 
 void ImpreciseTask::wait_finished() {
-  std::unique_lock lock(finished_mutex_);
-  finished_cv_.wait(lock, [this] {
-    return finished_.load(std::memory_order_acquire);
-  });
+  rt::wait_word(finished_word_, 0);
 }
 
 void ImpreciseTask::notify_transition(TaskTransition transition, Nanos now) {
@@ -161,11 +163,7 @@ void ImpreciseTask::mandatory_loop() {
     ++executed;
   }
 
-  {
-    std::lock_guard lock(finished_mutex_);
-    finished_.store(true, std::memory_order_release);
-  }
-  finished_cv_.notify_all();
+  mark_finished();
 }
 
 void ImpreciseTask::run_one_job(JobId job_index, Nanos release) {

@@ -25,10 +25,9 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/spsc_ring.hpp"
@@ -59,6 +58,8 @@ struct TaskRuntimeOptions {
   /// First release is delayed by this much after start() (synchronous
   /// release of all tasks).
   Nanos initial_offset = common::millis(10);
+  /// Mandatory↔optional handoff mechanism (see core::WakeBackend).
+  WakeBackend wake_backend = WakeBackend::kAuto;
 };
 
 /// Observer for queue mirroring / tracing; called on the mandatory thread.
@@ -87,7 +88,9 @@ class ImpreciseTask {
   /// Blocks until the configured num_jobs have run (or stop()).
   void wait_finished();
 
-  bool running() const { return started_ && !finished_.load(); }
+  bool running() const {
+    return started_ && finished_word_.load(std::memory_order_acquire) == 0;
+  }
 
   common::TaskId id() const { return id_; }
   const TaskConfig& config() const { return config_; }
@@ -134,6 +137,7 @@ class ImpreciseTask {
   void notify_transition(TaskTransition transition, Nanos now);
   void emit(obs::EventKind kind, JobId job, common::i32 arg = 0);
   void record_overheads(const JobRecord& rec);
+  void mark_finished();
 
   const common::TaskId id_;
   const TaskConfig config_;
@@ -145,15 +149,14 @@ class ImpreciseTask {
   std::unique_ptr<rt::RtThread> mandatory_thread_;
 
   std::atomic<bool> active_{false};
-  std::atomic<bool> finished_{false};
+  /// Wait word for wait_finished (rt::wait_word fast path): 0 = running
+  /// (or not yet started, matching the seed semantics), 1 = finished.
+  std::atomic<std::uint32_t> finished_word_{0};
   bool started_ = false;
 
   common::SpscRing<JobRecord> records_;
   std::atomic<common::u64> records_dropped_{0};
   std::atomic<long> callback_errors_{0};
-
-  std::mutex finished_mutex_;
-  std::condition_variable finished_cv_;
 
   TransitionObserver observer_;
   MissObserver miss_observer_;

@@ -1,8 +1,10 @@
 #include "core/multi_phase_task.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/rt_logger.hpp"
+#include "rt/futex.hpp"
 #include "rt/priority.hpp"
 #include "rt/periodic_clock.hpp"
 
@@ -56,6 +58,7 @@ MultiPhaseTask::MultiPhaseTask(MultiPhaseConfig config,
                                             max_parts(config_.params));
   pool_options.name_prefix = config_.params.name;
   pool_options.completion_margin = options_.completion_margin;
+  pool_options.wake_backend = options_.wake_backend;
   pool_ = std::make_unique<OptionalPool>(
       std::move(pool_options),
       [this](const JobContext& ctx, int part, StopToken& token) {
@@ -81,7 +84,7 @@ common::Status MultiPhaseTask::start() {
   }
   started_ = true;
   active_.store(true, std::memory_order_release);
-  finished_.store(false, std::memory_order_release);
+  finished_word_.store(0, std::memory_order_release);
 
   if (auto st = pool_->start(); !st) return st;
 
@@ -102,18 +105,16 @@ void MultiPhaseTask::stop() {
   pool_->shutdown();
   mandatory_thread_.reset();
   started_ = false;
-  {
-    std::lock_guard lock(finished_mutex_);
-    finished_.store(true, std::memory_order_release);
-  }
-  finished_cv_.notify_all();
+  mark_finished();
+}
+
+void MultiPhaseTask::mark_finished() {
+  finished_word_.store(1, std::memory_order_release);
+  rt::wake_word(finished_word_, std::numeric_limits<int>::max());
 }
 
 void MultiPhaseTask::wait_finished() {
-  std::unique_lock lock(finished_mutex_);
-  finished_cv_.wait(lock, [this] {
-    return finished_.load(std::memory_order_acquire);
-  });
+  rt::wait_word(finished_word_, 0);
 }
 
 void MultiPhaseTask::mandatory_loop() {
@@ -131,11 +132,7 @@ void MultiPhaseTask::mandatory_loop() {
     ++executed;
   }
 
-  {
-    std::lock_guard lock(finished_mutex_);
-    finished_.store(true, std::memory_order_release);
-  }
-  finished_cv_.notify_all();
+  mark_finished();
 }
 
 void MultiPhaseTask::run_one_job(common::JobId job_index, Nanos release) {

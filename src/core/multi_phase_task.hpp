@@ -14,10 +14,9 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/fixed_vector.hpp"
@@ -100,6 +99,7 @@ class MultiPhaseTask {
  private:
   void mandatory_loop();
   void run_one_job(common::JobId job_index, Nanos release);
+  void mark_finished();
 
   const MultiPhaseConfig config_;
   const MultiPhasePlacement placement_;
@@ -111,15 +111,14 @@ class MultiPhaseTask {
   std::atomic<int> current_phase_{0};
 
   std::atomic<bool> active_{false};
-  std::atomic<bool> finished_{false};
+  /// Wait word for wait_finished (rt::wait_word fast path): 0 = running,
+  /// 1 = finished.
+  std::atomic<std::uint32_t> finished_word_{0};
   bool started_ = false;
 
   common::SpscRing<MultiPhaseJobRecord> records_;
   std::atomic<common::u64> records_dropped_{0};
   std::atomic<long> callback_errors_{0};
-
-  std::mutex finished_mutex_;
-  std::condition_variable finished_cv_;
 };
 
 }  // namespace rtseed::core

@@ -1,22 +1,70 @@
 #include "core/optional_pool.hpp"
 
-#include <chrono>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/rt_logger.hpp"
+#include "rt/futex.hpp"
 
 namespace rtseed::core {
 
 namespace {
 
-std::chrono::steady_clock::time_point to_steady(Nanos abs_monotonic) {
-  return std::chrono::steady_clock::time_point(
-      std::chrono::nanoseconds(abs_monotonic));
+// Bounded adaptive spin before committing to a sleep.  Sized to cover the
+// back-to-back-round gap (a few µs of mandatory-thread work) without
+// burning a visible slice of a part's budget: ~2k PAUSE iterations is
+// single-digit microseconds on current x86.
+//
+// Spinning only pays when the thread we are waiting on can run
+// CONCURRENTLY: on a single-CPU host every spin iteration steals the one
+// core the peer needs to produce the value we are polling, so both spins
+// collapse to zero there (park immediately, like the condvar path).
+constexpr int kWorkerSpinIters = 2048;
+constexpr int kCompletionSpinIters = 4096;
+
+int worker_spin_iters() {
+  static const int iters =
+      rt::rt_capabilities().num_cpus > 1 ? kWorkerSpinIters : 0;
+  return iters;
+}
+
+int completion_spin_iters() {
+  static const int iters =
+      rt::rt_capabilities().num_cpus > 1 ? kCompletionSpinIters : 0;
+  return iters;
+}
+
+constexpr std::uint32_t completion_count(std::uint32_t word) {
+  return word & ~(1u << 31);
 }
 
 }  // namespace
 
+const char* wake_backend_name(WakeBackend backend) {
+  switch (backend) {
+    case WakeBackend::kAuto:
+      return "auto";
+    case WakeBackend::kFutexWord:
+      return rt::wait_backend_name();
+    case WakeBackend::kCondvar:
+      return "condvar";
+  }
+  return "?";
+}
+
+WakeBackend resolve_wake_backend(WakeBackend requested) {
+  if (requested != WakeBackend::kAuto) return requested;
+  if (const char* env = std::getenv("RTSEED_WAKE_BACKEND")) {
+    if (std::strcmp(env, "condvar") == 0) return WakeBackend::kCondvar;
+    if (std::strcmp(env, "futex") == 0) return WakeBackend::kFutexWord;
+  }
+  return WakeBackend::kFutexWord;
+}
+
 OptionalPool::OptionalPool(Options options, PartBody body)
-    : options_(std::move(options)), body_(std::move(body)) {
+    : options_(std::move(options)),
+      backend_(resolve_wake_backend(options_.wake_backend)),
+      body_(std::move(body)) {
   slots_.reserve(options_.cpus.size());
   for (size_t k = 0; k < options_.cpus.size(); ++k) {
     slots_.push_back(std::make_unique<Slot>());
@@ -42,9 +90,15 @@ common::Status OptionalPool::start() {
 void OptionalPool::shutdown() {
   if (!started_) return;
   for (auto& slot : slots_) {
-    std::lock_guard lock(slot->mutex);
-    slot->state = Slot::State::kShutdown;
-    slot->cv.notify_one();
+    if (backend_ == WakeBackend::kFutexWord) {
+      const std::uint32_t prev =
+          slot->cmd.exchange(kCmdShutdown, std::memory_order_acq_rel);
+      if (prev == kCmdParked) rt::wake_word(slot->cmd, 1);
+    } else {
+      std::lock_guard lock(slot->cv);
+      slot->state = Slot::State::kShutdown;
+      slot->cv.notify_one();
+    }
   }
   for (auto& thread : threads_) thread.join();
   threads_.clear();
@@ -60,27 +114,49 @@ OptionalPool::RoundResult OptionalPool::run_round(const JobContext& ctx,
   first_part_start_.store(0, std::memory_order_release);
   round_completed_.store(0, std::memory_order_relaxed);
   round_terminated_.store(0, std::memory_order_relaxed);
-  {
-    std::lock_guard lock(completion_mutex_);
-    remaining_ = count;
-  }
 
-  // Begin parallel optional parts: one pthread_cond_signal per thread
-  // (paper §IV-C: never broadcast).  This loop is the Δb window.
-  if (caller_trace_ != nullptr) {
+  const bool emit_window = caller_trace_ != nullptr && telemetry_ != nullptr;
+  if (emit_window) {
     caller_trace_->emit({telemetry_->now(), task_, ctx.job, count,
                          obs::EventKind::kSignalBegin});
   }
-  result.signal_start = common::monotonic_now();
-  for (int k = 0; k < count; ++k) {
-    auto& slot = *slots_[static_cast<size_t>(k)];
-    std::lock_guard lock(slot.mutex);
-    slot.job = ctx;
-    slot.state = Slot::State::kReady;
-    slot.cv.notify_one();
+
+  // Begin parallel optional parts: one wake per thread (paper §IV-C:
+  // never broadcast).  This loop is the Δb window.
+  if (backend_ == WakeBackend::kFutexWord) {
+    // Workers read the countdown only after acquiring their cmd word, so
+    // a relaxed store ordered by the release-exchange below suffices.
+    remaining_.store(static_cast<std::uint32_t>(count),
+                     std::memory_order_relaxed);
+    result.signal_start = common::monotonic_now();
+    for (int k = 0; k < count; ++k) {
+      auto& slot = *slots_[static_cast<size_t>(k)];
+      slot.job = ctx;
+      slot.force_flag.store(false, std::memory_order_relaxed);
+      // One relaxed publish + release-exchange per part; the wake syscall
+      // is skipped when the worker is still spinning (cmd was kCmdIdle).
+      const std::uint32_t prev =
+          slot.cmd.exchange(kCmdReady, std::memory_order_release);
+      if (prev == kCmdParked) rt::wake_word(slot.cmd, 1);
+    }
+    result.signal_end = common::monotonic_now();
+  } else {
+    {
+      std::lock_guard lock(completion_cv_);
+      remaining_cv_ = count;
+    }
+    result.signal_start = common::monotonic_now();
+    for (int k = 0; k < count; ++k) {
+      auto& slot = *slots_[static_cast<size_t>(k)];
+      std::lock_guard lock(slot.cv);
+      slot.job = ctx;
+      slot.force_flag.store(false, std::memory_order_relaxed);
+      slot.state = Slot::State::kReady;
+      slot.cv.notify_one();
+    }
+    result.signal_end = common::monotonic_now();
   }
-  result.signal_end = common::monotonic_now();
-  if (caller_trace_ != nullptr) {
+  if (emit_window) {
     caller_trace_->emit({telemetry_->now(), task_, ctx.job, count,
                          obs::EventKind::kSignalEnd});
   }
@@ -88,27 +164,145 @@ OptionalPool::RoundResult OptionalPool::run_round(const JobContext& ctx,
   // Wait for all parts to end; past OD + margin, force the stop tokens
   // (covers the periodic-check strategy and lost-wakeup pathologies) and
   // keep waiting — the next phase must not overlap optional execution.
-  std::unique_lock lock(completion_mutex_);
-  const bool on_time = completion_cv_.wait_until(
-      lock, to_steady(ctx.optional_deadline + options_.completion_margin),
-      [this] { return remaining_ == 0; });
-  if (!on_time) {
-    lock.unlock();
-    for (int k = 0; k < count; ++k) {
-      auto& slot = *slots_[static_cast<size_t>(k)];
-      std::lock_guard slot_lock(slot.mutex);
-      if (slot.active_token != nullptr) slot.active_token->force();
+  const Nanos force_deadline =
+      ctx.optional_deadline + options_.completion_margin;
+  if (backend_ == WakeBackend::kFutexWord) {
+    if (!wait_completion_word(force_deadline)) {
+      force_parts(count);
+      wait_completion_word(-1);
     }
-    lock.lock();
-    completion_cv_.wait(lock, [this] { return remaining_ == 0; });
+  } else {
+    completion_cv_.lock();
+    const bool on_time = completion_cv_.wait_until(
+        force_deadline, [this] { return remaining_cv_ == 0; });
+    if (!on_time) {
+      completion_cv_.unlock();
+      force_parts(count);
+      completion_cv_.lock();
+      completion_cv_.wait([this] { return remaining_cv_ == 0; });
+    }
+    completion_cv_.unlock();
   }
-  lock.unlock();
 
   result.all_ended = common::monotonic_now();
   result.completed = round_completed_.load(std::memory_order_relaxed);
   result.terminated = round_terminated_.load(std::memory_order_relaxed);
   result.first_part_start = first_part_start_.load(std::memory_order_acquire);
   return result;
+}
+
+bool OptionalPool::wait_completion_word(Nanos abs_deadline) {
+  // Adaptive spin first: with short parts (back-to-back bench rounds) the
+  // countdown hits zero while we are still here and the whole round
+  // completes without ANY completion syscall on either side (the workers
+  // skip their wake because the waiter bit is unset).
+  int spins = completion_spin_iters();
+  for (;;) {
+    const std::uint32_t word = remaining_.load(std::memory_order_acquire);
+    if (completion_count(word) == 0) return true;
+    if (spins-- > 0) {
+      rt::cpu_relax();
+      continue;
+    }
+    // Advertise that we are about to sleep; the fetch_or re-checks the
+    // count atomically, so a final decrement cannot slip between the
+    // check and the FUTEX_WAIT (the kernel re-validates the word too).
+    const std::uint32_t observed =
+        remaining_.fetch_or(kCompletionWaiterBit, std::memory_order_acq_rel) |
+        kCompletionWaiterBit;
+    if (completion_count(observed) == 0) return true;
+    if (abs_deadline >= 0) {
+      if (!rt::wait_word_until(remaining_, observed, abs_deadline)) {
+        return completion_count(remaining_.load(std::memory_order_acquire)) ==
+               0;
+      }
+    } else {
+      rt::wait_word(remaining_, observed);
+    }
+  }
+}
+
+void OptionalPool::force_parts(int count) {
+  for (int k = 0; k < count; ++k) {
+    slots_[static_cast<size_t>(k)]->force_flag.store(
+        true, std::memory_order_relaxed);
+  }
+}
+
+std::uint32_t OptionalPool::wait_for_command(Slot& slot) {
+  for (;;) {
+    std::uint32_t cmd = slot.cmd.load(std::memory_order_acquire);
+    for (int spins = worker_spin_iters(); cmd == kCmdIdle && spins > 0;
+         --spins) {
+      rt::cpu_relax();
+      cmd = slot.cmd.load(std::memory_order_acquire);
+    }
+    if (cmd == kCmdIdle) {
+      // Commit to sleeping.  If the signaller's exchange lands between
+      // this CAS and the FUTEX_WAIT, the wait returns immediately
+      // (word != kCmdParked).
+      std::uint32_t expected = kCmdIdle;
+      if (slot.cmd.compare_exchange_strong(expected, kCmdParked,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+        rt::wait_word(slot.cmd, kCmdParked);
+        cmd = slot.cmd.load(std::memory_order_acquire);
+      } else {
+        cmd = expected;
+      }
+    }
+    if (cmd == kCmdReady || cmd == kCmdShutdown) return cmd;
+  }
+}
+
+void OptionalPool::execute_part(Slot& slot, int part, const JobContext& job,
+                                obs::TraceBuffer* trace) {
+  const Nanos started = common::monotonic_now();
+  Nanos expected = 0;
+  first_part_start_.compare_exchange_strong(expected, started,
+                                            std::memory_order_acq_rel);
+  if (trace != nullptr) {
+    trace->emit({telemetry_->now(), task_, job.job, part,
+                 obs::EventKind::kOptionalBegin});
+  }
+
+  const auto outcome = run_with_deadline(
+      options_.termination, job.optional_deadline, [&](StopToken& token) {
+        // The token observes the slot's stable force flag instead of the
+        // pool holding a pointer into this stack frame: the mandatory
+        // thread's force-after-margin path is one relaxed store per part
+        // and can never dereference a dead token.
+        token.bind_force_flag(&slot.force_flag);
+        if (body_) {
+          // Only std::exception is absorbed: the try-catch termination
+          // strategy's own (non-std) deadline exception must propagate.
+          try {
+            body_(job, part, token);
+          } catch (const std::exception& e) {
+            body_errors_.fetch_add(1, std::memory_order_relaxed);
+            common::global_logger().error(
+                "%s.o%d: exception in optional part: %s",
+                options_.name_prefix.c_str(), part, e.what());
+          }
+        }
+      });
+
+  if (outcome.outcome == OptionalOutcome::kCompleted) {
+    round_completed_.fetch_add(1, std::memory_order_relaxed);
+    if (trace != nullptr) {
+      trace->emit({telemetry_->now(), task_, job.job, part,
+                   obs::EventKind::kOptionalEnd});
+    }
+  } else {
+    round_terminated_.fetch_add(1, std::memory_order_relaxed);
+    // Emitted after run_with_deadline returned — i.e. after the
+    // siglongjmp/exception unwound back to this frame, where emitting
+    // is safe again (never from inside the signal handler).
+    if (trace != nullptr) {
+      trace->emit({telemetry_->now(), task_, job.job, part,
+                   obs::EventKind::kOptionalTerminated});
+    }
+  }
 }
 
 void OptionalPool::thread_main(int part) {
@@ -124,73 +318,42 @@ void OptionalPool::thread_main(int part) {
   }
   for (;;) {
     JobContext job;
-    {
-      std::unique_lock lock(slot.mutex);
-      slot.cv.wait(lock,
-                   [&slot] { return slot.state != Slot::State::kIdle; });
+    if (backend_ == WakeBackend::kFutexWord) {
+      const std::uint32_t cmd = wait_for_command(slot);
+      if (cmd == kCmdShutdown) return;
+      job = slot.job;
+      // Reset before the completion decrement below: once the round
+      // completes the signaller may immediately publish the next one and
+      // its exchange must find kCmdIdle, not a stale kCmdReady.
+      slot.cmd.store(kCmdIdle, std::memory_order_relaxed);
+    } else {
+      std::lock_guard lock(slot.cv);
+      slot.cv.wait([&slot] { return slot.state != Slot::State::kIdle; });
       if (slot.state == Slot::State::kShutdown) return;
       job = slot.job;
       slot.state = Slot::State::kIdle;
     }
 
-    const Nanos started = common::monotonic_now();
-    Nanos expected = 0;
-    first_part_start_.compare_exchange_strong(expected, started,
-                                              std::memory_order_acq_rel);
-    if (trace != nullptr) {
-      trace->emit({telemetry_->now(), task_, job.job, part,
-                   obs::EventKind::kOptionalBegin});
-    }
+    execute_part(slot, part, job, trace);
 
-    StopToken* published_token = nullptr;
-    const auto outcome = run_with_deadline(
-        options_.termination, job.optional_deadline, [&](StopToken& token) {
-          {
-            std::lock_guard lock(slot.mutex);
-            slot.active_token = &token;
-            published_token = &token;
-          }
-          if (body_) {
-            // Only std::exception is absorbed: the try-catch termination
-            // strategy's own (non-std) deadline exception must propagate.
-            try {
-              body_(job, part, token);
-            } catch (const std::exception& e) {
-              body_errors_.fetch_add(1, std::memory_order_relaxed);
-              common::global_logger().error(
-                  "%s.o%d: exception in optional part: %s",
-                  options_.name_prefix.c_str(), part, e.what());
-            }
-          }
-        });
-    if (published_token != nullptr) {
-      std::lock_guard lock(slot.mutex);
-      slot.active_token = nullptr;
-    }
-
-    if (outcome.outcome == OptionalOutcome::kCompleted) {
-      round_completed_.fetch_add(1, std::memory_order_relaxed);
-      if (trace != nullptr) {
-        trace->emit({telemetry_->now(), task_, job.job, part,
-                     obs::EventKind::kOptionalEnd});
+    if (backend_ == WakeBackend::kFutexWord) {
+      // Single-countdown Δe path: one atomic per part, one wake syscall
+      // per round at most — and none at all when the mandatory thread is
+      // still in its adaptive spin (waiter bit unset).
+      const std::uint32_t prev =
+          remaining_.fetch_sub(1, std::memory_order_acq_rel);
+      if (completion_count(prev) == 1 &&
+          (prev & kCompletionWaiterBit) != 0) {
+        rt::wake_word(remaining_, 1);
       }
     } else {
-      round_terminated_.fetch_add(1, std::memory_order_relaxed);
-      // Emitted after run_with_deadline returned — i.e. after the
-      // siglongjmp/exception unwound back to this frame, where emitting
-      // is safe again (never from inside the signal handler).
-      if (trace != nullptr) {
-        trace->emit({telemetry_->now(), task_, job.job, part,
-                     obs::EventKind::kOptionalTerminated});
+      bool last = false;
+      {
+        std::lock_guard lock(completion_cv_);
+        last = (--remaining_cv_ == 0);
       }
+      if (last) completion_cv_.notify_one();
     }
-
-    bool last = false;
-    {
-      std::lock_guard lock(completion_mutex_);
-      last = (--remaining_ == 0);
-    }
-    if (last) completion_cv_.notify_one();
   }
 }
 

@@ -4,27 +4,64 @@
 // (multiple mandatory parts with an optional phase after each — the
 // paper's future work, ref [33]) reuse the same machinery:
 //
-//   * threads park in pthread_cond_wait until the mandatory thread
-//     signals them (one cond_signal per thread, never broadcast);
+//   * threads park until the mandatory thread signals them (one wake per
+//     thread, never broadcast — paper §IV-C);
 //   * each signalled part runs its body under the configured termination
 //     strategy with a per-thread one-shot optional-deadline timer;
 //   * the last part to end wakes the caller for the next mandatory
 //     segment / wind-up part.
+//
+// Two interchangeable wake backends (A/B-measured by
+// bench/micro_wake_path):
+//
+//   kFutexWord — the fast path.  Each slot is a cache-line-aligned atomic
+//     command word; signalling a part is one release-exchange plus one
+//     FUTEX_WAKE (skipped entirely when the worker is still spinning
+//     between back-to-back rounds — workers run a bounded adaptive spin
+//     before committing to FUTEX_WAIT).  Round completion is a single
+//     atomic countdown whose last decrementer issues at most one wake of
+//     the mandatory thread; the timeout/forcing path waits on an absolute
+//     CLOCK_MONOTONIC deadline (FUTEX_WAIT_BITSET).  Forcing stragglers
+//     is lock-free: each slot owns an atomic force flag that the part's
+//     StopToken observes (StopToken::bind_force_flag), so the mandatory
+//     thread writes a stable flag instead of dereferencing a pointer into
+//     the worker's stack.
+//
+//   kCondvar — the paper-verbatim per-slot mutex+condvar protocol, kept
+//     compiled as the A/B baseline, with its timed wait fixed to run on
+//     CLOCK_MONOTONIC (rt::MonotonicCond) instead of assuming
+//     steady_clock shares clock_gettime's epoch.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/cacheline.hpp"
 #include "core/task_config.hpp"
 #include "obs/telemetry.hpp"
+#include "rt/monotonic_cond.hpp"
 #include "rt/thread.hpp"
 
 namespace rtseed::core {
+
+/// How the mandatory thread hands work to (and collects completions from)
+/// the optional threads.
+enum class WakeBackend {
+  kAuto,       ///< kFutexWord unless overridden via RTSEED_WAKE_BACKEND env
+  kFutexWord,  ///< atomic state word + futex (or std::atomic wait) — fast
+  kCondvar,    ///< legacy mutex+condvar protocol — the A/B baseline
+};
+
+const char* wake_backend_name(WakeBackend backend);
+
+/// Resolves kAuto: the RTSEED_WAKE_BACKEND environment variable
+/// ("futex"/"condvar") wins, otherwise kFutexWord.  Explicit requests pass
+/// through untouched.
+WakeBackend resolve_wake_backend(WakeBackend requested);
 
 class OptionalPool {
  public:
@@ -40,6 +77,7 @@ class OptionalPool {
     std::string name_prefix;         ///< thread names: <prefix>.o<k>
     /// Grace past the optional deadline before stop tokens are forced.
     Nanos completion_margin = common::millis(100);
+    WakeBackend wake_backend = WakeBackend::kAuto;
   };
 
   OptionalPool(Options options, PartBody body);
@@ -54,17 +92,19 @@ class OptionalPool {
   common::CpuId cpu(int part) const {
     return options_.cpus[static_cast<size_t>(part)];
   }
+  WakeBackend backend() const { return backend_; }
 
   /// Spawns the (parked) optional threads.
   common::Status start();
 
-  /// Stops and joins all threads (idempotent).
+  /// Stops and joins all threads (idempotent).  Must not be called
+  /// concurrently with run_round (same contract as the seed protocol).
   void shutdown();
 
   struct RoundResult {
     int completed = 0;
     int terminated = 0;
-    Nanos signal_start = 0;        ///< Δb window: the cond_signal loop
+    Nanos signal_start = 0;        ///< Δb window: the per-part wake loop
     Nanos signal_end = 0;
     Nanos first_part_start = 0;    ///< Δs reference (0 if none started)
     Nanos all_ended = 0;           ///< when the last part ended
@@ -92,35 +132,83 @@ class OptionalPool {
 
   /// Ring of the thread that calls run_round (the mandatory thread): the
   /// Δb signal-window events are emitted there.  Set from that thread
-  /// before the first round.
+  /// before the first round.  Ignored unless set_telemetry was called too.
   void set_caller_trace(obs::TraceBuffer* trace) { caller_trace_ = trace; }
 
  private:
+  // Command-word states (kFutexWord backend).  kParked means the worker
+  // has committed to sleeping in FUTEX_WAIT — the signaller only pays the
+  // wake syscall when it observes this value.
+  static constexpr std::uint32_t kCmdIdle = 0;
+  static constexpr std::uint32_t kCmdParked = 1;
+  static constexpr std::uint32_t kCmdReady = 2;
+  static constexpr std::uint32_t kCmdShutdown = 3;
+
+  /// Completion word: low 31 bits = parts still running this round;
+  /// bit 31 = the mandatory thread has committed to FUTEX_WAIT (the last
+  /// decrementer issues a wake only when it is set).
+  static constexpr std::uint32_t kCompletionWaiterBit = 1u << 31;
+
   struct Slot {
-    std::mutex mutex;
-    std::condition_variable cv;
+    // Hot handoff word, alone on its cache line: the signal loop touches
+    // one line per part, and a worker spinning here never bounces the
+    // lines of its neighbours.
+    alignas(common::kCacheLine) std::atomic<std::uint32_t> cmd{kCmdIdle};
+
+    // Round context, published before the release-exchange on cmd and
+    // read by the worker after its acquire — on a separate line so the
+    // job copy does not invalidate a spinning neighbour's word.
+    alignas(common::kCacheLine) JobContext job{};
+    /// Observed by this part's StopToken (bind_force_flag); written by
+    /// the mandatory thread's force-after-margin path.
+    std::atomic<bool> force_flag{false};
+
+    // kCondvar backend state (paper Fig. 6 verbatim).
+    rt::MonotonicCond cv;
     enum class State { kIdle, kReady, kShutdown } state = State::kIdle;
-    JobContext job{};
-    StopToken* active_token = nullptr;
   };
+  // Layout checks: the alignas directives above must actually separate
+  // the hot cmd word (offset 0) from the job context — a Slot smaller
+  // than two lines would mean they share one.
+  static_assert(alignof(Slot) == common::kCacheLine,
+                "slot must start cache-line-aligned");
+  static_assert(sizeof(Slot) >= 2 * common::kCacheLine,
+                "cmd and job must sit on distinct cache lines");
 
   void thread_main(int part);
+  /// Blocks until cmd != kIdle/kParked; returns kCmdReady or kCmdShutdown.
+  std::uint32_t wait_for_command(Slot& slot);
+  /// Runs one signalled part: timestamps, termination strategy, outcome
+  /// counters.  Shared by both backends.
+  void execute_part(Slot& slot, int part, const JobContext& job,
+                    obs::TraceBuffer* trace);
+  /// Waits for the round countdown to hit zero (kFutexWord backend);
+  /// abs_deadline < 0 waits forever.  False iff the deadline passed first.
+  bool wait_completion_word(Nanos abs_deadline);
+  /// Raises the force flags of parts [0, count) — lock-free.
+  void force_parts(int count);
 
   Options options_;
+  WakeBackend backend_;
   PartBody body_;
 
   std::vector<std::unique_ptr<Slot>> slots_;
   std::vector<rt::RtThread> threads_;
   bool started_ = false;
 
-  std::mutex completion_mutex_;
-  std::condition_variable completion_cv_;
-  int remaining_ = 0;
+  // Round-shared words, one cache line each: the completion countdown is
+  // hammered by every finishing part, and the per-part result counters
+  // must not share its line (or each other's) or the final decrements
+  // serialize on cache-line ownership.
+  alignas(common::kCacheLine) std::atomic<std::uint32_t> remaining_{0};
+  alignas(common::kCacheLine) std::atomic<int> round_completed_{0};
+  alignas(common::kCacheLine) std::atomic<int> round_terminated_{0};
+  alignas(common::kCacheLine) std::atomic<Nanos> first_part_start_{0};
+  alignas(common::kCacheLine) std::atomic<long> body_errors_{0};
 
-  std::atomic<int> round_completed_{0};
-  std::atomic<int> round_terminated_{0};
-  std::atomic<Nanos> first_part_start_{0};
-  std::atomic<long> body_errors_{0};
+  // kCondvar backend completion state.
+  rt::MonotonicCond completion_cv_;
+  int remaining_cv_ = 0;
 
   obs::Telemetry* telemetry_ = nullptr;
   common::TaskId task_ = common::kInvalidTask;

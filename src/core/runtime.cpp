@@ -72,6 +72,7 @@ common::Status Runtime::start() {
     rt_options.policy = options_.policy;
     rt_options.completion_margin = options_.completion_margin;
     rt_options.initial_offset = options_.initial_offset;
+    rt_options.wake_backend = options_.wake_backend;
 
     auto task = std::make_unique<ImpreciseTask>(
         static_cast<common::TaskId>(i), configs_[i], placement, rt_options,

@@ -28,6 +28,9 @@ struct RuntimeOptions {
   rt::Topology topology = rt::Topology::native();
   AssignmentPolicy policy = AssignmentPolicy::kOneByOne;
   TerminationStrategy termination = TerminationStrategy::kSigjmp;
+  /// Mandatory↔optional handoff: futex word fast path (default) or the
+  /// legacy condvar protocol (A/B baseline; see core::WakeBackend).
+  WakeBackend wake_backend = WakeBackend::kAuto;
   sched::PRmwpOptions analysis;
   /// Mirror task transitions into a user-space ReadyQueues structure
   /// (observable via queue_snapshot(); small locking cost per transition).

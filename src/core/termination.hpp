@@ -52,19 +52,39 @@ class StopToken {
  public:
   explicit StopToken(Nanos abs_deadline) : deadline_(abs_deadline) {}
 
-  /// True once the optional deadline has passed or force() was called.
+  /// True once the optional deadline has passed or the token was forced.
   bool should_stop() const {
+    return forced() || common::monotonic_now() >= deadline_;
+  }
+
+  /// True once force() was called or the bound external flag was raised
+  /// (the middleware's force-after-margin path) — independent of the
+  /// deadline.
+  bool forced() const {
     return forced_.load(std::memory_order_relaxed) ||
-           common::monotonic_now() >= deadline_;
+           (external_force_ != nullptr &&
+            external_force_->load(std::memory_order_relaxed));
   }
 
   void force() { forced_.store(true, std::memory_order_relaxed); }
+
+  /// Routes an external forcing source into this token.  The OptionalPool
+  /// binds its slot's force flag here (on the optional thread, before the
+  /// body runs) so the mandatory thread can force stragglers by writing
+  /// that stable flag — it never holds a pointer into this token's stack
+  /// frame, which is what makes the forcing path lock-free AND immune to
+  /// the token's lifetime.  `flag` must outlive the optional part.
+  void bind_force_flag(const std::atomic<bool>* flag) {
+    external_force_ = flag;
+  }
 
   Nanos deadline() const { return deadline_; }
 
  private:
   Nanos deadline_;
   std::atomic<bool> forced_{false};
+  /// Bound and read only on the owning optional thread.
+  const std::atomic<bool>* external_force_ = nullptr;
 };
 
 /// An optional part's body.  Under kSigjmp/kTryCatch it may be abandoned at

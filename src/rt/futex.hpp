@@ -1,0 +1,63 @@
+// Wait/wake primitives on a 32-bit atomic word — the substrate of the
+// OptionalPool's mandatory↔optional handoff (the Δb/Δe hot path).
+//
+// Two backends, chosen at build time:
+//
+//  * raw Linux futexes (the default on Linux): waking a sleeping thread is
+//    one FUTEX_WAKE syscall, waking a spinning thread is zero syscalls,
+//    and timed waits use FUTEX_WAIT_BITSET with an *absolute*
+//    CLOCK_MONOTONIC deadline — no epoch conversion, no steady_clock
+//    assumptions;
+//  * a portable std::atomic<>::wait/notify fallback
+//    (-DRTSEED_PORTABLE_WAIT=ON, or any non-Linux host).  Untimed waits
+//    map 1:1; timed waits poll in bounded slices, which is adequate for
+//    the CI/sanitizer builds the fallback exists for (the force-after-
+//    margin deadline is tens of milliseconds, the slice is ≤ 200 µs).
+//
+// All happens-before edges are carried by the atomic word itself
+// (release stores / acquire loads around the wait), never by the futex
+// syscall — which keeps both backends ThreadSanitizer-visible.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/time.hpp"
+
+namespace rtseed::rt {
+
+/// One spin-loop pause (x86 PAUSE / arm YIELD); use between polls of a
+/// wait word so a sibling hardware thread can make progress.
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// True when wait/wake are backed by raw Linux futexes (false under the
+/// RTSEED_PORTABLE_WAIT std::atomic fallback).
+bool futex_backend();
+
+/// "futex" or "atomic-wait" — for bench/report labels.
+const char* wait_backend_name();
+
+/// Wakes up to `count` threads blocked in wait_word/wait_word_until on
+/// `word`.  A no-op when nobody is waiting (callers are expected to skip
+/// even this call when they know the waiter is spinning, not sleeping).
+void wake_word(std::atomic<std::uint32_t>& word, int count);
+
+/// Blocks while `word == expected`.  Returns immediately when the word
+/// already differs; spurious returns are possible (callers re-check).
+void wait_word(std::atomic<std::uint32_t>& word, std::uint32_t expected);
+
+/// Like wait_word but gives up at the absolute CLOCK_MONOTONIC deadline
+/// `abs_deadline` (common::monotonic_now() timebase).  Returns false iff
+/// the deadline passed with the word still equal to `expected`.
+bool wait_word_until(std::atomic<std::uint32_t>& word,
+                     std::uint32_t expected, common::Nanos abs_deadline);
+
+}  // namespace rtseed::rt

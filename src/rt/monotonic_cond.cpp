@@ -1,0 +1,42 @@
+#include "rt/monotonic_cond.hpp"
+
+#include <cerrno>
+
+namespace rtseed::rt {
+
+MonotonicCond::MonotonicCond() {
+  pthread_mutex_init(&mutex_, nullptr);
+  pthread_condattr_t attr;
+  pthread_condattr_init(&attr);
+#if defined(__linux__) || defined(_POSIX_CLOCK_SELECTION)
+  monotonic_ = pthread_condattr_setclock(&attr, CLOCK_MONOTONIC) == 0;
+#endif
+  pthread_cond_init(&cond_, &attr);
+  pthread_condattr_destroy(&attr);
+}
+
+MonotonicCond::~MonotonicCond() {
+  pthread_cond_destroy(&cond_);
+  pthread_mutex_destroy(&mutex_);
+}
+
+void MonotonicCond::lock() { pthread_mutex_lock(&mutex_); }
+void MonotonicCond::unlock() { pthread_mutex_unlock(&mutex_); }
+void MonotonicCond::notify_one() { pthread_cond_signal(&cond_); }
+void MonotonicCond::notify_all() { pthread_cond_broadcast(&cond_); }
+
+void MonotonicCond::wait_once() { pthread_cond_wait(&cond_, &mutex_); }
+
+bool MonotonicCond::timed_wait_once(common::Nanos abs_deadline) {
+  common::Nanos deadline = abs_deadline < 0 ? 0 : abs_deadline;
+  if (!monotonic_) {
+    // Hosts without clock selection: express the same instant on the
+    // realtime clock (subject to wall-clock steps, hence last resort).
+    deadline = common::realtime_now() + (deadline - common::monotonic_now());
+    if (deadline < 0) deadline = 0;
+  }
+  const timespec ts = common::to_timespec(deadline);
+  return pthread_cond_timedwait(&cond_, &mutex_, &ts) != ETIMEDOUT;
+}
+
+}  // namespace rtseed::rt

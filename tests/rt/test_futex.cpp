@@ -1,0 +1,146 @@
+// rt::wait_word / wake_word / wait_word_until and rt::MonotonicCond — the
+// primitives under the OptionalPool's futex and condvar wake backends.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "common/time.hpp"
+#include "rt/futex.hpp"
+#include "rt/monotonic_cond.hpp"
+
+using namespace rtseed;
+using common::Nanos;
+
+namespace {
+
+TEST(WaitWord, ReturnsImmediatelyWhenWordAlreadyDiffers) {
+  std::atomic<std::uint32_t> word{7};
+  rt::wait_word(word, 3);  // would hang forever on a lost wakeup
+  SUCCEED();
+}
+
+TEST(WaitWord, WakeBeforeWaitIsNotLost) {
+  // The classic lost-wakeup shape: the waker flips the word and wakes
+  // BEFORE the waiter reaches its wait.  The wait must fall through on the
+  // value check (the kernel/atomic re-validates the word), not sleep.
+  std::atomic<std::uint32_t> word{0};
+  word.store(1, std::memory_order_release);
+  rt::wake_word(word, 1);  // nobody waiting: must be a harmless no-op
+  rt::wait_word(word, 0);
+  SUCCEED();
+}
+
+TEST(WaitWord, RoundTripAcrossThreads) {
+  std::atomic<std::uint32_t> word{0};
+  std::atomic<bool> observed{false};
+  std::thread waiter([&] {
+    while (word.load(std::memory_order_acquire) == 0) {
+      rt::wait_word(word, 0);
+    }
+    observed.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  word.store(1, std::memory_order_release);
+  rt::wake_word(word, 1);
+  waiter.join();
+  EXPECT_TRUE(observed.load(std::memory_order_acquire));
+}
+
+TEST(WaitWord, TimedWaitTimesOutOnUnchangedWord) {
+  std::atomic<std::uint32_t> word{0};
+  const Nanos start = common::monotonic_now();
+  const Nanos deadline = start + common::millis(30);
+  const bool changed = rt::wait_word_until(word, 0, deadline);
+  const Nanos elapsed = common::monotonic_now() - start;
+  EXPECT_FALSE(changed);
+  // The deadline is absolute CLOCK_MONOTONIC: the wait must have consumed
+  // (at least) the timeout, and not something wildly larger — a backend
+  // that fed the deadline to the wrong clock/epoch would return instantly
+  // or hang until the generous outer bound.
+  EXPECT_GE(elapsed, common::millis(25));
+  EXPECT_LT(elapsed, common::seconds(5));
+}
+
+TEST(WaitWord, TimedWaitPastDeadlineDoesNotBlock) {
+  std::atomic<std::uint32_t> word{0};
+  const Nanos start = common::monotonic_now();
+  EXPECT_FALSE(rt::wait_word_until(word, 0, start - common::millis(1)));
+  EXPECT_LT(common::monotonic_now() - start, common::seconds(1));
+}
+
+TEST(WaitWord, TimedWaitObservesWake) {
+  std::atomic<std::uint32_t> word{0};
+  std::thread waker([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    word.store(5, std::memory_order_release);
+    rt::wake_word(word, 1);
+  });
+  const bool changed = rt::wait_word_until(
+      word, 0, common::monotonic_now() + common::seconds(10));
+  waker.join();
+  EXPECT_TRUE(changed);
+  EXPECT_EQ(word.load(std::memory_order_acquire), 5u);
+}
+
+TEST(WaitWordCond, NotifyWakesPredicateWait) {
+  rt::MonotonicCond cv;
+  bool ready = false;
+  std::thread waker([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    std::lock_guard lock(cv);
+    ready = true;
+    cv.notify_one();
+  });
+  {
+    std::lock_guard lock(cv);
+    cv.wait([&] { return ready; });
+    EXPECT_TRUE(ready);
+  }
+  waker.join();
+}
+
+TEST(WaitWordCond, TimedWaitRunsOnMonotonicClock) {
+#if defined(__linux__)
+  // Satellite fix under test: the condvar must wait on CLOCK_MONOTONIC
+  // natively (pthread_condattr_setclock), not convert through an assumed
+  // steady_clock epoch.
+  rt::MonotonicCond cv;
+  EXPECT_TRUE(cv.monotonic());
+#else
+  GTEST_SKIP() << "clock-selection assertion is Linux-specific";
+#endif
+}
+
+TEST(WaitWordCond, TimedWaitHonorsAbsoluteDeadline) {
+  rt::MonotonicCond cv;
+  bool never = false;
+  const Nanos start = common::monotonic_now();
+  bool result;
+  {
+    std::lock_guard lock(cv);
+    result =
+        cv.wait_until(start + common::millis(30), [&] { return never; });
+  }
+  const Nanos elapsed = common::monotonic_now() - start;
+  EXPECT_FALSE(result);
+  EXPECT_GE(elapsed, common::millis(25));
+  EXPECT_LT(elapsed, common::seconds(5));
+}
+
+TEST(WaitWordCond, PastDeadlineReturnsImmediately) {
+  rt::MonotonicCond cv;
+  bool never = false;
+  const Nanos start = common::monotonic_now();
+  bool result;
+  {
+    std::lock_guard lock(cv);
+    result =
+        cv.wait_until(start - common::millis(5), [&] { return never; });
+  }
+  EXPECT_FALSE(result);
+  EXPECT_LT(common::monotonic_now() - start, common::seconds(1));
+}
+
+}  // namespace
