@@ -11,11 +11,13 @@
 //     benefit of migration is eaten by its cost — the paper's argument
 //     (i) for building RT-Seed on partitioned scheduling.
 #include <cstdio>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "sched/generator.hpp"
 #include "sim/global_scheduler.hpp"
+#include "sim/sweep.hpp"
 
 using namespace rtseed;
 
@@ -23,6 +25,7 @@ namespace {
 
 constexpr int kProcessors = 4;
 constexpr int kTrials = 60;
+constexpr common::u64 kSeed = 777;
 const common::Nanos kHorizon = common::millis(1000);
 
 struct Point {
@@ -32,7 +35,7 @@ struct Point {
   double migrations_per_s = 0;
 };
 
-Point run_point(double per_proc_utilization, common::Rng& rng) {
+Point run_point(double per_proc_utilization, common::Rng rng) {
   Point out;
   sched::GeneratorConfig config;
   config.num_tasks = 12;
@@ -78,15 +81,26 @@ int main() {
       kProcessors, kTrials);
   common::Table table({"U/M", "P-RMWP ok", "G-RMWP ok", "G-RMWP ok (+200us/"
                        "migration)", "migrations/s"});
-  common::Rng rng(777);
+
+  // Each utilization grid point is one sweep cell with its own RNG stream
+  // derived from (seed, point index): results are bit-identical for any
+  // thread count (RTSEED_SWEEP_THREADS=1 reproduces the serial run).
+  std::vector<double> grid;
+  for (double u = 0.4; u <= 1.01; u += 0.1) grid.push_back(u);
+  const sim::SweepRunner runner;
+  const auto points = runner.map(grid.size(), [&](size_t cell) {
+    common::Rng rng(sim::SweepRunner::cell_seed(
+        kSeed, {static_cast<common::u64>(cell)}));
+    return run_point(grid[cell], std::move(rng));
+  });
 
   bool overhead_hurts_somewhere = false;
   bool partitioned_dominates = true;
   bool migrations_present = true;
-  for (double u = 0.4; u <= 1.01; u += 0.1) {
-    const auto p = run_point(u, rng);
+  for (size_t cell = 0; cell < grid.size(); ++cell) {
+    const auto& p = points[cell];
     table.add_numeric_row(
-        {u, p.partitioned, p.global_free, p.global_costly,
+        {grid[cell], p.partitioned, p.global_free, p.global_costly,
          p.migrations_per_s},
         2);
     if (p.global_costly < p.global_free - 1e-9) {

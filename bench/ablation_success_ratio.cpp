@@ -13,6 +13,7 @@
 // simulation column upper-bounds the analysis column (tests are
 // sufficient, not necessary).
 #include <cstdio>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/table.hpp"
@@ -20,6 +21,7 @@
 #include "sched/p_rmwp.hpp"
 #include "sched/rta.hpp"
 #include "sim/sim_scheduler.hpp"
+#include "sim/sweep.hpp"
 
 using namespace rtseed;
 
@@ -27,6 +29,7 @@ namespace {
 
 constexpr int kProcessors = 4;
 constexpr int kTrials = 100;
+constexpr common::u64 kSeed = 20140415;
 
 struct Ratios {
   double rmwp_analysis = 0;
@@ -37,7 +40,7 @@ struct Ratios {
   double edf_sim = 0;
 };
 
-Ratios run_point(double system_utilization, common::Rng& rng) {
+Ratios run_point(double system_utilization, common::Rng rng) {
   Ratios out;
   sched::GeneratorConfig config;
   config.num_tasks = 12;
@@ -103,11 +106,22 @@ int main() {
       kProcessors, kTrials);
   common::Table table({"U/M", "P-RMWP ana", "P-RM ana", "P-EDF ana",
                        "P-RMWP sim", "P-RM sim", "P-EDF sim"});
-  common::Rng rng(20140415);
+
+  // One sweep cell per utilization point, seeded from (seed, point): any
+  // thread count (or RTSEED_SWEEP_THREADS=1) gives identical ratios.
+  std::vector<double> grid;
+  for (double u = 0.3; u <= 1.01; u += 0.1) grid.push_back(u);
+  const sim::SweepRunner runner;
+  const auto points = runner.map(grid.size(), [&](size_t cell) {
+    common::Rng rng(sim::SweepRunner::cell_seed(
+        kSeed, {static_cast<common::u64>(cell)}));
+    return run_point(grid[cell], std::move(rng));
+  });
 
   bool ok = true;
-  for (double u = 0.3; u <= 1.01; u += 0.1) {
-    const auto r = run_point(u, rng);
+  for (size_t cell = 0; cell < grid.size(); ++cell) {
+    const double u = grid[cell];
+    const auto& r = points[cell];
     table.add_numeric_row({u, r.rmwp_analysis, r.rm_analysis, r.edf_analysis,
                            r.rmwp_sim, r.rm_sim, r.edf_sim},
                           2);

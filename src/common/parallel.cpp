@@ -1,0 +1,57 @@
+#include "common/parallel.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rtseed::common {
+
+int resolve_parallelism(int requested) {
+  if (requested >= 1) return requested;
+  if (const char* env = std::getenv("RTSEED_SWEEP_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed >= 1) return parsed;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+void parallel_for(std::size_t n, int threads,
+                  const std::function<void(std::size_t)>& fn) {
+  const int degree = resolve_parallelism(threads);
+  if (n == 0) return;
+  if (degree <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  const std::size_t spawned =
+      std::min<std::size_t>(static_cast<std::size_t>(degree), n) - 1;
+  std::vector<std::thread> pool;
+  pool.reserve(spawned);
+  for (std::size_t t = 0; t < spawned; ++t) pool.emplace_back(worker);
+  worker();  // the calling thread participates
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace rtseed::common

@@ -1,0 +1,29 @@
+// Minimal work-pool for embarrassingly parallel index spaces.
+//
+// `parallel_for(n, threads, fn)` runs fn(i) for every i in [0, n) across
+// up to `threads` worker threads pulling indices from a shared atomic
+// counter.  Each index is claimed exactly once, so a caller that writes
+// result[i] from fn(i) gets output that is independent of the thread
+// count and of scheduling order — the property the sweep determinism
+// tests assert.  Exceptions thrown by fn are captured and rethrown on the
+// calling thread after all workers join.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace rtseed::common {
+
+/// Resolves a requested parallelism degree to an actual thread count:
+///   requested >= 1  — used as-is;
+///   requested <= 0  — RTSEED_SWEEP_THREADS if set and positive, else
+///                     std::thread::hardware_concurrency() (min 1).
+int resolve_parallelism(int requested);
+
+/// Runs fn(i) for all i in [0, n).  `threads` is resolved via
+/// resolve_parallelism; with an effective count of 1 (or n <= 1) the loop
+/// runs inline on the calling thread with zero setup cost.
+void parallel_for(std::size_t n, int threads,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace rtseed::common

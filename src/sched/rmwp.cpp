@@ -7,32 +7,11 @@
 
 namespace rtseed::sched {
 
-namespace {
-
-Nanos ceil_div(Nanos a, Nanos b) {
-  assert(b > 0);
-  return (a + b - 1) / b;
-}
-
-// Wind-up busy window: the wind-up part (cost w) plus interference from
-// higher-priority mandatory+wind-up parts over the window.  Bounded by the
-// task's deadline; returns nullopt on divergence.
-std::optional<Nanos> windup_window(Nanos w, const std::vector<Nanos>& hp_cost,
-                                   const std::vector<Nanos>& hp_period,
-                                   Nanos horizon) {
-  Nanos l = w;
-  for (;;) {
-    Nanos next = w;
-    for (size_t j = 0; j < hp_cost.size(); ++j) {
-      next += ceil_div(l, hp_period[j]) * hp_cost[j];
-    }
-    if (next > horizon) return std::nullopt;
-    if (next == l) return l;
-    l = next;
-  }
-}
-
-}  // namespace
+// The wind-up busy window — the wind-up part (cost w) plus interference
+// from higher-priority mandatory+wind-up parts over the window — is the
+// same least-fixed-point recurrence as the response time, so both go
+// through the memoized PrefixRta (sweeps probe near-identical prefixes
+// thousands of times during bin packing).
 
 RmwpAnalysis analyze_rmwp(const TaskSet& tasks) {
   RmwpAnalysis out;
@@ -45,15 +24,14 @@ RmwpAnalysis analyze_rmwp(const TaskSet& tasks) {
   const auto order = rm_order(tasks);
   out.schedulable = true;
 
-  std::vector<Nanos> hp_cost;
-  std::vector<Nanos> hp_period;
+  PrefixRta rta;
   for (TaskId id : order) {
     const auto& t = tasks[id];
     const auto idx = static_cast<size_t>(id);
     const Nanos d = t.effective_deadline();
 
     // Wind-up busy window -> optional deadline.
-    const auto lw = windup_window(t.windup, hp_cost, hp_period, d);
+    const auto lw = rta.response(t.windup, d);
     if (!lw.has_value()) {
       out.schedulable = false;
       break;
@@ -64,16 +42,14 @@ RmwpAnalysis analyze_rmwp(const TaskSet& tasks) {
     // Mandatory part must finish by OD in the worst case.  Interference on
     // the mandatory part comes from higher-priority mandatory AND wind-up
     // executions (both live in RTQ above this task).
-    const auto rm =
-        fixed_point_response_time(t.mandatory, hp_cost, hp_period, d);
+    const auto rm = rta.response(t.mandatory, d);
     out.mandatory_response[idx] = rm;
     if (!rm.has_value() || *rm > out.optional_deadline[idx]) {
       out.schedulable = false;
       break;
     }
 
-    hp_cost.push_back(t.wcet());
-    hp_period.push_back(t.period);
+    rta.push_hp(t.wcet(), t.period);
   }
   return out;
 }

@@ -1,7 +1,9 @@
 #include "sched/rta.hpp"
 
 #include <cassert>
+#include <unordered_map>
 
+#include "common/rng.hpp"
 #include "sched/rm.hpp"
 
 namespace rtseed::sched {
@@ -12,6 +14,29 @@ namespace {
 Nanos ceil_div(Nanos a, Nanos b) {
   assert(b > 0);
   return (a + b - 1) / b;
+}
+
+// Thread-local PrefixRta memo.  Keyed on a 64-bit hash of
+// (prefix chain, own_cost, horizon); the value encodes the fixed point
+// (kDiverged = nullopt).  Bounded: cleared wholesale when it outgrows
+// kMaxEntries so a long sweep cannot grow it without limit.
+constexpr Nanos kDiverged = -1;
+constexpr std::size_t kMaxEntries = 1 << 20;
+
+struct RtaCache {
+  std::unordered_map<common::u64, Nanos> memo;
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+};
+
+RtaCache& cache() {
+  thread_local RtaCache instance;
+  return instance;
+}
+
+common::u64 mix(common::u64 h, common::u64 value) {
+  common::u64 state = h ^ (value + 0x9E3779B97F4A7C15ULL);
+  return common::splitmix64(state);
 }
 
 }  // namespace
@@ -33,6 +58,43 @@ std::optional<Nanos> fixed_point_response_time(
   }
 }
 
+void PrefixRta::push_hp(Nanos cost, Nanos period) {
+  hp_cost_.push_back(cost);
+  hp_period_.push_back(period);
+  prefix_hash_ = mix(mix(prefix_hash_, static_cast<common::u64>(cost)),
+                     static_cast<common::u64>(period));
+}
+
+std::optional<Nanos> PrefixRta::response(Nanos own_cost, Nanos horizon) {
+  const common::u64 key =
+      mix(mix(prefix_hash_, static_cast<common::u64>(own_cost)),
+          static_cast<common::u64>(horizon));
+  auto& c = cache();
+  if (const auto hit = c.memo.find(key); hit != c.memo.end()) {
+    ++c.hits;
+    if (hit->second == kDiverged) return std::nullopt;
+    return hit->second;
+  }
+  ++c.misses;
+  const auto r =
+      fixed_point_response_time(own_cost, hp_cost_, hp_period_, horizon);
+  if (c.memo.size() >= kMaxEntries) c.memo.clear();
+  c.memo.emplace(key, r.has_value() ? *r : kDiverged);
+  return r;
+}
+
+RtaCacheStats rta_cache_stats() {
+  const auto& c = cache();
+  return {c.hits, c.misses, c.memo.size()};
+}
+
+void rta_cache_clear() {
+  auto& c = cache();
+  c.memo.clear();
+  c.hits = 0;
+  c.misses = 0;
+}
+
 std::vector<std::optional<Nanos>> rm_response_times(
     const TaskSet& tasks,
     const std::function<Nanos(const ImpreciseTaskParams&)>& selector) {
@@ -40,14 +102,12 @@ std::vector<std::optional<Nanos>> rm_response_times(
   std::vector<std::optional<Nanos>> result(
       static_cast<size_t>(tasks.size()));
 
-  std::vector<Nanos> hp_cost;
-  std::vector<Nanos> hp_period;
+  PrefixRta rta;
   for (TaskId id : order) {
     const auto& t = tasks[id];
-    result[static_cast<size_t>(id)] = fixed_point_response_time(
-        selector(t), hp_cost, hp_period, t.effective_deadline());
-    hp_cost.push_back(selector(t));
-    hp_period.push_back(t.period);
+    result[static_cast<size_t>(id)] =
+        rta.response(selector(t), t.effective_deadline());
+    rta.push_hp(selector(t), t.period);
   }
   return result;
 }

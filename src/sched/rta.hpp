@@ -3,10 +3,12 @@
 // building block of the RMWP optional-deadline computation.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <optional>
 #include <vector>
 
+#include "common/types.hpp"
 #include "sched/task_model.hpp"
 
 namespace rtseed::sched {
@@ -28,5 +30,46 @@ std::vector<std::optional<Nanos>> rm_response_times(
 
 /// Exact RM schedulability on one processor with Cᵢ = mᵢ + wᵢ.
 bool rm_schedulable(const TaskSet& tasks);
+
+/// Incremental, memoized response-time analysis over a priority-ordered
+/// prefix of interfering tasks.
+///
+/// Schedulability probes during sweeps (bin-packing admission tests,
+/// success-ratio grids) re-analyze near-identical task sets thousands of
+/// times, and the fixed point for a task depends only on the
+/// higher-priority *prefix* above it.  PrefixRta accumulates that prefix
+/// as a hash chain and consults a thread-local cache keyed on
+/// (prefix-hash, own_cost, horizon), so a repeated probe costs one hash
+/// lookup instead of re-iterating the recurrence.  Thread-local means the
+/// parallel sweep pool shares nothing and needs no locks.
+class PrefixRta {
+ public:
+  /// Appends the next higher-priority task to the interference prefix.
+  void push_hp(Nanos cost, Nanos period);
+
+  /// Memoized least fixed point R = own_cost + Σⱼ ceil(R/Tⱼ)·Cⱼ over the
+  /// current prefix; nullopt when R would exceed `horizon`.  Also the
+  /// RMWP wind-up busy window (same recurrence with own_cost = wᵢ).
+  std::optional<Nanos> response(Nanos own_cost, Nanos horizon);
+
+  std::size_t prefix_size() const { return hp_cost_.size(); }
+
+ private:
+  std::vector<Nanos> hp_cost_;
+  std::vector<Nanos> hp_period_;
+  common::u64 prefix_hash_ = 0x5EEDC0FFEE5EEDULL;
+};
+
+struct RtaCacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t entries = 0;
+};
+
+/// This thread's PrefixRta cache counters (tests / diagnostics).
+RtaCacheStats rta_cache_stats();
+
+/// Drops this thread's PrefixRta cache (tests; also bounds reuse).
+void rta_cache_clear();
 
 }  // namespace rtseed::sched

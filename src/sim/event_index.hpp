@@ -1,0 +1,233 @@
+// Event-indexed simulation primitives shared by SimScheduler and
+// GlobalScheduler's kIndexed engines.
+//
+//  * TimerHeap — a lazy min-heap of pending timer events (job release,
+//    optional deadline, deadline).  Entries are pushed whenever the
+//    corresponding task state is (re)armed and validated lazily against
+//    the current state on pop, so stale entries cost one pop instead of a
+//    per-step O(n) rescan.  The earliest *valid* entry is exactly the
+//    "next timer boundary" the legacy engine derives by scanning every
+//    task.
+//  * ReadyIndex — per-band ready structures: the RTQ band (mandatory /
+//    wind-up parts) and the NRTQ band (optional parts) as priority-rank
+//    bitmaps, or an ordered (deadline, id) set for the EDF RTQ.  top()
+//    and top_m() return the same tasks, in the same order, as sorting the
+//    whole ready set under the simulators' higher_priority() total order.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <limits>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/types.hpp"
+
+namespace rtseed::sim::detail {
+
+using common::Nanos;
+using common::TaskId;
+
+enum class TimerKind : unsigned char { kRelease, kOd, kDeadline };
+
+struct TimerEvent {
+  Nanos time = 0;
+  TaskId task = 0;
+  TimerKind kind = TimerKind::kRelease;
+};
+
+class TimerHeap {
+ public:
+  void reserve(std::size_t n) { heap_.reserve(n); }
+
+  void push(Nanos time, TaskId task, TimerKind kind) {
+    heap_.push_back({time, task, kind});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+
+  /// Earliest valid entry's time; +infinity when none.  `valid(event)`
+  /// checks the event against current task state; invalid entries are
+  /// discarded (a fresh entry is pushed whenever the state is re-armed,
+  /// so discarding can never lose a live timer).
+  template <typename Valid>
+  Nanos peek_valid(Valid&& valid) {
+    while (!heap_.empty()) {
+      if (valid(heap_.front())) return heap_.front().time;
+      pop();
+    }
+    return std::numeric_limits<Nanos>::max();
+  }
+
+  /// Pops every entry with time <= now into sink(event), validity
+  /// unchecked (callers re-check fire conditions against live state,
+  /// mirroring the legacy engine's scans).
+  template <typename Sink>
+  void drain_due(Nanos now, Sink&& sink) {
+    while (!heap_.empty() && heap_.front().time <= now) {
+      sink(heap_.front());
+      pop();
+    }
+  }
+
+ private:
+  struct Later {
+    bool operator()(const TimerEvent& a, const TimerEvent& b) const {
+      return a.time > b.time;
+    }
+  };
+
+  void pop() {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+
+  std::vector<TimerEvent> heap_;
+};
+
+class ReadyIndex {
+ public:
+  static constexpr int kNone = 0;  ///< not ready
+  static constexpr int kRtq = 1;   ///< mandatory / wind-up band
+  static constexpr int kNrtq = 2;  ///< optional band
+
+  /// `rank_of[i]` must be a permutation of 0..n-1 (0 = highest priority).
+  /// With `edf` set the RTQ band orders by (key, id) instead of rank.
+  void init(bool edf, const std::vector<int>& rank_of) {
+    edf_ = edf;
+    rank_of_ = rank_of;
+    const std::size_t n = rank_of.size();
+    task_at_rank_.assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      task_at_rank_[static_cast<std::size_t>(rank_of[i])] =
+          static_cast<TaskId>(i);
+    }
+    rtq_.assign((n + 63) / 64, 0);
+    nrtq_.assign((n + 63) / 64, 0);
+    band_of_.assign(n, kNone);
+    key_of_.assign(n, 0);
+    edf_rtq_.clear();
+  }
+
+  /// Moves `task` to `band` (kNone removes it).  `key` orders the EDF RTQ
+  /// band; a key change while staying in the band reorders the entry.
+  void update(TaskId task, int band, Nanos key) {
+    const auto idx = static_cast<std::size_t>(task);
+    const int rank = rank_of_[idx];
+    if (band_of_[idx] == band) {
+      if (edf_ && band == kRtq && key_of_[idx] != key) {
+        edf_rtq_.erase({key_of_[idx], task});
+        key_of_[idx] = key;
+        edf_rtq_.insert({key, task});
+      }
+      return;
+    }
+    switch (band_of_[idx]) {
+      case kRtq:
+        if (edf_) {
+          edf_rtq_.erase({key_of_[idx], task});
+        } else {
+          clear_bit(rtq_, rank);
+        }
+        break;
+      case kNrtq:
+        clear_bit(nrtq_, rank);
+        break;
+      default:
+        break;
+    }
+    switch (band) {
+      case kRtq:
+        if (edf_) {
+          key_of_[idx] = key;
+          edf_rtq_.insert({key, task});
+        } else {
+          set_bit(rtq_, rank);
+        }
+        break;
+      case kNrtq:
+        set_bit(nrtq_, rank);
+        break;
+      default:
+        break;
+    }
+    band_of_[idx] = band;
+  }
+
+  /// Highest-priority ready task (RTQ band first), or `invalid`.
+  TaskId top(TaskId invalid) const {
+    if (edf_) {
+      if (!edf_rtq_.empty()) return edf_rtq_.begin()->second;
+    } else {
+      const int rank = first_bit(rtq_);
+      if (rank >= 0) return task_at_rank_[static_cast<std::size_t>(rank)];
+    }
+    const int rank = first_bit(nrtq_);
+    if (rank >= 0) return task_at_rank_[static_cast<std::size_t>(rank)];
+    return invalid;
+  }
+
+  /// Appends the up-to-m highest-priority ready tasks to `out` in
+  /// priority order — the prefix a full sort of the ready set under the
+  /// band-then-rank (or band-then-deadline) order would produce.
+  void top_m(int m, std::vector<TaskId>& out) const {
+    out.clear();
+    if (m <= 0) return;
+    if (edf_) {
+      for (const auto& [key, task] : edf_rtq_) {
+        out.push_back(task);
+        if (static_cast<int>(out.size()) == m) return;
+      }
+    } else {
+      collect_bits(rtq_, m, out);
+      if (static_cast<int>(out.size()) == m) return;
+    }
+    collect_bits(nrtq_, m, out);
+  }
+
+ private:
+  static void set_bit(std::vector<common::u64>& words, int rank) {
+    words[static_cast<std::size_t>(rank) / 64] |=
+        common::u64{1} << (static_cast<std::size_t>(rank) % 64);
+  }
+
+  static void clear_bit(std::vector<common::u64>& words, int rank) {
+    words[static_cast<std::size_t>(rank) / 64] &=
+        ~(common::u64{1} << (static_cast<std::size_t>(rank) % 64));
+  }
+
+  static int first_bit(const std::vector<common::u64>& words) {
+    for (std::size_t w = 0; w < words.size(); ++w) {
+      if (words[w] != 0) {
+        return static_cast<int>(w * 64) + std::countr_zero(words[w]);
+      }
+    }
+    return -1;
+  }
+
+  void collect_bits(const std::vector<common::u64>& words, int m,
+                    std::vector<TaskId>& out) const {
+    for (std::size_t w = 0; w < words.size(); ++w) {
+      common::u64 bits = words[w];
+      while (bits != 0) {
+        const int rank =
+            static_cast<int>(w * 64) + std::countr_zero(bits);
+        out.push_back(task_at_rank_[static_cast<std::size_t>(rank)]);
+        if (static_cast<int>(out.size()) == m) return;
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  bool edf_ = false;
+  std::vector<int> rank_of_;
+  std::vector<TaskId> task_at_rank_;
+  std::vector<common::u64> rtq_, nrtq_;
+  std::set<std::pair<Nanos, TaskId>> edf_rtq_;
+  std::vector<signed char> band_of_;
+  std::vector<Nanos> key_of_;
+};
+
+}  // namespace rtseed::sim::detail

@@ -1,6 +1,7 @@
 #include "sim/experiment.hpp"
 
 #include <cstdio>
+#include <iterator>
 
 namespace rtseed::sim {
 
@@ -23,24 +24,39 @@ FigureData run_figure(const FigureConfig& config) {
   for (int np : config.np_set) data.np.push_back(np);
 
   const OverheadModel model(config.params);
-  common::Rng rng(config.seed);
 
+  // One sweep cell per (load, policy, np); every cell is independent and
+  // seeded from its own coordinates, so the pool can run them in any
+  // order on any number of threads and the output stays bit-identical.
+  const size_t num_np = config.np_set.size();
+  const size_t num_policies = std::size(kPolicies);
+  const size_t num_cells = std::size(kLoads) * num_policies * num_np;
+
+  const SweepRunner runner({config.sweep_threads});
+  const auto means = runner.map(num_cells, [&](size_t cell) {
+    const size_t k = cell % num_np;
+    const size_t p = (cell / num_np) % num_policies;
+    const size_t l = cell / (num_np * num_policies);
+    OverheadScenario scenario;
+    scenario.topology = config.topology;
+    scenario.policy = kPolicies[p];
+    scenario.load = kLoads[l];
+    scenario.num_optional_parts = config.np_set[k];
+    common::Rng rng(SweepRunner::cell_seed(
+        config.seed,
+        {static_cast<common::u64>(l), static_cast<common::u64>(p),
+         static_cast<common::u64>(config.np_set[k])}));
+    return model.measure_us(config.kind, scenario, config.jobs, rng).mean;
+  });
+
+  size_t cell = 0;
   for (LoadKind load : kLoads) {
     FigureSubplot subplot;
     subplot.load = load;
     for (auto policy : kPolicies) {
       common::Series series;
       series.name = core::assignment_policy_name(policy);
-      for (int np : config.np_set) {
-        OverheadScenario scenario;
-        scenario.topology = config.topology;
-        scenario.policy = policy;
-        scenario.load = load;
-        scenario.num_optional_parts = np;
-        auto child = rng.fork();
-        series.y.push_back(
-            model.measure_us(config.kind, scenario, config.jobs, child).mean);
-      }
+      for (size_t k = 0; k < num_np; ++k) series.y.push_back(means[cell++]);
       subplot.series.push_back(std::move(series));
     }
     data.subplots.push_back(std::move(subplot));

@@ -10,6 +10,7 @@
 
 #include "common/table.hpp"
 #include "sim/overhead_model.hpp"
+#include "sim/sweep.hpp"
 
 namespace rtseed::sim {
 
@@ -19,6 +20,10 @@ struct FigureConfig {
   std::vector<int> np_set = {4, 8, 16, 32, 57, 114, 171, 228};
   int jobs = 100;           ///< the paper runs 100 jobs of τ1
   common::u64 seed = 2014;  ///< deterministic experiments
+  /// Sweep parallelism (see SweepOptions::threads); every cell's RNG is
+  /// seeded from (seed, load, policy, np), so any thread count produces
+  /// bit-identical FigureData.
+  int sweep_threads = 0;
   ContentionParams params;
 };
 

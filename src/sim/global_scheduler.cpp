@@ -8,6 +8,7 @@
 #include "sched/rm.hpp"
 #include "sched/rmus.hpp"
 #include "sched/rmwp.hpp"
+#include "sim/event_index.hpp"
 
 namespace rtseed::sim {
 
@@ -48,13 +49,31 @@ struct GlobalSimulator {
   std::vector<Nanos> ods;
   std::vector<int> priority_rank;  // 0 = highest
   std::vector<TaskState> state;
+  std::vector<Nanos> total_optional;  // Σ tasks[i].optional, cached
   GlobalSimResult result;
+
+  // kIndexed engine state (unused by kLegacy); see sim_scheduler.cpp for
+  // the invariants — the two engines share the exact handler sequence.
+  bool indexed = false;
+  detail::TimerHeap timers;
+  detail::ReadyIndex ready_index;
+  std::vector<TaskId> due_deadline, due_release, due_od;
+  // Dispatch-selection marks, stamped per interval to avoid an O(n)
+  // clear (or refill) of a bool vector at every boundary.
+  std::vector<int> selected_stamp;
+  int select_stamp = 0;
 
   GlobalSimulator(const sched::TaskSet& ts, const GlobalSimOptions& opts)
       : tasks(ts), options(opts) {
     const auto n = static_cast<size_t>(tasks.size());
     state.assign(n, TaskState{});
     result.tasks.assign(n, SimTaskStats{});
+    total_optional.assign(n, 0);
+    for (TaskId i = 0; i < tasks.size(); ++i) {
+      Nanos total = 0;
+      for (Nanos o : tasks[i].optional) total += o;
+      total_optional[static_cast<size_t>(i)] = total;
+    }
 
     // Priority order: RM, or RM-US (heavy tasks first; paper footnote 1).
     const auto order = options.rmus_priorities
@@ -152,13 +171,11 @@ struct GlobalSimulator {
     s.remaining =
         options.algorithm == SimAlgorithm::kRmwp ? p.mandatory : p.wcet();
     s.next_release = now + p.period;
+    if (indexed) {
+      timers.push(s.deadline_time, i, detail::TimerKind::kDeadline);
+      if (s.od_armed) timers.push(s.od_time, i, detail::TimerKind::kOd);
+    }
     if (s.remaining == 0) complete_part(i, now);
-  }
-
-  Nanos optional_total(TaskId i) const {
-    Nanos total = 0;
-    for (Nanos o : tasks[i].optional) total += o;
-    return total;
   }
 
   void finish_job(TaskId i, Nanos now) {
@@ -176,6 +193,9 @@ struct GlobalSimulator {
     s.deadline_time = kInfinity;
     s.od_time = kInfinity;
     s.was_running = false;
+    if (indexed) {
+      timers.push(s.next_release, i, detail::TimerKind::kRelease);
+    }
   }
 
   void complete_part(TaskId i, Nanos now) {
@@ -189,7 +209,7 @@ struct GlobalSimulator {
           return;
         }
         if (now < s.od_time) {
-          const Nanos opt = optional_total(i);
+          const Nanos opt = total_optional[static_cast<size_t>(i)];
           if (options.include_optional && opt > 0) {
             s.phase = Phase::kOptional;
             s.remaining = opt;
@@ -252,58 +272,172 @@ struct GlobalSimulator {
       s.deadline_time = kInfinity;
       s.od_time = kInfinity;
       s.was_running = false;
+      if (indexed) {
+        timers.push(s.next_release, i, detail::TimerKind::kRelease);
+      }
     } else {
       s.deadline_time = kInfinity;
     }
   }
 
+  // --- kIndexed engine helpers (see sim_scheduler.cpp) -----------------
+
+  void sync_ready(TaskId i) {
+    if (!indexed) return;
+    const auto& s = state[static_cast<size_t>(i)];
+    int band = detail::ReadyIndex::kNone;
+    if (is_ready(i)) {
+      band = s.phase == Phase::kOptional ? detail::ReadyIndex::kNrtq
+                                         : detail::ReadyIndex::kRtq;
+    }
+    ready_index.update(i, band, s.deadline_time);
+  }
+
+  bool timer_valid(const detail::TimerEvent& e) const {
+    const auto& s = state[static_cast<size_t>(e.task)];
+    switch (e.kind) {
+      case detail::TimerKind::kRelease:
+        return !s.job_live && s.next_release == e.time;
+      case detail::TimerKind::kOd:
+        return s.od_armed && s.od_time == e.time;
+      case detail::TimerKind::kDeadline:
+        return s.job_live && s.deadline_time == e.time;
+    }
+    return false;
+  }
+
+  void drain_due(Nanos now) {
+    timers.drain_due(now, [&](const detail::TimerEvent& e) {
+      switch (e.kind) {
+        case detail::TimerKind::kRelease:
+          due_release.push_back(e.task);
+          break;
+        case detail::TimerKind::kOd:
+          due_od.push_back(e.task);
+          break;
+        case detail::TimerKind::kDeadline:
+          due_deadline.push_back(e.task);
+          break;
+      }
+    });
+  }
+
+  template <typename Fn>
+  static void process_bucket(std::vector<TaskId>& bucket, Fn&& fn) {
+    std::sort(bucket.begin(), bucket.end());
+    TaskId previous = common::kInvalidTask;
+    for (TaskId i : bucket) {
+      if (i == previous) continue;
+      previous = i;
+      fn(i);
+    }
+    bucket.clear();
+  }
+
+  void fire_due(Nanos now) {
+    due_deadline.clear();
+    due_release.clear();
+    due_od.clear();
+    drain_due(now);
+    process_bucket(due_deadline, [&](TaskId i) {
+      auto& s = state[static_cast<size_t>(i)];
+      if (s.job_live && s.deadline_time <= now) handle_deadline(i, now);
+      sync_ready(i);
+    });
+    drain_due(now);  // deadline aborts free same-instant releases (D = T)
+    process_bucket(due_release, [&](TaskId i) {
+      auto& s = state[static_cast<size_t>(i)];
+      if (s.next_release <= now && !s.job_live) release(i, now);
+      sync_ready(i);
+    });
+    // A release can arm an OD due the same instant (OD = 0 when the
+    // wind-up window fills the whole deadline); its entry was pushed
+    // after the drain above, so drain once more before the OD pass —
+    // mirroring the legacy scan order deadlines -> releases -> ods.
+    drain_due(now);
+    process_bucket(due_od, [&](TaskId i) {
+      auto& s = state[static_cast<size_t>(i)];
+      if (s.od_armed && s.od_time <= now) handle_od(i, now);
+      sync_ready(i);
+    });
+  }
+
+  // ---------------------------------------------------------------------
+
   void run() {
     const int m = options.num_processors;
+    indexed = options.engine == SimEngine::kIndexed;
     Nanos now = 0;
     for (TaskId i = 0; i < tasks.size(); ++i) {
       state[static_cast<size_t>(i)].next_release = 0;  // synchronous
     }
+    if (indexed) {
+      ready_index.init(options.algorithm == SimAlgorithm::kEdf,
+                       priority_rank);
+      timers.reserve(4 * static_cast<size_t>(tasks.size()));
+      for (TaskId i = 0; i < tasks.size(); ++i) {
+        timers.push(0, i, detail::TimerKind::kRelease);
+      }
+    }
     // processor_of_running[p] = task running there, or kInvalidTask.
     std::vector<TaskId> proc_task(static_cast<size_t>(m),
                                   common::kInvalidTask);
+    std::vector<TaskId> ready;
+    selected_stamp.assign(static_cast<size_t>(tasks.size()), 0);
 
     while (now < options.horizon) {
-      for (TaskId i = 0; i < tasks.size(); ++i) {
-        if (state[static_cast<size_t>(i)].job_live &&
-            state[static_cast<size_t>(i)].deadline_time <= now) {
-          handle_deadline(i, now);
+      if (indexed) {
+        fire_due(now);
+      } else {
+        for (TaskId i = 0; i < tasks.size(); ++i) {
+          if (state[static_cast<size_t>(i)].job_live &&
+              state[static_cast<size_t>(i)].deadline_time <= now) {
+            handle_deadline(i, now);
+          }
+        }
+        for (TaskId i = 0; i < tasks.size(); ++i) {
+          auto& s = state[static_cast<size_t>(i)];
+          if (s.next_release <= now && !s.job_live) release(i, now);
+        }
+        for (TaskId i = 0; i < tasks.size(); ++i) {
+          auto& s = state[static_cast<size_t>(i)];
+          if (s.od_armed && s.od_time <= now) handle_od(i, now);
         }
       }
-      for (TaskId i = 0; i < tasks.size(); ++i) {
-        auto& s = state[static_cast<size_t>(i)];
-        if (s.next_release <= now && !s.job_live) release(i, now);
-      }
-      for (TaskId i = 0; i < tasks.size(); ++i) {
-        auto& s = state[static_cast<size_t>(i)];
-        if (s.od_armed && s.od_time <= now) handle_od(i, now);
-      }
 
-      // Dispatch: the m highest-priority ready tasks.
-      std::vector<TaskId> ready;
-      for (TaskId i = 0; i < tasks.size(); ++i) {
-        if (is_ready(i)) ready.push_back(i);
-      }
-      std::sort(ready.begin(), ready.end(),
-                [this](TaskId a, TaskId b) { return higher_priority(a, b); });
-      if (static_cast<int>(ready.size()) > m) {
-        ready.resize(static_cast<size_t>(m));
+      // Dispatch: the m highest-priority ready tasks.  The indexed engine
+      // reads them straight out of the per-band ready structures; the
+      // legacy engine gathers and fully sorts the ready set (the top-m
+      // prefix of that sort is exactly what the index returns).
+      if (indexed) {
+        ready_index.top_m(m, ready);
+      } else {
+        ready.clear();
+        for (TaskId i = 0; i < tasks.size(); ++i) {
+          if (is_ready(i)) ready.push_back(i);
+        }
+        std::sort(ready.begin(), ready.end(), [this](TaskId a, TaskId b) {
+          return higher_priority(a, b);
+        });
+        if (static_cast<int>(ready.size()) > m) {
+          ready.resize(static_cast<size_t>(m));
+        }
       }
 
       // Processor assignment: keep a selected task on its previous
       // processor when free; others take free processors (a migration if
       // they ran elsewhere before).  Preemption: a previously running,
       // still-ready task no longer selected.
-      std::vector<bool> selected(static_cast<size_t>(tasks.size()), false);
-      for (TaskId i : ready) selected[static_cast<size_t>(i)] = true;
+      ++select_stamp;
+      for (TaskId i : ready) {
+        selected_stamp[static_cast<size_t>(i)] = select_stamp;
+      }
+      const auto selected = [&](TaskId i) {
+        return selected_stamp[static_cast<size_t>(i)] == select_stamp;
+      };
       for (int p = 0; p < m; ++p) {
         const TaskId prev = proc_task[static_cast<size_t>(p)];
-        if (prev != common::kInvalidTask &&
-            !selected[static_cast<size_t>(prev)]) {
+        if (prev != common::kInvalidTask && !selected(prev)) {
           if (is_ready(prev)) ++result.preemptions;
           proc_task[static_cast<size_t>(p)] = common::kInvalidTask;
         }
@@ -345,19 +479,25 @@ struct GlobalSimulator {
         }
         s.last_processor = chosen;
       }
-      for (TaskId i = 0; i < tasks.size(); ++i) {
-        state[static_cast<size_t>(i)].was_running =
-            selected[static_cast<size_t>(i)];
+      for (TaskId i : ready) {
+        state[static_cast<size_t>(i)].was_running = true;
       }
 
       // Next boundary.
       Nanos next_event = options.horizon;
-      for (TaskId i = 0; i < tasks.size(); ++i) {
-        const auto& s = state[static_cast<size_t>(i)];
-        if (!s.job_live) next_event = std::min(next_event, s.next_release);
-        if (s.od_armed) next_event = std::min(next_event, s.od_time);
-        if (s.job_live && s.deadline_time < kInfinity) {
-          next_event = std::min(next_event, s.deadline_time);
+      if (indexed) {
+        next_event = std::min(
+            next_event, timers.peek_valid([this](const detail::TimerEvent& e) {
+              return timer_valid(e);
+            }));
+      } else {
+        for (TaskId i = 0; i < tasks.size(); ++i) {
+          const auto& s = state[static_cast<size_t>(i)];
+          if (!s.job_live) next_event = std::min(next_event, s.next_release);
+          if (s.od_armed) next_event = std::min(next_event, s.od_time);
+          if (s.job_live && s.deadline_time < kInfinity) {
+            next_event = std::min(next_event, s.deadline_time);
+          }
         }
       }
       if (ready.empty()) {
@@ -384,6 +524,7 @@ struct GlobalSimulator {
                 common::kInvalidTask;
           }
           complete_part(i, now);
+          sync_ready(i);
         }
       }
     }

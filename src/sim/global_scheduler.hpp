@@ -18,6 +18,7 @@ namespace rtseed::sim {
 
 struct GlobalSimOptions {
   SimAlgorithm algorithm = SimAlgorithm::kRmwp;  ///< kRmwp = G-RMWP
+  SimEngine engine = SimEngine::kIndexed;        ///< see sim_scheduler.hpp
   Nanos horizon = common::seconds(10);
   int num_processors = 4;
   bool include_optional = true;

@@ -7,8 +7,19 @@
 #include "sched/rm.hpp"
 #include "sched/rmwp.hpp"
 #include "sched/rta.hpp"
+#include "sim/event_index.hpp"
 
 namespace rtseed::sim {
+
+const char* sim_engine_name(SimEngine engine) {
+  switch (engine) {
+    case SimEngine::kIndexed:
+      return "indexed";
+    case SimEngine::kLegacy:
+      return "legacy";
+  }
+  return "?";
+}
 
 const char* sim_algorithm_name(SimAlgorithm algorithm) {
   switch (algorithm) {
@@ -77,7 +88,13 @@ struct Simulator {
   std::vector<Nanos> ods;           // relative ODs
   std::vector<int> rm_rank;
   std::vector<TaskState> state;
+  std::vector<Nanos> total_optional;  // Σ tasks[i].optional, cached
   SimResult result;
+
+  // kIndexed engine state (unused by kLegacy).
+  bool indexed = false;
+  detail::TimerHeap timers;
+  detail::ReadyIndex ready_index;
 
   obs::TraceBuffer* trace_buffer = nullptr;
 
@@ -93,6 +110,12 @@ struct Simulator {
     for (size_t i = 0; i < n; ++i) rm_rank[i] = ranks[i];
     state.assign(n, TaskState{});
     result.tasks.assign(n, SimTaskStats{});
+    total_optional.assign(n, 0);
+    for (TaskId i = 0; i < tasks.size(); ++i) {
+      Nanos total = 0;
+      for (Nanos o : tasks[i].optional) total += o;
+      total_optional[static_cast<size_t>(i)] = total;
+    }
 
     // Optional deadlines.
     if (!options.optional_deadlines.empty()) {
@@ -199,13 +222,11 @@ struct Simulator {
     }
     s.next_release = now + p.period;
     emit(i, obs::EventKind::kJobRelease, now);
+    if (indexed) {
+      timers.push(s.deadline_time, i, detail::TimerKind::kDeadline);
+      if (s.od_armed) timers.push(s.od_time, i, detail::TimerKind::kOd);
+    }
     if (s.remaining == 0) complete_part(i, now);  // zero-length mandatory
-  }
-
-  Nanos optional_total(TaskId i) const {
-    Nanos total = 0;
-    for (Nanos o : tasks[i].optional) total += o;
-    return total;
   }
 
   void complete_part(TaskId i, Nanos now) {
@@ -220,7 +241,7 @@ struct Simulator {
         }
         if (now < s.od_time) {
           // Mandatory done before OD: optional part may run (NRTQ).
-          const Nanos opt = optional_total(i);
+          const Nanos opt = total_optional[static_cast<size_t>(i)];
           if (options.include_optional && opt > 0) {
             s.phase = Phase::kOptional;
             s.remaining = opt;
@@ -274,6 +295,9 @@ struct Simulator {
     s.remaining = 0;
     s.deadline_time = kInfinity;
     s.od_time = kInfinity;
+    if (indexed) {
+      timers.push(s.next_release, i, detail::TimerKind::kRelease);
+    }
   }
 
   void handle_od(TaskId i, Nanos now) {
@@ -316,11 +340,115 @@ struct Simulator {
         s.od_armed = false;
         s.deadline_time = kInfinity;
         s.od_time = kInfinity;
+        if (indexed) {
+          timers.push(s.next_release, i, detail::TimerKind::kRelease);
+        }
       } else {
         s.deadline_time = kInfinity;  // count once, let it finish late
       }
     }
   }
+
+  // --- kIndexed engine -------------------------------------------------
+  //
+  // The indexed engine runs the exact same handlers in the exact same
+  // order as the legacy per-step scans; only the *derivation* of (due
+  // timers, dispatched task, next boundary) is indexed, so results are
+  // bit-identical (asserted by tests/sim/test_engine_equivalence.cpp).
+
+  /// Re-files task i in the ready index after any state change.
+  void sync_ready(TaskId i) {
+    if (!indexed) return;
+    const auto& s = state[static_cast<size_t>(i)];
+    int band = detail::ReadyIndex::kNone;
+    if (is_ready(i)) {
+      band = s.phase == Phase::kOptional ? detail::ReadyIndex::kNrtq
+                                         : detail::ReadyIndex::kRtq;
+    }
+    ready_index.update(i, band, s.deadline_time);
+  }
+
+  /// Event validity for lazy heap cleanup: an entry is live only while
+  /// the state it was pushed for is still armed at that exact time.
+  /// Every re-arm pushes a fresh entry, so discarding stale ones is safe.
+  bool timer_valid(const detail::TimerEvent& e) const {
+    const auto& s = state[static_cast<size_t>(e.task)];
+    switch (e.kind) {
+      case detail::TimerKind::kRelease:
+        return !s.job_live && s.next_release == e.time;
+      case detail::TimerKind::kOd:
+        return s.od_armed && s.od_time == e.time;
+      case detail::TimerKind::kDeadline:
+        return s.job_live && s.deadline_time == e.time;
+    }
+    return false;
+  }
+
+  /// Fires all timers due at `now`, preserving the legacy engine's
+  /// ordering: deadlines, then releases, then optional deadlines, each in
+  /// ascending task order, with fire conditions re-checked against live
+  /// state (the heap only narrows *which* tasks to look at).
+  void fire_due(Nanos now) {
+    due_deadline.clear();
+    due_release.clear();
+    due_od.clear();
+    drain_due(now);
+    process_bucket(due_deadline, [&](TaskId i) {
+      auto& s = state[static_cast<size_t>(i)];
+      if (s.job_live && s.deadline_time <= now) handle_deadline(i, now);
+      sync_ready(i);
+    });
+    // A deadline abort frees the task for a release at the same instant
+    // (D = T); the abort pushed that release entry, so drain again.
+    drain_due(now);
+    process_bucket(due_release, [&](TaskId i) {
+      auto& s = state[static_cast<size_t>(i)];
+      if (s.next_release <= now && !s.job_live) release(i, now);
+      sync_ready(i);
+    });
+    // A release can arm an OD due the same instant (OD = 0 when the
+    // wind-up window fills the whole deadline); its entry was pushed
+    // after the drain above, so drain once more before the OD pass —
+    // mirroring the legacy scan order deadlines -> releases -> ods.
+    drain_due(now);
+    process_bucket(due_od, [&](TaskId i) {
+      auto& s = state[static_cast<size_t>(i)];
+      if (s.od_armed && s.od_time <= now) handle_od(i, now);
+      sync_ready(i);
+    });
+  }
+
+  void drain_due(Nanos now) {
+    timers.drain_due(now, [&](const detail::TimerEvent& e) {
+      switch (e.kind) {
+        case detail::TimerKind::kRelease:
+          due_release.push_back(e.task);
+          break;
+        case detail::TimerKind::kOd:
+          due_od.push_back(e.task);
+          break;
+        case detail::TimerKind::kDeadline:
+          due_deadline.push_back(e.task);
+          break;
+      }
+    });
+  }
+
+  template <typename Fn>
+  static void process_bucket(std::vector<TaskId>& bucket, Fn&& fn) {
+    std::sort(bucket.begin(), bucket.end());
+    TaskId previous = common::kInvalidTask;
+    for (TaskId i : bucket) {
+      if (i == previous) continue;  // duplicate stale entries
+      previous = i;
+      fn(i);
+    }
+    bucket.clear();
+  }
+
+  std::vector<TaskId> due_deadline, due_release, due_od;
+
+  // ---------------------------------------------------------------------
 
   PartKind current_part_kind(TaskId i) const {
     const auto& s = state[static_cast<size_t>(i)];
@@ -356,10 +484,18 @@ struct Simulator {
   }
 
   void run() {
+    indexed = options.engine == SimEngine::kIndexed;
     Nanos now = 0;
     // Synchronous release (the paper's model): all tasks released at 0.
     for (TaskId i = 0; i < tasks.size(); ++i) {
       state[static_cast<size_t>(i)].next_release = 0;
+    }
+    if (indexed) {
+      ready_index.init(options.algorithm == SimAlgorithm::kEdf, rm_rank);
+      timers.reserve(4 * static_cast<size_t>(tasks.size()));
+      for (TaskId i = 0; i < tasks.size(); ++i) {
+        timers.push(0, i, detail::TimerKind::kRelease);
+      }
     }
 
     while (now < options.horizon) {
@@ -367,37 +503,52 @@ struct Simulator {
       //    job aborted exactly at its deadline (D = T) frees the task for
       //    the release at the same instant; ODs last (they belong to the
       //    job just released only when OD = 0, which validate() forbids).
-      for (TaskId i = 0; i < tasks.size(); ++i) {
-        auto& s = state[static_cast<size_t>(i)];
-        if (s.job_live && s.deadline_time <= now) handle_deadline(i, now);
-      }
-      for (TaskId i = 0; i < tasks.size(); ++i) {
-        auto& s = state[static_cast<size_t>(i)];
-        if (s.next_release <= now && !s.job_live) release(i, now);
-      }
-      for (TaskId i = 0; i < tasks.size(); ++i) {
-        auto& s = state[static_cast<size_t>(i)];
-        if (s.od_armed && s.od_time <= now) handle_od(i, now);
+      if (indexed) {
+        fire_due(now);
+      } else {
+        for (TaskId i = 0; i < tasks.size(); ++i) {
+          auto& s = state[static_cast<size_t>(i)];
+          if (s.job_live && s.deadline_time <= now) handle_deadline(i, now);
+        }
+        for (TaskId i = 0; i < tasks.size(); ++i) {
+          auto& s = state[static_cast<size_t>(i)];
+          if (s.next_release <= now && !s.job_live) release(i, now);
+        }
+        for (TaskId i = 0; i < tasks.size(); ++i) {
+          auto& s = state[static_cast<size_t>(i)];
+          if (s.od_armed && s.od_time <= now) handle_od(i, now);
+        }
       }
 
       // 2. Pick the highest-priority ready part.
       TaskId running = common::kInvalidTask;
-      for (TaskId i = 0; i < tasks.size(); ++i) {
-        if (!is_ready(i)) continue;
-        if (running == common::kInvalidTask ||
-            higher_priority(i, running, now)) {
-          running = i;
+      if (indexed) {
+        running = ready_index.top(common::kInvalidTask);
+      } else {
+        for (TaskId i = 0; i < tasks.size(); ++i) {
+          if (!is_ready(i)) continue;
+          if (running == common::kInvalidTask ||
+              higher_priority(i, running, now)) {
+            running = i;
+          }
         }
       }
 
       // 3. Next timer boundary.
       Nanos next_event = options.horizon;
-      for (TaskId i = 0; i < tasks.size(); ++i) {
-        const auto& s = state[static_cast<size_t>(i)];
-        if (!s.job_live) next_event = std::min(next_event, s.next_release);
-        if (s.od_armed) next_event = std::min(next_event, s.od_time);
-        if (s.job_live && s.deadline_time < kInfinity) {
-          next_event = std::min(next_event, s.deadline_time);
+      if (indexed) {
+        next_event = std::min(
+            next_event, timers.peek_valid([this](const detail::TimerEvent& e) {
+              return timer_valid(e);
+            }));
+      } else {
+        for (TaskId i = 0; i < tasks.size(); ++i) {
+          const auto& s = state[static_cast<size_t>(i)];
+          if (!s.job_live) next_event = std::min(next_event, s.next_release);
+          if (s.od_armed) next_event = std::min(next_event, s.od_time);
+          if (s.job_live && s.deadline_time < kInfinity) {
+            next_event = std::min(next_event, s.deadline_time);
+          }
         }
       }
 
@@ -423,7 +574,10 @@ struct Simulator {
       record_slice(running, now, now + slice);
       s.remaining -= slice;
       now += slice;
-      if (s.remaining == 0) complete_part(running, now);
+      if (s.remaining == 0) {
+        complete_part(running, now);
+        sync_ready(running);
+      }
     }
   }
 };

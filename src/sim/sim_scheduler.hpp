@@ -35,6 +35,19 @@ enum class SimAlgorithm { kGeneralRm, kRmwp, kEdf };
 
 const char* sim_algorithm_name(SimAlgorithm algorithm);
 
+/// Simulation core.
+///  * kIndexed — event-indexed engine: a lazy min-heap of timer events
+///    (release / optional-deadline / deadline) gives the next clock jump
+///    in O(log n), and per-band ready indexes (priority-rank bitmaps, or
+///    an ordered set for EDF) give the dispatch decision in O(1) instead
+///    of rescanning every task at every boundary.
+///  * kLegacy  — the original O(n)-scan-per-step core, kept compiled as
+///    the A/B baseline (bench/micro_sim_engine) and as the oracle for the
+///    equivalence tests: both engines produce bit-identical results.
+enum class SimEngine { kIndexed, kLegacy };
+
+const char* sim_engine_name(SimEngine engine);
+
 enum class PartKind { kWhole, kMandatory, kOptional, kWindup };
 
 const char* part_kind_name(PartKind part);
@@ -59,6 +72,7 @@ struct SimTaskStats {
 
 struct SimOptions {
   SimAlgorithm algorithm = SimAlgorithm::kRmwp;
+  SimEngine engine = SimEngine::kIndexed;
   Nanos horizon = common::seconds(10);
   /// Simulate optional parts (NRTQ band).  Turning this off must not
   /// change any mandatory/wind-up slice (Theorem 1) — tests rely on it.

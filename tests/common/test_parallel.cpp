@@ -1,0 +1,56 @@
+#include "common/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace rtseed::common {
+namespace {
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 8}) {
+    const std::size_t n = 1000;
+    std::vector<std::atomic<int>> visits(n);
+    parallel_for(n, threads, [&](std::size_t i) {
+      visits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(visits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelFor, HandlesEmptyAndSingleton) {
+  int calls = 0;
+  parallel_for(0, 4, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(1, 4, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for(64, 4,
+                   [&](std::size_t i) {
+                     if (i == 17) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ResolveParallelism, ExplicitRequestWins) {
+  EXPECT_EQ(resolve_parallelism(3), 3);
+  EXPECT_EQ(resolve_parallelism(1), 1);
+}
+
+TEST(ResolveParallelism, AutoIsAtLeastOne) {
+  EXPECT_GE(resolve_parallelism(0), 1);
+  EXPECT_GE(resolve_parallelism(-5), 1);
+}
+
+}  // namespace
+}  // namespace rtseed::common

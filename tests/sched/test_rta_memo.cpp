@@ -1,0 +1,92 @@
+// PrefixRta must return exactly what the plain fixed-point iteration
+// returns, and actually hit its cache on repeated probes (the access
+// pattern of bin-packing admission tests during sweeps).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sched/generator.hpp"
+#include "sched/rta.hpp"
+
+namespace rtseed::sched {
+namespace {
+
+using common::millis;
+
+TEST(PrefixRta, MatchesPlainFixedPoint) {
+  common::Rng rng(31337);
+  for (int trial = 0; trial < 50; ++trial) {
+    GeneratorConfig config;
+    config.num_tasks = 8;
+    config.total_utilization = 0.2 + 0.1 * (trial % 10);
+    const auto set = generate_task_set(config, rng);
+
+    PrefixRta rta;
+    std::vector<Nanos> hp_cost, hp_period;
+    for (const auto& t : set) {
+      const Nanos horizon = t.effective_deadline();
+      const auto expected = fixed_point_response_time(t.mandatory, hp_cost,
+                                                      hp_period, horizon);
+      EXPECT_EQ(rta.response(t.mandatory, horizon), expected);
+      // A second probe of the same prefix must give the same answer
+      // (served from cache).
+      EXPECT_EQ(rta.response(t.mandatory, horizon), expected);
+      rta.push_hp(t.wcet(), t.period);
+      hp_cost.push_back(t.wcet());
+      hp_period.push_back(t.period);
+    }
+  }
+}
+
+TEST(PrefixRta, RepeatedProbesHitTheCache) {
+  rta_cache_clear();
+  const auto base = rta_cache_stats();
+  EXPECT_EQ(base.entries, 0u);
+
+  const auto probe = [] {
+    PrefixRta rta;
+    rta.push_hp(millis(1), millis(4));
+    rta.push_hp(millis(2), millis(6));
+    return rta.response(millis(3), millis(12));
+  };
+  const auto first = probe();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, millis(10));  // the textbook fixed point
+
+  const auto after_first = rta_cache_stats();
+  EXPECT_GT(after_first.entries, 0u);
+
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(probe(), first);
+  const auto after_repeats = rta_cache_stats();
+  EXPECT_GE(after_repeats.hits, after_first.hits + 10);
+  EXPECT_EQ(after_repeats.entries, after_first.entries);  // nothing new
+}
+
+TEST(PrefixRta, DivergenceIsCachedToo) {
+  rta_cache_clear();
+  PrefixRta rta;
+  rta.push_hp(millis(6), millis(6));  // saturating interference
+  EXPECT_EQ(rta.response(millis(1), millis(12)), std::nullopt);
+  const auto before = rta_cache_stats();
+  EXPECT_EQ(rta.response(millis(1), millis(12)), std::nullopt);
+  EXPECT_GT(rta_cache_stats().hits, before.hits);
+}
+
+TEST(PrefixRta, DistinctPrefixesDoNotCollide) {
+  // Same own_cost/horizon but different prefix order: the windows differ
+  // and the cache must keep them apart.
+  PrefixRta a;
+  a.push_hp(millis(3), millis(10));
+  PrefixRta b;
+  b.push_hp(millis(5), millis(10));
+  const auto ra = a.response(millis(1), millis(20));
+  const auto rb = b.response(millis(1), millis(20));
+  ASSERT_TRUE(ra.has_value());
+  ASSERT_TRUE(rb.has_value());
+  EXPECT_EQ(*ra, millis(4));  // 1 + 3·ceil(4/10) = 4
+  EXPECT_EQ(*rb, millis(6));  // 1 + 5·ceil(6/10) = 6
+}
+
+}  // namespace
+}  // namespace rtseed::sched

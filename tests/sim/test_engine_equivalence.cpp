@@ -1,0 +1,147 @@
+// The event-indexed engine (timer heap + rank bitmaps + EDF ordered set)
+// must be an observationally exact replacement for the legacy O(n)-scan
+// engine: same stats, same execution trace, same migration/preemption
+// counts, on every algorithm and option combination, including
+// overloaded sets where deadlines fire and jobs abort.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sched/generator.hpp"
+#include "sim/global_scheduler.hpp"
+#include "sim/sim_scheduler.hpp"
+
+namespace rtseed::sim {
+namespace {
+
+bool operator==(const SimTaskStats& a, const SimTaskStats& b) {
+  return a.released == b.released && a.completed == b.completed &&
+         a.misses == b.misses &&
+         a.optional_completed == b.optional_completed &&
+         a.optional_terminated == b.optional_terminated &&
+         a.optional_discarded == b.optional_discarded &&
+         a.max_response == b.max_response;
+}
+
+void expect_equal(const SimResult& a, const SimResult& b,
+                  const std::string& what) {
+  ASSERT_EQ(a.tasks.size(), b.tasks.size()) << what;
+  for (size_t i = 0; i < a.tasks.size(); ++i) {
+    EXPECT_TRUE(a.tasks[i] == b.tasks[i]) << what << " task " << i;
+  }
+  EXPECT_EQ(a.optional_deadlines, b.optional_deadlines) << what;
+  ASSERT_EQ(a.trace.size(), b.trace.size()) << what;
+  for (size_t i = 0; i < a.trace.size(); ++i) {
+    const auto& x = a.trace[i];
+    const auto& y = b.trace[i];
+    ASSERT_TRUE(x.task == y.task && x.job == y.job && x.part == y.part &&
+                x.start == y.start && x.end == y.end)
+        << what << " slice " << i;
+  }
+}
+
+sched::TaskSet random_set(int n, double utilization, common::u64 seed) {
+  common::Rng rng(seed);
+  sched::GeneratorConfig config;
+  config.num_tasks = n;
+  config.total_utilization = utilization;
+  config.min_period = common::millis(1);
+  config.max_period = common::millis(20);
+  config.optional_parts = 2;
+  return sched::generate_task_set(config, rng);
+}
+
+TEST(EngineEquivalence, UniprocessorAllAlgorithmsAndOptions) {
+  for (int n : {3, 12, 70}) {  // 70 exercises multi-word rank bitmaps
+    for (double u : {0.5, 0.9, 1.3}) {  // 1.3 = overload: aborts + misses
+      const auto set = random_set(n, u, 1000 + n);
+      for (auto algorithm :
+           {SimAlgorithm::kRmwp, SimAlgorithm::kGeneralRm, SimAlgorithm::kEdf}) {
+        for (bool include_optional : {true, false}) {
+          for (bool abort_at_deadline : {true, false}) {
+            SimOptions options;
+            options.algorithm = algorithm;
+            options.horizon = common::millis(200);
+            options.include_optional = include_optional;
+            options.abort_at_deadline = abort_at_deadline;
+            options.release_overhead = common::micros(3);
+            options.windup_overhead = common::micros(7);
+
+            options.engine = SimEngine::kLegacy;
+            const auto legacy = simulate_uniprocessor(set, options);
+            options.engine = SimEngine::kIndexed;
+            const auto indexed = simulate_uniprocessor(set, options);
+            expect_equal(legacy, indexed,
+                         "n=" + std::to_string(n) + " u=" + std::to_string(u) +
+                             " alg=" + std::to_string(int(algorithm)) +
+                             " opt=" + std::to_string(include_optional) +
+                             " abort=" + std::to_string(abort_at_deadline));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(EngineEquivalence, PartitionedMatchesPerProcessor) {
+  const auto set = random_set(16, 3.2, 42);
+  for (auto algorithm : {SimAlgorithm::kRmwp, SimAlgorithm::kEdf}) {
+    SimOptions options;
+    options.algorithm = algorithm;
+    options.horizon = common::millis(300);
+
+    options.engine = SimEngine::kLegacy;
+    const auto legacy = simulate_partitioned(set, 4, options);
+    options.engine = SimEngine::kIndexed;
+    const auto indexed = simulate_partitioned(set, 4, options);
+
+    EXPECT_EQ(legacy.partition_feasible, indexed.partition_feasible);
+    EXPECT_EQ(legacy.processor_of, indexed.processor_of);
+    ASSERT_EQ(legacy.per_processor.size(), indexed.per_processor.size());
+    for (size_t p = 0; p < legacy.per_processor.size(); ++p) {
+      expect_equal(legacy.per_processor[p], indexed.per_processor[p],
+                   "processor " + std::to_string(p));
+    }
+  }
+}
+
+TEST(EngineEquivalence, GlobalSchedulerMatches) {
+  for (int n : {8, 70}) {
+    for (double u : {2.0, 3.8}) {
+      const auto set = random_set(n, u, 7000 + n);
+      for (auto algorithm : {SimAlgorithm::kRmwp, SimAlgorithm::kEdf}) {
+        for (bool rmus : {false, true}) {
+          GlobalSimOptions options;
+          options.algorithm = algorithm;
+          options.num_processors = 4;
+          options.horizon = common::millis(200);
+          options.rmus_priorities = rmus;
+          options.migration_overhead = common::micros(50);
+
+          options.engine = SimEngine::kLegacy;
+          const auto legacy = simulate_global(set, options);
+          options.engine = SimEngine::kIndexed;
+          const auto indexed = simulate_global(set, options);
+
+          const std::string what =
+              "n=" + std::to_string(n) + " u=" + std::to_string(u) +
+              " alg=" + std::to_string(int(algorithm)) +
+              " rmus=" + std::to_string(rmus);
+          ASSERT_EQ(legacy.tasks.size(), indexed.tasks.size()) << what;
+          for (size_t i = 0; i < legacy.tasks.size(); ++i) {
+            EXPECT_TRUE(legacy.tasks[i] == indexed.tasks[i])
+                << what << " task " << i;
+          }
+          EXPECT_EQ(legacy.optional_deadlines, indexed.optional_deadlines)
+              << what;
+          EXPECT_EQ(legacy.migrations, indexed.migrations) << what;
+          EXPECT_EQ(legacy.preemptions, indexed.preemptions) << what;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rtseed::sim
