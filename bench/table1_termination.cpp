@@ -57,9 +57,14 @@ Row measure(core::TerminationStrategy strategy, int jobs) {
 
   std::vector<double> latencies;
   bool mask_ok = true;
+  // Paper-faithful mode: do NOT let the middleware repair the try-catch
+  // mask leak — this bench exists to reproduce the published Table I row.
+  core::TerminationOptions paper;
+  paper.repair_signal_mask = false;
   for (int job = 0; job < jobs; ++job) {
     const Nanos deadline = monotonic_now() + millis(10);
-    const auto result = core::run_with_deadline(strategy, deadline, body);
+    const auto result =
+        core::run_with_deadline(strategy, deadline, body, paper);
     latencies.push_back(common::to_micros(result.finished_at - deadline));
     if (strategy == core::TerminationStrategy::kSigjmp) {
       mask_ok &= !rt::is_signal_blocked(core::sigjmp_signal());

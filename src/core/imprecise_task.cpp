@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/rt_logger.hpp"
+#include "fault/injector.hpp"
 #include "rt/futex.hpp"
 #include "rt/periodic_clock.hpp"
 
@@ -50,6 +51,7 @@ ImpreciseTask::ImpreciseTask(common::TaskId id, TaskConfig config,
   pool_options.name_prefix = config_.params.name;
   pool_options.completion_margin = options_.completion_margin;
   pool_options.wake_backend = options_.wake_backend;
+  pool_options.repair_signal_mask = options_.repair_signal_mask;
   pool_ = std::make_unique<OptionalPool>(
       std::move(pool_options),
       [this](const JobContext& ctx, int part, StopToken& token) {
@@ -57,6 +59,9 @@ ImpreciseTask::ImpreciseTask(common::TaskId id, TaskConfig config,
           config_.callbacks.optional(ctx, part, token);
         }
       });
+  if (options_.breaker.enabled) {
+    breaker_ = std::make_unique<fault::CircuitBreaker>(options_.breaker);
+  }
 }
 
 ImpreciseTask::~ImpreciseTask() { stop(); }
@@ -147,6 +152,15 @@ void ImpreciseTask::mandatory_loop() {
     pool_->set_caller_trace(trace_);
   }
 
+  // The budget watchdog's timer must be created on the thread it targets.
+  if (options_.watchdog.enabled) {
+    if (auto st = watchdog_.init(); !st) {
+      common::global_logger().warn("%s: budget watchdog unavailable: %s",
+                                   config_.params.name.c_str(),
+                                   st.to_string().c_str());
+    }
+  }
+
   rt::PeriodicClock clock(config_.params.period, options_.initial_offset);
   clock.start();
 
@@ -164,6 +178,48 @@ void ImpreciseTask::mandatory_loop() {
   }
 
   mark_finished();
+}
+
+bool ImpreciseTask::handle_budget_overrun(fault::BudgetPart part,
+                                          JobRecord& rec) {
+  const fault::OverrunPolicy policy = options_.watchdog.policy;
+  budget_overruns_.fetch_add(1, std::memory_order_relaxed);
+  if (part == fault::BudgetPart::kMandatory) {
+    rec.mandatory_overrun = true;
+  } else {
+    rec.windup_overrun = true;
+  }
+  emit(obs::EventKind::kBudgetOverrun, rec.job, static_cast<common::i32>(part));
+  if (task_metrics_.budget_overruns) task_metrics_.budget_overruns->increment();
+  common::global_logger().warn("%s: %s budget overrun on job %ld (policy %s)",
+                               config_.params.name.c_str(),
+                               fault::budget_part_name(part), rec.job,
+                               fault::overrun_policy_name(policy));
+  const bool abort = policy == fault::OverrunPolicy::kAbortJob ||
+                     policy == fault::OverrunPolicy::kDemoteThread;
+  if (policy == fault::OverrunPolicy::kDemoteThread && !demoted_) {
+    // The last rung: a task that keeps lying about its WCET loses its
+    // right to preempt well-behaved tasks.  Once per task lifetime.
+    demoted_ = true;
+    if (rt::demote_current_thread()) {
+      common::global_logger().warn("%s: demoted mandatory thread to %s",
+                                   config_.params.name.c_str(), "SCHED_OTHER");
+    }
+  }
+  if (abort) {
+    rec.aborted = true;
+    if (task_metrics_.jobs_aborted) task_metrics_.jobs_aborted->increment();
+  }
+  if (overrun_observer_) {
+    if (!run_guarded("overrun-observer", config_.params.name.c_str(),
+                     [&] { overrun_observer_(id_, part, rec); })) {
+      callback_errors_.fetch_add(1, std::memory_order_relaxed);
+      if (task_metrics_.callback_errors) {
+        task_metrics_.callback_errors->increment();
+      }
+    }
+  }
+  return abort;
 }
 
 void ImpreciseTask::run_one_job(JobId job_index, Nanos release) {
@@ -188,6 +244,13 @@ void ImpreciseTask::run_one_job(JobId job_index, Nanos release) {
   ctx.optional_deadline = rec.optional_deadline;
 
   emit(obs::EventKind::kMandatoryBegin, job_index);
+  // Budget watchdog checkpoint protocol: arm for the part's budget, run
+  // the body, disarm at the checkpoint and apply the overrun ladder.
+  const bool watchdog_on = options_.watchdog.enabled && watchdog_.ready();
+  if (watchdog_on) {
+    watchdog_.arm(rec.mandatory_start +
+                  options_.watchdog.budget_for(params.mandatory));
+  }
   if (config_.callbacks.mandatory) {
     if (!run_guarded("mandatory", params.name.c_str(),
                      [&] { config_.callbacks.mandatory(ctx); })) {
@@ -197,16 +260,47 @@ void ImpreciseTask::run_one_job(JobId job_index, Nanos release) {
       }
     }
   }
+  // Chaos: the body burns past its declared WCET — the violation the
+  // watchdog exists to catch (the budget signal interrupts the sleep; the
+  // EINTR-safe retry keeps burning, as a looping body would).
+  if (fault::try_fire(fault::InjectPoint::kBodyOverrun)) {
+    rt::sleep_for(fault::injected_overrun_ns());
+  }
   rec.mandatory_end = common::monotonic_now();
   emit(obs::EventKind::kMandatoryEnd, job_index);
+  bool abort_job = false;
+  if (watchdog_on && watchdog_.disarm()) {
+    abort_job = handle_budget_overrun(fault::BudgetPart::kMandatory, rec);
+  }
+
+  // Effective parallelism this job may use: the breaker sheds np under
+  // sustained overload, and every overrun policy above kLogOnly denies an
+  // overrunning job its optional parts.
+  int allowed_np = np;
+  if (abort_job ||
+      (rec.mandatory_overrun &&
+       options_.watchdog.policy != fault::OverrunPolicy::kLogOnly)) {
+    allowed_np = 0;
+  }
+  if (breaker_ != nullptr && allowed_np > 0) {
+    allowed_np = breaker_->allowed_np(allowed_np);
+  }
+  rec.optional_shed = np - allowed_np;
+  if (rec.optional_shed > 0) {
+    emit(obs::EventKind::kOptionalShed, job_index, rec.optional_shed);
+    if (task_metrics_.optional_shed) {
+      task_metrics_.optional_shed->add(
+          static_cast<common::u64>(rec.optional_shed));
+    }
+  }
 
   // Optional parts run only when the mandatory part completed by the
   // optional deadline; otherwise they are DISCARDED (Fig. 1).
-  const bool run_optionals =
-      np > 0 && rec.mandatory_end < rec.optional_deadline;
+  const bool mandatory_on_time = rec.mandatory_end < rec.optional_deadline;
+  const bool run_optionals = allowed_np > 0 && mandatory_on_time;
   if (run_optionals) {
     rec.optionals_ran = true;
-    const auto round = pool_->run_round(ctx, np);
+    const auto round = pool_->run_round(ctx, allowed_np);
     notify_transition(TaskTransition::kOptionalsStarted, round.signal_end);
     rec.signal_start = round.signal_start;
     rec.signal_end = round.signal_end;
@@ -220,18 +314,28 @@ void ImpreciseTask::run_one_job(JobId job_index, Nanos release) {
           static_cast<common::u64>(round.terminated));
     }
   } else {
-    rec.optional_discarded = np;
-    notify_transition(TaskTransition::kOptionalsDiscarded, rec.mandatory_end);
-    emit(obs::EventKind::kOptionalsDiscarded, job_index, np);
-    if (task_metrics_.optional_discarded) {
-      task_metrics_.optional_discarded->add(static_cast<common::u64>(np));
+    // Not started at all: discarded when the mandatory part ran past the
+    // OD (the paper's path); shed (counted above) when the breaker or the
+    // overrun policy withheld them.  The queue mirror sees the same
+    // transition either way — the task skips straight to wind-up.
+    if (!mandatory_on_time) {
+      rec.optional_discarded = np;
+      if (task_metrics_.optional_discarded) {
+        task_metrics_.optional_discarded->add(static_cast<common::u64>(np));
+      }
+      emit(obs::EventKind::kOptionalsDiscarded, job_index, np);
     }
+    notify_transition(TaskTransition::kOptionalsDiscarded, rec.mandatory_end);
   }
 
   rec.windup_start = common::monotonic_now();
   notify_transition(TaskTransition::kWindupStarted, rec.windup_start);
   emit(obs::EventKind::kWindupBegin, job_index);
-  if (config_.callbacks.windup) {
+  if (!abort_job && config_.callbacks.windup) {
+    if (watchdog_on) {
+      watchdog_.arm(rec.windup_start +
+                    options_.watchdog.budget_for(params.windup));
+    }
     if (!run_guarded("wind-up", params.name.c_str(),
                      [&] { config_.callbacks.windup(ctx); })) {
       callback_errors_.fetch_add(1, std::memory_order_relaxed);
@@ -242,7 +346,37 @@ void ImpreciseTask::run_one_job(JobId job_index, Nanos release) {
   }
   rec.windup_end = common::monotonic_now();
   emit(obs::EventKind::kWindupEnd, job_index);
+  if (!abort_job && watchdog_on && watchdog_.disarm()) {
+    // The job is over either way; the ladder's containment here is the
+    // counting (and, at the last rung, the demotion).
+    (void)handle_budget_overrun(fault::BudgetPart::kWindup, rec);
+  }
   rec.deadline_met = rec.windup_end <= rec.deadline;
+  if (breaker_ != nullptr) {
+    if (auto tr = breaker_->record_job(rec.deadline_met, rec.windup_end)) {
+      const obs::EventKind kind =
+          tr->to == fault::CircuitBreaker::State::kOpen
+              ? obs::EventKind::kBreakerTrip
+              : (tr->to == fault::CircuitBreaker::State::kHalfOpen
+                     ? obs::EventKind::kBreakerProbe
+                     : obs::EventKind::kBreakerRestore);
+      emit(kind, job_index, tr->shed_level);
+      if (task_metrics_.breaker_transitions) {
+        task_metrics_.breaker_transitions->increment();
+      }
+      common::global_logger().warn(
+          "%s: breaker %s -> %s (shed level %d, miss rate %.2f)",
+          params.name.c_str(), fault::breaker_state_name(tr->from),
+          fault::breaker_state_name(tr->to), tr->shed_level,
+          breaker_->miss_rate());
+    }
+    if (task_metrics_.breaker_state) {
+      task_metrics_.breaker_state->set(
+          static_cast<double>(static_cast<int>(breaker_->state())));
+      task_metrics_.breaker_shed_level->set(
+          static_cast<double>(breaker_->shed_level()));
+    }
+  }
   notify_transition(TaskTransition::kJobFinished, rec.windup_end);
   emit(obs::EventKind::kJobFinish, job_index);
   if (task_metrics_.jobs_completed) {

@@ -35,6 +35,8 @@
 #include "core/job_record.hpp"
 #include "core/optional_pool.hpp"
 #include "core/task_config.hpp"
+#include "fault/breaker.hpp"
+#include "fault/watchdog.hpp"
 #include "obs/telemetry.hpp"
 #include "rt/thread.hpp"
 #include "rt/topology.hpp"
@@ -60,6 +62,16 @@ struct TaskRuntimeOptions {
   Nanos initial_offset = common::millis(10);
   /// Mandatory↔optional handoff mechanism (see core::WakeBackend).
   WakeBackend wake_backend = WakeBackend::kAuto;
+  /// Per-job budget watchdog over the mandatory and wind-up parts
+  /// (disabled by default; see fault::WatchdogConfig).
+  fault::WatchdogConfig watchdog;
+  /// Overload circuit breaker shedding optional parallelism under
+  /// sustained deadline misses (disabled by default).
+  fault::BreakerConfig breaker;
+  /// Repair the blocked-signal defect of kTryCatch terminations between
+  /// jobs (Table I row 3).  ON by default; OFF reproduces the published
+  /// broken behavior.
+  bool repair_signal_mask = true;
 };
 
 /// Observer for queue mirroring / tracing; called on the mandatory thread.
@@ -131,9 +143,34 @@ class ImpreciseTask {
     miss_observer_ = std::move(observer);
   }
 
+  /// Called on the mandatory thread at the checkpoint where a budget
+  /// overrun was detected, after the policy was applied (the JobRecord
+  /// carries mandatory_overrun / windup_overrun / aborted).  Keep it cheap.
+  using OverrunObserver = std::function<void(common::TaskId,
+                                             fault::BudgetPart,
+                                             const JobRecord&)>;
+  void set_overrun_observer(OverrunObserver observer) {
+    overrun_observer_ = std::move(observer);
+  }
+
+  /// The task's optional pool, for supervisor registration
+  /// (fault::SupervisedPool view).  Valid for the task's lifetime.
+  OptionalPool* pool() { return pool_.get(); }
+
+  /// The task's circuit breaker; nullptr unless options.breaker.enabled.
+  const fault::CircuitBreaker* breaker() const { return breaker_.get(); }
+
+  /// Budget overruns observed so far (mandatory + wind-up).
+  long budget_overruns() const {
+    return budget_overruns_.load(std::memory_order_relaxed);
+  }
+
  private:
   void mandatory_loop();
   void run_one_job(JobId job_index, Nanos release);
+  /// Applies the overrun ladder at a checkpoint; returns true when the
+  /// rest of the job must be skipped (kAbortJob / kDemoteThread).
+  bool handle_budget_overrun(fault::BudgetPart part, JobRecord& rec);
   void notify_transition(TaskTransition transition, Nanos now);
   void emit(obs::EventKind kind, JobId job, common::i32 arg = 0);
   void record_overheads(const JobRecord& rec);
@@ -160,6 +197,14 @@ class ImpreciseTask {
 
   TransitionObserver observer_;
   MissObserver miss_observer_;
+  OverrunObserver overrun_observer_;
+
+  /// Budget watchdog of the mandatory thread (armed/disarmed there only).
+  fault::BudgetWatchdog watchdog_;
+  std::unique_ptr<fault::CircuitBreaker> breaker_;
+  std::atomic<long> budget_overruns_{0};
+  /// kDemoteThread fired (one demotion per task lifetime is enough).
+  bool demoted_ = false;
 
   obs::Telemetry* telemetry_ = nullptr;
   obs::TraceBuffer* trace_ = nullptr;  ///< mandatory thread's event ring

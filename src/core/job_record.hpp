@@ -36,9 +36,20 @@ struct JobRecord {
   int optional_completed = 0;
   int optional_terminated = 0;
   int optional_discarded = 0;
+  /// Optional parts this job was not allowed to start — withheld by the
+  /// overload circuit breaker or by the budget-overrun policy (distinct
+  /// from optional_discarded, where the MANDATORY part ran past the OD).
+  int optional_shed = 0;
 
   bool optionals_ran = false;
   bool deadline_met = false;
+  /// Budget watchdog verdicts (DESIGN.md §9.2): the part ran past
+  /// WCET × factor + slack.
+  bool mandatory_overrun = false;
+  bool windup_overrun = false;
+  /// The job was cut short at a checkpoint by OverrunPolicy::kAbortJob or
+  /// kDemoteThread (its wind-up part never ran).
+  bool aborted = false;
 
   Nanos delta_m() const { return mandatory_start - release; }
   Nanos delta_b() const {

@@ -1,10 +1,13 @@
 #include "core/optional_pool.hpp"
 
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 
 #include "common/rt_logger.hpp"
+#include "fault/injector.hpp"
 #include "rt/futex.hpp"
+#include "rt/periodic_clock.hpp"
 
 namespace rtseed::core {
 
@@ -73,21 +76,26 @@ OptionalPool::OptionalPool(Options options, PartBody body)
 
 OptionalPool::~OptionalPool() { shutdown(); }
 
+void OptionalPool::spawn_worker_locked(int part) {
+  rt::ThreadConfig tc;
+  tc.name = options_.name_prefix + ".o" + std::to_string(part);
+  tc.fifo_priority = options_.fifo_priority;
+  tc.affinity = rt::CpuSet::single(options_.cpus[static_cast<size_t>(part)]);
+  threads_[static_cast<size_t>(part)] =
+      rt::RtThread(tc, [this, part] { thread_main(part); });
+}
+
 common::Status OptionalPool::start() {
+  std::lock_guard lock(lifecycle_mutex_);
   if (started_) return common::failed_precondition("pool already started");
   started_ = true;
-  threads_.reserve(slots_.size());
-  for (int k = 0; k < size(); ++k) {
-    rt::ThreadConfig tc;
-    tc.name = options_.name_prefix + ".o" + std::to_string(k);
-    tc.fifo_priority = options_.fifo_priority;
-    tc.affinity = rt::CpuSet::single(options_.cpus[static_cast<size_t>(k)]);
-    threads_.emplace_back(tc, [this, k] { thread_main(k); });
-  }
+  threads_.resize(slots_.size());
+  for (int k = 0; k < size(); ++k) spawn_worker_locked(k);
   return common::Status::ok();
 }
 
 void OptionalPool::shutdown() {
+  std::lock_guard lock(lifecycle_mutex_);
   if (!started_) return;
   for (auto& slot : slots_) {
     if (backend_ == WakeBackend::kFutexWord) {
@@ -137,7 +145,16 @@ OptionalPool::RoundResult OptionalPool::run_round(const JobContext& ctx,
       // is skipped when the worker is still spinning (cmd was kCmdIdle).
       const std::uint32_t prev =
           slot.cmd.exchange(kCmdReady, std::memory_order_release);
-      if (prev == kCmdParked) rt::wake_word(slot.cmd, 1);
+      if (prev == kCmdParked) {
+        // Chaos: a swallowed or late wake of a parked worker.  A worker
+        // that committed to FUTEX_WAIT just before our exchange landed
+        // sleeps until the recovery loop below re-wakes it.
+        if (fault::try_fire(fault::InjectPoint::kLostWake)) continue;
+        if (fault::try_fire(fault::InjectPoint::kDelayedWake)) {
+          rt::sleep_for(fault::injected_delay_ns());
+        }
+        rt::wake_word(slot.cmd, 1);
+      }
     }
     result.signal_end = common::monotonic_now();
   } else {
@@ -152,6 +169,13 @@ OptionalPool::RoundResult OptionalPool::run_round(const JobContext& ctx,
       slot.job = ctx;
       slot.force_flag.store(false, std::memory_order_relaxed);
       slot.state = Slot::State::kReady;
+      // Chaos: pthread condvars only re-check predicates on wakeups, so a
+      // swallowed notify strands the worker exactly like a lost futex
+      // wake; the recovery loop below re-notifies.
+      if (fault::try_fire(fault::InjectPoint::kLostWake)) continue;
+      if (fault::try_fire(fault::InjectPoint::kDelayedWake)) {
+        rt::sleep_for(fault::injected_delay_ns());
+      }
       slot.cv.notify_one();
     }
     result.signal_end = common::monotonic_now();
@@ -162,26 +186,64 @@ OptionalPool::RoundResult OptionalPool::run_round(const JobContext& ctx,
   }
 
   // Wait for all parts to end; past OD + margin, force the stop tokens
-  // (covers the periodic-check strategy and lost-wakeup pathologies) and
-  // keep waiting — the next phase must not overlap optional execution.
+  // (covers the periodic-check strategy) and keep waiting in BOUNDED
+  // slices — the next phase must not overlap optional execution, but an
+  // unbounded wait here turns any lost wake into a permanent hang.  Each
+  // slice that expires re-wakes every slot whose handoff state still
+  // reads ready: that is precisely a worker that committed to sleeping
+  // before the signal landed (futex: the kernel validates the word only
+  // at FUTEX_WAIT entry; condvar: predicates are only re-checked on
+  // wakeups) — or a dead worker whose part the supervisor will respawn
+  // someone to consume.
   const Nanos force_deadline =
       ctx.optional_deadline + options_.completion_margin;
+  constexpr Nanos kRecoveryRetryInterval = common::millis(10);
+  const auto rewake_unconsumed = [&] {
+    for (int k = 0; k < count; ++k) {
+      auto& slot = *slots_[static_cast<size_t>(k)];
+      bool stranded = false;
+      if (backend_ == WakeBackend::kFutexWord) {
+        stranded = slot.cmd.load(std::memory_order_acquire) == kCmdReady;
+        if (stranded) rt::wake_word(slot.cmd, 1);
+      } else {
+        std::lock_guard lock(slot.cv);
+        stranded = slot.state == Slot::State::kReady;
+        if (stranded) slot.cv.notify_one();
+      }
+      if (stranded) {
+        wake_retries_.fetch_add(1, std::memory_order_relaxed);
+        if (emit_window) {
+          caller_trace_->emit({telemetry_->now(), task_, ctx.job, k,
+                               obs::EventKind::kWakeRetry});
+        }
+      }
+    }
+  };
   if (backend_ == WakeBackend::kFutexWord) {
     if (!wait_completion_word(force_deadline)) {
       force_parts(count);
-      wait_completion_word(-1);
+      while (!wait_completion_word(common::monotonic_now() +
+                                   kRecoveryRetryInterval)) {
+        rewake_unconsumed();
+      }
     }
   } else {
     completion_cv_.lock();
     const bool on_time = completion_cv_.wait_until(
         force_deadline, [this] { return remaining_cv_ == 0; });
-    if (!on_time) {
-      completion_cv_.unlock();
-      force_parts(count);
-      completion_cv_.lock();
-      completion_cv_.wait([this] { return remaining_cv_ == 0; });
-    }
     completion_cv_.unlock();
+    if (!on_time) {
+      force_parts(count);
+      for (;;) {
+        completion_cv_.lock();
+        const bool done = completion_cv_.wait_until(
+            common::monotonic_now() + kRecoveryRetryInterval,
+            [this] { return remaining_cv_ == 0; });
+        completion_cv_.unlock();
+        if (done) break;
+        rewake_unconsumed();
+      }
+    }
   }
 
   result.all_ended = common::monotonic_now();
@@ -261,13 +323,28 @@ void OptionalPool::execute_part(Slot& slot, int part, const JobContext& job,
   Nanos expected = 0;
   first_part_start_.compare_exchange_strong(expected, started,
                                             std::memory_order_acq_rel);
+  // Publish the busy window for the supervisor: two relaxed stores and a
+  // heartbeat bump per part (matched by the clear at the end).
+  slot.busy_since.store(started, std::memory_order_relaxed);
+  slot.busy_deadline.store(job.optional_deadline, std::memory_order_relaxed);
+  slot.heartbeat.fetch_add(1, std::memory_order_relaxed);
+  // Chaos: the worker stalls before reaching its body — the shape of a
+  // page fault storm or an unbounded syscall.  The OD timer is not armed
+  // yet, so only the supervisor (or the expired deadline, once the body
+  // finally starts) can recover this.
+  if (fault::try_fire(fault::InjectPoint::kWorkerStall)) {
+    rt::sleep_for(fault::injected_stall_ns());
+  }
   if (trace != nullptr) {
     trace->emit({telemetry_->now(), task_, job.job, part,
                  obs::EventKind::kOptionalBegin});
   }
 
+  TerminationOptions term_options;
+  term_options.repair_signal_mask = options_.repair_signal_mask;
   const auto outcome = run_with_deadline(
-      options_.termination, job.optional_deadline, [&](StopToken& token) {
+      options_.termination, job.optional_deadline,
+      [&](StopToken& token) {
         // The token observes the slot's stable force flag instead of the
         // pool holding a pointer into this stack frame: the mandatory
         // thread's force-after-margin path is one relaxed store per part
@@ -285,7 +362,8 @@ void OptionalPool::execute_part(Slot& slot, int part, const JobContext& job,
                 options_.name_prefix.c_str(), part, e.what());
           }
         }
-      });
+      },
+      term_options);
 
   if (outcome.outcome == OptionalOutcome::kCompleted) {
     round_completed_.fetch_add(1, std::memory_order_relaxed);
@@ -303,10 +381,21 @@ void OptionalPool::execute_part(Slot& slot, int part, const JobContext& job,
                    obs::EventKind::kOptionalTerminated});
     }
   }
+  slot.busy_deadline.store(0, std::memory_order_relaxed);
+  slot.busy_since.store(0, std::memory_order_relaxed);
+  slot.heartbeat.fetch_add(1, std::memory_order_relaxed);
 }
 
 void OptionalPool::thread_main(int part) {
   auto& slot = *slots_[static_cast<size_t>(part)];
+  slot.handle.store(pthread_self(), std::memory_order_relaxed);
+  slot.alive.store(true, std::memory_order_release);
+  // Every exit path must lower the alive flag — it is what tells the
+  // supervisor this worker needs respawning.
+  struct AliveGuard {
+    Slot& slot;
+    ~AliveGuard() { slot.alive.store(false, std::memory_order_release); }
+  } alive_guard{slot};
   // Telemetry registration happens here, on the thread's setup path,
   // before the first job is ever signalled — the emit path below is
   // branch-plus-ring-push only.
@@ -321,6 +410,10 @@ void OptionalPool::thread_main(int part) {
     if (backend_ == WakeBackend::kFutexWord) {
       const std::uint32_t cmd = wait_for_command(slot);
       if (cmd == kCmdShutdown) return;
+      // Chaos: the worker dies with the command UNCONSUMED (cmd stays
+      // kCmdReady, the countdown undecremented) — the worst spot to die.
+      // The respawned worker's wait_for_command picks the part right up.
+      if (fault::try_fire(fault::InjectPoint::kWorkerDeath)) return;
       job = slot.job;
       // Reset before the completion decrement below: once the round
       // completes the signaller may immediately publish the next one and
@@ -330,6 +423,9 @@ void OptionalPool::thread_main(int part) {
       std::lock_guard lock(slot.cv);
       slot.cv.wait([&slot] { return slot.state != Slot::State::kIdle; });
       if (slot.state == Slot::State::kShutdown) return;
+      // Chaos: die with state still kReady (see above); the respawned
+      // worker's predicate sees it immediately.
+      if (fault::try_fire(fault::InjectPoint::kWorkerDeath)) return;
       job = slot.job;
       slot.state = Slot::State::kIdle;
     }
@@ -355,6 +451,59 @@ void OptionalPool::thread_main(int part) {
       if (last) completion_cv_.notify_one();
     }
   }
+}
+
+// ---- fault::SupervisedPool -------------------------------------------------
+//
+// Called only from the supervisor thread, which the Runtime stops BEFORE
+// shutting the pools down — so kill/respawn never race shutdown's joins.
+
+fault::WorkerHealth OptionalPool::worker_health(int worker) const {
+  fault::WorkerHealth health;
+  if (worker < 0 || worker >= size()) return health;
+  const Slot& slot = *slots_[static_cast<size_t>(worker)];
+  health.alive = slot.alive.load(std::memory_order_acquire);
+  health.busy_since = slot.busy_since.load(std::memory_order_relaxed);
+  health.busy = health.busy_since != 0;
+  health.busy_deadline = slot.busy_deadline.load(std::memory_order_relaxed);
+  health.heartbeat = slot.heartbeat.load(std::memory_order_relaxed);
+  return health;
+}
+
+void OptionalPool::force_worker(int worker) {
+  if (worker < 0 || worker >= size()) return;
+  // The same slot-owned flag the force-after-margin path writes; the
+  // part's StopToken observes it, so this is idempotent and lock-free.
+  slots_[static_cast<size_t>(worker)]->force_flag.store(
+      true, std::memory_order_relaxed);
+}
+
+bool OptionalPool::kill_worker(int worker) {
+  if (worker < 0 || worker >= size()) return false;
+  // Only the sigjmp strategy has an asynchronous, safe-by-design signal
+  // path (the handler no-ops unless the target is inside an armed
+  // sigsetjmp region).  Under periodic-check the body polls and under
+  // try-catch the unwind tables only cover the strategy's own TU.
+  if (options_.termination != TerminationStrategy::kSigjmp) return false;
+  auto& slot = *slots_[static_cast<size_t>(worker)];
+  if (!slot.alive.load(std::memory_order_acquire)) return false;
+  if (slot.busy_since.load(std::memory_order_relaxed) == 0) return false;
+  ensure_sigjmp_handler_installed();
+  return pthread_kill(slot.handle.load(std::memory_order_relaxed),
+                      sigjmp_signal()) == 0;
+}
+
+bool OptionalPool::respawn_worker(int worker) {
+  std::lock_guard lock(lifecycle_mutex_);
+  if (!started_ || worker < 0 || worker >= size()) return false;
+  auto& slot = *slots_[static_cast<size_t>(worker)];
+  if (slot.alive.load(std::memory_order_acquire)) return false;
+  auto& thread = threads_[static_cast<size_t>(worker)];
+  if (thread.joinable()) thread.join();  // reap the exited thread
+  // Any command the dead worker left unconsumed (cmd still kCmdReady /
+  // state still kReady) is picked up by the fresh worker immediately.
+  spawn_worker_locked(worker);
+  return true;
 }
 
 }  // namespace rtseed::core

@@ -33,15 +33,19 @@
 //     steady_clock shares clock_gettime's epoch.
 #pragma once
 
+#include <pthread.h>
+
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/cacheline.hpp"
 #include "core/task_config.hpp"
+#include "fault/supervisor.hpp"
 #include "obs/telemetry.hpp"
 #include "rt/monotonic_cond.hpp"
 #include "rt/thread.hpp"
@@ -63,7 +67,7 @@ const char* wake_backend_name(WakeBackend backend);
 /// through untouched.
 WakeBackend resolve_wake_backend(WakeBackend requested);
 
-class OptionalPool {
+class OptionalPool : public fault::SupervisedPool {
  public:
   /// Body of part `part`; invoked on that part's pinned thread.  Under
   /// kSigjmp/kTryCatch it may be abandoned at any instruction.
@@ -78,6 +82,9 @@ class OptionalPool {
     /// Grace past the optional deadline before stop tokens are forced.
     Nanos completion_margin = common::millis(100);
     WakeBackend wake_backend = WakeBackend::kAuto;
+    /// Repair the blocked-signal defect of kTryCatch terminations
+    /// (TerminationOptions::repair_signal_mask; OFF = paper-faithful).
+    bool repair_signal_mask = true;
   };
 
   OptionalPool(Options options, PartBody body);
@@ -86,7 +93,7 @@ class OptionalPool {
   OptionalPool& operator=(const OptionalPool&) = delete;
 
   /// Joins all threads.
-  ~OptionalPool();
+  ~OptionalPool() override;
 
   int size() const { return static_cast<int>(slots_.size()); }
   common::CpuId cpu(int part) const {
@@ -121,6 +128,24 @@ class OptionalPool {
   long body_errors() const {
     return body_errors_.load(std::memory_order_relaxed);
   }
+
+  /// Wakes re-issued by run_round's lost-wake recovery loop: a worker that
+  /// committed to sleeping just before the signaller's exchange landed can
+  /// miss its wake (the kernel validates the word only at FUTEX_WAIT
+  /// entry); the recovery path re-wakes any slot whose command word still
+  /// reads ready instead of waiting forever.
+  long wake_retries() const {
+    return wake_retries_.load(std::memory_order_relaxed);
+  }
+
+  // fault::SupervisedPool — the supervisor's view of this pool.  Health is
+  // read from per-slot heartbeat words the workers keep with plain relaxed
+  // stores (two per part on the hot path).
+  int worker_count() const override { return size(); }
+  fault::WorkerHealth worker_health(int worker) const override;
+  void force_worker(int worker) override;
+  bool kill_worker(int worker) override;
+  bool respawn_worker(int worker) override;
 
   /// Attaches the telemetry hub (before start()); each optional thread
   /// registers its own event ring on its setup path.  `telemetry` must
@@ -166,6 +191,15 @@ class OptionalPool {
     // kCondvar backend state (paper Fig. 6 verbatim).
     rt::MonotonicCond cv;
     enum class State { kIdle, kReady, kShutdown } state = State::kIdle;
+
+    // Supervision words (off the handoff line; written by the owning
+    // worker with relaxed stores, read by the supervisor's poll).
+    // busy_since != 0 means a part is executing; busy_deadline is its OD.
+    std::atomic<common::u64> heartbeat{0};
+    std::atomic<Nanos> busy_since{0};
+    std::atomic<Nanos> busy_deadline{0};
+    std::atomic<bool> alive{false};
+    std::atomic<pthread_t> handle{};
   };
   // Layout checks: the alignas directives above must actually separate
   // the hot cmd word (offset 0) from the job context — a Slot smaller
@@ -176,6 +210,9 @@ class OptionalPool {
                 "cmd and job must sit on distinct cache lines");
 
   void thread_main(int part);
+  /// Spawns (or re-spawns) worker `part` into threads_[part].  Caller
+  /// holds lifecycle_mutex_ (or is single-threaded setup).
+  void spawn_worker_locked(int part);
   /// Blocks until cmd != kIdle/kParked; returns kCmdReady or kCmdShutdown.
   std::uint32_t wait_for_command(Slot& slot);
   /// Runs one signalled part: timestamps, termination strategy, outcome
@@ -193,6 +230,10 @@ class OptionalPool {
   PartBody body_;
 
   std::vector<std::unique_ptr<Slot>> slots_;
+  /// Guards threads_/started_ against respawn vs shutdown races (the
+  /// supervisor respawns from its own thread).  Never taken on the
+  /// run_round / execute_part hot path.
+  std::mutex lifecycle_mutex_;
   std::vector<rt::RtThread> threads_;
   bool started_ = false;
 
@@ -205,6 +246,7 @@ class OptionalPool {
   alignas(common::kCacheLine) std::atomic<int> round_terminated_{0};
   alignas(common::kCacheLine) std::atomic<Nanos> first_part_start_{0};
   alignas(common::kCacheLine) std::atomic<long> body_errors_{0};
+  alignas(common::kCacheLine) std::atomic<long> wake_retries_{0};
 
   // kCondvar backend completion state.
   rt::MonotonicCond completion_cv_;

@@ -73,6 +73,9 @@ common::Status Runtime::start() {
     rt_options.completion_margin = options_.completion_margin;
     rt_options.initial_offset = options_.initial_offset;
     rt_options.wake_backend = options_.wake_backend;
+    rt_options.watchdog = options_.watchdog;
+    rt_options.breaker = options_.breaker;
+    rt_options.repair_signal_mask = options_.repair_signal_mask;
 
     auto task = std::make_unique<ImpreciseTask>(
         static_cast<common::TaskId>(i), configs_[i], placement, rt_options,
@@ -86,13 +89,30 @@ common::Status Runtime::start() {
     if (options_.on_deadline_miss) {
       task->set_miss_observer(options_.on_deadline_miss);
     }
+    if (options_.on_budget_overrun) {
+      task->set_overrun_observer(options_.on_budget_overrun);
+    }
     if (telemetry_) task->set_telemetry(telemetry_.get());
     tasks_.push_back(std::move(task));
+  }
+  if (options_.supervisor.enabled) {
+    supervisor_ = std::make_unique<fault::Supervisor>(options_.supervisor);
+    for (size_t i = 0; i < tasks_.size(); ++i) {
+      supervisor_->watch(tasks_[i]->pool(), static_cast<common::TaskId>(i),
+                         configs_[i].params.name);
+    }
+    if (telemetry_) supervisor_->set_telemetry(telemetry_.get());
   }
   for (auto& task : tasks_) {
     if (auto st = task->start(); !st) {
       stop();
       return st;
+    }
+  }
+  if (supervisor_) {
+    if (auto st = supervisor_->start(); !st) {
+      common::global_logger().warn("supervisor unavailable: %s",
+                                   st.to_string().c_str());
     }
   }
   started_ = true;
@@ -121,6 +141,9 @@ void Runtime::stop() {
     control_trace_->emit({telemetry_->now(), common::kInvalidTask, 0, 0,
                           obs::EventKind::kRuntimeStop});
   }
+  // Supervisor first: its kill/respawn paths must never race the pools'
+  // shutdown joins.
+  if (supervisor_) supervisor_->stop();
   for (auto& task : tasks_) task->stop();
 }
 
@@ -133,6 +156,10 @@ RuntimeReport Runtime::stop_and_report() {
   RuntimeReport report;
   report.rt_degraded = !rt::rt_capabilities().sched_fifo ||
                        !rt::rt_capabilities().affinity;
+  if (supervisor_) {
+    supervisor_->stop();
+    report.supervisor = supervisor_->stats();
+  }
   for (size_t i = 0; i < tasks_.size(); ++i) {
     auto& task = *tasks_[i];
     task.stop();
@@ -143,8 +170,19 @@ RuntimeReport Runtime::stop_and_report() {
     tr.qos = summarize_qos(tr.records);
     tr.overheads = summarize_overheads(tr.records);
     tr.dropped_records = task.dropped_records();
+    tr.budget_overruns = task.budget_overruns();
+    tr.wake_retries = task.pool()->wake_retries();
+    for (const auto& rec : tr.records) {
+      if (rec.aborted) ++tr.jobs_aborted;
+    }
+    if (const auto* breaker = task.breaker()) {
+      tr.breaker_transitions = breaker->transitions();
+      tr.jobs_shed = breaker->jobs_shed();
+      tr.breaker_shed_level = breaker->shed_level();
+    }
     report.tasks.push_back(std::move(tr));
   }
+  supervisor_.reset();
   tasks_.clear();
   started_ = false;
   return report;
@@ -198,6 +236,29 @@ std::string RuntimeReport::to_string() const {
                   task.overheads.delta_b.to_string().c_str(),
                   task.overheads.delta_s.to_string().c_str(),
                   task.overheads.delta_e.to_string().c_str());
+    out += line;
+    if (task.budget_overruns > 0 || task.jobs_aborted > 0 ||
+        task.wake_retries > 0 || task.breaker_transitions > 0 ||
+        task.jobs_shed > 0) {
+      std::snprintf(line, sizeof(line),
+                    "  resilience: overruns=%ld aborted=%ld wake-retries=%ld "
+                    "breaker{transitions=%llu shed-jobs=%llu level=%d}\n",
+                    task.budget_overruns, task.jobs_aborted, task.wake_retries,
+                    static_cast<unsigned long long>(task.breaker_transitions),
+                    static_cast<unsigned long long>(task.jobs_shed),
+                    task.breaker_shed_level);
+      out += line;
+    }
+  }
+  if (supervisor.stalls_detected > 0 || supervisor.forced > 0 ||
+      supervisor.killed > 0 || supervisor.respawned > 0) {
+    std::snprintf(line, sizeof(line),
+                  "supervisor: stalls=%llu forced=%llu killed=%llu "
+                  "respawned=%llu\n",
+                  static_cast<unsigned long long>(supervisor.stalls_detected),
+                  static_cast<unsigned long long>(supervisor.forced),
+                  static_cast<unsigned long long>(supervisor.killed),
+                  static_cast<unsigned long long>(supervisor.respawned));
     out += line;
   }
   if (rt_degraded) {

@@ -19,6 +19,7 @@
 #include "core/imprecise_task.hpp"
 #include "core/queues.hpp"
 #include "core/qos.hpp"
+#include "fault/supervisor.hpp"
 #include "obs/telemetry.hpp"
 #include "sched/p_rmwp.hpp"
 
@@ -42,6 +43,22 @@ struct RuntimeOptions {
   /// Invoked (on the missing task's mandatory thread, so keep it cheap)
   /// whenever a job's wind-up part completes past its deadline.
   std::function<void(common::TaskId, const JobRecord&)> on_deadline_miss;
+  /// Invoked (mandatory thread, keep it cheap) when a mandatory/wind-up
+  /// part overran its WCET budget, after the OverrunPolicy was applied.
+  std::function<void(common::TaskId, fault::BudgetPart, const JobRecord&)>
+      on_budget_overrun;
+  /// Per-job budget watchdog over mandatory/wind-up parts (off by default).
+  fault::WatchdogConfig watchdog;
+  /// Overload circuit breaker shedding optional parallelism (off by
+  /// default); one breaker per task.
+  fault::BreakerConfig breaker;
+  /// Worker supervision: heartbeat monitoring, stall escalation, respawn
+  /// of dead optional workers (off by default).
+  fault::SupervisorConfig supervisor;
+  /// Repair the blocked-signal defect of kTryCatch terminations between
+  /// jobs (Table I row 3).  ON by default; OFF reproduces the published
+  /// broken behavior (bench/table1_termination measures it explicitly).
+  bool repair_signal_mask = true;
   Nanos completion_margin = common::millis(100);
   Nanos initial_offset = common::millis(10);
   /// Runtime telemetry (src/obs): per-thread event rings + metrics
@@ -58,11 +75,20 @@ struct TaskReport {
   OverheadSummary overheads;
   std::vector<JobRecord> records;
   common::u64 dropped_records = 0;
+
+  // Resilience counters (all zero when the fault layer is off).
+  long budget_overruns = 0;     ///< mandatory/wind-up budget violations
+  long jobs_aborted = 0;        ///< jobs cut short by the overrun policy
+  long wake_retries = 0;        ///< lost-wake recovery re-wakes
+  common::u64 breaker_transitions = 0;
+  common::u64 jobs_shed = 0;    ///< jobs that ran with reduced np
+  int breaker_shed_level = 0;   ///< shed level at shutdown
 };
 
 struct RuntimeReport {
   std::vector<TaskReport> tasks;
   bool rt_degraded = false;  ///< some SCHED_FIFO/affinity request was denied
+  fault::SupervisorStats supervisor;  ///< zeros when supervision is off
   std::string to_string() const;
 };
 
@@ -123,6 +149,8 @@ class Runtime {
   std::vector<TaskConfig> configs_;
   std::unique_ptr<sched::PRmwpPlan> plan_;
   std::vector<std::unique_ptr<ImpreciseTask>> tasks_;
+  /// Stopped BEFORE the tasks (its kill/respawn paths touch their pools).
+  std::unique_ptr<fault::Supervisor> supervisor_;
   bool started_ = false;
 
   std::unique_ptr<obs::Telemetry> telemetry_;

@@ -28,14 +28,16 @@ const char* optional_outcome_name(OptionalOutcome outcome) {
 
 TerminationResult run_with_deadline(TerminationStrategy strategy,
                                     Nanos abs_deadline,
-                                    const OptionalBody& body) {
+                                    const OptionalBody& body,
+                                    const TerminationOptions& options) {
   switch (strategy) {
     case TerminationStrategy::kSigjmp:
       return detail::run_sigjmp(abs_deadline, body);
     case TerminationStrategy::kPeriodicCheck:
       return detail::run_periodic_check(abs_deadline, body);
     case TerminationStrategy::kTryCatch:
-      return detail::run_trycatch(abs_deadline, body);
+      return detail::run_trycatch(abs_deadline, body,
+                                  options.repair_signal_mask);
   }
   return {};
 }

@@ -97,16 +97,36 @@ struct TerminationResult {
   Nanos finished_at = 0;
 };
 
+struct TerminationOptions {
+  /// Repair the thread's signal mask after a kTryCatch termination.  The
+  /// paper's Table I records try-catch leaving the deadline signal BLOCKED
+  /// (the handler is escaped by exception, skipping sigreturn); with this
+  /// ON (the default) run_with_deadline restores the mask on its recovery
+  /// path so the next job's timer fires again.  Switch OFF to reproduce
+  /// the paper-faithful broken behavior (bench/table1_termination, tests).
+  /// No effect under kSigjmp (mask restored by savesigs=1) / kPeriodicCheck
+  /// (no signals).
+  bool repair_signal_mask = true;
+};
+
 /// Runs `body` with the optional deadline `abs_deadline` (CLOCK_MONOTONIC)
 /// under the given strategy.  Must be called on the thread that executes
 /// the optional part (per-thread timers are armed on the caller).
 TerminationResult run_with_deadline(TerminationStrategy strategy,
                                     Nanos abs_deadline,
-                                    const OptionalBody& body);
+                                    const OptionalBody& body,
+                                    const TerminationOptions& options = {});
 
 /// Signals used by the timer-driven strategies (exposed for tests).
 int sigjmp_signal();
 int trycatch_signal();
+
+/// Installs the kSigjmp deadline handler without running a body.  The
+/// supervisor's stage-2 escalation delivers sigjmp_signal() straight to a
+/// stuck worker thread; this guarantees the process-wide handler exists
+/// even if that worker never completed a part (the handler itself no-ops
+/// unless the target thread is inside an armed sigsetjmp region).
+void ensure_sigjmp_handler_installed();
 
 /// After a kTryCatch termination the signal is left blocked (Table I:
 /// "does not save and restore the signal mask information").  This repairs
@@ -121,5 +141,6 @@ namespace rtseed::core::detail {
 TerminationResult run_sigjmp(Nanos abs_deadline, const OptionalBody& body);
 TerminationResult run_periodic_check(Nanos abs_deadline,
                                      const OptionalBody& body);
-TerminationResult run_trycatch(Nanos abs_deadline, const OptionalBody& body);
+TerminationResult run_trycatch(Nanos abs_deadline, const OptionalBody& body,
+                               bool repair_signal_mask);
 }  // namespace rtseed::core::detail

@@ -13,6 +13,7 @@
 #include <csignal>
 
 #include "core/termination.hpp"
+#include "fault/injector.hpp"
 #include "rt/oneshot_timer.hpp"
 #include "rt/signal_guard.hpp"
 
@@ -54,6 +55,11 @@ rt::OneShotTimer& thread_timer() {
 }
 
 }  // namespace
+}  // namespace detail
+
+void ensure_sigjmp_handler_installed() { detail::install_handler_once(); }
+
+namespace detail {
 
 TerminationResult run_sigjmp(Nanos abs_deadline, const OptionalBody& body) {
   install_handler_once();
@@ -67,7 +73,12 @@ TerminationResult run_sigjmp(Nanos abs_deadline, const OptionalBody& body) {
   // siglongjmp return path restores it (Table I: "Signal Mask Restoration").
   if (sigsetjmp(t_checkpoint, 1) == 0) {
     t_armed = 1;
-    (void)timer.arm_absolute(abs_deadline);
+    // Chaos: the deadline timer silently fails to arm.  t_armed stays 1,
+    // so the supervisor's stage-2 escalation (pthread_kill with this
+    // signal) still lands in the handler and terminates the stuck part.
+    if (!fault::try_fire(fault::InjectPoint::kTimerMisfire)) {
+      (void)timer.arm_absolute(abs_deadline);
+    }
     body(token);
     // Completed: quench the race between "body returned" and "timer fired".
     t_armed = 0;

@@ -15,6 +15,7 @@
 #include <csignal>
 
 #include "core/termination.hpp"
+#include "fault/injector.hpp"
 #include "rt/oneshot_timer.hpp"
 #include "rt/signal_guard.hpp"
 
@@ -59,7 +60,8 @@ rt::OneShotTimer& thread_timer() {
 
 }  // namespace
 
-TerminationResult run_trycatch(Nanos abs_deadline, const OptionalBody& body) {
+TerminationResult run_trycatch(Nanos abs_deadline, const OptionalBody& body,
+                               bool repair_signal_mask) {
   install_handler_once();
   (void)rt::unblock_signal(trycatch_signal());
   auto& timer = thread_timer();
@@ -68,7 +70,9 @@ TerminationResult run_trycatch(Nanos abs_deadline, const OptionalBody& body) {
   StopToken token(abs_deadline);
   try {
     t_armed = 1;
-    (void)timer.arm_absolute(abs_deadline);
+    if (!fault::try_fire(fault::InjectPoint::kTimerMisfire)) {
+      (void)timer.arm_absolute(abs_deadline);
+    }
     body(token);
     t_armed = 0;
     (void)timer.disarm();
@@ -76,8 +80,13 @@ TerminationResult run_trycatch(Nanos abs_deadline, const OptionalBody& body) {
   } catch (const DeadlineExpired&) {
     (void)timer.disarm();
     result.outcome = OptionalOutcome::kTerminated;
-    // Deliberately NOT unblocking the signal here: reproducing the paper's
-    // observation that try-catch does not restore the mask.
+    if (repair_signal_mask) {
+      // The Table-I defect, fixed: unwinding out of the handler skipped
+      // sigreturn, so undo the kernel's entry-time block here.
+      (void)rt::unblock_signal(trycatch_signal());
+    }
+    // else: paper-faithful — the signal stays blocked until someone calls
+    // repair_signal_mask_after_trycatch().
   }
   result.finished_at = common::monotonic_now();
   return result;

@@ -1,0 +1,121 @@
+#include "fault/breaker.hpp"
+
+#include <algorithm>
+
+namespace rtseed::fault {
+
+const char* breaker_state_name(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+CircuitBreaker::CircuitBreaker(BreakerConfig config)
+    : config_([&] {
+        BreakerConfig c = config;
+        c.window = std::max(1, c.window);
+        c.min_samples = std::clamp(c.min_samples, 1, c.window);
+        c.probe_jobs = std::max(1, c.probe_jobs);
+        c.max_shed_level = std::clamp(c.max_shed_level, 1, 31);
+        return c;
+      }()),
+      ring_(static_cast<common::usize>(config_.window), false) {}
+
+int CircuitBreaker::allowed_np(int requested) const {
+  if (state_.load(std::memory_order_relaxed) != State::kOpen) {
+    return requested;  // closed and half-open probe at full parallelism
+  }
+  return requested >> shed_level_.load(std::memory_order_relaxed);
+}
+
+double CircuitBreaker::miss_rate() const {
+  const int samples = window_samples_.load(std::memory_order_relaxed);
+  if (samples == 0) return 0.0;
+  return static_cast<double>(window_misses_.load(std::memory_order_relaxed)) /
+         static_cast<double>(samples);
+}
+
+void CircuitBreaker::clear_window() {
+  std::fill(ring_.begin(), ring_.end(), false);
+  ring_pos_ = 0;
+  window_misses_.store(0, std::memory_order_relaxed);
+  window_samples_.store(0, std::memory_order_relaxed);
+}
+
+void CircuitBreaker::push(bool miss) {
+  const int samples = window_samples_.load(std::memory_order_relaxed);
+  if (samples < config_.window) {
+    window_samples_.store(samples + 1, std::memory_order_relaxed);
+  } else if (ring_[static_cast<common::usize>(ring_pos_)]) {
+    window_misses_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  ring_[static_cast<common::usize>(ring_pos_)] = miss;
+  if (miss) window_misses_.fetch_add(1, std::memory_order_relaxed);
+  ring_pos_ = (ring_pos_ + 1) % config_.window;
+}
+
+CircuitBreaker::Transition CircuitBreaker::transition_to(State to,
+                                                         int shed_level) {
+  Transition tr;
+  tr.from = state_.load(std::memory_order_relaxed);
+  tr.to = to;
+  tr.shed_level = shed_level;
+  state_.store(to, std::memory_order_relaxed);
+  shed_level_.store(shed_level, std::memory_order_relaxed);
+  transitions_.fetch_add(1, std::memory_order_relaxed);
+  clear_window();
+  return tr;
+}
+
+std::optional<CircuitBreaker::Transition> CircuitBreaker::record_job(
+    bool deadline_met, Nanos now) {
+  if (!config_.enabled) return std::nullopt;
+  const State state = state_.load(std::memory_order_relaxed);
+  push(!deadline_met);
+
+  switch (state) {
+    case State::kClosed: {
+      if (window_samples_.load(std::memory_order_relaxed) >=
+              config_.min_samples &&
+          miss_rate() >= config_.trip_threshold) {
+        const int level = std::min(
+            shed_level_.load(std::memory_order_relaxed) + 1,
+            config_.max_shed_level);
+        opened_at_ = now;
+        return transition_to(State::kOpen, level);
+      }
+      return std::nullopt;
+    }
+    case State::kOpen: {
+      jobs_shed_.fetch_add(1, std::memory_order_relaxed);
+      if (now - opened_at_ >= config_.cooldown) {
+        probe_seen_ = 0;
+        return transition_to(State::kHalfOpen,
+                             shed_level_.load(std::memory_order_relaxed));
+      }
+      return std::nullopt;
+    }
+    case State::kHalfOpen: {
+      ++probe_seen_;
+      if (probe_seen_ < config_.probe_jobs) return std::nullopt;
+      if (miss_rate() <= config_.restore_threshold) {
+        return transition_to(State::kClosed, 0);  // full restore
+      }
+      // Probe failed: re-open, one level deeper.
+      const int level =
+          std::min(shed_level_.load(std::memory_order_relaxed) + 1,
+                   config_.max_shed_level);
+      opened_at_ = now;
+      return transition_to(State::kOpen, level);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace rtseed::fault

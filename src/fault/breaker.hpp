@@ -1,0 +1,122 @@
+// Overload circuit breaker: the imprecise model's graceful-degradation
+// knob made automatic.
+//
+// Under sustained overload the right response in the imprecise-computation
+// literature (Liu et al.) is to shed OPTIONAL quality, never to miss hard
+// deadlines: the wind-up part's D = T guarantee is preserved by spending
+// less of the budget on optional refinement.  The breaker automates that:
+// it tracks the deadline-miss rate over a sliding window of jobs and
+// downgrades the task's effective npᵢ (number of parallel optional parts
+// actually signalled) when the rate trips a threshold, restoring it with
+// hysteresis after a cool-down.
+//
+// State machine (DESIGN.md §9.3):
+//
+//   kClosed ── miss rate ≥ trip_threshold over ≥ min_samples ──▶ kOpen
+//     ▲                                                            │
+//     │                                            cooldown elapsed│
+//     │                                                            ▼
+//     └── probe miss rate ≤ restore_threshold ──── kHalfOpen ◀─────┘
+//                        (else back to kOpen, shed one level deeper)
+//
+// While kOpen, allowed_np(np) = np >> shed_level (each consecutive trip
+// halves the optional parallelism again, to zero).  kHalfOpen probes at
+// full np; a clean probe window closes the breaker and restores full
+// parallelism.
+//
+// Threading: record_job/allowed_np are called from the owning task's
+// mandatory thread only.  State is stored in relaxed atomics so observers
+// (metrics scrapes, tests) may read concurrently.
+#pragma once
+
+#include <atomic>
+#include <optional>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/types.hpp"
+
+namespace rtseed::fault {
+
+using common::Nanos;
+
+struct BreakerConfig {
+  bool enabled = false;
+  /// Sliding window length, in jobs.
+  int window = 32;
+  /// Jobs observed before the breaker may trip (a single early miss must
+  /// not shed parallelism).
+  int min_samples = 8;
+  /// Miss rate (misses / window samples) at which the breaker opens.
+  double trip_threshold = 0.5;
+  /// Miss rate over the half-open probe at or below which it closes
+  /// (hysteresis: strictly lower than trip_threshold).
+  double restore_threshold = 0.125;
+  /// Time spent open before probing (half-open).
+  Nanos cooldown = common::millis(500);
+  /// Probe length, in jobs, while half-open.
+  int probe_jobs = 8;
+  /// Deepest shed level (np is shifted right by the level, so level L
+  /// leaves np >> L parts; 31 ⇒ the ladder can reach zero for any np).
+  int max_shed_level = 31;
+};
+
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(BreakerConfig config);
+
+  /// Effective optional parallelism this job may use.
+  int allowed_np(int requested) const;
+
+  struct Transition {
+    State from = State::kClosed;
+    State to = State::kClosed;
+    int shed_level = 0;
+  };
+
+  /// Records one job outcome (call once per job, mandatory thread).
+  /// Returns the state transition performed, if any.
+  std::optional<Transition> record_job(bool deadline_met, Nanos now);
+
+  State state() const { return state_.load(std::memory_order_relaxed); }
+  int shed_level() const {
+    return shed_level_.load(std::memory_order_relaxed);
+  }
+  /// Miss rate over the current window (0 when empty).
+  double miss_rate() const;
+  common::u64 transitions() const {
+    return transitions_.load(std::memory_order_relaxed);
+  }
+  common::u64 jobs_shed() const {
+    return jobs_shed_.load(std::memory_order_relaxed);
+  }
+
+  const BreakerConfig& config() const { return config_; }
+
+ private:
+  void clear_window();
+  void push(bool miss);
+  Transition transition_to(State to, int shed_level);
+
+  const BreakerConfig config_;
+
+  // Observer-visible state (written only by the mandatory thread).
+  std::atomic<State> state_{State::kClosed};
+  std::atomic<int> shed_level_{0};
+  std::atomic<common::u64> transitions_{0};
+  std::atomic<common::u64> jobs_shed_{0};
+  std::atomic<int> window_misses_{0};
+  std::atomic<int> window_samples_{0};
+
+  // Mandatory-thread-private window ring.
+  std::vector<bool> ring_;
+  int ring_pos_ = 0;
+  int probe_seen_ = 0;
+  Nanos opened_at_ = 0;
+};
+
+const char* breaker_state_name(CircuitBreaker::State state);
+
+}  // namespace rtseed::fault

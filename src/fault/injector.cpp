@@ -1,0 +1,118 @@
+#include "fault/injector.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace rtseed::fault {
+
+const char* inject_point_name(InjectPoint point) {
+  switch (point) {
+    case InjectPoint::kLostWake:
+      return "lost-wake";
+    case InjectPoint::kDelayedWake:
+      return "delayed-wake";
+    case InjectPoint::kWorkerStall:
+      return "worker-stall";
+    case InjectPoint::kWorkerDeath:
+      return "worker-death";
+    case InjectPoint::kBodyOverrun:
+      return "body-overrun";
+    case InjectPoint::kTimerMisfire:
+      return "timer-misfire";
+    case InjectPoint::kEintrStorm:
+      return "eintr-storm";
+    case InjectPoint::kClockJump:
+      return "clock-jump";
+    case InjectPoint::kCount:
+      break;
+  }
+  return "?";
+}
+
+InjectorConfig InjectorConfig::chaos(std::uint64_t seed, double r) {
+  InjectorConfig config;
+  config.seed = seed;
+  config.rate.fill(r);
+  // Worker death is drastic (requires a respawn each time): keep it an
+  // order of magnitude rarer than the recoverable faults.
+  config.rate[static_cast<int>(InjectPoint::kWorkerDeath)] = r / 10.0;
+  return config;
+}
+
+namespace {
+
+// Stateless mix of (seed, point, sequence) -> uniform u64.  Chaining two
+// SplitMix64 steps avalanches the small point/sequence integers apart.
+common::u64 decision_hash(common::u64 seed, int point, common::u64 seq) {
+  common::u64 state = seed;
+  (void)common::splitmix64(state);
+  state ^= 0x9E3779B97F4A7C15ULL * static_cast<common::u64>(point + 1);
+  (void)common::splitmix64(state);
+  state ^= seq;
+  return common::splitmix64(state);
+}
+
+common::u64 rate_to_threshold(double rate) {
+  if (rate <= 0.0) return 0;
+  if (rate >= 1.0) return ~0ULL;
+  const double scaled = std::ldexp(rate, 64);  // rate * 2^64
+  if (scaled >= 18446744073709549568.0) return ~0ULL - 1;  // largest exact u64
+  return static_cast<common::u64>(scaled);
+}
+
+}  // namespace
+
+namespace detail {
+std::atomic<Injector*> g_injector{nullptr};
+}  // namespace detail
+
+void install_injector(Injector* injector) {
+  detail::g_injector.store(injector, std::memory_order_release);
+}
+
+Injector::Injector(InjectorConfig config) : config_(config) {
+  for (int p = 0; p < kNumInjectPoints; ++p) {
+    points_[static_cast<common::usize>(p)].threshold =
+        rate_to_threshold(config_.rate[static_cast<common::usize>(p)]);
+  }
+}
+
+bool Injector::fire(InjectPoint point) {
+  auto& state = points_[static_cast<common::usize>(static_cast<int>(point))];
+  if (state.threshold == 0) {
+    state.seq.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  const common::u64 seq = state.seq.fetch_add(1, std::memory_order_relaxed);
+  const common::u64 draw =
+      decision_hash(config_.seed, static_cast<int>(point), seq);
+  // threshold == ~0 means rate >= 1: always fire.
+  if (draw >= state.threshold && state.threshold != ~0ULL) return false;
+  if (config_.max_fires_per_point >= 0) {
+    // Bounded chaos: claim a fire slot; past the cap the point goes quiet.
+    common::u64 fired = state.fired.load(std::memory_order_relaxed);
+    for (;;) {
+      if (fired >=
+          static_cast<common::u64>(config_.max_fires_per_point)) {
+        return false;
+      }
+      if (state.fired.compare_exchange_weak(fired, fired + 1,
+                                            std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+  }
+  state.fired.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+common::u64 Injector::total_injected() const {
+  common::u64 n = 0;
+  for (int p = 0; p < kNumInjectPoints; ++p) {
+    n += injected(static_cast<InjectPoint>(p));
+  }
+  return n;
+}
+
+}  // namespace rtseed::fault

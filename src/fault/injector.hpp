@@ -1,0 +1,160 @@
+// Deterministic, seed-driven fault injection (the chaos harness of the
+// resilience layer).
+//
+// Named injection points are compiled into the protocol hot spots (wake
+// handoff, periodic release, one-shot deadline timers, blocking waits).
+// Each site asks `fault::try_fire(point)`, which costs one relaxed load
+// plus one untaken branch while no injector is installed — the same
+// zero-cost-when-off discipline as obs telemetry — so production builds
+// carry the hooks at no measurable cost.
+//
+// Determinism: each point keeps its own evaluation sequence number; a
+// SplitMix64 hash of (seed, point, sequence) decides whether evaluation n
+// of point p fires.  For a fixed seed the SET of firing sequence numbers
+// per point is therefore identical across runs, regardless of thread
+// interleaving — which thread draws a given sequence number may vary, but
+// the injected fault COUNTS (what the chaos suite asserts against) do not
+// depend on scheduling beyond how often each site is reached.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "common/time.hpp"
+#include "common/types.hpp"
+
+namespace rtseed::fault {
+
+using common::Nanos;
+
+enum class InjectPoint : int {
+  kLostWake = 0,  ///< swallow the futex/condvar wake of a parked worker
+  kDelayedWake,   ///< delay a worker wake by delay_ns (late Δs)
+  kWorkerStall,   ///< worker stalls stall_ns before running its part
+  kWorkerDeath,   ///< worker thread exits instead of running its part
+  kBodyOverrun,   ///< mandatory/wind-up body burns overrun_ns past its WCET
+  kTimerMisfire,  ///< one-shot optional-deadline timer silently fails to arm
+  kEintrStorm,    ///< a blocking wait returns spuriously (as after EINTR)
+  kClockJump,     ///< an absolute sleep returns early (clock anomaly)
+  kCount,
+};
+
+inline constexpr int kNumInjectPoints = static_cast<int>(InjectPoint::kCount);
+
+const char* inject_point_name(InjectPoint point);
+
+struct InjectorConfig {
+  std::uint64_t seed = 1;
+  /// Per-point firing probability in [0, 1] (0 = never, 1 = every time).
+  std::array<double, kNumInjectPoints> rate{};
+  /// Hard cap on fires per point (< 0 = unbounded).  Keeps chaos runs
+  /// bounded even at rate 1.0.
+  long max_fires_per_point = -1;
+
+  // Magnitudes of the injected faults.
+  Nanos stall_ns = common::millis(30);
+  Nanos delay_ns = common::micros(200);
+  Nanos overrun_ns = common::millis(5);
+  Nanos jump_ns = common::millis(1);
+
+  InjectorConfig& with_rate(InjectPoint point, double r) {
+    rate[static_cast<int>(point)] = r;
+    return *this;
+  }
+
+  /// Moderate chaos on every point — the trading_demo --chaos preset.
+  static InjectorConfig chaos(std::uint64_t seed, double r = 0.05);
+};
+
+class Injector {
+ public:
+  explicit Injector(InjectorConfig config);
+
+  Injector(const Injector&) = delete;
+  Injector& operator=(const Injector&) = delete;
+
+  /// Draws the next sequence number of `point` and decides whether this
+  /// evaluation fires.  Wait-free (one fetch_add + hash).
+  bool fire(InjectPoint point);
+
+  common::u64 injected(InjectPoint point) const {
+    return points_[static_cast<int>(point)].fired.load(
+        std::memory_order_relaxed);
+  }
+  common::u64 evaluated(InjectPoint point) const {
+    return points_[static_cast<int>(point)].seq.load(
+        std::memory_order_relaxed);
+  }
+  common::u64 total_injected() const;
+
+  const InjectorConfig& config() const { return config_; }
+
+ private:
+  struct PointState {
+    std::atomic<common::u64> seq{0};
+    std::atomic<common::u64> fired{0};
+    common::u64 threshold = 0;  ///< fire when hash < threshold
+  };
+
+  InjectorConfig config_;
+  std::array<PointState, kNumInjectPoints> points_;
+};
+
+namespace detail {
+extern std::atomic<Injector*> g_injector;
+}  // namespace detail
+
+/// Installs (or, with nullptr, removes) the process-wide injector.  The
+/// injector must outlive every thread that may reach an injection point
+/// while it is installed.  Not an ownership transfer.
+void install_injector(Injector* injector);
+
+inline Injector* active_injector() {
+  return detail::g_injector.load(std::memory_order_acquire);
+}
+
+/// The hot-path gate: one relaxed load + untaken branch when no injector
+/// is installed.
+inline bool try_fire(InjectPoint point) {
+  Injector* injector = active_injector();
+  return injector != nullptr && injector->fire(point);
+}
+
+// Magnitude helpers for sites whose fault has a duration.  Valid only
+// right after try_fire returned true (the injector is still installed).
+inline Nanos injected_stall_ns() {
+  Injector* injector = active_injector();
+  return injector != nullptr ? injector->config().stall_ns : 0;
+}
+inline Nanos injected_delay_ns() {
+  Injector* injector = active_injector();
+  return injector != nullptr ? injector->config().delay_ns : 0;
+}
+inline Nanos injected_overrun_ns() {
+  Injector* injector = active_injector();
+  return injector != nullptr ? injector->config().overrun_ns : 0;
+}
+inline Nanos injected_jump_ns() {
+  Injector* injector = active_injector();
+  return injector != nullptr ? injector->config().jump_ns : 0;
+}
+
+/// RAII install/uninstall for tests and the demo.
+class ScopedInjector {
+ public:
+  explicit ScopedInjector(InjectorConfig config) : injector_(config) {
+    install_injector(&injector_);
+  }
+  ~ScopedInjector() { install_injector(nullptr); }
+
+  ScopedInjector(const ScopedInjector&) = delete;
+  ScopedInjector& operator=(const ScopedInjector&) = delete;
+
+  Injector& injector() { return injector_; }
+
+ private:
+  Injector injector_;
+};
+
+}  // namespace rtseed::fault

@@ -1,0 +1,160 @@
+#include "fault/supervisor.hpp"
+
+#include <utility>
+
+#include "common/rt_logger.hpp"
+#include "rt/futex.hpp"
+
+namespace rtseed::fault {
+
+Supervisor::Supervisor(SupervisorConfig config) : config_(config) {
+  if (config_.poll_interval < common::micros(100)) {
+    config_.poll_interval = common::micros(100);
+  }
+  if (config_.stall_grace < 0) config_.stall_grace = 0;
+  if (config_.kill_grace < 0) config_.kill_grace = 0;
+}
+
+Supervisor::~Supervisor() { stop(); }
+
+void Supervisor::watch(SupervisedPool* pool, common::TaskId task,
+                       std::string name) {
+  PoolWatch watch;
+  watch.pool = pool;
+  watch.task = task;
+  watch.name = std::move(name);
+  watch.workers.resize(static_cast<common::usize>(pool->worker_count()));
+  pools_.push_back(std::move(watch));
+}
+
+void Supervisor::set_telemetry(obs::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+}
+
+common::Status Supervisor::start() {
+  if (running()) return common::Status::ok();
+  if (telemetry_ != nullptr && telemetry_->enabled()) {
+    auto& metrics = telemetry_->metrics();
+    stalls_metric_ = metrics.counter(
+        "rtseed_supervisor_stalls_total",
+        "optional workers detected running past deadline + grace");
+    forced_metric_ = metrics.counter(
+        "rtseed_supervisor_forced_total",
+        "stage-1 recoveries: slot force flags raised by the supervisor");
+    killed_metric_ = metrics.counter(
+        "rtseed_supervisor_killed_total",
+        "stage-2 recoveries: termination signals delivered by the supervisor");
+    respawned_metric_ = metrics.counter(
+        "rtseed_supervisor_respawned_total",
+        "dead optional workers respawned by the supervisor");
+  }
+  stop_word_.store(0, std::memory_order_relaxed);
+  running_.store(true, std::memory_order_release);
+  rt::ThreadConfig tc;
+  tc.name = "rts-supervisor";
+  tc.fifo_priority = config_.fifo_priority;
+  thread_ = std::make_unique<rt::RtThread>(tc, [this] { supervisor_loop(); });
+  return common::Status::ok();
+}
+
+void Supervisor::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stop_word_.store(1, std::memory_order_release);
+  rt::wake_word(stop_word_, 1);
+  if (thread_ && thread_->joinable()) thread_->join();
+  thread_.reset();
+}
+
+SupervisorStats Supervisor::stats() const {
+  SupervisorStats s;
+  s.stalls_detected = stalls_detected_.load(std::memory_order_relaxed);
+  s.forced = forced_.load(std::memory_order_relaxed);
+  s.killed = killed_.load(std::memory_order_relaxed);
+  s.respawned = respawned_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Supervisor::supervisor_loop() {
+  if (telemetry_ != nullptr && telemetry_->enabled()) {
+    trace_ = telemetry_->register_thread("supervisor");
+  }
+  while (stop_word_.load(std::memory_order_acquire) == 0) {
+    const Nanos now = common::monotonic_now();
+    for (auto& watch : pools_) scan(watch, now);
+    (void)rt::wait_word_until(stop_word_, 0, now + config_.poll_interval);
+  }
+}
+
+void Supervisor::scan(PoolWatch& watch, Nanos now) {
+  const int workers = watch.pool->worker_count();
+  for (int k = 0; k < workers; ++k) {
+    WorkerWatch& ww = watch.workers[static_cast<common::usize>(k)];
+    const WorkerHealth health = watch.pool->worker_health(k);
+
+    if (!health.alive) {
+      if (config_.respawn_dead && watch.pool->respawn_worker(k)) {
+        respawned_.fetch_add(1, std::memory_order_relaxed);
+        if (respawned_metric_ != nullptr) respawned_metric_->increment();
+        common::global_logger().warn("supervisor: respawned dead worker %d of %s", k,
+                        watch.name.c_str());
+        if (trace_ != nullptr) {
+          trace_->emit({telemetry_->now(), watch.task, 0, k,
+                        obs::EventKind::kSupervisorRespawn});
+        }
+        ww = WorkerWatch{};
+      }
+      continue;
+    }
+
+    if (!health.busy || health.busy_deadline <= 0) {
+      // Idle (or running an undeadlined part): nothing to escalate.
+      ww = WorkerWatch{};
+      continue;
+    }
+
+    if (ww.observed_busy_since != health.busy_since) {
+      // A new part started since the last scan: restart escalation.
+      ww = WorkerWatch{};
+      ww.observed_busy_since = health.busy_since;
+    }
+
+    if (!ww.forced && now > health.busy_deadline + config_.stall_grace) {
+      // Stage 1: the pool's own termination should have fired long ago —
+      // raise the slot force flag the pool already honours.
+      stalls_detected_.fetch_add(1, std::memory_order_relaxed);
+      if (stalls_metric_ != nullptr) stalls_metric_->increment();
+      if (trace_ != nullptr) {
+        trace_->emit({telemetry_->now(), watch.task, 0, k,
+                      obs::EventKind::kSupervisorStall});
+      }
+      watch.pool->force_worker(k);
+      forced_.fetch_add(1, std::memory_order_relaxed);
+      if (forced_metric_ != nullptr) forced_metric_->increment();
+      common::global_logger().warn("supervisor: forced stalled worker %d of %s (%s past OD)",
+                      k, watch.name.c_str(),
+                      common::format_duration(now - health.busy_deadline)
+                          .c_str());
+      ww.forced = true;
+      ww.forced_at = now;
+      continue;
+    }
+
+    if (ww.forced && !ww.killed && now > ww.forced_at + config_.kill_grace) {
+      // Stage 2: the force flag was ignored (body polls nothing, or the
+      // OD timer misfired) — deliver the termination signal directly.
+      if (watch.pool->kill_worker(k)) {
+        killed_.fetch_add(1, std::memory_order_relaxed);
+        if (killed_metric_ != nullptr) killed_metric_->increment();
+        if (trace_ != nullptr) {
+          trace_->emit({telemetry_->now(), watch.task, 0, k,
+                        obs::EventKind::kSupervisorKill});
+        }
+        common::global_logger().warn("supervisor: killed stuck worker %d of %s", k,
+                        watch.name.c_str());
+      }
+      ww.killed = true;
+    }
+  }
+}
+
+}  // namespace rtseed::fault

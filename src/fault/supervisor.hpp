@@ -1,0 +1,155 @@
+// Worker supervision: a low-priority thread that watches per-worker
+// heartbeat words and recovers stalled or dead optional workers.
+//
+// Each optional worker publishes three plain atomics on its slot (zero
+// cost on the hot path — two relaxed stores per part): a heartbeat
+// sequence, the absolute deadline of the part it is running, and when it
+// started.  The supervisor polls those words from OUTSIDE the real-time
+// band (best-effort priority, so it can never preempt a wind-up part) and
+// escalates in stages:
+//
+//   stage 1 (stall_grace past the part's deadline): raise the slot-owned
+//     force flag — the lock-free forcing path the mandatory thread already
+//     uses, observed by StopToken::forced();
+//   stage 2 (kill_grace later): deliver the termination signal directly to
+//     the stuck worker thread (covers a misfired optional-deadline timer
+//     under kSigjmp, where the body polls nothing);
+//   dead worker (thread exited): join the corpse and respawn it with the
+//     plan's affinity and priority, so the pool never loses parallelism
+//     permanently.
+//
+// The pool side of this contract is the SupervisedPool interface,
+// implemented by core::OptionalPool.  Stop the supervisor BEFORE shutting
+// down the pools it watches.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/time.hpp"
+#include "obs/telemetry.hpp"
+#include "rt/thread.hpp"
+
+namespace rtseed::fault {
+
+using common::Nanos;
+
+/// Snapshot of one worker, read from its heartbeat words.
+struct WorkerHealth {
+  bool alive = false;        ///< thread is running
+  bool busy = false;         ///< currently executing a part
+  Nanos busy_since = 0;      ///< when the running part was received
+  Nanos busy_deadline = 0;   ///< absolute deadline of the running part
+  common::u64 heartbeat = 0; ///< bumps on every part start/end
+};
+
+/// What the supervisor needs from a worker pool (core::OptionalPool).
+class SupervisedPool {
+ public:
+  virtual ~SupervisedPool() = default;
+
+  virtual int worker_count() const = 0;
+  virtual WorkerHealth worker_health(int worker) const = 0;
+
+  /// Stage-1 escalation: raise the worker's slot-owned force flag.
+  virtual void force_worker(int worker) = 0;
+
+  /// Stage-2 escalation: deliver the termination signal to the worker
+  /// thread.  False when the pool's termination strategy has no safe
+  /// signal path (e.g. periodic-check).
+  virtual bool kill_worker(int worker) = 0;
+
+  /// Joins a dead worker's thread and respawns it with the original
+  /// affinity/priority.  False when nothing was respawned.
+  virtual bool respawn_worker(int worker) = 0;
+};
+
+struct SupervisorConfig {
+  bool enabled = false;
+  Nanos poll_interval = common::millis(2);
+  /// Grace past a part's deadline before stage-1 forcing — covers the
+  /// pool's own force-after-margin path racing this one (both are
+  /// idempotent relaxed stores).
+  Nanos stall_grace = common::millis(20);
+  /// After forcing, how long before stage-2 signal delivery.
+  Nanos kill_grace = common::millis(20);
+  bool respawn_dead = true;
+  /// SCHED_FIFO priority of the supervisor thread; 0 = best-effort
+  /// (default: supervision must never preempt the RT band).
+  int fifo_priority = 0;
+};
+
+struct SupervisorStats {
+  common::u64 stalls_detected = 0;
+  common::u64 forced = 0;
+  common::u64 killed = 0;
+  common::u64 respawned = 0;
+};
+
+class Supervisor {
+ public:
+  explicit Supervisor(SupervisorConfig config);
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// Registers a pool to watch (before start()).  `pool` must outlive the
+  /// supervisor's run; `task` labels emitted events/metrics.
+  void watch(SupervisedPool* pool, common::TaskId task, std::string name);
+
+  /// Attaches telemetry (before start()): the supervisor registers its
+  /// own event ring and counters.
+  void set_telemetry(obs::Telemetry* telemetry);
+
+  common::Status start();
+
+  /// Stops and joins the supervisor thread.  Call before shutting down
+  /// watched pools.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  SupervisorStats stats() const;
+
+ private:
+  struct WorkerWatch {
+    // Escalation state per worker: reset when the busy window changes.
+    Nanos observed_busy_since = 0;
+    Nanos forced_at = 0;
+    bool forced = false;
+    bool killed = false;
+  };
+  struct PoolWatch {
+    SupervisedPool* pool = nullptr;
+    common::TaskId task = common::kInvalidTask;
+    std::string name;
+    std::vector<WorkerWatch> workers;
+  };
+
+  void supervisor_loop();
+  void scan(PoolWatch& watch, Nanos now);
+
+  SupervisorConfig config_;
+  std::vector<PoolWatch> pools_;
+  std::unique_ptr<rt::RtThread> thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint32_t> stop_word_{0};
+
+  std::atomic<common::u64> stalls_detected_{0};
+  std::atomic<common::u64> forced_{0};
+  std::atomic<common::u64> killed_{0};
+  std::atomic<common::u64> respawned_{0};
+
+  obs::Telemetry* telemetry_ = nullptr;
+  obs::TraceBuffer* trace_ = nullptr;
+  obs::Counter* stalls_metric_ = nullptr;
+  obs::Counter* forced_metric_ = nullptr;
+  obs::Counter* killed_metric_ = nullptr;
+  obs::Counter* respawned_metric_ = nullptr;
+};
+
+}  // namespace rtseed::fault

@@ -1,0 +1,86 @@
+#include "fault/watchdog.hpp"
+
+#include <csignal>
+
+#include "rt/signal_guard.hpp"
+
+namespace rtseed::fault {
+
+const char* overrun_policy_name(OverrunPolicy policy) {
+  switch (policy) {
+    case OverrunPolicy::kLogOnly:
+      return "log-only";
+    case OverrunPolicy::kSkipOptionals:
+      return "skip-optionals";
+    case OverrunPolicy::kAbortJob:
+      return "abort-job";
+    case OverrunPolicy::kDemoteThread:
+      return "demote-thread";
+  }
+  return "?";
+}
+
+const char* budget_part_name(BudgetPart part) {
+  switch (part) {
+    case BudgetPart::kMandatory:
+      return "mandatory";
+    case BudgetPart::kWindup:
+      return "wind-up";
+  }
+  return "?";
+}
+
+int watchdog_signal() { return SIGRTMIN + 5; }
+
+namespace {
+
+// The flag is thread-local: the timer delivers with SIGEV_THREAD_ID to
+// exactly the thread that armed it, so each mandatory thread observes only
+// its own overruns.
+thread_local volatile sig_atomic_t t_budget_expired = 0;
+
+void budget_handler(int /*signo*/) { t_budget_expired = 1; }
+
+bool install_handler_once() {
+  static const bool installed = [] {
+    struct sigaction act {};
+    act.sa_handler = budget_handler;
+    sigemptyset(&act.sa_mask);
+    act.sa_flags = 0;
+    return sigaction(watchdog_signal(), &act, nullptr) == 0;
+  }();
+  return installed;
+}
+
+}  // namespace
+
+common::Status BudgetWatchdog::init() {
+  if (init_) return common::Status::ok();
+  if (!install_handler_once()) {
+    return common::internal_error("cannot install budget watchdog handler");
+  }
+  (void)rt::unblock_signal(watchdog_signal());
+  if (auto st = timer_.create(watchdog_signal()); !st) return st;
+  init_ = true;
+  return common::Status::ok();
+}
+
+void BudgetWatchdog::arm(Nanos abs_deadline) {
+  if (!init_) return;
+  t_budget_expired = 0;
+  (void)timer_.arm_absolute(abs_deadline);
+}
+
+bool BudgetWatchdog::disarm() {
+  if (!init_) return false;
+  (void)timer_.disarm();
+  const bool expired = t_budget_expired != 0;
+  t_budget_expired = 0;
+  return expired;
+}
+
+bool BudgetWatchdog::fired() const {
+  return init_ && t_budget_expired != 0;
+}
+
+}  // namespace rtseed::fault

@@ -1,0 +1,92 @@
+// Per-job budget watchdogs for the mandatory and wind-up parts.
+//
+// RT-Seed's D = T guarantee silently assumes the WCETs given to the
+// offline analysis hold at run time.  The watchdog makes a violation an
+// EVENT instead of a silent erosion of the guarantee: before a mandatory
+// or wind-up part runs, a one-shot CLOCK_MONOTONIC timer (rt::OneShotTimer,
+// the same machinery as the paper's optional-deadline timer) is armed for
+// the part's budget; if the body is still running when it fires, a
+// dedicated real-time signal sets a per-thread flag that the middleware
+// observes at the next checkpoint (part end) and answers with the
+// configured OverrunPolicy.
+//
+// The handler only stores a flag — no longjmp, no unwinding — so the
+// watchdog composes with every termination strategy and stays safe under
+// ThreadSanitizer.  Containment (skipping optionals, aborting the job,
+// demoting the thread) happens at checkpoints on the mandatory thread,
+// never asynchronously inside the user's body.
+#pragma once
+
+#include "common/status.hpp"
+#include "common/time.hpp"
+#include "rt/oneshot_timer.hpp"
+
+namespace rtseed::fault {
+
+using common::Nanos;
+
+/// Escalation ladder applied when a budget overruns (pick one rung;
+/// every rung includes the counting/logging of the rungs above it).
+enum class OverrunPolicy {
+  kLogOnly,       ///< count + log, change nothing
+  kSkipOptionals, ///< overrunning job loses its optional parts (shed QoS)
+  kAbortJob,      ///< abort the job at the next checkpoint (skip the rest)
+  kDemoteThread,  ///< also demote the thread out of the RT band
+};
+
+const char* overrun_policy_name(OverrunPolicy policy);
+
+/// Which part's budget overran.
+enum class BudgetPart { kMandatory, kWindup };
+
+const char* budget_part_name(BudgetPart part);
+
+struct WatchdogConfig {
+  bool enabled = false;
+  OverrunPolicy policy = OverrunPolicy::kSkipOptionals;
+  /// Budget = WCET × budget_factor + budget_slack.  The factor leaves
+  /// headroom above the analyzed WCET so the watchdog flags genuine
+  /// violations, not measurement jitter.
+  double budget_factor = 1.5;
+  Nanos budget_slack = common::millis(1);
+
+  Nanos budget_for(Nanos wcet) const {
+    return static_cast<Nanos>(static_cast<double>(wcet) * budget_factor) +
+           budget_slack;
+  }
+};
+
+/// The signal used for budget expiry (distinct from the optional-deadline
+/// signals so an OD termination never masks a budget overrun).
+int watchdog_signal();
+
+/// Per-thread watchdog.  init() and every arm/disarm must run on the
+/// owning (mandatory) thread — the timer targets the calling thread.
+class BudgetWatchdog {
+ public:
+  BudgetWatchdog() = default;
+  BudgetWatchdog(const BudgetWatchdog&) = delete;
+  BudgetWatchdog& operator=(const BudgetWatchdog&) = delete;
+
+  /// Installs the (process-wide) flag-setting handler and creates this
+  /// thread's timer.  Idempotent.
+  common::Status init();
+
+  /// Arms for the absolute CLOCK_MONOTONIC deadline `abs_deadline`.
+  void arm(Nanos abs_deadline);
+
+  /// Disarms; returns true when the budget expired while armed (the
+  /// checkpoint check).  Clears the flag.
+  bool disarm();
+
+  /// Polls the expiry flag without disarming (mid-part checkpoints).
+  bool fired() const;
+
+  bool ready() const { return init_; }
+
+ private:
+  rt::OneShotTimer timer_;
+  bool init_ = false;
+};
+
+}  // namespace rtseed::fault

@@ -118,6 +118,16 @@ std::string render_perfetto_trace(const TelemetrySnapshot& snapshot) {
         case EventKind::kJobRelease:
         case EventKind::kOptionalsDiscarded:
         case EventKind::kJobFinish:
+        case EventKind::kBudgetOverrun:
+        case EventKind::kBreakerTrip:
+        case EventKind::kBreakerProbe:
+        case EventKind::kBreakerRestore:
+        case EventKind::kOptionalShed:
+        case EventKind::kSupervisorStall:
+        case EventKind::kSupervisorKill:
+        case EventKind::kSupervisorRespawn:
+        case EventKind::kWakeRetry:
+        case EventKind::kClockAnomaly:
           builder.add_instant(snapshot.task_name(ev.task) + "/" +
                                   event_kind_name(ev.kind),
                               1, tid, us(ev.timestamp));

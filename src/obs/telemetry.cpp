@@ -41,6 +41,26 @@ const char* event_kind_name(EventKind kind) {
       return "runtime-start";
     case EventKind::kRuntimeStop:
       return "runtime-stop";
+    case EventKind::kBudgetOverrun:
+      return "budget-overrun";
+    case EventKind::kBreakerTrip:
+      return "breaker-trip";
+    case EventKind::kBreakerProbe:
+      return "breaker-probe";
+    case EventKind::kBreakerRestore:
+      return "breaker-restore";
+    case EventKind::kOptionalShed:
+      return "optional-shed";
+    case EventKind::kSupervisorStall:
+      return "supervisor-stall";
+    case EventKind::kSupervisorKill:
+      return "supervisor-kill";
+    case EventKind::kSupervisorRespawn:
+      return "supervisor-respawn";
+    case EventKind::kWakeRetry:
+      return "wake-retry";
+    case EventKind::kClockAnomaly:
+      return "clock-anomaly";
   }
   return "?";
 }
@@ -179,6 +199,27 @@ TaskMetrics Telemetry::register_task_metrics(
   tm.callback_errors = metrics_.counter(
       "rtseed_callback_errors_total",
       "User-callback exceptions absorbed by the middleware", task_label);
+  tm.budget_overruns = metrics_.counter(
+      "rtseed_budget_overruns_total",
+      "Mandatory/wind-up parts that ran past their WCET budget", task_label);
+  tm.jobs_aborted = metrics_.counter(
+      "rtseed_jobs_aborted_total",
+      "Jobs cut short at a checkpoint by the overrun policy", task_label);
+  tm.optional_shed = metrics_.counter(
+      "rtseed_optional_shed_total",
+      "Optional parts withheld by the overload circuit breaker", task_label);
+  tm.breaker_transitions = metrics_.counter(
+      "rtseed_breaker_transitions_total",
+      "Circuit-breaker state transitions", task_label);
+  tm.breaker_state = metrics_.gauge(
+      "rtseed_breaker_state",
+      "Circuit-breaker state (0 closed, 1 open, 2 half-open)", task_label);
+  tm.breaker_shed_level = metrics_.gauge(
+      "rtseed_breaker_shed_level",
+      "Current shed level (np is shifted right by this)", task_label);
+  tm.wake_retries = metrics_.counter(
+      "rtseed_wake_retries_total",
+      "Wakes re-issued by the lost-wake recovery path", task_label);
 
   // The four middleware overheads of the paper's evaluation, in
   // microseconds.  Δm/Δb/Δs are thread-wakeup-scale; Δe includes timer

@@ -54,6 +54,14 @@ struct TaskMetrics {
   Counter* optional_terminated = nullptr;  ///< labelled by strategy
   Counter* optional_discarded = nullptr;
   Counter* callback_errors = nullptr;
+  // Resilience instruments (src/fault, DESIGN.md §9).
+  Counter* budget_overruns = nullptr;   ///< labelled by part (mandatory/windup)
+  Counter* jobs_aborted = nullptr;      ///< jobs cut short by OverrunPolicy
+  Counter* optional_shed = nullptr;     ///< optional parts withheld by breaker
+  Counter* breaker_transitions = nullptr;
+  Gauge* breaker_state = nullptr;       ///< 0 closed, 1 open, 2 half-open
+  Gauge* breaker_shed_level = nullptr;
+  Counter* wake_retries = nullptr;      ///< lost-wake recovery re-wakes
   Histogram* delta_m = nullptr;  ///< microseconds, Fig. 10
   Histogram* delta_b = nullptr;  ///< microseconds, Fig. 12
   Histogram* delta_s = nullptr;  ///< microseconds, Fig. 11

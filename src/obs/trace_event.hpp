@@ -31,9 +31,20 @@ enum class EventKind : common::u8 {
   kJobFinish,
   kRuntimeStart,        ///< Runtime::start() completed
   kRuntimeStop,         ///< Runtime::stop() entered
+  // Resilience events (src/fault, DESIGN.md §9).
+  kBudgetOverrun,       ///< mandatory/wind-up budget watchdog fired (arg = part)
+  kBreakerTrip,         ///< circuit breaker opened (arg = shed level)
+  kBreakerProbe,        ///< breaker went half-open, probing at full np
+  kBreakerRestore,      ///< breaker closed, full parallelism restored
+  kOptionalShed,        ///< job ran with reduced np (arg = parts shed)
+  kSupervisorStall,     ///< supervisor saw a worker past OD + grace (arg = k)
+  kSupervisorKill,      ///< supervisor delivered a termination signal (arg = k)
+  kSupervisorRespawn,   ///< supervisor respawned a dead worker (arg = k)
+  kWakeRetry,           ///< lost-wake recovery re-issued a slot wake (arg = k)
+  kClockAnomaly,        ///< periodic clock woke before its release time
 };
 
-inline constexpr int kNumEventKinds = 15;
+inline constexpr int kNumEventKinds = 25;
 
 const char* event_kind_name(EventKind kind);
 

@@ -1,5 +1,7 @@
 #include "rt/futex.hpp"
 
+#include "fault/injector.hpp"
+
 #if defined(__linux__) && !defined(RTSEED_PORTABLE_WAIT)
 #define RTSEED_FUTEX_NATIVE 1
 #endif
@@ -45,6 +47,9 @@ void wake_word(std::atomic<std::uint32_t>& word, int count) {
 
 void wait_word(std::atomic<std::uint32_t>& word, std::uint32_t expected) {
   while (word.load(std::memory_order_acquire) == expected) {
+    // Chaos: a spurious return, exactly what EINTR produces — the loop
+    // must absorb it by re-checking the word.
+    if (fault::try_fire(fault::InjectPoint::kEintrStorm)) continue;
     // EAGAIN (word changed before we slept) and EINTR both re-check.
     sys_futex(&word, FUTEX_WAIT | FUTEX_PRIVATE_FLAG, expected, nullptr, 0);
   }
@@ -58,6 +63,12 @@ bool wait_word_until(std::atomic<std::uint32_t>& word,
   // get wrong.
   const timespec ts = common::to_timespec(abs_deadline < 0 ? 0 : abs_deadline);
   while (word.load(std::memory_order_acquire) == expected) {
+    if (fault::try_fire(fault::InjectPoint::kEintrStorm)) {
+      if (common::monotonic_now() >= abs_deadline) {
+        return word.load(std::memory_order_acquire) != expected;
+      }
+      continue;
+    }
     const long rc = sys_futex(&word, FUTEX_WAIT_BITSET | FUTEX_PRIVATE_FLAG,
                               expected, &ts, FUTEX_BITSET_MATCH_ANY);
     if (rc == -1 && errno == ETIMEDOUT) {
@@ -81,7 +92,11 @@ void wake_word(std::atomic<std::uint32_t>& word, int count) {
 }
 
 void wait_word(std::atomic<std::uint32_t>& word, std::uint32_t expected) {
-  word.wait(expected, std::memory_order_acquire);
+  while (word.load(std::memory_order_acquire) == expected) {
+    // Chaos: behave as if the wait returned spuriously (EINTR-equivalent).
+    if (fault::try_fire(fault::InjectPoint::kEintrStorm)) continue;
+    word.wait(expected, std::memory_order_acquire);
+  }
 }
 
 bool wait_word_until(std::atomic<std::uint32_t>& word,
@@ -101,6 +116,8 @@ bool wait_word_until(std::atomic<std::uint32_t>& word,
       cpu_relax();
       continue;
     }
+    // Chaos: skip the sleep slice, as an interrupted nanosleep would.
+    if (fault::try_fire(fault::InjectPoint::kEintrStorm)) continue;
     const common::Nanos slice = std::min(kMaxSlice, abs_deadline - now);
     std::this_thread::sleep_for(std::chrono::nanoseconds(slice));
   }

@@ -36,7 +36,14 @@ bool MonotonicCond::timed_wait_once(common::Nanos abs_deadline) {
     if (deadline < 0) deadline = 0;
   }
   const timespec ts = common::to_timespec(deadline);
-  return pthread_cond_timedwait(&cond_, &mutex_, &ts) != ETIMEDOUT;
+  // POSIX says pthread_cond_timedwait never fails with EINTR, but "never"
+  // has cost implementations dearly before; retry defensively so an
+  // interrupted wait reads as a spurious wakeup, not a timeout.
+  int rc;
+  do {
+    rc = pthread_cond_timedwait(&cond_, &mutex_, &ts);
+  } while (rc == EINTR);
+  return rc != ETIMEDOUT;
 }
 
 }  // namespace rtseed::rt

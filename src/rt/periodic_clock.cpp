@@ -4,6 +4,8 @@
 #include <cerrno>
 #include <ctime>
 
+#include "fault/injector.hpp"
+
 namespace rtseed::rt {
 
 void sleep_until(Nanos abs_time) {
@@ -28,7 +30,25 @@ void PeriodicClock::start() {
   next_release_ = common::monotonic_now() + initial_offset_;
   job_index_ = -1;
   overruns_ = 0;
+  clock_anomalies_ = 0;
   started_ = true;
+}
+
+void PeriodicClock::sleep_until_checked(Nanos abs_time) {
+  for (;;) {
+    // Chaos: the sleep returns early, as a mis-programmed timer or a
+    // stepped clock would make it.
+    if (fault::try_fire(fault::InjectPoint::kClockJump)) {
+      const Nanos early = abs_time - fault::injected_jump_ns();
+      if (early > common::monotonic_now()) sleep_until(early);
+    } else {
+      sleep_until(abs_time);
+    }
+    // An early return must never release a job before its time: count the
+    // anomaly and go back to sleep for the remainder.
+    if (common::monotonic_now() >= abs_time) return;
+    ++clock_anomalies_;
+  }
 }
 
 Nanos PeriodicClock::wait_next_release() {
@@ -40,7 +60,7 @@ Nanos PeriodicClock::wait_next_release() {
     ++job_index_;
     ++overruns_;
   }
-  if (next_release_ > now) sleep_until(next_release_);
+  if (next_release_ > now) sleep_until_checked(next_release_);
   current_release_ = next_release_;
   next_release_ += period_;
   ++job_index_;

@@ -36,16 +36,25 @@ class PeriodicClock {
   JobId job_index() const { return job_index_; }
   /// Number of releases skipped because the previous job ran past them.
   long overruns() const { return overruns_; }
+  /// Number of times the sleep returned before the release time (clock
+  /// anomaly, e.g. an interrupted or mis-programmed sleep); each was
+  /// answered by re-sleeping, so releases never fired early.
+  long clock_anomalies() const { return clock_anomalies_; }
 
   Nanos period() const { return period_; }
 
  private:
+  /// sleep_until that detects early returns (clock anomalies) and
+  /// re-sleeps so no release ever fires before its time.
+  void sleep_until_checked(Nanos abs_time);
+
   Nanos period_;
   Nanos initial_offset_;
   Nanos next_release_ = 0;
   Nanos current_release_ = 0;
   JobId job_index_ = -1;
   long overruns_ = 0;
+  long clock_anomalies_ = 0;
   bool started_ = false;
 };
 

@@ -96,6 +96,15 @@ common::Status configure_current_thread(const ThreadConfig& config) {
   return common::permission_denied(denied);
 }
 
+common::Status demote_current_thread() {
+  sched_param sp{};
+  if (sched_setscheduler(0, SCHED_OTHER, &sp) != 0) {
+    return common::internal_error(std::string("demotion failed: ") +
+                                  std::strerror(errno));
+  }
+  return common::Status::ok();
+}
+
 RtThread::RtThread(ThreadConfig config, std::function<void()> body) {
   std::promise<common::Status> configured;
   auto configured_future = configured.get_future();

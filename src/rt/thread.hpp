@@ -40,6 +40,13 @@ struct ThreadConfig {
 /// running best-effort).
 common::Status configure_current_thread(const ThreadConfig& config);
 
+/// Drops the calling thread out of the real-time band to SCHED_OTHER —
+/// the last rung of the budget-overrun ladder (OverrunPolicy::
+/// kDemoteThread): a thread that keeps violating its declared WCET loses
+/// its right to preempt well-behaved tasks.  Dropping priority is always
+/// permitted, so this succeeds even where raising it was denied.
+common::Status demote_current_thread();
+
 /// A joining thread that applies ThreadConfig before running `body`.
 class RtThread {
  public:

@@ -161,12 +161,15 @@ TEST(PeriodicCheck, FastBodyCompletes) {
 // --- kTryCatch -----------------------------------------------------------
 
 TEST(TryCatch, TerminatesAtAnyTimeButLeaksBlockedSignal) {
-  // Table I row 3: any-time termination works, but the signal mask is NOT
-  // restored — the signal stays blocked after the catch.
+  // Table I row 3, paper-faithful mode (repair_signal_mask off): any-time
+  // termination works, but the signal mask is NOT restored — the signal
+  // stays blocked after the catch.
+  TerminationOptions paper;
+  paper.repair_signal_mask = false;
   std::atomic<long> progress{0};
   const Nanos deadline = monotonic_now() + millis(20);
-  const auto result = run_with_deadline(TerminationStrategy::kTryCatch,
-                                        deadline, spin_forever(&progress));
+  const auto result = run_with_deadline(
+      TerminationStrategy::kTryCatch, deadline, spin_forever(&progress), paper);
   EXPECT_EQ(result.outcome, OptionalOutcome::kTerminated);
   EXPECT_GT(progress.load(), 0);
   // The defect the paper describes:
@@ -175,6 +178,21 @@ TEST(TryCatch, TerminatesAtAnyTimeButLeaksBlockedSignal) {
   // until the mask is repaired:
   EXPECT_TRUE(repair_signal_mask_after_trycatch());
   EXPECT_FALSE(rt::is_signal_blocked(trycatch_signal()));
+}
+
+TEST(TryCatch, DefaultOptionsRepairMaskBetweenJobs) {
+  // The middleware's fix for the Table-I defect: by default the recovery
+  // path restores the mask, so back-to-back jobs all terminate without
+  // anyone calling repair_signal_mask_after_trycatch().
+  std::atomic<long> progress{0};
+  for (int job = 0; job < 3; ++job) {
+    const auto result = run_with_deadline(TerminationStrategy::kTryCatch,
+                                          monotonic_now() + millis(10),
+                                          spin_forever(&progress));
+    EXPECT_EQ(result.outcome, OptionalOutcome::kTerminated) << "job " << job;
+    EXPECT_FALSE(rt::is_signal_blocked(trycatch_signal())) << "job " << job;
+  }
+  EXPECT_FALSE(repair_signal_mask_after_trycatch());
 }
 
 TEST(TryCatch, CompletesFastBody) {
@@ -186,11 +204,14 @@ TEST(TryCatch, CompletesFastBody) {
 }
 
 TEST(TryCatch, WorksAgainAfterMaskRepair) {
+  TerminationOptions paper;
+  paper.repair_signal_mask = false;
   std::atomic<long> progress{0};
   for (int job = 0; job < 3; ++job) {
-    const auto result = run_with_deadline(TerminationStrategy::kTryCatch,
-                                          monotonic_now() + millis(10),
-                                          spin_forever(&progress));
+    const auto result =
+        run_with_deadline(TerminationStrategy::kTryCatch,
+                          monotonic_now() + millis(10),
+                          spin_forever(&progress), paper);
     EXPECT_EQ(result.outcome, OptionalOutcome::kTerminated) << "job " << job;
     EXPECT_TRUE(repair_signal_mask_after_trycatch());
   }

@@ -85,6 +85,49 @@ TEST(Watchdog, ThrowingObserverIsAbsorbed) {
   EXPECT_EQ(report.tasks[0].qos.jobs, 3);  // survived all three throws
 }
 
+// set_miss_observer on the task itself (not through the Runtime): exactly
+// one invocation per missed job, none for met ones, interleaved correctly.
+TEST(Watchdog, TaskMissObserverFiresExactlyOncePerMiss) {
+  std::atomic<long> misses{0};
+  std::atomic<long> jobs_seen{0};
+  rt::Topology topology = rt::Topology::native();
+
+  TaskConfig tc;
+  tc.params.name = "direct";
+  tc.params.period = millis(60);
+  tc.params.mandatory = millis(2);
+  tc.params.windup = millis(2);
+  tc.num_jobs = 4;
+  // Jobs 1 and 3 overrun their deadline; 0 and 2 finish on time.
+  tc.callbacks.windup = [&jobs_seen](const JobContext& ctx) {
+    const long job = jobs_seen.fetch_add(1);
+    if (job % 2 == 1) {
+      volatile double sink = 1.0;
+      while (common::monotonic_now() < ctx.deadline + millis(3)) {
+        sink = sink * 1.0000001 + 1e-9;
+      }
+    }
+  };
+
+  TaskPlacement placement;
+  placement.processor = 0;
+  placement.optional_deadline_offset = millis(30);
+  TaskRuntimeOptions options;
+  options.initial_offset = millis(5);
+
+  ImpreciseTask task(7, std::move(tc), placement, options, topology);
+  task.set_miss_observer([&](common::TaskId id, const JobRecord& rec) {
+    ++misses;
+    EXPECT_EQ(id, 7);
+    EXPECT_FALSE(rec.deadline_met);
+    EXPECT_EQ(rec.job % 2, 1);  // only the odd jobs overran
+  });
+  ASSERT_TRUE(task.start().is_ok());
+  task.wait_finished();
+  task.stop();
+  EXPECT_EQ(misses.load(), 2);
+}
+
 TEST(Watchdog, MemoryLockOptionDoesNotBreakStartup) {
   RuntimeOptions options;
   options.initial_offset = millis(5);

@@ -1,0 +1,145 @@
+// Circuit-breaker state machine, walked with a synthetic clock (record_job
+// takes `now` explicitly, so no sleeping is needed).
+#include "fault/breaker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtseed::fault {
+namespace {
+
+using common::millis;
+
+BreakerConfig small_config() {
+  BreakerConfig config;
+  config.enabled = true;
+  config.window = 8;
+  config.min_samples = 4;
+  config.trip_threshold = 0.5;
+  config.restore_threshold = 0.125;
+  config.cooldown = millis(100);
+  config.probe_jobs = 4;
+  return config;
+}
+
+TEST(FaultTsanBreaker, DisabledBreakerNeverTransitions) {
+  BreakerConfig config = small_config();
+  config.enabled = false;
+  CircuitBreaker breaker(config);
+  for (int n = 0; n < 50; ++n) {
+    EXPECT_FALSE(breaker.record_job(false, millis(n)).has_value());
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.allowed_np(8), 8);
+}
+
+TEST(FaultTsanBreaker, ClosedPassesFullParallelism) {
+  CircuitBreaker breaker(small_config());
+  EXPECT_EQ(breaker.allowed_np(4), 4);
+  EXPECT_EQ(breaker.allowed_np(1), 1);
+}
+
+TEST(FaultTsanBreaker, SingleEarlyMissDoesNotTrip) {
+  CircuitBreaker breaker(small_config());
+  // One miss, then successes: below min_samples the miss alone must not
+  // shed, and once sampled the rate stays below the trip threshold.
+  EXPECT_FALSE(breaker.record_job(false, millis(1)).has_value());
+  for (int n = 0; n < 10; ++n) {
+    EXPECT_FALSE(breaker.record_job(true, millis(2 + n)).has_value());
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.transitions(), 0u);
+}
+
+TEST(FaultTsanBreaker, TripsAtThresholdAndSheds) {
+  CircuitBreaker breaker(small_config());
+  std::optional<CircuitBreaker::Transition> tr;
+  for (int n = 0; n < 4 && !tr; ++n) {
+    tr = breaker.record_job(false, millis(n));
+  }
+  ASSERT_TRUE(tr.has_value());  // 4 misses over >= min_samples trips
+  EXPECT_EQ(tr->from, CircuitBreaker::State::kClosed);
+  EXPECT_EQ(tr->to, CircuitBreaker::State::kOpen);
+  EXPECT_EQ(tr->shed_level, 1);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.allowed_np(4), 2);  // np >> 1
+  EXPECT_EQ(breaker.allowed_np(1), 0);  // small tasks shed to zero
+}
+
+// Drives the breaker from closed into open; returns the time of the trip.
+common::Nanos trip(CircuitBreaker& breaker, common::Nanos start) {
+  for (int n = 0;; ++n) {
+    if (breaker.record_job(false, start + millis(n)).has_value()) {
+      return start + millis(n);
+    }
+  }
+}
+
+TEST(FaultTsanBreaker, CooldownThenCleanProbeRestores) {
+  CircuitBreaker breaker(small_config());
+  const common::Nanos opened = trip(breaker, 0);
+
+  // Still cooling down: stays open, jobs counted as shed.
+  EXPECT_FALSE(breaker.record_job(true, opened + millis(10)).has_value());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_GT(breaker.jobs_shed(), 0u);
+
+  // Past cooldown: half-open probe at full parallelism.
+  const auto probe = breaker.record_job(true, opened + millis(150));
+  ASSERT_TRUE(probe.has_value());
+  EXPECT_EQ(probe->to, CircuitBreaker::State::kHalfOpen);
+  EXPECT_EQ(breaker.allowed_np(4), 4);  // probing at full np
+
+  // A clean probe window closes the breaker and restores level 0.
+  std::optional<CircuitBreaker::Transition> restore;
+  for (int n = 0; n < 4 && !restore; ++n) {
+    restore = breaker.record_job(true, opened + millis(151 + n));
+  }
+  ASSERT_TRUE(restore.has_value());
+  EXPECT_EQ(restore->to, CircuitBreaker::State::kClosed);
+  EXPECT_EQ(restore->shed_level, 0);
+  EXPECT_EQ(breaker.allowed_np(4), 4);
+}
+
+TEST(FaultTsanBreaker, DirtyProbeReopensOneLevelDeeper) {
+  CircuitBreaker breaker(small_config());
+  const common::Nanos opened = trip(breaker, 0);
+  ASSERT_TRUE(breaker.record_job(true, opened + millis(150)).has_value());
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+
+  // Probe keeps missing: back to open, shed one level deeper.
+  std::optional<CircuitBreaker::Transition> reopened;
+  for (int n = 0; n < 4 && !reopened; ++n) {
+    reopened = breaker.record_job(false, opened + millis(151 + n));
+  }
+  ASSERT_TRUE(reopened.has_value());
+  EXPECT_EQ(reopened->to, CircuitBreaker::State::kOpen);
+  EXPECT_EQ(reopened->shed_level, 2);
+  EXPECT_EQ(breaker.allowed_np(4), 1);  // np >> 2
+}
+
+TEST(FaultTsanBreaker, ShedLevelIsCapped) {
+  BreakerConfig config = small_config();
+  config.max_shed_level = 2;
+  CircuitBreaker breaker(config);
+  common::Nanos now = 0;
+  int transitions_seen = 0;
+  // Every job misses, with gaps longer than the cooldown: the breaker
+  // cycles open -> half-open -> open one level deeper, until the cap.
+  for (int n = 0; n < 100; ++n) {
+    now += millis(200);
+    if (breaker.record_job(false, now).has_value()) ++transitions_seen;
+    EXPECT_LE(breaker.shed_level(), 2);
+  }
+  EXPECT_EQ(breaker.shed_level(), 2);
+  EXPECT_GT(transitions_seen, 3);
+}
+
+TEST(FaultTsanBreaker, StateNamesCovered) {
+  EXPECT_STREQ(breaker_state_name(CircuitBreaker::State::kClosed), "closed");
+  EXPECT_STREQ(breaker_state_name(CircuitBreaker::State::kOpen), "open");
+  EXPECT_STREQ(breaker_state_name(CircuitBreaker::State::kHalfOpen),
+               "half-open");
+}
+
+}  // namespace
+}  // namespace rtseed::fault

@@ -1,0 +1,121 @@
+// Deterministic fault injector: the chaos harness must itself be
+// trustworthy — same seed, same firing decisions, zero cost when off.
+//
+// Suites named FaultTsan* form the ThreadSanitizer-safe subset (no
+// siglongjmp / throwing signal handlers) that CI runs under tsan.
+#include "fault/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rtseed::fault {
+namespace {
+
+TEST(FaultTsanInjector, AllPointsNamed) {
+  for (int p = 0; p < kNumInjectPoints; ++p) {
+    EXPECT_STRNE(inject_point_name(static_cast<InjectPoint>(p)), "?");
+  }
+}
+
+TEST(FaultTsanInjector, ZeroRateNeverFires) {
+  Injector injector{InjectorConfig{}};  // all rates default to 0
+  for (int p = 0; p < kNumInjectPoints; ++p) {
+    const auto point = static_cast<InjectPoint>(p);
+    for (int n = 0; n < 100; ++n) EXPECT_FALSE(injector.fire(point));
+    EXPECT_EQ(injector.injected(point), 0u);
+    EXPECT_EQ(injector.evaluated(point), 100u);
+  }
+  EXPECT_EQ(injector.total_injected(), 0u);
+}
+
+TEST(FaultTsanInjector, RateOneAlwaysFires) {
+  InjectorConfig config;
+  config.rate.fill(1.0);
+  Injector injector{config};
+  for (int n = 0; n < 50; ++n) {
+    EXPECT_TRUE(injector.fire(InjectPoint::kLostWake));
+  }
+  EXPECT_EQ(injector.injected(InjectPoint::kLostWake), 50u);
+}
+
+TEST(FaultTsanInjector, SameSeedSameDecisionSequence) {
+  InjectorConfig config;
+  config.seed = 0xDEADBEEFULL;
+  config.rate.fill(0.3);
+  Injector a{config};
+  Injector b{config};
+  for (int p = 0; p < kNumInjectPoints; ++p) {
+    const auto point = static_cast<InjectPoint>(p);
+    std::vector<bool> fires_a, fires_b;
+    for (int n = 0; n < 500; ++n) fires_a.push_back(a.fire(point));
+    for (int n = 0; n < 500; ++n) fires_b.push_back(b.fire(point));
+    EXPECT_EQ(fires_a, fires_b) << inject_point_name(point);
+    // A 0.3 rate over 500 draws fires a plausible number of times.
+    EXPECT_GT(a.injected(point), 100u);
+    EXPECT_LT(a.injected(point), 250u);
+  }
+}
+
+TEST(FaultTsanInjector, DifferentSeedsDiverge) {
+  InjectorConfig config;
+  config.rate.fill(0.5);
+  config.seed = 1;
+  Injector a{config};
+  config.seed = 2;
+  Injector b{config};
+  int diverged = 0;
+  for (int n = 0; n < 200; ++n) {
+    if (a.fire(InjectPoint::kWorkerStall) !=
+        b.fire(InjectPoint::kWorkerStall)) {
+      ++diverged;
+    }
+  }
+  EXPECT_GT(diverged, 0);
+}
+
+TEST(FaultTsanInjector, MaxFiresCapsChaos) {
+  InjectorConfig config;
+  config.rate.fill(1.0);
+  config.max_fires_per_point = 3;
+  Injector injector{config};
+  int fired = 0;
+  for (int n = 0; n < 100; ++n) {
+    if (injector.fire(InjectPoint::kWorkerDeath)) ++fired;
+  }
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(injector.injected(InjectPoint::kWorkerDeath), 3u);
+}
+
+TEST(FaultTsanInjector, TryFireIsFalseWithoutInstalledInjector) {
+  ASSERT_EQ(active_injector(), nullptr);
+  EXPECT_FALSE(try_fire(InjectPoint::kLostWake));
+  EXPECT_EQ(injected_stall_ns(), 0);
+  EXPECT_EQ(injected_delay_ns(), 0);
+  EXPECT_EQ(injected_overrun_ns(), 0);
+  EXPECT_EQ(injected_jump_ns(), 0);
+}
+
+TEST(FaultTsanInjector, ScopedInjectorInstallsAndRemoves) {
+  {
+    InjectorConfig config;
+    config.rate.fill(1.0);
+    ScopedInjector scoped(config);
+    EXPECT_EQ(active_injector(), &scoped.injector());
+    EXPECT_TRUE(try_fire(InjectPoint::kEintrStorm));
+    EXPECT_EQ(injected_stall_ns(), config.stall_ns);
+  }
+  EXPECT_EQ(active_injector(), nullptr);
+  EXPECT_FALSE(try_fire(InjectPoint::kEintrStorm));
+}
+
+TEST(FaultTsanInjector, ChaosPresetKeepsWorkerDeathRare) {
+  const auto config = InjectorConfig::chaos(7, 0.1);
+  EXPECT_EQ(config.seed, 7u);
+  EXPECT_DOUBLE_EQ(config.rate[static_cast<int>(InjectPoint::kLostWake)], 0.1);
+  EXPECT_DOUBLE_EQ(config.rate[static_cast<int>(InjectPoint::kWorkerDeath)],
+                   0.01);
+}
+
+}  // namespace
+}  // namespace rtseed::fault

@@ -1,0 +1,185 @@
+// Supervisor escalation ladder, exercised against a fake pool so each
+// stage (stall detect -> force -> kill, and dead -> respawn) is observable
+// without real worker threads or signals.
+#include "fault/supervisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/time.hpp"
+#include "rt/periodic_clock.hpp"
+
+namespace rtseed::fault {
+namespace {
+
+using common::millis;
+using common::monotonic_now;
+using common::Nanos;
+
+// A pool of one scriptable worker backed by atomics.
+class FakePool final : public SupervisedPool {
+ public:
+  int worker_count() const override { return 1; }
+
+  WorkerHealth worker_health(int) const override {
+    WorkerHealth h;
+    h.alive = alive.load();
+    h.busy = busy.load();
+    h.busy_since = busy_since.load();
+    h.busy_deadline = busy_deadline.load();
+    h.heartbeat = heartbeat.load();
+    return h;
+  }
+
+  void force_worker(int) override { ++forces; }
+
+  bool kill_worker(int) override {
+    ++kills;
+    return kill_succeeds.load();
+  }
+
+  bool respawn_worker(int) override {
+    ++respawns;
+    alive = true;  // a respawned worker comes back alive
+    return true;
+  }
+
+  std::atomic<bool> alive{true};
+  std::atomic<bool> busy{false};
+  std::atomic<Nanos> busy_since{0};
+  std::atomic<Nanos> busy_deadline{0};
+  std::atomic<common::u64> heartbeat{0};
+  std::atomic<bool> kill_succeeds{true};
+
+  std::atomic<int> forces{0};
+  std::atomic<int> kills{0};
+  std::atomic<int> respawns{0};
+};
+
+SupervisorConfig fast_config() {
+  SupervisorConfig config;
+  config.enabled = true;
+  config.poll_interval = millis(1);
+  config.stall_grace = millis(5);
+  config.kill_grace = millis(5);
+  return config;
+}
+
+void spin_until(const std::function<bool()>& done, Nanos budget) {
+  const Nanos give_up = monotonic_now() + budget;
+  while (!done() && monotonic_now() < give_up) rt::sleep_for(millis(1));
+}
+
+TEST(FaultTsanSupervisor, IdleWorkersAreLeftAlone) {
+  FakePool pool;
+  Supervisor supervisor(fast_config());
+  supervisor.watch(&pool, 0, "idle");
+  ASSERT_TRUE(supervisor.start().is_ok());
+  rt::sleep_for(millis(30));
+  supervisor.stop();
+  EXPECT_EQ(pool.forces.load(), 0);
+  EXPECT_EQ(pool.kills.load(), 0);
+  EXPECT_EQ(pool.respawns.load(), 0);
+  EXPECT_EQ(supervisor.stats().stalls_detected, 0u);
+}
+
+TEST(FaultTsanSupervisor, HealthyBusyWorkerNotEscalated) {
+  FakePool pool;
+  pool.busy = true;
+  pool.busy_since = monotonic_now();
+  pool.busy_deadline = monotonic_now() + common::seconds(10);  // far future
+  Supervisor supervisor(fast_config());
+  supervisor.watch(&pool, 0, "healthy");
+  ASSERT_TRUE(supervisor.start().is_ok());
+  rt::sleep_for(millis(30));
+  supervisor.stop();
+  EXPECT_EQ(pool.forces.load(), 0);
+  EXPECT_EQ(pool.kills.load(), 0);
+}
+
+TEST(FaultTsanSupervisor, StallForcesThenKills) {
+  FakePool pool;
+  // A part whose deadline is already deep in the past: stage 1 after
+  // stall_grace, stage 2 kill_grace later.
+  pool.busy = true;
+  pool.busy_since = monotonic_now() - millis(50);
+  pool.busy_deadline = monotonic_now() - millis(40);
+  Supervisor supervisor(fast_config());
+  supervisor.watch(&pool, 0, "stuck");
+  ASSERT_TRUE(supervisor.start().is_ok());
+
+  spin_until([&] { return pool.kills.load() >= 1; }, millis(500));
+  supervisor.stop();
+
+  EXPECT_EQ(pool.forces.load(), 1);  // stage 1, exactly once
+  EXPECT_EQ(pool.kills.load(), 1);   // stage 2, exactly once
+  const auto stats = supervisor.stats();
+  EXPECT_EQ(stats.stalls_detected, 1u);
+  EXPECT_EQ(stats.forced, 1u);
+  EXPECT_EQ(stats.killed, 1u);
+}
+
+TEST(FaultTsanSupervisor, FreshPartResetsEscalation) {
+  FakePool pool;
+  pool.busy = true;
+  pool.busy_since = monotonic_now() - millis(50);
+  pool.busy_deadline = monotonic_now() - millis(40);
+  Supervisor supervisor(fast_config());
+  supervisor.watch(&pool, 0, "recovering");
+  ASSERT_TRUE(supervisor.start().is_ok());
+
+  spin_until([&] { return pool.forces.load() >= 1; }, millis(500));
+  ASSERT_GE(pool.forces.load(), 1);
+
+  // The worker picks up a NEW part with a healthy deadline: escalation
+  // state resets and no further stage fires.
+  pool.busy_since = monotonic_now();
+  pool.busy_deadline = monotonic_now() + common::seconds(10);
+  const int kills_before = pool.kills.load();
+  rt::sleep_for(millis(40));
+  supervisor.stop();
+  EXPECT_EQ(pool.kills.load(), kills_before);
+}
+
+TEST(FaultTsanSupervisor, RespawnsDeadWorkerOnce) {
+  FakePool pool;
+  pool.alive = false;
+  Supervisor supervisor(fast_config());
+  supervisor.watch(&pool, 0, "corpse");
+  ASSERT_TRUE(supervisor.start().is_ok());
+
+  spin_until([&] { return pool.respawns.load() >= 1; }, millis(500));
+  rt::sleep_for(millis(20));  // more polls: must not respawn again
+  supervisor.stop();
+
+  EXPECT_EQ(pool.respawns.load(), 1);  // FakePool flips alive back on
+  EXPECT_EQ(supervisor.stats().respawned, 1u);
+}
+
+TEST(FaultTsanSupervisor, RespawnDisabledLeavesCorpse) {
+  FakePool pool;
+  pool.alive = false;
+  SupervisorConfig config = fast_config();
+  config.respawn_dead = false;
+  Supervisor supervisor(config);
+  supervisor.watch(&pool, 0, "corpse");
+  ASSERT_TRUE(supervisor.start().is_ok());
+  rt::sleep_for(millis(30));
+  supervisor.stop();
+  EXPECT_EQ(pool.respawns.load(), 0);
+}
+
+TEST(FaultTsanSupervisor, StopIsIdempotentAndRestartable) {
+  FakePool pool;
+  Supervisor supervisor(fast_config());
+  supervisor.watch(&pool, 0, "pool");
+  ASSERT_TRUE(supervisor.start().is_ok());
+  EXPECT_TRUE(supervisor.running());
+  supervisor.stop();
+  supervisor.stop();
+  EXPECT_FALSE(supervisor.running());
+}
+
+}  // namespace
+}  // namespace rtseed::fault
