@@ -1,0 +1,44 @@
+// Drop-in replacement for BENCHMARK_MAIN() that accepts the repo-wide
+// `--json <path>` flag and translates it to google-benchmark's
+// --benchmark_out/--benchmark_out_format pair, so every bench binary —
+// google-benchmark micros and hand-rolled harnesses alike — takes the
+// same flag and CI archives one JSON per binary.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace rtseed::bench {
+
+inline int gbench_json_main(int argc, char** argv) {
+  std::vector<std::string> args(argv, argv + argc);
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--json" && i + 1 < args.size()) {
+      const std::string path = args[i + 1];
+      args.erase(args.begin() + static_cast<long>(i),
+                 args.begin() + static_cast<long>(i) + 2);
+      args.push_back("--benchmark_out=" + path);
+      args.push_back("--benchmark_out_format=json");
+      break;
+    }
+  }
+  std::vector<char*> argv2;
+  argv2.reserve(args.size());
+  for (auto& arg : args) argv2.push_back(arg.data());
+  int argc2 = static_cast<int>(argv2.size());
+  benchmark::Initialize(&argc2, argv2.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace rtseed::bench
+
+#define RTSEED_BENCHMARK_JSON_MAIN()                      \
+  int main(int argc, char** argv) {                       \
+    return rtseed::bench::gbench_json_main(argc, argv);   \
+  }

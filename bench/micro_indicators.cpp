@@ -4,6 +4,8 @@
 // millisecond of optional-deadline budget.
 #include <benchmark/benchmark.h>
 
+#include "gbench_json_main.hpp"
+
 #include <vector>
 
 #include "common/rng.hpp"
@@ -114,4 +116,4 @@ BENCHMARK(BM_MonteCarloBatch);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+RTSEED_BENCHMARK_JSON_MAIN()

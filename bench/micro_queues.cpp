@@ -3,6 +3,8 @@
 // user-space ReadyQueues mirror (per-transition bookkeeping cost).
 #include <benchmark/benchmark.h>
 
+#include "gbench_json_main.hpp"
+
 #include "common/spsc_ring.hpp"
 #include "core/job_record.hpp"
 #include "core/queues.hpp"
@@ -66,4 +68,4 @@ BENCHMARK(BM_SleepQueueInsertExpire);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+RTSEED_BENCHMARK_JSON_MAIN()

@@ -3,6 +3,8 @@
 // the fixed overhead every optional part pays even when it finishes early.
 #include <benchmark/benchmark.h>
 
+#include "gbench_json_main.hpp"
+
 #include <csetjmp>
 
 #include "core/termination.hpp"
@@ -70,4 +72,4 @@ BENCHMARK(BM_StopTokenPoll);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+RTSEED_BENCHMARK_JSON_MAIN()

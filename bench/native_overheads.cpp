@@ -12,6 +12,10 @@
 //
 // Flags: --trace out.json   write a Perfetto trace of the np=4 no-load run
 //        --metrics out.prom write its Prometheus metrics dump
+//        --attribution out.json
+//                           write the per-job deadline-miss attribution
+//                           report of that run (rtseed-attribution-v1)
+//                           and print its cause table
 //        --json out.json    machine-readable results: one record per
 //                           (load, np) cell with full Δm/Δb/Δs/Δe
 //                           percentiles (CI archives this as
@@ -26,6 +30,7 @@
 
 #include "common/table.hpp"
 #include "core/runtime.hpp"
+#include "obs/attribution.hpp"
 #include "obs/perfetto_export.hpp"
 #include "obs/prometheus_export.hpp"
 #include "rt/periodic_clock.hpp"
@@ -102,12 +107,14 @@ class BackgroundLoad {
 
 core::OverheadSummary run_one(int np, BackgroundLoad::Kind load, int jobs,
                               const std::string& trace_path = "",
-                              const std::string& metrics_path = "") {
+                              const std::string& metrics_path = "",
+                              const std::string& attribution_path = "") {
   BackgroundLoad background(load);
 
   core::RuntimeOptions options;
   options.initial_offset = millis(10);
-  options.telemetry.enabled = !trace_path.empty() || !metrics_path.empty();
+  options.telemetry.enabled = !trace_path.empty() || !metrics_path.empty() ||
+                              !attribution_path.empty();
   core::Runtime runtime(options);
 
   core::TaskConfig tc;
@@ -143,6 +150,23 @@ core::OverheadSummary run_one(int np, BackgroundLoad::Kind load, int jobs,
             .is_ok()) {
       std::printf("[telemetry] metrics -> %s\n", metrics_path.c_str());
     }
+    if (!attribution_path.empty()) {
+      obs::AttributionOptions aoptions;
+      if (fault::Injector* injector = fault::active_injector()) {
+        aoptions.fault_fires = injector->fire_log();
+      }
+      const auto report = obs::attribute_jobs(snapshot, aoptions);
+      std::FILE* f = std::fopen(attribution_path.c_str(), "w");
+      if (f != nullptr) {
+        const std::string json = report.to_json();
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("[attribution] %zu jobs -> %s\n", report.jobs.size(),
+                    attribution_path.c_str());
+      }
+      std::printf("%s", report.to_ascii().c_str());
+    }
   }
   return report.tasks[0].overheads;
 }
@@ -162,17 +186,20 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
   std::string json_path;
+  std::string attribution_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
       metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--attribution") == 0 && i + 1 < argc) {
+      attribution_path = argv[++i];
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--trace out.json] [--metrics out.prom] "
-                   "[--json out.json]\n",
+                   "[--attribution out.json] [--json out.json]\n",
                    argv[0]);
       return 2;
     }
@@ -206,7 +233,8 @@ int main(int argc, char** argv) {
       const bool instrumented =
           np == 4 && load == BackgroundLoad::Kind::kNone;
       const auto oh = instrumented
-                          ? run_one(np, load, kJobs, trace_path, metrics_path)
+                          ? run_one(np, load, kJobs, trace_path, metrics_path,
+                                    attribution_path)
                           : run_one(np, load, kJobs);
       table.add_row({BackgroundLoad::name(load), std::to_string(np),
                      common::format_double(oh.delta_m.mean, 1),

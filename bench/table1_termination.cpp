@@ -11,7 +11,12 @@
 //
 // The periodic-check row uses a body that polls every ~25 ms, showing the
 // QoS degradation the paper attributes to coarse polling.
+//
+// Flags: --json out.json   machine-readable rows (latency percentiles +
+//                          the two Table I booleans per strategy)
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -87,7 +92,16 @@ Row measure(core::TerminationStrategy strategy, int jobs) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json out.json]\n", argv[0]);
+      return 2;
+    }
+  }
   constexpr int kJobs = 30;
   std::printf(
       "=== Table I: implementation of the termination of parallel optional "
@@ -118,6 +132,34 @@ int main() {
   const bool ok = rows[0].any_time && rows[0].mask_restored &&
                   !rows[1].any_time && rows[2].any_time &&
                   !rows[2].mask_restored;
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 2;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"table1_termination\",\n"
+                 "  \"jobs\": %d,\n  \"matches_paper\": %s,\n"
+                 "  \"rows\": [\n",
+                 kJobs, ok ? "true" : "false");
+    const size_t n = sizeof(rows) / sizeof(rows[0]);
+    for (size_t i = 0; i < n; ++i) {
+      const auto& s = rows[i].latency_us;
+      std::fprintf(f,
+                   "    {\"implementation\": \"%s\", \"any_time\": %s, "
+                   "\"mask_restored\": %s,\n     \"latency_us\": "
+                   "{\"count\": %zu, \"mean\": %.3f, \"p50\": %.3f, "
+                   "\"p90\": %.3f, \"p99\": %.3f, \"max\": %.3f}}%s\n",
+                   rows[i].name.c_str(), rows[i].any_time ? "true" : "false",
+                   rows[i].mask_restored ? "true" : "false", s.count, s.mean,
+                   s.p50, s.p90, s.p99, s.max, i + 1 < n ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("[json] results -> %s\n", json_path.c_str());
+  }
   std::printf("\n[shape check] %s\n",
               ok ? "all three rows match the paper's Table I"
                  : "FAILED: some row diverges from the paper's Table I");

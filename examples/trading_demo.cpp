@@ -20,6 +20,11 @@
 //                       stalls/deaths, EINTR storms) for that seed, with
 //                       the supervisor + watchdog + breaker enabled — the
 //                       session must still complete every job
+//   --flight-record     keep an always-on flight recorder (last 256 events
+//                       per thread); on a budget abort, supervisor kill,
+//                       breaker trip, or fatal signal the recent history is
+//                       dumped to flight-trading-<reason>-<n>.json
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,16 +34,33 @@
 #include "core/runtime.hpp"
 #include "core/trace_export.hpp"
 #include "fault/injector.hpp"
+#include "obs/attribution.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/perfetto_export.hpp"
 #include "obs/prometheus_export.hpp"
 #include "trading/trading_task.hpp"
 
 using namespace rtseed;
 
+namespace {
+
+// Fatal-signal path of --flight-record: dump the recent history, then die
+// with the default disposition.  The dump allocates (not async-signal-
+// safe); the process is crashing anyway, so a rare secondary fault only
+// costs us the dump.
+void flight_dump_and_reraise(int signo) {
+  obs::flight_trigger(signo == SIGSEGV ? "sigsegv" : "sigabrt");
+  std::signal(signo, SIG_DFL);
+  std::raise(signo);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
   bool chaos = false;
+  bool flight_record = false;
   common::u64 chaos_seed = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
@@ -48,10 +70,12 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--chaos") == 0 && i + 1 < argc) {
       chaos = true;
       chaos_seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--flight-record") == 0) {
+      flight_record = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--trace out.json] [--metrics out.prom] "
-                   "[--chaos seed]\n",
+                   "[--chaos seed] [--flight-record]\n",
                    argv[0]);
       return 2;
     }
@@ -92,7 +116,17 @@ int main(int argc, char** argv) {
   core::RuntimeOptions options;
   options.policy = core::AssignmentPolicy::kOneByOne;
   // Live telemetry costs nothing unless requested.
-  options.telemetry.enabled = !trace_path.empty() || !metrics_path.empty();
+  options.telemetry.enabled =
+      !trace_path.empty() || !metrics_path.empty() || flight_record;
+  if (flight_record) {
+    options.telemetry.flight.enabled = true;
+    options.telemetry.flight.tag = "trading";
+    std::signal(SIGSEGV, &flight_dump_and_reraise);
+    std::signal(SIGABRT, &flight_dump_and_reraise);
+    std::printf("flight recorder on: last %zu events/thread, dumps to "
+                "flight-trading-<reason>-<n>.json\n",
+                options.telemetry.flight.events_per_thread);
+  }
   std::unique_ptr<fault::ScopedInjector> injector;
   if (chaos) {
     // Seed-driven fault injection plus the full resilience stack; any
@@ -180,6 +214,17 @@ int main(int argc, char** argv) {
               broker.num_fills(), broker.position(), broker.equity(),
               broker.equity() - 100000.0);
   std::printf("\nmiddleware report:\n%s", report.to_string().c_str());
+  if (runtime.telemetry() != nullptr) {
+    // Per-job root causes: every miss and every cut-short optional part
+    // gets a named reason (obs/attribution.hpp).
+    obs::AttributionOptions aoptions;
+    if (fault::Injector* active = fault::active_injector()) {
+      aoptions.fault_fires = active->fire_log();
+    }
+    const auto attribution =
+        obs::attribute_jobs(runtime.telemetry_snapshot(), aoptions);
+    std::printf("\nattribution:\n%s", attribution.to_ascii().c_str());
+  }
   if (injector) {
     std::printf("\ninjected faults (seed %llu):\n",
                 static_cast<unsigned long long>(chaos_seed));

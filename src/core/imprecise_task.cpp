@@ -6,6 +6,7 @@
 
 #include "common/rt_logger.hpp"
 #include "fault/injector.hpp"
+#include "obs/flight_recorder.hpp"
 #include "rt/futex.hpp"
 #include "rt/periodic_clock.hpp"
 
@@ -82,17 +83,22 @@ void ImpreciseTask::emit(obs::EventKind kind, JobId job, common::i32 arg) {
 
 void ImpreciseTask::record_overheads(const JobRecord& rec) {
   if (task_metrics_.delta_m == nullptr) return;
-  task_metrics_.delta_m->record(common::to_micros(rec.delta_m()));
+  // Tail histograms record nanoseconds (JobRecord timestamps are ns).
+  task_metrics_.delta_m->record(static_cast<common::u64>(rec.delta_m()));
   if (rec.optionals_ran) {
-    task_metrics_.delta_b->record(common::to_micros(rec.delta_b()));
+    task_metrics_.delta_b->record(static_cast<common::u64>(rec.delta_b()));
     if (rec.first_optional_start > 0) {
-      task_metrics_.delta_s->record(common::to_micros(rec.delta_s()));
+      task_metrics_.delta_s->record(static_cast<common::u64>(rec.delta_s()));
     }
     // Δe is only meaningful when at least one part overran its deadline
     // and had to be terminated (JobRecord::delta_e()).
     if (rec.optional_terminated > 0) {
-      task_metrics_.delta_e->record(common::to_micros(rec.delta_e()));
+      task_metrics_.delta_e->record(static_cast<common::u64>(rec.delta_e()));
     }
+  }
+  if (rec.windup_end >= rec.release) {
+    task_metrics_.response_time->record(
+        static_cast<common::u64>(rec.windup_end - rec.release));
   }
 }
 
@@ -209,6 +215,9 @@ bool ImpreciseTask::handle_budget_overrun(fault::BudgetPart part,
   if (abort) {
     rec.aborted = true;
     if (task_metrics_.jobs_aborted) task_metrics_.jobs_aborted->increment();
+    // The job is being cut short: preserve the recent event history
+    // before the abort path tears the in-flight state down.
+    obs::flight_trigger("budget-overrun");
   }
   if (overrun_observer_) {
     if (!run_guarded("overrun-observer", config_.params.name.c_str(),
@@ -364,6 +373,9 @@ void ImpreciseTask::run_one_job(JobId job_index, Nanos release) {
       if (task_metrics_.breaker_transitions) {
         task_metrics_.breaker_transitions->increment();
       }
+      if (kind == obs::EventKind::kBreakerTrip) {
+        obs::flight_trigger("breaker-trip");
+      }
       common::global_logger().warn(
           "%s: breaker %s -> %s (shed level %d, miss rate %.2f)",
           params.name.c_str(), fault::breaker_state_name(tr->from),
@@ -383,7 +395,14 @@ void ImpreciseTask::run_one_job(JobId job_index, Nanos release) {
     task_metrics_.jobs_completed->increment();
   }
   if (!rec.deadline_met) {
-    emit(obs::EventKind::kDeadlineMiss, job_index);
+    // arg carries the lateness in microseconds so the attribution layer
+    // can tell whether a single phase (e.g. wake latency) explains the
+    // whole miss without needing the task parameters.
+    const auto lateness_us = std::min<common::i64>(
+        (rec.windup_end - rec.deadline) / 1000,
+        std::numeric_limits<common::i32>::max());
+    emit(obs::EventKind::kDeadlineMiss, job_index,
+         static_cast<common::i32>(lateness_us));
     if (task_metrics_.deadline_misses) {
       task_metrics_.deadline_misses->increment();
     }

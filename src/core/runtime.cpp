@@ -3,14 +3,29 @@
 #include <cstdio>
 
 #include "common/rt_logger.hpp"
+#include "fault/injector.hpp"
 #include "rt/memory_lock.hpp"
 
 namespace rtseed::core {
+
+namespace {
+
+common::u64 telemetry_clock_thunk(void* ctx) {
+  return static_cast<obs::Telemetry*>(ctx)->now();
+}
+
+}  // namespace
 
 Runtime::Runtime(RuntimeOptions options) : options_(std::move(options)) {
   if (options_.telemetry.enabled) {
     telemetry_ = std::make_unique<obs::Telemetry>(options_.telemetry);
     control_trace_ = telemetry_->register_thread("runtime");
+    // Stamp injector fire records with the event stream's clock so the
+    // attribution join (obs/attribution.hpp) shares one time base.
+    if (fault::Injector* injector = fault::active_injector()) {
+      injector->set_timestamp_source(&telemetry_clock_thunk,
+                                     telemetry_.get());
+    }
   }
 }
 

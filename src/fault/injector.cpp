@@ -1,5 +1,6 @@
 #include "fault/injector.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/rng.hpp"
@@ -99,12 +100,37 @@ bool Injector::fire(InjectPoint point) {
       }
       if (state.fired.compare_exchange_weak(fired, fired + 1,
                                             std::memory_order_relaxed)) {
+        log_fire(point);
         return true;
       }
     }
   }
   state.fired.fetch_add(1, std::memory_order_relaxed);
+  log_fire(point);
   return true;
+}
+
+void Injector::log_fire(InjectPoint point) {
+  const common::u64 i = log_next_.fetch_add(1, std::memory_order_relaxed);
+  if (i >= kFireLogCapacity) return;  // counted but no longer logged
+  auto& slot = log_[static_cast<common::usize>(i)];
+  const TimestampFn fn = ts_fn_.load(std::memory_order_acquire);
+  slot.rec.timestamp = fn != nullptr ? fn(ts_ctx_) : 0;
+  slot.rec.point = point;
+  slot.stamp.store(i + 1, std::memory_order_release);
+}
+
+std::vector<FireRecord> Injector::fire_log() const {
+  const common::u64 n = std::min<common::u64>(
+      log_next_.load(std::memory_order_acquire), kFireLogCapacity);
+  std::vector<FireRecord> out;
+  out.reserve(static_cast<common::usize>(n));
+  for (common::u64 i = 0; i < n; ++i) {
+    const auto& slot = log_[static_cast<common::usize>(i)];
+    if (slot.stamp.load(std::memory_order_acquire) != i + 1) continue;
+    out.push_back(slot.rec);
+  }
+  return out;
 }
 
 common::u64 Injector::total_injected() const {

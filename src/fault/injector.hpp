@@ -20,6 +20,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <vector>
 
 #include "common/time.hpp"
 #include "common/types.hpp"
@@ -67,6 +68,15 @@ struct InjectorConfig {
   static InjectorConfig chaos(std::uint64_t seed, double r = 0.05);
 };
 
+/// One injected fault, timestamped for the attribution join
+/// (obs::attribute_jobs matches fires against job windows).  The
+/// timestamp comes from the installed timestamp source — the telemetry
+/// clock when the runtime wired one up, 0 otherwise.
+struct FireRecord {
+  common::u64 timestamp = 0;
+  InjectPoint point = InjectPoint::kLostWake;
+};
+
 class Injector {
  public:
   explicit Injector(InjectorConfig config);
@@ -77,6 +87,21 @@ class Injector {
   /// Draws the next sequence number of `point` and decides whether this
   /// evaluation fires.  Wait-free (one fetch_add + hash).
   bool fire(InjectPoint point);
+
+  /// Stamps FireRecords with `fn(ctx)` (e.g. the telemetry clock so fires
+  /// join the event stream's time base).  Install on a setup path, before
+  /// threads reach injection points.  `ctx` must outlive the injector's
+  /// installed window.
+  using TimestampFn = common::u64 (*)(void* ctx);
+  void set_timestamp_source(TimestampFn fn, void* ctx) {
+    ts_ctx_ = ctx;
+    ts_fn_.store(fn, std::memory_order_release);
+  }
+
+  /// Snapshot of the fires recorded so far, in firing order.  The log is
+  /// bounded (kFireLogCapacity); fires past that are counted but not
+  /// logged.
+  std::vector<FireRecord> fire_log() const;
 
   common::u64 injected(InjectPoint point) const {
     return points_[static_cast<int>(point)].fired.load(
@@ -90,6 +115,8 @@ class Injector {
 
   const InjectorConfig& config() const { return config_; }
 
+  static constexpr common::usize kFireLogCapacity = 4096;
+
  private:
   struct PointState {
     std::atomic<common::u64> seq{0};
@@ -97,8 +124,23 @@ class Injector {
     common::u64 threshold = 0;  ///< fire when hash < threshold
   };
 
+  void log_fire(InjectPoint point);
+
   InjectorConfig config_;
   std::array<PointState, kNumInjectPoints> points_;
+
+  // Multi-producer append-only fire log: each fire claims a slot with one
+  // fetch_add and writes it unshared, then publishes it by storing the
+  // slot's stamp (index + 1) with release.  fire_log() skips slots whose
+  // stamp is not yet visible, so it never reads a half-written record.
+  struct LogSlot {
+    std::atomic<common::u64> stamp{0};
+    FireRecord rec;
+  };
+  std::array<LogSlot, kFireLogCapacity> log_;
+  std::atomic<common::u64> log_next_{0};
+  std::atomic<TimestampFn> ts_fn_{nullptr};
+  void* ts_ctx_ = nullptr;
 };
 
 namespace detail {

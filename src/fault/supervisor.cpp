@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/rt_logger.hpp"
+#include "obs/flight_recorder.hpp"
 #include "rt/futex.hpp"
 
 namespace rtseed::fault {
@@ -151,6 +152,7 @@ void Supervisor::scan(PoolWatch& watch, Nanos now) {
         }
         common::global_logger().warn("supervisor: killed stuck worker %d of %s", k,
                         watch.name.c_str());
+        obs::flight_trigger("supervisor-kill");
       }
       ww.killed = true;
     }

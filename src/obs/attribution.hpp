@@ -1,0 +1,125 @@
+// Deadline-miss attribution: from raw event rings to answered questions.
+//
+// The event schema (obs/trace_event.hpp) records WHAT happened; this layer
+// reconstructs per-job timelines out of the drained rings and answers WHY:
+// it decomposes each job's response time into phases (wake latency,
+// mandatory body, hand-off, optional execution, wind-up, stolen time) and
+// classifies every deadline miss and every optional-part termination with
+// a root cause, joining the obs stream with src/fault records (injector
+// fire log, supervisor kills, budget overruns, breaker sheds).
+//
+// Attribution is pure post-processing: it runs on a TelemetrySnapshot
+// copy, never touches the live rings, and works identically on native
+// (TSC) and simulated (virtual-nanosecond) runs — the JSON it emits uses
+// one schema ("rtseed-attribution-v1") for both, which the test suite
+// checks key-for-key.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "fault/injector.hpp"
+#include "obs/telemetry.hpp"
+
+namespace rtseed::obs {
+
+/// Why a job missed its deadline or had optional parts cut short.  The
+/// classifier assigns the MOST SPECIFIC cause whose evidence is present
+/// (top of this list wins); kUnknown is reserved for incomplete timelines
+/// (ring overflow dropped the job's events), never for "no idea".
+enum class RootCause : common::u8 {
+  kNone = 0,        ///< nothing to explain (met deadline / nothing cut)
+  kInjectedFault,   ///< a chaos-injector fault fired inside the job window
+  kSupervisorKill,  ///< the supervisor killed a stalled optional worker
+  kBudgetOverrun,   ///< the budget watchdog fired during the job
+  kCircuitBreakerShed,  ///< the overload breaker withheld optional parts
+  kClockAnomaly,    ///< the periodic clock misbehaved in the window
+  kMandatoryOverrun,    ///< mandatory ran past OD; optionals were discarded
+  kOptionalOverrun,     ///< optionals terminated at OD (normal imprecise op)
+  kWakeLatency,     ///< release-to-mandatory wake latency explains the miss
+  kPreempted,       ///< time stolen by higher-priority work explains it
+  kOverload,        ///< residual: demand simply exceeded the budget
+  kUnknown,         ///< incomplete timeline (events were dropped)
+  kCount,
+};
+
+inline constexpr int kNumRootCauses = static_cast<int>(RootCause::kCount);
+
+const char* root_cause_name(RootCause cause);
+
+/// Response-time decomposition, nanoseconds.  The phases are disjoint and
+/// (up to clamping) sum to `response`; `preempted` is the residual the
+/// other phases do not account for — time the job was runnable but not
+/// running.
+struct PhaseBreakdown {
+  common::i64 wake = 0;           ///< release -> first mandatory-begin
+  common::i64 mandatory = 0;      ///< Σ mandatory slices (sim: preemptible)
+  common::i64 handoff = 0;        ///< Σ signal slices (the Δb window)
+  common::i64 optional = 0;       ///< first optional-begin -> last close
+  common::i64 optional_wait = 0;  ///< last close -> windup-begin (OD wait)
+  common::i64 windup = 0;         ///< Σ wind-up slices
+  common::i64 preempted = 0;      ///< residual stolen time (clamped >= 0)
+  common::i64 response = 0;       ///< release -> wind-up end
+};
+
+/// One job, reconstructed from the event stream.
+struct JobTimeline {
+  common::TaskId task = common::kInvalidTask;
+  common::JobId job = 0;
+  common::u64 release = 0;  ///< raw clock value (TSC ticks or virtual ns)
+  common::u64 finish = 0;   ///< raw clock value of wind-up end / job finish
+  bool complete = false;    ///< release and finish both observed
+  bool missed = false;
+  common::i64 lateness_ns = 0;  ///< from the kDeadlineMiss event arg
+  int optional_started = 0;
+  int optional_completed = 0;
+  int optional_terminated = 0;  ///< cut at the optional deadline
+  int shed_parts = 0;           ///< withheld by the circuit breaker
+  bool optionals_discarded = false;
+  bool budget_overrun = false;
+  bool supervisor_kill = false;
+  bool clock_anomaly = false;
+  bool injected_fault = false;  ///< an injector fire landed in the window
+  PhaseBreakdown phases;
+  RootCause miss_cause = RootCause::kNone;
+  RootCause termination_cause = RootCause::kNone;
+};
+
+/// Per-task rollup: job counts plus cause histograms.
+struct TaskAttribution {
+  common::TaskId task = common::kInvalidTask;
+  std::string name;
+  long jobs = 0;
+  long complete_jobs = 0;
+  long misses = 0;
+  long terminations = 0;  ///< jobs with >= 1 optional part cut short
+  std::array<long, kNumRootCauses> miss_causes{};
+  std::array<long, kNumRootCauses> termination_causes{};
+};
+
+struct AttributionOptions {
+  /// Injector fire log (fault::Injector::fire_log()), stamped in the SAME
+  /// clock domain as the snapshot (Runtime installs the telemetry clock as
+  /// the injector's timestamp source).  Empty when no chaos ran.
+  std::vector<fault::FireRecord> fault_fires;
+};
+
+struct AttributionReport {
+  ClockDomain clock = ClockDomain::kTsc;
+  common::u64 dropped_events = 0;  ///< ring overflow across all threads
+  std::vector<JobTimeline> jobs;   ///< ordered by (task, job)
+  std::vector<TaskAttribution> tasks;
+
+  /// Self-contained JSON document, schema "rtseed-attribution-v1".
+  std::string to_json() const;
+  /// Human-readable cause table (common::Table).
+  std::string to_ascii() const;
+};
+
+/// Assembles timelines and classifies every miss and termination.
+AttributionReport attribute_jobs(const TelemetrySnapshot& snapshot,
+                                 const AttributionOptions& options = {});
+
+}  // namespace rtseed::obs

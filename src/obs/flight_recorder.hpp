@@ -1,0 +1,130 @@
+// Always-on flight recorder: the last N events per thread, pre-allocated,
+// dumped when something dies.
+//
+// The trace rings (obs/TraceBuffer) are sized for full-run capture and
+// drained by snapshots; when the process aborts mid-run the most recent —
+// most interesting — events are exactly the ones nobody drained.  The
+// flight recorder keeps a small overwrite-oldest ring per thread that
+// mirrors every emitted event (one predictable branch + one store on the
+// hot path) and serialises the lot to a self-contained JSON file when a
+// fault hook fires: budget-watchdog abort, supervisor kill escalation,
+// circuit-breaker trip, or a fatal signal (trading_demo --flight-record).
+//
+// Dump-side reads race with live producers by design — a crash dump
+// tolerates a torn event at the write head; everything behind it is
+// quiescent history.  Triggering is rate-limited (max_dumps) so a fault
+// storm cannot fill the disk.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "obs/trace_event.hpp"
+
+namespace rtseed::obs {
+
+/// Fixed-capacity overwrite-oldest event ring.  Single producer (the
+/// owning thread); any thread may read a best-effort copy at dump time.
+class FlightRing {
+ public:
+  /// `capacity` must be a power of two >= 2.
+  FlightRing(std::string name, common::usize capacity)
+      : name_(std::move(name)), mask_(capacity - 1), slots_(capacity) {}
+
+  FlightRing(const FlightRing&) = delete;
+  FlightRing& operator=(const FlightRing&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Producer side: overwrite the oldest slot, never block, never drop.
+  void record(const TraceEvent& event) {
+    const auto i = head_.fetch_add(1, std::memory_order_relaxed);
+    slots_[static_cast<common::usize>(i) & mask_] = event;
+  }
+
+  /// Dump side: oldest-to-newest best-effort copy (the slot at the write
+  /// head may be torn if the producer is mid-store — acceptable at crash
+  /// time).
+  std::vector<TraceEvent> recent() const;
+
+  common::u64 recorded() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const std::string name_;
+  const common::usize mask_;
+  std::atomic<common::u64> head_{0};
+  std::vector<TraceEvent> slots_;
+};
+
+struct FlightRecorderOptions {
+  bool enabled = false;
+  /// Ring depth per thread (rounded up to a power of two).  Small on
+  /// purpose: the recorder keeps recent history, not the whole run.
+  common::usize events_per_thread = 256;
+  std::string dump_dir = ".";
+  std::string tag = "rtseed";
+  /// Hard cap on dump files per process — a fault storm must not fill
+  /// the disk.
+  int max_dumps = 4;
+};
+
+class FlightRecorder {
+ public:
+  /// `clock_name` labels the dump's timestamps ("tsc"/"monotonic"/
+  /// "virtual") so the file is interpretable on its own.
+  FlightRecorder(FlightRecorderOptions options, std::string clock_name);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Registers a per-thread ring (setup path: mutex + allocation).  The
+  /// ring stays valid for the recorder's lifetime.
+  FlightRing* register_thread(std::string name);
+
+  /// Serialises every ring to <dump_dir>/flight-<tag>-<reason>-<n>.json.
+  /// Safe from any thread; returns the path, or "" when rate-limited or
+  /// the write failed.  NOT async-signal-safe (allocates) — a signal-path
+  /// caller is already crashing and accepts the risk.
+  std::string trigger(const std::string& reason);
+
+  /// The dump document without touching the filesystem (tests, --stdout).
+  std::string render_json(const std::string& reason) const;
+
+  int dumps() const { return dumps_.load(std::memory_order_relaxed); }
+  const FlightRecorderOptions& options() const { return options_; }
+
+ private:
+  const FlightRecorderOptions options_;
+  const std::string clock_name_;
+  mutable std::mutex mutex_;  ///< guards rings_ growth, not ring contents
+  std::vector<std::unique_ptr<FlightRing>> rings_;
+  std::atomic<int> dumps_{0};
+};
+
+namespace detail {
+extern std::atomic<FlightRecorder*> g_flight_recorder;
+}  // namespace detail
+
+/// Installs (or, with nullptr, removes) the process-wide recorder used by
+/// the fault hooks.  Not an ownership transfer; the recorder must outlive
+/// any thread that may trigger a dump.
+void install_flight_recorder(FlightRecorder* recorder);
+
+inline FlightRecorder* active_flight_recorder() {
+  return detail::g_flight_recorder.load(std::memory_order_acquire);
+}
+
+/// The fault-hook gate: one relaxed load + untaken branch when no
+/// recorder is installed (same discipline as fault::try_fire).
+inline void flight_trigger(const char* reason) {
+  FlightRecorder* recorder = active_flight_recorder();
+  if (recorder != nullptr) (void)recorder->trigger(reason);
+}
+
+}  // namespace rtseed::obs

@@ -1,0 +1,136 @@
+#include "obs/hdr_histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace rtseed::obs {
+
+namespace {
+
+int msb_position(common::u64 v) {
+#if defined(__GNUC__) || defined(__clang__)
+  return 63 - __builtin_clzll(v);
+#else
+  int pos = 0;
+  while (v >>= 1) ++pos;
+  return pos;
+#endif
+}
+
+}  // namespace
+
+common::usize HdrHistogram::bucket_index(common::u64 value) {
+  if (value < 2 * kSubBucketCount) return static_cast<common::usize>(value);
+  const int shift = msb_position(value) - kSubBucketBits;
+  // top is in [kSubBucketCount, 2*kSubBucketCount).
+  const common::u64 top = value >> shift;
+  return static_cast<common::usize>(shift) * kSubBucketCount +
+         static_cast<common::usize>(top);
+}
+
+common::u64 HdrHistogram::bucket_lo(common::usize index) {
+  if (index < 2 * kSubBucketCount) return index;
+  const common::usize shift = index / kSubBucketCount - 1;
+  const common::u64 top = kSubBucketCount + index % kSubBucketCount;
+  return top << shift;
+}
+
+common::u64 HdrHistogram::bucket_hi(common::usize index) {
+  if (index < 2 * kSubBucketCount) return index + 1;
+  const common::usize shift = index / kSubBucketCount - 1;
+  return bucket_lo(index) + (common::u64{1} << shift);
+}
+
+void HdrHistogram::record(common::u64 value) {
+  counts_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  common::u64 seen = min_.load(std::memory_order_relaxed);
+  while (value < seen && !min_.compare_exchange_weak(
+                             seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen && !max_.compare_exchange_weak(
+                             seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+void HdrHistogram::record(double value) {
+  if (value <= 0.0) {
+    record(common::u64{0});
+    return;
+  }
+  record(static_cast<common::u64>(std::llround(value)));
+}
+
+void HdrHistogram::merge(const HdrHistogram& other) {
+  for (common::usize i = 0; i < kNumBuckets; ++i) {
+    const auto n = other.counts_[i].load(std::memory_order_relaxed);
+    if (n != 0) counts_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+  const auto other_min = other.min_.load(std::memory_order_relaxed);
+  common::u64 seen = min_.load(std::memory_order_relaxed);
+  while (other_min < seen && !min_.compare_exchange_weak(
+                                 seen, other_min, std::memory_order_relaxed)) {
+  }
+  const auto other_max = other.max_.load(std::memory_order_relaxed);
+  seen = max_.load(std::memory_order_relaxed);
+  while (other_max > seen && !max_.compare_exchange_weak(
+                                 seen, other_max, std::memory_order_relaxed)) {
+  }
+}
+
+double HdrHistogram::mean() const {
+  const auto n = count();
+  return n == 0 ? 0.0
+                : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+common::u64 HdrHistogram::min_value() const {
+  return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+}
+
+common::u64 HdrHistogram::max_value() const {
+  return max_.load(std::memory_order_relaxed);
+}
+
+common::u64 HdrHistogram::percentile(double q) const {
+  const auto n = count();
+  if (n == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q >= 1.0) return max_value();
+  const auto target = static_cast<common::u64>(
+      std::ceil(q * static_cast<double>(n)));
+  common::u64 cumulative = 0;
+  for (common::usize i = 0; i < kNumBuckets; ++i) {
+    cumulative += counts_[i].load(std::memory_order_relaxed);
+    if (cumulative >= target && cumulative > 0) {
+      return (bucket_lo(i) + bucket_hi(i) - 1) / 2;
+    }
+  }
+  return max_value();
+}
+
+common::usize HdrHistogram::highest_bucket() const {
+  for (common::usize i = kNumBuckets; i > 0; --i) {
+    if (counts_[i - 1].load(std::memory_order_relaxed) != 0) return i;
+  }
+  return 0;
+}
+
+std::string HdrHistogram::tail_summary() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.1f p50=%llu p99=%llu p99.9=%llu max=%llu",
+                static_cast<unsigned long long>(count()), mean(),
+                static_cast<unsigned long long>(percentile(0.50)),
+                static_cast<unsigned long long>(percentile(0.99)),
+                static_cast<unsigned long long>(percentile(0.999)),
+                static_cast<unsigned long long>(max_value()));
+  return buf;
+}
+
+}  // namespace rtseed::obs

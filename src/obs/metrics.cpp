@@ -11,6 +11,7 @@ const char* metric_type_name(MetricType type) {
     case MetricType::kGauge:
       return "gauge";
     case MetricType::kHistogram:
+    case MetricType::kHdrHistogram:
       return "histogram";
   }
   return "?";
@@ -125,6 +126,25 @@ Histogram* MetricsRegistry::histogram(const std::string& name,
   slot->entry = {name, help, MetricType::kHistogram, std::move(labels),
                  nullptr, nullptr, slot->histogram.get()};
   auto* out = slot->entry.histogram;
+  slots_.push_back(std::move(slot));
+  return out;
+}
+
+HdrHistogram* MetricsRegistry::hdr_histogram(const std::string& name,
+                                             const std::string& help,
+                                             Labels labels) {
+  std::lock_guard lock(mutex_);
+  if (auto* slot = find_locked(name, labels, MetricType::kHdrHistogram)) {
+    return slot->entry.hdr;
+  }
+  auto slot = std::make_unique<Slot>();
+  slot->hdr = std::make_unique<HdrHistogram>();
+  slot->entry.name = name;
+  slot->entry.help = help;
+  slot->entry.type = MetricType::kHdrHistogram;
+  slot->entry.labels = std::move(labels);
+  slot->entry.hdr = slot->hdr.get();
+  auto* out = slot->entry.hdr;
   slots_.push_back(std::move(slot));
   return out;
 }

@@ -19,14 +19,16 @@
 
 #include "common/histogram.hpp"
 #include "common/types.hpp"
+#include "obs/hdr_histogram.hpp"
 
 namespace rtseed::obs {
 
 /// Prometheus-style key/value labels, e.g. {{"task", "tau1"}}.
 using Labels = std::vector<std::pair<std::string, std::string>>;
 
-enum class MetricType { kCounter, kGauge, kHistogram };
+enum class MetricType { kCounter, kGauge, kHistogram, kHdrHistogram };
 
+/// Prometheus-facing TYPE name (kHdrHistogram renders as "histogram").
 const char* metric_type_name(MetricType type);
 
 /// Monotonically increasing count.
@@ -126,6 +128,10 @@ class MetricsRegistry {
   Histogram* histogram(const std::string& name, const std::string& help,
                        double lo, double hi, common::usize buckets,
                        Labels labels = {});
+  /// Log-bucketed tail-latency histogram (obs::HdrHistogram): no range to
+  /// configure; latency-class metrics record nanoseconds.
+  HdrHistogram* hdr_histogram(const std::string& name,
+                              const std::string& help, Labels labels = {});
 
   struct Entry {
     std::string name;
@@ -136,6 +142,7 @@ class MetricsRegistry {
     Counter* counter = nullptr;
     Gauge* gauge = nullptr;
     Histogram* histogram = nullptr;
+    HdrHistogram* hdr = nullptr;
   };
 
   /// Stable snapshot of the registered instruments (the pointers stay
@@ -150,6 +157,7 @@ class MetricsRegistry {
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
+    std::unique_ptr<HdrHistogram> hdr;
   };
 
   Slot* find_locked(const std::string& name, const Labels& labels,

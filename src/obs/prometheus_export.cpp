@@ -50,8 +50,16 @@ std::string label_block(const Labels& labels) {
 
 void render_histogram(std::string& out, const MetricsRegistry::Entry& entry) {
   const auto* h = entry.histogram;
-  // Cumulative buckets.  The linear buckets cover [lo, hi); everything at
-  // or above hi is only visible through the +Inf bucket (and _sum).
+  // Cumulative buckets.  Out-of-range samples must stay visible: the
+  // lowest bucket (le = lo) carries exactly the underflow count, and
+  // everything at or above hi appears in the +Inf bucket (its count
+  // exceeds the last linear bucket by the overflow count).
+  {
+    Labels labels = entry.labels;
+    labels.emplace_back("le", format_value(h->bucket_lo(0)));
+    out += entry.name + "_bucket" + label_block(labels) + " " +
+           std::to_string(h->underflow()) + "\n";
+  }
   common::u64 cumulative = h->underflow();
   for (common::usize i = 0; i < h->bucket_count(); ++i) {
     cumulative += h->bucket(i);
@@ -66,6 +74,34 @@ void render_histogram(std::string& out, const MetricsRegistry::Entry& entry) {
          std::to_string(h->count()) + "\n";
   out += entry.name + "_sum" + label_block(entry.labels) + " " +
          format_value(h->sum()) + "\n";
+  out += entry.name + "_count" + label_block(entry.labels) + " " +
+         std::to_string(h->count()) + "\n";
+}
+
+// Log-bucketed tail histogram: only non-empty buckets get an le entry
+// (the full geometry is ~2k buckets), which is valid Prometheus — the
+// cumulative counts stay monotone over any le subset.
+void render_hdr_histogram(std::string& out,
+                          const MetricsRegistry::Entry& entry) {
+  const auto* h = entry.hdr;
+  const common::usize end = h->highest_bucket();
+  common::u64 cumulative = 0;
+  for (common::usize i = 0; i < end; ++i) {
+    const common::u64 n = h->bucket(i);
+    if (n == 0) continue;
+    cumulative += n;
+    Labels labels = entry.labels;
+    labels.emplace_back(
+        "le", std::to_string(HdrHistogram::bucket_hi(i) - 1));
+    out += entry.name + "_bucket" + label_block(labels) + " " +
+           std::to_string(cumulative) + "\n";
+  }
+  Labels inf_labels = entry.labels;
+  inf_labels.emplace_back("le", "+Inf");
+  out += entry.name + "_bucket" + label_block(inf_labels) + " " +
+         std::to_string(h->count()) + "\n";
+  out += entry.name + "_sum" + label_block(entry.labels) + " " +
+         std::to_string(h->sum()) + "\n";
   out += entry.name + "_count" + label_block(entry.labels) + " " +
          std::to_string(h->count()) + "\n";
 }
@@ -93,6 +129,9 @@ std::string render_prometheus(const MetricsRegistry& registry) {
         break;
       case MetricType::kHistogram:
         render_histogram(out, entry);
+        break;
+      case MetricType::kHdrHistogram:
+        render_hdr_histogram(out, entry);
         break;
     }
   }

@@ -135,12 +135,27 @@ common::usize round_up_pow2(common::usize n) {
 }  // namespace
 
 Telemetry::Telemetry(TelemetryOptions options) : options_(options) {
+  if (options_.flight.enabled) {
+    flight_ = std::make_unique<FlightRecorder>(
+        options_.flight, clock_domain_name(options_.clock));
+    install_flight_recorder(flight_.get());
+  }
   trace_dropped_total_ = metrics_.counter(
       "rtseed_trace_events_dropped_total",
       "Trace events lost because a per-thread ring was full");
   logger_dropped_total_ = metrics_.counter(
       "rtseed_logger_dropped_total",
       "RtLogger records lost because the log ring was full");
+}
+
+Telemetry::~Telemetry() {
+  // Uninstall only our own recorder: a later Telemetry may have taken the
+  // global slot (the injector install pattern — last wins, owner clears).
+  if (flight_ != nullptr) {
+    FlightRecorder* expected = flight_.get();
+    detail::g_flight_recorder.compare_exchange_strong(
+        expected, nullptr, std::memory_order_acq_rel);
+  }
 }
 
 common::u64 Telemetry::now() const {
@@ -161,7 +176,11 @@ TraceBuffer* Telemetry::register_thread(std::string name, common::CpuId cpu) {
       round_up_pow2(std::max<common::usize>(2, options_.events_per_thread));
   threads_.push_back(
       {std::make_unique<TraceBuffer>(std::move(name), cpu, capacity), {}});
-  return threads_.back().buffer.get();
+  TraceBuffer* buffer = threads_.back().buffer.get();
+  if (flight_ != nullptr) {
+    buffer->set_flight_ring(flight_->register_thread(buffer->thread_name()));
+  }
+  return buffer;
 }
 
 void Telemetry::set_task_name(common::TaskId task, std::string name) {
@@ -221,19 +240,24 @@ TaskMetrics Telemetry::register_task_metrics(
       "rtseed_wake_retries_total",
       "Wakes re-issued by the lost-wake recovery path", task_label);
 
-  // The four middleware overheads of the paper's evaluation, in
-  // microseconds.  Δm/Δb/Δs are thread-wakeup-scale; Δe includes timer
-  // delivery and can reach milliseconds under load.
-  auto overhead = [&](const char* delta, double hi) {
-    return metrics_.histogram(
-        "rtseed_overhead_microseconds",
-        "Middleware overheads (delta-m/b/s/e) per job, microseconds", 0.0,
-        hi, 100, {{"task", task_name}, {"delta", delta}});
+  // The four middleware overheads of the paper's evaluation as
+  // log-bucketed tail histograms in NANOSECONDS: Δm/Δb/Δs are
+  // thread-wakeup-scale, Δe includes timer delivery and can reach
+  // milliseconds under load — one bucket geometry covers both regimes
+  // with ~3% relative error and exact p50/p99/p99.9/max.
+  auto overhead = [&](const char* delta) {
+    return metrics_.hdr_histogram(
+        "rtseed_overhead_nanoseconds",
+        "Middleware overheads (delta-m/b/s/e) per job, nanoseconds",
+        {{"task", task_name}, {"delta", delta}});
   };
-  tm.delta_m = overhead("m", 1000.0);
-  tm.delta_b = overhead("b", 1000.0);
-  tm.delta_s = overhead("s", 1000.0);
-  tm.delta_e = overhead("e", 10000.0);
+  tm.delta_m = overhead("m");
+  tm.delta_b = overhead("b");
+  tm.delta_s = overhead("s");
+  tm.delta_e = overhead("e");
+  tm.response_time = metrics_.hdr_histogram(
+      "rtseed_response_time_nanoseconds",
+      "Job response time (release to wind-up end), nanoseconds", task_label);
   return tm;
 }
 
@@ -282,7 +306,8 @@ std::string Telemetry::summary() {
     out += threads.render();
   }
 
-  common::Table table({"metric", "labels", "value", "p50", "p99"});
+  common::Table table(
+      {"metric", "labels", "value", "p50", "p99", "p99.9", "max"});
   for (const auto& entry : metrics_.entries()) {
     std::string labels;
     for (const auto& [k, v] : entry.labels) {
@@ -292,12 +317,13 @@ std::string Telemetry::summary() {
     switch (entry.type) {
       case MetricType::kCounter:
         table.add_row({entry.name, labels,
-                       std::to_string(entry.counter->value()), "-", "-"});
+                       std::to_string(entry.counter->value()), "-", "-", "-",
+                       "-"});
         break;
       case MetricType::kGauge:
         table.add_row({entry.name, labels,
                        common::format_double(entry.gauge->value(), 3), "-",
-                       "-"});
+                       "-", "-", "-"});
         break;
       case MetricType::kHistogram: {
         const auto h = entry.histogram->materialize();
@@ -305,11 +331,30 @@ std::string Telemetry::summary() {
         const double mean =
             n == 0 ? 0.0
                    : entry.histogram->sum() / static_cast<double>(n);
-        table.add_row({entry.name, labels,
-                       "n=" + std::to_string(n) +
-                           " mean=" + common::format_double(mean, 1),
+        // Out-of-range samples must not disappear from the rendering.
+        std::string value = "n=" + std::to_string(n) +
+                            " mean=" + common::format_double(mean, 1);
+        if (entry.histogram->underflow() > 0) {
+          value += " uf=" + std::to_string(entry.histogram->underflow());
+        }
+        if (entry.histogram->overflow() > 0) {
+          value += " of=" + std::to_string(entry.histogram->overflow());
+        }
+        table.add_row({entry.name, labels, std::move(value),
                        common::format_double(h.percentile(0.50), 1),
-                       common::format_double(h.percentile(0.99), 1)});
+                       common::format_double(h.percentile(0.99), 1),
+                       common::format_double(h.percentile(0.999), 1), "-"});
+        break;
+      }
+      case MetricType::kHdrHistogram: {
+        const auto* h = entry.hdr;
+        table.add_row({entry.name, labels,
+                       "n=" + std::to_string(h->count()) +
+                           " mean=" + common::format_double(h->mean(), 1),
+                       std::to_string(h->percentile(0.50)),
+                       std::to_string(h->percentile(0.99)),
+                       std::to_string(h->percentile(0.999)),
+                       std::to_string(h->max_value())});
         break;
       }
     }

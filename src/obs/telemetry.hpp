@@ -42,6 +42,9 @@ struct TelemetryOptions {
   /// ring fills between snapshots the overflow is dropped and counted.
   common::usize events_per_thread = 16384;
   ClockDomain clock = ClockDomain::kTsc;
+  /// Flight recorder (obs/flight_recorder.hpp): when enabled every
+  /// registered thread mirrors its events into a small crash-dump ring.
+  FlightRecorderOptions flight;
 };
 
 /// Instruments every task registers once at start; pointers are wait-free
@@ -62,10 +65,13 @@ struct TaskMetrics {
   Gauge* breaker_state = nullptr;       ///< 0 closed, 1 open, 2 half-open
   Gauge* breaker_shed_level = nullptr;
   Counter* wake_retries = nullptr;      ///< lost-wake recovery re-wakes
-  Histogram* delta_m = nullptr;  ///< microseconds, Fig. 10
-  Histogram* delta_b = nullptr;  ///< microseconds, Fig. 12
-  Histogram* delta_s = nullptr;  ///< microseconds, Fig. 11
-  Histogram* delta_e = nullptr;  ///< microseconds, Fig. 13
+  // Latency-class metrics are log-bucketed tail histograms recording
+  // NANOSECONDS (exact p50/p99/p99.9/max, no lo/hi range to configure).
+  HdrHistogram* delta_m = nullptr;  ///< nanoseconds, Fig. 10
+  HdrHistogram* delta_b = nullptr;  ///< nanoseconds, Fig. 12
+  HdrHistogram* delta_s = nullptr;  ///< nanoseconds, Fig. 11
+  HdrHistogram* delta_e = nullptr;  ///< nanoseconds, Fig. 13
+  HdrHistogram* response_time = nullptr;  ///< release -> wind-up end, ns
 };
 
 struct ThreadTrace {
@@ -88,6 +94,7 @@ struct TelemetrySnapshot {
 class Telemetry {
  public:
   explicit Telemetry(TelemetryOptions options);
+  ~Telemetry();
 
   Telemetry(const Telemetry&) = delete;
   Telemetry& operator=(const Telemetry&) = delete;
@@ -115,6 +122,11 @@ class Telemetry {
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
 
+  /// The flight recorder, or nullptr when options.flight.enabled is off.
+  /// Owned here and installed process-wide for the fault hooks
+  /// (obs::flight_trigger) for the Telemetry's lifetime.
+  FlightRecorder* flight_recorder() { return flight_.get(); }
+
   /// Drains all rings into the accumulated store, refreshes the mirrored
   /// counters (trace drops, logger drops), and returns a copy of
   /// everything collected since construction.
@@ -129,6 +141,7 @@ class Telemetry {
 
   const TelemetryOptions options_;
   MetricsRegistry metrics_;
+  std::unique_ptr<FlightRecorder> flight_;
   Counter* trace_dropped_total_;
   Counter* logger_dropped_total_;
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/spsc_ring.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/trace_event.hpp"
 
 namespace rtseed::obs {
@@ -30,12 +31,19 @@ class TraceBuffer {
   common::usize capacity() const { return ring_.capacity(); }
 
   /// Producer side (wait-free).  Full ring: the event is dropped and the
-  /// drop counter incremented — real-time producers never block.
+  /// drop counter incremented — real-time producers never block.  With a
+  /// flight ring attached the event is mirrored there too (overwrite-
+  /// oldest, so the mirror never drops and never blocks either).
   void emit(const TraceEvent& event) {
     if (!ring_.try_push(event)) {
       dropped_.fetch_add(1, std::memory_order_relaxed);
     }
+    if (flight_ != nullptr) flight_->record(event);
   }
+
+  /// Attaches the thread's flight-recorder ring (setup path, before the
+  /// thread starts emitting).
+  void set_flight_ring(FlightRing* ring) { flight_ = ring; }
 
   /// Consumer side: removes and returns all pending events.
   std::vector<TraceEvent> drain() {
@@ -54,6 +62,7 @@ class TraceBuffer {
   const std::string thread_name_;
   const common::CpuId cpu_;
   common::SpscRing<TraceEvent> ring_;
+  FlightRing* flight_ = nullptr;
   std::atomic<common::u64> dropped_{0};
 };
 

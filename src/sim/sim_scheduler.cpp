@@ -284,7 +284,11 @@ struct Simulator {
     emit(i, obs::EventKind::kJobFinish, now);
     if (now > s.deadline_time) {
       ++st.misses;
-      emit(i, obs::EventKind::kDeadlineMiss, now);
+      // Same convention as the native middleware: arg = lateness in us.
+      emit(i, obs::EventKind::kDeadlineMiss, now,
+           static_cast<common::i32>(std::min<Nanos>(
+               (now - s.deadline_time) / 1000,
+               std::numeric_limits<common::i32>::max())));
     }
     const Nanos response = now - (s.deadline_time -
                                   tasks[i].effective_deadline());

@@ -70,6 +70,55 @@ TEST(PrometheusExport, HistogramBucketsAreCumulativeWithInf) {
   EXPECT_NE(text.find("# TYPE lat histogram\n"), std::string::npos);
 }
 
+TEST(PrometheusExport, UnderflowIsVisibleInLowestBucket) {
+  // Samples below the linear range must not vanish: the lowest bucket
+  // (le = lo) carries exactly the underflow count, and the cumulative
+  // counts above it include it.
+  MetricsRegistry registry;
+  auto* h = registry.histogram("lat", "latency", 10.0, 30.0, 2);
+  h->record(3.0);   // underflow
+  h->record(5.0);   // underflow
+  h->record(15.0);  // bucket [10,20)
+  const std::string text = render_prometheus(registry);
+  EXPECT_NE(text.find("lat_bucket{le=\"10\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"20\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"30\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_count 3\n"), std::string::npos);
+  EXPECT_EQ(h->underflow(), 2u);
+}
+
+TEST(PrometheusExport, HdrHistogramRendersSparseCumulativeBuckets) {
+  MetricsRegistry registry;
+  auto* h = registry.hdr_histogram("resp_ns", "response time",
+                                   {{"task", "tau1"}});
+  h->record(common::u64{5});  // exact bucket: le = 5
+  h->record(common::u64{5});
+  h->record(common::u64{1000000});
+  const std::string text = render_prometheus(registry);
+  // Exposes as a standard Prometheus histogram, sparse le set, monotone
+  // cumulative counts, exact _sum/_count.
+  EXPECT_NE(text.find("# TYPE resp_ns histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("resp_ns_bucket{task=\"tau1\",le=\"5\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("resp_ns_bucket{task=\"tau1\",le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("resp_ns_sum{task=\"tau1\"} 1000010\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("resp_ns_count{task=\"tau1\"} 3\n"),
+            std::string::npos);
+  // The cumulative count just below +Inf equals the total.
+  EXPECT_NE(text.find("} 3\n"), std::string::npos);
+}
+
+TEST(PrometheusExport, LabelValuesWithSpecialsStayEscaped) {
+  MetricsRegistry registry;
+  registry.counter("c_total", "c", {{"task", "a\"b\\c\nd"}})->add(1);
+  const std::string text = render_prometheus(registry);
+  EXPECT_NE(text.find("c_total{task=\"a\\\"b\\\\c\\nd\"} 1\n"),
+            std::string::npos);
+}
+
 TEST(PrometheusExport, EveryLineIsHeaderOrSample) {
   MetricsRegistry registry;
   registry.counter("c_total", "c")->add(1);

@@ -110,7 +110,7 @@ TEST(Telemetry, EnabledRuntimeEmitsEventsAndMetrics) {
   // The CPU-hog optionals always overrun: Δe must have samples.
   EXPECT_NE(
       prom.find(
-          "rtseed_overhead_microseconds_count{task=\"tau1\",delta=\"e\"}"),
+          "rtseed_overhead_nanoseconds_count{task=\"tau1\",delta=\"e\"}"),
       std::string::npos);
 
   // The summary renders without touching the live rings.
