@@ -1,5 +1,6 @@
-// Micro-benchmark of the mandatory↔optional wake path, A/B across the two
-// OptionalPool backends (futex command word vs. legacy mutex+condvar):
+// Micro-benchmark of the mandatory↔optional wake path, A/B/C across the
+// OptionalPool backends (batched futex generation word, per-slot futex
+// command word, legacy mutex+condvar):
 //
 //   signal_window   — the Δb loop alone: per-round time spent publishing
 //                     the job and waking np parts (RoundResult timestamps);
@@ -8,19 +9,29 @@
 //   full_round      — wall time of run_round with empty bodies, i.e. the
 //                     whole protocol round trip (Δb + Δs + body + Δe).
 //
+// Every benchmark publishes three machine-checkable counters
+// (gates.json → BENCH_wake.json):
+//   wakes_per_round   rt::wake_word syscalls per iteration — the batched
+//                     backend's reason to exist (≈1+1 vs. np+1);
+//   sleeps_per_round  kernel sleeps entered by either side;
+//   allocs_per_round  heap allocations per iteration, ticked by the
+//                     linked rtseed_alloc_hook — steady state is ZERO.
+//
 // Bodies are empty and run under kPeriodicCheck so the termination
 // machinery (timers, signals) stays out of the picture — what remains IS
 // the handoff protocol.  fifo_priority is 0 so the benchmark runs
 // unprivileged; absolute numbers shrink on real RT hosts but the
-// futex-vs-condvar ordering is the same (fewer syscalls, no mutex
-// convoy).
+// backend ordering is the same (fewer syscalls, no mutex convoy).
 #include <benchmark/benchmark.h>
 
 #include <atomic>
 #include <memory>
 
 #include "core/assignment.hpp"
+#include "gbench_json_main.hpp"
 #include "core/optional_pool.hpp"
+#include "obs/hotpath_audit.hpp"
+#include "rt/futex.hpp"
 #include "rt/topology.hpp"
 
 using namespace rtseed;
@@ -45,8 +56,44 @@ std::unique_ptr<core::OptionalPool> make_pool(
 }
 
 core::WakeBackend backend_of(const benchmark::State& state) {
-  return state.range(0) == 0 ? core::WakeBackend::kFutexWord
-                             : core::WakeBackend::kCondvar;
+  switch (state.range(0)) {
+    case 0:
+      return core::WakeBackend::kFutexWord;
+    case 1:
+      return core::WakeBackend::kCondvar;
+    default:
+      return core::WakeBackend::kFutexBatch;
+  }
+}
+
+// Snapshot of the gated hot-path resource counters; publish() divides the
+// deltas over the iterations just timed.  Constructed AFTER pool start and
+// warm-up so thread spawning is not charged to the steady state.
+struct CounterWindow {
+  obs::HotpathAudit audit;
+  void publish(benchmark::State& state) const {
+    const auto wake = audit.wake_delta();
+    const auto alloc = audit.alloc_delta();
+    const auto iters =
+        static_cast<double>(state.iterations() > 0 ? state.iterations() : 1);
+    state.counters["wakes_per_round"] =
+        static_cast<double>(wake.wake_calls) / iters;
+    state.counters["sleeps_per_round"] =
+        static_cast<double>(wake.wait_sleeps) / iters;
+    state.counters["allocs_per_round"] =
+        static_cast<double>(alloc.alloc_calls) / iters;
+  }
+};
+
+void warm_up(core::OptionalPool& pool, int np) {
+  for (int round = 0; round < 10; ++round) {
+    core::JobContext ctx;
+    ctx.job = round;
+    ctx.release = common::monotonic_now();
+    ctx.deadline = ctx.release + common::seconds(10);
+    ctx.optional_deadline = ctx.deadline;
+    (void)pool.run_round(ctx, np);
+  }
 }
 
 core::JobContext next_job(common::JobId job) {
@@ -67,16 +114,19 @@ void BM_SignalWindow(benchmark::State& state) {
     state.SkipWithError("pool start failed");
     return;
   }
+  warm_up(*pool, np);
+  const CounterWindow window;
   common::JobId job = 0;
   for (auto _ : state) {
     const auto round = pool->run_round(next_job(job++), np);
     state.SetIterationTime(
         static_cast<double>(round.signal_end - round.signal_start) * 1e-9);
   }
+  window.publish(state);
   state.SetLabel(core::wake_backend_name(pool->backend()));
 }
 BENCHMARK(BM_SignalWindow)
-    ->ArgsProduct({{0, 1}, {1, 2, 4}})
+    ->ArgsProduct({{0, 1, 2}, {1, 2, 4}})
     ->ArgNames({"backend", "np"})
     ->UseManualTime();
 
@@ -99,6 +149,8 @@ void BM_CompleteWake(benchmark::State& state) {
     state.SkipWithError("pool start failed");
     return;
   }
+  warm_up(*pool, np);
+  const CounterWindow window;
   common::JobId job = 0;
   for (auto _ : state) {
     last_body_end.store(0, std::memory_order_relaxed);
@@ -109,10 +161,11 @@ void BM_CompleteWake(benchmark::State& state) {
                             last_body_end.load(std::memory_order_relaxed)) *
         1e-9);
   }
+  window.publish(state);
   state.SetLabel(core::wake_backend_name(pool->backend()));
 }
 BENCHMARK(BM_CompleteWake)
-    ->ArgsProduct({{0, 1}, {1, 2, 4}})
+    ->ArgsProduct({{0, 1, 2}, {1, 2, 4}})
     ->ArgNames({"backend", "np"})
     ->UseManualTime();
 
@@ -125,17 +178,20 @@ void BM_FullRound(benchmark::State& state) {
     state.SkipWithError("pool start failed");
     return;
   }
+  warm_up(*pool, np);
+  const CounterWindow window;
   common::JobId job = 0;
   for (auto _ : state) {
     const auto round = pool->run_round(next_job(job++), np);
     benchmark::DoNotOptimize(round.completed);
   }
+  window.publish(state);
   state.SetLabel(core::wake_backend_name(pool->backend()));
 }
 BENCHMARK(BM_FullRound)
-    ->ArgsProduct({{0, 1}, {1, 2, 4}})
+    ->ArgsProduct({{0, 1, 2}, {1, 2, 4}})
     ->ArgNames({"backend", "np"});
 
 }  // namespace
 
-BENCHMARK_MAIN();
+RTSEED_BENCHMARK_JSON_MAIN();

@@ -1,0 +1,220 @@
+// Fixed-capacity allocators for the steady-state job path.
+//
+// The middleware's zero-allocation contract (DESIGN.md §11) is: after
+// warm-up, no per-job code path may touch the heap.  Everything that needs
+// dynamic-looking storage gets it from one of these instead:
+//
+//  * Arena          — a bump allocator over one buffer acquired at
+//                     construction.  alloc() is a pointer increment;
+//                     reset() recycles the whole region in O(1).  Backs
+//                     per-part scratch (Slot::scratch, reachable from the
+//                     optional body via JobContext::scratch).
+//  * PoolAllocator  — a fixed-size free-list of equally-sized objects:
+//                     O(1) acquire/release, exhaustion returns nullptr
+//                     instead of growing.
+//  * make_aligned_array — cache-line-(or stricter-)aligned contiguous
+//                     array construction for per-part slot storage, so hot
+//                     loops index one allocation instead of chasing a
+//                     unique_ptr per element.
+//
+// All three allocate exactly once, at construction — never on use.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/types.hpp"
+
+namespace rtseed::common {
+
+/// Bump allocator over a single region acquired at construction.  Not
+/// thread-safe: each Arena has exactly one owner (the optional worker for
+/// per-part scratch, the mandatory thread for per-job scratch).
+class Arena {
+ public:
+  Arena() = default;
+  explicit Arena(usize capacity_bytes) { reserve(capacity_bytes); }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&& other) noexcept { *this = std::move(other); }
+  Arena& operator=(Arena&& other) noexcept {
+    if (this != &other) {
+      buffer_ = std::move(other.buffer_);
+      capacity_ = other.capacity_;
+      used_ = other.used_;
+      high_water_ = other.high_water_;
+      other.capacity_ = other.used_ = other.high_water_ = 0;
+    }
+    return *this;
+  }
+
+  /// (Re)acquires the backing buffer.  The ONLY allocation this class ever
+  /// performs; call it at setup time, never on a hot path.
+  void reserve(usize capacity_bytes) {
+    buffer_ = std::make_unique<unsigned char[]>(capacity_bytes);
+    capacity_ = capacity_bytes;
+    used_ = 0;
+    high_water_ = 0;
+  }
+
+  usize capacity() const { return capacity_; }
+  usize used() const { return used_; }
+  /// Largest `used()` ever observed — sizes the buffer for real workloads.
+  usize high_water() const { return high_water_; }
+
+  /// Bump-allocates `bytes` with the given alignment; nullptr when the
+  /// region is exhausted (callers degrade, they do not grow).
+  void* alloc(usize bytes, usize align = alignof(std::max_align_t)) {
+    assert(align != 0 && (align & (align - 1)) == 0);
+    const std::uintptr_t base =
+        reinterpret_cast<std::uintptr_t>(buffer_.get()) + used_;
+    const usize pad = (align - base % align) % align;
+    if (used_ + pad + bytes > capacity_) return nullptr;
+    used_ += pad;
+    void* out = buffer_.get() + used_;
+    used_ += bytes;
+    if (used_ > high_water_) high_water_ = used_;
+    return out;
+  }
+
+  /// Typed bump allocation of `count` default-constructed Ts; nullptr when
+  /// exhausted.  T must be trivially destructible — reset() never runs
+  /// destructors.
+  template <typename T>
+  T* alloc_array(usize count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena storage is recycled without running destructors");
+    void* mem = alloc(sizeof(T) * count, alignof(T));
+    if (mem == nullptr) return nullptr;
+    return new (mem) T[count]();
+  }
+
+  template <typename T, typename... Args>
+  T* make(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena storage is recycled without running destructors");
+    void* mem = alloc(sizeof(T), alignof(T));
+    if (mem == nullptr) return nullptr;
+    return new (mem) T(std::forward<Args>(args)...);
+  }
+
+  /// Recycles the whole region: one store.  No destructors run (enforced
+  /// by the static_asserts above).
+  void reset() { used_ = 0; }
+
+ private:
+  std::unique_ptr<unsigned char[]> buffer_;
+  usize capacity_ = 0;
+  usize used_ = 0;
+  usize high_water_ = 0;
+};
+
+/// Fixed-population object pool: `capacity` slots allocated once, then
+/// O(1) acquire/release through an intrusive free list.  Exhaustion
+/// returns nullptr.  Not thread-safe (single-owner, like Arena).
+template <typename T>
+class PoolAllocator {
+ public:
+  explicit PoolAllocator(usize capacity) : capacity_(capacity) {
+    storage_ = std::make_unique<Cell[]>(capacity);
+    for (usize i = 0; i + 1 < capacity; ++i) {
+      cell(i)->next = cell(i + 1);
+    }
+    free_head_ = capacity > 0 ? cell(0) : nullptr;
+  }
+
+  ~PoolAllocator() {
+    assert(in_use_ == 0 && "objects leaked back into a dying pool");
+  }
+
+  PoolAllocator(const PoolAllocator&) = delete;
+  PoolAllocator& operator=(const PoolAllocator&) = delete;
+
+  usize capacity() const { return capacity_; }
+  usize in_use() const { return in_use_; }
+
+  /// Constructs a T in a free slot; nullptr when the pool is exhausted.
+  template <typename... Args>
+  T* acquire(Args&&... args) {
+    if (free_head_ == nullptr) return nullptr;
+    Cell* c = free_head_;
+    free_head_ = c->next;
+    ++in_use_;
+    return new (c->storage) T(std::forward<Args>(args)...);
+  }
+
+  /// Destroys `obj` (which must have come from acquire) and recycles its
+  /// slot.
+  void release(T* obj) {
+    assert(obj != nullptr && owns(obj));
+    obj->~T();
+    Cell* c = reinterpret_cast<Cell*>(
+        reinterpret_cast<unsigned char*>(obj) - offsetof(Cell, storage));
+    c->next = free_head_;
+    free_head_ = c;
+    --in_use_;
+  }
+
+  bool owns(const T* obj) const {
+    const auto* p = reinterpret_cast<const unsigned char*>(obj);
+    const auto* base = reinterpret_cast<const unsigned char*>(storage_.get());
+    return p >= base && p < base + capacity_ * sizeof(Cell);
+  }
+
+ private:
+  struct Cell {
+    alignas(T) unsigned char storage[sizeof(T)];
+    Cell* next = nullptr;
+  };
+
+  Cell* cell(usize i) { return &storage_[i]; }
+
+  std::unique_ptr<Cell[]> storage_;
+  usize capacity_ = 0;
+  usize in_use_ = 0;
+  Cell* free_head_ = nullptr;
+};
+
+namespace detail {
+template <typename T>
+struct AlignedArrayDeleter {
+  usize count = 0;
+  void operator()(T* array) const {
+    for (usize i = count; i > 0; --i) array[i - 1].~T();
+    ::operator delete[](static_cast<void*>(array),
+                        std::align_val_t(alignof(T)));
+  }
+};
+}  // namespace detail
+
+template <typename T>
+using AlignedArrayPtr = std::unique_ptr<T[], detail::AlignedArrayDeleter<T>>;
+
+/// One contiguous, alignment-honouring allocation of `count`
+/// default-constructed Ts (works for over-aligned types like the
+/// cache-line-aligned pool Slot, where plain new[] would be UB pre-C++17
+/// semantics and a vector<unique_ptr<T>> costs a pointer chase per
+/// element).
+template <typename T>
+AlignedArrayPtr<T> make_aligned_array(usize count) {
+  T* raw = static_cast<T*>(::operator new[](sizeof(T) * count,
+                                            std::align_val_t(alignof(T))));
+  usize constructed = 0;
+  try {
+    for (; constructed < count; ++constructed) new (raw + constructed) T();
+  } catch (...) {
+    for (usize i = constructed; i > 0; --i) raw[i - 1].~T();
+    ::operator delete[](static_cast<void*>(raw),
+                        std::align_val_t(alignof(T)));
+    throw;
+  }
+  return AlignedArrayPtr<T>(raw, detail::AlignedArrayDeleter<T>{count});
+}
+
+}  // namespace rtseed::common

@@ -1,0 +1,195 @@
+// Allocation-free callable wrappers for the per-job hot path.
+//
+// std::function is banned from the steady-state dispatch path: wrapping a
+// capturing lambda whose closure exceeds the implementation's small-buffer
+// (16 bytes on libstdc++) heap-allocates AT THE CALL SITE — one hidden
+// malloc per optional part per job, precisely the overhead class Δb/Δe
+// exist to measure.  Two replacements, both with zero heap traffic by
+// construction:
+//
+//  * FunctionRef<Sig>  — a non-owning (context pointer, trampoline) pair.
+//    For callables invoked within the full-expression that created them
+//    (run_with_deadline's body argument).  Never owns, never allocates,
+//    trivially copyable.
+//
+//  * InplaceFunction<Sig, Capacity> — an owning wrapper whose closure
+//    lives in fixed inline storage.  Oversized captures are a COMPILE
+//    error, not a silent heap fallback, so the zero-allocation audit
+//    cannot rot as call sites evolve.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace rtseed::common {
+
+template <typename Sig>
+class FunctionRef;
+
+/// Non-owning view of a callable: one void* + one function pointer.  The
+/// referenced callable must outlive every call (stack temporaries are fine
+/// for the duration of the full-expression, which is how the termination
+/// layer uses it).
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  FunctionRef() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using Raw = std::remove_reference_t<F>;
+    if constexpr (std::is_function_v<Raw>) {
+      // Free function: the function pointer IS the context, so a FunctionRef
+      // built from one never dangles.  (reinterpret_cast between function
+      // and object pointers is POSIX-guaranteed, same as dlsym.)
+      context_ = reinterpret_cast<void*>(&fn);
+      trampoline_ = [](void* context, Args... args) -> R {
+        return reinterpret_cast<Raw*>(context)(std::forward<Args>(args)...);
+      };
+    } else if constexpr (std::is_pointer_v<Raw> &&
+                         std::is_function_v<std::remove_pointer_t<Raw>>) {
+      context_ = reinterpret_cast<void*>(fn);
+      trampoline_ = [](void* context, Args... args) -> R {
+        return reinterpret_cast<Raw>(context)(std::forward<Args>(args)...);
+      };
+    } else {
+      context_ = const_cast<void*>(static_cast<const void*>(
+          std::addressof(fn)));
+      trampoline_ = [](void* context, Args... args) -> R {
+        return (*static_cast<Raw*>(context))(std::forward<Args>(args)...);
+      };
+    }
+  }
+
+  explicit operator bool() const { return trampoline_ != nullptr; }
+
+  R operator()(Args... args) const {
+    return trampoline_(context_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* context_ = nullptr;
+  R (*trampoline_)(void*, Args...) = nullptr;
+};
+
+template <typename Sig, std::size_t Capacity = 64>
+class InplaceFunction;
+
+/// Owning callable with `Capacity` bytes of inline closure storage and no
+/// heap fallback.  Copyable/movable iff the stored callable is; a callable
+/// that does not fit fails to compile.
+template <typename R, typename... Args, std::size_t Capacity>
+class InplaceFunction<R(Args...), Capacity> {
+ public:
+  InplaceFunction() = default;
+  InplaceFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, InplaceFunction> &&
+                !std::is_same_v<D, std::nullptr_t> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  InplaceFunction(F&& fn) {  // NOLINT(google-explicit-constructor)
+    static_assert(sizeof(D) <= Capacity,
+                  "callable exceeds InplaceFunction inline capacity — "
+                  "shrink the capture or raise Capacity explicitly");
+    static_assert(alignof(D) <= alignof(std::max_align_t),
+                  "over-aligned callables are not supported");
+    new (storage_) D(std::forward<F>(fn));
+    invoke_ = [](void* storage, Args... args) -> R {
+      return (*std::launder(reinterpret_cast<D*>(storage)))(
+          std::forward<Args>(args)...);
+    };
+    manage_ = [](Op op, void* storage, void* other) {
+      D* self = std::launder(reinterpret_cast<D*>(storage));
+      switch (op) {
+        case Op::kDestroy:
+          self->~D();
+          break;
+        case Op::kCopyTo:
+          // Copying an InplaceFunction holding a move-only callable is a
+          // misuse; keep it compiling (the wrapper itself must stay
+          // copyable) but fail loudly if ever reached.
+          if constexpr (std::is_copy_constructible_v<D>) {
+            new (other) D(*self);
+          } else {
+            std::abort();
+          }
+          break;
+        case Op::kMoveTo:
+          new (other) D(std::move(*self));
+          break;
+      }
+    };
+  }
+
+  InplaceFunction(const InplaceFunction& other) { copy_from(other); }
+  InplaceFunction(InplaceFunction&& other) noexcept {
+    move_from(std::move(other));
+  }
+  InplaceFunction& operator=(const InplaceFunction& other) {
+    if (this != &other) {
+      reset();
+      copy_from(other);
+    }
+    return *this;
+  }
+  InplaceFunction& operator=(InplaceFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(std::move(other));
+    }
+    return *this;
+  }
+  InplaceFunction& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+  ~InplaceFunction() { reset(); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  R operator()(Args... args) const {
+    return invoke_(const_cast<void*>(static_cast<const void*>(storage_)),
+                   std::forward<Args>(args)...);
+  }
+
+  void reset() {
+    if (manage_ != nullptr) manage_(Op::kDestroy, storage_, nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+ private:
+  enum class Op { kDestroy, kCopyTo, kMoveTo };
+
+  void copy_from(const InplaceFunction& other) {
+    if (other.manage_ == nullptr) return;
+    other.manage_(Op::kCopyTo,
+                  const_cast<void*>(static_cast<const void*>(other.storage_)),
+                  storage_);
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+  }
+
+  void move_from(InplaceFunction&& other) {
+    if (other.manage_ == nullptr) return;
+    other.manage_(Op::kMoveTo, other.storage_, storage_);
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    other.reset();
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+  R (*invoke_)(void*, Args...) = nullptr;
+  void (*manage_)(Op, void*, void*) = nullptr;
+};
+
+}  // namespace rtseed::common

@@ -1,0 +1,245 @@
+#include "common/topology.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+namespace rtseed::common {
+
+namespace {
+
+int host_nproc() {
+  return std::max(1, static_cast<int>(sysconf(_SC_NPROCESSORS_ONLN)));
+}
+
+/// Reads a whole small file into a string; empty when unreadable.
+std::string read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return {};
+  char buf[256];
+  std::string out;
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  return out;
+}
+
+/// Reads a decimal integer file; -1 on failure.
+int read_int_file(const std::string& path) {
+  const std::string text = read_file(path);
+  if (text.empty()) return -1;
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str()) return -1;
+  return static_cast<int>(value);
+}
+
+std::string cpu_dir(const std::string& root, int cpu) {
+  return root + "/cpu" + std::to_string(cpu);
+}
+
+/// The shared_cpu_list of this cpu's highest-level cache; empty when the
+/// cache hierarchy is not exposed (containers frequently mask it).
+std::string llc_shared_list(const std::string& root, int cpu) {
+  int best_level = -1;
+  std::string best_list;
+  for (int index = 0; index < 16; ++index) {
+    const std::string cache =
+        cpu_dir(root, cpu) + "/cache/index" + std::to_string(index);
+    const int level = read_int_file(cache + "/level");
+    if (level < 0) continue;
+    if (level > best_level) {
+      const std::string list = read_file(cache + "/shared_cpu_list");
+      if (!list.empty()) {
+        best_level = level;
+        best_list = list;
+      }
+    }
+  }
+  return best_list;
+}
+
+}  // namespace
+
+std::vector<CpuId> parse_cpu_list(const std::string& list) {
+  std::vector<CpuId> cpus;
+  size_t i = 0;
+  while (i < list.size()) {
+    char* end = nullptr;
+    const long lo = std::strtol(list.c_str() + i, &end, 10);
+    if (end == list.c_str() + i || lo < 0) return {};
+    long hi = lo;
+    i = static_cast<size_t>(end - list.c_str());
+    if (i < list.size() && list[i] == '-') {
+      ++i;
+      hi = std::strtol(list.c_str() + i, &end, 10);
+      if (end == list.c_str() + i || hi < lo) return {};
+      i = static_cast<size_t>(end - list.c_str());
+    }
+    for (long cpu = lo; cpu <= hi; ++cpu) {
+      cpus.push_back(static_cast<CpuId>(cpu));
+    }
+    if (i < list.size()) {
+      if (list[i] != ',') return {};
+      ++i;
+    }
+  }
+  return cpus;
+}
+
+Topology Topology::uniform(int cores, int smt_per_core) {
+  assert(cores > 0 && smt_per_core > 0);
+  Topology t;
+  t.num_cores_ = cores;
+  t.smt_per_core_ = smt_per_core;
+  const int cpus = cores * smt_per_core;
+  t.cpu_of_.resize(static_cast<size_t>(cpus));
+  t.core_of_.resize(static_cast<size_t>(cpus));
+  t.sibling_of_.resize(static_cast<size_t>(cpus));
+  for (int core = 0; core < cores; ++core) {
+    for (int sib = 0; sib < smt_per_core; ++sib) {
+      const CpuId cpu = core * smt_per_core + sib;
+      t.cpu_of_[static_cast<size_t>(cpu)] = cpu;
+      t.core_of_[static_cast<size_t>(cpu)] = core;
+      t.sibling_of_[static_cast<size_t>(cpu)] = sib;
+    }
+  }
+  t.llc_of_core_.assign(static_cast<size_t>(cores), 0);
+  t.num_llc_domains_ = 1;
+  return t;
+}
+
+bool Topology::parse_override(const std::string& spec, int nproc,
+                              Topology* out) {
+  if (spec == "flat") {
+    *out = uniform(nproc, 1);
+    return true;
+  }
+  char* end = nullptr;
+  const long cores = std::strtol(spec.c_str(), &end, 10);
+  if (end == spec.c_str() || *end != 'x' || cores <= 0) return false;
+  const char* smt_text = end + 1;
+  const long smt = std::strtol(smt_text, &end, 10);
+  if (end == smt_text || *end != '\0' || smt <= 0) return false;
+  *out = uniform(static_cast<int>(cores), static_cast<int>(smt));
+  return true;
+}
+
+Topology Topology::from_sysfs_root(const std::string& root, int nproc) {
+  nproc = std::max(1, nproc);
+
+  // Group CPUs by physical core id.
+  std::map<int, std::vector<int>> by_core;
+  bool sysfs_ok = true;
+  for (int cpu = 0; cpu < nproc; ++cpu) {
+    const int core = read_int_file(cpu_dir(root, cpu) + "/topology/core_id");
+    if (core < 0) {
+      sysfs_ok = false;
+      break;
+    }
+    by_core[core].push_back(cpu);
+  }
+  if (!sysfs_ok || by_core.empty()) return uniform(nproc, 1);
+
+  // Require a uniform SMT width; otherwise treat each CPU as its own core
+  // (safe, conservative).
+  const size_t smt = by_core.begin()->second.size();
+  for (const auto& [core, cpus] : by_core) {
+    if (cpus.size() != smt) return uniform(nproc, 1);
+  }
+
+  Topology t;
+  t.from_sysfs_ = true;
+  t.num_cores_ = static_cast<int>(by_core.size());
+  t.smt_per_core_ = static_cast<int>(smt);
+  const int cpus = t.num_cores_ * t.smt_per_core_;
+  t.cpu_of_.resize(static_cast<size_t>(cpus));
+  t.core_of_.assign(static_cast<size_t>(nproc), 0);
+  t.sibling_of_.assign(static_cast<size_t>(nproc), 0);
+  int core_index = 0;
+  for (const auto& [core, members] : by_core) {
+    for (size_t sib = 0; sib < members.size(); ++sib) {
+      const CpuId cpu = members[sib];
+      t.cpu_of_[static_cast<size_t>(core_index) * smt + sib] = cpu;
+      t.core_of_[static_cast<size_t>(cpu)] = core_index;
+      t.sibling_of_[static_cast<size_t>(cpu)] = static_cast<int>(sib);
+    }
+    ++core_index;
+  }
+
+  // LLC domains: group cores by their sibling-0 CPU's highest-level-cache
+  // shared_cpu_list.  Missing cache info (masked in most containers)
+  // degrades to one domain spanning everything — exactly the synthetic
+  // assumption.
+  t.llc_of_core_.assign(static_cast<size_t>(t.num_cores_), 0);
+  std::map<std::string, int> domain_ids;
+  bool cache_ok = true;
+  for (int core = 0; core < t.num_cores_; ++core) {
+    const std::string list = llc_shared_list(root, t.cpu_at(core, 0));
+    if (list.empty() || parse_cpu_list(list).empty()) {
+      cache_ok = false;
+      break;
+    }
+    const auto [it, inserted] =
+        domain_ids.emplace(list, static_cast<int>(domain_ids.size()));
+    t.llc_of_core_[static_cast<size_t>(core)] = it->second;
+  }
+  if (!cache_ok) {
+    t.llc_of_core_.assign(static_cast<size_t>(t.num_cores_), 0);
+    t.num_llc_domains_ = 1;
+  } else {
+    t.num_llc_domains_ = static_cast<int>(domain_ids.size());
+  }
+  return t;
+}
+
+Topology Topology::native() {
+  const int nproc = host_nproc();
+  if (const char* env = std::getenv("RTSEED_TOPOLOGY")) {
+    Topology t;
+    if (parse_override(env, nproc, &t)) return t;
+  }
+  return from_sysfs_root("/sys/devices/system/cpu", nproc);
+}
+
+CpuId Topology::cpu_at(CoreId core, int sibling) const {
+  assert(core >= 0 && core < num_cores_);
+  assert(sibling >= 0 && sibling < smt_per_core_);
+  return cpu_of_[static_cast<size_t>(core) *
+                     static_cast<size_t>(smt_per_core_) +
+                 static_cast<size_t>(sibling)];
+}
+
+CoreId Topology::core_of(CpuId cpu) const {
+  assert(valid_cpu(cpu));
+  return core_of_[static_cast<size_t>(cpu)];
+}
+
+int Topology::sibling_of(CpuId cpu) const {
+  assert(valid_cpu(cpu));
+  return sibling_of_[static_cast<size_t>(cpu)];
+}
+
+int Topology::llc_of(CoreId core) const {
+  assert(core >= 0 && core < num_cores_);
+  return llc_of_core_[static_cast<size_t>(core)];
+}
+
+std::string Topology::to_string() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "%d cores x %d hw-threads (%d CPUs, %d LLC domain%s)",
+                num_cores_, smt_per_core_, num_cpus(), num_llc_domains_,
+                num_llc_domains_ == 1 ? "" : "s");
+  return buf;
+}
+
+}  // namespace rtseed::common

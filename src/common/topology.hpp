@@ -1,0 +1,98 @@
+// CPU topology: how hardware threads (Linux CPUs) group into physical
+// cores and cache domains.
+//
+// RT-Seed's assignment policies (one-by-one / two-by-two / all-by-all /
+// topology-aware, paper §V-A) are defined in terms of (core, SMT-sibling)
+// coordinates, and the topology-aware policy additionally needs to know
+// which cores share a last-level cache — optional parts that read the same
+// market snapshot should land on sibling hardware threads or at least the
+// same LLC domain, while mandatory parts keep whole physical cores to
+// themselves (the RichTraders explicit-CPU-map discipline).
+//
+// Sources, in the order native() tries them:
+//   * the RTSEED_TOPOLOGY environment override ("<cores>x<smt>", e.g.
+//     "4x2", or "flat") — reproducible runs on any host, containers
+//     included;
+//   * sysfs (/sys/devices/system/cpu): core_id + per-cpu cache
+//     shared_cpu_list parsing, exposed as from_sysfs_root() so tests feed
+//     it fixture trees;
+//   * the portable fallback uniform(nproc, 1) — every CPU its own core,
+//     one LLC domain (what a container with a masked sysfs gets).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace rtseed::common {
+
+class Topology {
+ public:
+  /// Synthetic grid: hardware thread ids are core*smt_per_core + sibling;
+  /// all cores share one LLC domain.
+  static Topology uniform(int cores, int smt_per_core);
+
+  /// The evaluation platform of the paper: Xeon Phi 3120A, 57 cores,
+  /// 4 hardware threads per core (228 CPUs).
+  static Topology xeon_phi_3120a() { return uniform(57, 4); }
+
+  /// Topology of this host: RTSEED_TOPOLOGY override, then sysfs, then
+  /// the uniform(nproc, 1) fallback.
+  static Topology native();
+
+  /// Parses a sysfs-shaped tree rooted at `root` (the production call
+  /// passes "/sys/devices/system/cpu"; tests pass fixture directories).
+  /// Expects root/cpu<N>/topology/core_id and, optionally,
+  /// root/cpu<N>/cache/index<K>/{level,shared_cpu_list} for LLC grouping.
+  /// Falls back to uniform(nproc, 1) when the tree is missing or the SMT
+  /// width is non-uniform (conservative: every CPU its own core).
+  static Topology from_sysfs_root(const std::string& root, int nproc);
+
+  /// Parses the RTSEED_TOPOLOGY override value; false on malformed input.
+  /// Accepts "<cores>x<smt>" (e.g. "57x4") and "flat" (= "<nproc>x1").
+  static bool parse_override(const std::string& spec, int nproc,
+                             Topology* out);
+
+  int num_cores() const { return num_cores_; }
+  int smt_per_core() const { return smt_per_core_; }
+  int num_cpus() const { return static_cast<int>(cpu_of_.size()); }
+
+  /// The CPU id of (core, sibling); requires both in range.
+  CpuId cpu_at(CoreId core, int sibling) const;
+  CoreId core_of(CpuId cpu) const;
+  int sibling_of(CpuId cpu) const;
+  bool valid_cpu(CpuId cpu) const { return cpu >= 0 && cpu < num_cpus(); }
+
+  /// Last-level-cache domain of a core (dense ids, [0, num_llc_domains)).
+  /// Synthetic/fallback topologies report one domain for everything.
+  int llc_of(CoreId core) const;
+  int num_llc_domains() const { return num_llc_domains_; }
+  bool shares_llc(CoreId a, CoreId b) const { return llc_of(a) == llc_of(b); }
+
+  /// True when the shape came from sysfs (vs. synthetic/fallback) — lets
+  /// reports distinguish "real SMT pairs" from "assumed flat".
+  bool from_sysfs() const { return from_sysfs_; }
+
+  std::string to_string() const;
+
+ private:
+  Topology() = default;
+
+  int num_cores_ = 0;
+  int smt_per_core_ = 0;
+  int num_llc_domains_ = 1;
+  bool from_sysfs_ = false;
+  // cpu_of_[core * smt_per_core + sibling] = cpu id
+  std::vector<CpuId> cpu_of_;
+  std::vector<CoreId> core_of_;  // indexed by cpu id
+  std::vector<int> sibling_of_;  // indexed by cpu id
+  std::vector<int> llc_of_core_;  // indexed by dense core index
+};
+
+/// Parses a sysfs cpulist ("0-3,8,10-11") into CPU ids; empty on malformed
+/// input.  Exposed for tests.
+std::vector<CpuId> parse_cpu_list(const std::string& list);
+
+}  // namespace rtseed::common

@@ -5,6 +5,36 @@
 
 namespace rtseed::core {
 
+namespace {
+
+/// Core visiting order for kTopologyAware: the mandatory core (avoid_core)
+/// is excluded while any other core exists; cores sharing its LLC come
+/// first, then the rest grouped by LLC domain; index order breaks ties so
+/// the result is deterministic.  Setup-path only — never called per job.
+std::vector<int> topology_core_order(const common::Topology& topology,
+                                     int avoid_core) {
+  const int cores = topology.num_cores();
+  std::vector<int> order;
+  order.reserve(static_cast<size_t>(cores));
+  for (int c = 0; c < cores; ++c) {
+    if (c != avoid_core) order.push_back(c);
+  }
+  if (order.empty()) order.push_back(avoid_core);  // single-core machine
+  const int home_llc =
+      (avoid_core >= 0 && avoid_core < cores) ? topology.llc_of(avoid_core)
+                                              : -1;
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    const int la = topology.llc_of(a);
+    const int lb = topology.llc_of(b);
+    const int rank_a = la == home_llc ? -1 : la;
+    const int rank_b = lb == home_llc ? -1 : lb;
+    return rank_a < rank_b;
+  });
+  return order;
+}
+
+}  // namespace
+
 const char* assignment_policy_name(AssignmentPolicy policy) {
   switch (policy) {
     case AssignmentPolicy::kOneByOne:
@@ -13,18 +43,31 @@ const char* assignment_policy_name(AssignmentPolicy policy) {
       return "two-by-two";
     case AssignmentPolicy::kAllByAll:
       return "all-by-all";
+    case AssignmentPolicy::kTopologyAware:
+      return "topology-aware";
   }
   return "?";
 }
 
-CpuId assign_cpu(const rt::Topology& topology, AssignmentPolicy policy,
-                 int part_index) {
+CpuId assign_cpu(const common::Topology& topology, AssignmentPolicy policy,
+                 int part_index, int avoid_core) {
   assert(part_index >= 0);
   const int cores = topology.num_cores();
   const int smt = topology.smt_per_core();
   const int cpus = cores * smt;
-  const int j = part_index % cpus;  // wrap when more parts than CPUs
 
+  if (policy == AssignmentPolicy::kTopologyAware) {
+    const auto order = topology_core_order(topology, avoid_core);
+    const int usable = static_cast<int>(order.size()) * smt;
+    const int j = part_index % usable;  // wrap over the non-mandatory CPUs
+    // Sibling packing: fill every hardware thread of a core before moving
+    // to the next (the co-located parts share L1/L2).
+    const int core = order[static_cast<size_t>(j / smt)];
+    const int sibling = j % smt;
+    return topology.cpu_at(core, sibling);
+  }
+
+  const int j = part_index % cpus;  // wrap when more parts than CPUs
   int core = 0;
   int sibling = 0;
   switch (policy) {
@@ -47,26 +90,29 @@ CpuId assign_cpu(const rt::Topology& topology, AssignmentPolicy policy,
       sibling = j % smt;
       break;
     }
+    case AssignmentPolicy::kTopologyAware:
+      break;  // handled above
   }
   return topology.cpu_at(core, sibling % smt);
 }
 
-std::vector<CpuId> assign_optional_parts(const rt::Topology& topology,
+std::vector<CpuId> assign_optional_parts(const common::Topology& topology,
                                          AssignmentPolicy policy,
-                                         int num_parts) {
+                                         int num_parts, int avoid_core) {
   std::vector<CpuId> cpus;
   cpus.reserve(static_cast<size_t>(std::max(0, num_parts)));
   for (int j = 0; j < num_parts; ++j) {
-    cpus.push_back(assign_cpu(topology, policy, j));
+    cpus.push_back(assign_cpu(topology, policy, j, avoid_core));
   }
   return cpus;
 }
 
-std::vector<int> parts_per_core(const rt::Topology& topology,
-                                AssignmentPolicy policy, int num_parts) {
+std::vector<int> parts_per_core(const common::Topology& topology,
+                                AssignmentPolicy policy, int num_parts,
+                                int avoid_core) {
   std::vector<int> counts(static_cast<size_t>(topology.num_cores()), 0);
   for (int j = 0; j < num_parts; ++j) {
-    const CpuId cpu = assign_cpu(topology, policy, j);
+    const CpuId cpu = assign_cpu(topology, policy, j, avoid_core);
     ++counts[static_cast<size_t>(topology.core_of(cpu))];
   }
   return counts;

@@ -47,8 +47,16 @@ ImpreciseTask::ImpreciseTask(common::TaskId id, TaskConfig config,
   OptionalPool::Options pool_options;
   pool_options.termination = options_.termination;
   pool_options.fifo_priority = placement_.optional_priority;
-  pool_options.cpus = assign_optional_parts(topology, options_.policy,
-                                            config_.params.num_optional());
+  // kTopologyAware keeps optional parts off the mandatory thread's
+  // physical core (placement.processor is a core index) and fills its LLC
+  // domain first; the paper's three policies ignore the hint.
+  const int mandatory_core =
+      placement_.processor >= 0 && placement_.processor < topology.num_cores()
+          ? placement_.processor
+          : -1;
+  pool_options.cpus =
+      assign_optional_parts(topology, options_.policy,
+                            config_.params.num_optional(), mandatory_core);
   pool_options.name_prefix = config_.params.name;
   pool_options.completion_margin = options_.completion_margin;
   pool_options.wake_backend = options_.wake_backend;

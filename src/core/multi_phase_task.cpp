@@ -54,8 +54,14 @@ MultiPhaseTask::MultiPhaseTask(MultiPhaseConfig config,
   OptionalPool::Options pool_options;
   pool_options.termination = options_.termination;
   pool_options.fifo_priority = placement_.optional_priority;
-  pool_options.cpus = assign_optional_parts(topology, options_.policy,
-                                            max_parts(config_.params));
+  // placement.processor is the mandatory thread's core index; under
+  // kTopologyAware the optional parts stay off it (see assignment.hpp).
+  const int mandatory_core =
+      placement_.processor >= 0 && placement_.processor < topology.num_cores()
+          ? placement_.processor
+          : -1;
+  pool_options.cpus = assign_optional_parts(
+      topology, options_.policy, max_parts(config_.params), mandatory_core);
   pool_options.name_prefix = config_.params.name;
   pool_options.completion_margin = options_.completion_margin;
   pool_options.wake_backend = options_.wake_backend;

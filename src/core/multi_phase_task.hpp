@@ -15,11 +15,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
 #include "common/fixed_vector.hpp"
+#include "common/inplace_function.hpp"
 #include "common/spsc_ring.hpp"
 #include "core/assignment.hpp"
 #include "core/imprecise_task.hpp"
@@ -32,10 +32,12 @@ namespace rtseed::core {
 
 struct MultiPhaseCallbacks {
   /// Mandatory segment `segment` (0-based).
-  std::function<void(const JobContext&, int segment)> mandatory;
+  common::InplaceFunction<void(const JobContext&, int segment), 64> mandatory;
   /// Part `part` of optional phase `phase`; same constraints as the
   /// single-phase optional callback (pure CPU-bound, abandonable).
-  std::function<void(const JobContext&, int phase, int part, StopToken&)>
+  common::InplaceFunction<void(const JobContext&, int phase, int part,
+                               StopToken&),
+                          64>
       optional;
 };
 

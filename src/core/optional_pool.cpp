@@ -3,6 +3,7 @@
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 
 #include "common/rt_logger.hpp"
 #include "fault/injector.hpp"
@@ -47,6 +48,8 @@ const char* wake_backend_name(WakeBackend backend) {
   switch (backend) {
     case WakeBackend::kAuto:
       return "auto";
+    case WakeBackend::kFutexBatch:
+      return "futex-batch";
     case WakeBackend::kFutexWord:
       return rt::wait_backend_name();
     case WakeBackend::kCondvar:
@@ -60,17 +63,22 @@ WakeBackend resolve_wake_backend(WakeBackend requested) {
   if (const char* env = std::getenv("RTSEED_WAKE_BACKEND")) {
     if (std::strcmp(env, "condvar") == 0) return WakeBackend::kCondvar;
     if (std::strcmp(env, "futex") == 0) return WakeBackend::kFutexWord;
+    if (std::strcmp(env, "futex-batch") == 0 || std::strcmp(env, "batch") == 0)
+      return WakeBackend::kFutexBatch;
   }
-  return WakeBackend::kFutexWord;
+  return WakeBackend::kFutexBatch;
 }
 
 OptionalPool::OptionalPool(Options options, PartBody body)
     : options_(std::move(options)),
       backend_(resolve_wake_backend(options_.wake_backend)),
-      body_(std::move(body)) {
-  slots_.reserve(options_.cpus.size());
-  for (size_t k = 0; k < options_.cpus.size(); ++k) {
-    slots_.push_back(std::make_unique<Slot>());
+      body_(std::move(body)),
+      slots_(common::make_aligned_array<Slot>(options_.cpus.size())),
+      num_slots_(static_cast<int>(options_.cpus.size())) {
+  if (options_.scratch_bytes > 0) {
+    for (int k = 0; k < num_slots_; ++k) {
+      slots_[static_cast<size_t>(k)].scratch.reserve(options_.scratch_bytes);
+    }
   }
 }
 
@@ -89,23 +97,44 @@ common::Status OptionalPool::start() {
   std::lock_guard lock(lifecycle_mutex_);
   if (started_) return common::failed_precondition("pool already started");
   started_ = true;
-  threads_.resize(slots_.size());
+  threads_.resize(static_cast<size_t>(num_slots_));
   for (int k = 0; k < size(); ++k) spawn_worker_locked(k);
   return common::Status::ok();
+}
+
+void OptionalPool::batch_wake_workers() {
+  // The bump closes the publish→sleep transit window: a worker that loaded
+  // the pre-bump generation and is about to enter FUTEX_WAIT is bounced by
+  // the kernel's word revalidation; one that already sleeps is woken by
+  // the broadcast.  One syscall either way.
+  wake_gen_.fetch_add(1, std::memory_order_release);
+  rt::wake_word(wake_gen_, std::numeric_limits<int>::max());
 }
 
 void OptionalPool::shutdown() {
   std::lock_guard lock(lifecycle_mutex_);
   if (!started_) return;
-  for (auto& slot : slots_) {
-    if (backend_ == WakeBackend::kFutexWord) {
+  if (backend_ == WakeBackend::kCondvar) {
+    for (int k = 0; k < num_slots_; ++k) {
+      auto& slot = slots_[static_cast<size_t>(k)];
+      std::lock_guard slot_lock(slot.cv);
+      slot.state = Slot::State::kShutdown;
+      slot.cv.notify_one();
+    }
+  } else {
+    // Publish every shutdown command first; then wake — batched into one
+    // broadcast under kFutexBatch, per-slot under kFutexWord.
+    bool any_parked = false;
+    for (int k = 0; k < num_slots_; ++k) {
+      auto& slot = slots_[static_cast<size_t>(k)];
       const std::uint32_t prev =
-          slot->cmd.exchange(kCmdShutdown, std::memory_order_acq_rel);
-      if (prev == kCmdParked) rt::wake_word(slot->cmd, 1);
-    } else {
-      std::lock_guard lock(slot->cv);
-      slot->state = Slot::State::kShutdown;
-      slot->cv.notify_one();
+          slot.cmd.exchange(kCmdShutdown, std::memory_order_acq_rel);
+      if (prev != kCmdParked) continue;
+      any_parked = true;
+      if (backend_ == WakeBackend::kFutexWord) rt::wake_word(slot.cmd, 1);
+    }
+    if (backend_ == WakeBackend::kFutexBatch && any_parked) {
+      batch_wake_workers();
     }
   }
   for (auto& thread : threads_) thread.join();
@@ -129,32 +158,46 @@ OptionalPool::RoundResult OptionalPool::run_round(const JobContext& ctx,
                          obs::EventKind::kSignalBegin});
   }
 
-  // Begin parallel optional parts: one wake per thread (paper §IV-C:
-  // never broadcast).  This loop is the Δb window.
-  if (backend_ == WakeBackend::kFutexWord) {
+  // Begin parallel optional parts.  kFutexWord/kCondvar: one wake per
+  // thread (paper §IV-C: never broadcast).  kFutexBatch: publish every
+  // command word first, then ONE batched wake — same no-spurious-wakeup
+  // guarantee (only parked workers of THIS pool sleep on the generation
+  // word), 1/k-th the syscalls.  This loop is the Δb window.
+  if (backend_ != WakeBackend::kCondvar) {
     // Workers read the countdown only after acquiring their cmd word, so
     // a relaxed store ordered by the release-exchange below suffices.
     remaining_.store(static_cast<std::uint32_t>(count),
                      std::memory_order_relaxed);
     result.signal_start = common::monotonic_now();
+    bool any_parked = false;
     for (int k = 0; k < count; ++k) {
-      auto& slot = *slots_[static_cast<size_t>(k)];
+      auto& slot = slots_[static_cast<size_t>(k)];
       slot.job = ctx;
       slot.force_flag.store(false, std::memory_order_relaxed);
-      // One relaxed publish + release-exchange per part; the wake syscall
-      // is skipped when the worker is still spinning (cmd was kCmdIdle).
+      // One relaxed publish + release-exchange per part; wake syscalls
+      // are skipped when the worker is still spinning (cmd was kCmdIdle).
       const std::uint32_t prev =
           slot.cmd.exchange(kCmdReady, std::memory_order_release);
-      if (prev == kCmdParked) {
-        // Chaos: a swallowed or late wake of a parked worker.  A worker
-        // that committed to FUTEX_WAIT just before our exchange landed
-        // sleeps until the recovery loop below re-wakes it.
-        if (fault::try_fire(fault::InjectPoint::kLostWake)) continue;
-        if (fault::try_fire(fault::InjectPoint::kDelayedWake)) {
-          rt::sleep_for(fault::injected_delay_ns());
-        }
-        rt::wake_word(slot.cmd, 1);
+      if (prev != kCmdParked) continue;
+      any_parked = true;
+      if (backend_ != WakeBackend::kFutexWord) continue;
+      // Chaos: a swallowed or late wake of a parked worker.  A worker
+      // that committed to FUTEX_WAIT just before our exchange landed
+      // sleeps until the recovery loop below re-wakes it.
+      if (fault::try_fire(fault::InjectPoint::kLostWake)) continue;
+      if (fault::try_fire(fault::InjectPoint::kDelayedWake)) {
+        rt::sleep_for(fault::injected_delay_ns());
       }
+      rt::wake_word(slot.cmd, 1);
+    }
+    if (backend_ == WakeBackend::kFutexBatch && any_parked &&
+        // Chaos: the single batched wake is swallowed/late — strands every
+        // parked worker at once; the recovery loop re-broadcasts.
+        !fault::try_fire(fault::InjectPoint::kLostWake)) {
+      if (fault::try_fire(fault::InjectPoint::kDelayedWake)) {
+        rt::sleep_for(fault::injected_delay_ns());
+      }
+      batch_wake_workers();
     }
     result.signal_end = common::monotonic_now();
   } else {
@@ -164,7 +207,7 @@ OptionalPool::RoundResult OptionalPool::run_round(const JobContext& ctx,
     }
     result.signal_start = common::monotonic_now();
     for (int k = 0; k < count; ++k) {
-      auto& slot = *slots_[static_cast<size_t>(k)];
+      auto& slot = slots_[static_cast<size_t>(k)];
       std::lock_guard lock(slot.cv);
       slot.job = ctx;
       slot.force_flag.store(false, std::memory_order_relaxed);
@@ -199,18 +242,22 @@ OptionalPool::RoundResult OptionalPool::run_round(const JobContext& ctx,
       ctx.optional_deadline + options_.completion_margin;
   constexpr Nanos kRecoveryRetryInterval = common::millis(10);
   const auto rewake_unconsumed = [&] {
+    bool any_stranded = false;
     for (int k = 0; k < count; ++k) {
-      auto& slot = *slots_[static_cast<size_t>(k)];
+      auto& slot = slots_[static_cast<size_t>(k)];
       bool stranded = false;
-      if (backend_ == WakeBackend::kFutexWord) {
-        stranded = slot.cmd.load(std::memory_order_acquire) == kCmdReady;
-        if (stranded) rt::wake_word(slot.cmd, 1);
-      } else {
+      if (backend_ == WakeBackend::kCondvar) {
         std::lock_guard lock(slot.cv);
         stranded = slot.state == Slot::State::kReady;
         if (stranded) slot.cv.notify_one();
+      } else {
+        stranded = slot.cmd.load(std::memory_order_acquire) == kCmdReady;
+        if (stranded && backend_ == WakeBackend::kFutexWord) {
+          rt::wake_word(slot.cmd, 1);
+        }
       }
       if (stranded) {
+        any_stranded = true;
         wake_retries_.fetch_add(1, std::memory_order_relaxed);
         if (emit_window) {
           caller_trace_->emit({telemetry_->now(), task_, ctx.job, k,
@@ -218,8 +265,13 @@ OptionalPool::RoundResult OptionalPool::run_round(const JobContext& ctx,
         }
       }
     }
+    // kFutexBatch: however many workers are stranded, recovery is the
+    // same single broadcast the normal path uses.
+    if (any_stranded && backend_ == WakeBackend::kFutexBatch) {
+      batch_wake_workers();
+    }
   };
-  if (backend_ == WakeBackend::kFutexWord) {
+  if (backend_ != WakeBackend::kCondvar) {
     if (!wait_completion_word(force_deadline)) {
       force_parts(count);
       while (!wait_completion_word(common::monotonic_now() +
@@ -286,7 +338,7 @@ bool OptionalPool::wait_completion_word(Nanos abs_deadline) {
 
 void OptionalPool::force_parts(int count) {
   for (int k = 0; k < count; ++k) {
-    slots_[static_cast<size_t>(k)]->force_flag.store(
+    slots_[static_cast<size_t>(k)].force_flag.store(
         true, std::memory_order_relaxed);
   }
 }
@@ -302,13 +354,32 @@ std::uint32_t OptionalPool::wait_for_command(Slot& slot) {
     if (cmd == kCmdIdle) {
       // Commit to sleeping.  If the signaller's exchange lands between
       // this CAS and the FUTEX_WAIT, the wait returns immediately
-      // (word != kCmdParked).
+      // (word != kCmdParked under kFutexWord; the command re-check below
+      // under kFutexBatch).
       std::uint32_t expected = kCmdIdle;
       if (slot.cmd.compare_exchange_strong(expected, kCmdParked,
                                            std::memory_order_acq_rel,
                                            std::memory_order_acquire)) {
-        rt::wait_word(slot.cmd, kCmdParked);
-        cmd = slot.cmd.load(std::memory_order_acquire);
+        if (backend_ == WakeBackend::kFutexBatch) {
+          // Sleep on the SHARED generation word.  Order is load-gen →
+          // re-check-cmd → wait: the signaller publishes commands before
+          // bumping the generation, so seeing the new generation implies
+          // seeing our command, and a bump between our generation load
+          // and the FUTEX_WAIT bounces off the kernel's revalidation.
+          // No interleaving leaves us asleep with a command pending.
+          for (;;) {
+            const std::uint32_t gen =
+                wake_gen_.load(std::memory_order_acquire);
+            cmd = slot.cmd.load(std::memory_order_acquire);
+            if (cmd != kCmdParked) break;
+            rt::wait_word(wake_gen_, gen);
+            // Woken (possibly for a round that signals other parts only)
+            // — re-check our command against the NEW generation.
+          }
+        } else {
+          rt::wait_word(slot.cmd, kCmdParked);
+          cmd = slot.cmd.load(std::memory_order_acquire);
+        }
       } else {
         cmd = expected;
       }
@@ -387,7 +458,7 @@ void OptionalPool::execute_part(Slot& slot, int part, const JobContext& job,
 }
 
 void OptionalPool::thread_main(int part) {
-  auto& slot = *slots_[static_cast<size_t>(part)];
+  auto& slot = slots_[static_cast<size_t>(part)];
   slot.handle.store(pthread_self(), std::memory_order_relaxed);
   slot.alive.store(true, std::memory_order_release);
   // Every exit path must lower the alive flag — it is what tells the
@@ -407,7 +478,7 @@ void OptionalPool::thread_main(int part) {
   }
   for (;;) {
     JobContext job;
-    if (backend_ == WakeBackend::kFutexWord) {
+    if (backend_ != WakeBackend::kCondvar) {
       const std::uint32_t cmd = wait_for_command(slot);
       if (cmd == kCmdShutdown) return;
       // Chaos: the worker dies with the command UNCONSUMED (cmd stays
@@ -430,9 +501,15 @@ void OptionalPool::thread_main(int part) {
       slot.state = Slot::State::kIdle;
     }
 
+    // Recycle this slot's scratch (one store) and expose it to the body.
+    if (slot.scratch.capacity() > 0) {
+      slot.scratch.reset();
+      job.scratch = &slot.scratch;
+    }
+
     execute_part(slot, part, job, trace);
 
-    if (backend_ == WakeBackend::kFutexWord) {
+    if (backend_ != WakeBackend::kCondvar) {
       // Single-countdown Δe path: one atomic per part, one wake syscall
       // per round at most — and none at all when the mandatory thread is
       // still in its adaptive spin (waiter bit unset).
@@ -461,7 +538,7 @@ void OptionalPool::thread_main(int part) {
 fault::WorkerHealth OptionalPool::worker_health(int worker) const {
   fault::WorkerHealth health;
   if (worker < 0 || worker >= size()) return health;
-  const Slot& slot = *slots_[static_cast<size_t>(worker)];
+  const Slot& slot = slots_[static_cast<size_t>(worker)];
   health.alive = slot.alive.load(std::memory_order_acquire);
   health.busy_since = slot.busy_since.load(std::memory_order_relaxed);
   health.busy = health.busy_since != 0;
@@ -474,7 +551,7 @@ void OptionalPool::force_worker(int worker) {
   if (worker < 0 || worker >= size()) return;
   // The same slot-owned flag the force-after-margin path writes; the
   // part's StopToken observes it, so this is idempotent and lock-free.
-  slots_[static_cast<size_t>(worker)]->force_flag.store(
+  slots_[static_cast<size_t>(worker)].force_flag.store(
       true, std::memory_order_relaxed);
 }
 
@@ -485,7 +562,7 @@ bool OptionalPool::kill_worker(int worker) {
   // sigsetjmp region).  Under periodic-check the body polls and under
   // try-catch the unwind tables only cover the strategy's own TU.
   if (options_.termination != TerminationStrategy::kSigjmp) return false;
-  auto& slot = *slots_[static_cast<size_t>(worker)];
+  auto& slot = slots_[static_cast<size_t>(worker)];
   if (!slot.alive.load(std::memory_order_acquire)) return false;
   if (slot.busy_since.load(std::memory_order_relaxed) == 0) return false;
   ensure_sigjmp_handler_installed();
@@ -496,7 +573,7 @@ bool OptionalPool::kill_worker(int worker) {
 bool OptionalPool::respawn_worker(int worker) {
   std::lock_guard lock(lifecycle_mutex_);
   if (!started_ || worker < 0 || worker >= size()) return false;
-  auto& slot = *slots_[static_cast<size_t>(worker)];
+  auto& slot = slots_[static_cast<size_t>(worker)];
   if (slot.alive.load(std::memory_order_acquire)) return false;
   auto& thread = threads_[static_cast<size_t>(worker)];
   if (thread.joinable()) thread.join();  // reap the exited thread

@@ -11,16 +11,30 @@
 //   * the last part to end wakes the caller for the next mandatory
 //     segment / wind-up part.
 //
-// Two interchangeable wake backends (A/B-measured by
-// bench/micro_wake_path):
+// Three interchangeable wake backends (A/B-measured by
+// bench/micro_wake_path and bench/micro_dispatch):
 //
-//   kFutexWord — the fast path.  Each slot is a cache-line-aligned atomic
-//     command word; signalling a part is one release-exchange plus one
-//     FUTEX_WAKE (skipped entirely when the worker is still spinning
-//     between back-to-back rounds — workers run a bounded adaptive spin
-//     before committing to FUTEX_WAIT).  Round completion is a single
-//     atomic countdown whose last decrementer issues at most one wake of
-//     the mandatory thread; the timeout/forcing path waits on an absolute
+//   kFutexBatch — the default fast path.  Per-slot command words as in
+//     kFutexWord, but the fan-out wake is BATCHED through one shared
+//     eventcount word (wake_gen_): the signaller publishes all k command
+//     words first, bumps the generation once, and issues at most ONE
+//     FUTEX_WAKE(INT_MAX) — 1 syscall per fan-out instead of up to k.
+//     Workers load the generation, re-check their own command word, and
+//     only then sleep on the generation word, so the bump-after-publish
+//     ordering makes the per-slot lost-wake window structurally
+//     impossible: a worker that reads the new generation must also see
+//     its command, and a worker that read the old generation is caught by
+//     the kernel's word revalidation at FUTEX_WAIT entry.  Recovery and
+//     shutdown reuse the same single batched wake.
+//
+//   kFutexWord — the per-slot protocol.  Signalling a part is one
+//     release-exchange plus one FUTEX_WAKE per parked worker (skipped
+//     entirely when the worker is still spinning between back-to-back
+//     rounds — workers run a bounded adaptive spin before committing to
+//     FUTEX_WAIT).  Kept as the A/B baseline for the batch protocol.
+//     In both futex backends round completion is a single atomic
+//     countdown whose last decrementer issues at most one wake of the
+//     mandatory thread; the timeout/forcing path waits on an absolute
 //     CLOCK_MONOTONIC deadline (FUTEX_WAIT_BITSET).  Forcing stragglers
 //     is lock-free: each slot owns an atomic force flag that the part's
 //     StopToken observes (StopToken::bind_force_flag), so the mandatory
@@ -31,19 +45,25 @@
 //     compiled as the A/B baseline, with its timed wait fixed to run on
 //     CLOCK_MONOTONIC (rt::MonotonicCond) instead of assuming
 //     steady_clock shares clock_gettime's epoch.
+//
+// Steady-state allocation contract (DESIGN.md §11): after start(), a
+// round performs ZERO heap allocations — slots live in one contiguous
+// aligned array, part bodies are inline-storage callables, and per-part
+// scratch comes from a slot-owned Arena reset between rounds.
 #pragma once
 
 #include <pthread.h>
 
 #include <atomic>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/cacheline.hpp"
+#include "common/inplace_function.hpp"
 #include "core/task_config.hpp"
 #include "fault/supervisor.hpp"
 #include "obs/telemetry.hpp"
@@ -55,24 +75,27 @@ namespace rtseed::core {
 /// How the mandatory thread hands work to (and collects completions from)
 /// the optional threads.
 enum class WakeBackend {
-  kAuto,       ///< kFutexWord unless overridden via RTSEED_WAKE_BACKEND env
-  kFutexWord,  ///< atomic state word + futex (or std::atomic wait) — fast
-  kCondvar,    ///< legacy mutex+condvar protocol — the A/B baseline
+  kAuto,       ///< kFutexBatch unless overridden via RTSEED_WAKE_BACKEND env
+  kFutexBatch, ///< per-slot words + ONE batched wake per fan-out — default
+  kFutexWord,  ///< per-slot words + per-slot wakes — the batch A/B baseline
+  kCondvar,    ///< legacy mutex+condvar protocol — the paper baseline
 };
 
 const char* wake_backend_name(WakeBackend backend);
 
 /// Resolves kAuto: the RTSEED_WAKE_BACKEND environment variable
-/// ("futex"/"condvar") wins, otherwise kFutexWord.  Explicit requests pass
-/// through untouched.
+/// ("futex-batch"/"futex"/"condvar") wins, otherwise kFutexBatch.
+/// Explicit requests pass through untouched.
 WakeBackend resolve_wake_backend(WakeBackend requested);
 
 class OptionalPool : public fault::SupervisedPool {
  public:
   /// Body of part `part`; invoked on that part's pinned thread.  Under
-  /// kSigjmp/kTryCatch it may be abandoned at any instruction.
-  using PartBody =
-      std::function<void(const JobContext&, int part, StopToken&)>;
+  /// kSigjmp/kTryCatch it may be abandoned at any instruction.  Inline
+  /// storage only — a capture over 64 bytes is a compile error, never a
+  /// hidden heap allocation on the dispatch path.
+  using PartBody = common::InplaceFunction<
+      void(const JobContext&, int part, StopToken&), 64>;
 
   struct Options {
     TerminationStrategy termination = TerminationStrategy::kSigjmp;
@@ -85,6 +108,10 @@ class OptionalPool : public fault::SupervisedPool {
     /// Repair the blocked-signal defect of kTryCatch terminations
     /// (TerminationOptions::repair_signal_mask; OFF = paper-faithful).
     bool repair_signal_mask = true;
+    /// Capacity of each slot's scratch Arena (JobContext::scratch),
+    /// reserved once at pool construction and reset (no frees) before
+    /// every part.  0 disables scratch (ctx.scratch == nullptr).
+    common::usize scratch_bytes = 4096;
   };
 
   OptionalPool(Options options, PartBody body);
@@ -95,7 +122,7 @@ class OptionalPool : public fault::SupervisedPool {
   /// Joins all threads.
   ~OptionalPool() override;
 
-  int size() const { return static_cast<int>(slots_.size()); }
+  int size() const { return num_slots_; }
   common::CpuId cpu(int part) const {
     return options_.cpus[static_cast<size_t>(part)];
   }
@@ -200,6 +227,11 @@ class OptionalPool : public fault::SupervisedPool {
     std::atomic<Nanos> busy_deadline{0};
     std::atomic<bool> alive{false};
     std::atomic<pthread_t> handle{};
+
+    /// Per-part scratch handed to the body via JobContext::scratch.
+    /// Reserved once at pool construction, reset() (one store) per part —
+    /// never resized on the hot path.
+    common::Arena scratch;
   };
   // Layout checks: the alignas directives above must actually separate
   // the hot cmd word (offset 0) from the job context — a Slot smaller
@@ -215,6 +247,11 @@ class OptionalPool : public fault::SupervisedPool {
   void spawn_worker_locked(int part);
   /// Blocks until cmd != kIdle/kParked; returns kCmdReady or kCmdShutdown.
   std::uint32_t wait_for_command(Slot& slot);
+  /// The one batched wake (kFutexBatch): bumps the generation so a worker
+  /// between its generation load and FUTEX_WAIT entry cannot sleep past
+  /// us, then wakes every sleeper with a single syscall.  Callers publish
+  /// all command words FIRST.
+  void batch_wake_workers();
   /// Runs one signalled part: timestamps, termination strategy, outcome
   /// counters.  Shared by both backends.
   void execute_part(Slot& slot, int part, const JobContext& job,
@@ -229,7 +266,10 @@ class OptionalPool : public fault::SupervisedPool {
   WakeBackend backend_;
   PartBody body_;
 
-  std::vector<std::unique_ptr<Slot>> slots_;
+  /// One contiguous cache-line-aligned allocation (no pointer chase per
+  /// part in the signal loop).
+  common::AlignedArrayPtr<Slot> slots_;
+  int num_slots_ = 0;
   /// Guards threads_/started_ against respawn vs shutdown races (the
   /// supervisor respawns from its own thread).  Never taken on the
   /// run_round / execute_part hot path.
@@ -242,6 +282,9 @@ class OptionalPool : public fault::SupervisedPool {
   // must not share its line (or each other's) or the final decrements
   // serialize on cache-line ownership.
   alignas(common::kCacheLine) std::atomic<std::uint32_t> remaining_{0};
+  /// kFutexBatch eventcount: bumped once per fan-out (and per recovery /
+  /// shutdown broadcast); all parked workers sleep on this one word.
+  alignas(common::kCacheLine) std::atomic<std::uint32_t> wake_gen_{0};
   alignas(common::kCacheLine) std::atomic<int> round_completed_{0};
   alignas(common::kCacheLine) std::atomic<int> round_terminated_{0};
   alignas(common::kCacheLine) std::atomic<Nanos> first_part_start_{0};

@@ -3,9 +3,10 @@
 // execMandatory / execOptional / execWindup member functions (§IV-C).
 #pragma once
 
-#include <functional>
 #include <string>
 
+#include "common/arena.hpp"
+#include "common/inplace_function.hpp"
 #include "core/termination.hpp"
 #include "sched/task_model.hpp"
 
@@ -21,18 +22,30 @@ struct JobContext {
   Nanos release = 0;           ///< this job's release time
   Nanos deadline = 0;          ///< release + Dᵢ
   Nanos optional_deadline = 0; ///< release + ODᵢ (computed offline)
+  /// Per-part scratch, owned by the executing worker's slot and recycled
+  /// (reset, O(1), no frees) before each part.  Bodies that need dynamic-
+  /// looking storage bump-allocate here instead of touching the heap; the
+  /// pointer is null for callbacks outside an optional part (mandatory /
+  /// wind-up) and when the pool was configured with scratch_bytes = 0.
+  common::Arena* scratch = nullptr;
 };
 
-/// The three parts of a parallel-extended imprecise task.
+/// The three parts of a parallel-extended imprecise task.  Inline-storage
+/// callables (not std::function): assignment happens on the setup path
+/// but a capture that outgrows the inline capacity would silently move
+/// construction cost — and with std::function, a potential allocation —
+/// onto copies made near the hot path, so oversize is a compile error.
 struct TaskCallbacks {
   /// Mandatory part — e.g. obtain exchange data (paper §II-A).
-  std::function<void(const JobContext&)> mandatory;
+  common::InplaceFunction<void(const JobContext&), 64> mandatory;
   /// k-th parallel optional part — e.g. technical/fundamental analysis.
   /// May be abandoned at any instruction under kSigjmp/kTryCatch; must
   /// poll the token under kPeriodicCheck.  Must not acquire resources.
-  std::function<void(const JobContext&, int part_index, StopToken&)> optional;
+  common::InplaceFunction<void(const JobContext&, int part_index, StopToken&),
+                          64>
+      optional;
   /// Wind-up part — e.g. collect results and emit the trading decision.
-  std::function<void(const JobContext&)> windup;
+  common::InplaceFunction<void(const JobContext&), 64> windup;
 };
 
 struct TaskConfig {

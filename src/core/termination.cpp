@@ -27,8 +27,7 @@ const char* optional_outcome_name(OptionalOutcome outcome) {
 }
 
 TerminationResult run_with_deadline(TerminationStrategy strategy,
-                                    Nanos abs_deadline,
-                                    const OptionalBody& body,
+                                    Nanos abs_deadline, OptionalBodyRef body,
                                     const TerminationOptions& options) {
   switch (strategy) {
     case TerminationStrategy::kSigjmp:

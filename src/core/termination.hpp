@@ -25,8 +25,8 @@
 #pragma once
 
 #include <atomic>
-#include <functional>
 
+#include "common/inplace_function.hpp"
 #include "common/status.hpp"
 #include "common/time.hpp"
 
@@ -89,7 +89,14 @@ class StopToken {
 
 /// An optional part's body.  Under kSigjmp/kTryCatch it may be abandoned at
 /// any instruction; under kPeriodicCheck it must poll the token.
-using OptionalBody = std::function<void(StopToken&)>;
+/// Owning, with inline closure storage only — a capture over 64 bytes is a
+/// compile error, never a heap allocation.
+using OptionalBody = common::InplaceFunction<void(StopToken&), 64>;
+
+/// What run_with_deadline actually consumes: a non-owning view, so the
+/// dispatch hot path hands over a stack lambda with zero copies and zero
+/// allocations.  An OptionalBody lvalue converts implicitly.
+using OptionalBodyRef = common::FunctionRef<void(StopToken&)>;
 
 struct TerminationResult {
   OptionalOutcome outcome = OptionalOutcome::kCompleted;
@@ -113,8 +120,7 @@ struct TerminationOptions {
 /// under the given strategy.  Must be called on the thread that executes
 /// the optional part (per-thread timers are armed on the caller).
 TerminationResult run_with_deadline(TerminationStrategy strategy,
-                                    Nanos abs_deadline,
-                                    const OptionalBody& body,
+                                    Nanos abs_deadline, OptionalBodyRef body,
                                     const TerminationOptions& options = {});
 
 /// Signals used by the timer-driven strategies (exposed for tests).
@@ -138,9 +144,9 @@ bool repair_signal_mask_after_trycatch();
 
 namespace rtseed::core::detail {
 // Strategy implementations (separate TUs; kTryCatch needs special flags).
-TerminationResult run_sigjmp(Nanos abs_deadline, const OptionalBody& body);
+TerminationResult run_sigjmp(Nanos abs_deadline, OptionalBodyRef body);
 TerminationResult run_periodic_check(Nanos abs_deadline,
-                                     const OptionalBody& body);
-TerminationResult run_trycatch(Nanos abs_deadline, const OptionalBody& body,
+                                     OptionalBodyRef body);
+TerminationResult run_trycatch(Nanos abs_deadline, OptionalBodyRef body,
                                bool repair_signal_mask);
 }  // namespace rtseed::core::detail

@@ -7,7 +7,7 @@
 namespace rtseed::core::detail {
 
 TerminationResult run_periodic_check(Nanos abs_deadline,
-                                     const OptionalBody& body) {
+                                     OptionalBodyRef body) {
   StopToken token(abs_deadline);
   body(token);
 

@@ -61,7 +61,7 @@ void ensure_sigjmp_handler_installed() { detail::install_handler_once(); }
 
 namespace detail {
 
-TerminationResult run_sigjmp(Nanos abs_deadline, const OptionalBody& body) {
+TerminationResult run_sigjmp(Nanos abs_deadline, OptionalBodyRef body) {
   install_handler_once();
   (void)rt::unblock_signal(sigjmp_signal());
   auto& timer = thread_timer();

@@ -60,7 +60,7 @@ rt::OneShotTimer& thread_timer() {
 
 }  // namespace
 
-TerminationResult run_trycatch(Nanos abs_deadline, const OptionalBody& body,
+TerminationResult run_trycatch(Nanos abs_deadline, OptionalBodyRef body,
                                bool repair_signal_mask) {
   install_handler_once();
   (void)rt::unblock_signal(trycatch_signal());

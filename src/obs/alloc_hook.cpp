@@ -1,0 +1,132 @@
+// Global operator new/delete overrides that count every heap allocation
+// the process makes — the instrument behind the "steady-state hot path
+// allocates nothing" gate (DESIGN.md §11).
+//
+// Built as the `rtseed_alloc_hook` OBJECT library and linked ONLY by
+// binaries that audit allocations (the zero-alloc tier-1 tests and
+// bench/micro_dispatch).  Object-library linkage guarantees these
+// overrides land in the final link; nothing else in the tree ever pulls
+// them in by accident.
+//
+// Disabled under ASan/TSan: the sanitizer runtimes interpose the
+// allocator themselves and replacing operator new underneath them breaks
+// their bookkeeping (new/delete mismatch reports, quarantine).  In those
+// builds this TU is empty and alloc_hook_installed() stays false.
+#include "obs/hotpath_audit.hpp"
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define RTSEED_ALLOC_HOOK_DISABLED 1
+#endif
+#endif
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__) || \
+    defined(RTSEED_TSAN)
+#define RTSEED_ALLOC_HOOK_DISABLED 1
+#endif
+
+#ifndef RTSEED_ALLOC_HOOK_DISABLED
+
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+using rtseed::obs::detail::g_alloc_bytes;
+using rtseed::obs::detail::g_alloc_calls;
+using rtseed::obs::detail::g_free_calls;
+
+void* counted_alloc(std::size_t size) {
+  g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(static_cast<std::int64_t>(size),
+                          std::memory_order_relaxed);
+  // malloc(0) may return nullptr legally; operator new must not.
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) {
+  g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(static_cast<std::int64_t>(size),
+                          std::memory_order_relaxed);
+  if (align < sizeof(void*)) align = sizeof(void*);
+  void* ptr = nullptr;
+  if (posix_memalign(&ptr, align, size == 0 ? align : size) != 0) {
+    return nullptr;
+  }
+  return ptr;
+}
+
+void counted_free(void* ptr) {
+  if (ptr == nullptr) return;
+  g_free_calls.fetch_add(1, std::memory_order_relaxed);
+  std::free(ptr);
+}
+
+// Runs during static initialization of any binary linking the hook.
+const bool g_installed_marker = [] {
+  rtseed::obs::detail::g_hook_installed.store(true,
+                                              std::memory_order_relaxed);
+  return true;
+}();
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* ptr = counted_alloc(size);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* ptr = counted_aligned_alloc(size, static_cast<std::size_t>(align));
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* ptr) noexcept { counted_free(ptr); }
+void operator delete[](void* ptr) noexcept { counted_free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { counted_free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { counted_free(ptr); }
+void operator delete(void* ptr, std::align_val_t) noexcept {
+  counted_free(ptr);
+}
+void operator delete[](void* ptr, std::align_val_t) noexcept {
+  counted_free(ptr);
+}
+void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept {
+  counted_free(ptr);
+}
+void operator delete[](void* ptr, std::size_t, std::align_val_t) noexcept {
+  counted_free(ptr);
+}
+void operator delete(void* ptr, const std::nothrow_t&) noexcept {
+  counted_free(ptr);
+}
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
+  counted_free(ptr);
+}
+
+#endif  // RTSEED_ALLOC_HOOK_DISABLED

@@ -1,0 +1,28 @@
+#include "obs/hotpath_audit.hpp"
+
+namespace rtseed::obs {
+
+namespace detail {
+std::atomic<std::int64_t> g_alloc_calls{0};
+std::atomic<std::int64_t> g_free_calls{0};
+std::atomic<std::int64_t> g_alloc_bytes{0};
+std::atomic<bool> g_hook_installed{false};
+}  // namespace detail
+
+AllocStats alloc_stats() {
+  AllocStats stats;
+  stats.alloc_calls = detail::g_alloc_calls.load(std::memory_order_relaxed);
+  stats.free_calls = detail::g_free_calls.load(std::memory_order_relaxed);
+  stats.alloc_bytes = detail::g_alloc_bytes.load(std::memory_order_relaxed);
+  return stats;
+}
+
+bool alloc_hook_installed() {
+  return detail::g_hook_installed.load(std::memory_order_relaxed);
+}
+
+HotpathSnapshot hotpath_snapshot() {
+  return {alloc_stats(), rt::wake_stats()};
+}
+
+}  // namespace rtseed::obs

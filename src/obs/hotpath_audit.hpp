@@ -1,0 +1,80 @@
+// Hot-path audit: machine-checkable counters for the two resources the
+// steady-state per-job path must not consume — heap allocations and wake
+// syscalls (DESIGN.md §11).
+//
+// Allocation counting is OPT-IN per binary: the counters live here (in
+// rtseed_obs, always linkable) but only tick when the binary also links
+// the `rtseed_alloc_hook` object library, whose global operator
+// new/delete overrides bump them.  Binaries that don't link the hook pay
+// nothing and read zeros; `alloc_hook_installed()` says which world you
+// are in, so audits can fail loudly instead of vacuously passing.
+//
+// The hook is NOT built under AddressSanitizer/ThreadSanitizer — the
+// sanitizer runtimes own the allocator there, and replacing operator new
+// underneath them degrades their reports.  The zero-alloc tier-1 tests
+// are excluded from those configurations too (tests/CMakeLists.txt).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "rt/futex.hpp"
+
+namespace rtseed::obs {
+
+namespace detail {
+// Bumped by alloc_hook.cpp's operator new/delete overrides.  Relaxed:
+// the counters are statistics, never synchronization.
+extern std::atomic<std::int64_t> g_alloc_calls;
+extern std::atomic<std::int64_t> g_free_calls;
+extern std::atomic<std::int64_t> g_alloc_bytes;
+extern std::atomic<bool> g_hook_installed;
+}  // namespace detail
+
+struct AllocStats {
+  std::int64_t alloc_calls = 0;  ///< global operator new invocations
+  std::int64_t free_calls = 0;   ///< global operator delete invocations
+  std::int64_t alloc_bytes = 0;  ///< total bytes requested from new
+};
+
+/// Process-wide allocation counters (all zeros unless the hook is linked).
+AllocStats alloc_stats();
+
+/// True when this binary links rtseed_alloc_hook and the overrides are
+/// live.  Audits should assert this before trusting a zero delta.
+bool alloc_hook_installed();
+
+/// One snapshot of every hot-path resource counter.
+struct HotpathSnapshot {
+  AllocStats alloc;
+  rt::WakeStats wake;
+};
+
+HotpathSnapshot hotpath_snapshot();
+
+/// Delta-measurement over a scope: snapshot at construction, subtract on
+/// demand.  Counters are process-global, so concurrent threads' activity
+/// is included — which is exactly right for auditing a pool round (the
+/// workers' allocations count against the round too).
+class HotpathAudit {
+ public:
+  HotpathAudit() : begin_(hotpath_snapshot()) {}
+
+  AllocStats alloc_delta() const {
+    const AllocStats now = alloc_stats();
+    return {now.alloc_calls - begin_.alloc.alloc_calls,
+            now.free_calls - begin_.alloc.free_calls,
+            now.alloc_bytes - begin_.alloc.alloc_bytes};
+  }
+
+  rt::WakeStats wake_delta() const {
+    const rt::WakeStats now = rt::wake_stats();
+    return {now.wake_calls - begin_.wake.wake_calls,
+            now.wait_sleeps - begin_.wake.wait_sleeps};
+  }
+
+ private:
+  HotpathSnapshot begin_;
+};
+
+}  // namespace rtseed::obs

@@ -23,6 +23,32 @@ namespace rtseed::rt {
 static_assert(std::atomic<std::uint32_t>::is_always_lock_free,
               "the wait word must be a plain 32-bit cell");
 
+namespace {
+
+std::atomic<std::uint64_t> g_wake_calls{0};
+std::atomic<std::uint64_t> g_wait_sleeps{0};
+
+inline void count_wake() {
+  g_wake_calls.fetch_add(1, std::memory_order_relaxed);
+}
+inline void count_sleep() {
+  g_wait_sleeps.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+WakeStats wake_stats() {
+  WakeStats stats;
+  stats.wake_calls = g_wake_calls.load(std::memory_order_relaxed);
+  stats.wait_sleeps = g_wait_sleeps.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void reset_wake_stats() {
+  g_wake_calls.store(0, std::memory_order_relaxed);
+  g_wait_sleeps.store(0, std::memory_order_relaxed);
+}
+
 #if RTSEED_FUTEX_NATIVE
 
 namespace {
@@ -41,6 +67,7 @@ bool futex_backend() { return true; }
 const char* wait_backend_name() { return "futex"; }
 
 void wake_word(std::atomic<std::uint32_t>& word, int count) {
+  count_wake();
   sys_futex(&word, FUTEX_WAKE | FUTEX_PRIVATE_FLAG,
             static_cast<std::uint32_t>(count), nullptr, 0);
 }
@@ -51,6 +78,7 @@ void wait_word(std::atomic<std::uint32_t>& word, std::uint32_t expected) {
     // must absorb it by re-checking the word.
     if (fault::try_fire(fault::InjectPoint::kEintrStorm)) continue;
     // EAGAIN (word changed before we slept) and EINTR both re-check.
+    count_sleep();
     sys_futex(&word, FUTEX_WAIT | FUTEX_PRIVATE_FLAG, expected, nullptr, 0);
   }
 }
@@ -69,6 +97,7 @@ bool wait_word_until(std::atomic<std::uint32_t>& word,
       }
       continue;
     }
+    count_sleep();
     const long rc = sys_futex(&word, FUTEX_WAIT_BITSET | FUTEX_PRIVATE_FLAG,
                               expected, &ts, FUTEX_BITSET_MATCH_ANY);
     if (rc == -1 && errno == ETIMEDOUT) {
@@ -84,6 +113,7 @@ bool futex_backend() { return false; }
 const char* wait_backend_name() { return "atomic-wait"; }
 
 void wake_word(std::atomic<std::uint32_t>& word, int count) {
+  count_wake();
   if (count > 1) {
     word.notify_all();
   } else {
@@ -95,6 +125,7 @@ void wait_word(std::atomic<std::uint32_t>& word, std::uint32_t expected) {
   while (word.load(std::memory_order_acquire) == expected) {
     // Chaos: behave as if the wait returned spuriously (EINTR-equivalent).
     if (fault::try_fire(fault::InjectPoint::kEintrStorm)) continue;
+    count_sleep();
     word.wait(expected, std::memory_order_acquire);
   }
 }
@@ -118,6 +149,7 @@ bool wait_word_until(std::atomic<std::uint32_t>& word,
     }
     // Chaos: skip the sleep slice, as an interrupted nanosleep would.
     if (fault::try_fire(fault::InjectPoint::kEintrStorm)) continue;
+    count_sleep();
     const common::Nanos slice = std::min(kMaxSlice, abs_deadline - now);
     std::this_thread::sleep_for(std::chrono::nanoseconds(slice));
   }

@@ -42,6 +42,22 @@ inline void cpu_relax() {
 /// RTSEED_PORTABLE_WAIT std::atomic fallback).
 bool futex_backend();
 
+/// Process-wide counters of the wake path's kernel traffic, kept with
+/// relaxed increments (one per actual syscall / notify, nothing on the
+/// skip-when-spinning fast path).  Benches and the syscall-budget tests
+/// read these to assert claims like "one batched wake per fan-out".
+struct WakeStats {
+  std::uint64_t wake_calls = 0;   ///< wake_word invocations
+  std::uint64_t wait_sleeps = 0;  ///< kernel sleeps entered by wait_word*
+};
+
+/// Snapshot of the counters since process start (or the last reset).
+WakeStats wake_stats();
+
+/// Zeroes the counters — benches call this between A/B arms.  Racing
+/// increments may straddle the reset; callers quiesce the pool first.
+void reset_wake_stats();
+
 /// "futex" or "atomic-wait" — for bench/report labels.
 const char* wait_backend_name();
 

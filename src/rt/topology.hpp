@@ -1,60 +1,15 @@
-// CPU topology: how hardware threads (Linux CPUs) group into physical cores.
-//
-// RT-Seed's assignment policies (one-by-one / two-by-two / all-by-all,
-// paper §V-A) are defined in terms of (core, SMT-sibling) coordinates, so
-// the middleware needs an explicit topology.  Three sources:
-//   * Topology::native()     — this host (sysfs when available);
-//   * Topology::uniform(...) — synthetic cores x smt grid;
-//   * Topology::xeon_phi_3120a() — the paper's machine: 57 cores x 4.
+// Compatibility alias: the topology model moved to common/topology.hpp so
+// sched/core-level assignment policies can use it without depending on the
+// rt (Linux syscall) layer.  rt::Topology remains a valid name for existing
+// includes.
 #pragma once
 
-#include <string>
-#include <vector>
-
-#include "common/status.hpp"
-#include "common/types.hpp"
+#include "common/topology.hpp"
 
 namespace rtseed::rt {
 
 using common::CoreId;
 using common::CpuId;
-
-class Topology {
- public:
-  /// Synthetic grid: hardware thread ids are core*smt_per_core + sibling.
-  static Topology uniform(int cores, int smt_per_core);
-
-  /// The evaluation platform of the paper: Xeon Phi 3120A, 57 cores,
-  /// 4 hardware threads per core (228 CPUs).
-  static Topology xeon_phi_3120a() { return uniform(57, 4); }
-
-  /// Topology of this host (falls back to uniform(nproc, 1) when sysfs
-  /// is unavailable).
-  static Topology native();
-
-  int num_cores() const { return num_cores_; }
-  int smt_per_core() const { return smt_per_core_; }
-  int num_cpus() const { return static_cast<int>(cpu_of_.size()); }
-
-  /// The CPU id of (core, sibling); requires both in range.
-  CpuId cpu_at(CoreId core, int sibling) const;
-  CoreId core_of(CpuId cpu) const;
-  int sibling_of(CpuId cpu) const;
-  bool valid_cpu(CpuId cpu) const {
-    return cpu >= 0 && cpu < num_cpus();
-  }
-
-  std::string to_string() const;
-
- private:
-  Topology() = default;
-
-  int num_cores_ = 0;
-  int smt_per_core_ = 0;
-  // cpu_of_[core * smt_per_core + sibling] = cpu id
-  std::vector<CpuId> cpu_of_;
-  std::vector<CoreId> core_of_;     // indexed by cpu id
-  std::vector<int> sibling_of_;     // indexed by cpu id
-};
+using common::Topology;
 
 }  // namespace rtseed::rt

@@ -1,0 +1,131 @@
+#include "common/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace rtseed::common {
+namespace {
+
+TEST(Arena, BumpAllocatesAndResets) {
+  Arena arena(256);
+  EXPECT_EQ(arena.capacity(), 256u);
+  EXPECT_EQ(arena.used(), 0u);
+
+  void* a = arena.alloc(64);
+  void* b = arena.alloc(64);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_GE(arena.used(), 128u);
+
+  arena.reset();
+  EXPECT_EQ(arena.used(), 0u);
+  // After reset the same storage is handed out again.
+  EXPECT_EQ(arena.alloc(64), a);
+  EXPECT_GE(arena.high_water(), 128u);
+}
+
+TEST(Arena, RespectsAlignment) {
+  Arena arena(256);
+  (void)arena.alloc(1, 1);
+  void* p = arena.alloc(8, 64);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u);
+}
+
+TEST(Arena, ExhaustionReturnsNullNotGrowth) {
+  Arena arena(64);
+  EXPECT_NE(arena.alloc(64, 1), nullptr);
+  EXPECT_EQ(arena.alloc(1, 1), nullptr);
+  EXPECT_EQ(arena.used(), 64u);  // the failed alloc must not consume
+}
+
+TEST(Arena, TypedHelpers) {
+  Arena arena(1024);
+  int* xs = arena.alloc_array<int>(16);
+  ASSERT_NE(xs, nullptr);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(xs[i], 0);
+  double* d = arena.make<double>(2.5);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(*d, 2.5);
+}
+
+TEST(Arena, MoveTransfersOwnership) {
+  Arena a(128);
+  void* p = a.alloc(16);
+  ASSERT_NE(p, nullptr);
+  Arena b(std::move(a));
+  EXPECT_EQ(b.capacity(), 128u);
+  EXPECT_EQ(b.used(), 16u);
+  EXPECT_EQ(a.capacity(), 0u);  // NOLINT(bugprone-use-after-move)
+}
+
+struct Tracked {
+  static int live;
+  int value = 0;
+  explicit Tracked(int v) : value(v) { ++live; }
+  ~Tracked() { --live; }
+};
+int Tracked::live = 0;
+
+TEST(PoolAllocator, AcquireReleaseRoundTrip) {
+  PoolAllocator<Tracked> pool(4);
+  EXPECT_EQ(pool.capacity(), 4u);
+
+  Tracked* a = pool.acquire(1);
+  Tracked* b = pool.acquire(2);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->value, 1);
+  EXPECT_EQ(b->value, 2);
+  EXPECT_EQ(pool.in_use(), 2u);
+  EXPECT_EQ(Tracked::live, 2);
+  EXPECT_TRUE(pool.owns(a));
+
+  pool.release(a);
+  pool.release(b);
+  EXPECT_EQ(pool.in_use(), 0u);
+  EXPECT_EQ(Tracked::live, 0);
+}
+
+TEST(PoolAllocator, ExhaustionReturnsNull) {
+  PoolAllocator<Tracked> pool(2);
+  Tracked* a = pool.acquire(1);
+  Tracked* b = pool.acquire(2);
+  EXPECT_EQ(pool.acquire(3), nullptr);
+  // Releasing makes the slot reusable.
+  pool.release(a);
+  Tracked* c = pool.acquire(4);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value, 4);
+  pool.release(b);
+  pool.release(c);
+}
+
+struct alignas(128) OverAligned {
+  int payload = 7;
+};
+
+TEST(MakeAlignedArray, HonoursOverAlignment) {
+  auto array = make_aligned_array<OverAligned>(5);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(array[i].payload, 7);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(&array[i]) % 128, 0u);
+  }
+}
+
+TEST(MakeAlignedArray, RunsDestructors) {
+  Tracked::live = 0;
+  {
+    struct DefaultTracked : Tracked {
+      DefaultTracked() : Tracked(0) {}
+    };
+    auto array = make_aligned_array<DefaultTracked>(3);
+    EXPECT_EQ(Tracked::live, 3);
+  }
+  EXPECT_EQ(Tracked::live, 0);
+}
+
+}  // namespace
+}  // namespace rtseed::common

@@ -1,0 +1,109 @@
+#include "common/inplace_function.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace rtseed::common {
+namespace {
+
+TEST(FunctionRef, InvokesLambda) {
+  int hits = 0;
+  auto fn = [&hits](int x) { hits += x; };
+  FunctionRef<void(int)> ref(fn);
+  ASSERT_TRUE(static_cast<bool>(ref));
+  ref(3);
+  ref(4);
+  EXPECT_EQ(hits, 7);
+}
+
+TEST(FunctionRef, ReturnsValues) {
+  auto doubler = [](int x) { return x * 2; };
+  FunctionRef<int(int)> ref(doubler);
+  EXPECT_EQ(ref(21), 42);
+}
+
+TEST(FunctionRef, DefaultIsEmpty) {
+  FunctionRef<void()> ref;
+  EXPECT_FALSE(static_cast<bool>(ref));
+}
+
+int free_function(int x) { return x + 1; }
+
+TEST(FunctionRef, WrapsFreeFunction) {
+  FunctionRef<int(int)> ref(free_function);
+  EXPECT_EQ(ref(1), 2);
+}
+
+TEST(InplaceFunction, EmptyAndNullptr) {
+  InplaceFunction<void()> empty;
+  EXPECT_FALSE(static_cast<bool>(empty));
+  InplaceFunction<void()> null_constructed(nullptr);
+  EXPECT_FALSE(static_cast<bool>(null_constructed));
+  InplaceFunction<void()> assigned = [] {};
+  EXPECT_TRUE(static_cast<bool>(assigned));
+  assigned = nullptr;
+  EXPECT_FALSE(static_cast<bool>(assigned));
+}
+
+TEST(InplaceFunction, CapturesState) {
+  int counter = 0;
+  InplaceFunction<void(int)> fn = [&counter](int x) { counter += x; };
+  fn(5);
+  fn(6);
+  EXPECT_EQ(counter, 11);
+}
+
+TEST(InplaceFunction, CopySharesNoStorage) {
+  int a_calls = 0;
+  InplaceFunction<void()> a = [&a_calls] { ++a_calls; };
+  InplaceFunction<void()> b = a;
+  a();
+  b();
+  EXPECT_EQ(a_calls, 2);  // both reference the same captured int
+  ASSERT_TRUE(static_cast<bool>(a));
+  ASSERT_TRUE(static_cast<bool>(b));
+}
+
+TEST(InplaceFunction, MoveLeavesSourceEmpty) {
+  int calls = 0;
+  InplaceFunction<void()> a = [&calls] { ++calls; };
+  InplaceFunction<void()> b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  b();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(InplaceFunction, DestroysCapturedObjects) {
+  auto guard = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = guard;
+  {
+    InplaceFunction<int()> fn = [guard] { return *guard; };
+    guard.reset();
+    EXPECT_EQ(fn(), 1);
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(InplaceFunction, MoveOnlyCallable) {
+  auto owned = std::make_unique<int>(9);
+  InplaceFunction<int()> fn = [p = std::move(owned)] { return *p; };
+  EXPECT_EQ(fn(), 9);
+  InplaceFunction<int()> moved = std::move(fn);
+  EXPECT_EQ(moved(), 9);
+}
+
+TEST(InplaceFunction, ReassignmentDestroysPrevious) {
+  auto guard = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = guard;
+  InplaceFunction<void()> fn = [guard] {};
+  guard.reset();
+  EXPECT_FALSE(watch.expired());
+  fn = [] {};
+  EXPECT_TRUE(watch.expired());
+}
+
+}  // namespace
+}  // namespace rtseed::common

@@ -1,0 +1,198 @@
+#include "common/topology.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace rtseed::common {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Sysfs fixture scaffolding: builds a /sys/devices/system/cpu-shaped tree in
+// a temp dir so from_sysfs_root() can be exercised hermetically.
+
+class SysfsFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char templ[] = "/tmp/rtseed_topo_XXXXXX";
+    ASSERT_NE(mkdtemp(templ), nullptr);
+    root_ = templ;
+  }
+
+  void TearDown() override {
+    const std::string cmd = "rm -rf '" + root_ + "'";
+    (void)system(cmd.c_str());
+  }
+
+  void write_file(const std::string& rel, const std::string& content) {
+    std::string dir = root_;
+    std::string path = rel;
+    size_t pos = 0;
+    while ((pos = path.find('/', pos)) != std::string::npos) {
+      dir = root_ + "/" + path.substr(0, pos);
+      ::mkdir(dir.c_str(), 0755);
+      ++pos;
+    }
+    std::ofstream out(root_ + "/" + rel);
+    ASSERT_TRUE(out.is_open()) << rel;
+    out << content;
+  }
+
+  void add_cpu(int cpu, int core_id) {
+    write_file("cpu" + std::to_string(cpu) + "/topology/core_id",
+               std::to_string(core_id) + "\n");
+  }
+
+  void add_cache(int cpu, int index, int level, const std::string& shared) {
+    const std::string base =
+        "cpu" + std::to_string(cpu) + "/cache/index" + std::to_string(index);
+    write_file(base + "/level", std::to_string(level) + "\n");
+    write_file(base + "/shared_cpu_list", shared + "\n");
+  }
+
+  std::string root_;
+};
+
+TEST_F(SysfsFixture, SmtPairsAreGrouped) {
+  // 2 physical cores, 2 hardware threads each, Intel-style interleaved
+  // numbering: cpu0/cpu2 on core 0, cpu1/cpu3 on core 1.
+  add_cpu(0, 0);
+  add_cpu(1, 1);
+  add_cpu(2, 0);
+  add_cpu(3, 1);
+
+  const auto t = Topology::from_sysfs_root(root_, 4);
+  EXPECT_TRUE(t.from_sysfs());
+  EXPECT_EQ(t.num_cores(), 2);
+  EXPECT_EQ(t.smt_per_core(), 2);
+  EXPECT_EQ(t.num_cpus(), 4);
+  // cpu0 and cpu2 are siblings on the same core; cpu1 and cpu3 likewise.
+  EXPECT_EQ(t.core_of(0), t.core_of(2));
+  EXPECT_EQ(t.core_of(1), t.core_of(3));
+  EXPECT_NE(t.core_of(0), t.core_of(1));
+  // Round trip.
+  for (int cpu = 0; cpu < 4; ++cpu) {
+    EXPECT_EQ(t.cpu_at(t.core_of(cpu), t.sibling_of(cpu)), cpu);
+  }
+}
+
+TEST_F(SysfsFixture, CacheSharingSplitsLlcDomains) {
+  // 4 single-thread cores, two L3 complexes (AMD CCX style): cores {0,1}
+  // share one L3, cores {2,3} the other.
+  for (int cpu = 0; cpu < 4; ++cpu) {
+    add_cpu(cpu, cpu);
+    add_cache(cpu, 0, 1, std::to_string(cpu));   // private L1
+    add_cache(cpu, 3, 3, cpu < 2 ? "0-1" : "2-3");  // shared L3
+  }
+
+  const auto t = Topology::from_sysfs_root(root_, 4);
+  EXPECT_EQ(t.num_cores(), 4);
+  EXPECT_EQ(t.num_llc_domains(), 2);
+  EXPECT_TRUE(t.shares_llc(t.core_of(0), t.core_of(1)));
+  EXPECT_TRUE(t.shares_llc(t.core_of(2), t.core_of(3)));
+  EXPECT_FALSE(t.shares_llc(t.core_of(0), t.core_of(2)));
+}
+
+TEST_F(SysfsFixture, MissingCacheInfoMeansOneDomain) {
+  // Containers usually expose core_id but mask the cache directory.
+  add_cpu(0, 0);
+  add_cpu(1, 1);
+
+  const auto t = Topology::from_sysfs_root(root_, 2);
+  EXPECT_TRUE(t.from_sysfs());
+  EXPECT_EQ(t.num_cores(), 2);
+  EXPECT_EQ(t.num_llc_domains(), 1);
+  EXPECT_TRUE(t.shares_llc(0, 1));
+}
+
+TEST_F(SysfsFixture, NonUniformSmtFallsBackToFlat) {
+  // 3 CPUs: core 0 has two threads, core 1 has one — non-uniform, so the
+  // parser must degrade to the conservative flat shape.
+  add_cpu(0, 0);
+  add_cpu(1, 0);
+  add_cpu(2, 1);
+
+  const auto t = Topology::from_sysfs_root(root_, 3);
+  EXPECT_FALSE(t.from_sysfs());
+  EXPECT_EQ(t.num_cores(), 3);
+  EXPECT_EQ(t.smt_per_core(), 1);
+}
+
+TEST_F(SysfsFixture, MissingTreeFallsBackToFlat) {
+  const auto t = Topology::from_sysfs_root(root_ + "/nonexistent", 5);
+  EXPECT_FALSE(t.from_sysfs());
+  EXPECT_EQ(t.num_cores(), 5);
+  EXPECT_EQ(t.smt_per_core(), 1);
+  EXPECT_EQ(t.num_llc_domains(), 1);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(TopologyCommon, ParseCpuList) {
+  EXPECT_EQ(parse_cpu_list("0"), (std::vector<CpuId>{0}));
+  EXPECT_EQ(parse_cpu_list("0-3"), (std::vector<CpuId>{0, 1, 2, 3}));
+  EXPECT_EQ(parse_cpu_list("0-2,8,10-11"),
+            (std::vector<CpuId>{0, 1, 2, 8, 10, 11}));
+  EXPECT_TRUE(parse_cpu_list("").empty());
+  EXPECT_TRUE(parse_cpu_list("a-b").empty());
+  EXPECT_TRUE(parse_cpu_list("3-1").empty());
+  EXPECT_TRUE(parse_cpu_list("1,,2").empty());
+}
+
+TEST(TopologyCommon, ParseOverrideGrid) {
+  Topology t = Topology::uniform(1, 1);
+  ASSERT_TRUE(Topology::parse_override("57x4", 8, &t));
+  EXPECT_EQ(t.num_cores(), 57);
+  EXPECT_EQ(t.smt_per_core(), 4);
+  EXPECT_EQ(t.num_cpus(), 228);
+  EXPECT_FALSE(t.from_sysfs());
+}
+
+TEST(TopologyCommon, ParseOverrideFlat) {
+  Topology t = Topology::uniform(1, 1);
+  ASSERT_TRUE(Topology::parse_override("flat", 6, &t));
+  EXPECT_EQ(t.num_cores(), 6);
+  EXPECT_EQ(t.smt_per_core(), 1);
+}
+
+TEST(TopologyCommon, ParseOverrideRejectsMalformed) {
+  Topology t = Topology::uniform(1, 1);
+  EXPECT_FALSE(Topology::parse_override("", 4, &t));
+  EXPECT_FALSE(Topology::parse_override("4", 4, &t));
+  EXPECT_FALSE(Topology::parse_override("x4", 4, &t));
+  EXPECT_FALSE(Topology::parse_override("4x", 4, &t));
+  EXPECT_FALSE(Topology::parse_override("0x2", 4, &t));
+  EXPECT_FALSE(Topology::parse_override("4x2x1", 4, &t));
+  EXPECT_FALSE(Topology::parse_override("-1x2", 4, &t));
+}
+
+TEST(TopologyCommon, UniformLlcIsSingleDomain) {
+  const auto t = Topology::uniform(8, 2);
+  EXPECT_EQ(t.num_llc_domains(), 1);
+  EXPECT_TRUE(t.shares_llc(0, 7));
+  EXPECT_FALSE(t.from_sysfs());
+}
+
+TEST(TopologyCommon, NativeHonoursEnvOverride) {
+  ::setenv("RTSEED_TOPOLOGY", "3x2", 1);
+  const auto t = Topology::native();
+  ::unsetenv("RTSEED_TOPOLOGY");
+  EXPECT_EQ(t.num_cores(), 3);
+  EXPECT_EQ(t.smt_per_core(), 2);
+}
+
+TEST(TopologyCommon, NativeIgnoresMalformedOverride) {
+  ::setenv("RTSEED_TOPOLOGY", "notashape", 1);
+  const auto t = Topology::native();
+  ::unsetenv("RTSEED_TOPOLOGY");
+  // Falls through to sysfs/flat; just require internal consistency.
+  EXPECT_GE(t.num_cores(), 1);
+  EXPECT_EQ(t.num_cpus(), t.num_cores() * t.smt_per_core());
+}
+
+}  // namespace
+}  // namespace rtseed::common

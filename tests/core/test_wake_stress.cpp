@@ -1,6 +1,6 @@
 // Stress and pathology tests of the OptionalPool handoff protocol, run
-// against BOTH wake backends (futex word and legacy condvar) — the suite
-// the tsan CI entry executes.
+// against ALL wake backends (batched futex, per-slot futex word, and the
+// legacy condvar) — the suite the tsan CI entry executes.
 //
 // Everything here uses kPeriodicCheck termination: no timers, no signals,
 // no siglongjmp — so ThreadSanitizer sees every synchronization edge and
@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "common/time.hpp"
@@ -149,13 +150,57 @@ TEST_P(WakeProtocol, DegenerateCounts) {
   EXPECT_EQ(clamped.completed + clamped.terminated, kPoolSize);
 }
 
+// Many rounds of maximum fan-out on the batched backend: with all workers
+// parked, every round must cost exactly ONE wake syscall (the shared
+// wake-generation broadcast), never one per worker.
+TEST(WakeBatch, SingleWakePerFullFanOut) {
+  core::OptionalPool pool(
+      stress_options(core::WakeBackend::kFutexBatch),
+      [](const core::JobContext&, int, core::StopToken&) {});
+  ASSERT_TRUE(pool.start().is_ok());
+
+  // Warm-up round so every worker has parked at least once.
+  (void)pool.run_round(job_at(0, common::seconds(1)), kPoolSize);
+
+  constexpr int kRounds = 50;
+  long wakes_before = 0;
+  long wakes_after = 0;
+  {
+    const auto s = rt::wake_stats();
+    wakes_before = s.wake_calls;
+  }
+  for (int round = 1; round <= kRounds; ++round) {
+    const auto result =
+        pool.run_round(job_at(round, common::seconds(1)), kPoolSize);
+    ASSERT_EQ(result.completed + result.terminated, kPoolSize);
+  }
+  {
+    const auto s = rt::wake_stats();
+    wakes_after = s.wake_calls;
+  }
+  pool.shutdown();
+
+  // Per round: 1 batched worker wake + 1 completion wake to the mandatory
+  // thread (remaining_ hitting zero), plus rare recovery re-wakes when a
+  // worker is slow to consume.  The per-slot baseline would need kPoolSize
+  // worker wakes per round; assert we stay well under that.
+  const long wakes = wakes_after - wakes_before;
+  EXPECT_LE(wakes, kRounds * 3)
+      << "batched backend used ~" << (static_cast<double>(wakes) / kRounds)
+      << " wake syscalls per round";
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Backends, WakeProtocol,
-    ::testing::Values(core::WakeBackend::kFutexWord,
+    ::testing::Values(core::WakeBackend::kFutexBatch,
+                      core::WakeBackend::kFutexWord,
                       core::WakeBackend::kCondvar),
     [](const ::testing::TestParamInfo<core::WakeBackend>& info) {
-      return info.param == core::WakeBackend::kFutexWord ? "futex"
-                                                         : "condvar";
+      switch (info.param) {
+        case core::WakeBackend::kFutexBatch: return std::string("futex_batch");
+        case core::WakeBackend::kFutexWord: return std::string("futex");
+        default: return std::string("condvar");
+      }
     });
 
 }  // namespace
