@@ -96,7 +96,7 @@ void BM_BollingerAnalyzerFullLadder(benchmark::State& state) {
   for (auto _ : state) {
     core::StopToken token(common::monotonic_now() + common::seconds(60));
     analyzer.analyze(trading::PriceWindow(prices.data(), 512), 0, token,
-                     sink);
+                     sink, nullptr);
   }
 }
 BENCHMARK(BM_BollingerAnalyzerFullLadder);
@@ -109,7 +109,7 @@ void BM_MonteCarloBatch(benchmark::State& state) {
     // Stop after the first batch: measures per-batch refinement cost.
     core::StopToken token(common::monotonic_now());
     analyzer.analyze(trading::PriceWindow(prices.data(), 512), 0, token,
-                     sink);
+                     sink, nullptr);
   }
 }
 BENCHMARK(BM_MonteCarloBatch);

@@ -1,0 +1,156 @@
+// Fixed-capacity lock-free message pool — the allocation side of the
+// cross-shard transport (DESIGN.md §12).
+//
+// A MessagePool<T> owns exactly one make_aligned_array block of
+// cache-line-aligned cells, carved up at construction into a free list of
+// cell *indices*.  acquire() pops an index, release() pushes one — both
+// are lock-free CAS loops on a single tagged head word, so any thread
+// (shard producers, shard consumers, the supervisor) can use the pool
+// without coordination and without ever touching the heap after
+// construction (the rtseed_alloc_hook audit in tests/hotpath and
+// bench/micro_shard enforces this).
+//
+// Indices, not pointers, are the pool's currency: a ShmSpscRing carries
+// the u32 cell index across a shard boundary, and the consumer turns it
+// back into a T* with at().  Index handles stay valid across address
+// spaces (the shared-memory segment may map at different bases) and are
+// half the size of a pointer in the ring.
+//
+// ABA safety: the head word packs {32-bit generation tag, 32-bit index};
+// every successful push/pop bumps the tag, so a slot that is freed and
+// re-acquired between a reader's load and its CAS cannot be mistaken for
+// the original head.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+
+#include "common/arena.hpp"
+#include "common/cacheline.hpp"
+#include "common/types.hpp"
+
+namespace rtseed::common {
+
+template <typename T>
+class MessagePool {
+ public:
+  using Index = u32;
+  static constexpr Index kInvalidIndex = 0xFFFFFFFFu;
+
+  /// Allocates the one backing block (setup path).  Capacity must be
+  /// positive and below 2^32 - 1 (indices are u32).
+  explicit MessagePool(usize capacity)
+      : capacity_(capacity), cells_(make_aligned_array<Cell>(capacity)) {
+    assert(capacity > 0 && capacity < kInvalidIndex);
+    for (usize i = 0; i + 1 < capacity; ++i) {
+      cells_[i].next.store(static_cast<Index>(i + 1),
+                           std::memory_order_relaxed);
+    }
+    cells_[capacity - 1].next.store(kInvalidIndex, std::memory_order_relaxed);
+    head_.store(pack(0, 0), std::memory_order_release);
+  }
+
+  MessagePool(const MessagePool&) = delete;
+  MessagePool& operator=(const MessagePool&) = delete;
+
+  usize capacity() const { return capacity_; }
+  usize in_use_approx() const {
+    return static_cast<usize>(in_use_.load(std::memory_order_relaxed));
+  }
+  /// acquire() calls that found the pool exhausted (transport back-pressure
+  /// counter; producers drop and count rather than block).
+  u64 exhausted() const { return exhausted_.load(std::memory_order_relaxed); }
+
+  /// Pops a free cell; nullptr when the pool is exhausted.  Lock-free.
+  /// The cell's T is in whatever state the previous owner left it
+  /// (messages are PODs the producer fully overwrites).
+  T* acquire() {
+    const Index idx = pop_free();
+    if (idx == kInvalidIndex) {
+      exhausted_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    in_use_.fetch_add(1, std::memory_order_relaxed);
+    return &cells_[idx].value;
+  }
+
+  /// Returns a cell to the free list.  Lock-free.
+  void release(T* msg) {
+    assert(msg != nullptr);
+    push_free(index_of(msg));
+    in_use_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  void release_index(Index idx) {
+    assert(idx < capacity_);
+    push_free(idx);
+    in_use_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  /// The index handle of a pool-owned message (what crosses the ring).
+  Index index_of(const T* msg) const {
+    const auto* cell = reinterpret_cast<const Cell*>(
+        reinterpret_cast<const unsigned char*>(msg) - offsetof(Cell, value));
+    assert(cell >= cells_.get() && cell < cells_.get() + capacity_);
+    return static_cast<Index>(cell - cells_.get());
+  }
+
+  T* at(Index idx) {
+    assert(idx < capacity_);
+    return &cells_[idx].value;
+  }
+  const T* at(Index idx) const {
+    assert(idx < capacity_);
+    return &cells_[idx].value;
+  }
+
+ private:
+  /// One cache line (or more, for big Ts) per cell: concurrent writers to
+  /// neighbouring messages never share a destructive-interference line.
+  struct alignas(kCacheLine) Cell {
+    T value{};
+    std::atomic<Index> next{kInvalidIndex};
+  };
+
+  static u64 pack(u32 tag, Index idx) {
+    return (static_cast<u64>(tag) << 32) | idx;
+  }
+  static Index index_part(u64 word) { return static_cast<Index>(word); }
+  static u32 tag_part(u64 word) { return static_cast<u32>(word >> 32); }
+
+  Index pop_free() {
+    u64 head = head_.load(std::memory_order_acquire);
+    for (;;) {
+      const Index idx = index_part(head);
+      if (idx == kInvalidIndex) return kInvalidIndex;
+      const Index next = cells_[idx].next.load(std::memory_order_relaxed);
+      // The tag bump makes this safe even if `idx` was popped, released,
+      // and re-pushed by other threads in between (classic ABA).
+      if (head_.compare_exchange_weak(head, pack(tag_part(head) + 1, next),
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+        return idx;
+      }
+    }
+  }
+
+  void push_free(Index idx) {
+    u64 head = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      cells_[idx].next.store(index_part(head), std::memory_order_relaxed);
+      if (head_.compare_exchange_weak(head, pack(tag_part(head) + 1, idx),
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+
+  const usize capacity_;
+  AlignedArrayPtr<Cell> cells_;
+  alignas(kCacheLine) std::atomic<u64> head_{pack(0, kInvalidIndex)};
+  alignas(kCacheLine) std::atomic<i64> in_use_{0};
+  std::atomic<u64> exhausted_{0};
+};
+
+}  // namespace rtseed::common

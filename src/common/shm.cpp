@@ -1,0 +1,107 @@
+#include "common/shm.hpp"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace rtseed::common {
+
+namespace {
+
+usize round_up_to_page(usize bytes) {
+  const long page = sysconf(_SC_PAGESIZE);
+  const usize p = page > 0 ? static_cast<usize>(page) : 4096;
+  return ((bytes + p - 1) / p) * p;
+}
+
+int memfd_create_compat(const char* name) {
+#ifdef SYS_memfd_create
+  // Raw syscall: works on any glibc, returns -1/ENOSYS on old kernels.
+  return static_cast<int>(::syscall(SYS_memfd_create, name, 0u));
+#else
+  (void)name;
+  errno = ENOSYS;
+  return -1;
+#endif
+}
+
+}  // namespace
+
+ShmSegment::~ShmSegment() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+  if (owns_fd_ && fd_ >= 0) ::close(fd_);
+}
+
+ShmSegment& ShmSegment::operator=(ShmSegment&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) ::munmap(data_, size_);
+    if (owns_fd_ && fd_ >= 0) ::close(fd_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    fd_ = std::exchange(other.fd_, -1);
+    owns_fd_ = std::exchange(other.owns_fd_, false);
+  }
+  return *this;
+}
+
+Expected<ShmSegment> ShmSegment::create(usize bytes, const std::string& name) {
+  if (bytes == 0) return invalid_argument("shm segment size must be > 0");
+  const usize size = round_up_to_page(bytes);
+
+  ShmSegment seg;
+  seg.size_ = size;
+
+  const int fd = memfd_create_compat(name.c_str());
+  if (fd >= 0) {
+    if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+      const int err = errno;
+      ::close(fd);
+      return internal_error(std::string("ftruncate(memfd): ") +
+                            ::strerror(err));
+    }
+    void* mem =
+        ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+    if (mem == MAP_FAILED) {
+      const int err = errno;
+      ::close(fd);
+      return internal_error(std::string("mmap(memfd): ") + ::strerror(err));
+    }
+    seg.data_ = mem;
+    seg.fd_ = fd;
+    seg.owns_fd_ = true;
+    return seg;
+  }
+
+  // Fallback: anonymous shared mapping — still cross-fork shareable.
+  void* mem = ::mmap(nullptr, size, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) {
+    return internal_error(std::string("mmap(anonymous): ") +
+                          ::strerror(errno));
+  }
+  seg.data_ = mem;
+  return seg;
+}
+
+Expected<ShmSegment> ShmSegment::attach(int fd, usize bytes) {
+  if (fd < 0) return invalid_argument("shm attach requires a valid fd");
+  if (bytes == 0) return invalid_argument("shm segment size must be > 0");
+  const usize size = round_up_to_page(bytes);
+  void* mem =
+      ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  if (mem == MAP_FAILED) {
+    return internal_error(std::string("mmap(attach): ") + ::strerror(errno));
+  }
+  ShmSegment seg;
+  seg.data_ = mem;
+  seg.size_ = size;
+  seg.fd_ = fd;
+  seg.owns_fd_ = false;  // caller keeps the fd it handed us
+  return seg;
+}
+
+}  // namespace rtseed::common

@@ -1,0 +1,57 @@
+// Shared-memory segments for the cross-shard transport.
+//
+// A ShmSegment is one mmap'd region that a ShmSpscRing (shm_ring.hpp) or
+// any other placement-constructed structure lives in.  Two backings:
+//
+//  * memfd  — an anonymous memfd_create(2) file, ftruncate'd to size and
+//             mapped MAP_SHARED.  The fd is the capability: pass it over
+//             fork/exec or a unix socket and attach() maps the same
+//             physical pages in another process.
+//  * anon   — plain MAP_SHARED|MAP_ANONYMOUS when memfd is unavailable
+//             (old kernels, seccomp).  Shareable across fork() only
+//             (the mapping is inherited); fd() reports -1.
+//
+// Creation/attachment are setup-path operations; the steady state only
+// ever reads and writes the mapped bytes — no further syscalls, no heap.
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace rtseed::common {
+
+class ShmSegment {
+ public:
+  ShmSegment() = default;
+  ~ShmSegment();
+
+  ShmSegment(const ShmSegment&) = delete;
+  ShmSegment& operator=(const ShmSegment&) = delete;
+  ShmSegment(ShmSegment&& other) noexcept { *this = std::move(other); }
+  ShmSegment& operator=(ShmSegment&& other) noexcept;
+
+  /// Creates a zero-filled segment of `bytes` (rounded up to the page
+  /// size).  `name` is a debugging label (visible in /proc/<pid>/fd).
+  static Expected<ShmSegment> create(usize bytes,
+                                     const std::string& name = "rtseed-shm");
+
+  /// Maps an existing segment by fd (e.g. received from another process).
+  /// `bytes` must not exceed the segment's size.
+  static Expected<ShmSegment> attach(int fd, usize bytes);
+
+  void* data() const { return data_; }
+  usize size() const { return size_; }
+  /// The memfd (-1 for the anonymous fallback — fork-shareable only).
+  int fd() const { return fd_; }
+  bool valid() const { return data_ != nullptr; }
+
+ private:
+  void* data_ = nullptr;
+  usize size_ = 0;
+  int fd_ = -1;
+  bool owns_fd_ = false;
+};
+
+}  // namespace rtseed::common

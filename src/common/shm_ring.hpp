@@ -1,0 +1,151 @@
+// Single-producer/single-consumer ring over a shared-memory segment —
+// common::SpscRing generalized to storage that can cross a process (or
+// shard) boundary.
+//
+// Differences from SpscRing:
+//  * the ring does not own its storage: it is a VIEW over a caller-
+//    provided byte region (typically a ShmSegment, possibly mapped at a
+//    different base address in each participant);
+//  * T must be trivially copyable (bytes are the interface — no
+//    constructors run on the consumer side);
+//  * the header carries a magic + element size + capacity so attach()
+//    can reject a segment initialized for a different ring shape.
+//
+// The index discipline is identical: head/tail each own a full
+// destructive-interference line, producer releases head after the slot
+// write, consumer releases tail after the slot read.  push/pop are
+// wait-free and allocation-free — the steady-state cross-shard path
+// (bench/micro_shard, tests/hotpath) audits to zero heap allocations.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstring>
+#include <optional>
+#include <type_traits>
+
+#include "common/cacheline.hpp"
+#include "common/types.hpp"
+
+namespace rtseed::common {
+
+template <typename T>
+class ShmSpscRing {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "shared-memory messages are raw bytes; no constructors run "
+                "on the far side");
+
+ public:
+  static constexpr u64 kMagic = 0x52547368'6d52696eULL;  // "RTshmRin"
+
+  ShmSpscRing() = default;
+
+  /// Bytes a segment must provide for `capacity` elements (power of two
+  /// >= 2): header + slot array, each cache-line aligned.
+  static usize required_bytes(usize capacity) {
+    return sizeof(Header) + capacity * sizeof(T);
+  }
+
+  /// Initializes a ring in `mem` (which must be at least required_bytes
+  /// and cache-line aligned — mmap returns page-aligned memory).  Called
+  /// by exactly one participant, before any attach().
+  static ShmSpscRing create(void* mem, usize capacity) {
+    assert(mem != nullptr);
+    assert(capacity >= 2 && (capacity & (capacity - 1)) == 0);
+    assert(reinterpret_cast<std::uintptr_t>(mem) % kCacheLine == 0);
+    auto* header = new (mem) Header();
+    header->capacity = capacity;
+    header->element_size = sizeof(T);
+    header->head.value.store(0, std::memory_order_relaxed);
+    header->tail.value.store(0, std::memory_order_relaxed);
+    // Publish the initialized header before the magic becomes visible to
+    // a concurrently attaching participant.
+    header->magic.store(kMagic, std::memory_order_release);
+    ShmSpscRing ring;
+    ring.header_ = header;
+    ring.slots_ = reinterpret_cast<T*>(static_cast<unsigned char*>(mem) +
+                                       sizeof(Header));
+    return ring;
+  }
+
+  /// Views a ring previously create()d in (a mapping of) the same
+  /// segment.  Returns an invalid ring when the header does not match
+  /// this T / was never initialized.
+  static ShmSpscRing attach(void* mem) {
+    ShmSpscRing ring;
+    if (mem == nullptr) return ring;
+    auto* header = static_cast<Header*>(mem);
+    if (header->magic.load(std::memory_order_acquire) != kMagic ||
+        header->element_size != sizeof(T)) {
+      return ring;
+    }
+    ring.header_ = header;
+    ring.slots_ = reinterpret_cast<T*>(static_cast<unsigned char*>(mem) +
+                                       sizeof(Header));
+    return ring;
+  }
+
+  bool valid() const { return header_ != nullptr; }
+  usize capacity() const { return header_->capacity; }
+
+  /// Producer side; false when full (the message is dropped — real-time
+  /// producers never block).
+  bool try_push(const T& value) {
+    const u64 head = header_->head.value.load(std::memory_order_relaxed);
+    const u64 tail = header_->tail.value.load(std::memory_order_acquire);
+    if (head - tail >= header_->capacity) return false;
+    slots_[head & (header_->capacity - 1)] = value;
+    header_->head.value.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side.
+  bool try_pop(T* out) {
+    const u64 tail = header_->tail.value.load(std::memory_order_relaxed);
+    const u64 head = header_->head.value.load(std::memory_order_acquire);
+    if (tail == head) return false;
+    *out = slots_[tail & (header_->capacity - 1)];
+    header_->tail.value.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::optional<T> try_pop() {
+    T value;
+    if (!try_pop(&value)) return std::nullopt;
+    return value;
+  }
+
+  usize size_approx() const {
+    const u64 head = header_->head.value.load(std::memory_order_acquire);
+    const u64 tail = header_->tail.value.load(std::memory_order_acquire);
+    return static_cast<usize>(head - tail);
+  }
+  bool empty_approx() const { return size_approx() == 0; }
+
+ private:
+  struct alignas(kCacheLine) AlignedIndex {
+    std::atomic<u64> value{0};
+  };
+  static_assert(sizeof(AlignedIndex) == kCacheLine &&
+                    alignof(AlignedIndex) == kCacheLine,
+                "ring indices must each own a full cache line");
+
+  struct Header {
+    // Identification line: written once at create(), read-only after.
+    std::atomic<u64> magic{0};
+    u64 capacity = 0;
+    u64 element_size = 0;
+    unsigned char pad_[kCacheLine - 3 * sizeof(u64)];
+    AlignedIndex head;
+    AlignedIndex tail;
+  };
+  static_assert(sizeof(Header) == 3 * kCacheLine,
+                "header = id line + head line + tail line");
+  static_assert(std::atomic<u64>::is_always_lock_free,
+                "shared-memory indices must be lock-free atomics");
+
+  Header* header_ = nullptr;
+  T* slots_ = nullptr;
+};
+
+}  // namespace rtseed::common

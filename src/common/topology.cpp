@@ -1,5 +1,6 @@
 #include "common/topology.hpp"
 
+#include <dirent.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -7,6 +8,7 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 
 namespace rtseed::common {
@@ -67,6 +69,41 @@ std::string llc_shared_list(const std::string& root, int cpu) {
   return best_list;
 }
 
+/// Parses a whitespace-separated integer list ("10 21 21 10"); empty on
+/// malformed input.
+std::vector<int> parse_int_list(const std::string& text) {
+  std::vector<int> out;
+  const char* p = text.c_str();
+  while (*p != '\0') {
+    while (*p == ' ' || *p == '\t') ++p;
+    if (*p == '\0') break;
+    char* end = nullptr;
+    const long value = std::strtol(p, &end, 10);
+    if (end == p) return {};
+    out.push_back(static_cast<int>(value));
+    p = end;
+  }
+  return out;
+}
+
+/// NUMA node ids present under a /sys/devices/system/node-shaped dir,
+/// sorted ascending; empty when the dir is missing (masked sysfs).
+std::vector<int> list_node_ids(const std::string& node_root) {
+  std::vector<int> ids;
+  DIR* dir = ::opendir(node_root.c_str());
+  if (dir == nullptr) return ids;
+  while (struct dirent* entry = ::readdir(dir)) {
+    if (std::strncmp(entry->d_name, "node", 4) != 0) continue;
+    char* end = nullptr;
+    const long id = std::strtol(entry->d_name + 4, &end, 10);
+    if (end == entry->d_name + 4 || *end != '\0' || id < 0) continue;
+    ids.push_back(static_cast<int>(id));
+  }
+  ::closedir(dir);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
 }  // namespace
 
 std::vector<CpuId> parse_cpu_list(const std::string& list) {
@@ -114,6 +151,30 @@ Topology Topology::uniform(int cores, int smt_per_core) {
   }
   t.llc_of_core_.assign(static_cast<size_t>(cores), 0);
   t.num_llc_domains_ = 1;
+  t.node_of_core_.assign(static_cast<size_t>(cores), 0);
+  t.num_nodes_ = 1;
+  t.node_distance_.assign(1, 10);
+  return t;
+}
+
+Topology Topology::uniform_numa(int cores, int smt_per_core, int nodes) {
+  assert(nodes > 0 && nodes <= cores);
+  Topology t = uniform(cores, smt_per_core);
+  // Equal contiguous blocks (the last node absorbs the remainder), each
+  // its own NUMA node and its own LLC domain — the shape of every
+  // multi-socket x86 box we care about.
+  const int per_node = (cores + nodes - 1) / nodes;
+  for (int core = 0; core < cores; ++core) {
+    const int node = std::min(core / per_node, nodes - 1);
+    t.node_of_core_[static_cast<size_t>(core)] = node;
+    t.llc_of_core_[static_cast<size_t>(core)] = node;
+  }
+  t.num_nodes_ = nodes;
+  t.num_llc_domains_ = nodes;
+  t.node_distance_.assign(static_cast<size_t>(nodes) * nodes, 20);
+  for (int n = 0; n < nodes; ++n) {
+    t.node_distance_[static_cast<size_t>(n) * nodes + n] = 10;
+  }
   return t;
 }
 
@@ -128,8 +189,19 @@ bool Topology::parse_override(const std::string& spec, int nproc,
   if (end == spec.c_str() || *end != 'x' || cores <= 0) return false;
   const char* smt_text = end + 1;
   const long smt = std::strtol(smt_text, &end, 10);
-  if (end == smt_text || *end != '\0' || smt <= 0) return false;
-  *out = uniform(static_cast<int>(cores), static_cast<int>(smt));
+  if (end == smt_text || smt <= 0) return false;
+  if (*end == '\0') {
+    *out = uniform(static_cast<int>(cores), static_cast<int>(smt));
+    return true;
+  }
+  if (*end != '@') return false;
+  const char* node_text = end + 1;
+  const long nodes = std::strtol(node_text, &end, 10);
+  if (end == node_text || *end != '\0' || nodes <= 0 || nodes > cores) {
+    return false;
+  }
+  *out = uniform_numa(static_cast<int>(cores), static_cast<int>(smt),
+                      static_cast<int>(nodes));
   return true;
 }
 
@@ -162,7 +234,7 @@ Topology Topology::from_sysfs_root(const std::string& root, int nproc) {
   t.smt_per_core_ = static_cast<int>(smt);
   const int cpus = t.num_cores_ * t.smt_per_core_;
   t.cpu_of_.resize(static_cast<size_t>(cpus));
-  t.core_of_.assign(static_cast<size_t>(nproc), 0);
+  t.core_of_.assign(static_cast<size_t>(nproc), -1);
   t.sibling_of_.assign(static_cast<size_t>(nproc), 0);
   int core_index = 0;
   for (const auto& [core, members] : by_core) {
@@ -197,6 +269,113 @@ Topology Topology::from_sysfs_root(const std::string& root, int nproc) {
     t.num_llc_domains_ = 1;
   } else {
     t.num_llc_domains_ = static_cast<int>(domain_ids.size());
+  }
+
+  // NUMA nodes: /sys/devices/system/node is a SIBLING of the cpu root,
+  // so derive it as root/../node (fixture trees mirror the layout).
+  // node<K>/cpulist maps cores to nodes; node<K>/distance is the SLIT
+  // row (one entry per node, in ascending node-id order).  Anything
+  // missing or inconsistent degrades to one node, distance 10 — exactly
+  // what a container with a masked node dir should see.
+  t.node_of_core_.assign(static_cast<size_t>(t.num_cores_), 0);
+  t.num_nodes_ = 1;
+  t.node_distance_.assign(1, 10);
+  const std::string node_root = root + "/../node";
+  const std::vector<int> node_ids = list_node_ids(node_root);
+  if (node_ids.size() > 1) {
+    const int n = static_cast<int>(node_ids.size());
+    std::vector<int> node_of_core(static_cast<size_t>(t.num_cores_), -1);
+    std::vector<int> distance(static_cast<size_t>(n) * n, 0);
+    bool node_ok = true;
+    for (int dense = 0; dense < n && node_ok; ++dense) {
+      const std::string dir =
+          node_root + "/node" + std::to_string(node_ids[static_cast<size_t>(
+                                   dense)]);
+      const auto node_cpus = parse_cpu_list(read_file(dir + "/cpulist"));
+      if (node_cpus.empty()) {
+        node_ok = false;
+        break;
+      }
+      for (const CpuId cpu : node_cpus) {
+        if (cpu < 0 || cpu >= nproc ||
+            t.core_of_[static_cast<size_t>(cpu)] < 0) {
+          continue;  // offline / masked CPU listed by the node
+        }
+        const int core = t.core_of_[static_cast<size_t>(cpu)];
+        if (node_of_core[static_cast<size_t>(core)] >= 0 &&
+            node_of_core[static_cast<size_t>(core)] != dense) {
+          node_ok = false;  // a core straddling nodes is nonsense
+          break;
+        }
+        node_of_core[static_cast<size_t>(core)] = dense;
+      }
+      const auto row = parse_int_list(read_file(dir + "/distance"));
+      if (row.size() != static_cast<size_t>(n)) {
+        node_ok = false;
+        break;
+      }
+      for (int j = 0; j < n; ++j) {
+        distance[static_cast<size_t>(dense) * n + j] =
+            row[static_cast<size_t>(j)];
+      }
+    }
+    for (const int node : node_of_core) {
+      if (node < 0) node_ok = false;
+    }
+    if (node_ok) {
+      t.node_of_core_ = std::move(node_of_core);
+      t.node_distance_ = std::move(distance);
+      t.num_nodes_ = n;
+    }
+  }
+  return t;
+}
+
+Topology Topology::subset(const std::vector<CoreId>& cores) const {
+  assert(!cores.empty());
+  Topology t;
+  t.from_sysfs_ = from_sysfs_;
+  t.num_cores_ = static_cast<int>(cores.size());
+  t.smt_per_core_ = smt_per_core_;
+  t.cpu_of_.resize(cores.size() * static_cast<size_t>(smt_per_core_));
+  t.core_of_.assign(core_of_.size(), -1);
+  t.sibling_of_.assign(sibling_of_.size(), 0);
+  t.llc_of_core_.resize(cores.size());
+  t.node_of_core_.resize(cores.size());
+
+  // Re-densify LLC / node ids in order of first appearance, so shard
+  // sub-topologies report domain counts over their own cores only.
+  std::map<int, int> llc_ids;
+  std::map<int, int> node_ids;
+  std::vector<int> parent_node_of_dense;
+  for (size_t k = 0; k < cores.size(); ++k) {
+    const CoreId core = cores[k];
+    assert(core >= 0 && core < num_cores_);
+    for (int sib = 0; sib < smt_per_core_; ++sib) {
+      const CpuId cpu = cpu_at(core, sib);
+      t.cpu_of_[k * static_cast<size_t>(smt_per_core_) +
+                static_cast<size_t>(sib)] = cpu;
+      t.core_of_[static_cast<size_t>(cpu)] = static_cast<CoreId>(k);
+      t.sibling_of_[static_cast<size_t>(cpu)] = sib;
+    }
+    const auto [llc_it, llc_new] = llc_ids.emplace(
+        llc_of(core), static_cast<int>(llc_ids.size()));
+    t.llc_of_core_[k] = llc_it->second;
+    const auto [node_it, node_new] = node_ids.emplace(
+        node_of(core), static_cast<int>(node_ids.size()));
+    if (node_new) parent_node_of_dense.push_back(node_of(core));
+    t.node_of_core_[k] = node_it->second;
+  }
+  t.num_llc_domains_ = static_cast<int>(llc_ids.size());
+  t.num_nodes_ = static_cast<int>(node_ids.size());
+  t.node_distance_.assign(
+      static_cast<size_t>(t.num_nodes_) * t.num_nodes_, 10);
+  for (int a = 0; a < t.num_nodes_; ++a) {
+    for (int b = 0; b < t.num_nodes_; ++b) {
+      t.node_distance_[static_cast<size_t>(a) * t.num_nodes_ + b] =
+          node_distance(parent_node_of_dense[static_cast<size_t>(a)],
+                        parent_node_of_dense[static_cast<size_t>(b)]);
+    }
   }
   return t;
 }
@@ -233,12 +412,25 @@ int Topology::llc_of(CoreId core) const {
   return llc_of_core_[static_cast<size_t>(core)];
 }
 
+int Topology::node_of(CoreId core) const {
+  assert(core >= 0 && core < num_cores_);
+  return node_of_core_[static_cast<size_t>(core)];
+}
+
+int Topology::node_distance(int node_a, int node_b) const {
+  assert(node_a >= 0 && node_a < num_nodes_);
+  assert(node_b >= 0 && node_b < num_nodes_);
+  return node_distance_[static_cast<size_t>(node_a) * num_nodes_ + node_b];
+}
+
 std::string Topology::to_string() const {
-  char buf[128];
-  std::snprintf(buf, sizeof(buf),
-                "%d cores x %d hw-threads (%d CPUs, %d LLC domain%s)",
-                num_cores_, smt_per_core_, num_cpus(), num_llc_domains_,
-                num_llc_domains_ == 1 ? "" : "s");
+  char buf[160];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%d cores x %d hw-threads (%d CPUs, %d LLC domain%s, %d NUMA node%s)",
+      num_cores_, smt_per_core_, num_cpus(), num_llc_domains_,
+      num_llc_domains_ == 1 ? "" : "s", num_nodes_,
+      num_nodes_ == 1 ? "" : "s");
   return buf;
 }
 

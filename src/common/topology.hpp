@@ -11,13 +11,20 @@
 //
 // Sources, in the order native() tries them:
 //   * the RTSEED_TOPOLOGY environment override ("<cores>x<smt>", e.g.
-//     "4x2", or "flat") — reproducible runs on any host, containers
-//     included;
+//     "4x2", optionally "@<nodes>" for a synthetic NUMA split, or
+//     "flat") — reproducible runs on any host, containers included;
 //   * sysfs (/sys/devices/system/cpu): core_id + per-cpu cache
-//     shared_cpu_list parsing, exposed as from_sysfs_root() so tests feed
-//     it fixture trees;
+//     shared_cpu_list parsing, plus ../node/node*/{cpulist,distance} for
+//     NUMA shape, exposed as from_sysfs_root() so tests feed it fixture
+//     trees;
 //   * the portable fallback uniform(nproc, 1) — every CPU its own core,
-//     one LLC domain (what a container with a masked sysfs gets).
+//     one LLC domain, one NUMA node (what a container with a masked
+//     sysfs gets).
+//
+// Sharded runtimes (src/shard) carve this shape into pinned shard
+// groups: subset() derives the per-shard sub-topology (original CPU ids,
+// re-densified LLC/NUMA domains) each shard's core::Runtime plans
+// against.
 #pragma once
 
 #include <string>
@@ -31,8 +38,13 @@ namespace rtseed::common {
 class Topology {
  public:
   /// Synthetic grid: hardware thread ids are core*smt_per_core + sibling;
-  /// all cores share one LLC domain.
+  /// all cores share one LLC domain and one NUMA node.
   static Topology uniform(int cores, int smt_per_core);
+
+  /// Synthetic NUMA grid: `nodes` equal contiguous blocks of cores, each
+  /// block its own NUMA node AND its own LLC domain; distances are the
+  /// conventional sysfs defaults (10 local, 20 remote).
+  static Topology uniform_numa(int cores, int smt_per_core, int nodes);
 
   /// The evaluation platform of the paper: Xeon Phi 3120A, 57 cores,
   /// 4 hardware threads per core (228 CPUs).
@@ -45,15 +57,25 @@ class Topology {
   /// Parses a sysfs-shaped tree rooted at `root` (the production call
   /// passes "/sys/devices/system/cpu"; tests pass fixture directories).
   /// Expects root/cpu<N>/topology/core_id and, optionally,
-  /// root/cpu<N>/cache/index<K>/{level,shared_cpu_list} for LLC grouping.
+  /// root/cpu<N>/cache/index<K>/{level,shared_cpu_list} for LLC grouping
+  /// and root/../node/node<K>/{cpulist,distance} for NUMA shape.
   /// Falls back to uniform(nproc, 1) when the tree is missing or the SMT
-  /// width is non-uniform (conservative: every CPU its own core).
+  /// width is non-uniform (conservative: every CPU its own core); missing
+  /// node info degrades to one node, distance 10.
   static Topology from_sysfs_root(const std::string& root, int nproc);
 
   /// Parses the RTSEED_TOPOLOGY override value; false on malformed input.
-  /// Accepts "<cores>x<smt>" (e.g. "57x4") and "flat" (= "<nproc>x1").
+  /// Accepts "<cores>x<smt>" (e.g. "57x4"), "<cores>x<smt>@<nodes>"
+  /// (synthetic NUMA split, e.g. "8x2@2") and "flat" (= "<nproc>x1").
   static bool parse_override(const std::string& spec, int nproc,
                              Topology* out);
+
+  /// Sub-topology over `cores` (parent core indices, no duplicates):
+  /// the selected cores become cores 0..k-1 IN THE GIVEN ORDER, keeping
+  /// their original CPU ids, SMT width, and (re-densified) LLC / NUMA
+  /// domain structure — what each shard's runtime plans and pins
+  /// against.
+  Topology subset(const std::vector<CoreId>& cores) const;
 
   int num_cores() const { return num_cores_; }
   int smt_per_core() const { return smt_per_core_; }
@@ -63,13 +85,29 @@ class Topology {
   CpuId cpu_at(CoreId core, int sibling) const;
   CoreId core_of(CpuId cpu) const;
   int sibling_of(CpuId cpu) const;
-  bool valid_cpu(CpuId cpu) const { return cpu >= 0 && cpu < num_cpus(); }
+  /// True when `cpu` belongs to this topology.  Subset topologies keep
+  /// original CPU ids, so membership is a lookup, not a range check.
+  bool valid_cpu(CpuId cpu) const {
+    return cpu >= 0 && cpu < static_cast<int>(core_of_.size()) &&
+           core_of_[static_cast<size_t>(cpu)] >= 0;
+  }
 
   /// Last-level-cache domain of a core (dense ids, [0, num_llc_domains)).
   /// Synthetic/fallback topologies report one domain for everything.
   int llc_of(CoreId core) const;
   int num_llc_domains() const { return num_llc_domains_; }
   bool shares_llc(CoreId a, CoreId b) const { return llc_of(a) == llc_of(b); }
+
+  /// NUMA node of a core (dense ids, [0, num_nodes)).  Synthetic/fallback
+  /// topologies report one node.
+  int node_of(CoreId core) const;
+  int num_nodes() const { return num_nodes_; }
+  bool same_node(CoreId a, CoreId b) const {
+    return node_of(a) == node_of(b);
+  }
+  /// Relative memory access cost between two nodes (the sysfs ACPI SLIT
+  /// convention: 10 = local).  Symmetric in practice; returned verbatim.
+  int node_distance(int node_a, int node_b) const;
 
   /// True when the shape came from sysfs (vs. synthetic/fallback) — lets
   /// reports distinguish "real SMT pairs" from "assumed flat".
@@ -83,12 +121,15 @@ class Topology {
   int num_cores_ = 0;
   int smt_per_core_ = 0;
   int num_llc_domains_ = 1;
+  int num_nodes_ = 1;
   bool from_sysfs_ = false;
   // cpu_of_[core * smt_per_core + sibling] = cpu id
   std::vector<CpuId> cpu_of_;
-  std::vector<CoreId> core_of_;  // indexed by cpu id
+  std::vector<CoreId> core_of_;  // indexed by cpu id; -1 = not a member
   std::vector<int> sibling_of_;  // indexed by cpu id
-  std::vector<int> llc_of_core_;  // indexed by dense core index
+  std::vector<int> llc_of_core_;   // indexed by dense core index
+  std::vector<int> node_of_core_;  // indexed by dense core index
+  std::vector<int> node_distance_;  // num_nodes x num_nodes, row-major
 };
 
 /// Parses a sysfs cpulist ("0-3,8,10-11") into CPU ids; empty on malformed

@@ -1,12 +1,29 @@
 #include "sched/p_rmwp.hpp"
 
 #include <algorithm>
+#include <numeric>
 
 #include "rt/priority.hpp"
 #include "sched/rm.hpp"
 #include "sched/rmus.hpp"
 
 namespace rtseed::sched {
+
+std::vector<int> topology_processor_order(const common::Topology* topology,
+                                          int num_processors) {
+  std::vector<int> order(static_cast<size_t>(std::max(0, num_processors)));
+  std::iota(order.begin(), order.end(), 0);
+  if (topology == nullptr || topology->num_cores() < num_processors) {
+    return order;
+  }
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    if (topology->node_of(a) != topology->node_of(b)) {
+      return topology->node_of(a) < topology->node_of(b);
+    }
+    return topology->llc_of(a) < topology->llc_of(b);
+  });
+  return order;
+}
 
 PRmwpPlan plan_p_rmwp(const TaskSet& tasks, int num_processors,
                       const PRmwpOptions& options) {
@@ -22,11 +39,13 @@ PRmwpPlan plan_p_rmwp(const TaskSet& tasks, int num_processors,
     return plan;
   }
 
-  // 1. Partition with per-processor RMWP admission.
+  // 1. Partition with per-processor RMWP admission, visiting cores in
+  //    topology preference order when a shape was provided.
   const auto partition = partition_tasks(
       tasks, num_processors, options.heuristic,
       [](const TaskSet& local) { return rmwp_schedulable(local); },
-      options.decreasing_utilization);
+      options.decreasing_utilization,
+      topology_processor_order(options.topology, num_processors));
   if (!partition.feasible) {
     plan.diagnostics = "partitioning failed: no processor admits some task (" +
                        std::string(packing_heuristic_name(options.heuristic)) +

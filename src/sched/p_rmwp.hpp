@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "common/topology.hpp"
 #include "sched/partition.hpp"
 #include "sched/rmwp.hpp"
 #include "sched/task_model.hpp"
@@ -50,7 +51,20 @@ struct PRmwpOptions {
   /// mandatory response no longer fits the derated OD makes the set
   /// unschedulable (the honest answer once overheads are accounted).
   Nanos od_margin = 0;
+  /// When set (and covering >= num_processors cores), the partitioning
+  /// visits processors grouped by (NUMA node, LLC domain): co-located
+  /// cores fill before the packing spills across a cache or memory
+  /// boundary, so a task set that fits one domain never straddles two.
+  /// Not owned; must outlive the call.
+  const common::Topology* topology = nullptr;
 };
+
+/// The processor preference order `topology` induces over
+/// [0, num_processors): stable-sorted by (NUMA node, LLC domain, core
+/// index).  Identity when topology is null or covers fewer cores.
+/// Exposed for tests and for shard carving.
+std::vector<int> topology_processor_order(const common::Topology* topology,
+                                          int num_processors);
 
 /// Runs the full offline analysis.  `num_processors` is M.
 PRmwpPlan plan_p_rmwp(const TaskSet& tasks, int num_processors,

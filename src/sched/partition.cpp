@@ -22,7 +22,8 @@ const char* packing_heuristic_name(PackingHeuristic heuristic) {
 PartitionResult partition_tasks(const TaskSet& tasks, int num_processors,
                                 PackingHeuristic heuristic,
                                 const AdmissionTest& admits,
-                                bool decreasing_utilization) {
+                                bool decreasing_utilization,
+                                const std::vector<int>& processor_order) {
   PartitionResult result;
   result.processor_of.assign(static_cast<size_t>(tasks.size()), -1);
   result.processor_utilization.assign(static_cast<size_t>(num_processors),
@@ -37,6 +38,15 @@ PartitionResult partition_tasks(const TaskSet& tasks, int num_processors,
     });
   }
 
+  // Visit processors in the caller's preference order (identity when
+  // none given): visit[k] is the k-th processor the heuristics try.
+  std::vector<int> visit(static_cast<size_t>(num_processors));
+  std::iota(visit.begin(), visit.end(), 0);
+  if (!processor_order.empty() &&
+      processor_order.size() == visit.size()) {
+    visit = processor_order;
+  }
+
   std::vector<TaskSet> bins(static_cast<size_t>(num_processors));
   auto fits = [&](TaskId task, int proc) {
     TaskSet candidate = bins[static_cast<size_t>(proc)];
@@ -49,7 +59,7 @@ PartitionResult partition_tasks(const TaskSet& tasks, int num_processors,
     int chosen = -1;
     switch (heuristic) {
       case PackingHeuristic::kFirstFit: {
-        for (int p = 0; p < num_processors; ++p) {
+        for (const int p : visit) {
           if (fits(task, p)) {
             chosen = p;
             break;
@@ -59,7 +69,7 @@ PartitionResult partition_tasks(const TaskSet& tasks, int num_processors,
       }
       case PackingHeuristic::kBestFit: {
         double best_util = -1.0;
-        for (int p = 0; p < num_processors; ++p) {
+        for (const int p : visit) {
           const double u = result.processor_utilization[static_cast<size_t>(p)];
           if (u > best_util && fits(task, p)) {
             best_util = u;
@@ -70,7 +80,7 @@ PartitionResult partition_tasks(const TaskSet& tasks, int num_processors,
       }
       case PackingHeuristic::kWorstFit: {
         double least_util = 2.0;
-        for (int p = 0; p < num_processors; ++p) {
+        for (const int p : visit) {
           const double u = result.processor_utilization[static_cast<size_t>(p)];
           if (u < least_util && fits(task, p)) {
             least_util = u;
@@ -81,10 +91,11 @@ PartitionResult partition_tasks(const TaskSet& tasks, int num_processors,
       }
       case PackingHeuristic::kNextFit: {
         for (int tried = 0; tried < num_processors; ++tried) {
-          const int p = (next_fit_cursor + tried) % num_processors;
+          const int k = (next_fit_cursor + tried) % num_processors;
+          const int p = visit[static_cast<size_t>(k)];
           if (fits(task, p)) {
             chosen = p;
-            next_fit_cursor = p;
+            next_fit_cursor = k;
             break;
           }
         }

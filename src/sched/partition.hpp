@@ -37,9 +37,18 @@ struct PartitionResult {
 /// Packs `tasks` onto `num_processors` processors.  When
 /// `decreasing_utilization` is set, tasks are considered in decreasing-Uᵢ
 /// order (the classic FFD/BFD/WFD variants).
+///
+/// `processor_order` (optional; empty = identity) is the preference order
+/// in which the heuristics visit processors: first-fit fills earlier
+/// entries first, best/worst-fit break utilization ties toward earlier
+/// entries, next-fit's cursor walks the order cyclically.  Callers pass
+/// cores sorted by (NUMA node, LLC domain) so co-located cores fill up
+/// before the packing spills across a cache or memory boundary.  Must be
+/// a permutation of [0, num_processors) when non-empty.
 PartitionResult partition_tasks(const TaskSet& tasks, int num_processors,
                                 PackingHeuristic heuristic,
                                 const AdmissionTest& admits,
-                                bool decreasing_utilization = true);
+                                bool decreasing_utilization = true,
+                                const std::vector<int>& processor_order = {});
 
 }  // namespace rtseed::sched

@@ -1,0 +1,119 @@
+#include "sched/sharded.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace rtseed::sched {
+
+namespace {
+
+PRmwpOptions shard_options(const ShardedOptions& options, size_t shard) {
+  PRmwpOptions opt = options.per_shard;
+  if (shard < options.shard_topologies.size() &&
+      options.shard_topologies[shard] != nullptr) {
+    opt.topology = options.shard_topologies[shard];
+  }
+  return opt;
+}
+
+}  // namespace
+
+ShardedPlan plan_sharded(const std::vector<SymbolTaskSet>& groups,
+                         const std::vector<int>& shard_cores,
+                         const ShardedOptions& options) {
+  ShardedPlan plan;
+  const int num_shards = static_cast<int>(shard_cores.size());
+  if (num_shards <= 0) {
+    plan.diagnostics = "no shards";
+    return plan;
+  }
+  for (const int cores : shard_cores) {
+    if (cores <= 0) {
+      plan.diagnostics = "every shard needs at least one core";
+      return plan;
+    }
+  }
+
+  plan.groups.assign(groups.size(), GroupPlacement{});
+  plan.shard_tasks.assign(static_cast<size_t>(num_shards), TaskSet{});
+  plan.shards.assign(static_cast<size_t>(num_shards), PRmwpPlan{});
+  plan.shard_utilization.assign(static_cast<size_t>(num_shards), 0.0);
+
+  auto admits = [&](int shard, const SymbolTaskSet& group,
+                    PRmwpPlan* out) {
+    TaskSet candidate = plan.shard_tasks[static_cast<size_t>(shard)];
+    for (const auto& t : group.tasks) candidate.add(t);
+    *out = plan_p_rmwp(candidate, shard_cores[static_cast<size_t>(shard)],
+                       shard_options(options, static_cast<size_t>(shard)));
+    return out->schedulable;
+  };
+
+  bool all_placed = true;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    const auto& group = groups[g];
+    auto& placement = plan.groups[g];
+    placement.home = home_shard(group.symbol, num_shards);
+    if (group.tasks.empty()) {
+      // A symbol with no tasks still routes to its home shard.
+      placement.shard = placement.home;
+      continue;
+    }
+
+    // Home first; then the spill candidates, least-utilized first
+    // (restricted migration: the whole group moves, once, offline).
+    std::vector<int> order;
+    order.push_back(placement.home);
+    std::vector<int> rest;
+    for (int s = 0; s < num_shards; ++s) {
+      if (s != placement.home) rest.push_back(s);
+    }
+    std::stable_sort(rest.begin(), rest.end(), [&](int a, int b) {
+      return plan.shard_utilization[static_cast<size_t>(a)] <
+             plan.shard_utilization[static_cast<size_t>(b)];
+    });
+    order.insert(order.end(), rest.begin(), rest.end());
+
+    PRmwpPlan admitted;
+    for (const int s : order) {
+      if (!admits(s, group, &admitted)) continue;
+      placement.shard = s;
+      placement.spilled = (s != placement.home);
+      if (placement.spilled) ++plan.spill_count;
+      auto& shard_set = plan.shard_tasks[static_cast<size_t>(s)];
+      for (const auto& t : group.tasks) {
+        placement.local_task_ids.push_back(shard_set.size());
+        shard_set.add(t);
+      }
+      plan.shards[static_cast<size_t>(s)] = std::move(admitted);
+      plan.shard_utilization[static_cast<size_t>(s)] =
+          shard_set.total_utilization() /
+          shard_cores[static_cast<size_t>(s)];
+      break;
+    }
+    if (placement.shard < 0) {
+      all_placed = false;
+      if (!plan.diagnostics.empty()) plan.diagnostics += "; ";
+      plan.diagnostics += "symbol " + std::to_string(group.symbol) +
+                          ": no shard admits its task group (home " +
+                          std::to_string(placement.home) +
+                          (admitted.diagnostics.empty()
+                               ? ")"
+                               : ", last: " + admitted.diagnostics + ")");
+    }
+  }
+
+  // Empty shards hold an empty-but-schedulable plan so callers can index
+  // uniformly.
+  for (int s = 0; s < num_shards; ++s) {
+    if (plan.shard_tasks[static_cast<size_t>(s)].empty()) {
+      plan.shards[static_cast<size_t>(s)].schedulable = true;
+      plan.shards[static_cast<size_t>(s)].processor_utilization.assign(
+          static_cast<size_t>(shard_cores[static_cast<size_t>(s)]), 0.0);
+    }
+  }
+
+  plan.feasible = all_placed;
+  return plan;
+}
+
+}  // namespace rtseed::sched

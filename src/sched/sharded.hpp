@@ -1,0 +1,92 @@
+// Sharded P-RMWP admission — the offline half of src/shard (DESIGN.md
+// §12).
+//
+// A sharded deployment splits the machine into S pinned shard groups,
+// each running its own Runtime over a subset topology.  Task sets arrive
+// grouped by trading symbol; a group is indivisible (its tasks share
+// per-symbol state, so they must land on one shard together).  Placement
+// follows the restricted-migration discipline:
+//
+//   1. the HOME shard is hash(symbol) % S — the same stateless rule the
+//      online feed router uses, so a tick reaches its symbol's shard
+//      without consulting any table;
+//   2. a group whose home shard's P-RMWP admission rejects it SPILLS to
+//      the least-utilized other shard that admits it (placement moves
+//      wholesale at analysis time; jobs never migrate at run time);
+//   3. a group no shard admits makes the plan infeasible — the honest
+//      answer, not silent degradation.
+//
+// Spilled groups pay the cross-shard hop (the router forwards their
+// ticks through the transport), which sim::ShardedTopology models as
+// added release latency.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sched/p_rmwp.hpp"
+#include "sched/task_model.hpp"
+
+namespace rtseed::sched {
+
+/// One symbol's indivisible task group.
+struct SymbolTaskSet {
+  common::u32 symbol = 0;
+  TaskSet tasks;
+};
+
+/// Stateless symbol -> shard rule (murmur3 finalizer: adjacent symbol
+/// ids land on unrelated shards).  The feed router and the planner must
+/// agree on this, so it lives here and nowhere else.
+inline common::u32 symbol_hash(common::u32 symbol) {
+  common::u32 h = symbol;
+  h ^= h >> 16;
+  h *= 0x85ebca6bu;
+  h ^= h >> 13;
+  h *= 0xc2b2ae35u;
+  h ^= h >> 16;
+  return h;
+}
+
+inline int home_shard(common::u32 symbol, int num_shards) {
+  return static_cast<int>(symbol_hash(symbol) %
+                          static_cast<common::u32>(num_shards));
+}
+
+struct GroupPlacement {
+  int home = -1;      ///< hash(symbol) % S
+  int shard = -1;     ///< where the group landed; -1 = rejected everywhere
+  bool spilled = false;  ///< landed off-home (pays the cross-shard hop)
+  /// The group's task indices within its shard's task set / plan.
+  std::vector<TaskId> local_task_ids;
+};
+
+struct ShardedPlan {
+  bool feasible = false;  ///< every group admitted by some shard
+  std::vector<GroupPlacement> groups;  ///< parallel to the input groups
+  /// Per shard: the union task set it plans, and its P-RMWP plan over it
+  /// (an empty shard gets an empty, schedulable plan).
+  std::vector<TaskSet> shard_tasks;
+  std::vector<PRmwpPlan> shards;
+  std::vector<double> shard_utilization;  ///< ΣUᵢ / cores, per shard
+  int spill_count = 0;
+  std::string diagnostics;
+};
+
+struct ShardedOptions {
+  /// Base admission options applied inside every shard.  The per-shard
+  /// topology (when given below) overrides `per_shard.topology`.
+  PRmwpOptions per_shard;
+  /// Optional per-shard subset topologies (parallel to shard_cores);
+  /// pointers not owned, must outlive the call.
+  std::vector<const common::Topology*> shard_topologies;
+};
+
+/// Runs sharded admission.  `shard_cores[s]` is the core count of shard
+/// s; groups are placed in the order given (deterministic).
+ShardedPlan plan_sharded(const std::vector<SymbolTaskSet>& groups,
+                         const std::vector<int>& shard_cores,
+                         const ShardedOptions& options = {});
+
+}  // namespace rtseed::sched

@@ -1,0 +1,55 @@
+// The one message schema that crosses a shard boundary (DESIGN.md §12).
+//
+// ShardMessage is a fixed-size trivially-copyable POD: it lives in a
+// common::MessagePool cell, and only its u32 pool INDEX travels through
+// the transport rings, so a message is written once by its producer and
+// read in place by its consumer — zero copies, zero allocations, valid
+// across address spaces.
+//
+// Two kinds share the schema (a tagged union would buy 8 bytes and cost
+// a second pool): kTick flows router -> shard ingress, kJobResult flows
+// shard -> supervisor egress.
+#pragma once
+
+#include <type_traits>
+
+#include "common/types.hpp"
+
+namespace rtseed::shard {
+
+using common::i64;
+using common::u32;
+using common::u64;
+
+enum class MessageKind : u32 {
+  kInvalid = 0,
+  kTick = 1,       ///< market tick routed to the symbol's shard
+  kJobResult = 2,  ///< per-job outcome a shard reports outward
+};
+
+struct ShardMessage {
+  MessageKind kind = MessageKind::kInvalid;
+  u32 symbol = 0;        ///< trading symbol id (the routing key)
+  u64 seq = 0;           ///< producer-assigned sequence number
+  i64 produced_ns = 0;   ///< CLOCK_MONOTONIC at production (hop latency)
+  union {
+    struct {
+      double price;
+      double volume;
+    } tick;
+    struct {
+      i64 job;
+      double signal;     ///< fused decision signal
+      u32 iterations;    ///< QoS proxy: optional refinements delivered
+      u32 missed;        ///< 1 when the job missed its deadline
+    } result;
+  } body = {};
+};
+
+static_assert(std::is_trivially_copyable_v<ShardMessage>,
+              "messages are raw bytes across the transport");
+static_assert(sizeof(ShardMessage) <= 64,
+              "one message per cache line; growing past a line is a "
+              "deliberate decision, not an accident");
+
+}  // namespace rtseed::shard

@@ -1,0 +1,66 @@
+#include "shard/transport.hpp"
+
+#include <utility>
+
+#include "common/cacheline.hpp"
+
+namespace rtseed::shard {
+
+namespace {
+
+constexpr usize kRingCapacityMax = 1u << 20;
+
+usize ring_region_bytes(usize capacity) {
+  const usize bytes = ShardTransport::required_ring_bytes(capacity);
+  return (bytes + common::kCacheLine - 1) & ~(common::kCacheLine - 1);
+}
+
+}  // namespace
+
+usize ShardTransport::required_ring_bytes(usize capacity) {
+  return IndexRing::required_bytes(capacity);
+}
+
+common::Expected<std::unique_ptr<ShardTransport>> ShardTransport::create(
+    int num_shards, const TransportOptions& options) {
+  if (num_shards <= 0) {
+    return common::invalid_argument("transport needs at least one shard");
+  }
+  if (options.pool_capacity == 0) {
+    return common::invalid_argument("pool capacity must be positive");
+  }
+  const usize cap = options.ring_capacity;
+  if (cap < 2 || cap > kRingCapacityMax || (cap & (cap - 1)) != 0) {
+    return common::invalid_argument(
+        "ring capacity must be a power of two in [2, 2^20]");
+  }
+
+  // One segment holds all 2*S rings, each region cache-line aligned.
+  const usize region = ring_region_bytes(cap);
+  auto segment = common::ShmSegment::create(
+      region * static_cast<usize>(num_shards) * 2, "rtseed-shard-transport");
+  if (!segment.has_value()) return segment.status();
+
+  std::unique_ptr<ShardTransport> transport(
+      new ShardTransport(num_shards, options, std::move(*segment)));
+  auto* base = static_cast<unsigned char*>(transport->segment_.data());
+  for (int s = 0; s < num_shards; ++s) {
+    transport->ingress_.push_back(IndexRing::create(
+        base + region * static_cast<usize>(2 * s), cap));
+    transport->egress_.push_back(IndexRing::create(
+        base + region * static_cast<usize>(2 * s + 1), cap));
+  }
+  return transport;
+}
+
+ShardTransport::ShardTransport(int num_shards,
+                               const TransportOptions& options,
+                               common::ShmSegment segment)
+    : num_shards_(num_shards),
+      pool_(options.pool_capacity),
+      segment_(std::move(segment)) {
+  ingress_.reserve(static_cast<usize>(num_shards));
+  egress_.reserve(static_cast<usize>(num_shards));
+}
+
+}  // namespace rtseed::shard

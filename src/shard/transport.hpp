@@ -1,0 +1,125 @@
+// Zero-allocation cross-shard transport: one MessagePool of ShardMessage
+// cells + per-shard SPSC index rings over a shared-memory segment
+// (DESIGN.md §12).
+//
+// Data flow for a tick:
+//   router:  acquire() a cell from the pool, fill it, post(shard, msg)
+//            — pushes the cell's u32 index into that shard's INGRESS ring;
+//   shard:   poll(shard) pops the index, reads the message in place,
+//            release()s the cell back to the pool.
+// Results flow the other way through the per-shard EGRESS rings with
+// post_result()/poll_result().
+//
+// Steady state touches exactly three lock-free structures (pool free
+// list, one ring, pool free list again) and never the heap; the segment,
+// rings, and pool are all laid out at construction.  A full ring or an
+// exhausted pool DROPS the message and counts it — real-time producers
+// never block on a slow consumer.
+//
+// The rings live in a ShmSegment so the same layout works across fork()
+// for multi-process deployments; the pool's cells are process-local
+// (index handles, not pointers, are what cross the rings), keeping the
+// in-process fast path free of any shared-memory indirection cost.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/message_pool.hpp"
+#include "common/shm.hpp"
+#include "common/shm_ring.hpp"
+#include "common/status.hpp"
+#include "shard/message.hpp"
+
+namespace rtseed::shard {
+
+using common::usize;
+
+struct TransportOptions {
+  usize pool_capacity = 4096;  ///< in-flight message cells, all shards
+  usize ring_capacity = 1024;  ///< slots per direction per shard (pow2)
+};
+
+class ShardTransport {
+ public:
+  static common::Expected<std::unique_ptr<ShardTransport>> create(
+      int num_shards, const TransportOptions& options = {});
+
+  /// Bytes one index ring of `capacity` slots needs (exposed for tests).
+  static usize required_ring_bytes(usize capacity);
+
+  int num_shards() const { return num_shards_; }
+
+  /// Pool cell for the producer to fill; nullptr (and a count) when the
+  /// pool is exhausted.  Lock-free.
+  ShardMessage* acquire() { return pool_.acquire(); }
+
+  /// Returns a cell without sending it (e.g. routing failed).
+  void release(ShardMessage* msg) { pool_.release(msg); }
+
+  /// Queues `msg` on `shard`'s ingress ring.  On a full ring the cell is
+  /// released and the drop counted; false is returned.  The caller gives
+  /// up ownership either way.  Wait-free.
+  bool post(int shard, ShardMessage* msg) {
+    return send(ingress_[static_cast<usize>(shard)], msg, &ingress_drops_);
+  }
+
+  /// Pops the next ingress message for `shard`; nullptr when empty.  The
+  /// consumer reads in place, then release()s.  Wait-free.
+  ShardMessage* poll(int shard) {
+    return receive(ingress_[static_cast<usize>(shard)]);
+  }
+
+  /// Same pair on the egress (shard -> supervisor) direction.
+  bool post_result(int shard, ShardMessage* msg) {
+    return send(egress_[static_cast<usize>(shard)], msg, &egress_drops_);
+  }
+  ShardMessage* poll_result(int shard) {
+    return receive(egress_[static_cast<usize>(shard)]);
+  }
+
+  usize ingress_size_approx(int shard) const {
+    return ingress_[static_cast<usize>(shard)].size_approx();
+  }
+
+  // Back-pressure counters (drop, never block).
+  u64 ingress_drops() const {
+    return ingress_drops_.load(std::memory_order_relaxed);
+  }
+  u64 egress_drops() const {
+    return egress_drops_.load(std::memory_order_relaxed);
+  }
+  u64 pool_exhausted() const { return pool_.exhausted(); }
+  usize in_flight_approx() const { return pool_.in_use_approx(); }
+
+ private:
+  using IndexRing = common::ShmSpscRing<common::u32>;
+
+  ShardTransport(int num_shards, const TransportOptions& options,
+                 common::ShmSegment segment);
+
+  bool send(IndexRing& ring, ShardMessage* msg, std::atomic<u64>* drops) {
+    if (!ring.try_push(pool_.index_of(msg))) {
+      pool_.release(msg);
+      drops->fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+
+  ShardMessage* receive(IndexRing& ring) {
+    common::u32 index;
+    if (!ring.try_pop(&index)) return nullptr;
+    return pool_.at(index);
+  }
+
+  const int num_shards_;
+  common::MessagePool<ShardMessage> pool_;
+  common::ShmSegment segment_;
+  std::vector<IndexRing> ingress_;  ///< one per shard, router -> shard
+  std::vector<IndexRing> egress_;   ///< one per shard, shard -> out
+  std::atomic<u64> ingress_drops_{0};
+  std::atomic<u64> egress_drops_{0};
+};
+
+}  // namespace rtseed::shard

@@ -1,0 +1,136 @@
+#include "sim/sharded_topology.hpp"
+
+#include <algorithm>
+
+#include "sim/sweep.hpp"
+
+namespace rtseed::sim {
+
+long ShardedSimResult::total_released() const {
+  long released = 0;
+  for (const auto& shard : shards) {
+    for (const auto& proc : shard.per_processor) {
+      for (const auto& task : proc.tasks) released += task.released;
+    }
+  }
+  return released;
+}
+
+long ShardedSimResult::total_misses() const {
+  long misses = 0;
+  for (const auto& shard : shards) misses += shard.total_misses();
+  return misses;
+}
+
+double ShardedSimResult::miss_rate() const {
+  const long released = total_released();
+  if (released <= 0) return 0.0;
+  return static_cast<double>(total_misses()) / static_cast<double>(released);
+}
+
+ShardedSimResult simulate_sharded(
+    const std::vector<sched::SymbolTaskSet>& groups,
+    const std::vector<int>& shard_cores, const ShardedSimOptions& options) {
+  ShardedSimResult result;
+  result.plan = sched::plan_sharded(groups, shard_cores, options.admission);
+  const int num_shards = static_cast<int>(shard_cores.size());
+  result.shards.resize(static_cast<std::size_t>(std::max(num_shards, 0)));
+
+  // The planner's shard_tasks already hold each shard's union set; the
+  // hop shows up as extra mandatory work on every task of a spilled
+  // group (the router's forward precedes the mandatory computation and
+  // consumes the same window).
+  std::vector<sched::TaskSet> shard_tasks = result.plan.shard_tasks;
+  if (options.hop_latency > 0) {
+    for (std::size_t g = 0; g < result.plan.groups.size(); ++g) {
+      const auto& placement = result.plan.groups[g];
+      if (!placement.spilled || placement.shard < 0) continue;
+      auto& tasks = shard_tasks[static_cast<std::size_t>(placement.shard)];
+      for (const sched::TaskId id : placement.local_task_ids) {
+        tasks[id].mandatory += options.hop_latency;
+      }
+    }
+  }
+
+  for (int s = 0; s < num_shards; ++s) {
+    const auto& tasks = shard_tasks[static_cast<std::size_t>(s)];
+    if (tasks.empty()) continue;  // dormant shard: nothing to simulate
+    result.shards[static_cast<std::size_t>(s)] = simulate_partitioned(
+        tasks, shard_cores[static_cast<std::size_t>(s)], options.per_shard,
+        options.heuristic);
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Shard-count sweeps
+
+namespace {
+
+std::vector<int> contiguous_cut(int total_cores, int num_shards) {
+  std::vector<int> cores(static_cast<std::size_t>(num_shards),
+                         total_cores / num_shards);
+  for (int s = 0; s < total_cores % num_shards; ++s) {
+    ++cores[static_cast<std::size_t>(s)];
+  }
+  return cores;
+}
+
+}  // namespace
+
+std::vector<ShardSweepPoint> sweep_shards(
+    const std::vector<sched::SymbolTaskSet>& groups, int total_cores,
+    int max_shards, const ShardedSimOptions& options) {
+  const int limit = std::min(max_shards, total_cores);
+  if (limit <= 0 || total_cores <= 0) return {};
+
+  SweepRunner runner;
+  return runner.map(static_cast<std::size_t>(limit), [&](std::size_t cell) {
+    const int shards = static_cast<int>(cell) + 1;
+    ShardSweepPoint point;
+    point.shards = shards;
+    const auto sim =
+        simulate_sharded(groups, contiguous_cut(total_cores, shards), options);
+    point.feasible = sim.plan.feasible;
+    point.spills = sim.plan.spill_count;
+    point.released = sim.total_released();
+    point.misses = sim.total_misses();
+    point.miss_rate = sim.miss_rate();
+    return point;
+  });
+}
+
+int min_shards_for(const std::vector<ShardSweepPoint>& sweep,
+                   double max_miss_rate) {
+  for (const auto& point : sweep) {
+    if (point.feasible && point.miss_rate <= max_miss_rate) {
+      return point.shards;
+    }
+  }
+  return -1;
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline-saturation throughput model
+
+double modeled_throughput(const PipelineModel& model, int num_shards) {
+  if (num_shards <= 0 || model.tick_service <= 0) return 0.0;
+  const double hop = num_shards > 1 ? model.spill_fraction *
+                                          static_cast<double>(model.hop_latency)
+                                    : 0.0;
+  const double service = static_cast<double>(model.tick_service) + hop;
+  double ticks_per_ns = static_cast<double>(num_shards) / service;
+  if (model.router_dispatch > 0) {
+    ticks_per_ns = std::min(
+        ticks_per_ns, 1.0 / static_cast<double>(model.router_dispatch));
+  }
+  return ticks_per_ns * 1e9;
+}
+
+double modeled_speedup(const PipelineModel& model, int num_shards) {
+  const double base = modeled_throughput(model, 1);
+  if (base <= 0.0) return 0.0;
+  return modeled_throughput(model, num_shards) / base;
+}
+
+}  // namespace rtseed::sim

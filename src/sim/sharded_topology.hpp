@@ -1,0 +1,115 @@
+// Discrete-event simulation of sharded deployments (DESIGN.md §12).
+//
+// A sharded deployment (src/shard) splits the machine into S pinned
+// shard groups; sched::plan_sharded places symbol task groups on shards
+// (home-by-hash, spill under the restricted-migration rule).  This layer
+// answers the capacity-planning questions *before* pinning anything:
+//
+//  * simulate_sharded — run the sharded admission, then simulate each
+//    shard independently with the uniprocessor/partitioned engine.
+//    Spilled groups pay the cross-shard hop: their ticks are forwarded
+//    through the transport by the router, which the simulation models by
+//    inflating their mandatory WCETs by `hop_latency` (the forward is
+//    work that happens before the mandatory part's real computation can
+//    start, and it occupies the same release-to-deadline window).
+//  * sweep_shards / min_shards_for — evaluate a symbol population at
+//    every shard count that divides the machine and find the smallest
+//    one meeting a miss-rate target.
+//  * modeled_throughput — the deterministic pipeline-saturation model
+//    behind bench/micro_shard's speedup gate: S parallel shard pipelines
+//    drain ticks at 1/service each, fed by one router whose per-tick
+//    dispatch cost is the serial section (Amdahl bound).
+#pragma once
+
+#include <vector>
+
+#include "sched/sharded.hpp"
+#include "sim/sim_scheduler.hpp"
+
+namespace rtseed::sim {
+
+struct ShardedSimOptions {
+  /// Simulation options applied inside every shard.
+  SimOptions per_shard;
+  /// Admission options forwarded to sched::plan_sharded.
+  sched::ShardedOptions admission;
+  /// Partitioning heuristic inside each shard's simulation.
+  sched::PackingHeuristic heuristic = sched::PackingHeuristic::kFirstFit;
+  /// Cross-shard hop cost charged to every mandatory part of a spilled
+  /// group (router forward through the transport).
+  Nanos hop_latency = common::micros(5);
+};
+
+struct ShardedSimResult {
+  sched::ShardedPlan plan;
+  /// Parallel to shard_cores; empty shards hold empty results.
+  std::vector<PartitionedSimResult> shards;
+
+  long total_released() const;
+  long total_misses() const;
+  /// misses / released jobs across every shard (0 when nothing ran).
+  double miss_rate() const;
+};
+
+/// Plans `groups` over `shard_cores` and simulates each shard.  When the
+/// plan is infeasible the placed groups still simulate (the unplaceable
+/// ones are skipped) so the caller sees how the admitted load behaves.
+ShardedSimResult simulate_sharded(
+    const std::vector<sched::SymbolTaskSet>& groups,
+    const std::vector<int>& shard_cores,
+    const ShardedSimOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// Shard-count sweeps
+
+struct ShardSweepPoint {
+  int shards = 0;
+  bool feasible = false;
+  int spills = 0;
+  long released = 0;
+  long misses = 0;
+  double miss_rate = 0.0;
+};
+
+/// Simulates `groups` at every shard count in [1, max_shards] (clamped
+/// to total_cores), carving `total_cores` into contiguous groups whose
+/// sizes differ by at most one — the same cut shard::carve_shards makes
+/// for the compact policy.  Cells are independent and run on the sweep
+/// pool; results are bit-identical to the serial run.
+std::vector<ShardSweepPoint> sweep_shards(
+    const std::vector<sched::SymbolTaskSet>& groups, int total_cores,
+    int max_shards, const ShardedSimOptions& options = {});
+
+/// Smallest shard count whose sweep point is feasible with
+/// miss_rate <= max_miss_rate; -1 when no point qualifies.
+int min_shards_for(const std::vector<ShardSweepPoint>& sweep,
+                   double max_miss_rate);
+
+// ---------------------------------------------------------------------------
+// Pipeline-saturation throughput model
+
+/// Calibrated per-tick costs of one shard pipeline.  bench/micro_shard
+/// measures these natively on the host, then asks the model what the
+/// same pipeline replicated S ways sustains.
+struct PipelineModel {
+  /// Per-tick service time inside a shard (pop + indicator round + post).
+  Nanos tick_service = 0;
+  /// Serial router cost per tick (hash + ring push) — the Amdahl term.
+  Nanos router_dispatch = 0;
+  /// Fraction of ticks forwarded off their home shard (spilled symbols).
+  double spill_fraction = 0.0;
+  /// Forward cost those ticks add to their shard's service time.
+  Nanos hop_latency = 0;
+};
+
+/// Saturated aggregate tick throughput (ticks/second) of `num_shards`
+/// parallel pipelines behind one router:
+///   min( S / (service + spill·hop),  1 / router_dispatch )
+/// The spill term applies only for S > 1 (one shard has nowhere to
+/// spill).  Returns 0 for a degenerate model (no service cost).
+double modeled_throughput(const PipelineModel& model, int num_shards);
+
+/// modeled_throughput(S) / modeled_throughput(1).
+double modeled_speedup(const PipelineModel& model, int num_shards);
+
+}  // namespace rtseed::sim

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "trading/indicators.hpp"
+
 namespace rtseed::trading {
 
 namespace {
@@ -46,7 +48,8 @@ BollingerAnalyzer::BollingerAnalyzer(int min_window, int max_window,
       num_stddev_(num_stddev) {}
 
 void BollingerAnalyzer::analyze(const PriceWindow& prices, long /*job*/,
-                                core::StopToken& token, ResultSink& sink) {
+                                core::StopToken& token, ResultSink& sink,
+                                common::Arena* /*scratch*/) {
   AnalyzerOutput out;
   double signal_sum = 0.0;
   long levels = 0;
@@ -73,7 +76,8 @@ RsiAnalyzer::RsiAnalyzer(int min_period, int max_period)
     : min_period_(min_period), max_period_(max_period) {}
 
 void RsiAnalyzer::analyze(const PriceWindow& prices, long /*job*/,
-                          core::StopToken& token, ResultSink& sink) {
+                          core::StopToken& token, ResultSink& sink,
+                                common::Arena* /*scratch*/) {
   AnalyzerOutput out;
   double signal_sum = 0.0;
   long levels = 0;
@@ -111,7 +115,8 @@ CrossoverAnalyzer::CrossoverAnalyzer(int fast, int slow)
     : fast_(fast), slow_(slow) {}
 
 void CrossoverAnalyzer::analyze(const PriceWindow& prices, long /*job*/,
-                                core::StopToken& token, ResultSink& sink) {
+                                core::StopToken& token, ResultSink& sink,
+                                common::Arena* /*scratch*/) {
   AnalyzerOutput out;
   // Refinement: evaluate the crossover at scaled (fast, slow) pairs.
   long levels = 0;
@@ -142,7 +147,8 @@ MonteCarloAnalyzer::MonteCarloAnalyzer(int horizon_steps, int paths_per_batch,
       rng_(seed) {}
 
 void MonteCarloAnalyzer::analyze(const PriceWindow& prices, long /*job*/,
-                                 core::StopToken& token, ResultSink& sink) {
+                                 core::StopToken& token, ResultSink& sink,
+                                common::Arena* /*scratch*/) {
   const int n = prices.size();
   if (n < 32) return;
   // Estimate per-step log-return drift and volatility from the window.
@@ -185,7 +191,8 @@ CandleAnalyzer::CandleAnalyzer(int min_candles, int max_candles)
     : min_candles_(min_candles), max_candles_(max_candles) {}
 
 void CandleAnalyzer::analyze(const PriceWindow& prices, long /*job*/,
-                             core::StopToken& token, ResultSink& sink) {
+                             core::StopToken& token, ResultSink& sink,
+                                common::Arena* /*scratch*/) {
   const int n = prices.size();
   AnalyzerOutput out;
   long levels = 0;
@@ -227,13 +234,62 @@ void CandleAnalyzer::analyze(const PriceWindow& prices, long /*job*/,
   }
 }
 
+IndicatorAnalyzer::IndicatorAnalyzer(int min_window, int max_window,
+                                     double num_stddev)
+    : min_window_(min_window),
+      max_window_(max_window),
+      num_stddev_(num_stddev) {}
+
+void IndicatorAnalyzer::analyze(const PriceWindow& prices, long /*job*/,
+                                core::StopToken& token, ResultSink& sink,
+                                common::Arena* scratch) {
+  // Ring storage per level: from the part's scratch arena when bound,
+  // else this bounded stack buffer (levels that outgrow it are skipped —
+  // degrade, never allocate inside an abandonable part).
+  constexpr int kStackDoubles = 128;
+  double stack_storage[kStackDoubles];
+
+  AnalyzerOutput out;
+  double signal_sum = 0.0;
+  long levels = 0;
+  const long max_levels = (max_window_ - min_window_) / 10 + 1;
+  for (int window = min_window_; window <= max_window_; window += 10) {
+    if (token.should_stop()) break;
+    const int n = prices.size();
+    if (n < window) break;
+    double* storage = scratch != nullptr
+                          ? scratch->alloc_array<double>(
+                                static_cast<common::usize>(window))
+                          : (window <= kStackDoubles ? stack_storage : nullptr);
+    if (storage == nullptr) break;  // arena/stack exhausted: stop refining
+
+    RollingStdDev stddev(window, storage);
+    for (int i = n - window; i < n; ++i) stddev.update(prices[i]);
+    if (!stddev.ready()) break;
+    const double dev = num_stddev_ * stddev.value();
+    // Same %b mean-reversion mapping as BollingerAnalyzer, but computed
+    // by the streaming indicator the mandatory path uses.
+    const double percent_b =
+        dev > 0.0
+            ? (prices.latest() - (stddev.mean() - dev)) / (2.0 * dev)
+            : 0.5;
+    signal_sum += std::clamp(2.0 * (0.5 - percent_b), -1.0, 1.0);
+    ++levels;
+    out.signal = signal_sum / static_cast<double>(levels);
+    out.iterations = levels;
+    out.weight = level_weight(levels, max_levels);
+    sink.publish(out);
+  }
+}
+
 GdpAnalyzer::GdpAnalyzer(MacroSeries base_economy, MacroSeries quote_economy,
                          int jobs_per_quarter)
     : fundamental_(std::move(base_economy), std::move(quote_economy)),
       jobs_per_quarter_(std::max(1, jobs_per_quarter)) {}
 
 void GdpAnalyzer::analyze(const PriceWindow& /*prices*/, long job,
-                          core::StopToken& token, ResultSink& sink) {
+                          core::StopToken& token, ResultSink& sink,
+                                common::Arena* /*scratch*/) {
   const int quarter =
       static_cast<int>(std::min<long>(job / jobs_per_quarter_ + 8, 500));
   AnalyzerOutput out;

@@ -15,6 +15,7 @@
 #include <memory>
 #include <string>
 
+#include "common/arena.hpp"
 #include "common/rng.hpp"
 #include "core/termination.hpp"
 #include "trading/fundamental.hpp"
@@ -57,8 +58,12 @@ class Analyzer {
   virtual std::string name() const = 0;
   /// Refines until done or token.should_stop(); commits every level.
   /// `job` is the 0-based job index (e.g. to select the macro quarter).
+  /// `scratch` is the part's bump arena (JobContext::scratch) for
+  /// indicator ring storage; may be null (analyzers that need windowed
+  /// state then fall back to a bounded stack buffer or skip levels).
   virtual void analyze(const PriceWindow& prices, long job,
-                       core::StopToken& token, ResultSink& sink) = 0;
+                       core::StopToken& token, ResultSink& sink,
+                       common::Arena* scratch) = 0;
 };
 
 /// Bollinger-Bands mean-reversion signal (%b), refined over an increasing
@@ -69,7 +74,7 @@ class BollingerAnalyzer final : public Analyzer {
                              double num_stddev = 2.0);
   std::string name() const override { return "bollinger"; }
   void analyze(const PriceWindow& prices, long job, core::StopToken& token,
-               ResultSink& sink) override;
+               ResultSink& sink, common::Arena* scratch) override;
 
  private:
   int min_window_;
@@ -83,7 +88,7 @@ class RsiAnalyzer final : public Analyzer {
   explicit RsiAnalyzer(int min_period = 7, int max_period = 28);
   std::string name() const override { return "rsi"; }
   void analyze(const PriceWindow& prices, long job, core::StopToken& token,
-               ResultSink& sink) override;
+               ResultSink& sink, common::Arena* scratch) override;
 
  private:
   int min_period_;
@@ -96,7 +101,7 @@ class CrossoverAnalyzer final : public Analyzer {
   CrossoverAnalyzer(int fast = 12, int slow = 26);
   std::string name() const override { return "crossover"; }
   void analyze(const PriceWindow& prices, long job, core::StopToken& token,
-               ResultSink& sink) override;
+               ResultSink& sink, common::Arena* scratch) override;
 
  private:
   int fast_;
@@ -112,7 +117,7 @@ class MonteCarloAnalyzer final : public Analyzer {
                               common::u64 seed = 99);
   std::string name() const override { return "montecarlo"; }
   void analyze(const PriceWindow& prices, long job, core::StopToken& token,
-               ResultSink& sink) override;
+               ResultSink& sink, common::Arena* scratch) override;
 
  private:
   int horizon_steps_;
@@ -128,11 +133,30 @@ class CandleAnalyzer final : public Analyzer {
   explicit CandleAnalyzer(int min_candles = 8, int max_candles = 64);
   std::string name() const override { return "candles"; }
   void analyze(const PriceWindow& prices, long job, core::StopToken& token,
-               ResultSink& sink) override;
+               ResultSink& sink, common::Arena* scratch) override;
 
  private:
   int min_candles_;
   int max_candles_;
+};
+
+/// Streaming-indicator ensemble over arena-bound ring state: replays the
+/// price window through a RollingStdDev whose samples live in the part's
+/// scratch arena (the zero-allocation path; tests/hotpath asserts a full
+/// round stays off the heap).  Refinement ladder: wider windows.  With no
+/// arena, levels fit a bounded stack buffer and the ladder is truncated.
+class IndicatorAnalyzer final : public Analyzer {
+ public:
+  explicit IndicatorAnalyzer(int min_window = 10, int max_window = 120,
+                             double num_stddev = 2.0);
+  std::string name() const override { return "indicators"; }
+  void analyze(const PriceWindow& prices, long job, core::StopToken& token,
+               ResultSink& sink, common::Arena* scratch) override;
+
+ private:
+  int min_window_;
+  int max_window_;
+  double num_stddev_;
 };
 
 /// Fundamental (GDP growth differential) signal.
@@ -142,7 +166,7 @@ class GdpAnalyzer final : public Analyzer {
               int jobs_per_quarter = 8);
   std::string name() const override { return "gdp"; }
   void analyze(const PriceWindow& prices, long job, core::StopToken& token,
-               ResultSink& sink) override;
+               ResultSink& sink, common::Arena* scratch) override;
 
  private:
   FundamentalAnalyzer fundamental_;

@@ -66,7 +66,7 @@ BacktestResult Backtester::run(
         BudgetSink sink(config_.refinement_budget, token);
         analyzer->analyze(
             PriceWindow(history.data(), static_cast<int>(history.size())),
-            static_cast<long>(job), token, sink);
+            static_cast<long>(job), token, sink, nullptr);
         if (sink.has_output()) {
           r.signal = sink.last().signal;
           r.weight = sink.last().weight;

@@ -1,0 +1,47 @@
+#include "trading/feed_router.hpp"
+
+namespace rtseed::trading {
+
+FeedRouter::FeedRouter(shard::ShardedRuntime* runtime) : runtime_(runtime) {}
+
+void FeedRouter::add_feed(common::u32 symbol,
+                          std::unique_ptr<MarketFeed> feed) {
+  feeds_.push_back(RoutedFeed{symbol, 0, std::move(feed)});
+}
+
+int FeedRouter::pump(Nanos now) {
+  auto* transport = runtime_->transport();
+  if (transport == nullptr) return 0;  // runtime not started
+  if (stats_.per_shard.size() !=
+      static_cast<size_t>(runtime_->num_shards())) {
+    stats_.per_shard.assign(static_cast<size_t>(runtime_->num_shards()), 0);
+  }
+
+  int posted = 0;
+  for (auto& routed : feeds_) {
+    const Tick tick = routed.feed->next(now);
+    shard::ShardMessage* msg = transport->acquire();
+    if (msg == nullptr) {
+      ++stats_.dropped;  // pool exhausted: shards are not draining
+      continue;
+    }
+    msg->kind = shard::MessageKind::kTick;
+    msg->symbol = routed.symbol;
+    msg->seq = routed.next_seq;
+    msg->produced_ns = static_cast<common::u64>(now);
+    msg->body.tick.price = tick.mid();
+    msg->body.tick.volume = tick.spread();
+    const int shard = runtime_->shard_of(routed.symbol);
+    if (!transport->post(shard, msg)) {
+      ++stats_.dropped;  // ring full: cell already back in the pool
+      continue;
+    }
+    ++routed.next_seq;
+    ++stats_.routed;
+    ++stats_.per_shard[static_cast<size_t>(shard)];
+    ++posted;
+  }
+  return posted;
+}
+
+}  // namespace rtseed::trading

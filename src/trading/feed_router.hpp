@@ -1,0 +1,57 @@
+// Symbol-partitioned feed fan-out (DESIGN.md §12).
+//
+// One FeedRouter owns the market feeds of every traded symbol and pumps
+// their quotes into a ShardedRuntime's transport: each tick is acquired
+// from the message pool, stamped, and posted to the ingress ring of the
+// shard its symbol lives on.  Routing consults the planner's placement
+// (ShardedRuntime::shard_of) so spilled symbols reach their actual shard,
+// not just their hash home.
+//
+// The pump path is allocation-free: acquire/fill/post on the transport's
+// fixed structures.  Full rings and an exhausted pool DROP the tick and
+// count it — the router never blocks a feed on a slow shard.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "shard/sharded_runtime.hpp"
+#include "trading/market_feed.hpp"
+
+namespace rtseed::trading {
+
+struct FeedRouterStats {
+  common::u64 routed = 0;   ///< ticks posted onto a shard's ingress ring
+  common::u64 dropped = 0;  ///< pool exhausted or ring full
+  std::vector<common::u64> per_shard;  ///< routed, by destination shard
+};
+
+class FeedRouter {
+ public:
+  /// `runtime` must outlive the router and be start()ed before pump().
+  explicit FeedRouter(shard::ShardedRuntime* runtime);
+
+  /// Registers `symbol`'s quote source.  Setup path (allocates).
+  void add_feed(common::u32 symbol, std::unique_ptr<MarketFeed> feed);
+
+  int num_feeds() const { return static_cast<int>(feeds_.size()); }
+
+  /// One fan-out round: next(now) on every feed, one post per tick.
+  /// Returns how many ticks were posted (drops excluded).
+  int pump(Nanos now);
+
+  const FeedRouterStats& stats() const { return stats_; }
+
+ private:
+  struct RoutedFeed {
+    common::u32 symbol = 0;
+    common::u64 next_seq = 0;
+    std::unique_ptr<MarketFeed> feed;
+  };
+
+  shard::ShardedRuntime* runtime_;
+  std::vector<RoutedFeed> feeds_;
+  FeedRouterStats stats_;
+};
+
+}  // namespace rtseed::trading

@@ -6,15 +6,29 @@
 
 namespace rtseed::trading {
 
-Sma::Sma(int window) : window_(window) { assert(window > 0); }
+Sma::Sma(int window) : window_(window) {
+  assert(window > 0);
+  owned_ = std::make_unique<double[]>(static_cast<size_t>(window));
+  ring_ = owned_.get();
+}
+
+Sma::Sma(int window, double* storage) : window_(window), ring_(storage) {
+  assert(window > 0);
+}
+
+Sma::Sma(int window, common::Arena& arena)
+    : Sma(window, arena.alloc_array<double>(static_cast<size_t>(window))) {}
 
 void Sma::update(double x) {
-  values_.push_back(x);
-  sum_ += x;
-  if (static_cast<int>(values_.size()) > window_) {
-    sum_ -= values_.front();
-    values_.pop_front();
+  if (ring_ == nullptr) return;  // arena exhausted: stay not-ready
+  if (count_ == window_) {
+    sum_ -= ring_[next_];
+  } else {
+    ++count_;
   }
+  ring_[next_] = x;
+  sum_ += x;
+  next_ = next_ + 1 == window_ ? 0 : next_ + 1;
 }
 
 Ema::Ema(int period) : alpha_(2.0 / (static_cast<double>(period) + 1.0)) {
@@ -32,18 +46,32 @@ void Ema::update(double x) {
 
 RollingStdDev::RollingStdDev(int window) : window_(window) {
   assert(window > 1);
+  owned_ = std::make_unique<double[]>(static_cast<size_t>(window));
+  ring_ = owned_.get();
 }
 
+RollingStdDev::RollingStdDev(int window, double* storage)
+    : window_(window), ring_(storage) {
+  assert(window > 1);
+}
+
+RollingStdDev::RollingStdDev(int window, common::Arena& arena)
+    : RollingStdDev(window,
+                    arena.alloc_array<double>(static_cast<size_t>(window))) {}
+
 void RollingStdDev::update(double x) {
-  values_.push_back(x);
-  sum_ += x;
-  sum_sq_ += x * x;
-  if (static_cast<int>(values_.size()) > window_) {
-    const double old = values_.front();
+  if (ring_ == nullptr) return;  // arena exhausted: stay not-ready
+  if (count_ == window_) {
+    const double old = ring_[next_];
     sum_ -= old;
     sum_sq_ -= old * old;
-    values_.pop_front();
+  } else {
+    ++count_;
   }
+  ring_[next_] = x;
+  sum_ += x;
+  sum_sq_ += x * x;
+  next_ = next_ + 1 == window_ ? 0 : next_ + 1;
 }
 
 double RollingStdDev::value() const {
@@ -57,6 +85,10 @@ double RollingStdDev::value() const {
 
 BollingerBands::BollingerBands(int window, double num_stddev)
     : num_stddev_(num_stddev), stddev_(window) {}
+
+BollingerBands::BollingerBands(int window, double num_stddev,
+                               common::Arena& arena)
+    : num_stddev_(num_stddev), stddev_(window, arena) {}
 
 void BollingerBands::update(double x) {
   last_ = x;

@@ -4,11 +4,20 @@
 // Bollinger Bands) and/or fundamental analysis (e.g., GDP) in parallel to
 // improve QoS for a trading decision" (§II-A).  Each indicator here is a
 // constant-memory streaming computation: update(price) then read values.
+//
+// The windowed indicators (Sma, RollingStdDev, BollingerBands) keep their
+// samples in a fixed ring over a double* that can come from three places:
+//  * the default constructor allocates it once (setup path);
+//  * a caller-provided pointer (stack buffer, slab) binds a view;
+//  * a common::Arena bump-allocates it — the zero-allocation job path
+//    (JobContext::scratch), enforced by tests/hotpath.
+// An exhausted arena leaves the indicator unbound: update() is a no-op
+// and ready() stays false — degrade, don't touch the heap.
 #pragma once
 
-#include <deque>
-#include <optional>
+#include <memory>
 
+#include "common/arena.hpp"
 #include "common/types.hpp"
 
 namespace rtseed::trading {
@@ -17,16 +26,29 @@ namespace rtseed::trading {
 class Sma {
  public:
   explicit Sma(int window);
+  /// Ring storage view over `storage[0..window)`; does not allocate.
+  Sma(int window, double* storage);
+  /// Ring storage bump-allocated from `arena`; does not touch the heap.
+  Sma(int window, common::Arena& arena);
+
+  /// Bytes an arena must have free to bind one instance.
+  static common::usize storage_bytes(int window) {
+    return sizeof(double) * static_cast<common::usize>(window);
+  }
 
   void update(double x);
-  bool ready() const { return static_cast<int>(values_.size()) == window_; }
+  bool bound() const { return ring_ != nullptr; }
+  bool ready() const { return count_ == window_; }
   double value() const { return ready() ? sum_ / window_ : 0.0; }
   int window() const { return window_; }
 
  private:
   int window_;
-  std::deque<double> values_;
+  int count_ = 0;
+  int next_ = 0;
   double sum_ = 0.0;
+  double* ring_ = nullptr;
+  std::unique_ptr<double[]> owned_;
 };
 
 /// Exponential moving average with period n (alpha = 2/(n+1)).
@@ -48,17 +70,27 @@ class Ema {
 class RollingStdDev {
  public:
   explicit RollingStdDev(int window);
+  RollingStdDev(int window, double* storage);
+  RollingStdDev(int window, common::Arena& arena);
+
+  static common::usize storage_bytes(int window) {
+    return sizeof(double) * static_cast<common::usize>(window);
+  }
 
   void update(double x);
-  bool ready() const { return static_cast<int>(values_.size()) == window_; }
+  bool bound() const { return ring_ != nullptr; }
+  bool ready() const { return count_ == window_; }
   double value() const;
   double mean() const { return ready() ? sum_ / window_ : 0.0; }
 
  private:
   int window_;
-  std::deque<double> values_;
+  int count_ = 0;
+  int next_ = 0;
   double sum_ = 0.0;
   double sum_sq_ = 0.0;
+  double* ring_ = nullptr;
+  std::unique_ptr<double[]> owned_;
 };
 
 /// Bollinger Bands: SMA(n) ± k·sigma(n) (Bollinger 2001, paper ref [10]).
@@ -74,6 +106,11 @@ struct BollingerValues {
 class BollingerBands {
  public:
   explicit BollingerBands(int window = 20, double num_stddev = 2.0);
+  BollingerBands(int window, double num_stddev, common::Arena& arena);
+
+  static common::usize storage_bytes(int window) {
+    return RollingStdDev::storage_bytes(window);
+  }
 
   void update(double x);
   bool ready() const { return stddev_.ready(); }

@@ -66,7 +66,8 @@ void TradingSystem::on_optional(const core::JobContext& ctx, int part,
   const auto index = static_cast<size_t>(part);
   if (index >= analyzers_.size()) return;
   const PriceWindow window(history_.data(), history_count_);
-  analyzers_[index]->analyze(window, ctx.job, token, *slots_[index]);
+  analyzers_[index]->analyze(window, ctx.job, token, *slots_[index],
+                             ctx.scratch);
 }
 
 void TradingSystem::on_windup(const core::JobContext& ctx) {

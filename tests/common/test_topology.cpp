@@ -130,6 +130,84 @@ TEST_F(SysfsFixture, MissingTreeFallsBackToFlat) {
   EXPECT_EQ(t.num_llc_domains(), 1);
 }
 
+// NUMA fixtures nest the cpu tree one level down ("cpu/...") so the
+// node directory the parser derives as root/../node stays inside the
+// temp dir.
+class NumaSysfsFixture : public SysfsFixture {
+ protected:
+  std::string cpu_root() const { return root_ + "/cpu"; }
+
+  void add_numa_cpu(int cpu, int core_id) {
+    write_file("cpu/cpu" + std::to_string(cpu) + "/topology/core_id",
+               std::to_string(core_id) + "\n");
+  }
+
+  void add_node(int node, const std::string& cpulist,
+                const std::string& distance) {
+    write_file("node/node" + std::to_string(node) + "/cpulist",
+               cpulist + "\n");
+    write_file("node/node" + std::to_string(node) + "/distance",
+               distance + "\n");
+  }
+};
+
+TEST_F(NumaSysfsFixture, TwoNodesWithDistances) {
+  for (int cpu = 0; cpu < 4; ++cpu) add_numa_cpu(cpu, cpu);
+  add_node(0, "0-1", "10 21");
+  add_node(1, "2-3", "21 10");
+
+  const auto t = Topology::from_sysfs_root(cpu_root(), 4);
+  EXPECT_TRUE(t.from_sysfs());
+  EXPECT_EQ(t.num_nodes(), 2);
+  EXPECT_EQ(t.node_of(t.core_of(0)), t.node_of(t.core_of(1)));
+  EXPECT_EQ(t.node_of(t.core_of(2)), t.node_of(t.core_of(3)));
+  EXPECT_FALSE(t.same_node(t.core_of(1), t.core_of(2)));
+  EXPECT_EQ(t.node_distance(0, 0), 10);
+  EXPECT_EQ(t.node_distance(1, 1), 10);
+  EXPECT_EQ(t.node_distance(0, 1), 21);
+  EXPECT_EQ(t.node_distance(1, 0), 21);
+}
+
+TEST_F(NumaSysfsFixture, SparseNodeIdsAreDensified) {
+  // Real boxes can expose node0/node2 (node1 offline): dense ids 0,1.
+  for (int cpu = 0; cpu < 4; ++cpu) add_numa_cpu(cpu, cpu);
+  add_node(0, "0-1", "10 20");
+  add_node(2, "2-3", "20 10");
+
+  const auto t = Topology::from_sysfs_root(cpu_root(), 4);
+  EXPECT_EQ(t.num_nodes(), 2);
+  EXPECT_EQ(t.node_of(t.core_of(3)), 1);
+  EXPECT_EQ(t.node_distance(0, 1), 20);
+}
+
+TEST_F(NumaSysfsFixture, MissingNodeDirMeansOneNode) {
+  for (int cpu = 0; cpu < 2; ++cpu) add_numa_cpu(cpu, cpu);
+
+  const auto t = Topology::from_sysfs_root(cpu_root(), 2);
+  EXPECT_EQ(t.num_nodes(), 1);
+  EXPECT_TRUE(t.same_node(0, 1));
+  EXPECT_EQ(t.node_distance(0, 0), 10);
+}
+
+TEST_F(NumaSysfsFixture, IncompleteNodeInfoDegradesToOneNode) {
+  // node1's cpulist omits cpu3 -> core 3 unassigned -> degrade.
+  for (int cpu = 0; cpu < 4; ++cpu) add_numa_cpu(cpu, cpu);
+  add_node(0, "0-1", "10 20");
+  add_node(1, "2", "20 10");
+
+  const auto t = Topology::from_sysfs_root(cpu_root(), 4);
+  EXPECT_EQ(t.num_nodes(), 1);
+}
+
+TEST_F(NumaSysfsFixture, MalformedDistanceDegradesToOneNode) {
+  for (int cpu = 0; cpu < 4; ++cpu) add_numa_cpu(cpu, cpu);
+  add_node(0, "0-1", "10");  // row too short for 2 nodes
+  add_node(1, "2-3", "20 10");
+
+  const auto t = Topology::from_sysfs_root(cpu_root(), 4);
+  EXPECT_EQ(t.num_nodes(), 1);
+}
+
 // ---------------------------------------------------------------------------
 
 TEST(TopologyCommon, ParseCpuList) {
@@ -168,6 +246,70 @@ TEST(TopologyCommon, ParseOverrideRejectsMalformed) {
   EXPECT_FALSE(Topology::parse_override("0x2", 4, &t));
   EXPECT_FALSE(Topology::parse_override("4x2x1", 4, &t));
   EXPECT_FALSE(Topology::parse_override("-1x2", 4, &t));
+}
+
+TEST(TopologyCommon, ParseOverrideNumaSplit) {
+  Topology t = Topology::uniform(1, 1);
+  ASSERT_TRUE(Topology::parse_override("8x2@2", 4, &t));
+  EXPECT_EQ(t.num_cores(), 8);
+  EXPECT_EQ(t.smt_per_core(), 2);
+  EXPECT_EQ(t.num_nodes(), 2);
+  EXPECT_EQ(t.num_llc_domains(), 2);
+  EXPECT_EQ(t.node_of(0), 0);
+  EXPECT_EQ(t.node_of(7), 1);
+  EXPECT_EQ(t.node_distance(0, 0), 10);
+  EXPECT_EQ(t.node_distance(0, 1), 20);
+
+  EXPECT_FALSE(Topology::parse_override("8x2@0", 4, &t));
+  EXPECT_FALSE(Topology::parse_override("8x2@9", 4, &t));
+  EXPECT_FALSE(Topology::parse_override("8x2@", 4, &t));
+  EXPECT_FALSE(Topology::parse_override("8x2@2x", 4, &t));
+}
+
+TEST(TopologyCommon, UniformNumaBlocks) {
+  const auto t = Topology::uniform_numa(6, 1, 3);
+  EXPECT_EQ(t.num_nodes(), 3);
+  EXPECT_EQ(t.node_of(0), 0);
+  EXPECT_EQ(t.node_of(1), 0);
+  EXPECT_EQ(t.node_of(2), 1);
+  EXPECT_EQ(t.node_of(5), 2);
+  EXPECT_TRUE(t.shares_llc(4, 5));
+  EXPECT_FALSE(t.shares_llc(1, 2));
+}
+
+TEST(TopologyCommon, SubsetKeepsCpuIdsAndRedensifiesDomains) {
+  const auto parent = Topology::uniform_numa(8, 2, 2);
+  const auto sub = parent.subset({1, 5, 6});
+  EXPECT_EQ(sub.num_cores(), 3);
+  EXPECT_EQ(sub.smt_per_core(), 2);
+  // Original CPU ids survive: pinning in a shard still targets the real
+  // hardware threads.
+  EXPECT_EQ(sub.cpu_at(0, 0), parent.cpu_at(1, 0));
+  EXPECT_EQ(sub.cpu_at(1, 1), parent.cpu_at(5, 1));
+  EXPECT_EQ(sub.cpu_at(2, 0), parent.cpu_at(6, 0));
+  // Membership, not range: parent CPUs outside the subset are invalid.
+  EXPECT_TRUE(sub.valid_cpu(parent.cpu_at(5, 0)));
+  EXPECT_FALSE(sub.valid_cpu(parent.cpu_at(0, 0)));
+  EXPECT_FALSE(sub.valid_cpu(parent.cpu_at(7, 1)));
+  EXPECT_EQ(sub.core_of(parent.cpu_at(6, 1)), 2);
+  // Node/LLC ids re-densified over the members: core 1 is node 0,
+  // cores 5 and 6 are node 1 in the parent.
+  EXPECT_EQ(sub.num_nodes(), 2);
+  EXPECT_EQ(sub.node_of(0), 0);
+  EXPECT_EQ(sub.node_of(1), 1);
+  EXPECT_EQ(sub.node_of(2), 1);
+  EXPECT_EQ(sub.node_distance(0, 1), 20);
+  EXPECT_EQ(sub.node_distance(1, 1), 10);
+}
+
+TEST(TopologyCommon, SubsetOfSingleNodeStaysSingle) {
+  const auto parent = Topology::uniform(8, 1);
+  const auto sub = parent.subset({2, 3});
+  EXPECT_EQ(sub.num_nodes(), 1);
+  EXPECT_EQ(sub.num_llc_domains(), 1);
+  EXPECT_EQ(sub.node_distance(0, 0), 10);
+  EXPECT_EQ(sub.cpu_at(0, 0), 2);
+  EXPECT_EQ(sub.cpu_at(1, 0), 3);
 }
 
 TEST(TopologyCommon, UniformLlcIsSingleDomain) {

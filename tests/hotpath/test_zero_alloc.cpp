@@ -15,6 +15,7 @@
 #include "core/optional_pool.hpp"
 #include "core/termination.hpp"
 #include "obs/hotpath_audit.hpp"
+#include "trading/analyzers.hpp"
 
 using namespace rtseed;
 using common::Nanos;
@@ -89,6 +90,45 @@ TEST(ZeroAlloc, RunWithDeadlinePeriodicCheckAllocatesNothing) {
   }
   EXPECT_EQ(audit.alloc_delta().alloc_calls, 0);
   EXPECT_EQ(runs.load(std::memory_order_relaxed), 101);
+}
+
+// A full indicator round — streaming RollingStdDev rings bound to the
+// scratch arena, the whole refinement ladder, every publish — must stay
+// off the heap: this is the optional-part body the sharded trading path
+// runs per tick (ISSUE 8 satellite).
+TEST(ZeroAlloc, IndicatorAnalyzerRoundAllocatesNothing) {
+  // Setup path: price history, analyzer, arena reserve — audited out.
+  constexpr int kPrices = 256;
+  double prices[kPrices];
+  for (int i = 0; i < kPrices; ++i) {
+    prices[i] = 1.0 + 0.01 * static_cast<double>(i % 17);
+  }
+  trading::IndicatorAnalyzer analyzer(10, 120);
+  common::Arena arena(16 * 1024);
+
+  class CountingSink final : public trading::ResultSink {
+   public:
+    void publish(const trading::AnalyzerOutput& output) override {
+      last = output;
+      ++publishes;
+    }
+    trading::AnalyzerOutput last;
+    long publishes = 0;
+  } sink;
+
+  obs::HotpathAudit audit;
+  for (int round = 0; round < 100; ++round) {
+    arena.reset();  // what the pool does before every part
+    core::StopToken token(common::monotonic_now() + common::seconds(1));
+    analyzer.analyze(trading::PriceWindow(prices, kPrices), round, token,
+                     sink, &arena);
+  }
+  const auto delta = audit.alloc_delta();
+  EXPECT_EQ(delta.alloc_calls, 0)
+      << "indicator rounds made " << delta.alloc_calls
+      << " heap allocations (" << delta.alloc_bytes << " bytes)";
+  EXPECT_GT(sink.publishes, 0);
+  EXPECT_GT(arena.high_water(), 0u);
 }
 
 // THE gate: a full warmed-up pool round — publish, batched wake, worker

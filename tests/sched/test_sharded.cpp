@@ -1,0 +1,195 @@
+#include "sched/sharded.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/topology.hpp"
+
+namespace rtseed::sched {
+namespace {
+
+using common::millis;
+using common::u32;
+
+ImpreciseTaskParams task(const std::string& name, common::Nanos mandatory,
+                         common::Nanos period) {
+  ImpreciseTaskParams t;
+  t.name = name;
+  t.period = period;
+  t.mandatory = mandatory;
+  t.windup = mandatory / 4;
+  t.optional = {period / 4};
+  return t;
+}
+
+SymbolTaskSet group(u32 symbol, double utilization, int tasks = 2) {
+  SymbolTaskSet g;
+  g.symbol = symbol;
+  const common::Nanos period = millis(100);
+  // mandatory + windup = 1.25 * mandatory => mandatory = u*T / 1.25
+  const auto mandatory = static_cast<common::Nanos>(
+      utilization / tasks * static_cast<double>(period) / 1.25);
+  for (int i = 0; i < tasks; ++i) {
+    g.tasks.add(task("sym" + std::to_string(symbol) + "_t" +
+                         std::to_string(i),
+                     mandatory, period));
+  }
+  return g;
+}
+
+TEST(SymbolHash, HomeShardIsStableAndInRange) {
+  std::set<int> seen;
+  for (u32 sym = 0; sym < 64; ++sym) {
+    const int home = home_shard(sym, 4);
+    EXPECT_EQ(home, home_shard(sym, 4));  // stateless + stable
+    EXPECT_GE(home, 0);
+    EXPECT_LT(home, 4);
+    seen.insert(home);
+  }
+  // The finalizer must actually spread symbols over the shards.
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(PlanSharded, LightGroupsLandOnTheirHomeShards) {
+  std::vector<SymbolTaskSet> groups;
+  for (u32 sym = 0; sym < 8; ++sym) groups.push_back(group(sym, 0.05));
+  const auto plan = plan_sharded(groups, {2, 2});
+  ASSERT_TRUE(plan.feasible) << plan.diagnostics;
+  EXPECT_EQ(plan.spill_count, 0);
+  for (size_t g = 0; g < groups.size(); ++g) {
+    EXPECT_EQ(plan.groups[g].shard, plan.groups[g].home);
+    EXPECT_FALSE(plan.groups[g].spilled);
+    EXPECT_EQ(plan.groups[g].local_task_ids.size(), 2u);
+  }
+  // Every placed task is accounted for in its shard's set and plan.
+  for (int s = 0; s < 2; ++s) {
+    ASSERT_TRUE(plan.shards[static_cast<size_t>(s)].schedulable);
+    EXPECT_EQ(plan.shards[static_cast<size_t>(s)].tasks.size(),
+              static_cast<size_t>(
+                  plan.shard_tasks[static_cast<size_t>(s)].size()));
+  }
+}
+
+TEST(PlanSharded, OverloadedHomeSpillsToLeastLoadedAdmitter) {
+  // Find symbols that all hash to the same home shard of 2, then offer
+  // more load than one 1-core shard can admit: the excess must spill.
+  std::vector<SymbolTaskSet> groups;
+  int home = -1;
+  for (u32 sym = 0; groups.size() < 4; ++sym) {
+    const int h = home_shard(sym, 2);
+    if (home < 0) home = h;
+    // One 1-core shard RMWP-admits exactly two of these groups (the
+    // third's mandatory response overruns its optional deadline), so
+    // groups 3 and 4 must spill.
+    if (h == home) groups.push_back(group(sym, 0.25));
+  }
+  const auto plan = plan_sharded(groups, {1, 1});
+  ASSERT_TRUE(plan.feasible) << plan.diagnostics;
+  EXPECT_GT(plan.spill_count, 0);
+  int spilled = 0;
+  for (const auto& g : plan.groups) {
+    EXPECT_EQ(g.home, home);
+    EXPECT_GE(g.shard, 0);
+    if (g.spilled) {
+      EXPECT_NE(g.shard, home);
+      ++spilled;
+    }
+  }
+  EXPECT_EQ(spilled, plan.spill_count);
+  // Both shards ended up with admitted, schedulable plans.
+  for (const auto& shard : plan.shards) {
+    EXPECT_TRUE(shard.schedulable);
+  }
+}
+
+TEST(PlanSharded, ImpossibleLoadIsInfeasibleNotSilent) {
+  std::vector<SymbolTaskSet> groups;
+  groups.push_back(group(1, 0.9));
+  groups.push_back(group(2, 0.9));
+  groups.push_back(group(3, 0.9));
+  const auto plan = plan_sharded(groups, {1, 1});
+  EXPECT_FALSE(plan.feasible);
+  EXPECT_FALSE(plan.diagnostics.empty());
+  int rejected = 0;
+  for (const auto& g : plan.groups) {
+    if (g.shard < 0) ++rejected;
+  }
+  EXPECT_GE(rejected, 1);
+}
+
+TEST(PlanSharded, EmptyGroupRoutesHomeWithoutTasks) {
+  std::vector<SymbolTaskSet> groups(1);
+  groups[0].symbol = 7;
+  const auto plan = plan_sharded(groups, {1, 1});
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.groups[0].shard, plan.groups[0].home);
+  EXPECT_TRUE(plan.groups[0].local_task_ids.empty());
+  for (const auto& shard : plan.shards) EXPECT_TRUE(shard.schedulable);
+}
+
+TEST(PlanSharded, RejectsDegenerateShardShapes) {
+  EXPECT_FALSE(plan_sharded({group(1, 0.1)}, {}).feasible);
+  EXPECT_FALSE(plan_sharded({group(1, 0.1)}, {2, 0}).feasible);
+}
+
+// ---------------------------------------------------------------------------
+// Topology-aware partitioning (PRmwpOptions::topology).
+
+TEST(TopologyOrder, GroupsCoresByNodeThenLlc) {
+  // 4 cores, 2 NUMA nodes; uniform_numa makes node==llc blocks, so the
+  // order is simply grouped and stable within groups.
+  const auto topo = common::Topology::uniform_numa(4, 1, 2);
+  const auto order = topology_processor_order(&topo, 4);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+
+  // A subset listing cores from alternating nodes gets regrouped.
+  // subset() re-densifies by first appearance, so parent node 1 becomes
+  // sub node 0: sub cores {2,0,3,1} carry nodes {0,1,0,1}.
+  const auto sub = topo.subset({2, 0, 3, 1});
+  const auto sub_order = topology_processor_order(&sub, 4);
+  EXPECT_EQ(sub_order, (std::vector<int>{0, 2, 1, 3}));
+  EXPECT_TRUE(sub.same_node(sub_order[0], sub_order[1]));
+  EXPECT_TRUE(sub.same_node(sub_order[2], sub_order[3]));
+  EXPECT_FALSE(sub.same_node(sub_order[1], sub_order[2]));
+}
+
+TEST(TopologyOrder, IdentityWithoutTopology) {
+  EXPECT_EQ(topology_processor_order(nullptr, 3),
+            (std::vector<int>{0, 1, 2}));
+  const auto topo = common::Topology::uniform(2, 1);
+  // Topology smaller than the processor count: identity (no basis).
+  EXPECT_EQ(topology_processor_order(&topo, 4),
+            (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(PRmwpTopology, FirstFitFillsOneNodeBeforeSpilling) {
+  // Interleaved-node core order: without topology, FF puts the two tasks
+  // on cores 0 and 1 (different nodes); with topology it must keep them
+  // on the same node as long as they fit.
+  const auto interleaved =
+      common::Topology::uniform_numa(4, 1, 2).subset({0, 2, 1, 3});
+  TaskSet set;
+  // Each task uses 60% of a core, so no two share one: the packing is
+  // forced to use two cores and the only question is WHICH two.
+  set.add(task("a", millis(48), millis(100)));
+  set.add(task("b", millis(48), millis(100)));
+
+  PRmwpOptions plain;
+  const auto base = plan_p_rmwp(set, 4, plain);
+  ASSERT_TRUE(base.schedulable) << base.diagnostics;
+  // Baseline first-fit picks cores 0 and 1 = parent cores 0 and 2,
+  // which sit on DIFFERENT nodes of the interleaved shape.
+  EXPECT_NE(interleaved.node_of(base.tasks[0].processor),
+            interleaved.node_of(base.tasks[1].processor));
+
+  PRmwpOptions aware;
+  aware.topology = &interleaved;
+  const auto topo_plan = plan_p_rmwp(set, 4, aware);
+  ASSERT_TRUE(topo_plan.schedulable) << topo_plan.diagnostics;
+  EXPECT_TRUE(interleaved.same_node(topo_plan.tasks[0].processor,
+                                    topo_plan.tasks[1].processor));
+}
+
+}  // namespace
+}  // namespace rtseed::sched

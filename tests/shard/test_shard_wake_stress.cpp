@@ -1,0 +1,132 @@
+// Cross-shard transport under live shard runtimes, on BOTH wake
+// backends (batched futex and the legacy condvar) — the shard entry in
+// the tsan CI matrix.
+//
+// kPeriodicCheck termination throughout: no signals, no siglongjmp, so
+// ThreadSanitizer sees every synchronization edge of the transport
+// (pool free list, index rings) interleaved with the runtimes' own
+// handoff protocol.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+
+#include "shard/sharded_runtime.hpp"
+
+namespace rtseed::shard {
+namespace {
+
+using common::millis;
+using common::Topology;
+
+class ShardWakeStress
+    : public ::testing::TestWithParam<core::WakeBackend> {};
+
+TEST_P(ShardWakeStress, TicksFlowThroughLiveShards) {
+  constexpr int kShards = 2;
+  constexpr long kJobs = 8;
+
+  ShardedRuntimeOptions options;
+  options.base.topology = Topology::uniform(kShards, 1);
+  options.base.initial_offset = millis(5);
+  options.base.termination = core::TerminationStrategy::kPeriodicCheck;
+  options.base.wake_backend = GetParam();
+  options.num_shards = kShards;
+  options.from_env = false;
+  options.transport.pool_capacity = 128;
+  options.transport.ring_capacity = 64;
+  ShardedRuntime sr(options);
+
+  // One task per symbol; its mandatory part drains the shard's ingress
+  // ring in place (the steady-state consumer side), its wind-up posts a
+  // result message (the producer side) — so the transport runs inside
+  // real mandatory/wind-up parts racing the wake protocol.
+  std::atomic<long> drained{0};
+  for (u32 sym = 0; sym < 4; ++sym) {
+    core::TaskConfig tc;
+    tc.params.name = "wake" + std::to_string(sym);
+    tc.params.period = millis(20);
+    tc.params.mandatory = millis(2);
+    tc.params.windup = millis(2);
+    tc.params.optional = {millis(20)};
+    tc.num_jobs = kJobs;
+    tc.callbacks.mandatory = [&sr, &drained, sym](const core::JobContext&) {
+      auto* transport = sr.transport();
+      const int shard = sr.shard_of(sym);
+      while (ShardMessage* msg = transport->poll(shard)) {
+        drained.fetch_add(1, std::memory_order_relaxed);
+        transport->release(msg);
+      }
+    };
+    tc.callbacks.optional = [](const core::JobContext&, int,
+                               core::StopToken& token) {
+      while (!token.should_stop()) {
+      }
+    };
+    tc.callbacks.windup = [&sr, sym](const core::JobContext& ctx) {
+      auto* transport = sr.transport();
+      if (ShardMessage* msg = transport->acquire()) {
+        msg->kind = MessageKind::kJobResult;
+        msg->symbol = sym;
+        msg->body.result.job = ctx.job;
+        transport->post_result(sr.shard_of(sym), msg);
+      }
+    };
+    ASSERT_TRUE(sr.admit(std::move(tc), sym).is_ok());
+  }
+
+  ASSERT_TRUE(sr.start().is_ok());
+  auto* transport = sr.transport();
+
+  // Router: keep ticks flowing at the symbols' shards while the
+  // runtimes execute jobs.
+  u64 posted = 0;
+  for (int round = 0; round < 2000; ++round) {
+    for (u32 sym = 0; sym < 4; ++sym) {
+      ShardMessage* msg = transport->acquire();
+      if (msg == nullptr) break;  // consumers lag: let them catch up
+      msg->kind = MessageKind::kTick;
+      msg->symbol = sym;
+      msg->seq = posted;
+      msg->body.tick.price = 1.0;
+      if (transport->post(sr.shard_of(sym), msg)) ++posted;
+    }
+  }
+
+  sr.wait_all_finished();
+
+  // Drain what the shards reported and whatever ticks were still queued
+  // when the last job finished.
+  u64 results = 0;
+  for (int s = 0; s < kShards; ++s) {
+    while (ShardMessage* msg = transport->poll_result(s)) {
+      EXPECT_EQ(msg->kind, MessageKind::kJobResult);
+      transport->release(msg);
+      ++results;
+    }
+    while (ShardMessage* msg = transport->poll(s)) {
+      transport->release(msg);
+    }
+  }
+  const auto report = sr.stop_and_report();
+
+  EXPECT_GT(posted, 0u);
+  EXPECT_GT(results, 0u);
+  EXPECT_EQ(transport->in_flight_approx(), 0u);
+  ASSERT_EQ(report.shards.size(), static_cast<usize>(kShards));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, ShardWakeStress,
+    ::testing::Values(core::WakeBackend::kFutexBatch,
+                      core::WakeBackend::kCondvar),
+    [](const ::testing::TestParamInfo<core::WakeBackend>& info) {
+      std::string name(core::wake_backend_name(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';  // gtest param names must be identifiers
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace rtseed::shard

@@ -1,0 +1,171 @@
+#include "sim/sharded_topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace rtseed::sim {
+namespace {
+
+using common::millis;
+using common::u32;
+
+sched::ImpreciseTaskParams task(const std::string& name,
+                                common::Nanos mandatory,
+                                common::Nanos period) {
+  sched::ImpreciseTaskParams t;
+  t.name = name;
+  t.period = period;
+  t.mandatory = mandatory;
+  t.windup = mandatory / 4;
+  t.optional = {period / 4};
+  return t;
+}
+
+sched::SymbolTaskSet group(u32 symbol, double utilization, int tasks = 2) {
+  sched::SymbolTaskSet g;
+  g.symbol = symbol;
+  const common::Nanos period = millis(100);
+  const auto mandatory = static_cast<common::Nanos>(
+      utilization / tasks * static_cast<double>(period) / 1.25);
+  for (int i = 0; i < tasks; ++i) {
+    g.tasks.add(task(
+        "sym" + std::to_string(symbol) + "_t" + std::to_string(i),
+        mandatory, period));
+  }
+  return g;
+}
+
+ShardedSimOptions fast_options() {
+  ShardedSimOptions options;
+  options.per_shard.horizon = common::seconds(1);
+  options.hop_latency = 0;
+  return options;
+}
+
+TEST(SimulateSharded, LightLoadRunsMissFreeOnEveryShard) {
+  std::vector<sched::SymbolTaskSet> groups;
+  for (u32 sym = 0; sym < 8; ++sym) groups.push_back(group(sym, 0.05));
+  const auto result = simulate_sharded(groups, {2, 2}, fast_options());
+  ASSERT_TRUE(result.plan.feasible) << result.plan.diagnostics;
+  ASSERT_EQ(result.shards.size(), 2u);
+  EXPECT_GT(result.total_released(), 0);
+  EXPECT_EQ(result.total_misses(), 0);
+  EXPECT_DOUBLE_EQ(result.miss_rate(), 0.0);
+  for (const auto& shard : result.shards) {
+    if (shard.per_processor.empty()) continue;
+    EXPECT_TRUE(shard.partition_feasible);
+  }
+}
+
+TEST(SimulateSharded, DormantShardSimulatesNothing) {
+  // One light group: its home shard runs, the other stays empty.
+  const auto result =
+      simulate_sharded({group(3, 0.05)}, {1, 1}, fast_options());
+  ASSERT_TRUE(result.plan.feasible);
+  const int home = result.plan.groups[0].shard;
+  ASSERT_GE(home, 0);
+  EXPECT_FALSE(
+      result.shards[static_cast<std::size_t>(home)].per_processor.empty());
+  EXPECT_TRUE(
+      result.shards[static_cast<std::size_t>(1 - home)].per_processor.empty());
+}
+
+TEST(SimulateSharded, CrossShardHopChargesSpilledGroups) {
+  // Four same-home groups on two 1-core shards: admission fits two per
+  // shard, so two spill.  The admission itself knows nothing about the
+  // hop; the simulation charges it, and a ruinous hop (15ms on a 10ms
+  // mandatory part, four tasks on the spill shard) pushes that shard's
+  // mandatory demand past its period — misses the zero-hop run lacks.
+  std::vector<sched::SymbolTaskSet> groups;
+  int home = -1;
+  for (u32 sym = 0; groups.size() < 4; ++sym) {
+    const int h = sched::home_shard(sym, 2);
+    if (home < 0) home = h;
+    if (h == home) groups.push_back(group(sym, 0.25));
+  }
+
+  auto options = fast_options();
+  const auto clean = simulate_sharded(groups, {1, 1}, options);
+  ASSERT_TRUE(clean.plan.feasible) << clean.plan.diagnostics;
+  ASSERT_GT(clean.plan.spill_count, 0);
+  EXPECT_EQ(clean.total_misses(), 0);
+
+  options.hop_latency = millis(15);
+  const auto hopped = simulate_sharded(groups, {1, 1}, options);
+  ASSERT_TRUE(hopped.plan.feasible);
+  EXPECT_GT(hopped.total_misses(), 0);
+  EXPECT_GT(hopped.miss_rate(), 0.0);
+}
+
+TEST(SweepShards, CoversEveryCountUpToTheCoreBudget) {
+  std::vector<sched::SymbolTaskSet> groups;
+  for (u32 sym = 0; sym < 6; ++sym) groups.push_back(group(sym, 0.05));
+  const auto sweep = sweep_shards(groups, 4, 8, fast_options());
+  ASSERT_EQ(sweep.size(), 4u);  // clamped to total_cores
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    EXPECT_EQ(sweep[i].shards, static_cast<int>(i) + 1);
+    EXPECT_TRUE(sweep[i].feasible);
+    EXPECT_GT(sweep[i].released, 0);
+    EXPECT_EQ(sweep[i].misses, 0);
+  }
+  EXPECT_EQ(min_shards_for(sweep, 0.0), 1);
+  EXPECT_TRUE(sweep_shards(groups, 0, 4, fast_options()).empty());
+}
+
+TEST(MinShardsFor, SkipsInfeasibleAndLossyPoints) {
+  std::vector<ShardSweepPoint> sweep(3);
+  sweep[0].shards = 1;
+  sweep[0].feasible = false;  // couldn't place everything
+  sweep[1].shards = 2;
+  sweep[1].feasible = true;
+  sweep[1].miss_rate = 0.2;  // over budget
+  sweep[2].shards = 3;
+  sweep[2].feasible = true;
+  sweep[2].miss_rate = 0.01;
+  EXPECT_EQ(min_shards_for(sweep, 0.05), 3);
+  EXPECT_EQ(min_shards_for(sweep, 0.0), -1);
+  EXPECT_EQ(min_shards_for({}, 1.0), -1);
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline-saturation throughput model
+
+TEST(PipelineModel, ShardsScaleLinearlyWithoutASerialBottleneck) {
+  PipelineModel model;
+  model.tick_service = 1000;
+  EXPECT_DOUBLE_EQ(modeled_throughput(model, 1), 1e6);
+  EXPECT_DOUBLE_EQ(modeled_speedup(model, 2), 2.0);
+  EXPECT_DOUBLE_EQ(modeled_speedup(model, 4), 4.0);
+}
+
+TEST(PipelineModel, RouterSerialSectionCapsTheSpeedup) {
+  PipelineModel model;
+  model.tick_service = 1000;
+  model.router_dispatch = 1000;  // router as slow as a shard: no headroom
+  EXPECT_DOUBLE_EQ(modeled_speedup(model, 2), 1.0);
+  model.router_dispatch = 500;  // Amdahl bound at 2x
+  EXPECT_DOUBLE_EQ(modeled_speedup(model, 4), 2.0);
+}
+
+TEST(PipelineModel, SpillHopsErodeMultiShardThroughputOnly) {
+  PipelineModel model;
+  model.tick_service = 100;
+  model.hop_latency = 100;
+  model.spill_fraction = 0.5;
+  // One shard never pays the hop; two shards serve 150ns per tick.
+  EXPECT_DOUBLE_EQ(modeled_throughput(model, 1), 1e7);
+  EXPECT_NEAR(modeled_speedup(model, 2), 2.0 * 100.0 / 150.0, 1e-9);
+}
+
+TEST(PipelineModel, DegenerateModelsReturnZero) {
+  PipelineModel model;
+  EXPECT_DOUBLE_EQ(modeled_throughput(model, 2), 0.0);
+  EXPECT_DOUBLE_EQ(modeled_speedup(model, 2), 0.0);
+  model.tick_service = 100;
+  EXPECT_DOUBLE_EQ(modeled_throughput(model, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace rtseed::sim

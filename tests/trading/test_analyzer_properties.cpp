@@ -115,7 +115,7 @@ TEST_P(AnalyzerProperties, SignalsAndWeightsBounded) {
   core::StopToken token(common::monotonic_now() + common::millis(100));
   analyzer->analyze(PriceWindow(prices.data(),
                                 static_cast<int>(prices.size())),
-                    50, token, sink);
+                    50, token, sink, nullptr);
   for (const auto& out : sink.outputs) {
     EXPECT_GE(out.signal, -1.0);
     EXPECT_LE(out.signal, 1.0);
@@ -132,7 +132,7 @@ TEST_P(AnalyzerProperties, IterationsStrictlyIncreaseAlongLadder) {
   core::StopToken token(common::monotonic_now() + common::millis(100));
   analyzer->analyze(PriceWindow(prices.data(),
                                 static_cast<int>(prices.size())),
-                    50, token, sink);
+                    50, token, sink, nullptr);
   for (size_t i = 1; i < sink.outputs.size(); ++i) {
     EXPECT_GT(sink.outputs[i].iterations, sink.outputs[i - 1].iterations);
     EXPECT_GE(sink.outputs[i].weight, sink.outputs[i - 1].weight);
@@ -146,7 +146,7 @@ TEST_P(AnalyzerProperties, ExpiredTokenMeansNoCommits) {
   core::StopToken token(common::monotonic_now() - 1);
   analyzer->analyze(PriceWindow(prices.data(),
                                 static_cast<int>(prices.size())),
-                    50, token, sink);
+                    50, token, sink, nullptr);
   EXPECT_TRUE(sink.outputs.empty());
 }
 
@@ -154,7 +154,7 @@ TEST_P(AnalyzerProperties, EmptyWindowIsSafe) {
   auto analyzer = make_analyzer(GetParam().analyzer);
   RecordingSink sink;
   core::StopToken token(common::monotonic_now() + common::millis(50));
-  analyzer->analyze(PriceWindow(nullptr, 0), 50, token, sink);
+  analyzer->analyze(PriceWindow(nullptr, 0), 50, token, sink, nullptr);
   // GDP ignores prices and may commit; price-based analyzers must not.
   if (GetParam().analyzer != 5) {
     EXPECT_TRUE(sink.outputs.empty());
@@ -189,9 +189,9 @@ TEST(AnalyzerDirection, CandlesFollowTheTrend) {
   core::StopToken t1(common::monotonic_now() + common::millis(100));
   core::StopToken t2(common::monotonic_now() + common::millis(100));
   analyzer.analyze(PriceWindow(up.data(), static_cast<int>(up.size())), 0,
-                   t1, up_sink);
+                   t1, up_sink, nullptr);
   analyzer.analyze(PriceWindow(down.data(), static_cast<int>(down.size())),
-                   0, t2, down_sink);
+                   0, t2, down_sink, nullptr);
   ASSERT_FALSE(up_sink.outputs.empty());
   ASSERT_FALSE(down_sink.outputs.empty());
   EXPECT_GT(up_sink.outputs.back().signal, 0.5);

@@ -40,7 +40,7 @@ TEST(BollingerAnalyzer, CommitsRefinementLadder) {
   BollingerAnalyzer analyzer;
   RecordingSink sink;
   auto token = never_stop();
-  analyzer.analyze(PriceWindow(prices.data(), 200), 0, token, sink);
+  analyzer.analyze(PriceWindow(prices.data(), 200), 0, token, sink, nullptr);
   ASSERT_GT(sink.outputs.size(), 3u);
   // Iterations strictly increase; weight is non-decreasing.
   for (size_t i = 1; i < sink.outputs.size(); ++i) {
@@ -56,7 +56,7 @@ TEST(BollingerAnalyzer, UptrendLatestPriceNearUpperBand) {
   BollingerAnalyzer analyzer;
   RecordingSink sink;
   auto token = never_stop();
-  analyzer.analyze(PriceWindow(prices.data(), 200), 0, token, sink);
+  analyzer.analyze(PriceWindow(prices.data(), 200), 0, token, sink, nullptr);
   EXPECT_LT(sink.last().signal, 0.0);
 }
 
@@ -65,7 +65,7 @@ TEST(BollingerAnalyzer, StopsImmediatelyWhenTokenExpired) {
   BollingerAnalyzer analyzer;
   RecordingSink sink;
   auto token = already_stopped();
-  analyzer.analyze(PriceWindow(prices.data(), 200), 0, token, sink);
+  analyzer.analyze(PriceWindow(prices.data(), 200), 0, token, sink, nullptr);
   EXPECT_TRUE(sink.outputs.empty());  // zero refinements: discarded result
 }
 
@@ -74,7 +74,7 @@ TEST(BollingerAnalyzer, TooFewPricesCommitsNothing) {
   BollingerAnalyzer analyzer(10, 120);
   RecordingSink sink;
   auto token = never_stop();
-  analyzer.analyze(PriceWindow(prices.data(), 5), 0, token, sink);
+  analyzer.analyze(PriceWindow(prices.data(), 5), 0, token, sink, nullptr);
   EXPECT_TRUE(sink.outputs.empty());
 }
 
@@ -83,7 +83,7 @@ TEST(RsiAnalyzer, UptrendIsOverbought) {
   RsiAnalyzer analyzer;
   RecordingSink sink;
   auto token = never_stop();
-  analyzer.analyze(PriceWindow(prices.data(), 100), 0, token, sink);
+  analyzer.analyze(PriceWindow(prices.data(), 100), 0, token, sink, nullptr);
   ASSERT_FALSE(sink.outputs.empty());
   // Contrarian mapping: overbought -> negative (ask).
   EXPECT_LT(sink.last().signal, -0.5);
@@ -94,7 +94,7 @@ TEST(RsiAnalyzer, DowntrendIsOversold) {
   RsiAnalyzer analyzer;
   RecordingSink sink;
   auto token = never_stop();
-  analyzer.analyze(PriceWindow(prices.data(), 100), 0, token, sink);
+  analyzer.analyze(PriceWindow(prices.data(), 100), 0, token, sink, nullptr);
   ASSERT_FALSE(sink.outputs.empty());
   EXPECT_GT(sink.last().signal, 0.5);
 }
@@ -104,14 +104,14 @@ TEST(CrossoverAnalyzer, TrendFollowingSign) {
   CrossoverAnalyzer analyzer;
   RecordingSink sink;
   auto token = never_stop();
-  analyzer.analyze(PriceWindow(up.data(), 300), 0, token, sink);
+  analyzer.analyze(PriceWindow(up.data(), 300), 0, token, sink, nullptr);
   ASSERT_FALSE(sink.outputs.empty());
   EXPECT_GT(sink.last().signal, 0.0);  // fast MA above slow MA
 
   auto down = linear_prices(300, 2.0, -0.001);
   RecordingSink sink2;
   auto token2 = never_stop();
-  analyzer.analyze(PriceWindow(down.data(), 300), 0, token2, sink2);
+  analyzer.analyze(PriceWindow(down.data(), 300), 0, token2, sink2, nullptr);
   ASSERT_FALSE(sink2.outputs.empty());
   EXPECT_LT(sink2.last().signal, 0.0);
 }
@@ -123,7 +123,7 @@ TEST(MonteCarloAnalyzer, PositiveDriftGivesBullishSignal) {
   MonteCarloAnalyzer analyzer(10, 64);
   RecordingSink sink;
   core::StopToken token(common::monotonic_now() + common::millis(200));
-  analyzer.analyze(PriceWindow(prices.data(), 300), 0, token, sink);
+  analyzer.analyze(PriceWindow(prices.data(), 300), 0, token, sink, nullptr);
   ASSERT_FALSE(sink.outputs.empty());
   EXPECT_GT(sink.last().signal, 0.5);
 }
@@ -134,7 +134,7 @@ TEST(MonteCarloAnalyzer, MorePathsMoreWeight) {
   MonteCarloAnalyzer analyzer(10, 64);
   RecordingSink sink;
   auto token = core::StopToken(common::monotonic_now() + common::millis(100));
-  analyzer.analyze(PriceWindow(prices.data(), 300), 0, token, sink);
+  analyzer.analyze(PriceWindow(prices.data(), 300), 0, token, sink, nullptr);
   ASSERT_GT(sink.outputs.size(), 1u);
   EXPECT_GT(sink.last().weight, sink.outputs.front().weight);
   EXPECT_GT(sink.last().iterations, sink.outputs.front().iterations);
@@ -145,7 +145,7 @@ TEST(MonteCarloAnalyzer, InsufficientHistoryCommitsNothing) {
   MonteCarloAnalyzer analyzer;
   RecordingSink sink;
   auto token = never_stop();
-  analyzer.analyze(PriceWindow(prices.data(), 10), 0, token, sink);
+  analyzer.analyze(PriceWindow(prices.data(), 10), 0, token, sink, nullptr);
   EXPECT_TRUE(sink.outputs.empty());
 }
 
@@ -159,7 +159,7 @@ TEST(GdpAnalyzer, UsesJobToSelectQuarter) {
   GdpAnalyzer analyzer(MacroSeries("base", fast), MacroSeries("quote", slow));
   RecordingSink sink;
   auto token = never_stop();
-  analyzer.analyze(PriceWindow(nullptr, 0), 100, token, sink);
+  analyzer.analyze(PriceWindow(nullptr, 0), 100, token, sink, nullptr);
   ASSERT_FALSE(sink.outputs.empty());
   EXPECT_GT(sink.last().signal, 0.5);  // base economy growing faster
   EXPECT_EQ(sink.last().iterations, 8);  // full lookback ladder
@@ -170,6 +170,62 @@ TEST(Analyzers, Names) {
   EXPECT_EQ(RsiAnalyzer().name(), "rsi");
   EXPECT_EQ(CrossoverAnalyzer().name(), "crossover");
   EXPECT_EQ(MonteCarloAnalyzer().name(), "montecarlo");
+  EXPECT_EQ(IndicatorAnalyzer().name(), "indicators");
+}
+
+TEST(IndicatorAnalyzer, RefinesOverArenaBoundWindows) {
+  auto prices = linear_prices(200, 1.0, 0.001);
+  IndicatorAnalyzer analyzer;
+  RecordingSink sink;
+  auto token = never_stop();
+  common::Arena arena(16 * 1024);
+  analyzer.analyze(PriceWindow(prices.data(), 200), 0, token, sink, &arena);
+  ASSERT_GT(sink.outputs.size(), 3u);
+  for (size_t i = 1; i < sink.outputs.size(); ++i) {
+    EXPECT_GT(sink.outputs[i].iterations, sink.outputs[i - 1].iterations);
+    EXPECT_GE(sink.outputs[i].weight, sink.outputs[i - 1].weight);
+  }
+  // A steady uptrend rides the upper band: mean-reversion says ask.
+  EXPECT_LT(sink.last().signal, 0.0);
+  EXPECT_GT(arena.used(), 0u);  // storage really came from the arena
+}
+
+TEST(IndicatorAnalyzer, SmallArenaTruncatesTheLadderInsteadOfAllocating) {
+  auto prices = linear_prices(200, 1.0, 0.001);
+  IndicatorAnalyzer analyzer(10, 120);
+  RecordingSink rich_sink;
+  RecordingSink poor_sink;
+  auto token = never_stop();
+  common::Arena rich(16 * 1024);
+  common::Arena poor(sizeof(double) * 10 + alignof(double));  // 1 level
+  analyzer.analyze(PriceWindow(prices.data(), 200), 0, token, rich_sink,
+                   &rich);
+  analyzer.analyze(PriceWindow(prices.data(), 200), 0, token, poor_sink,
+                   &poor);
+  ASSERT_FALSE(poor_sink.outputs.empty());
+  EXPECT_LT(poor_sink.outputs.size(), rich_sink.outputs.size());
+}
+
+TEST(IndicatorAnalyzer, WorksWithoutAnArenaViaTheStackFallback) {
+  auto prices = linear_prices(200, 1.0, 0.001);
+  IndicatorAnalyzer analyzer;
+  RecordingSink sink;
+  auto token = never_stop();
+  analyzer.analyze(PriceWindow(prices.data(), 200), 0, token, sink, nullptr);
+  ASSERT_FALSE(sink.outputs.empty());
+  // Levels above the 128-double stack cap are skipped, so the no-arena
+  // ladder is a strict prefix of the arena one.
+  EXPECT_LE(sink.last().iterations, 12);
+}
+
+TEST(IndicatorAnalyzer, StoppedTokenCommitsNothing) {
+  auto prices = linear_prices(200, 1.0, 0.001);
+  IndicatorAnalyzer analyzer;
+  RecordingSink sink;
+  auto token = already_stopped();
+  common::Arena arena(16 * 1024);
+  analyzer.analyze(PriceWindow(prices.data(), 200), 0, token, sink, &arena);
+  EXPECT_TRUE(sink.outputs.empty());
 }
 
 TEST(PriceWindow, Accessors) {

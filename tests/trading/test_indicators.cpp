@@ -4,8 +4,74 @@
 
 #include <cmath>
 
+#include "common/arena.hpp"
+
 namespace rtseed::trading {
 namespace {
+
+// Arena-bound and owning instances must be indistinguishable: same ring
+// semantics, only the storage's origin differs.
+TEST(Sma, ArenaBoundMatchesOwningStorage) {
+  common::Arena arena(Sma::storage_bytes(3) + alignof(double));
+  Sma owning(3);
+  Sma bound(3, arena);
+  ASSERT_TRUE(bound.bound());
+  for (int i = 1; i <= 10; ++i) {
+    owning.update(i);
+    bound.update(i);
+    EXPECT_EQ(bound.ready(), owning.ready());
+    EXPECT_DOUBLE_EQ(bound.value(), owning.value());
+  }
+}
+
+TEST(Sma, ExhaustedArenaDegradesToNotReady) {
+  common::Arena arena(8);  // too small for a 4-wide ring
+  Sma sma(4, arena);
+  EXPECT_FALSE(sma.bound());
+  for (int i = 0; i < 10; ++i) sma.update(1.0);
+  EXPECT_FALSE(sma.ready());
+  EXPECT_DOUBLE_EQ(sma.value(), 0.0);
+}
+
+TEST(RollingStdDev, ArenaBoundMatchesOwningStorage) {
+  common::Arena arena(1024);
+  RollingStdDev owning(5);
+  RollingStdDev bound(5, arena);
+  ASSERT_TRUE(bound.bound());
+  for (int i = 0; i < 20; ++i) {
+    const double x = std::sin(0.7 * i) * 3.0 + i;
+    owning.update(x);
+    bound.update(x);
+    EXPECT_DOUBLE_EQ(bound.value(), owning.value());
+    EXPECT_DOUBLE_EQ(bound.mean(), owning.mean());
+  }
+}
+
+TEST(RollingStdDev, CallerStorageViewNeverAllocates) {
+  double storage[6];
+  RollingStdDev stddev(6, storage);
+  ASSERT_TRUE(stddev.bound());
+  for (int i = 1; i <= 12; ++i) stddev.update(i);
+  // Last 6 samples are 7..12: mean 9.5, population stddev sqrt(35/12).
+  EXPECT_TRUE(stddev.ready());
+  EXPECT_NEAR(stddev.mean(), 9.5, 1e-12);
+  EXPECT_NEAR(stddev.value(), std::sqrt(35.0 / 12.0), 1e-9);
+}
+
+TEST(Bollinger, ArenaConstructorProducesSameBands) {
+  common::Arena arena(BollingerBands::storage_bytes(20) + alignof(double));
+  BollingerBands owning(20, 2.0);
+  BollingerBands bound(20, 2.0, arena);
+  for (int i = 0; i < 40; ++i) {
+    const double x = 1.0 + 0.01 * std::sin(0.3 * i);
+    owning.update(x);
+    bound.update(x);
+  }
+  ASSERT_TRUE(bound.ready());
+  EXPECT_DOUBLE_EQ(bound.value().middle, owning.value().middle);
+  EXPECT_DOUBLE_EQ(bound.value().upper, owning.value().upper);
+  EXPECT_DOUBLE_EQ(bound.value().percent_b, owning.value().percent_b);
+}
 
 TEST(Sma, ExactAverageOverWindow) {
   Sma sma(3);

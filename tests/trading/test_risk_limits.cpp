@@ -15,8 +15,8 @@ using common::seconds;
 class AlwaysBid final : public Analyzer {
  public:
   std::string name() const override { return "always-bid"; }
-  void analyze(const PriceWindow&, long, core::StopToken&,
-               ResultSink& sink) override {
+  void analyze(const PriceWindow&, long, core::StopToken&, ResultSink& sink,
+               common::Arena*) override {
     AnalyzerOutput out;
     out.signal = 1.0;
     out.weight = 1.0;
