@@ -1,0 +1,128 @@
+// Deterministic seed-driven order-flow generator (DESIGN.md §13).
+//
+// One SplitMix64 chain drives everything: event kind, side, price offset
+// from a reflecting random-walk mid, quantity, victim pick, and TTL.
+// The same seed therefore reproduces the same add/cancel/replace/market
+// stream bit-for-bit on any host — the property the differential fuzzer
+// (tests/lob/fuzz_flow) and the OmsTask's synthetic market both build
+// on.  next() is pure integer arithmetic: no allocation, no locks, safe
+// inside a mandatory part.
+//
+// The generator does NOT track live orders (it has no book): kCancel and
+// kReplace carry a `pick` the CALLER reduces modulo its own live-order
+// count, so the stream stays meaningful against any book state.
+#pragma once
+
+#include "common/rng.hpp"
+#include "lob/book.hpp"
+
+namespace rtseed::lob {
+
+enum class FlowKind : u32 {
+  kAddLimit = 0,
+  kCancel,
+  kReplace,
+  kMarket,
+};
+
+struct FlowEvent {
+  FlowKind kind = FlowKind::kAddLimit;
+  Side side = Side::kBid;
+  PriceTicks price = 0;  ///< limit price (add/replace)
+  Qty qty = 0;           ///< order size (add/replace/market)
+  u64 pick = 0;          ///< victim selector for cancel/replace
+  Nanos ttl = 0;         ///< order lifetime hint (0 = no expiry)
+};
+
+struct FlowConfig {
+  /// Event mix in percent; the remainder up to 100 is kMarket.
+  u32 add_pct = 55;
+  u32 cancel_pct = 20;
+  u32 replace_pct = 15;
+  /// Limit prices are mid ± uniform[1, spread_levels] ticks (buys below,
+  /// sells above — plus an aggression fraction that crosses the mid).
+  i32 spread_levels = 32;
+  /// Percent of adds priced AGGRESSIVELY (through the mid) so real
+  /// matching happens instead of two drifting one-sided queues.
+  u32 aggressive_pct = 25;
+  Qty max_qty = 64;
+  /// Mid random walk: ±walk_step ticks per event, reflected off the band
+  /// edges with a spread_levels margin.
+  i32 walk_step = 2;
+  /// TTL draw for adds: uniform[1, max_ttl] when nonzero.
+  Nanos max_ttl = 0;
+};
+
+class FlowGenerator {
+ public:
+  FlowGenerator(u64 seed, const BookConfig& band, FlowConfig config = {})
+      : state_(seed), band_(band), config_(config) {
+    mid_ = band_.min_tick + band_.num_levels / 2;
+  }
+
+  PriceTicks mid() const { return mid_; }
+
+  FlowEvent next() {
+    FlowEvent ev;
+    const u64 roll = draw() % 100;
+    if (roll < config_.add_pct) {
+      ev.kind = FlowKind::kAddLimit;
+    } else if (roll < config_.add_pct + config_.cancel_pct) {
+      ev.kind = FlowKind::kCancel;
+    } else if (roll < config_.add_pct + config_.cancel_pct +
+                          config_.replace_pct) {
+      ev.kind = FlowKind::kReplace;
+    } else {
+      ev.kind = FlowKind::kMarket;
+    }
+    ev.side = (draw() & 1) == 0 ? Side::kBid : Side::kAsk;
+    ev.qty = 1 + static_cast<Qty>(draw() % static_cast<u64>(config_.max_qty));
+    ev.pick = draw();
+
+    if (ev.kind == FlowKind::kAddLimit || ev.kind == FlowKind::kReplace) {
+      const i64 offset =
+          1 + static_cast<i64>(draw() % static_cast<u64>(config_.spread_levels));
+      const bool aggressive = draw() % 100 < config_.aggressive_pct;
+      // Passive: bids below mid, asks above.  Aggressive: through the mid.
+      const i64 signed_offset =
+          (ev.side == Side::kBid) == !aggressive ? -offset : offset;
+      ev.price = clamp_price(mid_ + signed_offset);
+    }
+    if (ev.kind == FlowKind::kAddLimit && config_.max_ttl > 0) {
+      ev.ttl = 1 + static_cast<Nanos>(draw() %
+                                      static_cast<u64>(config_.max_ttl));
+    }
+
+    // Walk the mid (reflecting off the band edges with margin).
+    const i64 step =
+        static_cast<i64>(draw() % (2 * static_cast<u64>(config_.walk_step) + 1)) -
+        config_.walk_step;
+    mid_ = reflect_mid(mid_ + step);
+    return ev;
+  }
+
+ private:
+  u64 draw() { return common::splitmix64(state_); }
+
+  PriceTicks clamp_price(PriceTicks p) const {
+    const PriceTicks lo = band_.min_tick;
+    const PriceTicks hi = band_.min_tick + band_.num_levels - 1;
+    return p < lo ? lo : (p > hi ? hi : p);
+  }
+
+  PriceTicks reflect_mid(PriceTicks m) const {
+    const PriceTicks lo = band_.min_tick + config_.spread_levels;
+    const PriceTicks hi =
+        band_.min_tick + band_.num_levels - 1 - config_.spread_levels;
+    if (m < lo) return lo + (lo - m);
+    if (m > hi) return hi - (m - hi);
+    return m;
+  }
+
+  u64 state_;
+  BookConfig band_;
+  FlowConfig config_;
+  PriceTicks mid_ = 0;
+};
+
+}  // namespace rtseed::lob

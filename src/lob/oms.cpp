@@ -1,0 +1,356 @@
+#include "lob/oms.hpp"
+
+namespace rtseed::lob {
+
+namespace {
+inline int sidx(Side s) { return static_cast<int>(s); }
+}  // namespace
+
+OrderManager::OrderManager(OmsConfig config)
+    : config_(config),
+      book_(config.book),
+      risk_(config.risk),
+      ttl_(config.ttl_capacity),
+      records_(common::make_aligned_array<Record>(config.max_client_orders)),
+      free_stack_(std::make_unique<u32[]>(config.max_client_orders)),
+      market_live_(std::make_unique<OrderId[]>(2 * config.book.max_orders)),
+      market_cap_(2 * config.book.max_orders) {
+  router_.oms = this;
+  // Stack holds slots in reverse so slot 0 is handed out first.
+  for (usize i = 0; i < config_.max_client_orders; ++i) {
+    free_stack_[free_top_++] =
+        static_cast<u32>(config_.max_client_orders - 1 - i);
+  }
+}
+
+// ---- record table ---------------------------------------------------------
+
+u32 OrderManager::acquire_record() {
+  if (free_top_ == 0) return kNoSlot;
+  const u32 slot = free_stack_[--free_top_];
+  Record& r = records_[slot];
+  r.order = ClientOrder{};
+  r.in_use = true;
+  ++open_client_orders_;
+  return slot;
+}
+
+void OrderManager::release_record(u32 slot) {
+  Record& r = records_[slot];
+  r.in_use = false;
+  if (++r.gen == 0) r.gen = 1;
+  free_stack_[free_top_++] = slot;
+  --open_client_orders_;
+}
+
+OrderManager::Record* OrderManager::resolve(ClientOrderId id) {
+  if (!id.valid()) return nullptr;
+  const u32 slot = id.slot();
+  if (slot >= config_.max_client_orders) return nullptr;
+  Record& r = records_[slot];
+  if (!r.in_use || r.gen != id.generation()) return nullptr;
+  return &r;
+}
+
+const OrderManager::Record* OrderManager::resolve(ClientOrderId id) const {
+  return const_cast<OrderManager*>(this)->resolve(id);
+}
+
+const ClientOrder* OrderManager::lookup(ClientOrderId id) const {
+  const Record* r = resolve(id);
+  return r != nullptr ? &r->order : nullptr;
+}
+
+// ---- lifecycle ------------------------------------------------------------
+
+void OrderManager::apply_event(u32 slot, OrderEvent event) {
+  Record& r = records_[slot];
+  if (!machine_.apply(r.order.state, event)) return;  // illegal: counted
+  if (listener_ != nullptr) {
+    listener_->on_order_event(ClientOrderId::make(r.gen, slot), event,
+                              r.order.state);
+  }
+  if (is_terminal(r.order.state)) {
+    ++stats_.terminal[static_cast<int>(r.order.state)];
+    if (r.order.resting > 0) {
+      pending_qty_[sidx(r.order.side)] -= r.order.resting;
+      r.order.resting = 0;
+    }
+    release_record(slot);
+  }
+}
+
+// ---- trade tape -----------------------------------------------------------
+
+void OrderManager::Router::on_trade(const Trade& trade) {
+  oms->handle_trade(trade);
+  if (downstream != nullptr) downstream->on_trade(trade);
+}
+
+void OrderManager::handle_trade(const Trade& trade) {
+  // Every print refreshes the mark (last-trade marking: simple and
+  // monotone with the flow the book actually saw).
+  risk_.set_mark(trade.price);
+  if (client_taker_active_) {
+    ++stats_.taker_fills;
+    risk_.on_fill(client_taker_side_, trade.price, trade.qty);
+  }
+  if (trade.maker_cookie == 0) return;  // anonymous market maker
+
+  Record* r = resolve(ClientOrderId{trade.maker_cookie});
+  if (r == nullptr) return;  // cookie outlived the record: ignore
+  const u32 slot = ClientOrderId{trade.maker_cookie}.slot();
+  ++stats_.maker_fills;
+  risk_.on_fill(r->order.side, trade.price, trade.qty);
+  r->order.filled += trade.qty;
+  r->order.resting -= trade.qty;
+  pending_qty_[sidx(r->order.side)] -= trade.qty;
+  if (r->order.resting == 0) {
+    r->order.book_id = OrderId::invalid();
+    apply_event(slot, OrderEvent::kFill);  // terminal: releases the record
+  } else {
+    apply_event(slot, OrderEvent::kPartialFill);
+  }
+}
+
+// ---- client flow ----------------------------------------------------------
+
+SubmitOutcome OrderManager::submit(Side side, PriceTicks price, Qty qty,
+                                   Nanos now, Nanos ttl, TradeSink* tape) {
+  SubmitOutcome out;
+  ++stats_.submissions;
+
+  const RiskVerdict verdict =
+      risk_.pre_trade(side, price, qty, /*is_market=*/false,
+                      open_client_orders_, pending_qty_[0], pending_qty_[1]);
+  const u32 slot = acquire_record();
+  if (slot == kNoSlot) {
+    // Record table full — treat like the open-orders risk cap.
+    out.verdict = RiskVerdict::kTooManyOpen;
+    ++stats_.risk_rejects;
+    return out;
+  }
+  Record& r = records_[slot];
+  r.order.side = side;
+  r.order.price = price;
+  r.order.qty = qty;
+  out.id = ClientOrderId::make(r.gen, slot);
+
+  if (verdict != RiskVerdict::kOk) {
+    out.verdict = verdict;
+    ++stats_.risk_rejects;
+    apply_event(slot, OrderEvent::kReject);
+    return out;
+  }
+
+  router_.downstream = tape;
+  client_taker_active_ = true;
+  client_taker_side_ = side;
+  const SubmitResult br =
+      book_.add_limit(side, price, qty, &router_, out.id.value);
+  client_taker_active_ = false;
+
+  if (!br.accepted) {  // out of band / bad qty
+    ++stats_.book_rejects;
+    apply_event(slot, OrderEvent::kReject);
+    return out;
+  }
+  ++stats_.accepted;
+  r.order.filled = br.filled;
+  out.filled = br.filled;
+  out.resting = br.remaining;
+
+  apply_event(slot, OrderEvent::kAccept);
+  if (br.remaining > 0) {
+    r.order.book_id = br.id;
+    r.order.resting = br.remaining;
+    pending_qty_[sidx(side)] += br.remaining;
+    if (br.filled > 0) apply_event(slot, OrderEvent::kPartialFill);
+    if (ttl > 0) {
+      r.order.expires_at = now + ttl;
+      ttl_.push(r.order.expires_at, out.id.value);
+    }
+    out.state = OrderState::kLive;
+  } else if (br.filled == qty) {
+    out.state = OrderState::kFilled;
+    apply_event(slot, OrderEvent::kFill);
+  } else {
+    // Book table full: the unfilled remainder was dropped.  Surface it
+    // as an immediate forced cancel so the order still dies exactly once.
+    ++stats_.capacity_truncated;
+    if (br.filled > 0) apply_event(slot, OrderEvent::kPartialFill);
+    out.state = OrderState::kCanceled;
+    apply_event(slot, OrderEvent::kCancelRequest);
+    apply_event(slot, OrderEvent::kCancelAck);
+  }
+  return out;
+}
+
+bool OrderManager::request_cancel(ClientOrderId id) {
+  Record* r = resolve(id);
+  if (r == nullptr || r->order.state != OrderState::kLive) return false;
+  const u32 slot = id.slot();
+  apply_event(slot, OrderEvent::kCancelRequest);
+  book_.cancel(r->order.book_id);
+  ++stats_.cancels;
+  apply_event(slot, OrderEvent::kCancelAck);  // terminal: releases
+  return true;
+}
+
+bool OrderManager::request_replace(ClientOrderId id, PriceTicks new_price,
+                                   Qty new_qty, TradeSink* tape) {
+  Record* r = resolve(id);
+  if (r == nullptr || r->order.state != OrderState::kLive) return false;
+  const u32 slot = id.slot();
+  const Side side = r->order.side;
+  apply_event(slot, OrderEvent::kReplaceRequest);
+
+  // Risk-check the amendment as the order it would become: its current
+  // resting qty no longer counts against pending exposure, the new one
+  // does.
+  Qty pb = pending_qty_[0];
+  Qty ps = pending_qty_[1];
+  (side == Side::kBid ? pb : ps) -= r->order.resting;
+  const RiskVerdict verdict =
+      risk_.pre_trade(side, new_price, new_qty, /*is_market=*/false,
+                      open_client_orders_ - 1, pb, ps);
+  if (verdict != RiskVerdict::kOk) {
+    ++stats_.replace_rejects;
+    apply_event(slot, OrderEvent::kReplaceReject);
+    return true;
+  }
+
+  router_.downstream = tape;
+  client_taker_active_ = true;  // a re-priced order may cross
+  client_taker_side_ = side;
+  SubmitResult readd;
+  const AmendResult ar =
+      book_.replace(r->order.book_id, new_price, new_qty, &router_, &readd);
+  client_taker_active_ = false;
+
+  if (ar != AmendResult::kOk) {
+    ++stats_.replace_rejects;
+    apply_event(slot, OrderEvent::kReplaceReject);
+    return true;
+  }
+  ++stats_.replaces;
+  pending_qty_[sidx(side)] -= r->order.resting;
+  r->order.price = new_price;
+  r->order.qty = r->order.filled + new_qty;
+  r->order.filled += readd.filled;
+  r->order.resting = readd.remaining;
+  r->order.book_id = readd.remaining > 0 ? readd.id : OrderId::invalid();
+  pending_qty_[sidx(side)] += readd.remaining;
+  apply_event(slot, OrderEvent::kReplaceAck);
+  if (readd.remaining == 0) {
+    if (readd.filled == new_qty) {
+      apply_event(slot, OrderEvent::kFill);
+    } else {
+      // Re-entry hit the order-table capacity; force-cancel the rest.
+      ++stats_.capacity_truncated;
+      apply_event(slot, OrderEvent::kCancelRequest);
+      apply_event(slot, OrderEvent::kCancelAck);
+    }
+  }
+  return true;
+}
+
+bool OrderManager::kill(ClientOrderId id, KillReason reason) {
+  Record* r = resolve(id);
+  if (r == nullptr) return false;
+  if (r->order.book_id.valid()) book_.cancel(r->order.book_id);
+  if (reason == KillReason::kSupervisor) {
+    ++stats_.killed_supervisor;
+  } else {
+    ++stats_.killed_shed;
+  }
+  apply_event(id.slot(), OrderEvent::kKill);  // terminal: releases
+  return true;
+}
+
+usize OrderManager::kill_all(KillReason reason) {
+  usize killed = 0;
+  for (usize i = 0; i < config_.max_client_orders; ++i) {
+    Record& r = records_[i];
+    if (!r.in_use) continue;
+    kill(ClientOrderId::make(r.gen, static_cast<u32>(i)), reason);
+    ++killed;
+  }
+  return killed;
+}
+
+usize OrderManager::expire(Nanos now) {
+  usize expired = 0;
+  while (!ttl_.empty() && ttl_.top().expires_at <= now) {
+    const ClientOrderId id{ttl_.top().handle};
+    ttl_.pop();
+    Record* r = resolve(id);
+    if (r == nullptr) continue;  // lazy deletion: order already dead
+    if (r->order.state != OrderState::kLive) continue;
+    book_.cancel(r->order.book_id);
+    ++stats_.expired;
+    ++expired;
+    apply_event(id.slot(), OrderEvent::kExpire);  // terminal: releases
+  }
+  return expired;
+}
+
+// ---- market flow ----------------------------------------------------------
+
+OrderId OrderManager::pick_market_victim(u64 pick) {
+  while (market_live_count_ > 0) {
+    const usize idx = pick % market_live_count_;
+    const OrderId id = market_live_[idx];
+    market_live_[idx] = market_live_[--market_live_count_];
+    if (book_.is_open(id)) return id;
+    // Stale (filled away): discarded, try the next candidate.
+  }
+  return OrderId::invalid();
+}
+
+void OrderManager::apply_flow(const FlowEvent& event, TradeSink* tape) {
+  router_.downstream = tape;
+  switch (event.kind) {
+    case FlowKind::kAddLimit: {
+      const SubmitResult r =
+          book_.add_limit(event.side, event.price, event.qty, &router_, 0);
+      if (r.id.valid()) {
+        if (market_live_count_ == market_cap_) {
+          // Compact out entries whose orders have filled away.
+          usize w = 0;
+          for (usize i = 0; i < market_live_count_; ++i) {
+            if (book_.is_open(market_live_[i])) {
+              market_live_[w++] = market_live_[i];
+            }
+          }
+          market_live_count_ = w;
+        }
+        if (market_live_count_ < market_cap_) {
+          market_live_[market_live_count_++] = r.id;
+        }
+      }
+      break;
+    }
+    case FlowKind::kMarket:
+      book_.add_market(event.side, event.qty, &router_);
+      break;
+    case FlowKind::kCancel: {
+      const OrderId victim = pick_market_victim(event.pick);
+      if (victim.valid()) book_.cancel(victim);
+      break;
+    }
+    case FlowKind::kReplace: {
+      const OrderId victim = pick_market_victim(event.pick);
+      if (!victim.valid()) break;
+      SubmitResult readd;
+      book_.replace(victim, event.price, event.qty, &router_, &readd);
+      if (readd.id.valid() && readd.remaining > 0 &&
+          market_live_count_ < market_cap_) {
+        market_live_[market_live_count_++] = readd.id;
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace rtseed::lob

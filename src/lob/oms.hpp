@@ -1,0 +1,234 @@
+// Order management: client order records, lifecycle state machine, TTL
+// expiry, pre-trade risk, and synthetic market flow over one BitmapBook
+// (DESIGN.md §13).
+//
+// The OrderManager owns the book and is the only writer.  Two kinds of
+// flow pass through it:
+//
+//   * CLIENT orders (submit / request_cancel / request_replace): each
+//     gets a fixed-slot record driving the OrderState machine.  Risk is
+//     checked pre-trade; resting orders carry cookie = the full
+//     ClientOrderId value (generation included, so a recycled slot can
+//     never mis-route) and maker-side executions route back to their
+//     record in O(1) from the trade tape.  TTLs go into a lazy min-heap;
+//     expire() sweeps them.
+//   * MARKET flow (apply_flow): anonymous FlowGenerator events — the
+//     background order stream client orders trade against.  Cookie 0,
+//     no records, no risk accounting.
+//
+// Everything is allocated at construction; steady state is
+// allocation-free (tests/hotpath/test_zero_alloc.cpp audits a full OMS
+// round).  Single-threaded by design: one OMS per shard, mutated only
+// from that shard's mandatory part.
+#pragma once
+
+#include "common/arena.hpp"
+#include "lob/book.hpp"
+#include "lob/flow.hpp"
+#include "lob/order_state.hpp"
+#include "lob/risk.hpp"
+#include "lob/ttl_heap.hpp"
+
+namespace rtseed::lob {
+
+/// Client-order handle: same {generation, slot} packing as OrderId but a
+/// distinct type — book handles and client handles live in different
+/// tables and silently mixing them is exactly the bug class the split
+/// prevents.
+struct ClientOrderId {
+  u64 value = 0;
+
+  static constexpr ClientOrderId invalid() { return ClientOrderId{0}; }
+  static constexpr ClientOrderId make(u32 generation, u32 slot) {
+    return ClientOrderId{(static_cast<u64>(generation) << 32) |
+                         static_cast<u64>(slot)};
+  }
+  constexpr u32 generation() const { return static_cast<u32>(value >> 32); }
+  constexpr u32 slot() const { return static_cast<u32>(value); }
+  constexpr bool valid() const { return value != 0; }
+  constexpr bool operator==(const ClientOrderId& o) const {
+    return value == o.value;
+  }
+};
+
+enum class KillReason : u32 {
+  kSupervisor = 0,  ///< middleware supervisor terminated the task
+  kBreakerShed,     ///< circuit breaker shed optional work / flattened
+};
+
+struct OmsConfig {
+  BookConfig book;
+  RiskConfig risk;
+  usize max_client_orders = 1024;
+  /// TTL heap capacity; lazy deletion means dead entries linger, so size
+  /// this a few times max_client_orders.
+  usize ttl_capacity = 4096;
+};
+
+/// Observable client-order record.
+struct ClientOrder {
+  OrderId book_id;        ///< current book handle (invalid when not resting)
+  OrderState state = OrderState::kPendingNew;
+  Side side = Side::kBid;
+  PriceTicks price = 0;
+  Qty qty = 0;            ///< current order size (updated by replace)
+  Qty filled = 0;         ///< cumulative executed qty
+  Qty resting = 0;        ///< open qty in the book right now
+  Nanos expires_at = 0;   ///< 0 = no TTL
+};
+
+/// Outcome of OrderManager::submit.  When the order reached a terminal
+/// state synchronously (full fill, rejection) the record is already
+/// released and `id` is stale; `state`/`filled` carry the final word.
+struct SubmitOutcome {
+  ClientOrderId id;
+  OrderState state = OrderState::kRejected;
+  RiskVerdict verdict = RiskVerdict::kOk;
+  Qty filled = 0;
+  Qty resting = 0;
+};
+
+/// Lifecycle event tap (tests, exec-report publication).  Called
+/// synchronously for every legal transition of a client order; must not
+/// allocate.
+class OmsListener {
+ public:
+  virtual ~OmsListener() = default;
+  virtual void on_order_event(ClientOrderId id, OrderEvent event,
+                              OrderState state) = 0;
+};
+
+class OrderManager {
+ public:
+  struct Stats {
+    u64 submissions = 0;
+    u64 accepted = 0;
+    u64 risk_rejects = 0;
+    u64 book_rejects = 0;        ///< band/qty rejects at the book
+    u64 capacity_truncated = 0;  ///< book table full: remainder force-canceled
+    u64 taker_fills = 0;         ///< trade prints where a client was taker
+    u64 maker_fills = 0;         ///< trade prints routed via cookie
+    u64 cancels = 0;
+    u64 replaces = 0;
+    u64 replace_rejects = 0;
+    u64 expired = 0;
+    u64 killed_supervisor = 0;
+    u64 killed_shed = 0;
+    /// Indexed by OrderState; only terminal indices populated.  An order
+    /// lands in exactly one bucket exactly once — the invariant
+    /// tests/lob/test_order_lifecycle.cpp checks.
+    u64 terminal[kNumOrderStates] = {};
+  };
+
+  explicit OrderManager(OmsConfig config = {});
+
+  OrderManager(const OrderManager&) = delete;
+  OrderManager& operator=(const OrderManager&) = delete;
+
+  const OmsConfig& config() const { return config_; }
+  const Stats& stats() const { return stats_; }
+  BitmapBook& book() { return book_; }
+  const BitmapBook& book() const { return book_; }
+  const RiskEngine& risk() const { return risk_; }
+  const OrderStateMachine& machine() const { return machine_; }
+  const TtlHeap& ttl_heap() const { return ttl_; }
+
+  void set_listener(OmsListener* listener) { listener_ = listener; }
+
+  // ---- client flow -------------------------------------------------------
+  /// Risk-checks and submits a client limit order.  `ttl` > 0 arms
+  /// expiry at now + ttl.  Trades print on `tape` (may be null).
+  SubmitOutcome submit(Side side, PriceTicks price, Qty qty, Nanos now,
+                       Nanos ttl, TradeSink* tape);
+
+  /// Cancel request; synchronous ack.  False for stale/terminal handles.
+  bool request_cancel(ClientOrderId id);
+
+  /// Replace request; synchronous ack or reject (order stays live on
+  /// reject).  False for stale/terminal handles.
+  bool request_replace(ClientOrderId id, PriceTicks new_price, Qty new_qty,
+                       TradeSink* tape);
+
+  /// Force-terminates one order (CANCELED).  False for stale handles.
+  bool kill(ClientOrderId id, KillReason reason);
+  /// Force-terminates every live client order; returns how many died.
+  usize kill_all(KillReason reason);
+
+  /// Sweeps TTL expiries due at `now`; returns how many orders expired.
+  usize expire(Nanos now);
+
+  // ---- market flow -------------------------------------------------------
+  /// Applies one synthetic market event (anonymous flow; client records
+  /// untouched except via maker fills on the tape).
+  void apply_flow(const FlowEvent& event, TradeSink* tape);
+
+  // ---- queries -----------------------------------------------------------
+  /// Live record for the handle, or nullptr when stale/released.
+  const ClientOrder* lookup(ClientOrderId id) const;
+  usize open_client_orders() const { return open_client_orders_; }
+  Qty pending_buy_qty() const { return pending_qty_[0]; }
+  Qty pending_sell_qty() const { return pending_qty_[1]; }
+
+ private:
+  static constexpr u32 kNoSlot = 0xFFFFFFFFu;
+
+  /// Trade-tape shim the book calls during OMS-initiated operations:
+  /// routes maker fills (cookie != 0) into client records, feeds risk,
+  /// then forwards to the caller's tape.
+  class Router final : public TradeSink {
+   public:
+    void on_trade(const Trade& trade) override;
+    OrderManager* oms = nullptr;
+    TradeSink* downstream = nullptr;
+  };
+
+  struct Record {
+    ClientOrder order;
+    u32 gen = 1;   ///< bumped on release; never 0
+    bool in_use = false;
+  };
+
+  u32 acquire_record();
+  void release_record(u32 slot);
+  Record* resolve(ClientOrderId id);
+  const Record* resolve(ClientOrderId id) const;
+
+  /// Applies a lifecycle event; on entering a terminal state counts it,
+  /// clears pending exposure, and releases the record.
+  void apply_event(u32 slot, OrderEvent event);
+  void handle_trade(const Trade& trade);
+
+  /// Picks a live victim among resting market orders for cancel/replace
+  /// flow events; compacts dead handles as a side effect.  kNoSlot-like
+  /// invalid id when none remain.
+  OrderId pick_market_victim(u64 pick);
+
+  OmsConfig config_;
+  Stats stats_;
+  BitmapBook book_;
+  RiskEngine risk_;
+  OrderStateMachine machine_;
+  TtlHeap ttl_;
+  Router router_;
+  OmsListener* listener_ = nullptr;
+
+  common::AlignedArrayPtr<Record> records_;
+  std::unique_ptr<u32[]> free_stack_;
+  usize free_top_ = 0;
+  usize open_client_orders_ = 0;
+  Qty pending_qty_[2] = {0, 0};  ///< resting client qty per side
+
+  /// Resting anonymous market orders (victim pool for flow cancels).
+  /// Sized 2× the book's order table; filled-away orders leave stale
+  /// entries behind, compacted when the pool fills.
+  std::unique_ptr<OrderId[]> market_live_;
+  usize market_cap_ = 0;
+  usize market_live_count_ = 0;
+
+  /// Set while a client order is the active taker inside a book call so
+  /// Router can attribute taker-side executions to risk.
+  bool client_taker_active_ = false;
+  Side client_taker_side_ = Side::kBid;
+};
+
+}  // namespace rtseed::lob

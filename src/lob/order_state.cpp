@@ -1,0 +1,89 @@
+#include "lob/order_state.hpp"
+
+namespace rtseed::lob {
+
+const char* order_state_name(OrderState s) {
+  switch (s) {
+    case OrderState::kPendingNew: return "PENDING_NEW";
+    case OrderState::kLive: return "LIVE";
+    case OrderState::kPendingCancel: return "PENDING_CANCEL";
+    case OrderState::kPendingReplace: return "PENDING_REPLACE";
+    case OrderState::kFilled: return "FILLED";
+    case OrderState::kCanceled: return "CANCELED";
+    case OrderState::kExpired: return "EXPIRED";
+    case OrderState::kRejected: return "REJECTED";
+  }
+  return "?";
+}
+
+const char* order_event_name(OrderEvent e) {
+  switch (e) {
+    case OrderEvent::kAccept: return "accept";
+    case OrderEvent::kReject: return "reject";
+    case OrderEvent::kPartialFill: return "partial_fill";
+    case OrderEvent::kFill: return "fill";
+    case OrderEvent::kCancelRequest: return "cancel_request";
+    case OrderEvent::kReplaceRequest: return "replace_request";
+    case OrderEvent::kCancelAck: return "cancel_ack";
+    case OrderEvent::kReplaceAck: return "replace_ack";
+    case OrderEvent::kReplaceReject: return "replace_reject";
+    case OrderEvent::kExpire: return "expire";
+    case OrderEvent::kKill: return "kill";
+  }
+  return "?";
+}
+
+OrderState next_order_state(OrderState from, OrderEvent event, bool* legal) {
+  *legal = true;
+  switch (from) {
+    case OrderState::kPendingNew:
+      switch (event) {
+        case OrderEvent::kAccept: return OrderState::kLive;
+        case OrderEvent::kReject: return OrderState::kRejected;
+        case OrderEvent::kKill: return OrderState::kCanceled;
+        default: break;
+      }
+      break;
+    case OrderState::kLive:
+      switch (event) {
+        case OrderEvent::kPartialFill: return OrderState::kLive;
+        case OrderEvent::kFill: return OrderState::kFilled;
+        case OrderEvent::kCancelRequest: return OrderState::kPendingCancel;
+        case OrderEvent::kReplaceRequest: return OrderState::kPendingReplace;
+        case OrderEvent::kExpire: return OrderState::kExpired;
+        case OrderEvent::kKill: return OrderState::kCanceled;
+        default: break;
+      }
+      break;
+    case OrderState::kPendingCancel:
+      switch (event) {
+        // A fill can race the cancel: executions win until the ack lands.
+        case OrderEvent::kPartialFill: return OrderState::kPendingCancel;
+        case OrderEvent::kFill: return OrderState::kFilled;
+        case OrderEvent::kCancelAck: return OrderState::kCanceled;
+        case OrderEvent::kKill: return OrderState::kCanceled;
+        default: break;
+      }
+      break;
+    case OrderState::kPendingReplace:
+      switch (event) {
+        case OrderEvent::kPartialFill: return OrderState::kPendingReplace;
+        case OrderEvent::kFill: return OrderState::kFilled;
+        case OrderEvent::kReplaceAck: return OrderState::kLive;
+        case OrderEvent::kReplaceReject: return OrderState::kLive;
+        case OrderEvent::kKill: return OrderState::kCanceled;
+        default: break;
+      }
+      break;
+    // Terminal states accept nothing: an order dies exactly once.
+    case OrderState::kFilled:
+    case OrderState::kCanceled:
+    case OrderState::kExpired:
+    case OrderState::kRejected:
+      break;
+  }
+  *legal = false;
+  return from;
+}
+
+}  // namespace rtseed::lob

@@ -1,0 +1,88 @@
+// Order lifecycle state machine (DESIGN.md §13).
+//
+//   PENDING_NEW ──accept──▶ LIVE ──cancel-req──▶ PENDING_CANCEL ──ack──▶ CANCELED
+//        │                   │  └─replace-req─▶ PENDING_REPLACE ─ack─▶ LIVE
+//        │reject             │fill(full)                        └reject▶ LIVE
+//        ▼                   ▼
+//     REJECTED            FILLED        LIVE ──expire──▶ EXPIRED
+//
+// kKill (supervisor force-termination or breaker shed) is legal from any
+// non-terminal state and lands in CANCELED.  Terminal states (FILLED,
+// CANCELED, EXPIRED, REJECTED) accept NO events: the transition table is
+// total, and every illegal (state, event) pair is rejected and counted —
+// an order reaches a terminal state exactly once, which
+// tests/lob/test_order_lifecycle.cpp enumerates exhaustively.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace rtseed::lob {
+
+using common::u32;
+using common::u64;
+
+enum class OrderState : u32 {
+  kPendingNew = 0,
+  kLive,
+  kPendingCancel,
+  kPendingReplace,
+  kFilled,
+  kCanceled,
+  kExpired,
+  kRejected,
+};
+inline constexpr int kNumOrderStates = 8;
+
+enum class OrderEvent : u32 {
+  kAccept = 0,      ///< book accepted the order
+  kReject,          ///< risk or book rejected it
+  kPartialFill,     ///< execution, open qty remains
+  kFill,            ///< execution, open qty now zero
+  kCancelRequest,   ///< client asked to cancel
+  kReplaceRequest,  ///< client asked to amend price/qty
+  kCancelAck,       ///< book confirmed removal
+  kReplaceAck,      ///< book confirmed amendment
+  kReplaceReject,   ///< amendment refused; order stays live
+  kExpire,          ///< TTL deadline passed
+  kKill,            ///< supervisor kill or breaker shed
+};
+inline constexpr int kNumOrderEvents = 11;
+
+const char* order_state_name(OrderState s);
+const char* order_event_name(OrderEvent e);
+
+inline constexpr bool is_terminal(OrderState s) {
+  return s == OrderState::kFilled || s == OrderState::kCanceled ||
+         s == OrderState::kExpired || s == OrderState::kRejected;
+}
+
+/// The total transition function: next state for a legal pair, or the
+/// input state unchanged (and *legal == false) for an illegal one.
+OrderState next_order_state(OrderState from, OrderEvent event, bool* legal);
+
+/// Convenience wrapper owning the illegal-transition counter the OMS
+/// surfaces in its stats (illegal transitions are bugs upstream — the
+/// machine refuses them rather than corrupting an order's lifecycle).
+class OrderStateMachine {
+ public:
+  /// Applies `event` to `state` in place.  Returns true and mutates on a
+  /// legal transition; returns false, leaves `state` untouched, and
+  /// increments the illegal counter otherwise.
+  bool apply(OrderState& state, OrderEvent event) {
+    bool legal = false;
+    const OrderState next = next_order_state(state, event, &legal);
+    if (legal) {
+      state = next;
+    } else {
+      ++illegal_;
+    }
+    return legal;
+  }
+
+  u64 illegal_transitions() const { return illegal_; }
+
+ private:
+  u64 illegal_ = 0;
+};
+
+}  // namespace rtseed::lob

@@ -1,0 +1,173 @@
+#include "lob/reference_book.hpp"
+
+namespace rtseed::lob {
+
+Qty ReferenceBook::match(Side taker_side, PriceTicks limit, bool is_market,
+                         Qty qty, u64 taker_seq, TradeSink* tape) {
+  Qty filled = 0;
+  const auto fill_level = [&](PriceTicks price,
+                              std::deque<RefOrder>& level) {
+    while (qty > 0 && !level.empty()) {
+      RefOrder& mk = level.front();
+      const Qty take = mk.open < qty ? mk.open : qty;
+      mk.open -= take;
+      qty -= take;
+      filled += take;
+      if (tape != nullptr) {
+        tape->on_trade(
+            Trade{mk.seq, taker_seq, mk.cookie, price, take, taker_side});
+      }
+      if (mk.open == 0) {
+        locators_.erase(mk.id);
+        level.pop_front();
+      }
+    }
+  };
+
+  if (taker_side == Side::kBid) {
+    while (qty > 0 && !asks_.empty()) {
+      auto it = asks_.begin();
+      if (!is_market && it->first > limit) break;
+      fill_level(it->first, it->second);
+      if (it->second.empty()) asks_.erase(it);
+    }
+  } else {
+    while (qty > 0 && !bids_.empty()) {
+      auto it = bids_.begin();
+      if (!is_market && it->first < limit) break;
+      fill_level(it->first, it->second);
+      if (it->second.empty()) bids_.erase(it);
+    }
+  }
+  return filled;
+}
+
+SubmitResult ReferenceBook::add_limit(Side side, PriceTicks price, Qty qty,
+                                      TradeSink* tape, u64 cookie) {
+  SubmitResult r;
+  if (!in_band(price) || qty <= 0) return r;
+  const u64 seq = ++next_seq_;
+  r.seq = seq;
+  r.accepted = true;
+  r.filled = match(side, price, /*is_market=*/false, qty, seq, tape);
+  const Qty rest = qty - r.filled;
+  if (rest > 0) {
+    if (locators_.size() >= config_.max_orders) {
+      return r;  // capacity: remainder dropped, same rule as BitmapBook
+    }
+    const u64 id = ++next_id_;
+    if (side == Side::kBid) {
+      bids_[price].push_back(RefOrder{id, seq, cookie, rest});
+    } else {
+      asks_[price].push_back(RefOrder{id, seq, cookie, rest});
+    }
+    locators_[id] = Locator{side, price};
+    r.id = OrderId{id};
+    r.remaining = rest;
+  }
+  return r;
+}
+
+SubmitResult ReferenceBook::add_market(Side side, Qty qty, TradeSink* tape) {
+  SubmitResult r;
+  if (qty <= 0) return r;
+  const u64 seq = ++next_seq_;
+  r.seq = seq;
+  r.accepted = true;
+  r.filled = match(side, 0, /*is_market=*/true, qty, seq, tape);
+  return r;
+}
+
+AmendResult ReferenceBook::cancel(OrderId id) {
+  const auto loc = locators_.find(id.value);
+  if (loc == locators_.end()) return AmendResult::kUnknownOrder;
+  const auto erase_from = [&](auto& map) {
+    auto it = map.find(loc->second.price);
+    auto& level = it->second;
+    for (auto o = level.begin(); o != level.end(); ++o) {
+      if (o->id == id.value) {
+        level.erase(o);
+        break;
+      }
+    }
+    if (level.empty()) map.erase(it);
+  };
+  if (loc->second.side == Side::kBid) {
+    erase_from(bids_);
+  } else {
+    erase_from(asks_);
+  }
+  locators_.erase(loc);
+  return AmendResult::kOk;
+}
+
+AmendResult ReferenceBook::replace(OrderId id, PriceTicks new_price,
+                                   Qty new_qty, TradeSink* tape,
+                                   SubmitResult* readd) {
+  const auto loc = locators_.find(id.value);
+  if (loc == locators_.end()) return AmendResult::kUnknownOrder;
+  if (new_qty <= 0 || !in_band(new_price)) return AmendResult::kRejected;
+
+  const Side side = loc->second.side;
+  const PriceTicks price = loc->second.price;
+  const auto find_order = [&](auto& map) -> RefOrder* {
+    auto it = map.find(price);
+    for (auto& o : it->second) {
+      if (o.id == id.value) return &o;
+    }
+    return nullptr;
+  };
+  RefOrder* order =
+      side == Side::kBid ? find_order(bids_) : find_order(asks_);
+  if (new_price == price && new_qty == order->open) {
+    return AmendResult::kNoChange;
+  }
+  if (new_price == price && new_qty < order->open) {
+    order->open = new_qty;
+    if (readd != nullptr) {
+      *readd = SubmitResult{id, order->seq, 0, new_qty, true};
+    }
+    return AmendResult::kOk;
+  }
+  const u64 cookie = order->cookie;
+  cancel(id);
+  const SubmitResult fresh = add_limit(side, new_price, new_qty, tape, cookie);
+  if (readd != nullptr) *readd = fresh;
+  return AmendResult::kOk;
+}
+
+BookTop ReferenceBook::top() const {
+  BookTop t;
+  if (!bids_.empty()) {
+    t.bid_price = bids_.begin()->first;
+    for (const auto& o : bids_.begin()->second) t.bid_qty += o.open;
+  }
+  if (!asks_.empty()) {
+    t.ask_price = asks_.begin()->first;
+    for (const auto& o : asks_.begin()->second) t.ask_qty += o.open;
+  }
+  return t;
+}
+
+u64 ReferenceBook::digest() const {
+  u64 h = 0;
+  const auto mix_side = [&h](const auto& map, Side side) {
+    digest_mix(h, 0xABCD0000ULL + static_cast<u64>(side));
+    for (const auto& [price, level] : map) {
+      Qty level_qty = 0;
+      for (const auto& o : level) level_qty += o.open;
+      digest_mix(h, static_cast<u64>(price));
+      digest_mix(h, static_cast<u64>(level_qty));
+      digest_mix(h, static_cast<u64>(level.size()));
+      for (const auto& o : level) {
+        digest_mix(h, o.seq);
+        digest_mix(h, static_cast<u64>(o.open));
+      }
+    }
+  };
+  mix_side(bids_, Side::kBid);
+  mix_side(asks_, Side::kAsk);
+  return h;
+}
+
+}  // namespace rtseed::lob

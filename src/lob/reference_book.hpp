@@ -1,0 +1,69 @@
+// Naive std::map reference order book — the differential-testing oracle
+// for BitmapBook (tests/lob/test_fuzz_flow.cpp, tests/lob/fuzz_flow).
+//
+// Same externally observable semantics as BitmapBook — same price band,
+// same capacity cap, same arrival-seq assignment, same matching and
+// replace rules, same digest() traversal — implemented with the most
+// obviously correct containers available (ordered maps of FIFO deques).
+// It allocates freely and is orders of magnitude slower; it exists only
+// so the two implementations can disagree loudly.  Any divergence in
+// trade tape or digest over identical input is a bug in exactly one of
+// them.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+#include "lob/book.hpp"  // BookConfig + digest_mix (the shared contract)
+
+namespace rtseed::lob {
+
+class ReferenceBook {
+ public:
+  explicit ReferenceBook(BookConfig config = {}) : config_(config) {}
+
+  SubmitResult add_limit(Side side, PriceTicks price, Qty qty,
+                         TradeSink* tape, u64 cookie = 0);
+  SubmitResult add_market(Side side, Qty qty, TradeSink* tape);
+  AmendResult cancel(OrderId id);
+  AmendResult replace(OrderId id, PriceTicks new_price, Qty new_qty,
+                      TradeSink* tape, SubmitResult* readd);
+
+  BookTop top() const;
+  usize open_orders() const { return locators_.size(); }
+  u64 digest() const;
+
+ private:
+  struct RefOrder {
+    u64 id = 0;
+    u64 seq = 0;
+    u64 cookie = 0;
+    Qty open = 0;
+  };
+  /// Bids keyed descending so .begin() is the best level on both sides.
+  using BidMap = std::map<PriceTicks, std::deque<RefOrder>, std::greater<>>;
+  using AskMap = std::map<PriceTicks, std::deque<RefOrder>>;
+
+  struct Locator {
+    Side side = Side::kBid;
+    PriceTicks price = 0;
+  };
+
+  bool in_band(PriceTicks price) const {
+    return price >= config_.min_tick &&
+           price < config_.min_tick + config_.num_levels;
+  }
+
+  Qty match(Side taker_side, PriceTicks limit, bool is_market, Qty qty,
+            u64 taker_seq, TradeSink* tape);
+
+  BookConfig config_;
+  BidMap bids_;
+  AskMap asks_;
+  std::unordered_map<u64, Locator> locators_;  ///< open order id -> level
+  u64 next_id_ = 0;
+  u64 next_seq_ = 0;
+};
+
+}  // namespace rtseed::lob

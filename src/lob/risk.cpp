@@ -1,0 +1,96 @@
+#include "lob/risk.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace rtseed::lob {
+
+const char* risk_verdict_name(RiskVerdict v) {
+  switch (v) {
+    case RiskVerdict::kOk: return "ok";
+    case RiskVerdict::kOrderTooLarge: return "order_too_large";
+    case RiskVerdict::kPositionLimit: return "position_limit";
+    case RiskVerdict::kPriceCollar: return "price_collar";
+    case RiskVerdict::kTooManyOpen: return "too_many_open";
+    case RiskVerdict::kMaxLossBreached: return "max_loss_breached";
+  }
+  return "?";
+}
+
+RiskVerdict RiskEngine::pre_trade(Side side, PriceTicks price, Qty qty,
+                                  bool is_market, usize open_orders,
+                                  Qty pending_buy_qty, Qty pending_sell_qty) {
+  ++stats_.checks;
+  const auto veto = [&](RiskVerdict v) {
+    ++stats_.vetoes[static_cast<u32>(v)];
+    return v;
+  };
+
+  if (config_.max_order_qty > 0 && qty > config_.max_order_qty) {
+    return veto(RiskVerdict::kOrderTooLarge);
+  }
+  if (config_.max_open_orders > 0 && open_orders >= config_.max_open_orders) {
+    return veto(RiskVerdict::kTooManyOpen);
+  }
+  if (config_.max_loss_ticks > 0 &&
+      total_pnl_ticks() < -config_.max_loss_ticks) {
+    return veto(RiskVerdict::kMaxLossBreached);
+  }
+  if (config_.max_position > 0) {
+    // Worst-case exposure if every pending order (plus this one) fills.
+    const i64 worst =
+        side == Side::kBid
+            ? position_ + pending_buy_qty + qty
+            : -(position_ - pending_sell_qty - qty);
+    if (worst > config_.max_position) {
+      return veto(RiskVerdict::kPositionLimit);
+    }
+  }
+  if (!is_market && config_.price_collar_pct > 0.0 && have_mark_ &&
+      mark_ > 0) {
+    const double deviation =
+        std::abs(static_cast<double>(price - mark_)) /
+        static_cast<double>(mark_);
+    if (deviation > config_.price_collar_pct) {
+      return veto(RiskVerdict::kPriceCollar);
+    }
+  }
+  return RiskVerdict::kOk;
+}
+
+void RiskEngine::on_fill(Side side, PriceTicks price, Qty qty) {
+  Qty remaining = qty;
+  const i64 dir = side == Side::kBid ? 1 : -1;
+  // Closing leg first: a fill against an opposite-signed position
+  // realizes P&L at the VWAP entry basis (entry_cost_ / |position|),
+  // computed as an exact cost share so everything stays integral.
+  if (position_ != 0 && (position_ > 0) != (dir > 0)) {
+    const Qty abs_pos = position_ > 0 ? position_ : -position_;
+    const Qty closing = remaining < abs_pos ? remaining : abs_pos;
+    const i64 cost_share = entry_cost_ * closing / abs_pos;
+    const i64 close_px = static_cast<i64>(price) * closing;
+    // Long closed by a sell: pnl = proceeds − cost; short mirrored.
+    realized_ +=
+        position_ > 0 ? (close_px - cost_share) : (cost_share - close_px);
+    entry_cost_ -= cost_share;
+    position_ += dir * closing;
+    remaining -= closing;
+    if (position_ == 0) entry_cost_ = 0;  // drop integer-division residue
+  }
+  // Opening leg (from flat, extending, or crossed through flat).
+  if (remaining > 0) {
+    position_ += dir * remaining;
+    entry_cost_ += static_cast<i64>(price) * remaining;
+  }
+}
+
+i64 RiskEngine::unrealized_ticks() const {
+  if (position_ == 0 || !have_mark_) return 0;
+  const i64 mark_value =
+      static_cast<i64>(mark_) * std::llabs(static_cast<long long>(position_));
+  // Long: mark − cost; short: cost − mark.
+  return position_ > 0 ? (mark_value - entry_cost_)
+                       : (entry_cost_ - mark_value);
+}
+
+}  // namespace rtseed::lob

@@ -1,0 +1,104 @@
+// Pre-trade risk checks + position / mark-to-market P&L (DESIGN.md §13;
+// after the RichTraders OMS risk layer, SNIPPETS.md §1).
+//
+// Every order the OMS submits passes pre_trade() BEFORE touching the
+// book; a veto transitions the order PENDING_NEW → REJECTED and counts
+// the reason.  The position-limit check reserves PENDING exposure too:
+// open resting buy qty counts against the long limit even before it
+// fills, so a burst of resting orders cannot overshoot the cap when
+// they all execute.
+//
+// P&L is integer arithmetic in (ticks × lots) — exact, and convertible
+// to dollars once at the reporting edge via tick_value.  Average entry
+// is VWAP over the accumulating position; crossing through flat splits
+// the fill into a closing leg (realizes P&L) and an opening leg (resets
+// the VWAP basis).
+#pragma once
+
+#include "lob/types.hpp"
+
+namespace rtseed::lob {
+
+struct RiskConfig {
+  Qty max_order_qty = 0;      ///< per-order size cap; 0 = unlimited
+  Qty max_position = 0;       ///< |position| + pending exposure cap; 0 = unlimited
+  /// Fat-finger collar: limit price may not deviate from the current
+  /// mark by more than this fraction (0 disables).  Marketable prices
+  /// near the touch always pass.
+  double price_collar_pct = 0.0;
+  usize max_open_orders = 0;  ///< simultaneously open orders; 0 = unlimited
+  /// Kill switch: once realized + unrealized P&L drops below
+  /// -max_loss_ticks (ticks × lots), every new order is vetoed.
+  i64 max_loss_ticks = 0;     ///< 0 = unlimited
+  double tick_value = 1.0;    ///< dollars per (tick × lot), reporting only
+};
+
+enum class RiskVerdict : u32 {
+  kOk = 0,
+  kOrderTooLarge,
+  kPositionLimit,
+  kPriceCollar,
+  kTooManyOpen,
+  kMaxLossBreached,
+};
+inline constexpr int kNumRiskVerdicts = 6;
+
+const char* risk_verdict_name(RiskVerdict v);
+
+class RiskEngine {
+ public:
+  struct Stats {
+    u64 checks = 0;
+    u64 vetoes[kNumRiskVerdicts] = {};  ///< indexed by RiskVerdict
+  };
+
+  explicit RiskEngine(RiskConfig config = {}) : config_(config) {}
+
+  const RiskConfig& config() const { return config_; }
+  const Stats& stats() const { return stats_; }
+
+  /// Pre-trade gate.  `open_orders` and the pending exposures describe
+  /// the OMS's current book footprint (resting qty per side).
+  RiskVerdict pre_trade(Side side, PriceTicks price, Qty qty, bool is_market,
+                        usize open_orders, Qty pending_buy_qty,
+                        Qty pending_sell_qty);
+
+  /// Execution feedback: updates position, VWAP entry, realized P&L.
+  void on_fill(Side side, PriceTicks price, Qty qty);
+
+  /// Updates the mark (mid) used by the collar, unrealized P&L, and the
+  /// loss kill switch.  Call once per book update.
+  void set_mark(PriceTicks mark) {
+    mark_ = mark;
+    have_mark_ = true;
+  }
+
+  Qty position() const { return position_; }
+  /// Exact VWAP basis of the open position: Σ entry price × |qty|.
+  /// Callers wanting the average entry divide by |position()|; keeping
+  /// the running cost instead of the quotient stays integral and exact.
+  i64 entry_cost_ticks() const { return entry_cost_; }
+  i64 realized_ticks() const { return realized_; }
+  /// Unrealized at the current mark: position × (mark − avg entry).
+  i64 unrealized_ticks() const;
+  i64 total_pnl_ticks() const { return realized_ticks() + unrealized_ticks(); }
+  double realized_dollars() const {
+    return static_cast<double>(realized_) * config_.tick_value;
+  }
+  double total_pnl_dollars() const {
+    return static_cast<double>(total_pnl_ticks()) * config_.tick_value;
+  }
+  PriceTicks mark() const { return mark_; }
+  bool has_mark() const { return have_mark_; }
+
+ private:
+  RiskConfig config_;
+  Stats stats_;
+  Qty position_ = 0;
+  i64 entry_cost_ = 0;  ///< Σ entry price × qty of the open position
+  i64 realized_ = 0;    ///< realized P&L in ticks × lots
+  PriceTicks mark_ = 0;
+  bool have_mark_ = false;
+};
+
+}  // namespace rtseed::lob

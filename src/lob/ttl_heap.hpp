@@ -1,0 +1,88 @@
+// Fixed-capacity TTL min-heap: (expiry time, order handle) pairs,
+// earliest first (DESIGN.md §13).
+//
+// Expiry uses LAZY deletion: cancels/fills/replaces never search the
+// heap.  A popped entry whose order has since died (or whose slot was
+// recycled — the handle's generation bits detect both) is simply
+// discarded by the caller, so the steady-state cost is O(log n) per
+// push/pop and zero per cancel.  The handle is an opaque u64 — the OMS
+// stores ClientOrderId values, tests can store anything.  Capacity is
+// fixed at construction (one allocation); a full heap rejects the push
+// and the caller counts it — same drop-and-count discipline as the
+// shard transport.
+#pragma once
+
+#include <utility>
+
+#include "common/arena.hpp"
+#include "lob/types.hpp"
+
+namespace rtseed::lob {
+
+class TtlHeap {
+ public:
+  struct Entry {
+    Nanos expires_at = 0;
+    u64 handle = 0;  ///< opaque order handle (e.g. ClientOrderId::value)
+  };
+
+  explicit TtlHeap(usize capacity)
+      : capacity_(capacity),
+        entries_(common::make_aligned_array<Entry>(capacity)) {}
+
+  usize capacity() const { return capacity_; }
+  usize size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  u64 dropped() const { return dropped_; }
+
+  /// False (and a drop count) when full.
+  bool push(Nanos expires_at, u64 handle) {
+    if (size_ == capacity_) {
+      ++dropped_;
+      return false;
+    }
+    usize i = size_++;
+    entries_[i] = Entry{expires_at, handle};
+    while (i > 0) {
+      const usize parent = (i - 1) / 2;
+      if (entries_[parent].expires_at <= entries_[i].expires_at) break;
+      std::swap(entries_[parent], entries_[i]);
+      i = parent;
+    }
+    return true;
+  }
+
+  /// Earliest entry; undefined when empty (check empty() first).
+  const Entry& top() const { return entries_[0]; }
+
+  void pop() {
+    entries_[0] = entries_[--size_];
+    usize i = 0;
+    for (;;) {
+      const usize left = 2 * i + 1;
+      const usize right = left + 1;
+      usize smallest = i;
+      if (left < size_ &&
+          entries_[left].expires_at < entries_[smallest].expires_at) {
+        smallest = left;
+      }
+      if (right < size_ &&
+          entries_[right].expires_at < entries_[smallest].expires_at) {
+        smallest = right;
+      }
+      if (smallest == i) return;
+      std::swap(entries_[i], entries_[smallest]);
+      i = smallest;
+    }
+  }
+
+  void clear() { size_ = 0; }
+
+ private:
+  const usize capacity_;
+  common::AlignedArrayPtr<Entry> entries_;
+  usize size_ = 0;
+  u64 dropped_ = 0;
+};
+
+}  // namespace rtseed::lob

@@ -1,0 +1,129 @@
+// Core vocabulary of the limit-order-book workload (DESIGN.md §13).
+//
+// Prices are integer TICKS (i64), never floats: the book indexes price
+// levels by tick and two implementations (bitmap book and the std::map
+// reference oracle) must agree bit-for-bit, which float rounding would
+// forfeit.  Dollar conversion happens once, at the reporting edge
+// (RiskEngine::tick_value).
+//
+// Order identity is two-layered:
+//   * OrderId  — a packed {u32 generation, u32 slot} handle into the
+//     owning book's order table.  Slots are recycled; the generation
+//     detects stale handles in O(1).  Ids are implementation-PRIVATE:
+//     the bitmap book and the reference book hand out different ones.
+//   * arrival seq — a per-book monotonic counter stamped on every
+//     accepted order.  Both implementations assign identical seqs for
+//     identical input streams, so trades and digests compare on seq,
+//     making differential fuzzing implementation-agnostic.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.hpp"
+#include "common/types.hpp"
+
+namespace rtseed::lob {
+
+using common::i32;
+using common::i64;
+using common::Nanos;
+using common::u32;
+using common::u64;
+using common::usize;
+
+/// Price in integer ticks.
+using PriceTicks = i64;
+/// Quantity in integer lots.
+using Qty = i64;
+
+enum class Side : u32 { kBid = 0, kAsk = 1 };
+
+inline constexpr Side other_side(Side s) {
+  return s == Side::kBid ? Side::kAsk : Side::kBid;
+}
+inline constexpr const char* side_name(Side s) {
+  return s == Side::kBid ? "bid" : "ask";
+}
+
+/// Packed order handle: {generation << 32 | slot index}.
+struct OrderId {
+  u64 value = 0;
+
+  static constexpr OrderId invalid() { return OrderId{0}; }
+  static constexpr OrderId make(u32 generation, u32 slot) {
+    return OrderId{(static_cast<u64>(generation) << 32) |
+                   static_cast<u64>(slot)};
+  }
+  constexpr u32 generation() const { return static_cast<u32>(value >> 32); }
+  constexpr u32 slot() const { return static_cast<u32>(value); }
+  constexpr bool valid() const { return value != 0; }
+  constexpr bool operator==(const OrderId& o) const { return value == o.value; }
+  constexpr bool operator!=(const OrderId& o) const { return value != o.value; }
+};
+
+/// One execution: `maker` is the resting order, `taker` the incoming one.
+/// Trades always print at the MAKER's resting price (price-time priority).
+/// Seqs, not OrderIds, identify the parties — seqs are deterministic
+/// across book implementations (see header comment).
+struct Trade {
+  u64 maker_seq = 0;
+  u64 taker_seq = 0;
+  /// Caller-supplied tag stamped on the maker order at submission
+  /// (0 = none).  The OMS uses it to route maker-side executions back to
+  /// its client-order records in O(1); pure market flow leaves it 0.
+  u64 maker_cookie = 0;
+  PriceTicks price = 0;
+  Qty qty = 0;
+  Side taker_side = Side::kBid;  ///< aggressor side
+};
+
+/// Trade-tape consumer.  The book calls this synchronously inside the
+/// matching loop; implementations must not allocate (the OMS hot path
+/// runs under the tests/hotpath zero-allocation audit).
+class TradeSink {
+ public:
+  virtual ~TradeSink() = default;
+  virtual void on_trade(const Trade& trade) = 0;
+};
+
+/// Top-of-book snapshot.  `valid` per side: an empty side reports
+/// qty == 0 and an unspecified price.
+struct BookTop {
+  PriceTicks bid_price = 0;
+  Qty bid_qty = 0;
+  PriceTicks ask_price = 0;
+  Qty ask_qty = 0;
+
+  bool has_bid() const { return bid_qty > 0; }
+  bool has_ask() const { return ask_qty > 0; }
+  double mid() const {
+    return (static_cast<double>(bid_price) + static_cast<double>(ask_price)) /
+           2.0;
+  }
+};
+
+/// Aggregate view of one price level (depth queries / analytics bands).
+struct LevelView {
+  PriceTicks price = 0;
+  Qty qty = 0;
+  u32 order_count = 0;
+};
+
+/// Outcome of submitting an order to a book.
+struct SubmitResult {
+  OrderId id;        ///< invalid() when rejected (band / capacity)
+  u64 seq = 0;       ///< arrival seq (0 when rejected)
+  Qty filled = 0;    ///< qty executed while crossing
+  Qty remaining = 0; ///< qty left resting (0 for IOC/market remainders)
+  bool accepted = false;
+};
+
+/// Outcome of a cancel/replace request against a book.
+enum class AmendResult : u32 {
+  kOk = 0,
+  kUnknownOrder,   ///< stale/invalid id (already dead or recycled)
+  kNoChange,       ///< replace with identical price+qty: rejected as no-op
+  kRejected,       ///< new params out of band / capacity
+};
+
+}  // namespace rtseed::lob

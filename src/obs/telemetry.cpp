@@ -61,6 +61,8 @@ const char* event_kind_name(EventKind kind) {
       return "wake-retry";
     case EventKind::kClockAnomaly:
       return "clock-anomaly";
+    case EventKind::kWorkloadMark:
+      return "workload-mark";
   }
   return "?";
 }

@@ -42,9 +42,13 @@ enum class EventKind : common::u8 {
   kSupervisorRespawn,   ///< supervisor respawned a dead worker (arg = k)
   kWakeRetry,           ///< lost-wake recovery re-issued a slot wake (arg = k)
   kClockAnomaly,        ///< periodic clock woke before its release time
+  /// Application-level marker (arg = workload-defined code).  The LOB
+  /// fuzz harness records one per flow event so a flight-recorder dump
+  /// at divergence time shows the exact event tail that led there.
+  kWorkloadMark,
 };
 
-inline constexpr int kNumEventKinds = 25;
+inline constexpr int kNumEventKinds = 26;
 
 const char* event_kind_name(EventKind kind);
 

@@ -6,9 +6,12 @@
 // read in place by its consumer — zero copies, zero allocations, valid
 // across address spaces.
 //
-// Two kinds share the schema (a tagged union would buy 8 bytes and cost
+// Four kinds share the schema (a tagged union would buy 8 bytes and cost
 // a second pool): kTick flows router -> shard ingress, kJobResult flows
-// shard -> supervisor egress.
+// shard -> supervisor egress, and the OMS workload (src/trading/oms_task)
+// adds kNewOrder (wind-up -> next job's mandatory part, the order
+// gateway hop) and kExecReport (shard -> supervisor, per-job fills and
+// P&L).
 #pragma once
 
 #include <type_traits>
@@ -23,8 +26,10 @@ using common::u64;
 
 enum class MessageKind : u32 {
   kInvalid = 0,
-  kTick = 1,       ///< market tick routed to the symbol's shard
-  kJobResult = 2,  ///< per-job outcome a shard reports outward
+  kTick = 1,        ///< market tick routed to the symbol's shard
+  kJobResult = 2,   ///< per-job outcome a shard reports outward
+  kNewOrder = 3,    ///< client order submission headed for the shard's OMS
+  kExecReport = 4,  ///< per-job OMS execution summary reported outward
 };
 
 struct ShardMessage {
@@ -43,6 +48,20 @@ struct ShardMessage {
       u32 iterations;    ///< QoS proxy: optional refinements delivered
       u32 missed;        ///< 1 when the job missed its deadline
     } result;
+    struct {
+      i64 price_ticks;   ///< limit price (lob::PriceTicks)
+      i64 qty;           ///< order size in lots
+      i64 ttl_ns;        ///< lifetime; 0 = good-till-cancel
+      u32 side;          ///< lob::Side
+      u32 flags;         ///< reserved
+    } order;
+    struct {
+      i64 job;
+      i64 filled;        ///< lots executed this job
+      i64 pnl_ticks;     ///< realized + unrealized, ticks × lots
+      u32 misses;        ///< cumulative deadline misses
+      u32 shed;          ///< 1 when the drawdown breaker shed this job
+    } exec;
   } body = {};
 };
 

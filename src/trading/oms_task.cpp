@@ -1,0 +1,285 @@
+#include "trading/oms_task.hpp"
+
+#include <cmath>
+
+namespace rtseed::trading {
+
+using lob::BookTop;
+using lob::LevelView;
+using lob::PriceTicks;
+using lob::Qty;
+
+OmsTask::OmsTask(OmsTaskConfig config)
+    : config_(config),
+      oms_(config.oms),
+      flow_(config.flow_seed, config.oms.book, config.flow) {
+  for (int i = 0; i < config_.num_bands; ++i) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+}
+
+void OmsTask::bind_transport(shard::ShardTransport* transport, int shard_id,
+                             u32 symbol) {
+  transport_ = transport;
+  shard_id_ = shard_id;
+  symbol_ = symbol;
+}
+
+core::TaskConfig OmsTask::make_task_config(long num_jobs) {
+  core::TaskConfig task;
+  task.params.name = "oms";
+  task.params.period = config_.period;
+  task.params.mandatory = config_.mandatory_wcet;
+  task.params.windup = config_.windup_wcet;
+  for (int i = 0; i < config_.num_bands; ++i) {
+    task.params.optional.push_back(config_.optional_time);
+  }
+  task.num_jobs = num_jobs;
+  task.callbacks.mandatory = [this](const core::JobContext& ctx) {
+    on_mandatory(ctx);
+  };
+  task.callbacks.optional = [this](const core::JobContext& ctx, int part,
+                                   core::StopToken& token) {
+    on_optional(ctx, part, token);
+  };
+  task.callbacks.windup = [this](const core::JobContext& ctx) {
+    on_windup(ctx);
+  };
+  return task;
+}
+
+void OmsTask::drain_transport(const core::JobContext& ctx) {
+  if (transport_ == nullptr) return;
+  while (shard::ShardMessage* msg = transport_->poll(shard_id_)) {
+    if (msg->kind == shard::MessageKind::kNewOrder) {
+      ++stats_.orders_submitted;
+      const auto outcome = oms_.submit(
+          static_cast<lob::Side>(msg->body.order.side),
+          msg->body.order.price_ticks, msg->body.order.qty, ctx.release,
+          msg->body.order.ttl_ns, /*tape=*/nullptr);
+      if (outcome.verdict != lob::RiskVerdict::kOk ||
+          outcome.state == lob::OrderState::kRejected) {
+        ++stats_.orders_rejected;
+      }
+    }
+    transport_->release(msg);
+  }
+}
+
+void OmsTask::on_mandatory(const core::JobContext& ctx) {
+  // Orders the previous wind-up dispatched arrive through the gateway.
+  drain_transport(ctx);
+
+  // Apply this period's synthetic market burst, then sweep expiries.
+  for (int i = 0; i < config_.events_per_job; ++i) {
+    oms_.apply_flow(flow_.next(), /*tape=*/nullptr);
+  }
+  stats_.market_events += config_.events_per_job;
+  oms_.expire(ctx.release);
+
+  // Publish top-of-book for the wind-up decision and invalidate the
+  // band slots for this job.
+  top_ = oms_.book().top();
+  for (auto& slot : slots_) slot->reset();
+}
+
+void OmsTask::on_optional(const core::JobContext& ctx, int part,
+                          core::StopToken& token) {
+  if (part < 0 || part >= static_cast<int>(slots_.size())) return;
+  const int band_levels = config_.band_levels;
+  const int needed = (part + 1) * band_levels;
+
+  // Arena-bound level scratch; a missing arena degrades to a bounded
+  // stack buffer rather than the heap.
+  constexpr int kStackLevels = 64;
+  LevelView stack_bids[kStackLevels];
+  LevelView stack_asks[kStackLevels];
+  LevelView* bids = stack_bids;
+  LevelView* asks = stack_asks;
+  if (ctx.scratch != nullptr) {
+    LevelView* b = ctx.scratch->alloc_array<LevelView>(
+        static_cast<common::usize>(needed));
+    LevelView* a = ctx.scratch->alloc_array<LevelView>(
+        static_cast<common::usize>(needed));
+    if (b != nullptr && a != nullptr) {
+      bids = b;
+      asks = a;
+    } else if (needed > kStackLevels) {
+      return;  // cannot hold the band anywhere: commit nothing
+    }
+  } else if (needed > kStackLevels) {
+    return;
+  }
+
+  const int nb = oms_.book().collect_levels(lob::Side::kBid, bids, needed);
+  const int na = oms_.book().collect_levels(lob::Side::kAsk, asks, needed);
+  const int base = part * band_levels;
+
+  // Anytime refinement: fold one more level of the band per iteration,
+  // committing each refinement, until done or the deadline cuts us.
+  DepthBandAnalytics out;
+  for (int depth = 1; depth <= band_levels; ++depth) {
+    double bid_qty = 0.0, ask_qty = 0.0;
+    double bid_notional = 0.0, ask_notional = 0.0;
+    for (int i = base; i < base + depth; ++i) {
+      if (i < nb) {
+        bid_qty += static_cast<double>(bids[i].qty);
+        bid_notional += static_cast<double>(bids[i].price) *
+                        static_cast<double>(bids[i].qty);
+      }
+      if (i < na) {
+        ask_qty += static_cast<double>(asks[i].qty);
+        ask_notional += static_cast<double>(asks[i].price) *
+                        static_cast<double>(asks[i].qty);
+      }
+    }
+    const double total = bid_qty + ask_qty;
+    out.levels = depth;
+    ++out.iterations;
+    if (total > 0.0) {
+      out.imbalance = (bid_qty - ask_qty) / total;
+      // Depth-weighted fair price: each side's VWAP weighted by the
+      // OPPOSITE side's quantity (the microprice generalized to a band).
+      const double bid_vwap = bid_qty > 0.0 ? bid_notional / bid_qty : 0.0;
+      const double ask_vwap = ask_qty > 0.0 ? ask_notional / ask_qty : 0.0;
+      if (bid_qty > 0.0 && ask_qty > 0.0) {
+        out.microprice = (bid_vwap * ask_qty + ask_vwap * bid_qty) / total;
+      } else {
+        out.microprice = bid_qty > 0.0 ? bid_vwap : ask_vwap;
+      }
+    }
+    slots_[static_cast<size_t>(part)]->publish(out);
+    if (token.should_stop()) break;
+  }
+}
+
+void OmsTask::dispatch_order(lob::Side side, PriceTicks price,
+                             const core::JobContext& ctx) {
+  if (transport_ != nullptr) {
+    shard::ShardMessage* msg = transport_->acquire();
+    if (msg != nullptr) {
+      msg->kind = shard::MessageKind::kNewOrder;
+      msg->symbol = symbol_;
+      msg->seq = ++msg_seq_;
+      msg->produced_ns = ctx.release;
+      msg->body.order.price_ticks = price;
+      msg->body.order.qty = config_.order_qty;
+      msg->body.order.ttl_ns = config_.order_ttl;
+      msg->body.order.side = static_cast<u32>(side);
+      msg->body.order.flags = 0;
+      if (transport_->post(shard_id_, msg)) {
+        ++stats_.orders_via_transport;
+      } else {
+        ++stats_.transport_drops;
+      }
+      return;
+    }
+    ++stats_.transport_drops;  // pool dry: fall through to direct submit
+  }
+  ++stats_.orders_submitted;
+  const auto outcome = oms_.submit(side, price, config_.order_qty,
+                                   ctx.release, config_.order_ttl,
+                                   /*tape=*/nullptr);
+  if (outcome.verdict != lob::RiskVerdict::kOk ||
+      outcome.state == lob::OrderState::kRejected) {
+    ++stats_.orders_rejected;
+  }
+}
+
+void OmsTask::post_exec_report(const core::JobContext& ctx, bool shed) {
+  if (transport_ == nullptr) return;
+  shard::ShardMessage* msg = transport_->acquire();
+  if (msg == nullptr) {
+    ++stats_.transport_drops;
+    return;
+  }
+  const auto& s = oms_.stats();
+  const long fills = static_cast<long>(s.taker_fills + s.maker_fills);
+  msg->kind = shard::MessageKind::kExecReport;
+  msg->symbol = symbol_;
+  msg->seq = ++msg_seq_;
+  msg->produced_ns = ctx.release;
+  msg->body.exec.job = ctx.job;
+  msg->body.exec.filled = fills - last_reported_fills_;
+  msg->body.exec.pnl_ticks = oms_.risk().total_pnl_ticks();
+  msg->body.exec.misses = static_cast<u32>(stats_.deadline_misses);
+  msg->body.exec.shed = shed ? 1 : 0;
+  last_reported_fills_ = fills;
+  if (transport_->post_result(shard_id_, msg)) {
+    ++stats_.exec_reports_posted;
+  } else {
+    ++stats_.transport_drops;
+  }
+}
+
+void OmsTask::on_windup(const core::JobContext& ctx) {
+  ++stats_.jobs;
+  if (common::monotonic_now() > ctx.deadline) ++stats_.deadline_misses;
+
+  // Fuse whatever the depth bands committed.  Bands nearer the touch
+  // carry more signal: weight 1/(k+1).
+  double signal = 0.0;
+  double weight = 0.0;
+  for (size_t k = 0; k < slots_.size(); ++k) {
+    DepthBandAnalytics a;
+    if (!slots_[k]->read(a)) continue;
+    ++stats_.bands_available;
+    stats_.band_iterations += a.iterations;
+    const double w = 1.0 / static_cast<double>(k + 1);
+    signal += w * a.imbalance;
+    weight += w;
+  }
+  if (weight > 0.0) signal /= weight;
+
+  // Drawdown breaker: degraded QoS shows up here as dollars.  Tripping
+  // flattens the client book and suspends trading for the cooldown.
+  bool shed = false;
+  if (config_.breaker_drawdown_dollars > 0.0 &&
+      pnl_dollars() < -config_.breaker_drawdown_dollars &&
+      ctx.job >= cooldown_until_job_) {
+    oms_.kill_all(lob::KillReason::kBreakerShed);
+    cooldown_until_job_ = ctx.job + config_.breaker_cooldown_jobs;
+    ++stats_.shed_events;
+  }
+  if (ctx.job < cooldown_until_job_) {
+    shed = true;
+    ++stats_.shed_jobs;
+    ++stats_.waits;
+    post_exec_report(ctx, shed);
+    return;
+  }
+
+  if (weight == 0.0 || std::abs(signal) < config_.entry_threshold) {
+    ++stats_.waits;
+    post_exec_report(ctx, shed);
+    return;
+  }
+
+  // Marketable limit at the opposite touch; without one, join our own
+  // side at its touch (or sit out when the book is empty).
+  const lob::Side side = signal > 0.0 ? lob::Side::kBid : lob::Side::kAsk;
+  PriceTicks price = 0;
+  if (side == lob::Side::kBid) {
+    price = top_.has_ask() ? top_.ask_price
+                           : (top_.has_bid() ? top_.bid_price : 0);
+  } else {
+    price = top_.has_bid() ? top_.bid_price
+                           : (top_.has_ask() ? top_.ask_price : 0);
+  }
+  if (price == 0) {
+    ++stats_.waits;
+    post_exec_report(ctx, shed);
+    return;
+  }
+  dispatch_order(side, price, ctx);
+  post_exec_report(ctx, shed);
+}
+
+double OmsTask::qos_completion_rate() const {
+  const long denom = stats_.jobs * config_.num_bands;
+  if (denom == 0) return 0.0;
+  return static_cast<double>(stats_.bands_available) /
+         static_cast<double>(denom);
+}
+
+}  // namespace rtseed::trading

@@ -1,0 +1,172 @@
+// OmsTask — the limit-order-book workload on the imprecise task model
+// (DESIGN.md §13).  Where TradingSystem trades a scalar price feed,
+// OmsTask runs a full order-management stack against a synthetic market:
+//
+//   mandatory part : drain kNewOrder messages from the shard transport
+//                    (orders the previous job's wind-up dispatched),
+//                    apply a burst of deterministic market flow to the
+//                    book, sweep TTL expiries, refresh the risk mark,
+//                    and publish top-of-book;
+//   optional parts : one per DEPTH BAND — band k refines analytics
+//                    (imbalance, microprice) over book levels
+//                    [k·band_levels, (k+1)·band_levels), deepening one
+//                    level per iteration until the optional deadline.
+//                    Level scratch is arena-bound (ctx.scratch);
+//                    results publish through the same double-buffered
+//                    atomic slots TradingSystem uses, so a part cut
+//                    mid-commit never exposes a torn result;
+//   wind-up part   : fuse committed bands into a signal, risk-check and
+//                    dispatch a client order — through the shard
+//                    transport when bound (the order-gateway hop: it
+//                    lands in the NEXT job's mandatory part), else
+//                    straight into the OMS — then post a kExecReport
+//                    and run the drawdown circuit breaker, which maps
+//                    degraded QoS to dollars: a breaker trip kills all
+//                    resting client orders (KillReason::kBreakerShed)
+//                    and withholds trading for a cooldown.
+//
+// Steady state allocates nothing (tests/hotpath audits a full job
+// round); everything is laid out at construction.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "core/task_config.hpp"
+#include "lob/flow.hpp"
+#include "lob/oms.hpp"
+#include "shard/transport.hpp"
+
+namespace rtseed::trading {
+
+using common::Nanos;
+using common::u32;
+using common::u64;
+
+/// What one depth-band optional part commits: anytime analytics over the
+/// band's price levels, refined one level per iteration.
+struct DepthBandAnalytics {
+  double imbalance = 0.0;   ///< (bid qty − ask qty) / (bid + ask) in band
+  double microprice = 0.0;  ///< depth-weighted fair price across the band
+  int levels = 0;           ///< refinement depth reached (≤ band_levels)
+  long iterations = 0;
+};
+
+struct OmsTaskConfig {
+  Nanos period = common::millis(1);
+  Nanos mandatory_wcet = common::micros(200);
+  Nanos windup_wcet = common::micros(200);
+  Nanos optional_time = common::micros(500);
+  /// Number of optional parts; band k covers levels
+  /// [k·band_levels, (k+1)·band_levels) away from the touch.
+  int num_bands = 4;
+  int band_levels = 8;
+  lob::OmsConfig oms;
+  lob::FlowConfig flow;
+  u64 flow_seed = 42;
+  /// Synthetic market events applied per mandatory part.
+  int events_per_job = 64;
+  lob::Qty order_qty = 4;
+  Nanos order_ttl = 0;  ///< client order TTL; 0 = good-till-cancel
+  /// |fused signal| below this = wait-and-see.
+  double entry_threshold = 0.15;
+  /// Drawdown circuit breaker: total P&L below −this many dollars kills
+  /// every resting client order and suspends trading.  0 disables.
+  double breaker_drawdown_dollars = 0.0;
+  long breaker_cooldown_jobs = 16;
+};
+
+class OmsTask {
+ public:
+  struct Stats {
+    long jobs = 0;
+    long deadline_misses = 0;
+    long orders_submitted = 0;  ///< reached OrderManager::submit
+    long orders_rejected = 0;   ///< risk or book said no
+    long waits = 0;
+    long shed_events = 0;       ///< breaker trips
+    long shed_jobs = 0;         ///< jobs trading was withheld
+    long bands_available = 0;   ///< committed band slots seen by wind-up
+    long band_iterations = 0;   ///< QoS proxy: refinement levels delivered
+    long market_events = 0;
+    u64 orders_via_transport = 0;
+    u64 exec_reports_posted = 0;
+    u64 transport_drops = 0;    ///< posts refused (ring full / pool dry)
+  };
+
+  explicit OmsTask(OmsTaskConfig config = {});
+
+  /// Routes wind-up order dispatch and exec reports through `transport`
+  /// as shard `shard_id` (symbol tags the messages).  Call before the
+  /// first job; pass nullptr to unbind.
+  void bind_transport(shard::ShardTransport* transport, int shard_id,
+                      u32 symbol);
+
+  /// Task configuration to admit into a core::Runtime; references this
+  /// OmsTask, which must outlive the runtime.
+  core::TaskConfig make_task_config(long num_jobs);
+
+  // The three parts, public so tests and benches can drive jobs inline
+  // without a runtime.
+  void on_mandatory(const core::JobContext& ctx);
+  void on_optional(const core::JobContext& ctx, int part,
+                   core::StopToken& token);
+  void on_windup(const core::JobContext& ctx);
+
+  lob::OrderManager& oms() { return oms_; }
+  const lob::OrderManager& oms() const { return oms_; }
+  const OmsTaskConfig& config() const { return config_; }
+  Stats stats() const { return stats_; }
+
+  /// Fraction of band analytics delivered: bands_available / (jobs ×
+  /// num_bands).  The QoS axis of the QoS-vs-P&L trade-off.
+  double qos_completion_rate() const;
+  double pnl_dollars() const { return oms_.risk().total_pnl_dollars(); }
+
+ private:
+  // Termination-safe publication slot (double buffer + atomic flip),
+  // same pattern as TradingSystem::Slot.
+  class Slot {
+   public:
+    void publish(const DepthBandAnalytics& a) {
+      const int current = active_.load(std::memory_order_relaxed);
+      const int next = current <= 0 ? 1 : 0;
+      buffers_[next] = a;
+      active_.store(next, std::memory_order_release);
+    }
+    void reset() { active_.store(-1, std::memory_order_release); }
+    bool read(DepthBandAnalytics& out) const {
+      const int current = active_.load(std::memory_order_acquire);
+      if (current < 0) return false;
+      out = buffers_[current];
+      return true;
+    }
+
+   private:
+    DepthBandAnalytics buffers_[2];
+    std::atomic<int> active_{-1};
+  };
+
+  void drain_transport(const core::JobContext& ctx);
+  void dispatch_order(lob::Side side, lob::PriceTicks price,
+                      const core::JobContext& ctx);
+  void post_exec_report(const core::JobContext& ctx, bool shed);
+
+  OmsTaskConfig config_;
+  lob::OrderManager oms_;
+  lob::FlowGenerator flow_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  Stats stats_;
+
+  shard::ShardTransport* transport_ = nullptr;
+  int shard_id_ = 0;
+  u32 symbol_ = 0;
+  u64 msg_seq_ = 0;
+
+  lob::BookTop top_;  ///< published by mandatory, read by wind-up
+  long cooldown_until_job_ = -1;
+  long last_reported_fills_ = 0;
+};
+
+}  // namespace rtseed::trading

@@ -1,0 +1,246 @@
+// Differential fuzz harness: one seeded flow stream driven through the
+// bitmap book AND the std::map reference oracle in lockstep, comparing
+// every externally observable output (tests/lob/test_fuzz_flow.cpp and
+// the standalone tests/lob/fuzz_flow runner both wrap this).
+//
+// Comparison points, from cheapest to most thorough:
+//   * every event: SubmitResult / AmendResult fields and the running
+//     trade-tape hash (trade_hash over seq/price/qty/side — OrderIds are
+//     implementation-private, seqs are the shared language);
+//   * every `check_every` events: full digest(), top-of-book, and open
+//     order counts;
+//   * every `audit_every` events: BitmapBook::check_invariants().
+// On divergence the harness stops and reports the seed + event index —
+// the two inputs a human (or CI artifact) needs to replay the failure.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lob/book.hpp"
+#include "lob/flow.hpp"
+#include "lob/reference_book.hpp"
+
+namespace rtseed::lob::testing {
+
+class TapeHasher final : public TradeSink {
+ public:
+  void on_trade(const Trade& t) override {
+    hash = trade_hash(hash, t);
+    ++trades;
+    volume += t.qty;
+  }
+  u64 hash = 0;
+  u64 trades = 0;
+  Qty volume = 0;
+};
+
+struct DifferentialConfig {
+  u64 seed = 0x5EED9;
+  u64 events = 1'000'000;
+  u64 check_every = 1024;   ///< digest + top + count comparison cadence
+  u64 audit_every = 16384;  ///< full structural audit cadence
+  BookConfig book;
+  FlowConfig flow;
+};
+
+struct DifferentialResult {
+  bool ok = true;
+  u64 events_run = 0;
+  u64 seed = 0;
+  std::string error;        ///< empty when ok
+  u64 final_digest = 0;
+  u64 tape_hash = 0;
+  u64 trades = 0;
+  BitmapBook::Stats book_stats;
+};
+
+class DifferentialHarness {
+ public:
+  explicit DifferentialHarness(const DifferentialConfig& config)
+      : config_(config),
+        book_(config.book),
+        ref_(config.book),
+        gen_(config.seed, config.book, config.flow) {}
+
+  /// Hook called before each event is applied (flight recording); may be
+  /// null.
+  using EventHook = void (*)(void* user, u64 index, const FlowEvent& ev);
+
+  DifferentialResult run(EventHook hook = nullptr, void* user = nullptr) {
+    DifferentialResult out;
+    out.seed = config_.seed;
+    for (u64 i = 0; i < config_.events; ++i) {
+      const FlowEvent ev = gen_.next();
+      if (hook != nullptr) hook(user, i, ev);
+      if (!step(i, ev, &out)) return out;
+      if ((i + 1) % config_.check_every == 0 && !deep_check(i, &out)) {
+        return out;
+      }
+      if ((i + 1) % config_.audit_every == 0 && !audit(i, &out)) {
+        return out;
+      }
+    }
+    if (!deep_check(config_.events - 1, &out)) return out;
+    if (!audit(config_.events - 1, &out)) return out;
+    out.events_run = config_.events;
+    out.final_digest = book_.digest();
+    out.tape_hash = book_tape_.hash;
+    out.trades = book_tape_.trades;
+    out.book_stats = book_.stats();
+    return out;
+  }
+
+ private:
+  bool fail(u64 index, DifferentialResult* out, const char* fmt, ...)
+      __attribute__((format(printf, 4, 5))) {
+    char msg[512];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(msg, sizeof(msg), fmt, args);
+    va_end(args);
+    char full[640];
+    std::snprintf(full, sizeof(full), "seed=%llu event=%llu: %s",
+                  static_cast<unsigned long long>(config_.seed),
+                  static_cast<unsigned long long>(index), msg);
+    out->ok = false;
+    out->error = full;
+    out->events_run = index + 1;
+    return false;
+  }
+
+  bool step(u64 i, const FlowEvent& ev, DifferentialResult* out) {
+    switch (ev.kind) {
+      case FlowKind::kAddLimit: {
+        const SubmitResult a =
+            book_.add_limit(ev.side, ev.price, ev.qty, &book_tape_);
+        const SubmitResult b =
+            ref_.add_limit(ev.side, ev.price, ev.qty, &ref_tape_);
+        if (a.accepted != b.accepted || a.seq != b.seq ||
+            a.filled != b.filled || a.remaining != b.remaining) {
+          return fail(i, out,
+                      "add diverged: bitmap{acc=%d seq=%llu f=%lld r=%lld} "
+                      "ref{acc=%d seq=%llu f=%lld r=%lld}",
+                      a.accepted, (unsigned long long)a.seq,
+                      (long long)a.filled, (long long)a.remaining, b.accepted,
+                      (unsigned long long)b.seq, (long long)b.filled,
+                      (long long)b.remaining);
+        }
+        if (a.id.valid() != b.id.valid()) {
+          return fail(i, out, "add rest disagreement (bitmap=%d ref=%d)",
+                      a.id.valid(), b.id.valid());
+        }
+        if (a.id.valid()) live_.emplace_back(a.id, b.id);
+        break;
+      }
+      case FlowKind::kMarket: {
+        const SubmitResult a = book_.add_market(ev.side, ev.qty, &book_tape_);
+        const SubmitResult b = ref_.add_market(ev.side, ev.qty, &ref_tape_);
+        if (a.seq != b.seq || a.filled != b.filled) {
+          return fail(i, out, "market diverged: bitmap f=%lld ref f=%lld",
+                      (long long)a.filled, (long long)b.filled);
+        }
+        break;
+      }
+      case FlowKind::kCancel: {
+        if (live_.empty()) break;
+        const auto [bid, rid] = take_victim(ev.pick);
+        const AmendResult a = book_.cancel(bid);
+        const AmendResult b = ref_.cancel(rid);
+        if (a != b) {
+          return fail(i, out, "cancel diverged: bitmap=%u ref=%u",
+                      static_cast<u32>(a), static_cast<u32>(b));
+        }
+        break;
+      }
+      case FlowKind::kReplace: {
+        if (live_.empty()) break;
+        const auto [bid, rid] = take_victim(ev.pick);
+        SubmitResult ra, rb;
+        const AmendResult a =
+            book_.replace(bid, ev.price, ev.qty, &book_tape_, &ra);
+        const AmendResult b =
+            ref_.replace(rid, ev.price, ev.qty, &ref_tape_, &rb);
+        if (a != b) {
+          return fail(i, out, "replace verdict diverged: bitmap=%u ref=%u",
+                      static_cast<u32>(a), static_cast<u32>(b));
+        }
+        if (a == AmendResult::kOk) {
+          if (ra.seq != rb.seq || ra.filled != rb.filled ||
+              ra.remaining != rb.remaining) {
+            return fail(
+                i, out,
+                "replace readd diverged: bitmap{seq=%llu f=%lld r=%lld} "
+                "ref{seq=%llu f=%lld r=%lld}",
+                (unsigned long long)ra.seq, (long long)ra.filled,
+                (long long)ra.remaining, (unsigned long long)rb.seq,
+                (long long)rb.filled, (long long)rb.remaining);
+          }
+          if (ra.id.valid() && ra.remaining > 0) {
+            live_.emplace_back(ra.id, rb.id);
+          }
+        } else if (a == AmendResult::kNoChange) {
+          // Still resting, untouched: put the pair back.
+          live_.emplace_back(bid, rid);
+        } else if (a == AmendResult::kRejected) {
+          live_.emplace_back(bid, rid);  // rejection leaves it resting
+        }
+        break;
+      }
+    }
+    if (book_tape_.hash != ref_tape_.hash) {
+      return fail(i, out,
+                  "trade tape diverged (bitmap %llu trades, ref %llu)",
+                  (unsigned long long)book_tape_.trades,
+                  (unsigned long long)ref_tape_.trades);
+    }
+    return true;
+  }
+
+  bool deep_check(u64 i, DifferentialResult* out) {
+    if (book_.digest() != ref_.digest()) {
+      return fail(i, out, "book digest diverged");
+    }
+    const BookTop a = book_.top();
+    const BookTop b = ref_.top();
+    if (a.bid_qty != b.bid_qty || a.ask_qty != b.ask_qty ||
+        (a.has_bid() && a.bid_price != b.bid_price) ||
+        (a.has_ask() && a.ask_price != b.ask_price)) {
+      return fail(i, out, "top-of-book diverged");
+    }
+    if (book_.open_orders() != ref_.open_orders()) {
+      return fail(i, out, "open order count diverged: bitmap=%zu ref=%zu",
+                  book_.open_orders(), ref_.open_orders());
+    }
+    return true;
+  }
+
+  bool audit(u64 i, DifferentialResult* out) {
+    char why[256];
+    if (!book_.check_invariants(why, sizeof(why))) {
+      return fail(i, out, "invariant violated: %s", why);
+    }
+    return true;
+  }
+
+  std::pair<OrderId, OrderId> take_victim(u64 pick) {
+    const size_t idx = static_cast<size_t>(pick % live_.size());
+    const auto victim = live_[idx];
+    live_[idx] = live_.back();
+    live_.pop_back();
+    return victim;
+  }
+
+  DifferentialConfig config_;
+  BitmapBook book_;
+  ReferenceBook ref_;
+  FlowGenerator gen_;
+  TapeHasher book_tape_;
+  TapeHasher ref_tape_;
+  std::vector<std::pair<OrderId, OrderId>> live_;
+};
+
+}  // namespace rtseed::lob::testing

@@ -1,0 +1,153 @@
+// Standalone differential fuzzer for CI-scale runs (the `lob-fuzz` job).
+//
+//   fuzz_flow [--seed=N] [--events=N] [--check-every=N] [--audit-every=N]
+//             [--flight-dump=DIR] [--cramped]
+//
+// Replays a seeded SplitMix64 flow stream through the bitmap book and
+// the std::map reference in lockstep (tests/lob/differential.hpp).  On
+// divergence it prints the seed + event index to stderr (the two values
+// that reproduce the failure anywhere, including under the gtest binary:
+// `rtseed_lob_tests --gtest_filter='FuzzFlow.*' --seed=N`), dumps the
+// flight-recorder ring of recent flow events when --flight-dump is set,
+// and exits 1.  Exit 0 = the full budget ran bit-identical.
+//
+// --cramped shrinks the book (64 levels, 32 orders, hot flow) so the
+// same event budget hammers matching, capacity, and level churn instead
+// of spreading orders across a wide quiet band.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "differential.hpp"
+#include "lob/book.hpp"
+#include "obs/flight_recorder.hpp"
+
+namespace {
+
+using rtseed::lob::FlowEvent;
+using rtseed::lob::u64;
+
+struct Options {
+  u64 seed = 0x5EED9;
+  u64 events = 1'000'000;
+  u64 check_every = 1024;
+  u64 audit_every = 16384;
+  const char* flight_dump = nullptr;
+  bool cramped = false;
+};
+
+bool parse_u64(const char* arg, const char* prefix, u64* out) {
+  const size_t n = std::strlen(prefix);
+  if (std::strncmp(arg, prefix, n) != 0) return false;
+  *out = std::strtoull(arg + n, nullptr, 0);
+  return true;
+}
+
+void usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s [--seed=N] [--events=N] [--check-every=N]\n"
+               "          [--audit-every=N] [--flight-dump=DIR] [--cramped]\n",
+               prog);
+}
+
+/// Per-event hook: mirror the flow stream into the flight ring so a
+/// divergence dump shows the exact event tail that led up to it.
+void record_event(void* user, u64 index, const FlowEvent& ev) {
+  auto* ring = static_cast<rtseed::obs::FlightRing*>(user);
+  rtseed::obs::TraceEvent te;
+  te.timestamp = index;
+  te.job = static_cast<rtseed::common::JobId>(ev.price);
+  te.arg = static_cast<rtseed::common::i32>(ev.kind);
+  te.kind = rtseed::obs::EventKind::kWorkloadMark;
+  ring->record(te);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (parse_u64(argv[i], "--seed=", &opt.seed)) continue;
+    if (parse_u64(argv[i], "--events=", &opt.events)) continue;
+    if (parse_u64(argv[i], "--check-every=", &opt.check_every)) continue;
+    if (parse_u64(argv[i], "--audit-every=", &opt.audit_every)) continue;
+    if (std::strncmp(argv[i], "--flight-dump=", 14) == 0) {
+      opt.flight_dump = argv[i] + 14;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--cramped") == 0) {
+      opt.cramped = true;
+      continue;
+    }
+    usage(argv[0]);
+    return 2;
+  }
+
+  rtseed::lob::testing::DifferentialConfig cfg;
+  cfg.seed = opt.seed;
+  cfg.events = opt.events;
+  cfg.check_every = opt.check_every;
+  cfg.audit_every = opt.audit_every;
+  if (opt.cramped) {
+    cfg.book.min_tick = 10;
+    cfg.book.num_levels = 64;
+    cfg.book.max_orders = 32;
+    cfg.flow.spread_levels = 12;
+    cfg.flow.aggressive_pct = 45;
+  }
+
+  // Optional flight recorder: a ring of the most recent flow events,
+  // dumped next to the failing seed so CI uploads both.
+  std::unique_ptr<rtseed::obs::FlightRecorder> recorder;
+  rtseed::obs::FlightRing* ring = nullptr;
+  if (opt.flight_dump != nullptr) {
+    rtseed::obs::FlightRecorderOptions fo;
+    fo.enabled = true;
+    fo.events_per_thread = 1024;
+    fo.dump_dir = opt.flight_dump;
+    fo.tag = "lob-fuzz";
+    recorder = std::make_unique<rtseed::obs::FlightRecorder>(fo, "event-index");
+    ring = recorder->register_thread("fuzz-flow");
+  }
+
+  std::printf("fuzz_flow: seed=%" PRIu64 " events=%" PRIu64
+              " check_every=%" PRIu64 " audit_every=%" PRIu64 "%s\n",
+              opt.seed, opt.events, opt.check_every, opt.audit_every,
+              opt.cramped ? " (cramped book)" : "");
+
+  rtseed::lob::testing::DifferentialHarness harness(cfg);
+  const auto result =
+      ring != nullptr ? harness.run(&record_event, ring) : harness.run();
+
+  if (!result.ok) {
+    std::fprintf(stderr, "fuzz_flow: DIVERGENCE: %s\n", result.error.c_str());
+    std::fprintf(stderr,
+                 "fuzz_flow: reproduce with --seed=%" PRIu64 " --events=%"
+                 PRIu64 "%s\n",
+                 result.seed, result.events_run, opt.cramped ? " --cramped" : "");
+    if (recorder != nullptr) {
+      const std::string path = recorder->trigger("lob-divergence");
+      if (!path.empty()) {
+        std::fprintf(stderr, "fuzz_flow: flight dump: %s\n", path.c_str());
+      }
+    }
+    return 1;
+  }
+
+  std::printf("fuzz_flow: OK: %" PRIu64 " events, %" PRIu64
+              " trades, digest=%016" PRIx64 ", tape=%016" PRIx64 "\n",
+              result.events_run, result.trades, result.final_digest,
+              result.tape_hash);
+  std::printf("fuzz_flow: book stats: accepted=%" PRIu64 " trades=%" PRIu64
+              " volume=%" PRIu64 " band_rejects=%" PRIu64
+              " capacity_rejects=%" PRIu64 " cancels=%" PRIu64
+              " repl_in_place=%" PRIu64 " repl_as_new=%" PRIu64 "\n",
+              result.book_stats.orders_accepted, result.book_stats.trades,
+              result.book_stats.volume, result.book_stats.band_rejects,
+              result.book_stats.capacity_rejects, result.book_stats.cancels,
+              result.book_stats.replaces_in_place,
+              result.book_stats.replaces_as_new);
+  return 0;
+}

@@ -1,0 +1,325 @@
+// Property tests for the bitmap order book: the invariants ISSUE/DESIGN
+// §13 names — uncrossed top (bid < ask), bitmap ↔ level-list
+// consistency, FIFO within level, conservation of open quantity — are
+// all folded into BitmapBook::check_invariants(); here we drive seeded
+// flow through a SMALL book and audit after EVERY event, so a violation
+// pinpoints the exact event that introduced it.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "lob/book.hpp"
+#include "lob/flow.hpp"
+
+namespace rtseed::lob {
+namespace {
+
+class TapeCounter final : public TradeSink {
+ public:
+  void on_trade(const Trade& t) override {
+    ++trades;
+    volume += t.qty;
+    last = t;
+  }
+  u64 trades = 0;
+  Qty volume = 0;
+  Trade last;
+};
+
+BookConfig small_book() {
+  BookConfig c;
+  c.min_tick = 100;
+  c.num_levels = 256;
+  c.max_orders = 128;
+  return c;
+}
+
+#define ASSERT_INVARIANTS(book)                        \
+  do {                                                 \
+    char why[256];                                     \
+    ASSERT_TRUE((book).check_invariants(why, sizeof(why))) << why; \
+  } while (0)
+
+TEST(BookProperties, EmptyBookIsSane) {
+  BitmapBook book(small_book());
+  ASSERT_INVARIANTS(book);
+  EXPECT_EQ(book.open_orders(), 0u);
+  EXPECT_FALSE(book.top().has_bid());
+  EXPECT_FALSE(book.top().has_ask());
+}
+
+TEST(BookProperties, RestingOrderAppearsAtItsLevel) {
+  BitmapBook book(small_book());
+  const SubmitResult r = book.add_limit(Side::kBid, 150, 10, nullptr);
+  ASSERT_TRUE(r.accepted);
+  EXPECT_TRUE(r.id.valid());
+  EXPECT_EQ(r.filled, 0);
+  EXPECT_EQ(r.remaining, 10);
+  EXPECT_EQ(book.top().bid_price, 150);
+  EXPECT_EQ(book.top().bid_qty, 10);
+  EXPECT_EQ(book.open_qty(r.id), 10);
+  EXPECT_EQ(book.order_price(r.id), 150);
+  ASSERT_INVARIANTS(book);
+}
+
+TEST(BookProperties, OutOfBandPriceIsRejectedWithoutSideEffects) {
+  BitmapBook book(small_book());
+  EXPECT_FALSE(book.add_limit(Side::kBid, 99, 5, nullptr).accepted);
+  EXPECT_FALSE(book.add_limit(Side::kAsk, 100 + 256, 5, nullptr).accepted);
+  EXPECT_FALSE(book.add_limit(Side::kBid, 150, 0, nullptr).accepted);
+  EXPECT_EQ(book.open_orders(), 0u);
+  EXPECT_EQ(book.stats().band_rejects, 3u);
+  ASSERT_INVARIANTS(book);
+}
+
+TEST(BookProperties, CrossingLimitMatchesAtMakerPrice) {
+  BitmapBook book(small_book());
+  TapeCounter tape;
+  book.add_limit(Side::kAsk, 150, 10, &tape);
+  // Aggressive buy at 160 prints at the RESTING price, 150.
+  const SubmitResult r = book.add_limit(Side::kBid, 160, 4, &tape);
+  EXPECT_EQ(r.filled, 4);
+  EXPECT_EQ(r.remaining, 0);
+  EXPECT_EQ(tape.trades, 1u);
+  EXPECT_EQ(tape.last.price, 150);
+  EXPECT_EQ(tape.last.qty, 4);
+  EXPECT_EQ(tape.last.taker_side, Side::kBid);
+  EXPECT_EQ(book.top().ask_qty, 6);
+  ASSERT_INVARIANTS(book);
+}
+
+TEST(BookProperties, FifoWithinLevel) {
+  BitmapBook book(small_book());
+  TapeCounter tape;
+  const SubmitResult a = book.add_limit(Side::kAsk, 150, 5, &tape);
+  const SubmitResult b = book.add_limit(Side::kAsk, 150, 5, &tape);
+  ASSERT_LT(a.seq, b.seq);
+  // Take 7: all of a (first in) then 2 of b.
+  book.add_market(Side::kBid, 7, &tape);
+  EXPECT_FALSE(book.is_open(a.id));
+  EXPECT_EQ(book.open_qty(b.id), 3);
+  ASSERT_INVARIANTS(book);
+}
+
+TEST(BookProperties, MarketOrderIsIoc) {
+  BitmapBook book(small_book());
+  TapeCounter tape;
+  book.add_limit(Side::kAsk, 150, 3, &tape);
+  const SubmitResult r = book.add_market(Side::kBid, 10, &tape);
+  EXPECT_EQ(r.filled, 3);
+  EXPECT_EQ(r.remaining, 0);     // remainder discarded, not rested
+  EXPECT_FALSE(r.id.valid());    // markets never occupy a slot
+  EXPECT_FALSE(book.top().has_bid());
+  ASSERT_INVARIANTS(book);
+}
+
+TEST(BookProperties, CancelRemovesAndStalesTheHandle) {
+  BitmapBook book(small_book());
+  const SubmitResult r = book.add_limit(Side::kBid, 150, 10, nullptr);
+  EXPECT_EQ(book.cancel(r.id), AmendResult::kOk);
+  EXPECT_FALSE(book.is_open(r.id));
+  EXPECT_EQ(book.cancel(r.id), AmendResult::kUnknownOrder);
+  EXPECT_EQ(book.open_orders(), 0u);
+  ASSERT_INVARIANTS(book);
+}
+
+TEST(BookProperties, SlotRecyclingBumpsGeneration) {
+  BitmapBook book(small_book());
+  const SubmitResult a = book.add_limit(Side::kBid, 150, 10, nullptr);
+  book.cancel(a.id);
+  const SubmitResult b = book.add_limit(Side::kBid, 151, 10, nullptr);
+  // Same table likely reuses the slot; the stale handle must not resolve.
+  EXPECT_FALSE(book.is_open(a.id));
+  EXPECT_TRUE(book.is_open(b.id));
+  EXPECT_NE(a.id.value, b.id.value);
+  ASSERT_INVARIANTS(book);
+}
+
+TEST(BookProperties, ReplaceQtyDecreaseKeepsPriority) {
+  BitmapBook book(small_book());
+  const SubmitResult a = book.add_limit(Side::kAsk, 150, 10, nullptr);
+  const SubmitResult b = book.add_limit(Side::kAsk, 150, 10, nullptr);
+  SubmitResult readd;
+  ASSERT_EQ(book.replace(a.id, 150, 4, nullptr, &readd), AmendResult::kOk);
+  EXPECT_EQ(readd.id.value, a.id.value);  // same handle
+  EXPECT_EQ(readd.seq, a.seq);            // same arrival: priority kept
+  EXPECT_EQ(book.open_qty(a.id), 4);
+  // a still fills before b.
+  TapeCounter tape;
+  book.add_market(Side::kBid, 4, &tape);
+  EXPECT_FALSE(book.is_open(a.id));
+  EXPECT_TRUE(book.is_open(b.id));
+  EXPECT_EQ(book.stats().replaces_in_place, 1u);
+  ASSERT_INVARIANTS(book);
+}
+
+TEST(BookProperties, ReplacePriceChangeLosesPriority) {
+  BitmapBook book(small_book());
+  const SubmitResult a = book.add_limit(Side::kAsk, 150, 10, nullptr);
+  const SubmitResult b = book.add_limit(Side::kAsk, 151, 10, nullptr);
+  SubmitResult readd;
+  // Move b to a's level: it re-enters as a NEW arrival behind a.
+  ASSERT_EQ(book.replace(b.id, 150, 10, nullptr, &readd), AmendResult::kOk);
+  EXPECT_GT(readd.seq, a.seq);
+  EXPECT_NE(readd.id.value, b.id.value);
+  EXPECT_FALSE(book.is_open(b.id));
+  EXPECT_EQ(book.stats().replaces_as_new, 1u);
+  ASSERT_INVARIANTS(book);
+}
+
+TEST(BookProperties, ReplaceQtyIncreaseAlsoRequeues) {
+  BitmapBook book(small_book());
+  const SubmitResult a = book.add_limit(Side::kBid, 150, 5, nullptr);
+  SubmitResult readd;
+  ASSERT_EQ(book.replace(a.id, 150, 9, nullptr, &readd), AmendResult::kOk);
+  EXPECT_NE(readd.id.value, a.id.value);
+  EXPECT_EQ(book.open_qty(readd.id), 9);
+  EXPECT_EQ(book.stats().replaces_as_new, 1u);
+  ASSERT_INVARIANTS(book);
+}
+
+TEST(BookProperties, ReplaceNoChangeAndBadParamsAreRejected) {
+  BitmapBook book(small_book());
+  const SubmitResult a = book.add_limit(Side::kBid, 150, 5, nullptr);
+  SubmitResult readd;
+  EXPECT_EQ(book.replace(a.id, 150, 5, nullptr, &readd),
+            AmendResult::kNoChange);
+  EXPECT_EQ(book.replace(a.id, 99, 5, nullptr, &readd),
+            AmendResult::kRejected);
+  EXPECT_EQ(book.replace(a.id, 150, 0, nullptr, &readd),
+            AmendResult::kRejected);
+  EXPECT_TRUE(book.is_open(a.id));  // untouched by rejections
+  ASSERT_INVARIANTS(book);
+}
+
+TEST(BookProperties, ReplaceAcrossTheSpreadMatches) {
+  BitmapBook book(small_book());
+  TapeCounter tape;
+  book.add_limit(Side::kAsk, 150, 6, &tape);
+  const SubmitResult b = book.add_limit(Side::kBid, 140, 10, &tape);
+  SubmitResult readd;
+  // Re-price the bid through the ask: it must trade on re-entry.
+  ASSERT_EQ(book.replace(b.id, 155, 10, &tape, &readd), AmendResult::kOk);
+  EXPECT_EQ(readd.filled, 6);
+  EXPECT_EQ(readd.remaining, 4);
+  EXPECT_EQ(tape.last.price, 150);  // maker's price
+  ASSERT_INVARIANTS(book);
+}
+
+TEST(BookProperties, CapacityRejectsCountAndDropRemainder) {
+  BookConfig cfg = small_book();
+  cfg.max_orders = 4;
+  BitmapBook book(cfg);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(book.add_limit(Side::kBid, 150 - i, 1, nullptr).accepted);
+  }
+  const SubmitResult r = book.add_limit(Side::kBid, 140, 1, nullptr);
+  EXPECT_TRUE(r.accepted);       // the ARRIVAL was legal...
+  EXPECT_FALSE(r.id.valid());    // ...but nothing could rest
+  EXPECT_EQ(r.remaining, 0);
+  EXPECT_EQ(book.stats().capacity_rejects, 1u);
+  EXPECT_EQ(book.open_orders(), 4u);
+  ASSERT_INVARIANTS(book);
+}
+
+TEST(BookProperties, ConservationOfQuantity) {
+  BitmapBook book(small_book());
+  TapeCounter tape;
+  Qty submitted = 0;
+  common::Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const Side side = (rng() & 1) != 0 ? Side::kBid : Side::kAsk;
+    const PriceTicks px = 100 + static_cast<PriceTicks>(rng() % 256);
+    const Qty qty = 1 + static_cast<Qty>(rng() % 20);
+    const SubmitResult r = book.add_limit(side, px, qty, &tape);
+    if (r.accepted) submitted += qty;
+  }
+  // Every submitted lot is either traded, resting, or was dropped at
+  // capacity; with a roomy table: traded + resting == submitted.
+  const Qty resting = book.side_qty(Side::kBid) + book.side_qty(Side::kAsk);
+  EXPECT_EQ(submitted, 2 * tape.volume + resting)
+      << "each trade consumes one maker and one taker lot";
+  ASSERT_INVARIANTS(book);
+}
+
+TEST(BookProperties, DigestDetectsAnyStateDifference) {
+  BitmapBook a(small_book());
+  BitmapBook b(small_book());
+  a.add_limit(Side::kBid, 150, 10, nullptr);
+  b.add_limit(Side::kBid, 150, 10, nullptr);
+  EXPECT_EQ(a.digest(), b.digest());
+  b.add_limit(Side::kBid, 150, 1, nullptr);
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(BookProperties, CollectLevelsWalksBestFirst) {
+  BitmapBook book(small_book());
+  book.add_limit(Side::kBid, 150, 1, nullptr);
+  book.add_limit(Side::kBid, 148, 2, nullptr);
+  book.add_limit(Side::kBid, 152, 3, nullptr);
+  LevelView out[4];
+  const int n = book.collect_levels(Side::kBid, out, 4);
+  ASSERT_EQ(n, 3);
+  EXPECT_EQ(out[0].price, 152);
+  EXPECT_EQ(out[1].price, 150);
+  EXPECT_EQ(out[2].price, 148);
+  EXPECT_EQ(out[2].qty, 2);
+}
+
+// The workhorse: seeded flow, invariants audited after EVERY event so a
+// failure names the first offending event.
+TEST(BookProperties, InvariantsHoldUnderSeededFlow) {
+  BookConfig cfg = small_book();
+  BitmapBook book(cfg);
+  TapeCounter tape;
+  FlowConfig fc;
+  fc.spread_levels = 16;
+  FlowGenerator gen(0xF00D, cfg, fc);
+  std::vector<OrderId> live;
+
+  char why[256];
+  for (int i = 0; i < 20000; ++i) {
+    const FlowEvent ev = gen.next();
+    switch (ev.kind) {
+      case FlowKind::kAddLimit: {
+        const SubmitResult r =
+            book.add_limit(ev.side, ev.price, ev.qty, &tape);
+        if (r.id.valid()) live.push_back(r.id);
+        break;
+      }
+      case FlowKind::kMarket:
+        book.add_market(ev.side, ev.qty, &tape);
+        break;
+      case FlowKind::kCancel:
+      case FlowKind::kReplace: {
+        if (live.empty()) break;
+        const size_t idx = static_cast<size_t>(ev.pick % live.size());
+        const OrderId victim = live[idx];
+        live[idx] = live.back();
+        live.pop_back();
+        if (ev.kind == FlowKind::kCancel) {
+          book.cancel(victim);
+        } else {
+          SubmitResult readd;
+          book.replace(victim, ev.price, ev.qty, &tape, &readd);
+          if (readd.id.valid() && readd.remaining > 0) {
+            live.push_back(readd.id);
+          }
+        }
+        break;
+      }
+    }
+    ASSERT_TRUE(book.check_invariants(why, sizeof(why)))
+        << "event " << i << ": " << why;
+    const BookTop top = book.top();
+    if (top.has_bid() && top.has_ask()) {
+      ASSERT_LT(top.bid_price, top.ask_price) << "crossed book at event " << i;
+    }
+  }
+  EXPECT_GT(tape.trades, 0u);
+  EXPECT_GT(book.stats().cancels, 0u);
+}
+
+}  // namespace
+}  // namespace rtseed::lob

@@ -1,0 +1,241 @@
+// OrderManager plumbing the lifecycle tests don't reach: maker-fill
+// cookie routing from the trade tape, taker attribution, pending-
+// exposure accounting, stale-handle safety across slot recycling, book
+// capacity truncation, and P&L flowing through the risk engine.
+
+#include <gtest/gtest.h>
+
+#include "lob/oms.hpp"
+
+namespace rtseed::lob {
+namespace {
+
+OmsConfig small_oms() {
+  OmsConfig cfg;
+  cfg.book.min_tick = 100;
+  cfg.book.num_levels = 256;
+  cfg.book.max_orders = 64;
+  cfg.max_client_orders = 16;
+  cfg.ttl_capacity = 64;
+  return cfg;
+}
+
+FlowEvent flow_add(Side side, PriceTicks price, Qty qty) {
+  FlowEvent ev;
+  ev.kind = FlowKind::kAddLimit;
+  ev.side = side;
+  ev.price = price;
+  ev.qty = qty;
+  return ev;
+}
+
+FlowEvent flow_market(Side side, Qty qty) {
+  FlowEvent ev;
+  ev.kind = FlowKind::kMarket;
+  ev.side = side;
+  ev.qty = qty;
+  return ev;
+}
+
+TEST(Oms, MakerFillRoutesThroughCookie) {
+  OrderManager oms(small_oms());
+  const SubmitOutcome out =
+      oms.submit(Side::kBid, 150, 10, /*now=*/0, /*ttl=*/0, nullptr);
+  ASSERT_EQ(out.state, OrderState::kLive);
+  EXPECT_EQ(oms.pending_buy_qty(), 10);
+
+  // Anonymous flow sells into the resting client bid: the print carries
+  // the client's cookie and must land on its record.
+  oms.apply_flow(flow_add(Side::kAsk, 150, 4), nullptr);
+  const ClientOrder* order = oms.lookup(out.id);
+  ASSERT_NE(order, nullptr);
+  EXPECT_EQ(order->state, OrderState::kLive);
+  EXPECT_EQ(order->filled, 4);
+  EXPECT_EQ(order->resting, 6);
+  EXPECT_EQ(oms.pending_buy_qty(), 6);
+  EXPECT_EQ(oms.stats().maker_fills, 1u);
+  EXPECT_EQ(oms.stats().taker_fills, 0u) << "client was maker, not taker";
+  EXPECT_EQ(oms.risk().position(), 4);
+
+  // Finish it off: full fill terminates and releases the record.
+  oms.apply_flow(flow_market(Side::kAsk, 6), nullptr);
+  EXPECT_EQ(oms.lookup(out.id), nullptr);
+  EXPECT_EQ(oms.pending_buy_qty(), 0);
+  EXPECT_EQ(oms.open_client_orders(), 0u);
+  EXPECT_EQ(oms.risk().position(), 10);
+  EXPECT_EQ(oms.stats().terminal[static_cast<int>(OrderState::kFilled)], 1u);
+}
+
+TEST(Oms, TakerFillAttributesToRisk) {
+  OrderManager oms(small_oms());
+  oms.apply_flow(flow_add(Side::kAsk, 150, 8), nullptr);
+  EXPECT_EQ(oms.risk().position(), 0) << "anonymous flow carries no risk";
+
+  const SubmitOutcome out =
+      oms.submit(Side::kBid, 150, 8, 0, 0, nullptr);
+  EXPECT_EQ(out.state, OrderState::kFilled);
+  EXPECT_EQ(out.filled, 8);
+  EXPECT_EQ(oms.stats().taker_fills, 1u);
+  EXPECT_EQ(oms.stats().maker_fills, 0u);
+  EXPECT_EQ(oms.risk().position(), 8);
+  EXPECT_EQ(oms.risk().mark(), 150) << "last trade marks the book";
+  EXPECT_EQ(oms.lookup(out.id), nullptr) << "synchronous fill releases";
+}
+
+TEST(Oms, ClientCrossingClientNetsFlat) {
+  // Both sides of the print belong to the firm: taker and maker legs
+  // both hit risk and the position nets to zero.
+  OrderManager oms(small_oms());
+  const SubmitOutcome maker =
+      oms.submit(Side::kAsk, 150, 5, 0, 0, nullptr);
+  ASSERT_EQ(maker.state, OrderState::kLive);
+  const SubmitOutcome taker =
+      oms.submit(Side::kBid, 150, 5, 0, 0, nullptr);
+  EXPECT_EQ(taker.state, OrderState::kFilled);
+  EXPECT_EQ(oms.stats().taker_fills, 1u);
+  EXPECT_EQ(oms.stats().maker_fills, 1u);
+  EXPECT_EQ(oms.risk().position(), 0);
+  EXPECT_EQ(oms.open_client_orders(), 0u);
+}
+
+TEST(Oms, PendingExposureTracksRestingQty) {
+  OrderManager oms(small_oms());
+  const SubmitOutcome a = oms.submit(Side::kBid, 140, 10, 0, 0, nullptr);
+  const SubmitOutcome b = oms.submit(Side::kBid, 141, 5, 0, 0, nullptr);
+  const SubmitOutcome c = oms.submit(Side::kAsk, 160, 7, 0, 0, nullptr);
+  EXPECT_EQ(oms.pending_buy_qty(), 15);
+  EXPECT_EQ(oms.pending_sell_qty(), 7);
+
+  EXPECT_TRUE(oms.request_cancel(a.id));
+  EXPECT_EQ(oms.pending_buy_qty(), 5);
+
+  // Replace adjusts exposure to the new resting qty.
+  EXPECT_TRUE(oms.request_replace(b.id, 141, 9, nullptr));
+  EXPECT_EQ(oms.pending_buy_qty(), 9);
+
+  EXPECT_TRUE(oms.request_cancel(b.id));
+  EXPECT_TRUE(oms.request_cancel(c.id));
+  EXPECT_EQ(oms.pending_buy_qty(), 0);
+  EXPECT_EQ(oms.pending_sell_qty(), 0);
+}
+
+TEST(Oms, PendingExposureGatesNewOrders) {
+  OmsConfig cfg = small_oms();
+  cfg.risk.max_position = 20;
+  OrderManager oms(cfg);
+  ASSERT_EQ(oms.submit(Side::kBid, 140, 15, 0, 0, nullptr).state,
+            OrderState::kLive);
+  // 15 resting + 6 new = 21 > 20: vetoed even though position is flat.
+  const SubmitOutcome blocked = oms.submit(Side::kBid, 141, 6, 0, 0, nullptr);
+  EXPECT_EQ(blocked.state, OrderState::kRejected);
+  EXPECT_EQ(blocked.verdict, RiskVerdict::kPositionLimit);
+  EXPECT_EQ(oms.stats().risk_rejects, 1u);
+  // 15 + 5 = 20 is exactly at the cap.
+  EXPECT_EQ(oms.submit(Side::kBid, 141, 5, 0, 0, nullptr).state,
+            OrderState::kLive);
+}
+
+TEST(Oms, StaleHandlesAreInertAfterSlotRecycling) {
+  OmsConfig cfg = small_oms();
+  cfg.max_client_orders = 1;  // force immediate slot reuse
+  OrderManager oms(cfg);
+  const SubmitOutcome first = oms.submit(Side::kBid, 140, 3, 0, 0, nullptr);
+  ASSERT_EQ(first.state, OrderState::kLive);
+  ASSERT_TRUE(oms.request_cancel(first.id));
+
+  const SubmitOutcome second = oms.submit(Side::kBid, 141, 3, 0, 0, nullptr);
+  ASSERT_EQ(second.state, OrderState::kLive);
+  EXPECT_EQ(first.id.slot(), second.id.slot()) << "slot must be recycled";
+  EXPECT_NE(first.id.generation(), second.id.generation());
+
+  // Every entry point rejects the stale handle; the live order survives.
+  EXPECT_EQ(oms.lookup(first.id), nullptr);
+  EXPECT_FALSE(oms.request_cancel(first.id));
+  EXPECT_FALSE(oms.request_replace(first.id, 142, 5, nullptr));
+  EXPECT_FALSE(oms.kill(first.id, KillReason::kSupervisor));
+  ASSERT_NE(oms.lookup(second.id), nullptr);
+  EXPECT_EQ(oms.lookup(second.id)->state, OrderState::kLive);
+}
+
+TEST(Oms, RecordTableFullRejectsWithoutLifecycle) {
+  OmsConfig cfg = small_oms();
+  cfg.max_client_orders = 2;
+  OrderManager oms(cfg);
+  ASSERT_TRUE(oms.submit(Side::kBid, 140, 1, 0, 0, nullptr).id.valid());
+  ASSERT_TRUE(oms.submit(Side::kBid, 141, 1, 0, 0, nullptr).id.valid());
+  const SubmitOutcome full = oms.submit(Side::kBid, 142, 1, 0, 0, nullptr);
+  EXPECT_FALSE(full.id.valid());
+  EXPECT_EQ(full.state, OrderState::kRejected);
+  EXPECT_EQ(full.verdict, RiskVerdict::kTooManyOpen);
+  EXPECT_EQ(oms.stats().risk_rejects, 1u);
+  // No record was consumed: terminal counters untouched.
+  EXPECT_EQ(oms.stats().terminal[static_cast<int>(OrderState::kRejected)], 0u);
+}
+
+TEST(Oms, BookCapacityTruncationForcesCancel) {
+  OmsConfig cfg = small_oms();
+  cfg.book.max_orders = 4;
+  OrderManager oms(cfg);
+  // Exhaust the order table with anonymous resting flow the client order
+  // will NOT cross, so its remainder has nowhere to rest.
+  for (int i = 0; i < 4; ++i) {
+    oms.apply_flow(flow_add(Side::kAsk, 150 + i, 2), nullptr);
+  }
+  ASSERT_EQ(oms.book().open_orders(), 4u);
+  const SubmitOutcome out = oms.submit(Side::kBid, 130, 5, 0, 0, nullptr);
+  EXPECT_EQ(out.state, OrderState::kCanceled);
+  EXPECT_EQ(out.filled, 0);
+  EXPECT_EQ(out.resting, 0);
+  EXPECT_EQ(oms.stats().capacity_truncated, 1u);
+  EXPECT_EQ(oms.stats().terminal[static_cast<int>(OrderState::kCanceled)], 1u);
+  EXPECT_EQ(oms.pending_buy_qty(), 0) << "truncated order left no exposure";
+  EXPECT_EQ(oms.open_client_orders(), 0u);
+}
+
+TEST(Oms, RoundTripPnlThroughTheBook) {
+  OmsConfig cfg = small_oms();
+  cfg.risk.tick_value = 2.0;
+  OrderManager oms(cfg);
+  // Buy 10 @ 150 as taker against anonymous flow.
+  oms.apply_flow(flow_add(Side::kAsk, 150, 10), nullptr);
+  ASSERT_EQ(oms.submit(Side::kBid, 150, 10, 0, 0, nullptr).state,
+            OrderState::kFilled);
+  // Sell 10 @ 156 as maker: anonymous buyer lifts the client offer.
+  const SubmitOutcome offer = oms.submit(Side::kAsk, 156, 10, 0, 0, nullptr);
+  ASSERT_EQ(offer.state, OrderState::kLive);
+  oms.apply_flow(flow_market(Side::kBid, 10), nullptr);
+  EXPECT_EQ(oms.risk().position(), 0);
+  EXPECT_EQ(oms.risk().realized_ticks(), 60);  // 10 lots × 6 ticks
+  EXPECT_DOUBLE_EQ(oms.risk().realized_dollars(), 120.0);
+  EXPECT_EQ(oms.stats().taker_fills, 1u);
+  EXPECT_EQ(oms.stats().maker_fills, 1u);
+}
+
+TEST(Oms, ReplaceRiskRejectLeavesExposureUntouched) {
+  OmsConfig cfg = small_oms();
+  cfg.risk.max_order_qty = 10;
+  OrderManager oms(cfg);
+  const SubmitOutcome out = oms.submit(Side::kBid, 140, 8, 0, 0, nullptr);
+  ASSERT_EQ(out.state, OrderState::kLive);
+  // Amendment to 11 lots violates max_order_qty: rejected, order intact.
+  EXPECT_TRUE(oms.request_replace(out.id, 140, 11, nullptr));
+  EXPECT_EQ(oms.stats().replace_rejects, 1u);
+  const ClientOrder* order = oms.lookup(out.id);
+  ASSERT_NE(order, nullptr);
+  EXPECT_EQ(order->state, OrderState::kLive);
+  EXPECT_EQ(order->resting, 8);
+  EXPECT_EQ(oms.pending_buy_qty(), 8);
+}
+
+TEST(Oms, AnonymousFlowPrintsStillMoveTheMark) {
+  OrderManager oms(small_oms());
+  EXPECT_FALSE(oms.risk().has_mark());
+  oms.apply_flow(flow_add(Side::kAsk, 170, 2), nullptr);
+  oms.apply_flow(flow_market(Side::kBid, 2), nullptr);
+  EXPECT_TRUE(oms.risk().has_mark());
+  EXPECT_EQ(oms.risk().mark(), 170);
+  EXPECT_EQ(oms.risk().position(), 0);
+}
+
+}  // namespace
+}  // namespace rtseed::lob

@@ -1,0 +1,293 @@
+// Exhaustive order-lifecycle coverage (ISSUE 9 satellite): every
+// (state, event) pair is enumerated against a table of the transitions
+// the DESIGN §13 diagram declares legal; everything else must be
+// rejected, leave the state untouched, and be counted.  The second half
+// drives real OrderManager scenarios — TTL expiry, supervisor kill,
+// breaker shed, fills, rejects — through an OmsListener that proves
+// each order lands in a terminal state EXACTLY once.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "lob/oms.hpp"
+#include "lob/order_state.hpp"
+
+namespace rtseed::lob {
+namespace {
+
+struct LegalTransition {
+  OrderState from;
+  OrderEvent event;
+  OrderState to;
+};
+
+// The authoritative table, transcribed from the state diagram — NOT from
+// the implementation, so a bug in next_order_state cannot hide.
+const LegalTransition kLegal[] = {
+    {OrderState::kPendingNew, OrderEvent::kAccept, OrderState::kLive},
+    {OrderState::kPendingNew, OrderEvent::kReject, OrderState::kRejected},
+    {OrderState::kPendingNew, OrderEvent::kKill, OrderState::kCanceled},
+
+    {OrderState::kLive, OrderEvent::kPartialFill, OrderState::kLive},
+    {OrderState::kLive, OrderEvent::kFill, OrderState::kFilled},
+    {OrderState::kLive, OrderEvent::kCancelRequest,
+     OrderState::kPendingCancel},
+    {OrderState::kLive, OrderEvent::kReplaceRequest,
+     OrderState::kPendingReplace},
+    {OrderState::kLive, OrderEvent::kExpire, OrderState::kExpired},
+    {OrderState::kLive, OrderEvent::kKill, OrderState::kCanceled},
+
+    {OrderState::kPendingCancel, OrderEvent::kPartialFill,
+     OrderState::kPendingCancel},
+    {OrderState::kPendingCancel, OrderEvent::kFill, OrderState::kFilled},
+    {OrderState::kPendingCancel, OrderEvent::kCancelAck,
+     OrderState::kCanceled},
+    {OrderState::kPendingCancel, OrderEvent::kKill, OrderState::kCanceled},
+
+    {OrderState::kPendingReplace, OrderEvent::kPartialFill,
+     OrderState::kPendingReplace},
+    {OrderState::kPendingReplace, OrderEvent::kFill, OrderState::kFilled},
+    {OrderState::kPendingReplace, OrderEvent::kReplaceAck, OrderState::kLive},
+    {OrderState::kPendingReplace, OrderEvent::kReplaceReject,
+     OrderState::kLive},
+    {OrderState::kPendingReplace, OrderEvent::kKill, OrderState::kCanceled},
+};
+
+const LegalTransition* find_legal(OrderState from, OrderEvent event) {
+  for (const auto& t : kLegal) {
+    if (t.from == from && t.event == event) return &t;
+  }
+  return nullptr;
+}
+
+TEST(OrderLifecycle, EveryStateEventPairBehavesPerTable) {
+  for (int s = 0; s < kNumOrderStates; ++s) {
+    for (int e = 0; e < kNumOrderEvents; ++e) {
+      const auto from = static_cast<OrderState>(s);
+      const auto event = static_cast<OrderEvent>(e);
+      bool legal = false;
+      const OrderState next = next_order_state(from, event, &legal);
+      const LegalTransition* expected = find_legal(from, event);
+      if (expected != nullptr) {
+        EXPECT_TRUE(legal) << order_state_name(from) << " + "
+                           << order_event_name(event);
+        EXPECT_EQ(next, expected->to)
+            << order_state_name(from) << " + " << order_event_name(event);
+      } else {
+        EXPECT_FALSE(legal) << order_state_name(from) << " + "
+                            << order_event_name(event)
+                            << " should be illegal";
+        EXPECT_EQ(next, from) << "illegal transition must not move the state";
+      }
+    }
+  }
+}
+
+TEST(OrderLifecycle, TerminalStatesAcceptNothing) {
+  for (const OrderState terminal :
+       {OrderState::kFilled, OrderState::kCanceled, OrderState::kExpired,
+        OrderState::kRejected}) {
+    ASSERT_TRUE(is_terminal(terminal));
+    for (int e = 0; e < kNumOrderEvents; ++e) {
+      bool legal = true;
+      next_order_state(terminal, static_cast<OrderEvent>(e), &legal);
+      EXPECT_FALSE(legal) << order_state_name(terminal) << " accepted "
+                          << order_event_name(static_cast<OrderEvent>(e));
+    }
+  }
+}
+
+TEST(OrderLifecycle, MachineCountsIllegalAndRefusesToMove) {
+  OrderStateMachine machine;
+  OrderState state = OrderState::kPendingNew;
+  EXPECT_FALSE(machine.apply(state, OrderEvent::kFill));
+  EXPECT_EQ(state, OrderState::kPendingNew);
+  EXPECT_EQ(machine.illegal_transitions(), 1u);
+  EXPECT_TRUE(machine.apply(state, OrderEvent::kAccept));
+  EXPECT_EQ(state, OrderState::kLive);
+  EXPECT_FALSE(machine.apply(state, OrderEvent::kCancelAck));
+  EXPECT_EQ(machine.illegal_transitions(), 2u);
+}
+
+TEST(OrderLifecycle, EveryNonTerminalStateIsKillable) {
+  for (const OrderState from :
+       {OrderState::kPendingNew, OrderState::kLive, OrderState::kPendingCancel,
+        OrderState::kPendingReplace}) {
+    bool legal = false;
+    EXPECT_EQ(next_order_state(from, OrderEvent::kKill, &legal),
+              OrderState::kCanceled);
+    EXPECT_TRUE(legal);
+  }
+}
+
+// ---- terminal-exactly-once through the real OMS ---------------------------
+
+/// Records every lifecycle transition and counts terminal landings per
+/// order handle.
+class TerminalCounter final : public OmsListener {
+ public:
+  void on_order_event(ClientOrderId id, OrderEvent event,
+                      OrderState state) override {
+    events.push_back({id.value, event, state});
+    if (is_terminal(state)) {
+      ++terminal_count[id.value];
+      terminal_state[id.value] = state;
+    }
+  }
+
+  struct Row {
+    u64 id;
+    OrderEvent event;
+    OrderState state;
+  };
+  std::vector<Row> events;
+  std::map<u64, int> terminal_count;
+  std::map<u64, OrderState> terminal_state;
+
+  void expect_all_exactly_once() const {
+    for (const auto& [id, n] : terminal_count) {
+      EXPECT_EQ(n, 1) << "order " << id << " reached a terminal state " << n
+                      << " times";
+    }
+  }
+};
+
+OmsConfig tiny_oms() {
+  OmsConfig c;
+  c.book.min_tick = 100;
+  c.book.num_levels = 256;
+  c.book.max_orders = 128;
+  c.max_client_orders = 32;
+  return c;
+}
+
+TEST(OrderLifecycle, TtlExpiryLandsExpiredExactlyOnce) {
+  OrderManager oms(tiny_oms());
+  TerminalCounter counter;
+  oms.set_listener(&counter);
+
+  const auto out =
+      oms.submit(Side::kBid, 150, 5, /*now=*/1000, /*ttl=*/500, nullptr);
+  ASSERT_EQ(out.state, OrderState::kLive);
+  EXPECT_EQ(oms.expire(1400), 0u) << "not due yet";
+  EXPECT_EQ(oms.expire(1500), 1u);
+  EXPECT_EQ(oms.stats().expired, 1u);
+  EXPECT_EQ(oms.stats().terminal[static_cast<int>(OrderState::kExpired)], 1u);
+  EXPECT_EQ(oms.lookup(out.id), nullptr) << "record released at terminal";
+  EXPECT_EQ(oms.expire(2000), 0u) << "heap entry consumed";
+  counter.expect_all_exactly_once();
+  EXPECT_EQ(counter.terminal_state[out.id.value], OrderState::kExpired);
+  EXPECT_EQ(oms.machine().illegal_transitions(), 0u);
+}
+
+TEST(OrderLifecycle, CanceledOrderSkipsItsStaleTtlEntry) {
+  OrderManager oms(tiny_oms());
+  TerminalCounter counter;
+  oms.set_listener(&counter);
+
+  const auto out = oms.submit(Side::kBid, 150, 5, 1000, 500, nullptr);
+  ASSERT_TRUE(oms.request_cancel(out.id));
+  // The TTL entry is still in the heap (lazy deletion) but must be
+  // discarded — a second terminal transition would be a double-kill.
+  EXPECT_EQ(oms.expire(5000), 0u);
+  counter.expect_all_exactly_once();
+  EXPECT_EQ(counter.terminal_state[out.id.value], OrderState::kCanceled);
+  EXPECT_EQ(oms.machine().illegal_transitions(), 0u);
+}
+
+TEST(OrderLifecycle, SupervisorKillLandsCanceledExactlyOnce) {
+  OrderManager oms(tiny_oms());
+  TerminalCounter counter;
+  oms.set_listener(&counter);
+
+  const auto out = oms.submit(Side::kAsk, 160, 5, 1000, 0, nullptr);
+  ASSERT_EQ(out.state, OrderState::kLive);
+  ASSERT_TRUE(oms.kill(out.id, KillReason::kSupervisor));
+  EXPECT_EQ(oms.stats().killed_supervisor, 1u);
+  EXPECT_FALSE(oms.kill(out.id, KillReason::kSupervisor))
+      << "second kill must see a stale handle";
+  EXPECT_EQ(oms.book().open_orders(), 0u) << "book order cancelled too";
+  counter.expect_all_exactly_once();
+  EXPECT_EQ(counter.terminal_state[out.id.value], OrderState::kCanceled);
+  EXPECT_EQ(oms.machine().illegal_transitions(), 0u);
+}
+
+TEST(OrderLifecycle, BreakerShedKillsEveryRestingOrderExactlyOnce) {
+  OrderManager oms(tiny_oms());
+  TerminalCounter counter;
+  oms.set_listener(&counter);
+
+  std::vector<ClientOrderId> ids;
+  for (int i = 0; i < 8; ++i) {
+    const auto out =
+        oms.submit(Side::kBid, 150 - i, 2, 1000, /*ttl=*/10'000, nullptr);
+    ASSERT_EQ(out.state, OrderState::kLive);
+    ids.push_back(out.id);
+  }
+  EXPECT_EQ(oms.kill_all(KillReason::kBreakerShed), 8u);
+  EXPECT_EQ(oms.stats().killed_shed, 8u);
+  EXPECT_EQ(oms.open_client_orders(), 0u);
+  EXPECT_EQ(oms.book().open_orders(), 0u);
+  EXPECT_EQ(oms.kill_all(KillReason::kBreakerShed), 0u);
+  // TTL sweep after the shed must find only stale entries.
+  EXPECT_EQ(oms.expire(1'000'000), 0u);
+  counter.expect_all_exactly_once();
+  for (const auto id : ids) {
+    EXPECT_EQ(counter.terminal_state[id.value], OrderState::kCanceled);
+  }
+  EXPECT_EQ(oms.machine().illegal_transitions(), 0u);
+}
+
+TEST(OrderLifecycle, FullLifecyclePathsEmitOrderedEvents) {
+  OrderManager oms(tiny_oms());
+  TerminalCounter counter;
+  oms.set_listener(&counter);
+
+  // Seed liquidity from the anonymous market side.
+  FlowEvent ask;
+  ask.kind = FlowKind::kAddLimit;
+  ask.side = Side::kAsk;
+  ask.price = 155;
+  ask.qty = 3;
+  oms.apply_flow(ask, nullptr);
+
+  // Client crosses: accept then immediate full fill.
+  const auto filled = oms.submit(Side::kBid, 155, 3, 1000, 0, nullptr);
+  EXPECT_EQ(filled.state, OrderState::kFilled);
+  EXPECT_EQ(filled.filled, 3);
+
+  // Client rests, replaces, then cancels.
+  const auto resting = oms.submit(Side::kBid, 150, 5, 1000, 0, nullptr);
+  ASSERT_EQ(resting.state, OrderState::kLive);
+  ASSERT_TRUE(oms.request_replace(resting.id, 151, 5, nullptr));
+  const ClientOrder* rec = oms.lookup(resting.id);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->price, 151);
+  EXPECT_EQ(rec->state, OrderState::kLive);
+  ASSERT_TRUE(oms.request_cancel(resting.id));
+  EXPECT_EQ(oms.lookup(resting.id), nullptr);
+
+  counter.expect_all_exactly_once();
+  EXPECT_EQ(counter.terminal_state[filled.id.value], OrderState::kFilled);
+  EXPECT_EQ(counter.terminal_state[resting.id.value], OrderState::kCanceled);
+  EXPECT_EQ(oms.machine().illegal_transitions(), 0u);
+
+  // The event streams must be strictly ordered per order.
+  std::map<u64, std::vector<OrderEvent>> per_order;
+  for (const auto& row : counter.events) {
+    per_order[row.id].push_back(row.event);
+  }
+  const std::vector<OrderEvent> want_filled = {OrderEvent::kAccept,
+                                               OrderEvent::kFill};
+  EXPECT_EQ(per_order[filled.id.value], want_filled);
+  const std::vector<OrderEvent> want_resting = {
+      OrderEvent::kAccept, OrderEvent::kReplaceRequest,
+      OrderEvent::kReplaceAck, OrderEvent::kCancelRequest,
+      OrderEvent::kCancelAck};
+  EXPECT_EQ(per_order[resting.id.value], want_resting);
+}
+
+}  // namespace
+}  // namespace rtseed::lob

@@ -1,0 +1,188 @@
+// RiskEngine: every pre-trade verdict, pending-exposure reservation, and
+// the integer VWAP P&L arithmetic (long/short round trips, crossing
+// through flat, unrealized at the mark, the drawdown kill switch).
+
+#include <gtest/gtest.h>
+
+#include "lob/risk.hpp"
+
+namespace rtseed::lob {
+namespace {
+
+TEST(Risk, UnlimitedConfigPassesEverything) {
+  RiskEngine risk;  // all limits 0 = unlimited
+  EXPECT_EQ(risk.pre_trade(Side::kBid, 100, 1'000'000, false, 10'000,
+                           1'000'000, 1'000'000),
+            RiskVerdict::kOk);
+}
+
+TEST(Risk, MaxOrderQty) {
+  RiskConfig cfg;
+  cfg.max_order_qty = 10;
+  RiskEngine risk(cfg);
+  EXPECT_EQ(risk.pre_trade(Side::kBid, 100, 10, false, 0, 0, 0),
+            RiskVerdict::kOk);
+  EXPECT_EQ(risk.pre_trade(Side::kBid, 100, 11, false, 0, 0, 0),
+            RiskVerdict::kOrderTooLarge);
+  EXPECT_EQ(risk.stats().vetoes[static_cast<int>(
+                RiskVerdict::kOrderTooLarge)],
+            1u);
+}
+
+TEST(Risk, PositionLimitReservesPendingExposure) {
+  RiskConfig cfg;
+  cfg.max_position = 10;
+  RiskEngine risk(cfg);
+  // Flat, nothing pending: a 10-lot buy is exactly at the cap.
+  EXPECT_EQ(risk.pre_trade(Side::kBid, 100, 10, false, 0, 0, 0),
+            RiskVerdict::kOk);
+  // 8 lots already resting on the bid: 3 more would overshoot if all fill.
+  EXPECT_EQ(risk.pre_trade(Side::kBid, 100, 3, false, 1, 8, 0),
+            RiskVerdict::kPositionLimit);
+  EXPECT_EQ(risk.pre_trade(Side::kBid, 100, 2, false, 1, 8, 0),
+            RiskVerdict::kOk);
+  // The short side is symmetric.
+  EXPECT_EQ(risk.pre_trade(Side::kAsk, 100, 11, false, 0, 0, 0),
+            RiskVerdict::kPositionLimit);
+  EXPECT_EQ(risk.pre_trade(Side::kAsk, 100, 3, false, 1, 0, 8),
+            RiskVerdict::kPositionLimit);
+}
+
+TEST(Risk, PositionLimitAccountsForCurrentPosition) {
+  RiskConfig cfg;
+  cfg.max_position = 10;
+  RiskEngine risk(cfg);
+  risk.on_fill(Side::kBid, 100, 7);  // long 7
+  EXPECT_EQ(risk.position(), 7);
+  EXPECT_EQ(risk.pre_trade(Side::kBid, 100, 4, false, 0, 0, 0),
+            RiskVerdict::kPositionLimit);
+  EXPECT_EQ(risk.pre_trade(Side::kBid, 100, 3, false, 0, 0, 0),
+            RiskVerdict::kOk);
+  // Selling from a long is risk-REDUCING: a 17-lot sell lands at -10.
+  EXPECT_EQ(risk.pre_trade(Side::kAsk, 100, 17, false, 0, 0, 0),
+            RiskVerdict::kOk);
+  EXPECT_EQ(risk.pre_trade(Side::kAsk, 100, 18, false, 0, 0, 0),
+            RiskVerdict::kPositionLimit);
+}
+
+TEST(Risk, PriceCollar) {
+  RiskConfig cfg;
+  cfg.price_collar_pct = 0.10;  // ±10% of the mark
+  RiskEngine risk(cfg);
+  // No mark yet: the collar cannot judge, orders pass.
+  EXPECT_EQ(risk.pre_trade(Side::kBid, 500, 1, false, 0, 0, 0),
+            RiskVerdict::kOk);
+  risk.set_mark(100);
+  EXPECT_EQ(risk.pre_trade(Side::kBid, 110, 1, false, 0, 0, 0),
+            RiskVerdict::kOk);
+  EXPECT_EQ(risk.pre_trade(Side::kBid, 111, 1, false, 0, 0, 0),
+            RiskVerdict::kPriceCollar);
+  EXPECT_EQ(risk.pre_trade(Side::kAsk, 90, 1, false, 0, 0, 0),
+            RiskVerdict::kOk);
+  EXPECT_EQ(risk.pre_trade(Side::kAsk, 89, 1, false, 0, 0, 0),
+            RiskVerdict::kPriceCollar);
+  // Market orders have no limit price: the collar does not apply.
+  EXPECT_EQ(risk.pre_trade(Side::kBid, 0, 1, true, 0, 0, 0),
+            RiskVerdict::kOk);
+}
+
+TEST(Risk, MaxOpenOrders) {
+  RiskConfig cfg;
+  cfg.max_open_orders = 3;
+  RiskEngine risk(cfg);
+  EXPECT_EQ(risk.pre_trade(Side::kBid, 100, 1, false, 2, 0, 0),
+            RiskVerdict::kOk);
+  EXPECT_EQ(risk.pre_trade(Side::kBid, 100, 1, false, 3, 0, 0),
+            RiskVerdict::kTooManyOpen);
+}
+
+TEST(Risk, LongRoundTripRealizesProfit) {
+  RiskEngine risk;
+  risk.on_fill(Side::kBid, 100, 10);  // buy 10 @ 100
+  EXPECT_EQ(risk.position(), 10);
+  EXPECT_EQ(risk.entry_cost_ticks(), 1000);
+  EXPECT_EQ(risk.realized_ticks(), 0);
+  risk.on_fill(Side::kAsk, 110, 10);  // sell 10 @ 110
+  EXPECT_EQ(risk.position(), 0);
+  EXPECT_EQ(risk.realized_ticks(), 100);  // 10 lots × 10 ticks
+  EXPECT_EQ(risk.entry_cost_ticks(), 0) << "basis resets at flat";
+}
+
+TEST(Risk, ShortRoundTripRealizesProfit) {
+  RiskEngine risk;
+  risk.on_fill(Side::kAsk, 110, 4);  // short 4 @ 110
+  EXPECT_EQ(risk.position(), -4);
+  risk.on_fill(Side::kBid, 100, 4);  // cover @ 100
+  EXPECT_EQ(risk.position(), 0);
+  EXPECT_EQ(risk.realized_ticks(), 40);
+}
+
+TEST(Risk, PartialCloseUsesVwapShare) {
+  RiskEngine risk;
+  risk.on_fill(Side::kBid, 100, 6);  // VWAP 100…
+  risk.on_fill(Side::kBid, 106, 6);  // …now VWAP 103 over 12 lots
+  EXPECT_EQ(risk.entry_cost_ticks(), 1236);
+  risk.on_fill(Side::kAsk, 113, 6);  // close half at 113
+  EXPECT_EQ(risk.position(), 6);
+  EXPECT_EQ(risk.realized_ticks(), 6 * 113 - 1236 / 2);  // 678 − 618 = 60
+  EXPECT_EQ(risk.entry_cost_ticks(), 618);
+}
+
+TEST(Risk, CrossingThroughFlatSplitsTheFill) {
+  RiskEngine risk;
+  risk.on_fill(Side::kBid, 100, 5);   // long 5 @ 100
+  risk.on_fill(Side::kAsk, 104, 8);   // sell 8: close 5, open short 3 @ 104
+  EXPECT_EQ(risk.position(), -3);
+  EXPECT_EQ(risk.realized_ticks(), 20);       // 5 × (104 − 100)
+  EXPECT_EQ(risk.entry_cost_ticks(), 312);    // 3 × 104
+}
+
+TEST(Risk, UnrealizedAtTheMark) {
+  RiskEngine risk;
+  risk.on_fill(Side::kBid, 100, 10);
+  risk.set_mark(103);
+  EXPECT_EQ(risk.unrealized_ticks(), 30);
+  EXPECT_EQ(risk.total_pnl_ticks(), 30);
+  risk.set_mark(97);
+  EXPECT_EQ(risk.unrealized_ticks(), -30);
+  // Shorts invert.
+  RiskEngine sh;
+  sh.on_fill(Side::kAsk, 100, 10);
+  sh.set_mark(97);
+  EXPECT_EQ(sh.unrealized_ticks(), 30);
+}
+
+TEST(Risk, DollarConversionHappensAtTheEdge) {
+  RiskConfig cfg;
+  cfg.tick_value = 0.25;
+  RiskEngine risk(cfg);
+  risk.on_fill(Side::kBid, 100, 10);
+  risk.on_fill(Side::kAsk, 110, 10);
+  EXPECT_DOUBLE_EQ(risk.realized_dollars(), 25.0);
+  EXPECT_DOUBLE_EQ(risk.total_pnl_dollars(), 25.0);
+}
+
+TEST(Risk, MaxLossKillSwitch) {
+  RiskConfig cfg;
+  cfg.max_loss_ticks = 50;
+  RiskEngine risk(cfg);
+  risk.on_fill(Side::kBid, 100, 10);
+  risk.set_mark(96);  // down 40: still trading
+  EXPECT_EQ(risk.pre_trade(Side::kBid, 96, 1, false, 0, 0, 0),
+            RiskVerdict::kOk);
+  risk.set_mark(94);  // down 60: every new order is vetoed
+  EXPECT_EQ(risk.pre_trade(Side::kBid, 94, 1, false, 0, 0, 0),
+            RiskVerdict::kMaxLossBreached);
+  EXPECT_EQ(risk.pre_trade(Side::kAsk, 94, 1, false, 0, 0, 0),
+            RiskVerdict::kMaxLossBreached);
+}
+
+TEST(Risk, ChecksAreCounted) {
+  RiskEngine risk;
+  risk.pre_trade(Side::kBid, 100, 1, false, 0, 0, 0);
+  risk.pre_trade(Side::kAsk, 100, 1, false, 0, 0, 0);
+  EXPECT_EQ(risk.stats().checks, 2u);
+}
+
+}  // namespace
+}  // namespace rtseed::lob

@@ -1,0 +1,146 @@
+// TtlHeap: min-heap ordering, fixed-capacity drop-and-count, and the
+// lazy-deletion contract (stale handles are the CALLER's problem — the
+// heap never searches).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "lob/ttl_heap.hpp"
+
+namespace rtseed::lob {
+namespace {
+
+TEST(TtlHeap, StartsEmpty) {
+  TtlHeap heap(8);
+  EXPECT_TRUE(heap.empty());
+  EXPECT_EQ(heap.size(), 0u);
+  EXPECT_EQ(heap.capacity(), 8u);
+  EXPECT_EQ(heap.dropped(), 0u);
+}
+
+TEST(TtlHeap, PopsInExpiryOrder) {
+  TtlHeap heap(16);
+  const Nanos times[] = {50, 10, 90, 30, 70, 20, 60, 40, 80, 100};
+  u64 handle = 1;
+  for (const Nanos t : times) {
+    ASSERT_TRUE(heap.push(t, handle++));
+  }
+  Nanos prev = 0;
+  std::vector<Nanos> order;
+  while (!heap.empty()) {
+    EXPECT_GE(heap.top().expires_at, prev);
+    prev = heap.top().expires_at;
+    order.push_back(heap.top().expires_at);
+    heap.pop();
+  }
+  const std::vector<Nanos> expected = {10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(TtlHeap, HandleTravelsWithItsTimestamp) {
+  TtlHeap heap(8);
+  heap.push(30, 300);
+  heap.push(10, 100);
+  heap.push(20, 200);
+  EXPECT_EQ(heap.top().handle, 100u);
+  heap.pop();
+  EXPECT_EQ(heap.top().handle, 200u);
+  heap.pop();
+  EXPECT_EQ(heap.top().handle, 300u);
+}
+
+TEST(TtlHeap, DuplicateTimestampsAllSurface) {
+  TtlHeap heap(8);
+  heap.push(5, 1);
+  heap.push(5, 2);
+  heap.push(5, 3);
+  std::vector<u64> handles;
+  while (!heap.empty()) {
+    EXPECT_EQ(heap.top().expires_at, 5);
+    handles.push_back(heap.top().handle);
+    heap.pop();
+  }
+  std::sort(handles.begin(), handles.end());
+  EXPECT_EQ(handles, (std::vector<u64>{1, 2, 3}));
+}
+
+TEST(TtlHeap, FullHeapDropsAndCounts) {
+  TtlHeap heap(4);
+  for (u64 i = 0; i < 4; ++i) {
+    ASSERT_TRUE(heap.push(static_cast<Nanos>(i), i));
+  }
+  EXPECT_FALSE(heap.push(99, 99));
+  EXPECT_FALSE(heap.push(0, 100));  // even an earlier expiry is dropped
+  EXPECT_EQ(heap.dropped(), 2u);
+  EXPECT_EQ(heap.size(), 4u);
+  // The resident entries are untouched by the rejected pushes.
+  EXPECT_EQ(heap.top().expires_at, 0);
+  EXPECT_EQ(heap.top().handle, 0u);
+  // Popping frees a slot; pushes work again.
+  heap.pop();
+  EXPECT_TRUE(heap.push(99, 99));
+  EXPECT_EQ(heap.dropped(), 2u);
+}
+
+TEST(TtlHeap, ClearResetsSizeButNotDropCount) {
+  TtlHeap heap(2);
+  heap.push(1, 1);
+  heap.push(2, 2);
+  heap.push(3, 3);  // dropped
+  EXPECT_EQ(heap.dropped(), 1u);
+  heap.clear();
+  EXPECT_TRUE(heap.empty());
+  EXPECT_EQ(heap.dropped(), 1u) << "drop count is a lifetime statistic";
+  EXPECT_TRUE(heap.push(9, 9));
+}
+
+// Randomized heap-order check against std::sort — the heap is the one
+// piece of the OMS with classic textbook structure, so test it the
+// classic textbook way.
+TEST(TtlHeap, RandomizedAgainstSortedReference) {
+  constexpr usize kCapacity = 512;
+  TtlHeap heap(kCapacity);
+  std::vector<Nanos> reference;
+  u64 rng = 0xC0FFEE;
+  for (int round = 0; round < 4; ++round) {
+    while (heap.size() < kCapacity) {
+      const Nanos t = static_cast<Nanos>(common::splitmix64(rng) % 1'000'000);
+      ASSERT_TRUE(heap.push(t, heap.size()));
+      reference.push_back(t);
+    }
+    std::sort(reference.begin(), reference.end());
+    // Drain half, verifying order matches the sorted reference.
+    const usize drain = kCapacity / 2;
+    for (usize i = 0; i < drain; ++i) {
+      ASSERT_EQ(heap.top().expires_at, reference[i]);
+      heap.pop();
+    }
+    reference.erase(reference.begin(),
+                    reference.begin() + static_cast<long>(drain));
+  }
+}
+
+// The lazy-deletion pattern the OMS uses: entries for dead orders stay
+// in the heap; the sweep discards them by checking liveness at pop time.
+TEST(TtlHeap, LazyDeletionSweepPattern) {
+  TtlHeap heap(16);
+  bool alive[8] = {true, false, true, false, true, true, false, true};
+  for (u64 i = 0; i < 8; ++i) {
+    heap.push(static_cast<Nanos>(i * 10), i);
+  }
+  std::vector<u64> expired;
+  const Nanos now = 45;  // entries 0..4 are due
+  while (!heap.empty() && heap.top().expires_at <= now) {
+    const u64 h = heap.top().handle;
+    heap.pop();
+    if (alive[h]) expired.push_back(h);  // stale entries skipped silently
+  }
+  EXPECT_EQ(expired, (std::vector<u64>{0, 2, 4}));
+  EXPECT_EQ(heap.size(), 3u);  // 5, 6, 7 still pending
+}
+
+}  // namespace
+}  // namespace rtseed::lob

@@ -1,0 +1,272 @@
+// OmsTask — the LOB workload on the imprecise task model, driven inline
+// (no runtime): mandatory flow + top-of-book publication, depth-band
+// optional parts under live and expired stop tokens, wind-up fusion and
+// order dispatch through the shard transport (the order-gateway hop),
+// exec reports on the egress ring, deadline-miss attribution, and the
+// drawdown circuit breaker mapping QoS loss to dollars.
+
+#include <gtest/gtest.h>
+
+#include "common/time.hpp"
+#include "shard/transport.hpp"
+#include "trading/oms_task.hpp"
+
+namespace rtseed::trading {
+namespace {
+
+using common::monotonic_now;
+using common::seconds;
+
+OmsTaskConfig small_task() {
+  OmsTaskConfig cfg;
+  cfg.oms.book.min_tick = 100;
+  cfg.oms.book.num_levels = 256;
+  cfg.oms.book.max_orders = 512;
+  cfg.oms.max_client_orders = 64;
+  cfg.num_bands = 3;
+  cfg.band_levels = 4;
+  cfg.events_per_job = 256;  // enough seeded flow to populate both sides
+  return cfg;
+}
+
+core::JobContext make_ctx(long job = 0) {
+  core::JobContext ctx;
+  ctx.job = job;
+  ctx.release = 0;
+  ctx.deadline = monotonic_now() + seconds(10);
+  ctx.optional_deadline = ctx.deadline;
+  return ctx;
+}
+
+/// One full job: mandatory, every band, wind-up.
+void run_job(OmsTask& task, const core::JobContext& ctx) {
+  task.on_mandatory(ctx);
+  for (int part = 0; part < task.config().num_bands; ++part) {
+    core::StopToken token(monotonic_now() + seconds(10));
+    task.on_optional(ctx, part, token);
+  }
+  task.on_windup(ctx);
+}
+
+TEST(OmsTask, MandatoryAppliesMarketFlowAndPublishesTop) {
+  OmsTask task(small_task());
+  task.on_mandatory(make_ctx());
+  EXPECT_EQ(task.stats().market_events, 256);
+  EXPECT_GT(task.oms().book().open_orders(), 0u);
+  const auto top = task.oms().book().top();
+  ASSERT_TRUE(top.has_bid());
+  ASSERT_TRUE(top.has_ask());
+  EXPECT_LT(top.bid_price, top.ask_price);
+}
+
+TEST(OmsTask, FullJobDeliversEveryBand) {
+  OmsTask task(small_task());
+  run_job(task, make_ctx());
+  const auto s = task.stats();
+  EXPECT_EQ(s.jobs, 1);
+  EXPECT_EQ(s.bands_available, 3);
+  // Undisturbed, each band refines to its full depth.
+  EXPECT_EQ(s.band_iterations, 3 * 4);
+  EXPECT_DOUBLE_EQ(task.qos_completion_rate(), 1.0);
+  EXPECT_EQ(s.deadline_misses, 0);
+}
+
+TEST(OmsTask, ExpiredTokenStillCommitsTheFirstRefinement) {
+  // The anytime contract: even a token that is already expired lets the
+  // part commit one refinement level before it yields.
+  OmsTask task(small_task());
+  const auto ctx = make_ctx();
+  task.on_mandatory(ctx);
+  for (int part = 0; part < task.config().num_bands; ++part) {
+    core::StopToken expired(monotonic_now() - 1);
+    task.on_optional(ctx, part, expired);
+  }
+  task.on_windup(ctx);
+  const auto s = task.stats();
+  EXPECT_EQ(s.bands_available, 3);
+  EXPECT_EQ(s.band_iterations, 3) << "one refinement per band, then cut";
+  EXPECT_DOUBLE_EQ(task.qos_completion_rate(), 1.0);
+}
+
+TEST(OmsTask, SkippedBandsDegradeQosAndWindupWaits) {
+  OmsTask task(small_task());
+  const auto ctx = make_ctx();
+  task.on_mandatory(ctx);
+  task.on_windup(ctx);  // no optional part ran
+  const auto s = task.stats();
+  EXPECT_EQ(s.bands_available, 0);
+  EXPECT_DOUBLE_EQ(task.qos_completion_rate(), 0.0);
+  EXPECT_EQ(s.waits, 1) << "no signal, no order";
+  EXPECT_EQ(s.orders_submitted, 0);
+}
+
+TEST(OmsTask, BandSlotsResetEveryJob) {
+  // A band committed in job N must not leak into job N+1's wind-up.
+  OmsTask task(small_task());
+  run_job(task, make_ctx(0));
+  ASSERT_EQ(task.stats().bands_available, 3);
+  const auto ctx = make_ctx(1);
+  task.on_mandatory(ctx);  // resets slots
+  task.on_windup(ctx);
+  EXPECT_EQ(task.stats().bands_available, 3) << "stale bands re-counted";
+  EXPECT_DOUBLE_EQ(task.qos_completion_rate(), 0.5);
+}
+
+TEST(OmsTask, DeadlineMissIsAttributed) {
+  OmsTask task(small_task());
+  auto ctx = make_ctx();
+  ctx.deadline = monotonic_now() - 1;  // already blown
+  task.on_mandatory(ctx);
+  task.on_windup(ctx);
+  EXPECT_EQ(task.stats().deadline_misses, 1);
+}
+
+TEST(OmsTask, MakeTaskConfigMirrorsTheImpreciseModel) {
+  OmsTaskConfig cfg = small_task();
+  OmsTask task(cfg);
+  const auto tc = task.make_task_config(100);
+  EXPECT_EQ(tc.params.name, "oms");
+  EXPECT_EQ(tc.params.period, cfg.period);
+  EXPECT_EQ(tc.params.mandatory, cfg.mandatory_wcet);
+  EXPECT_EQ(tc.params.windup, cfg.windup_wcet);
+  ASSERT_EQ(tc.params.optional.size(), static_cast<size_t>(cfg.num_bands));
+  for (const auto t : tc.params.optional) EXPECT_EQ(t, cfg.optional_time);
+  EXPECT_EQ(tc.num_jobs, 100);
+  EXPECT_TRUE(tc.callbacks.mandatory);
+  EXPECT_TRUE(tc.callbacks.optional);
+  EXPECT_TRUE(tc.callbacks.windup);
+}
+
+TEST(OmsTask, OrderGatewayRoundTripThroughTransport) {
+  // Wind-up dispatches through the shard transport; the order lands in
+  // the NEXT job's mandatory part; the exec report rides the egress ring.
+  OmsTaskConfig cfg = small_task();
+  cfg.entry_threshold = 0.0;  // any committed band clears the bar
+  OmsTask task(cfg);
+  auto transport = shard::ShardTransport::create(1);
+  ASSERT_TRUE(transport.has_value());
+  task.bind_transport(transport->get(), /*shard_id=*/0, /*symbol=*/7);
+
+  run_job(task, make_ctx(0));
+  const auto s1 = task.stats();
+  EXPECT_EQ(s1.orders_via_transport, 1u);
+  EXPECT_EQ(s1.orders_submitted, 0) << "gateway order not yet delivered";
+  EXPECT_EQ((*transport)->ingress_size_approx(0), 1u);
+
+  // The exec report is already on the egress ring.
+  ASSERT_EQ(s1.exec_reports_posted, 1u);
+  shard::ShardMessage* report = (*transport)->poll_result(0);
+  ASSERT_NE(report, nullptr);
+  EXPECT_EQ(report->kind, shard::MessageKind::kExecReport);
+  EXPECT_EQ(report->symbol, 7u);
+  EXPECT_EQ(report->body.exec.job, 0);
+  EXPECT_EQ(report->body.exec.shed, 0u);
+  (*transport)->release(report);
+
+  // Next job's mandatory drains the gateway and submits to the OMS.
+  const u64 submissions_before = task.oms().stats().submissions;
+  run_job(task, make_ctx(1));
+  EXPECT_EQ(task.stats().orders_submitted, 1);
+  EXPECT_EQ(task.oms().stats().submissions, submissions_before + 1);
+  EXPECT_EQ((*transport)->in_flight_approx(),
+            (*transport)->ingress_size_approx(0) + 1u)
+      << "only job 1's own dispatch and report remain in flight";
+}
+
+TEST(OmsTask, UnboundTaskSubmitsDirectly) {
+  OmsTaskConfig cfg = small_task();
+  cfg.entry_threshold = 0.0;
+  OmsTask task(cfg);
+  run_job(task, make_ctx());
+  const auto s = task.stats();
+  EXPECT_EQ(s.orders_via_transport, 0u);
+  EXPECT_EQ(s.orders_submitted, 1);
+  EXPECT_EQ(s.exec_reports_posted, 0u) << "no transport, no reports";
+  EXPECT_EQ(task.oms().stats().submissions, 1u);
+}
+
+TEST(OmsTask, BreakerShedsFlattensAndCoolsDown) {
+  OmsTaskConfig cfg = small_task();
+  cfg.breaker_drawdown_dollars = 500.0;
+  cfg.breaker_cooldown_jobs = 4;
+  OmsTask task(cfg);
+
+  // Manufacture a realized loss through the book: buy 10 @ 200, sell
+  // 10 @ 100 → −1000 ticks at tick_value 1.0 = −$1000 < −$500.
+  auto& oms = task.oms();
+  lob::FlowEvent ask;
+  ask.kind = lob::FlowKind::kAddLimit;
+  ask.side = lob::Side::kAsk;
+  ask.price = 200;
+  ask.qty = 10;
+  oms.apply_flow(ask, nullptr);
+  ASSERT_EQ(oms.submit(lob::Side::kBid, 200, 10, 0, 0, nullptr).state,
+            lob::OrderState::kFilled);
+  lob::FlowEvent bid = ask;
+  bid.side = lob::Side::kBid;
+  bid.price = 100;
+  oms.apply_flow(bid, nullptr);
+  ASSERT_EQ(oms.submit(lob::Side::kAsk, 100, 10, 0, 0, nullptr).state,
+            lob::OrderState::kFilled);
+  ASSERT_LT(task.pnl_dollars(), -500.0);
+
+  // One resting client order for the breaker to flatten.
+  const auto resting = oms.submit(lob::Side::kBid, 150, 2, 0, 0, nullptr);
+  ASSERT_EQ(resting.state, lob::OrderState::kLive);
+
+  task.on_windup(make_ctx(0));  // trips: kill_all + cooldown
+  auto s = task.stats();
+  EXPECT_EQ(s.shed_events, 1);
+  EXPECT_EQ(s.shed_jobs, 1) << "the tripping job itself trades nothing";
+  EXPECT_EQ(oms.lookup(resting.id), nullptr) << "resting order flattened";
+  EXPECT_EQ(oms.stats().killed_shed, 1u);
+
+  // Jobs inside the cooldown window are withheld; afterwards it re-arms
+  // (and, still under water, trips again).
+  task.on_windup(make_ctx(2));
+  s = task.stats();
+  EXPECT_EQ(s.shed_jobs, 2);
+  EXPECT_EQ(s.shed_events, 1) << "no re-trip inside the cooldown";
+  task.on_windup(make_ctx(5));
+  EXPECT_EQ(task.stats().shed_events, 2) << "past cooldown, still losing";
+}
+
+TEST(OmsTask, ShedJobsPostShedMarkedExecReports) {
+  OmsTaskConfig cfg = small_task();
+  cfg.breaker_drawdown_dollars = 500.0;
+  cfg.breaker_cooldown_jobs = 4;
+  OmsTask task(cfg);
+  auto transport = shard::ShardTransport::create(1);
+  ASSERT_TRUE(transport.has_value());
+  task.bind_transport(transport->get(), 0, 9);
+
+  auto& oms = task.oms();
+  lob::FlowEvent ask;
+  ask.kind = lob::FlowKind::kAddLimit;
+  ask.side = lob::Side::kAsk;
+  ask.price = 200;
+  ask.qty = 10;
+  oms.apply_flow(ask, nullptr);
+  ASSERT_EQ(oms.submit(lob::Side::kBid, 200, 10, 0, 0, nullptr).state,
+            lob::OrderState::kFilled);
+  lob::FlowEvent bid = ask;
+  bid.side = lob::Side::kBid;
+  bid.price = 100;
+  oms.apply_flow(bid, nullptr);
+  ASSERT_EQ(oms.submit(lob::Side::kAsk, 100, 10, 0, 0, nullptr).state,
+            lob::OrderState::kFilled);
+
+  task.on_windup(make_ctx(0));
+  shard::ShardMessage* report = (*transport)->poll_result(0);
+  ASSERT_NE(report, nullptr);
+  EXPECT_EQ(report->kind, shard::MessageKind::kExecReport);
+  EXPECT_EQ(report->body.exec.shed, 1u);
+  EXPECT_EQ(report->body.exec.pnl_ticks, -1000);
+  // `filled` counts execution prints since the last report, not lots:
+  // one print per round-trip leg.
+  EXPECT_EQ(report->body.exec.filled, 2);
+  (*transport)->release(report);
+}
+
+}  // namespace
+}  // namespace rtseed::trading
