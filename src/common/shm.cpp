@@ -3,9 +3,12 @@
 #include <errno.h>
 #include <string.h>
 #include <sys/mman.h>
+#include <sys/stat.h>
 #include <sys/syscall.h>
 #include <unistd.h>
 
+#include <new>
+#include <string>
 #include <utility>
 
 namespace rtseed::common {
@@ -91,6 +94,12 @@ Expected<ShmSegment> ShmSegment::attach(int fd, usize bytes) {
   if (fd < 0) return invalid_argument("shm attach requires a valid fd");
   if (bytes == 0) return invalid_argument("shm segment size must be > 0");
   const usize size = round_up_to_page(bytes);
+  struct stat st;
+  if (::fstat(fd, &st) == 0 && static_cast<usize>(st.st_size) < size) {
+    // Mapping past EOF "succeeds" and SIGBUSes on first touch — reject
+    // the shape mismatch here, where the caller can handle it.
+    return invalid_argument("shm attach larger than the backing segment");
+  }
   void* mem =
       ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
   if (mem == MAP_FAILED) {
@@ -102,6 +111,60 @@ Expected<ShmSegment> ShmSegment::attach(int fd, usize bytes) {
   seg.fd_ = fd;
   seg.owns_fd_ = false;  // caller keeps the fd it handed us
   return seg;
+}
+
+void format_segment_header(void* mem, usize total_bytes, u64 epoch,
+                           u64 layout_version) {
+  auto* header = new (mem) SegmentHeader();
+  header->layout_version = layout_version;
+  header->total_bytes = total_bytes;
+  header->epoch = epoch;
+  header->generation.store(0, std::memory_order_relaxed);
+  header->attach_count.store(0, std::memory_order_relaxed);
+  header->torn_repairs.store(0, std::memory_order_relaxed);
+  header->magic.store(SegmentHeader::kMagic, std::memory_order_release);
+}
+
+Status validate_segment_header(const void* mem, usize expected_bytes,
+                               u64 expected_epoch, u64 expected_layout) {
+  const auto* header = static_cast<const SegmentHeader*>(mem);
+  if (header->magic.load(std::memory_order_acquire) != SegmentHeader::kMagic) {
+    return failed_precondition("shm attach: segment has no valid header");
+  }
+  if (header->layout_version != expected_layout) {
+    return failed_precondition(
+        "shm attach: layout version mismatch (segment " +
+        std::to_string(header->layout_version) + ", expected " +
+        std::to_string(expected_layout) + ")");
+  }
+  if (header->total_bytes != expected_bytes) {
+    return failed_precondition(
+        "shm attach: size mismatch (segment " +
+        std::to_string(header->total_bytes) + " bytes, expected " +
+        std::to_string(expected_bytes) + ")");
+  }
+  if (header->epoch != expected_epoch) {
+    return failed_precondition(
+        "shm attach: epoch mismatch (segment " +
+        std::to_string(header->epoch) + ", expected " +
+        std::to_string(expected_epoch) + ") — stale fd from a previous "
+        "incarnation");
+  }
+  if ((header->generation.load(std::memory_order_acquire) & 1) != 0) {
+    return failed_precondition(
+        "shm attach: torn write detected (generation is odd — a writer "
+        "died mid-mutation; repair_torn_segment() first)");
+  }
+  return Status::ok();
+}
+
+bool repair_torn_segment(void* mem) {
+  auto* header = static_cast<SegmentHeader*>(mem);
+  u64 gen = header->generation.load(std::memory_order_acquire);
+  if ((gen & 1) == 0) return false;
+  header->generation.store(gen + 1, std::memory_order_release);
+  header->torn_repairs.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 }  // namespace rtseed::common

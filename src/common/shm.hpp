@@ -13,14 +13,89 @@
 //
 // Creation/attachment are setup-path operations; the steady state only
 // ever reads and writes the mapped bytes — no further syscalls, no heap.
+//
+// Multi-process deployments (shard::ProcessShardRuntime) put a
+// SegmentHeader at offset 0 of every shared segment.  It carries:
+//  * magic + layout version + total size — an attach to a segment that
+//    was formatted for a different layout fails loudly;
+//  * an EPOCH the creator picks (one per transport instance) — a stale
+//    fd from a previous incarnation is rejected instead of silently
+//    aliasing fresh state;
+//  * a GENERATION word used as a torn-write marker: a writer doing a
+//    multi-word metadata mutation bumps it to odd before and back to
+//    even after (ShmWriteGuard).  A crash mid-mutation leaves it odd,
+//    and validate_segment_header() refuses the reattach until the
+//    supervisor repairs the segment (repair_torn_segment()).
 #pragma once
 
+#include <atomic>
 #include <string>
 
+#include "common/cacheline.hpp"
 #include "common/status.hpp"
 #include "common/types.hpp"
 
 namespace rtseed::common {
+
+/// Lives at offset 0 of a header-formatted shared segment.  Two cache
+/// lines: the identity line is written once at format time; the mutable
+/// line (generation, attach count) is the only part living processes
+/// write.
+struct SegmentHeader {
+  static constexpr u64 kMagic = 0x52547365'67686472ULL;  // "RTseghdr"
+
+  std::atomic<u64> magic{0};  ///< kMagic once fully formatted (release)
+  u64 layout_version = 0;     ///< caller-defined layout schema id
+  u64 total_bytes = 0;        ///< segment size the creator formatted
+  u64 epoch = 0;              ///< creator-chosen instance id
+  unsigned char pad0_[kCacheLine - 4 * sizeof(u64)];
+
+  /// Torn-write marker: odd while a guarded mutation is in flight.
+  std::atomic<u64> generation{0};
+  std::atomic<u64> attach_count{0};  ///< bumped by every validated attach
+  std::atomic<u64> torn_repairs{0};  ///< times repair_torn_segment() ran
+  unsigned char pad1_[kCacheLine - 3 * sizeof(u64)];
+};
+static_assert(sizeof(SegmentHeader) == 2 * kCacheLine,
+              "header = one identity line + one mutable line");
+
+/// Formats a SegmentHeader at `mem` (which must hold at least
+/// sizeof(SegmentHeader) of a `total_bytes`-sized segment).  Publishing
+/// the magic with release order is the last store, so a concurrent
+/// validate sees either "not formatted yet" or a complete header.
+void format_segment_header(void* mem, usize total_bytes, u64 epoch,
+                           u64 layout_version);
+
+/// Rejects a reattach when anything about the header disagrees with what
+/// the caller expects: missing/foreign magic, layout version mismatch,
+/// size mismatch, epoch mismatch, or an odd generation (a writer died
+/// mid-mutation — the torn-write case).
+Status validate_segment_header(const void* mem, usize expected_bytes,
+                               u64 expected_epoch, u64 expected_layout);
+
+/// Clears a torn generation (rounds it up to even) and counts the repair.
+/// Returns true when a repair was needed.  Only the supervising parent —
+/// after it has reaped every process that could have been mid-mutation —
+/// may call this.
+bool repair_torn_segment(void* mem);
+
+/// RAII torn-write marker: generation becomes odd on entry, even on exit.
+/// Wrap multi-word metadata mutations that a concurrent reattach must
+/// never observe half-done.
+class ShmWriteGuard {
+ public:
+  explicit ShmWriteGuard(SegmentHeader* header) : header_(header) {
+    header_->generation.fetch_add(1, std::memory_order_acq_rel);
+  }
+  ~ShmWriteGuard() {
+    header_->generation.fetch_add(1, std::memory_order_acq_rel);
+  }
+  ShmWriteGuard(const ShmWriteGuard&) = delete;
+  ShmWriteGuard& operator=(const ShmWriteGuard&) = delete;
+
+ private:
+  SegmentHeader* header_;
+};
 
 class ShmSegment {
  public:

@@ -109,6 +109,27 @@ class ShmSpscRing {
     return true;
   }
 
+  /// Reads the front element WITHOUT consuming it.  Pair with
+  /// commit_pop(): the write-ahead discipline of the journaled shard
+  /// worker (peek → journal → apply → commit) means a crash at any point
+  /// leaves the element either still in the ring or safely in the
+  /// journal — never silently lost.
+  bool try_peek(T* out) const {
+    const u64 tail = header_->tail.value.load(std::memory_order_relaxed);
+    const u64 head = header_->head.value.load(std::memory_order_acquire);
+    if (tail == head) return false;
+    *out = slots_[tail & (header_->capacity - 1)];
+    return true;
+  }
+
+  /// Consumes the element a preceding try_peek returned.  Only call
+  /// after a successful try_peek (single consumer — nobody else moved
+  /// the tail in between).
+  void commit_pop() {
+    const u64 tail = header_->tail.value.load(std::memory_order_relaxed);
+    header_->tail.value.store(tail + 1, std::memory_order_release);
+  }
+
   std::optional<T> try_pop() {
     T value;
     if (!try_pop(&value)) return std::nullopt;
@@ -122,6 +143,50 @@ class ShmSpscRing {
   }
   bool empty_approx() const { return size_approx() == 0; }
 
+  // ---- doorbell (optional blocking-consumer protocol) ---------------------
+  //
+  // The ring itself stays syscall-free: it only keeps the two doorbell
+  // words (an eventcount `ding` and a `parked` flag) and the memory-
+  // ordering discipline.  The caller that wants to SLEEP does the futex
+  // traffic through rt::wait_word_shared_until / wake_word_shared on
+  // doorbell_word() — keeping this header free of any rt dependency and
+  // the polling fast path free of any doorbell cost (pure try_push/
+  // try_pop callers never touch these words).
+  //
+  // Producer, after a successful try_push:
+  //     if (ring.notify_hint()) rt::wake_word_shared(ring.doorbell_word(), 1);
+  // Consumer, when empty:
+  //     u32 g = ring.wait_epoch();
+  //     ring.park();
+  //     if (!ring.empty_approx()) { ring.unpark(); /* consume */ }
+  //     else { rt::wait_word_shared_until(ring.doorbell_word(), g, dl);
+  //            ring.unpark(); }
+  //
+  // The seq_cst fence in notify_hint() against the seq_cst park() store
+  // closes the lost-wake window: either the consumer's recheck sees the
+  // new head, or the producer sees parked == 1 and rings.
+
+  /// Producer side: true when a parked consumer needs a wake (the ding
+  /// word was bumped).  Call only after a successful try_push.
+  bool notify_hint() {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (header_->bell.parked.load(std::memory_order_relaxed) == 0) {
+      return false;
+    }
+    header_->bell.ding.fetch_add(1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: snapshot of the doorbell eventcount to wait against.
+  u32 wait_epoch() const {
+    return header_->bell.ding.load(std::memory_order_acquire);
+  }
+  void park() { header_->bell.parked.store(1, std::memory_order_seq_cst); }
+  void unpark() { header_->bell.parked.store(0, std::memory_order_relaxed); }
+  /// The futex word a sleeping consumer waits on (cross-process safe —
+  /// it lives in the shared segment with everything else).
+  std::atomic<u32>& doorbell_word() { return header_->bell.ding; }
+
  private:
   struct alignas(kCacheLine) AlignedIndex {
     std::atomic<u64> value{0};
@@ -129,6 +194,13 @@ class ShmSpscRing {
   static_assert(sizeof(AlignedIndex) == kCacheLine &&
                     alignof(AlignedIndex) == kCacheLine,
                 "ring indices must each own a full cache line");
+
+  struct alignas(kCacheLine) Doorbell {
+    std::atomic<u32> ding{0};    ///< eventcount; futex word for sleepers
+    std::atomic<u32> parked{0};  ///< consumer is (about to be) asleep
+  };
+  static_assert(sizeof(Doorbell) == kCacheLine,
+                "doorbell words share one line (they always move together)");
 
   struct Header {
     // Identification line: written once at create(), read-only after.
@@ -138,9 +210,10 @@ class ShmSpscRing {
     unsigned char pad_[kCacheLine - 3 * sizeof(u64)];
     AlignedIndex head;
     AlignedIndex tail;
+    Doorbell bell;
   };
-  static_assert(sizeof(Header) == 3 * kCacheLine,
-                "header = id line + head line + tail line");
+  static_assert(sizeof(Header) == 4 * kCacheLine,
+                "header = id line + head line + tail line + doorbell line");
   static_assert(std::atomic<u64>::is_always_lock_free,
                 "shared-memory indices must be lock-free atomics");
 

@@ -25,6 +25,14 @@ const char* inject_point_name(InjectPoint point) {
       return "eintr-storm";
     case InjectPoint::kClockJump:
       return "clock-jump";
+    case InjectPoint::kShardKill:
+      return "shard-kill";
+    case InjectPoint::kHeartbeatStall:
+      return "heartbeat-stall";
+    case InjectPoint::kTornShmWrite:
+      return "torn-shm-write";
+    case InjectPoint::kJournalTruncate:
+      return "journal-truncate";
     case InjectPoint::kCount:
       break;
   }

@@ -38,6 +38,12 @@ enum class InjectPoint : int {
   kTimerMisfire,  ///< one-shot optional-deadline timer silently fails to arm
   kEintrStorm,    ///< a blocking wait returns spuriously (as after EINTR)
   kClockJump,     ///< an absolute sleep returns early (clock anomaly)
+  // Multi-process shard faults (DESIGN.md §14.5).  Appended so existing
+  // chaos seeds keep firing the same sequences at the points above.
+  kShardKill,      ///< supervisor SIGKILLs a live shard worker
+  kHeartbeatStall, ///< worker skips heartbeat bumps (looks hung)
+  kTornShmWrite,   ///< guarded segment mutation dies mid-write (odd gen)
+  kJournalTruncate,///< journal append dies mid-record (torn tail)
   kCount,
 };
 

@@ -1,0 +1,191 @@
+#include "fault/process_supervisor.hpp"
+
+#include <csignal>
+#include <utility>
+
+#include "common/rt_logger.hpp"
+#include "fault/injector.hpp"
+#include "obs/flight_recorder.hpp"
+#include "rt/futex.hpp"
+
+namespace rtseed::fault {
+
+ProcessSupervisor::ProcessSupervisor(ProcessSupervisorConfig config)
+    : config_(config) {
+  if (config_.poll_interval < common::micros(100)) {
+    config_.poll_interval = common::micros(100);
+  }
+  if (config_.stall_grace < 0) config_.stall_grace = 0;
+  if (config_.term_grace < 0) config_.term_grace = 0;
+  if (config_.kill_grace < 0) config_.kill_grace = 0;
+}
+
+ProcessSupervisor::~ProcessSupervisor() { stop(); }
+
+void ProcessSupervisor::watch(SupervisedProcessGroup* group,
+                              std::string name) {
+  group_ = group;
+  group_name_ = std::move(name);
+  watches_.assign(static_cast<common::usize>(group->process_count()),
+                  ProcessWatch{});
+}
+
+void ProcessSupervisor::set_telemetry(obs::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+}
+
+common::Status ProcessSupervisor::start() {
+  if (running()) return common::Status::ok();
+  if (group_ == nullptr) {
+    return common::failed_precondition("no process group to watch");
+  }
+  if (telemetry_ != nullptr && telemetry_->enabled()) {
+    auto& metrics = telemetry_->metrics();
+    stalls_metric_ = metrics.counter(
+        "rtseed_proc_supervisor_stalls_total",
+        "shard processes whose heartbeat went silent past the grace");
+    kills_metric_ = metrics.counter(
+        "rtseed_proc_supervisor_kills_total",
+        "SIGKILLs the process supervisor delivered (stage 3 + chaos)");
+    respawns_metric_ = metrics.counter(
+        "rtseed_proc_supervisor_respawns_total",
+        "dead shard processes re-forked and journal-recovered");
+  }
+  stop_word_.store(0, std::memory_order_relaxed);
+  running_.store(true, std::memory_order_release);
+  rt::ThreadConfig tc;
+  tc.name = "rts-procsup";
+  tc.fifo_priority = config_.fifo_priority;
+  thread_ = std::make_unique<rt::RtThread>(tc, [this] { supervisor_loop(); });
+  return common::Status::ok();
+}
+
+void ProcessSupervisor::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stop_word_.store(1, std::memory_order_release);
+  rt::wake_word(stop_word_, 1);
+  if (thread_ && thread_->joinable()) thread_->join();
+  thread_.reset();
+}
+
+ProcessSupervisorStats ProcessSupervisor::stats() const {
+  ProcessSupervisorStats s;
+  s.stalls_detected = stalls_detected_.load(std::memory_order_relaxed);
+  s.probes = probes_.load(std::memory_order_relaxed);
+  s.terms = terms_.load(std::memory_order_relaxed);
+  s.kills = kills_.load(std::memory_order_relaxed);
+  s.reaps = reaps_.load(std::memory_order_relaxed);
+  s.respawns = respawns_.load(std::memory_order_relaxed);
+  s.chaos_kills = chaos_kills_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ProcessSupervisor::supervisor_loop() {
+  while (stop_word_.load(std::memory_order_acquire) == 0) {
+    const common::Nanos now = common::monotonic_now();
+    scan(now);
+    (void)rt::wait_word_until(stop_word_, 0, now + config_.poll_interval);
+  }
+}
+
+void ProcessSupervisor::scan_once(common::Nanos now) { scan(now); }
+
+void ProcessSupervisor::scan(common::Nanos now) {
+  const int count = group_->process_count();
+  if (watches_.size() != static_cast<common::usize>(count)) {
+    watches_.assign(static_cast<common::usize>(count), ProcessWatch{});
+  }
+
+  // Chaos: SIGKILL a live worker (round-robin over the group), driving
+  // the full detect → reap → respawn → journal-recover path the chaos
+  // suite asserts on.
+  if (config_.allow_chaos_kill && fault::try_fire(InjectPoint::kShardKill)) {
+    for (int tried = 0; tried < count; ++tried) {
+      const int victim = chaos_cursor_;
+      chaos_cursor_ = (chaos_cursor_ + 1) % count;
+      if (!group_->process_health(victim).alive) continue;
+      if (group_->signal_process(victim, SIGKILL)) {
+        chaos_kills_.fetch_add(1, std::memory_order_relaxed);
+        kills_.fetch_add(1, std::memory_order_relaxed);
+        if (kills_metric_ != nullptr) kills_metric_->increment();
+        common::global_logger().warn(
+            "proc-supervisor: chaos SIGKILL of shard %d of %s", victim,
+            group_name_.c_str());
+      }
+      break;
+    }
+  }
+
+  for (int k = 0; k < count; ++k) {
+    ProcessWatch& pw = watches_[static_cast<common::usize>(k)];
+
+    // Reap first: a death (clean exit, our SIGKILL, or a crash) shows up
+    // in the process table before anything else.
+    if (group_->reap_process(k)) {
+      reaps_.fetch_add(1, std::memory_order_relaxed);
+      obs::flight_trigger("shard-process-death");
+    }
+
+    const ProcessHealth health = group_->process_health(k);
+    if (!health.alive) {
+      if (config_.respawn_dead && group_->respawn_process(k)) {
+        respawns_.fetch_add(1, std::memory_order_relaxed);
+        if (respawns_metric_ != nullptr) respawns_metric_->increment();
+        common::global_logger().warn(
+            "proc-supervisor: respawned shard %d of %s", k,
+            group_name_.c_str());
+        pw = ProcessWatch{};
+      }
+      continue;
+    }
+
+    if (health.heartbeat != pw.last_heartbeat || pw.last_progress == 0) {
+      // Progress (or first sight): restart the ladder.
+      pw = ProcessWatch{};
+      pw.last_heartbeat = health.heartbeat;
+      pw.last_progress = now;
+      continue;
+    }
+
+    const common::Nanos silent = now - pw.last_progress;
+    if (!pw.probed && silent > config_.stall_grace) {
+      // Stage 1: probe — existence check, and the stall goes on record.
+      stalls_detected_.fetch_add(1, std::memory_order_relaxed);
+      if (stalls_metric_ != nullptr) stalls_metric_->increment();
+      probes_.fetch_add(1, std::memory_order_relaxed);
+      (void)group_->signal_process(k, 0);
+      common::global_logger().warn(
+          "proc-supervisor: shard %d of %s silent for %s (probed)", k,
+          group_name_.c_str(), common::format_duration(silent).c_str());
+      pw.probed = true;
+      pw.probed_at = now;
+      continue;
+    }
+    if (pw.probed && !pw.termed && now > pw.probed_at + config_.term_grace) {
+      // Stage 2: SIGTERM — give the drain path a chance to snapshot.
+      if (group_->signal_process(k, SIGTERM)) {
+        terms_.fetch_add(1, std::memory_order_relaxed);
+        common::global_logger().warn(
+            "proc-supervisor: SIGTERM to wedged shard %d of %s", k,
+            group_name_.c_str());
+      }
+      pw.termed = true;
+      pw.termed_at = now;
+      continue;
+    }
+    if (pw.termed && !pw.killed && now > pw.termed_at + config_.kill_grace) {
+      // Stage 3: SIGKILL — the journal makes this always safe.
+      if (group_->signal_process(k, SIGKILL)) {
+        kills_.fetch_add(1, std::memory_order_relaxed);
+        if (kills_metric_ != nullptr) kills_metric_->increment();
+        common::global_logger().warn(
+            "proc-supervisor: SIGKILL to wedged shard %d of %s", k,
+            group_name_.c_str());
+        obs::flight_trigger("shard-process-kill");
+      }
+      pw.killed = true;
+    }
+  }
+}
+
+}  // namespace rtseed::fault

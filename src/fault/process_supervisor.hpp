@@ -1,0 +1,158 @@
+// Process supervision — fault::Supervisor's escalation ladder lifted to
+// OS processes (DESIGN.md §14.5).
+//
+// The thread-pool Supervisor watches heartbeat words and escalates
+// force → signal → respawn inside one address space.  Crash-isolated
+// shard deployments need the same ladder across a process boundary: a
+// shard worker bumps a heartbeat word in the SHARED segment every loop,
+// and this parent-side supervisor polls those words plus waitpid, and
+// escalates a silent worker in stages:
+//
+//   stage 1 (stall_grace without a heartbeat): PROBE — kill(pid, 0) to
+//     distinguish "gone" from "wedged", and count the stall;
+//   stage 2 (term_grace later): SIGTERM — the worker's drain path writes
+//     a final snapshot and exits cleanly if it can still run;
+//   stage 3 (kill_grace later): SIGKILL — no negotiating with a wedged
+//     process holding no shared locks (the transport is lock-free and
+//     the journal is append-only, so the kill is always safe);
+//   reap: waitpid(WNOHANG) notices any death (clean, killed, or crashed),
+//     and the group's respawn hook re-forks the shard, which recovers
+//     from its journal.
+//
+// The group side of the contract is SupervisedProcessGroup, implemented
+// by shard::ProcessShardRuntime.  Like SupervisedPool, the interface
+// lives here (fault) and the implementation lives above (shard) so the
+// dependency graph stays acyclic.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/time.hpp"
+#include "obs/telemetry.hpp"
+#include "rt/thread.hpp"
+
+namespace rtseed::fault {
+
+/// Snapshot of one supervised process, read from shm + the process table.
+struct ProcessHealth {
+  bool alive = false;         ///< forked and not yet reaped
+  common::u64 heartbeat = 0;  ///< its shm heartbeat word
+  common::u32 pid = 0;
+};
+
+/// What the supervisor needs from a process group
+/// (shard::ProcessShardRuntime).
+class SupervisedProcessGroup {
+ public:
+  virtual ~SupervisedProcessGroup() = default;
+
+  virtual int process_count() const = 0;
+  virtual ProcessHealth process_health(int index) const = 0;
+
+  /// Delivers `signo` (0 = existence probe).  False when delivery failed
+  /// (already gone).
+  virtual bool signal_process(int index, int signo) = 0;
+
+  /// waitpid(WNOHANG)-reaps a dead process.  True when a death was
+  /// collected this call (the group marks the slot down).
+  virtual bool reap_process(int index) = 0;
+
+  /// Re-forks a reaped process (journal recovery inside).  False when
+  /// nothing was respawned.
+  virtual bool respawn_process(int index) = 0;
+};
+
+struct ProcessSupervisorConfig {
+  common::Nanos poll_interval = common::millis(2);
+  /// Heartbeat silence before stage-1 probe.
+  common::Nanos stall_grace = common::millis(50);
+  /// After the probe, silence before SIGTERM.
+  common::Nanos term_grace = common::millis(50);
+  /// After SIGTERM, silence before SIGKILL.
+  common::Nanos kill_grace = common::millis(100);
+  bool respawn_dead = true;
+  /// Chaos: rate-gated by fault::InjectPoint::kShardKill — when it fires,
+  /// the supervisor SIGKILLs a live process (round-robin), exercising
+  /// the full detect → reap → respawn → recover path.
+  bool allow_chaos_kill = false;
+  int fifo_priority = 0;  ///< 0 = best-effort (never preempts the RT band)
+};
+
+struct ProcessSupervisorStats {
+  common::u64 stalls_detected = 0;
+  common::u64 probes = 0;
+  common::u64 terms = 0;
+  common::u64 kills = 0;
+  common::u64 reaps = 0;
+  common::u64 respawns = 0;
+  common::u64 chaos_kills = 0;
+};
+
+class ProcessSupervisor {
+ public:
+  explicit ProcessSupervisor(ProcessSupervisorConfig config);
+  ~ProcessSupervisor();
+
+  ProcessSupervisor(const ProcessSupervisor&) = delete;
+  ProcessSupervisor& operator=(const ProcessSupervisor&) = delete;
+
+  /// Registers the group to watch (before start()); must outlive stop().
+  void watch(SupervisedProcessGroup* group, std::string name);
+
+  void set_telemetry(obs::Telemetry* telemetry);
+
+  common::Status start();
+  /// Stops and joins.  Call before tearing the group down.
+  void stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  ProcessSupervisorStats stats() const;
+
+  /// One synchronous scan on the caller's thread — deterministic tests
+  /// drive the ladder without the poll thread's timing.
+  void scan_once(common::Nanos now);
+
+ private:
+  /// Escalation state per process; reset whenever the heartbeat moves.
+  struct ProcessWatch {
+    common::u64 last_heartbeat = 0;
+    common::Nanos last_progress = 0;
+    bool probed = false;
+    common::Nanos probed_at = 0;
+    bool termed = false;
+    common::Nanos termed_at = 0;
+    bool killed = false;
+  };
+
+  void supervisor_loop();
+  void scan(common::Nanos now);
+
+  ProcessSupervisorConfig config_;
+  SupervisedProcessGroup* group_ = nullptr;
+  std::string group_name_;
+  std::vector<ProcessWatch> watches_;
+  int chaos_cursor_ = 0;
+
+  std::unique_ptr<rt::RtThread> thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint32_t> stop_word_{0};
+
+  std::atomic<common::u64> stalls_detected_{0};
+  std::atomic<common::u64> probes_{0};
+  std::atomic<common::u64> terms_{0};
+  std::atomic<common::u64> kills_{0};
+  std::atomic<common::u64> reaps_{0};
+  std::atomic<common::u64> respawns_{0};
+  std::atomic<common::u64> chaos_kills_{0};
+
+  obs::Telemetry* telemetry_ = nullptr;
+  obs::Counter* stalls_metric_ = nullptr;
+  obs::Counter* kills_metric_ = nullptr;
+  obs::Counter* respawns_metric_ = nullptr;
+};
+
+}  // namespace rtseed::fault

@@ -35,6 +35,7 @@
 
 #include "common/arena.hpp"
 #include "common/cacheline.hpp"
+#include "common/status.hpp"
 #include "lob/types.hpp"
 
 namespace rtseed::lob {
@@ -102,6 +103,31 @@ class BitmapBook {
   /// Fills `out[0..max)` with the best `max` levels of `side` (best
   /// first); returns how many were written.  O(levels visited).
   int collect_levels(Side side, LevelView* out, int max) const;
+
+  /// Handle of the order at the FRONT of `side`'s best-level FIFO — the
+  /// next to fill.  invalid() when the side is empty.  Purely a function
+  /// of book content, so a journaled workload that cancels/replaces "the
+  /// front order" replays to the same victims after recovery.
+  OrderId front_order(Side side) const;
+
+  // ---- snapshot / restore (crash recovery; lob/snapshot.cpp) -------------
+  //
+  // save_snapshot() serializes the COMPLETE book state — the raw order
+  // table (open cells, free-list links, generations) plus every scalar —
+  // and restore_snapshot() rebuilds the level lists and bitmaps from the
+  // cell links.  A restored book is bit-identical to the source: same
+  // digest, same future slot-allocation order, same seqs.  That is the
+  // property the journaled shard worker needs — replaying deltas on a
+  // restored book reproduces the pre-crash book exactly.
+
+  /// Bytes save_snapshot() writes for this book's config.
+  usize snapshot_bytes() const;
+  /// Serializes into `out` (>= snapshot_bytes()); returns bytes written,
+  /// 0 when `cap` is too small.
+  usize save_snapshot(void* out, usize cap) const;
+  /// Restores from a save_snapshot() image.  The image must come from a
+  /// book with an identical BookConfig (checked).
+  common::Status restore_snapshot(const void* data, usize bytes);
 
   /// Canonical content hash: sides, levels best→worst, orders in FIFO
   /// order, (price, seq, open qty).  Two books with equal digests hold

@@ -91,6 +91,39 @@ class RiskEngine {
   PriceTicks mark() const { return mark_; }
   bool has_mark() const { return have_mark_; }
 
+  /// Complete engine state as a trivially-copyable POD — the risk half
+  /// of a journal snapshot record.  restore() on a same-config engine
+  /// reproduces the source exactly (position, VWAP basis, veto counts).
+  struct Snapshot {
+    Stats stats;
+    Qty position = 0;
+    i64 entry_cost = 0;
+    i64 realized = 0;
+    PriceTicks mark = 0;
+    u32 have_mark = 0;
+    u32 pad_ = 0;
+  };
+
+  Snapshot snapshot() const {
+    Snapshot s;
+    s.stats = stats_;
+    s.position = position_;
+    s.entry_cost = entry_cost_;
+    s.realized = realized_;
+    s.mark = mark_;
+    s.have_mark = have_mark_ ? 1 : 0;
+    return s;
+  }
+
+  void restore(const Snapshot& s) {
+    stats_ = s.stats;
+    position_ = s.position;
+    entry_cost_ = s.entry_cost;
+    realized_ = s.realized;
+    mark_ = s.mark;
+    have_mark_ = s.have_mark != 0;
+  }
+
  private:
   RiskConfig config_;
   Stats stats_;

@@ -16,6 +16,8 @@ const char* root_cause_name(RootCause cause) {
       return "injected-fault";
     case RootCause::kSupervisorKill:
       return "supervisor-kill";
+    case RootCause::kShardFailover:
+      return "shard-failover";
     case RootCause::kBudgetOverrun:
       return "budget-overrun";
     case RootCause::kCircuitBreakerShed:
@@ -98,6 +100,7 @@ RootCause classify_miss(const JobTimeline& t) {
   if (!t.complete) return RootCause::kUnknown;
   if (t.injected_fault) return RootCause::kInjectedFault;
   if (t.supervisor_kill) return RootCause::kSupervisorKill;
+  if (t.shard_failover) return RootCause::kShardFailover;
   if (t.budget_overrun) return RootCause::kBudgetOverrun;
   if (t.clock_anomaly) return RootCause::kClockAnomaly;
   if (t.optionals_discarded) return RootCause::kMandatoryOverrun;
@@ -308,6 +311,13 @@ AttributionReport attribute_jobs(const TelemetrySnapshot& snapshot,
       if (kills != kill_times.end()) {
         t.supervisor_kill = in_window(kills->second);
       }
+      for (const auto& w : options.failover_windows) {
+        // Interval overlap; an open window (end == 0) extends forever.
+        if (w.begin <= t.finish && (w.end == 0 || w.end >= t.release)) {
+          t.shard_failover = true;
+          break;
+        }
+      }
     }
 
     if (t.missed) t.miss_cause = classify_miss(t);
@@ -365,6 +375,7 @@ std::string AttributionReport::to_json() const {
            ",\"supervisor_kill\":" + (t.supervisor_kill ? "true" : "false") +
            ",\"clock_anomaly\":" + (t.clock_anomaly ? "true" : "false") +
            ",\"injected_fault\":" + (t.injected_fault ? "true" : "false") +
+           ",\"shard_failover\":" + (t.shard_failover ? "true" : "false") +
            "},";
     const auto& p = t.phases;
     out += "\"phases_ns\":{\"wake\":" + std::to_string(p.wake) +

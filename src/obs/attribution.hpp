@@ -33,6 +33,7 @@ enum class RootCause : common::u8 {
   kNone = 0,        ///< nothing to explain (met deadline / nothing cut)
   kInjectedFault,   ///< a chaos-injector fault fired inside the job window
   kSupervisorKill,  ///< the supervisor killed a stalled optional worker
+  kShardFailover,   ///< a shard-process outage window overlapped the job
   kBudgetOverrun,   ///< the budget watchdog fired during the job
   kCircuitBreakerShed,  ///< the overload breaker withheld optional parts
   kClockAnomaly,    ///< the periodic clock misbehaved in the window
@@ -82,6 +83,7 @@ struct JobTimeline {
   bool supervisor_kill = false;
   bool clock_anomaly = false;
   bool injected_fault = false;  ///< an injector fire landed in the window
+  bool shard_failover = false;  ///< a shard outage overlapped [release, finish]
   PhaseBreakdown phases;
   RootCause miss_cause = RootCause::kNone;
   RootCause termination_cause = RootCause::kNone;
@@ -99,11 +101,22 @@ struct TaskAttribution {
   std::array<long, kNumRootCauses> termination_causes{};
 };
 
+/// One shard-process outage, [begin, end] in the SAME clock domain as the
+/// snapshot (the caller converts shard::FailoverWindow's CLOCK_MONOTONIC
+/// stamps if the snapshot clock is TSC).  end == 0 means still open.
+struct FailoverWindowRef {
+  common::u64 begin = 0;
+  common::u64 end = 0;
+};
+
 struct AttributionOptions {
   /// Injector fire log (fault::Injector::fire_log()), stamped in the SAME
   /// clock domain as the snapshot (Runtime installs the telemetry clock as
   /// the injector's timestamp source).  Empty when no chaos ran.
   std::vector<fault::FireRecord> fault_fires;
+  /// Shard outages (shard::ProcessShardRuntime::failover_windows()); a
+  /// miss whose job window overlaps one is attributed to shard-failover.
+  std::vector<FailoverWindowRef> failover_windows;
 };
 
 struct AttributionReport {

@@ -107,6 +107,36 @@ bool wait_word_until(std::atomic<std::uint32_t>& word,
   return true;
 }
 
+void wake_word_shared(std::atomic<std::uint32_t>& word, int count) {
+  count_wake();
+  // No FUTEX_PRIVATE_FLAG: the kernel keys on the physical page, so a
+  // waiter in another process mapping the same segment is found.
+  sys_futex(&word, FUTEX_WAKE, static_cast<std::uint32_t>(count), nullptr, 0);
+}
+
+bool wait_word_shared_until(std::atomic<std::uint32_t>& word,
+                            std::uint32_t expected,
+                            common::Nanos abs_deadline) {
+  const timespec ts = common::to_timespec(abs_deadline < 0 ? 0 : abs_deadline);
+  while (word.load(std::memory_order_acquire) == expected) {
+    if (fault::try_fire(fault::InjectPoint::kEintrStorm)) {
+      if (common::monotonic_now() >= abs_deadline) {
+        return word.load(std::memory_order_acquire) != expected;
+      }
+      continue;
+    }
+    count_sleep();
+    const long rc = sys_futex(&word, FUTEX_WAIT_BITSET, expected, &ts,
+                              FUTEX_BITSET_MATCH_ANY);
+    // EINTR (signal), EAGAIN (word changed first) both fall through to
+    // the word re-check; only a real timeout ends the wait.
+    if (rc == -1 && errno == ETIMEDOUT) {
+      return word.load(std::memory_order_acquire) != expected;
+    }
+  }
+  return true;
+}
+
 #else  // portable std::atomic wait/notify fallback
 
 bool futex_backend() { return false; }
@@ -148,6 +178,37 @@ bool wait_word_until(std::atomic<std::uint32_t>& word,
       continue;
     }
     // Chaos: skip the sleep slice, as an interrupted nanosleep would.
+    if (fault::try_fire(fault::InjectPoint::kEintrStorm)) continue;
+    count_sleep();
+    const common::Nanos slice = std::min(kMaxSlice, abs_deadline - now);
+    std::this_thread::sleep_for(std::chrono::nanoseconds(slice));
+  }
+}
+
+void wake_word_shared(std::atomic<std::uint32_t>& word, int count) {
+  // The waiter below never sleeps on a notify primitive (std::atomic's
+  // wait table is process-private), so there is nobody to notify: it
+  // polls the word in bounded slices and sees the store directly.
+  (void)word;
+  (void)count;
+  count_wake();
+}
+
+bool wait_word_shared_until(std::atomic<std::uint32_t>& word,
+                            std::uint32_t expected,
+                            common::Nanos abs_deadline) {
+  constexpr common::Nanos kMaxSlice = common::micros(200);
+  int spins = 256;
+  for (;;) {
+    if (word.load(std::memory_order_acquire) != expected) return true;
+    const common::Nanos now = common::monotonic_now();
+    if (now >= abs_deadline) {
+      return word.load(std::memory_order_acquire) != expected;
+    }
+    if (spins-- > 0) {
+      cpu_relax();
+      continue;
+    }
     if (fault::try_fire(fault::InjectPoint::kEintrStorm)) continue;
     count_sleep();
     const common::Nanos slice = std::min(kMaxSlice, abs_deadline - now);

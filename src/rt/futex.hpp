@@ -76,4 +76,31 @@ void wait_word(std::atomic<std::uint32_t>& word, std::uint32_t expected);
 bool wait_word_until(std::atomic<std::uint32_t>& word,
                      std::uint32_t expected, common::Nanos abs_deadline);
 
+// ---- cross-PROCESS variants ------------------------------------------------
+//
+// The wait/wake pair above uses FUTEX_PRIVATE_FLAG: correct and cheaper
+// for threads of one process, silently broken for a word in a MAP_SHARED
+// segment watched from another process.  The _shared variants drop the
+// flag so the kernel keys the wait on the physical page — the doorbell
+// substrate of the multi-process shard transport (common::ShmSpscRing).
+//
+// EINTR discipline: a signal interrupting the wait (the shard worker
+// processes take SIGTERM from the supervisor) re-checks the word and the
+// deadline and re-enters the wait — a drain loop can never be silently
+// aborted by a stray signal.  The portable fallback polls in bounded
+// slices (std::atomic::wait is not cross-process safe), which keeps the
+// same contract at CI-grade latency.
+
+/// Wakes up to `count` PROCESSES (or threads) blocked in
+/// wait_word_shared_until on `word`, which may live in shared memory.
+void wake_word_shared(std::atomic<std::uint32_t>& word, int count);
+
+/// Blocks while `word == expected`, until the absolute CLOCK_MONOTONIC
+/// deadline.  Cross-process safe; EINTR and spurious wakes re-check and
+/// re-enter.  Returns false iff the deadline passed with the word still
+/// equal to `expected`.
+bool wait_word_shared_until(std::atomic<std::uint32_t>& word,
+                            std::uint32_t expected,
+                            common::Nanos abs_deadline);
+
 }  // namespace rtseed::rt

@@ -116,4 +116,101 @@ ShardedPlan plan_sharded(const std::vector<SymbolTaskSet>& groups,
   return plan;
 }
 
+FailoverPlan plan_failover(const std::vector<SymbolTaskSet>& groups,
+                           const ShardedPlan& current, int dead_shard,
+                           const std::vector<int>& shard_cores,
+                           const ShardedOptions& options) {
+  FailoverPlan failover;
+  const int num_shards = static_cast<int>(shard_cores.size());
+  if (dead_shard < 0 || dead_shard >= num_shards) {
+    failover.diagnostics = "dead shard out of range";
+    return failover;
+  }
+  if (num_shards < 2) {
+    failover.diagnostics = "no surviving shard to migrate to";
+    return failover;
+  }
+  if (current.groups.size() != groups.size()) {
+    failover.diagnostics = "current plan does not cover these groups";
+    return failover;
+  }
+
+  // Start from the current placement with the dead shard emptied.
+  ShardedPlan& plan = failover.plan;
+  plan = current;
+  plan.shard_tasks[static_cast<size_t>(dead_shard)] = TaskSet{};
+  plan.shards[static_cast<size_t>(dead_shard)] = PRmwpPlan{};
+  plan.shards[static_cast<size_t>(dead_shard)].schedulable = true;
+  plan.shards[static_cast<size_t>(dead_shard)].processor_utilization.assign(
+      static_cast<size_t>(shard_cores[static_cast<size_t>(dead_shard)]), 0.0);
+  plan.shard_utilization[static_cast<size_t>(dead_shard)] = 0.0;
+
+  bool all_placed = true;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    if (current.groups[g].shard != dead_shard) continue;
+    const auto& group = groups[g];
+    auto& placement = plan.groups[g];
+    placement.shard = -1;
+    placement.local_task_ids.clear();
+    if (group.tasks.empty()) {
+      // Task-less symbols just re-route; hash order picks the survivor.
+      placement.shard = static_cast<int>(
+          symbol_hash(group.symbol) % static_cast<common::u32>(num_shards));
+      if (placement.shard == dead_shard) {
+        placement.shard = (placement.shard + 1) % num_shards;
+      }
+      placement.spilled = placement.shard != placement.home;
+      failover.moved_groups.push_back(g);
+      continue;
+    }
+
+    // Survivors, least-utilized first (deterministic tie-break on index).
+    std::vector<int> order;
+    for (int s = 0; s < num_shards; ++s) {
+      if (s != dead_shard) order.push_back(s);
+    }
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return plan.shard_utilization[static_cast<size_t>(a)] <
+             plan.shard_utilization[static_cast<size_t>(b)];
+    });
+
+    PRmwpPlan admitted;
+    for (const int s : order) {
+      TaskSet candidate = plan.shard_tasks[static_cast<size_t>(s)];
+      for (const auto& t : group.tasks) candidate.add(t);
+      admitted = plan_p_rmwp(candidate, shard_cores[static_cast<size_t>(s)],
+                             shard_options(options, static_cast<size_t>(s)));
+      if (!admitted.schedulable) continue;
+      placement.shard = s;
+      placement.spilled = (s != placement.home);
+      auto& shard_set = plan.shard_tasks[static_cast<size_t>(s)];
+      for (const auto& t : group.tasks) {
+        placement.local_task_ids.push_back(shard_set.size());
+        shard_set.add(t);
+      }
+      plan.shards[static_cast<size_t>(s)] = std::move(admitted);
+      plan.shard_utilization[static_cast<size_t>(s)] =
+          shard_set.total_utilization() /
+          shard_cores[static_cast<size_t>(s)];
+      failover.moved_groups.push_back(g);
+      break;
+    }
+    if (placement.shard < 0) {
+      all_placed = false;
+      if (!failover.diagnostics.empty()) failover.diagnostics += "; ";
+      failover.diagnostics +=
+          "symbol " + std::to_string(group.symbol) +
+          ": no surviving shard admits its task group";
+    }
+  }
+
+  plan.spill_count = 0;
+  for (const auto& placement : plan.groups) {
+    if (placement.spilled) ++plan.spill_count;
+  }
+  plan.feasible = all_placed;
+  failover.feasible = all_placed;
+  return failover;
+}
+
 }  // namespace rtseed::sched

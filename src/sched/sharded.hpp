@@ -89,4 +89,27 @@ ShardedPlan plan_sharded(const std::vector<SymbolTaskSet>& groups,
                          const std::vector<int>& shard_cores,
                          const ShardedOptions& options = {});
 
+/// Online re-sharding after shard `dead_shard` fails (DESIGN.md §14.4).
+struct FailoverPlan {
+  bool feasible = false;  ///< every displaced group found a survivor
+  /// Indices (into the input `groups`) of the groups that migrated off
+  /// the dead shard, in placement order.
+  std::vector<common::usize> moved_groups;
+  /// The complete post-failover placement: the dead shard is empty, the
+  /// surviving shards' existing placements are UNCHANGED (restricted
+  /// migration — only the dead shard's groups move).
+  ShardedPlan plan;
+  std::string diagnostics;
+};
+
+/// Re-places the dead shard's groups onto the least-utilized surviving
+/// shards that admit them (the same admission rule as plan_sharded).
+/// Survivor placements never change: a failover migrates exactly the
+/// displaced groups, at a period boundary, wholesale.  `current` must be
+/// a feasible plan over the same `groups` and `shard_cores`.
+FailoverPlan plan_failover(const std::vector<SymbolTaskSet>& groups,
+                           const ShardedPlan& current, int dead_shard,
+                           const std::vector<int>& shard_cores,
+                           const ShardedOptions& options = {});
+
 }  // namespace rtseed::sched

@@ -1,0 +1,285 @@
+#include "shard/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "fault/injector.hpp"
+
+namespace rtseed::shard {
+
+namespace {
+
+constexpr u32 kRecordMagic = 0x524A4E4Cu;  // "RJNL"
+constexpr u32 kKindDelta = 1;
+constexpr u32 kKindSnapshot = 2;
+
+/// 32-byte frame ahead of every payload.  The digest covers kind, seq,
+/// payload size, and the payload bytes — a record is either completely
+/// valid or completely ignored.
+struct RecordHeader {
+  u32 magic = 0;
+  u32 kind = 0;
+  u64 seq = 0;
+  u32 payload_bytes = 0;
+  u32 pad = 0;
+  u64 digest = 0;
+};
+static_assert(sizeof(RecordHeader) == 32, "stable on-disk frame");
+
+/// Snapshot payload = this prefix + the raw book image.
+struct SnapshotPrefix {
+  lob::RiskEngine::Snapshot risk;
+  u64 book_bytes = 0;
+};
+static_assert(std::is_trivially_copyable_v<SnapshotPrefix>);
+
+u64 fnv1a_init() { return 0xCBF29CE484222325ULL; }
+u64 fnv1a(u64 h, const void* data, usize bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (usize i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+u64 record_digest(const RecordHeader& header, const void* payload_a,
+                  usize bytes_a, const void* payload_b, usize bytes_b) {
+  u64 h = fnv1a_init();
+  h = fnv1a(h, &header.kind, sizeof(header.kind));
+  h = fnv1a(h, &header.seq, sizeof(header.seq));
+  h = fnv1a(h, &header.payload_bytes, sizeof(header.payload_bytes));
+  if (bytes_a > 0) h = fnv1a(h, payload_a, bytes_a);
+  if (bytes_b > 0) h = fnv1a(h, payload_b, bytes_b);
+  return h;
+}
+
+/// write(2) with EINTR retry; short writes continue from where they
+/// stopped (regular-file writes are short only on ENOSPC-class errors).
+bool write_fully(int fd, const void* data, usize bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  usize done = 0;
+  while (done < bytes) {
+    const ssize_t n = ::write(fd, p + done, bytes - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<usize>(n);
+  }
+  return true;
+}
+
+bool pread_fully(int fd, void* data, usize bytes, usize offset) {
+  auto* p = static_cast<unsigned char*>(data);
+  usize done = 0;
+  while (done < bytes) {
+    const ssize_t n = ::pread(fd, p + done, bytes - done,
+                              static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // EOF mid-record: torn tail
+    done += static_cast<usize>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+StateJournal::~StateJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+StateJournal& StateJournal::operator=(StateJournal&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    path_ = std::move(other.path_);
+    options_ = other.options_;
+    fd_ = std::exchange(other.fd_, -1);
+    write_offset_ = other.write_offset_;
+    scratch_ = std::move(other.scratch_);
+    scratch_bytes_ = other.scratch_bytes_;
+    poisoned_ = other.poisoned_;
+    torn_appends_ = other.torn_appends_;
+  }
+  return *this;
+}
+
+common::Expected<StateJournal> StateJournal::open(const std::string& path,
+                                                  const Options& options) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return common::internal_error("journal open failed: " +
+                                  std::string(std::strerror(errno)));
+  }
+  StateJournal journal;
+  journal.path_ = path;
+  journal.options_ = options;
+  journal.fd_ = fd;
+  journal.scratch_bytes_ =
+      sizeof(RecordHeader) + sizeof(SnapshotPrefix) +
+      options.max_book_image_bytes;
+  journal.scratch_ = std::make_unique<unsigned char[]>(journal.scratch_bytes_);
+  const off_t end = ::lseek(fd, 0, SEEK_END);
+  journal.write_offset_ = end > 0 ? static_cast<usize>(end) : 0;
+  return journal;
+}
+
+common::Expected<StateJournal::RecoverResult> StateJournal::recover(
+    SnapshotSink on_snapshot, DeltaSink on_delta) {
+  if (!valid()) return common::failed_precondition("journal not open");
+  RecoverResult result;
+
+  const off_t end_off = ::lseek(fd_, 0, SEEK_END);
+  const usize file_bytes = end_off > 0 ? static_cast<usize>(end_off) : 0;
+
+  // Pass 1: walk the frames, digest-checking each, remembering the
+  // offset of the newest valid snapshot and where validity ends.
+  usize offset = 0;
+  usize valid_end = 0;
+  usize snapshot_offset = 0;
+  bool have_snapshot = false;
+  while (offset + sizeof(RecordHeader) <= file_bytes) {
+    RecordHeader header;
+    if (!pread_fully(fd_, &header, sizeof(header), offset)) break;
+    if (header.magic != kRecordMagic) break;
+    if (header.payload_bytes > scratch_bytes_) break;
+    if (offset + sizeof(header) + header.payload_bytes > file_bytes) break;
+    if (!pread_fully(fd_, scratch_.get(), header.payload_bytes,
+                     offset + sizeof(header))) {
+      break;
+    }
+    if (record_digest(header, scratch_.get(), header.payload_bytes, nullptr,
+                      0) != header.digest) {
+      break;
+    }
+    if (header.kind == kKindSnapshot) {
+      snapshot_offset = offset;
+      have_snapshot = true;
+    } else if (header.kind != kKindDelta) {
+      break;  // unknown kind: stop trusting the file here
+    }
+    result.last_seq = header.seq;
+    offset += sizeof(header) + header.payload_bytes;
+    valid_end = offset;
+  }
+  result.tail_truncated = valid_end < file_bytes;
+
+  // Pass 2: deliver the snapshot, then every delta after it.
+  if (have_snapshot) {
+    RecordHeader header;
+    pread_fully(fd_, &header, sizeof(header), snapshot_offset);
+    pread_fully(fd_, scratch_.get(), header.payload_bytes,
+                snapshot_offset + sizeof(header));
+    if (header.payload_bytes < sizeof(SnapshotPrefix)) {
+      return common::failed_precondition("journal: snapshot frame too small");
+    }
+    SnapshotPrefix prefix;
+    std::memcpy(&prefix, scratch_.get(), sizeof(prefix));
+    if (sizeof(SnapshotPrefix) + prefix.book_bytes != header.payload_bytes) {
+      return common::failed_precondition(
+          "journal: snapshot prefix disagrees with frame size");
+    }
+    result.snapshot_seq = header.seq;
+    if (auto st = on_snapshot(header.seq,
+                              scratch_.get() + sizeof(SnapshotPrefix),
+                              static_cast<usize>(prefix.book_bytes),
+                              prefix.risk);
+        !st) {
+      return st;
+    }
+  }
+  usize replay_offset = have_snapshot ? snapshot_offset : 0;
+  if (have_snapshot) {
+    RecordHeader header;
+    pread_fully(fd_, &header, sizeof(header), snapshot_offset);
+    replay_offset = snapshot_offset + sizeof(header) + header.payload_bytes;
+  }
+  while (replay_offset < valid_end) {
+    RecordHeader header;
+    pread_fully(fd_, &header, sizeof(header), replay_offset);
+    pread_fully(fd_, scratch_.get(), header.payload_bytes,
+                replay_offset + sizeof(header));
+    if (header.kind == kKindDelta) {
+      if (header.payload_bytes != sizeof(ShardMessage)) {
+        return common::failed_precondition("journal: delta frame size");
+      }
+      ShardMessage msg;
+      std::memcpy(&msg, scratch_.get(), sizeof(msg));
+      on_delta(msg);
+      ++result.deltas_replayed;
+    }
+    replay_offset += sizeof(header) + header.payload_bytes;
+  }
+
+  // Cut the torn tail so new appends start on a frame boundary.
+  if (result.tail_truncated) {
+    if (::ftruncate(fd_, static_cast<off_t>(valid_end)) != 0) {
+      return common::internal_error("journal: tail truncate failed");
+    }
+  }
+  ::lseek(fd_, static_cast<off_t>(valid_end), SEEK_SET);
+  write_offset_ = valid_end;
+  return result;
+}
+
+common::Status StateJournal::append_record(u32 kind, u64 seq,
+                                           const void* payload_a,
+                                           usize bytes_a,
+                                           const void* payload_b,
+                                           usize bytes_b) {
+  if (!valid()) return common::failed_precondition("journal not open");
+  if (poisoned_) return common::internal_error("journal poisoned (torn)");
+  RecordHeader header;
+  header.magic = kRecordMagic;
+  header.kind = kind;
+  header.seq = seq;
+  header.payload_bytes = static_cast<u32>(bytes_a + bytes_b);
+  header.digest = record_digest(header, payload_a, bytes_a, payload_b,
+                                bytes_b);
+
+  // Chaos: die mid-append — write the header and roughly half the
+  // payload, then refuse all further writes.  Recovery must treat the
+  // result exactly like a SIGKILL between two write(2) calls.
+  if (fault::try_fire(fault::InjectPoint::kJournalTruncate)) {
+    poisoned_ = true;
+    ++torn_appends_;
+    write_fully(fd_, &header, sizeof(header));
+    if (bytes_a > 0) write_fully(fd_, payload_a, bytes_a / 2);
+    return common::internal_error("journal torn by injection");
+  }
+
+  if (!write_fully(fd_, &header, sizeof(header)) ||
+      (bytes_a > 0 && !write_fully(fd_, payload_a, bytes_a)) ||
+      (bytes_b > 0 && !write_fully(fd_, payload_b, bytes_b))) {
+    return common::internal_error("journal append failed");
+  }
+  write_offset_ += sizeof(header) + bytes_a + bytes_b;
+  if (options_.sync_each_append) ::fdatasync(fd_);
+  return common::Status::ok();
+}
+
+common::Status StateJournal::append_delta(u64 seq, const ShardMessage& msg) {
+  return append_record(kKindDelta, seq, &msg, sizeof(msg), nullptr, 0);
+}
+
+common::Status StateJournal::append_snapshot(
+    u64 seq, const void* book_image, usize book_bytes,
+    const lob::RiskEngine::Snapshot& risk) {
+  if (book_bytes > options_.max_book_image_bytes) {
+    return common::invalid_argument("journal: book image exceeds option cap");
+  }
+  SnapshotPrefix prefix;
+  prefix.risk = risk;
+  prefix.book_bytes = book_bytes;
+  return append_record(kKindSnapshot, seq, &prefix, sizeof(prefix),
+                       book_image, book_bytes);
+}
+
+}  // namespace rtseed::shard

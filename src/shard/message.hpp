@@ -30,6 +30,7 @@ enum class MessageKind : u32 {
   kJobResult = 2,   ///< per-job outcome a shard reports outward
   kNewOrder = 3,    ///< client order submission headed for the shard's OMS
   kExecReport = 4,  ///< per-job OMS execution summary reported outward
+  kFlow = 5,        ///< order-flow delta for a journaled shard worker
 };
 
 struct ShardMessage {
@@ -62,6 +63,13 @@ struct ShardMessage {
       u32 misses;        ///< cumulative deadline misses
       u32 shed;          ///< 1 when the drawdown breaker shed this job
     } exec;
+    struct {
+      i64 price_ticks;   ///< limit price (add/replace); ignored otherwise
+      i64 qty;           ///< lots (add/replace/market)
+      u32 flow_kind;     ///< lob::FlowKind
+      u32 side;          ///< lob::Side
+      u64 pick;          ///< victim selector for cancel/replace
+    } flow;
   } body = {};
 };
 

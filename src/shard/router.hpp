@@ -1,0 +1,34 @@
+// The routing contract a feed producer needs from a shard deployment:
+// which shard owns a symbol right now, and the transport to post on.
+//
+// Two implementations: shard::ShardedRuntime (in-process shards — the
+// placement is fixed at start()) and shard::ProcessShardRuntime
+// (crash-isolated worker processes — shard_of() additionally reflects
+// live failover redirects, so a producer keeps routing correctly while
+// a shard is down).  trading::FeedRouter speaks only this interface,
+// which is what makes failover cutover a router-transparent event.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace rtseed::shard {
+
+class ShardTransport;
+
+class ShardRouter {
+ public:
+  virtual ~ShardRouter() = default;
+
+  /// How many shards the deployment runs.
+  virtual int num_shards() const = 0;
+
+  /// The shard currently responsible for `symbol` — placement plus any
+  /// active failover redirect.  Stable within a pump round.
+  virtual int shard_of(common::u32 symbol) const = 0;
+
+  /// The transport to acquire/post on.  Valid once the deployment is
+  /// started.
+  virtual ShardTransport* transport() = 0;
+};
+
+}  // namespace rtseed::shard

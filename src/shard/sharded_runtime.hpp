@@ -25,6 +25,7 @@
 #include "common/topology.hpp"
 #include "core/runtime.hpp"
 #include "sched/sharded.hpp"
+#include "shard/router.hpp"
 #include "shard/transport.hpp"
 
 namespace rtseed::shard {
@@ -74,10 +75,10 @@ struct ShardedReport {
   u64 pool_exhausted = 0;
 };
 
-class ShardedRuntime {
+class ShardedRuntime : public ShardRouter {
  public:
   explicit ShardedRuntime(ShardedRuntimeOptions options);
-  ~ShardedRuntime();
+  ~ShardedRuntime() override;
 
   ShardedRuntime(const ShardedRuntime&) = delete;
   ShardedRuntime& operator=(const ShardedRuntime&) = delete;
@@ -98,14 +99,16 @@ class ShardedRuntime {
   void stop();
   ShardedReport stop_and_report();
 
-  int num_shards() const { return static_cast<int>(shard_cores_.size()); }
+  int num_shards() const override {
+    return static_cast<int>(shard_cores_.size());
+  }
   bool started() const { return started_; }
 
   /// The shard that owns `symbol` under the current plan: its home shard
   /// unless its group spilled.  Falls back to the stateless hash rule
   /// for symbols the plan has never seen (they carry no tasks, but their
   /// ticks still need a destination).
-  int shard_of(u32 symbol) const;
+  int shard_of(u32 symbol) const override;
 
   /// Cores of shard `s` (parent topology core ids).
   const std::vector<common::CoreId>& shard_cores(int s) const {
@@ -116,7 +119,7 @@ class ShardedRuntime {
   }
 
   /// Valid after start().
-  ShardTransport* transport() { return transport_.get(); }
+  ShardTransport* transport() override { return transport_.get(); }
   core::Runtime* shard_runtime(int s) {
     return runtimes_[static_cast<usize>(s)].get();
   }

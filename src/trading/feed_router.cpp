@@ -1,8 +1,10 @@
 #include "trading/feed_router.hpp"
 
+#include "shard/transport.hpp"
+
 namespace rtseed::trading {
 
-FeedRouter::FeedRouter(shard::ShardedRuntime* runtime) : runtime_(runtime) {}
+FeedRouter::FeedRouter(shard::ShardRouter* router) : runtime_(router) {}
 
 void FeedRouter::add_feed(common::u32 symbol,
                           std::unique_ptr<MarketFeed> feed) {

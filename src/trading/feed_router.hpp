@@ -1,11 +1,14 @@
 // Symbol-partitioned feed fan-out (DESIGN.md §12).
 //
 // One FeedRouter owns the market feeds of every traded symbol and pumps
-// their quotes into a ShardedRuntime's transport: each tick is acquired
+// their quotes into a shard deployment's transport: each tick is acquired
 // from the message pool, stamped, and posted to the ingress ring of the
-// shard its symbol lives on.  Routing consults the planner's placement
-// (ShardedRuntime::shard_of) so spilled symbols reach their actual shard,
-// not just their hash home.
+// shard its symbol lives on.  Routing consults the deployment through the
+// shard::ShardRouter interface — the planner's placement for in-process
+// ShardedRuntime, placement PLUS live failover redirects for the
+// crash-isolated ProcessShardRuntime — so spilled or failed-over symbols
+// reach their actual shard, not just their hash home, and a shard outage
+// is a router-transparent cutover.
 //
 // The pump path is allocation-free: acquire/fill/post on the transport's
 // fixed structures.  Full rings and an exhausted pool DROP the tick and
@@ -15,7 +18,7 @@
 #include <memory>
 #include <vector>
 
-#include "shard/sharded_runtime.hpp"
+#include "shard/router.hpp"
 #include "trading/market_feed.hpp"
 
 namespace rtseed::trading {
@@ -28,8 +31,8 @@ struct FeedRouterStats {
 
 class FeedRouter {
  public:
-  /// `runtime` must outlive the router and be start()ed before pump().
-  explicit FeedRouter(shard::ShardedRuntime* runtime);
+  /// `router` must outlive the router and be start()ed before pump().
+  explicit FeedRouter(shard::ShardRouter* router);
 
   /// Registers `symbol`'s quote source.  Setup path (allocates).
   void add_feed(common::u32 symbol, std::unique_ptr<MarketFeed> feed);
@@ -49,7 +52,7 @@ class FeedRouter {
     std::unique_ptr<MarketFeed> feed;
   };
 
-  shard::ShardedRuntime* runtime_;
+  shard::ShardRouter* runtime_;
   std::vector<RoutedFeed> feeds_;
   FeedRouterStats stats_;
 };

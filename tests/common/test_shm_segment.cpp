@@ -1,0 +1,135 @@
+// Reattach hygiene for header-formatted shared segments: every mismatch
+// (magic, layout, size, epoch) and the torn-write generation must fail
+// the attach loudly, and a forked child must be able to double-attach
+// the same memfd and see the creator's bytes.
+#include "common/shm.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace rtseed::common {
+namespace {
+
+constexpr u64 kEpoch = 77;
+constexpr u64 kLayout = 3;
+constexpr usize kBytes = 4096;
+
+ShmSegment formatted_segment() {
+  auto segment = ShmSegment::create(kBytes, "rtseed-test-seg");
+  EXPECT_TRUE(segment.has_value());
+  format_segment_header(segment->data(), kBytes, kEpoch, kLayout);
+  return std::move(*segment);
+}
+
+TEST(SegmentHeader, ValidatesAFreshFormat) {
+  const ShmSegment segment = formatted_segment();
+  EXPECT_TRUE(
+      validate_segment_header(segment.data(), kBytes, kEpoch, kLayout).is_ok());
+}
+
+TEST(SegmentHeader, RejectsForeignMagic) {
+  const ShmSegment segment = formatted_segment();
+  auto* header = static_cast<SegmentHeader*>(segment.data());
+  header->magic.store(0xDEADBEEFu, std::memory_order_release);
+  EXPECT_FALSE(
+      validate_segment_header(segment.data(), kBytes, kEpoch, kLayout).is_ok());
+}
+
+TEST(SegmentHeader, RejectsLayoutVersionMismatch) {
+  const ShmSegment segment = formatted_segment();
+  EXPECT_FALSE(
+      validate_segment_header(segment.data(), kBytes, kEpoch, kLayout + 1)
+          .is_ok());
+}
+
+TEST(SegmentHeader, RejectsSizeMismatch) {
+  const ShmSegment segment = formatted_segment();
+  EXPECT_FALSE(
+      validate_segment_header(segment.data(), kBytes * 2, kEpoch, kLayout)
+          .is_ok());
+}
+
+TEST(SegmentHeader, RejectsStaleEpoch) {
+  // The stale-fd case: a segment formatted by a previous incarnation
+  // carries that incarnation's epoch and must not alias the new one.
+  const ShmSegment segment = formatted_segment();
+  EXPECT_FALSE(
+      validate_segment_header(segment.data(), kBytes, kEpoch + 1, kLayout)
+          .is_ok());
+}
+
+TEST(SegmentHeader, RejectsTornGenerationUntilRepaired) {
+  const ShmSegment segment = formatted_segment();
+  auto* header = static_cast<SegmentHeader*>(segment.data());
+  // A writer died mid-mutation: generation left odd.
+  header->generation.fetch_add(1, std::memory_order_acq_rel);
+  EXPECT_FALSE(
+      validate_segment_header(segment.data(), kBytes, kEpoch, kLayout).is_ok());
+
+  EXPECT_TRUE(repair_torn_segment(segment.data()));
+  EXPECT_TRUE(
+      validate_segment_header(segment.data(), kBytes, kEpoch, kLayout).is_ok());
+  EXPECT_EQ(header->torn_repairs.load(), 1u);
+  // Repairing an intact segment is a no-op.
+  EXPECT_FALSE(repair_torn_segment(segment.data()));
+  EXPECT_EQ(header->torn_repairs.load(), 1u);
+}
+
+TEST(SegmentHeader, WriteGuardMarksTheMutationWindow) {
+  const ShmSegment segment = formatted_segment();
+  auto* header = static_cast<SegmentHeader*>(segment.data());
+  const u64 before = header->generation.load();
+  EXPECT_EQ(before % 2, 0u);
+  {
+    ShmWriteGuard guard(header);
+    EXPECT_EQ(header->generation.load() % 2, 1u);  // torn if we died here
+    EXPECT_FALSE(
+        validate_segment_header(segment.data(), kBytes, kEpoch, kLayout)
+            .is_ok());
+  }
+  EXPECT_EQ(header->generation.load(), before + 2);
+  EXPECT_TRUE(
+      validate_segment_header(segment.data(), kBytes, kEpoch, kLayout).is_ok());
+}
+
+TEST(ShmSegment, ForkedChildDoubleAttachesByFd) {
+  const ShmSegment segment = formatted_segment();
+  if (segment.fd() < 0) {
+    GTEST_SKIP() << "anonymous-mapping fallback: no fd to reattach";
+  }
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: a second, independent mapping of the same physical pages.
+    auto attached = ShmSegment::attach(segment.fd(), kBytes);
+    if (!attached.has_value()) _exit(10);
+    const auto validated =
+        validate_segment_header(attached->data(), kBytes, kEpoch, kLayout);
+    if (!validated.is_ok()) _exit(11);
+    auto* header = static_cast<SegmentHeader*>(attached->data());
+    header->attach_count.fetch_add(1, std::memory_order_acq_rel);
+    _exit(0);
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  // The child's store is visible through the parent's mapping.
+  const auto* header = static_cast<const SegmentHeader*>(segment.data());
+  EXPECT_EQ(header->attach_count.load(std::memory_order_acquire), 1u);
+}
+
+TEST(ShmSegment, AttachRejectsOversizedRequest) {
+  const ShmSegment segment = formatted_segment();
+  if (segment.fd() < 0) {
+    GTEST_SKIP() << "anonymous-mapping fallback: no fd to reattach";
+  }
+  EXPECT_FALSE(ShmSegment::attach(segment.fd(), kBytes * 64).has_value());
+}
+
+}  // namespace
+}  // namespace rtseed::common

@@ -1,0 +1,224 @@
+// ProcessSupervisor escalation ladder, driven deterministically through
+// scan_once() against a fake process group — no real processes, no
+// timing races: the test owns the clock.
+#include "fault/process_supervisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <vector>
+
+#include "common/time.hpp"
+#include "fault/injector.hpp"
+
+namespace rtseed::fault {
+namespace {
+
+using common::millis;
+using common::Nanos;
+
+/// Scripted process group: the test sets health; the supervisor's
+/// signals/reaps/respawns are recorded.
+class FakeGroup : public SupervisedProcessGroup {
+ public:
+  explicit FakeGroup(int count) : health_(count) {
+    for (int i = 0; i < count; ++i) {
+      health_[i].alive = true;
+      health_[i].pid = static_cast<common::u32>(1000 + i);
+    }
+  }
+
+  int process_count() const override {
+    return static_cast<int>(health_.size());
+  }
+  ProcessHealth process_health(int index) const override {
+    return health_[static_cast<common::usize>(index)];
+  }
+  bool signal_process(int index, int signo) override {
+    signals_.push_back({index, signo});
+    if (signo == SIGKILL) {
+      // A SIGKILLed fake dies immediately (reaped on the next scan).
+      health_[static_cast<common::usize>(index)].reapable = true;
+    }
+    return health_[static_cast<common::usize>(index)].alive;
+  }
+  bool reap_process(int index) override {
+    auto& h = health_[static_cast<common::usize>(index)];
+    if (!h.reapable) return false;
+    h.reapable = false;
+    h.alive = false;
+    ++reaps_;
+    return true;
+  }
+  bool respawn_process(int index) override {
+    auto& h = health_[static_cast<common::usize>(index)];
+    if (h.alive) return false;
+    h.alive = true;
+    h.heartbeat = 0;
+    ++respawns_;
+    return true;
+  }
+
+  void beat(int index) { ++health_[static_cast<common::usize>(index)].heartbeat; }
+  void die(int index) {
+    health_[static_cast<common::usize>(index)].reapable = true;
+  }
+
+  struct Health : ProcessHealth {
+    bool reapable = false;
+  };
+  std::vector<Health> health_;
+  std::vector<std::pair<int, int>> signals_;  // (index, signo)
+  int reaps_ = 0;
+  int respawns_ = 0;
+};
+
+ProcessSupervisorConfig fast_config() {
+  ProcessSupervisorConfig config;
+  config.stall_grace = millis(10);
+  config.term_grace = millis(10);
+  config.kill_grace = millis(10);
+  return config;
+}
+
+TEST(ProcessSupervisor, HealthyHeartbeatsNeverEscalate) {
+  FakeGroup group(2);
+  ProcessSupervisor supervisor(fast_config());
+  supervisor.watch(&group, "fake");
+  Nanos now = millis(100);
+  for (int i = 0; i < 50; ++i) {
+    group.beat(0);
+    group.beat(1);
+    supervisor.scan_once(now);
+    now += millis(5);
+  }
+  EXPECT_TRUE(group.signals_.empty());
+  EXPECT_EQ(supervisor.stats().stalls_detected, 0u);
+}
+
+TEST(ProcessSupervisor, SilenceWalksProbeTermKillThenRespawn) {
+  FakeGroup group(1);
+  ProcessSupervisor supervisor(fast_config());
+  supervisor.watch(&group, "fake");
+
+  Nanos now = millis(100);
+  group.beat(0);
+  supervisor.scan_once(now);  // first sight: ladder armed
+  // Heartbeat frozen from here on.
+  now += millis(15);
+  supervisor.scan_once(now);  // silence > stall_grace: probe
+  ASSERT_EQ(group.signals_.size(), 1u);
+  EXPECT_EQ(group.signals_[0].second, 0);
+  EXPECT_EQ(supervisor.stats().stalls_detected, 1u);
+
+  now += millis(15);
+  supervisor.scan_once(now);  // probe + term_grace: SIGTERM
+  ASSERT_EQ(group.signals_.size(), 2u);
+  EXPECT_EQ(group.signals_[1].second, SIGTERM);
+
+  now += millis(15);
+  supervisor.scan_once(now);  // term + kill_grace: SIGKILL
+  ASSERT_EQ(group.signals_.size(), 3u);
+  EXPECT_EQ(group.signals_[2].second, SIGKILL);
+  EXPECT_EQ(supervisor.stats().kills, 1u);
+
+  now += millis(5);
+  supervisor.scan_once(now);  // death reaped, process respawned
+  EXPECT_EQ(group.reaps_, 1);
+  EXPECT_EQ(group.respawns_, 1);
+  EXPECT_EQ(supervisor.stats().reaps, 1u);
+  EXPECT_EQ(supervisor.stats().respawns, 1u);
+
+  // The respawned process beats again: the ladder is fully reset.
+  group.beat(0);
+  now += millis(5);
+  supervisor.scan_once(now);
+  now += millis(5);
+  group.beat(0);
+  supervisor.scan_once(now);
+  EXPECT_EQ(group.signals_.size(), 3u);  // no new escalation
+}
+
+TEST(ProcessSupervisor, ResumedHeartbeatResetsTheLadder) {
+  FakeGroup group(1);
+  ProcessSupervisor supervisor(fast_config());
+  supervisor.watch(&group, "fake");
+
+  Nanos now = millis(100);
+  group.beat(0);
+  supervisor.scan_once(now);
+  now += millis(15);
+  supervisor.scan_once(now);  // probed
+  ASSERT_EQ(group.signals_.size(), 1u);
+
+  group.beat(0);  // came back before SIGTERM
+  now += millis(15);
+  supervisor.scan_once(now);
+  now += millis(15);
+  supervisor.scan_once(now);  // silent again: new ladder starts at probe
+  EXPECT_EQ(group.signals_.size(), 2u);
+  EXPECT_EQ(group.signals_[1].second, 0);  // probe, not SIGTERM
+}
+
+TEST(ProcessSupervisor, DeathWithoutStallIsReapedAndRespawned) {
+  FakeGroup group(2);
+  ProcessSupervisor supervisor(fast_config());
+  supervisor.watch(&group, "fake");
+  Nanos now = millis(100);
+  group.beat(0);
+  group.beat(1);
+  supervisor.scan_once(now);
+
+  group.die(1);  // crashed on its own, heartbeat was fine
+  now += millis(5);
+  supervisor.scan_once(now);
+  EXPECT_EQ(group.reaps_, 1);
+  EXPECT_EQ(group.respawns_, 1);
+  EXPECT_TRUE(group.health_[1].alive);
+  EXPECT_EQ(supervisor.stats().stalls_detected, 0u);
+}
+
+TEST(ProcessSupervisor, RespawnDisabledLeavesTheSlotDown) {
+  FakeGroup group(1);
+  ProcessSupervisorConfig config = fast_config();
+  config.respawn_dead = false;
+  ProcessSupervisor supervisor(config);
+  supervisor.watch(&group, "fake");
+  Nanos now = millis(100);
+  supervisor.scan_once(now);
+  group.die(0);
+  now += millis(5);
+  supervisor.scan_once(now);
+  EXPECT_EQ(group.reaps_, 1);
+  EXPECT_EQ(group.respawns_, 0);
+  EXPECT_FALSE(group.health_[0].alive);
+}
+
+TEST(ProcessSupervisor, ChaosKillFiresThroughTheInjector) {
+  FakeGroup group(3);
+  ProcessSupervisorConfig config = fast_config();
+  config.allow_chaos_kill = true;
+  ProcessSupervisor supervisor(config);
+  supervisor.watch(&group, "fake");
+
+  InjectorConfig chaos;
+  chaos.with_rate(InjectPoint::kShardKill, 1.0);
+  chaos.max_fires_per_point = 2;
+  ScopedInjector injector(chaos);
+
+  Nanos now = millis(100);
+  for (int i = 0; i < 3; ++i) group.beat(i);
+  supervisor.scan_once(now);  // chaos kill #1 (round-robin victim 0)
+  now += millis(2);
+  supervisor.scan_once(now);  // reap + respawn 0, chaos kill #2 (victim 1)
+  now += millis(2);
+  supervisor.scan_once(now);  // reap + respawn 1
+  EXPECT_EQ(supervisor.stats().chaos_kills, 2u);
+  EXPECT_EQ(group.reaps_, 2);
+  EXPECT_EQ(group.respawns_, 2);
+  EXPECT_TRUE(group.health_[0].alive);
+  EXPECT_TRUE(group.health_[1].alive);
+}
+
+}  // namespace
+}  // namespace rtseed::fault

@@ -1,0 +1,127 @@
+// Book snapshot/restore and front_order: a restored book must be
+// bit-identical to the source — same digest, same invariants, and the
+// same FUTURE behaviour (slot allocation order, front-of-queue victims).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "lob/book.hpp"
+#include "lob/flow.hpp"
+
+namespace rtseed::lob {
+namespace {
+
+BookConfig small_band() {
+  BookConfig config;
+  config.min_tick = 1;
+  config.num_levels = 256;
+  config.max_orders = 512;
+  return config;
+}
+
+/// Drives `count` generator events into `book` (the fuzzer's harness
+/// shape: cancel/replace picks reduce over the front order).
+void churn(BitmapBook& book, FlowGenerator& gen, int count) {
+  for (int i = 0; i < count; ++i) {
+    const FlowEvent ev = gen.next();
+    switch (ev.kind) {
+      case FlowKind::kAddLimit:
+        book.add_limit(ev.side, ev.price, ev.qty, nullptr);
+        break;
+      case FlowKind::kMarket:
+        book.add_market(ev.side, ev.qty, nullptr);
+        break;
+      case FlowKind::kCancel:
+        book.cancel(book.front_order(ev.side));
+        break;
+      case FlowKind::kReplace: {
+        SubmitResult readd;
+        book.replace(book.front_order(ev.side), ev.price, ev.qty, nullptr,
+                     &readd);
+        break;
+      }
+    }
+  }
+}
+
+TEST(BookSnapshot, RestoreIsBitIdenticalAndBehaviourEquivalent) {
+  const BookConfig config = small_band();
+  BitmapBook original(config);
+  FlowGenerator gen(1234, config);
+  churn(original, gen, 3000);
+  ASSERT_GT(original.open_orders(), 0u);
+
+  std::vector<unsigned char> image(original.snapshot_bytes());
+  ASSERT_EQ(original.save_snapshot(image.data(), image.size()), image.size());
+
+  BitmapBook restored(config);
+  const auto status = restored.restore_snapshot(image.data(), image.size());
+  ASSERT_TRUE(status.is_ok()) << status.to_string();
+
+  char why[256];
+  EXPECT_TRUE(restored.check_invariants(why, sizeof(why))) << why;
+  EXPECT_EQ(restored.digest(), original.digest());
+  EXPECT_EQ(restored.open_orders(), original.open_orders());
+  EXPECT_EQ(restored.top().bid_price, original.top().bid_price);
+  EXPECT_EQ(restored.top().ask_price, original.top().ask_price);
+
+  // The strong property: the SAME future event stream drives both books
+  // to the same digest — free-list order and seq counters survived too.
+  FlowGenerator tail_a(555, config);
+  FlowGenerator tail_b(555, config);
+  churn(original, tail_a, 2000);
+  churn(restored, tail_b, 2000);
+  EXPECT_EQ(restored.digest(), original.digest());
+  EXPECT_EQ(restored.stats().trades, original.stats().trades);
+}
+
+TEST(BookSnapshot, RestoreRejectsWrongConfigAndGarbage) {
+  BitmapBook original(small_band());
+  original.add_limit(Side::kBid, 100, 5, nullptr);
+  std::vector<unsigned char> image(original.snapshot_bytes());
+  ASSERT_EQ(original.save_snapshot(image.data(), image.size()), image.size());
+
+  BookConfig other = small_band();
+  other.num_levels = 128;
+  BitmapBook mismatched(other);
+  EXPECT_FALSE(
+      mismatched.restore_snapshot(image.data(), image.size()).is_ok());
+
+  BitmapBook target(small_band());
+  EXPECT_FALSE(target.restore_snapshot(image.data(), 16).is_ok());
+  image[0] ^= 0xFF;  // corrupt the magic
+  EXPECT_FALSE(target.restore_snapshot(image.data(), image.size()).is_ok());
+}
+
+TEST(BookSnapshot, SaveRefusesUndersizedBuffer) {
+  BitmapBook book(small_band());
+  std::vector<unsigned char> tiny(16);
+  EXPECT_EQ(book.save_snapshot(tiny.data(), tiny.size()), 0u);
+}
+
+TEST(FrontOrder, TracksTheBestLevelFifoHead) {
+  BitmapBook book(small_band());
+  EXPECT_FALSE(book.front_order(Side::kBid).valid());
+
+  const auto first = book.add_limit(Side::kBid, 100, 5, nullptr);
+  const auto second = book.add_limit(Side::kBid, 100, 7, nullptr);
+  ASSERT_TRUE(first.id.valid());
+  ASSERT_TRUE(second.id.valid());
+  // Same level: FIFO head is the earlier arrival.
+  EXPECT_EQ(book.front_order(Side::kBid).value, first.id.value);
+
+  // A better price takes over the front.
+  const auto better = book.add_limit(Side::kBid, 101, 1, nullptr);
+  EXPECT_EQ(book.front_order(Side::kBid).value, better.id.value);
+
+  book.cancel(better.id);
+  EXPECT_EQ(book.front_order(Side::kBid).value, first.id.value);
+  book.cancel(first.id);
+  EXPECT_EQ(book.front_order(Side::kBid).value, second.id.value);
+  book.cancel(second.id);
+  EXPECT_FALSE(book.front_order(Side::kBid).valid());
+}
+
+}  // namespace
+}  // namespace rtseed::lob

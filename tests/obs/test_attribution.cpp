@@ -196,6 +196,41 @@ TEST(Attribution, InjectorFiresJoinByTimeWindow) {
   EXPECT_EQ(report.jobs[1].miss_cause, RootCause::kInjectedFault);
 }
 
+TEST(Attribution, ShardFailoverWindowJoinsAndClassifies) {
+  auto events = normal_job();
+  events.push_back(ev(5500, EventKind::kDeadlineMiss, 1, 500));
+  AttributionOptions options;
+  options.failover_windows.push_back(FailoverWindowRef{4000, 6000});
+  const auto report = attribute_jobs(snap(std::move(events)), options);
+  ASSERT_EQ(report.jobs.size(), 1u);
+  EXPECT_TRUE(report.jobs[0].shard_failover);
+  EXPECT_EQ(report.jobs[0].miss_cause, RootCause::kShardFailover);
+  EXPECT_NE(report.to_json().find("\"miss_cause\":\"shard-failover\""),
+            std::string::npos);
+}
+
+TEST(Attribution, DisjointFailoverWindowDoesNotJoin) {
+  // Window entirely after the job: the miss stays attributed to its real
+  // cause — survivors must record ZERO shard-failover misses.
+  auto events = normal_job();
+  events.push_back(ev(5500, EventKind::kDeadlineMiss, 1, 500));
+  AttributionOptions options;
+  options.failover_windows.push_back(FailoverWindowRef{9000, 12000});
+  const auto report = attribute_jobs(snap(std::move(events)), options);
+  EXPECT_FALSE(report.jobs[0].shard_failover);
+  EXPECT_NE(report.jobs[0].miss_cause, RootCause::kShardFailover);
+}
+
+TEST(Attribution, OpenFailoverWindowExtendsForever) {
+  auto events = normal_job();
+  events.push_back(ev(5500, EventKind::kDeadlineMiss, 1, 500));
+  AttributionOptions options;
+  options.failover_windows.push_back(FailoverWindowRef{2000, 0});  // open
+  const auto report = attribute_jobs(snap(std::move(events)), options);
+  EXPECT_TRUE(report.jobs[0].shard_failover);
+  EXPECT_EQ(report.jobs[0].miss_cause, RootCause::kShardFailover);
+}
+
 TEST(Attribution, SupervisorKillJoinsByTimeWindow) {
   // The supervisor stamps kills with a placeholder job id (it watches
   // workers, not jobs) on its own thread; attribution must land the kill

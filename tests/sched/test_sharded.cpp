@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "common/topology.hpp"
@@ -189,6 +190,92 @@ TEST(PRmwpTopology, FirstFitFillsOneNodeBeforeSpilling) {
   ASSERT_TRUE(topo_plan.schedulable) << topo_plan.diagnostics;
   EXPECT_TRUE(interleaved.same_node(topo_plan.tasks[0].processor,
                                     topo_plan.tasks[1].processor));
+}
+
+// ---------------------------------------------------------------------------
+// Online re-sharding (plan_failover): restricted migration — only the
+// dead shard's groups move, survivors keep their placements bit-for-bit.
+
+TEST(PlanFailover, MovesOnlyTheDeadShardsGroups) {
+  std::vector<SymbolTaskSet> groups;
+  for (u32 sym = 0; sym < 12; ++sym) groups.push_back(group(sym, 0.05));
+  const std::vector<int> cores = {2, 2, 2};
+  const auto current = plan_sharded(groups, cores);
+  ASSERT_TRUE(current.feasible) << current.diagnostics;
+
+  const int dead = 1;
+  const auto failover = plan_failover(groups, current, dead, cores);
+  ASSERT_TRUE(failover.feasible) << failover.diagnostics;
+
+  for (size_t g = 0; g < groups.size(); ++g) {
+    const auto& before = current.groups[g];
+    const auto& after = failover.plan.groups[g];
+    EXPECT_NE(after.shard, dead);  // the dead shard ends empty
+    const bool moved = before.shard == dead;
+    if (moved) {
+      EXPECT_TRUE(after.spilled);  // off-home by definition
+    } else {
+      // Restricted migration: survivors are untouched.
+      EXPECT_EQ(after.shard, before.shard);
+      EXPECT_EQ(after.spilled, before.spilled);
+    }
+    const bool listed =
+        std::find(failover.moved_groups.begin(), failover.moved_groups.end(),
+                  g) != failover.moved_groups.end();
+    EXPECT_EQ(listed, moved);
+  }
+  EXPECT_TRUE(failover.plan.shard_tasks[dead].empty());
+  EXPECT_EQ(failover.plan.shard_utilization[dead], 0.0);
+  // Every surviving shard still carries a schedulable plan.
+  for (int s = 0; s < 3; ++s) {
+    if (s == dead) continue;
+    EXPECT_TRUE(failover.plan.shards[static_cast<size_t>(s)].schedulable);
+  }
+}
+
+/// First symbol < 256 whose home (over 3 shards) is `home`.
+u32 symbol_homed_on(int home) {
+  for (u32 sym = 0; sym < 256; ++sym) {
+    if (home_shard(sym, 3) == home) return sym;
+  }
+  ADD_FAILURE() << "no symbol homes on shard " << home;
+  return 0;
+}
+
+TEST(PlanFailover, DisplacedLoadPrefersTheLeastUtilizedSurvivor) {
+  // One group per shard; the survivors' utilizations are deliberately
+  // skewed, so the displaced group must land on the emptier one.
+  const int dead = 0;
+  const u32 dead_symbol = symbol_homed_on(dead);
+  std::vector<SymbolTaskSet> groups;
+  groups.push_back(group(dead_symbol, 0.1));
+  groups.push_back(group(symbol_homed_on(1), 0.5));   // loaded survivor
+  groups.push_back(group(symbol_homed_on(2), 0.05));  // light survivor
+  const std::vector<int> cores = {1, 1, 1};
+  const auto current = plan_sharded(groups, cores);
+  ASSERT_TRUE(current.feasible) << current.diagnostics;
+
+  const auto failover = plan_failover(groups, current, dead, cores);
+  ASSERT_TRUE(failover.feasible) << failover.diagnostics;
+  ASSERT_EQ(failover.moved_groups.size(), 1u);
+  EXPECT_EQ(groups[failover.moved_groups[0]].symbol, dead_symbol);
+  EXPECT_EQ(failover.plan.groups[failover.moved_groups[0]].shard, 2);
+}
+
+TEST(PlanFailover, InfeasibleWhenNoSurvivorAdmitsTheDisplacedGroup) {
+  // Both survivors run near saturation; the displaced group fits nowhere.
+  const int dead = 0;
+  std::vector<SymbolTaskSet> groups;
+  groups.push_back(group(symbol_homed_on(dead), 0.4));
+  groups.push_back(group(symbol_homed_on(1), 0.6));
+  groups.push_back(group(symbol_homed_on(2), 0.6));
+  const std::vector<int> cores = {1, 1, 1};
+  const auto current = plan_sharded(groups, cores);
+  ASSERT_TRUE(current.feasible) << current.diagnostics;
+
+  const auto failover = plan_failover(groups, current, dead, cores);
+  EXPECT_FALSE(failover.feasible);
+  EXPECT_FALSE(failover.diagnostics.empty());
 }
 
 }  // namespace

@@ -1,10 +1,15 @@
 #include "shard/transport.hpp"
 
 #include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/prometheus_export.hpp"
 
 namespace rtseed::shard {
 namespace {
@@ -92,6 +97,152 @@ TEST(ShardTransport, PoolExhaustionIsCounted) {
   EXPECT_NE(t.acquire(), nullptr);
   EXPECT_EQ(t.acquire(), nullptr);
   EXPECT_EQ(t.pool_exhausted(), 1u);
+}
+
+TEST(ShardTransport, DropCountersExportThroughPrometheus) {
+  TransportOptions options;
+  options.pool_capacity = 4;
+  options.ring_capacity = 2;
+  auto transport = ShardTransport::create(1, options);
+  ASSERT_TRUE(transport.has_value());
+  auto& t = **transport;
+
+  // One ingress drop: fill the 2-slot ring, then one more.
+  for (int i = 0; i < 2; ++i) {
+    ShardMessage* msg = t.acquire();
+    ASSERT_NE(msg, nullptr);
+    ASSERT_TRUE(t.post(0, msg));
+  }
+  ShardMessage* overflow = t.acquire();
+  ASSERT_NE(overflow, nullptr);
+  EXPECT_FALSE(t.post(0, overflow));  // dropped, cell released
+  // One pool exhaustion: the remaining 2 free cells, then one more.
+  ASSERT_NE(t.acquire(), nullptr);
+  ASSERT_NE(t.acquire(), nullptr);
+  EXPECT_EQ(t.acquire(), nullptr);
+  ASSERT_GE(t.ingress_drops(), 1u);
+  ASSERT_GE(t.pool_exhausted(), 1u);
+
+  obs::MetricsRegistry registry;
+  t.register_metrics(&registry);
+  t.sync_metrics();
+  const std::string text = obs::render_prometheus(registry);
+  EXPECT_NE(text.find("# TYPE rtseed_shard_ingress_drops_total counter"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("rtseed_shard_ingress_drops_total " +
+                      std::to_string(t.ingress_drops())),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("rtseed_shard_pool_exhausted_total " +
+                      std::to_string(t.pool_exhausted())),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("rtseed_shard_egress_drops_total 0"), std::string::npos)
+      << text;
+}
+
+// ---------------------------------------------------------------------------
+// Reattach hygiene: a second process (or a stale descriptor) mapping the
+// segment must agree with the creator on layout, size, and epoch, and a
+// torn-write marker blocks the attach until repaired.
+// ---------------------------------------------------------------------------
+
+TEST(ShardTransportAttach, RejectsEpochAndShapeMismatches) {
+  TransportOptions options;
+  options.epoch = 11;
+  auto transport = ShardTransport::create(2, options);
+  ASSERT_TRUE(transport.has_value());
+  const int fd = (*transport)->segment_fd();
+  if (fd < 0) GTEST_SKIP() << "anonymous-mapping fallback: no fd";
+
+  // Matching everything attaches fine...
+  auto same = ShardTransport::attach(fd, 2, options);
+  EXPECT_TRUE(same.has_value()) << same.status().to_string();
+
+  // ...but a stale epoch is refused,
+  TransportOptions stale = options;
+  stale.epoch = 10;
+  EXPECT_FALSE(ShardTransport::attach(fd, 2, stale).has_value());
+  // and so is a different layout shape (shard count or ring size).
+  EXPECT_FALSE(ShardTransport::attach(fd, 3, options).has_value());
+  TransportOptions bigger = options;
+  bigger.ring_capacity *= 2;
+  EXPECT_FALSE(ShardTransport::attach(fd, 2, bigger).has_value());
+}
+
+TEST(ShardTransportAttach, TornGenerationBlocksAttachUntilRepaired) {
+  TransportOptions options;
+  options.epoch = 12;
+  auto transport = ShardTransport::create(1, options);
+  ASSERT_TRUE(transport.has_value());
+  const int fd = (*transport)->segment_fd();
+  if (fd < 0) GTEST_SKIP() << "anonymous-mapping fallback: no fd";
+
+  auto* header = (*transport)->segment_header();
+  header->generation.fetch_add(1);  // writer died mid-mutation
+  EXPECT_FALSE(ShardTransport::attach(fd, 1, options).has_value());
+
+  ASSERT_TRUE(common::repair_torn_segment(header));
+  auto repaired = ShardTransport::attach(fd, 1, options);
+  EXPECT_TRUE(repaired.has_value()) << repaired.status().to_string();
+  EXPECT_EQ(header->torn_repairs.load(), 1u);
+}
+
+TEST(ShardTransportAttach, ForkedChildAttachesAndMessagesFlowBack) {
+  TransportOptions options;
+  options.epoch = 13;
+  options.pool_capacity = 16;
+  options.ring_capacity = 8;
+  auto transport = ShardTransport::create(1, options);
+  ASSERT_TRUE(transport.has_value());
+  auto& t = **transport;
+  if (t.segment_fd() < 0) {
+    GTEST_SKIP() << "anonymous-mapping fallback: no fd";
+  }
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: re-map the same segment by fd (a DOUBLE attach — the
+    // inherited parent mapping still exists) and echo one message.
+    auto attached = ShardTransport::attach(t.segment_fd(), 1, options);
+    if (!attached.has_value()) _exit(20);
+    auto& child = **attached;
+    ShardMessage* msg = nullptr;
+    for (int spins = 0; spins < 100000000 && msg == nullptr; ++spins) {
+      msg = child.poll(0);
+    }
+    if (msg == nullptr) _exit(21);
+    const u64 seq = msg->seq;
+    child.release(msg);
+    ShardMessage* reply = child.acquire();
+    if (reply == nullptr) _exit(22);
+    reply->kind = MessageKind::kJobResult;
+    reply->seq = seq + 1;
+    if (!child.post_result(0, reply)) _exit(23);
+    _exit(0);
+  }
+
+  ShardMessage* msg = t.acquire();
+  ASSERT_NE(msg, nullptr);
+  msg->kind = MessageKind::kTick;
+  msg->seq = 41;
+  ASSERT_TRUE(t.post(0, msg));
+
+  ShardMessage* reply = nullptr;
+  while (reply == nullptr) reply = t.poll_result(0);
+  EXPECT_EQ(reply->seq, 42u);
+  t.release(reply);
+
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  // Both attaches (the in-process one above died with its object, this
+  // child's one) bumped the shared attach count.
+  EXPECT_GE(t.segment_header()->attach_count.load(), 1u);
+  EXPECT_EQ(t.in_flight_approx(), 0u);
 }
 
 // One router, one consumer per shard, everything concurrent: every tick

@@ -4,6 +4,8 @@
 
 #include <string>
 
+#include "shard/sharded_runtime.hpp"
+
 namespace rtseed::trading {
 namespace {
 
